@@ -1,0 +1,69 @@
+"""E5 — cohort selection: 13,000 of 168,000 patients (paper Section IV).
+
+"The prototype was used in the research project to select 13,000
+patients from a data set of 168,000 patients based on predefined
+characteristics."  The predefined characteristics here are the chronic
+diabetes cohort with primary-care utilization — the synthetic
+population's diabetes prevalence is calibrated so the selection lands at
+the paper's ~7.7 % selectivity.
+
+Reproduction criterion (shape): selected count within ±15 % of the
+scaled 13,000, and selection latency comfortably interactive.
+"""
+
+from __future__ import annotations
+
+from conftest import (
+    PAPER_POPULATION,
+    PAPER_SELECTED,
+    print_experiment,
+    scaled,
+)
+
+from repro.query.builder import QueryBuilder
+
+
+def selection_query():
+    return (
+        QueryBuilder()
+        .with_concept("T90")
+        .min_count("gp_contact", 2)
+        .build()
+    )
+
+
+def test_e5_selected_count_matches_paper(benchmark, paper_store, paper_engine):
+    store, __ = paper_store
+    query = selection_query()
+    ids = benchmark.pedantic(
+        lambda: paper_engine.patients(query), rounds=1, iterations=1
+    )
+    expected = scaled(PAPER_SELECTED)
+    selectivity = len(ids) / store.n_patients
+    paper_selectivity = PAPER_SELECTED / PAPER_POPULATION
+    print_experiment(
+        "E5 cohort selection (Section IV)",
+        [
+            ("population", f"{PAPER_POPULATION:,}", f"{store.n_patients:,}"),
+            ("selected", f"{PAPER_SELECTED:,}", f"{len(ids):,}"),
+            ("selectivity", f"{paper_selectivity:.1%}", f"{selectivity:.1%}"),
+        ],
+    )
+    assert abs(len(ids) - expected) <= 0.15 * expected
+    assert abs(selectivity - paper_selectivity) <= 0.015
+
+
+def test_e5_selection_latency(benchmark, paper_engine):
+    """The selection itself must be interactive on the full population."""
+    query = selection_query()
+    ids = benchmark(lambda: paper_engine.patients(query))
+    assert len(ids) > 0
+
+
+def test_e5_selection_is_deterministic(benchmark, paper_engine):
+    first = paper_engine.patients(selection_query())
+    second = benchmark.pedantic(
+        lambda: paper_engine.patients(selection_query()),
+        rounds=1, iterations=1,
+    )
+    assert (first == second).all()

@@ -1,0 +1,87 @@
+"""E1 (Figure 1) — the main cohort timeline view.
+
+Figure 1 shows gray history bars with diagnosis rectangles, blood-
+pressure arrows and medication-class background colors, detail panes and
+two zoom sliders.  The benchmark regenerates the artifact at increasing
+cohort sizes and records render cost — the series behind the paper's
+conclusion that the tool "can be challenging to use for very large data
+sets" (E9 quantifies the growth; this file owns the artifact).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import print_experiment
+
+from repro.query.builder import QueryBuilder
+from repro.viz.timeline_view import TimelineConfig, TimelineView
+
+
+@pytest.fixture(scope="module")
+def cohort_ids(paper_engine):
+    query = QueryBuilder().with_concept("T90").build()
+    return paper_engine.patients(query)
+
+
+def _render(store, ids):
+    view = TimelineView(store, TimelineConfig())
+    return view.render(list(ids))
+
+
+@pytest.mark.parametrize("n_rows", [100, 1_000])
+def test_e1_render_benchmark(benchmark, paper_store, cohort_ids, n_rows):
+    store, __ = paper_store
+    ids = cohort_ids[:n_rows]
+    if len(ids) < n_rows:
+        pytest.skip("cohort smaller than requested rows at this scale")
+    scene = benchmark.pedantic(
+        lambda: _render(store, ids), rounds=3, iterations=1
+    )
+    assert len(scene.rows) == n_rows
+    assert scene.ink_marks > n_rows  # bars plus event marks
+
+
+def test_e1_figure_artifact_structure(benchmark, paper_store, cohort_ids):
+    """The Figure 1 ingredients are all present in the rendering."""
+    store, __ = paper_store
+    scene = benchmark.pedantic(
+        lambda: _render(store, cohort_ids[:200]), rounds=1, iterations=1
+    )
+    kinds = {m.kind for m in scene.marks}
+    categories = {m.category for m in scene.marks}
+    mark_classes = {m.mark_class for m in scene.marks}
+    print_experiment(
+        "E1 / Figure 1 timeline artifact",
+        [
+            ("history bars", "gray bars", "bar" if "bar" in kinds else "-"),
+            ("diagnosis glyphs", "small rectangles",
+             "RectangleGlyph" if "RectangleGlyph" in mark_classes else "-"),
+            ("blood-pressure marks", "arrows",
+             "ArrowGlyph" if "ArrowGlyph" in mark_classes else "-"),
+            ("medication coloring", "classes of medication",
+             f"{len(scene.medication_colors)} ATC groups"),
+            ("marks drawn", "-", f"{scene.ink_marks:,}"),
+            ("svg bytes", "-", f"{len(scene.svg_text):,}"),
+        ],
+    )
+    assert "bar" in kinds
+    assert "RectangleGlyph" in mark_classes
+    assert "ArrowGlyph" in mark_classes
+    assert "blood_pressure" in categories
+    assert len(scene.medication_colors) >= 3
+
+
+def test_e1_aligned_mode(benchmark, paper_store, paper_engine, cohort_ids):
+    """Section IV-B's second axis mode: months around the anchor."""
+    from repro.cohort.alignment import compute_alignment
+    from repro.query.ast import Concept
+
+    store, __ = paper_store
+    alignment = compute_alignment(paper_engine, Concept("T90"), "first T90")
+    view = TimelineView(store, TimelineConfig(mode="aligned"))
+    scene = benchmark.pedantic(
+        lambda: view.render(cohort_ids[:300].tolist(), alignment),
+        rounds=1, iterations=1,
+    )
+    assert "+6 mo" in scene.svg_text or "+3 mo" in scene.svg_text \
+        or "mo" in scene.svg_text

@@ -1,0 +1,123 @@
+"""E2 (Figure 2) — the NSEPter baseline graphs.
+
+Figure 2(a): a small graph "merged around the first incidence of
+diabetes" (T90), thicker edges where several patients follow the same
+path.  Figure 2(b): several hundred patients, "basically a web of
+edges" — quantified here through readability metrics and contrasted with
+the timeline view's graceful degradation.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import print_experiment
+
+from repro.nsepter.graph import build_graph
+from repro.nsepter.layout import layout_graph, readability_metrics
+from repro.nsepter.merge import merge_by_regex, recursive_neighbour_merge
+from repro.query.builder import QueryBuilder
+from repro.viz.graph_view import render_graph
+from repro.viz.timeline_view import TimelineConfig, TimelineView
+
+
+@pytest.fixture(scope="module")
+def diabetic_ids(paper_engine):
+    query = QueryBuilder().with_code("ICPC-2", "T90").build()
+    return paper_engine.patients(query)
+
+
+def test_e2a_merged_graph_around_t90(benchmark, paper_store, diabetic_ids):
+    """Figure 2(a): 50 diabetic histories merged around T90."""
+    store, __ = paper_store
+    cohort = store.to_cohort(diabetic_ids[:50].tolist())
+    graph = build_graph(cohort)
+    before = graph.n_nodes
+    benchmark.pedantic(
+        lambda: recursive_neighbour_merge(
+            graph, merge_by_regex(graph, "T90"), depth=2
+        ),
+        rounds=1, iterations=1,
+    )
+    layout = layout_graph(graph)
+    edges = graph.edges()
+    max_weight = max(edges.values())
+    svg = render_graph(graph, layout)
+    print_experiment(
+        "E2a / Figure 2(a) merged NSEPter graph",
+        [
+            ("histories", "~50", "50"),
+            ("nodes before merge", "-", f"{before:,}"),
+            ("nodes after merge", "fewer", f"{graph.n_nodes:,}"),
+            ("max edge weight", ">1 (thick lines)", str(max_weight)),
+        ],
+    )
+    assert graph.n_nodes < before
+    assert max_weight > 1  # several patients share a path
+    assert "<svg" in svg.to_string()
+
+
+def test_e2a_merge_benchmark(benchmark, paper_store, diabetic_ids):
+    store, __ = paper_store
+    cohort = store.to_cohort(diabetic_ids[:50].tolist())
+
+    def run():
+        graph = build_graph(cohort)
+        seeds = merge_by_regex(graph, "T90")
+        recursive_neighbour_merge(graph, seeds, depth=2)
+        return graph
+
+    graph = benchmark(run)
+    assert graph.n_nodes > 0
+
+
+def test_e2b_scale_readability_collapse(benchmark, paper_store, diabetic_ids):
+    """Figure 2(b): at several hundred patients the graph view drowns in
+    crossings while the timeline view's ink stays row-bounded."""
+    store, __ = paper_store
+    sizes = (50, 200, 400)
+    crossings: list[int] = []
+    timeline_marks: list[int] = []
+
+    def measure_largest():
+        ids = diabetic_ids[: sizes[-1]].tolist()
+        graph = build_graph(store.to_cohort(ids))
+        seeds = merge_by_regex(graph, "T90")
+        recursive_neighbour_merge(graph, seeds, depth=1)
+        return readability_metrics(layout_graph(graph), max_pairs=400_000)
+
+    benchmark.pedantic(measure_largest, rounds=1, iterations=1)
+    for n in sizes:
+        ids = diabetic_ids[:n].tolist()
+        cohort = store.to_cohort(ids)
+        graph = build_graph(cohort)
+        seeds = merge_by_regex(graph, "T90")
+        recursive_neighbour_merge(graph, seeds, depth=1)
+        metrics = readability_metrics(layout_graph(graph),
+                                      max_pairs=400_000)
+        crossings.append(metrics.edge_crossings)
+        scene = TimelineView(store, TimelineConfig(show_legend=False)).render(
+            ids
+        )
+        timeline_marks.append(scene.ink_marks)
+
+    growth_graph = crossings[-1] / max(1, crossings[0])
+    growth_marks = timeline_marks[-1] / max(1, timeline_marks[0])
+    rows = [
+        (f"crossings @ {n}", "web of edges", f"{c:,}")
+        for n, c in zip(sizes, crossings)
+    ]
+    rows += [
+        (f"timeline marks @ {n}", "linear in rows", f"{m:,}")
+        for n, m in zip(sizes, timeline_marks)
+    ]
+    rows.append(("crossing growth 50->400", "superlinear (>8x)",
+                 f"{growth_graph:.1f}x"))
+    rows.append(("timeline growth 50->400", "~linear (~8x)",
+                 f"{growth_marks:.1f}x"))
+    print_experiment("E2b / Figure 2(b) readability collapse", rows)
+
+    assert crossings[-1] > crossings[0]
+    # Graph crossings grow much faster than the timeline's linear ink.
+    assert growth_graph > 2.0 * growth_marks
+    # Timeline ink is ~linear in rows (within 2x of proportional).
+    assert growth_marks < 2.0 * (sizes[-1] / sizes[0])

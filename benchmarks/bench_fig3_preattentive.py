@@ -1,0 +1,96 @@
+"""E3 (Figure 3) — preattentive pop-out vs conjunction search.
+
+"Find the red circle" (Figure 3): pop-out time is independent of the
+number of distracting elements, while conjunction search "increases
+linearly with the number of distracting elements" (Section II-B1).
+
+Reproduction criterion (shape): the fitted pop-out slope is ~0 ms/item
+and the conjunction slope is clearly positive and near the serial model
+(half the per-item cost, target-present trials).
+"""
+
+from __future__ import annotations
+
+from conftest import print_experiment
+
+from repro.perception.search_model import (
+    BASE_RT_MS,
+    SERIAL_COST_MS_PER_ITEM,
+    fit_slope,
+    make_conjunction_task,
+    make_popout_task,
+    simulate_search_times,
+)
+
+DISPLAY_SIZES = (10, 20, 40, 80, 160, 320, 640)
+
+
+def _series(task_factory):
+    return [
+        simulate_search_times(task_factory(n), n_trials=200, seed=1000 + n)
+        for n in DISPLAY_SIZES
+    ]
+
+
+def test_e3_flat_vs_linear(benchmark):
+    popout, conjunction = benchmark.pedantic(
+        lambda: (_series(make_popout_task), _series(make_conjunction_task)),
+        rounds=1, iterations=1,
+    )
+    popout_slope, popout_icpt = fit_slope(popout)
+    conj_slope, conj_icpt = fit_slope(conjunction)
+
+    rows = [
+        (f"pop-out RT @ {r.n_distractors}", "flat",
+         f"{r.mean_rt_ms:.0f} ms") for r in popout
+    ]
+    rows += [
+        (f"conjunction RT @ {r.n_distractors}", "linear",
+         f"{r.mean_rt_ms:.0f} ms") for r in conjunction
+    ]
+    rows.append(("pop-out slope", "~0 ms/item", f"{popout_slope:.3f}"))
+    rows.append(("conjunction slope", ">0 ms/item", f"{conj_slope:.2f}"))
+    print_experiment("E3 / Figure 3 visual search", rows)
+
+    assert abs(popout_slope) < 0.5
+    assert conj_slope > 5.0
+    # Serial self-terminating model: slope ~ cost/2 on present trials.
+    assert abs(conj_slope - SERIAL_COST_MS_PER_ITEM / 2) < 5.0
+    # Intercepts share the base RT; the serial model adds one item's
+    # half-cost plus fit noise to the conjunction intercept.
+    assert abs(popout_icpt - BASE_RT_MS) < 30.0
+    assert abs(conj_icpt - BASE_RT_MS) < 150.0
+
+
+def test_e3_search_simulation_benchmark(benchmark):
+    result = benchmark(
+        lambda: simulate_search_times(make_conjunction_task(320),
+                                      n_trials=200, seed=3)
+    )
+    assert result.mode == "conjunction"
+
+
+def test_e3_classification_is_display_driven(benchmark):
+    """The model derives the mode from the display's feature structure —
+    swapping distractor colors flips pop-out into conjunction."""
+    from repro.perception.preattentive import (
+        DisplayItem,
+        SearchTask,
+        classify_search,
+    )
+
+    target = DisplayItem.of(color_hue="red", curvature="circle")
+    popout = SearchTask(
+        target,
+        [DisplayItem.of(color_hue="blue", curvature="circle")] * 20,
+    )
+    conjunction = SearchTask(
+        target,
+        [DisplayItem.of(color_hue="blue", curvature="circle")] * 10
+        + [DisplayItem.of(color_hue="red", curvature="square")] * 10,
+    )
+    modes = benchmark.pedantic(
+        lambda: (classify_search(popout), classify_search(conjunction)),
+        rounds=1, iterations=1,
+    )
+    assert modes == ("preattentive", "conjunction")

@@ -1,0 +1,99 @@
+"""E4 (Figure 4) — the query-builder interface over regex hierarchies.
+
+Section IV-A: clinicians get a GUI that assembles regular expressions
+over the code hierarchies; the worked example is ``F.*|H.*`` for eye-or-
+ear problems.  The benchmark drives the builder (the GUI as an API) and
+the textual language against the full population, asserting agreement
+and interactive latency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_experiment
+
+from repro.config import RESPONSE_TIME_BOUND_S
+from repro.query.builder import QueryBuilder
+from repro.query.parser import parse_query
+
+
+def test_e4_eye_or_ear_example(benchmark, paper_store, paper_engine):
+    """The paper's exact example: F.* | H.*."""
+    store, __ = paper_store
+    built = QueryBuilder().with_branch("ICPC-2", "F", "H").build()
+    ids = benchmark.pedantic(
+        lambda: paper_engine.patients(built), rounds=1, iterations=1
+    )
+    share = len(ids) / store.n_patients
+    print_experiment(
+        "E4 / Figure 4 query builder",
+        [
+            ("example regex", "F.*|H.*", built.expr.pattern),
+            ("matching patients", "-", f"{len(ids):,} ({share:.1%})"),
+        ],
+    )
+    assert len(ids) > 0
+    # direct regex and builder agree
+    from repro.query.ast import CodeMatch, HasEvent
+
+    direct = paper_engine.patients(HasEvent(CodeMatch("ICPC-2", "F.*|H.*")))
+    assert (ids == direct).all()
+
+
+def test_e4_builder_vs_text_language(benchmark, paper_engine, window):
+    built = (
+        QueryBuilder()
+        .with_concept("T90")
+        .min_count("gp_contact", 2)
+        .aged(40, 95, at_day=window.end_day)
+        .build()
+    )
+    text = parse_query(
+        "concept T90 and atleast 2 category gp_contact "
+        f"and age 40 .. 95 at {window.end_day}"
+    )
+    a = paper_engine.patients(built)
+    b = benchmark.pedantic(
+        lambda: paper_engine.patients(text), rounds=1, iterations=1
+    )
+    assert (a == b).all()
+
+
+def test_e4_query_latency_full_population(benchmark, paper_engine):
+    """Regex -> id set -> columnar intersect at 168k patients."""
+    query = QueryBuilder().with_branch("ICPC-2", "F", "H").build()
+    ids = benchmark(lambda: paper_engine.patients(query))
+    assert len(ids) > 0
+    # Shneiderman's interactivity budget, on the whole population.
+    assert benchmark.stats.stats.mean < RESPONSE_TIME_BOUND_S
+
+
+def test_e4_compound_query_latency(benchmark, paper_engine, window):
+    query = (
+        QueryBuilder()
+        .with_concept("T90")
+        .either(
+            parse_query("category hospital_stay"),
+            parse_query("category specialist_contact"),
+        )
+        .aged(50, 90, at_day=window.end_day)
+        .build()
+    )
+    ids = benchmark(lambda: paper_engine.patients(query))
+    assert len(ids) > 0
+
+
+def test_e4_disjunction_is_union(benchmark, paper_engine):
+    f_only = benchmark.pedantic(
+        lambda: paper_engine.patients(
+            QueryBuilder().with_branch("ICPC-2", "F").build()
+        ),
+        rounds=1, iterations=1,
+    )
+    h_only = paper_engine.patients(
+        QueryBuilder().with_branch("ICPC-2", "H").build()
+    )
+    both = paper_engine.patients(
+        QueryBuilder().with_branch("ICPC-2", "F", "H").build()
+    )
+    assert set(both.tolist()) == set(np.union1d(f_only, h_only).tolist())

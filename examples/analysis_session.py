@@ -1,0 +1,81 @@
+"""An explorative analysis session: history, undo, extraction, statistics.
+
+Walks Shneiderman's "seldom implemented" tasks (paper Section II-C3) —
+history, extract, relationships — through one realistic investigation:
+
+1. select the diabetes cohort, refine step by step (with an undo),
+2. inspect the session history,
+3. compare the final cohort against the rest of the population,
+4. extract ids, a reloadable sub-store and a per-patient feature matrix,
+5. audit the rendering perceptually before sharing it.
+
+Usage::
+
+    python examples/analysis_session.py
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import Workbench
+from repro.cohort.compare import compare_cohorts
+from repro.cohort.features import build_feature_matrix
+from repro.io import load_store
+from repro.simulate import generate_store_fast
+from repro.viz.audit import audit_scene
+
+OUT_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def main() -> None:
+    print("generating 20,000 synthetic patients ...")
+    store, __ = generate_store_fast(20_000, seed=42)
+    wb = Workbench.from_store(store)
+
+    # -- an explorative selection with history ---------------------------
+    session = wb.session()
+    session.select("concept T90", "diabetes")
+    session.refine("atleast 2 category gp_contact", "actively managed")
+    session.refine("sex F", "women only")          # ... second thoughts
+    session.undo()                                  # back to both sexes
+    session.refine("age 50 .. 95 at 15706", "50+")
+    print("session history (cursor ->):")
+    print(session.describe())
+
+    # -- relationships: cohort vs everyone else ---------------------------
+    comparison = compare_cohorts(store, list(session.selected_ids))
+    print("\ncohort vs reference:")
+    print(comparison.format_table(top=5))
+
+    # -- extraction --------------------------------------------------------
+    ids_path = os.path.join(OUT_DIR, "session_cohort_ids.csv")
+    store_path = os.path.join(OUT_DIR, "session_cohort.npz")
+    features_path = os.path.join(OUT_DIR, "session_features.csv")
+    n_ids = session.extract_ids(ids_path)
+    n_store = session.extract_store(store_path)
+    matrix = build_feature_matrix(store, list(session.selected_ids))
+    matrix.to_csv(features_path)
+    print(f"\nextracted {n_ids} ids -> {ids_path}")
+    print(f"extracted sub-store ({n_store} patients) -> {store_path}")
+    print(f"feature matrix {matrix.values.shape} -> {features_path}")
+
+    reloaded = load_store(store_path)
+    print(f"sub-store reloads: {reloaded}")
+
+    # -- perceptual audit of the shared rendering ---------------------------
+    scene = wb.timeline(list(session.selected_ids)[:150])
+    audit = audit_scene(scene)
+    print(
+        f"\nscene audit: {audit.n_marks:,} marks, "
+        f"{audit.distinct_hues} hues, "
+        f"{audit.readable_glyph_fraction:.0%} glyphs readable, "
+        f"preattentive identity: {audit.preattentive_identity}"
+    )
+    for warning in audit.warnings:
+        print(f"  warning: {warning}")
+    scene.save(os.path.join(OUT_DIR, "session_cohort.svg"))
+
+
+if __name__ == "__main__":
+    main()

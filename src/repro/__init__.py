@@ -1,0 +1,44 @@
+"""repro — reproduction of "Visual Exploration and Cohort Identification
+of Acute Patient Histories Aggregated from Heterogeneous Sources"
+(Saetre, Nytro, Nordbo, Steinsbekk; ICDE 2016).
+
+The package rebuilds the paper's PAsTAs workbench as a Python library:
+
+* :mod:`repro.terminology` — ICPC-2 / ICD-10 / ATC hierarchies and the
+  regex-over-hierarchy query primitive;
+* :mod:`repro.ontology` — a lightweight OWL engine plus the paper's two
+  formalizations (integration, presentation);
+* :mod:`repro.temporal` — Allen interval algebra, constraint networks,
+  uncertain intervals;
+* :mod:`repro.events` — the unified event model and the columnar store;
+* :mod:`repro.sources` — heterogeneous raw-record parsers and the
+  integration pipeline;
+* :mod:`repro.query` / :mod:`repro.cohort` — cohort identification,
+  alignment and cohort operations;
+* :mod:`repro.viz` — the timeline view (Figure 1), interaction model,
+  NSEPter graph rendering (Figure 2) and personal-timeline HTML export;
+* :mod:`repro.nsepter` / :mod:`repro.alignment` — the baseline systems;
+* :mod:`repro.simulate` — the synthetic Norwegian-registry substitute;
+* :mod:`repro.perception` — preattentive search and cost-of-knowledge
+  models (Figure 3).
+
+Quickstart::
+
+    from repro import Workbench
+    from repro.simulate import generate_raw_sources
+
+    wb = Workbench.from_raw_sources(generate_raw_sources(2_000, seed=7))
+    ids = wb.select("concept T90")
+    wb.timeline(ids[:100]).save("diabetes_cohort.svg")
+"""
+
+from repro.config import DEFAULT_SEED, WorkbenchConfig
+from repro.errors import ReproError
+from repro.io import load_store, save_store
+from repro.session import AnalysisSession
+from repro.workbench import Workbench
+
+__version__ = "1.0.0"
+
+__all__ = ["AnalysisSession", "DEFAULT_SEED", "ReproError", "Workbench",
+           "WorkbenchConfig", "__version__", "load_store", "save_store"]

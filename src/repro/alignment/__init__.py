@@ -1,0 +1,29 @@
+"""Sequence-alignment baseline (the NSEPter successor project):
+terminology-aware similarity, Needleman-Wunsch pairwise alignment,
+star-progressive multiple alignment and code association mining."""
+
+from repro.alignment.mining import AssociationRule, mine_code_pairs
+from repro.alignment.multiple import (
+    AlignmentColumn,
+    MultipleAlignment,
+    star_alignment,
+)
+from repro.alignment.pairwise import (
+    AlignedPair,
+    PairwiseAlignment,
+    needleman_wunsch,
+)
+from repro.alignment.similarity import SimilarityMatrix, code_similarity
+
+__all__ = [
+    "AlignedPair",
+    "AlignmentColumn",
+    "AssociationRule",
+    "MultipleAlignment",
+    "PairwiseAlignment",
+    "SimilarityMatrix",
+    "code_similarity",
+    "mine_code_pairs",
+    "needleman_wunsch",
+    "star_alignment",
+]

@@ -1,0 +1,122 @@
+"""Association mining between diagnosis codes.
+
+The NSEPter successor "mined for relations between the diagnosis codes
+themselves" (Section II-A2).  This module finds pairwise association
+rules over patients: support, confidence and lift for "patients with
+code A also have code B", optionally ordered (A strictly before B in
+time), which surfaces progression hypotheses — the "discover new
+hypotheses" use the conclusion envisions for researchers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.events.store import EventStore
+
+__all__ = ["AssociationRule", "mine_code_pairs"]
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """One mined rule ``antecedent -> consequent`` with its statistics."""
+
+    system: str
+    antecedent: str
+    consequent: str
+    support: float      # P(A and B)
+    confidence: float   # P(B | A)
+    lift: float         # confidence / P(B)
+    n_both: int
+    ordered: bool = False
+
+    def __str__(self) -> str:
+        arrow = "=>" if not self.ordered else "then"
+        return (
+            f"{self.antecedent} {arrow} {self.consequent}: "
+            f"supp={self.support:.3f} conf={self.confidence:.2f} "
+            f"lift={self.lift:.2f} (n={self.n_both})"
+        )
+
+
+def mine_code_pairs(
+    store: EventStore,
+    system: str = "ICPC-2",
+    min_support: float = 0.01,
+    min_confidence: float = 0.2,
+    min_lift: float = 1.2,
+    ordered: bool = False,
+    max_codes: int = 60,
+) -> list[AssociationRule]:
+    """Mine pairwise rules over diagnosis codes in one system.
+
+    ``ordered=True`` requires the antecedent's *first* occurrence to
+    precede the consequent's (temporal direction).  Codes are limited to
+    the ``max_codes`` most frequent to bound the pair enumeration.
+    Rules come back sorted by lift, descending.
+    """
+    n_patients = store.n_patients
+    if n_patients == 0:
+        return []
+    system_idx = store.system_names.index(system)
+    diag_mask = (store.system == system_idx) & (store.code >= 0)
+    codes = store.code[diag_mask]
+    patients = store.patient[diag_mask]
+    days = store.day[diag_mask]
+
+    unique_codes, counts = np.unique(codes, return_counts=True)
+    order = np.argsort(-counts)
+    kept_codes = unique_codes[order[:max_codes]]
+
+    code_system = store.systems[system]
+    patient_sets: dict[int, set[int]] = {}
+    first_day: dict[tuple[int, int], int] = {}
+    for code_id in kept_codes.tolist():
+        rows = codes == code_id
+        pids = patients[rows]
+        patient_sets[code_id] = set(pids.tolist())
+        if ordered:
+            code_days = days[rows]
+            ids, first_idx = np.unique(pids, return_index=True)
+            for pid, idx in zip(ids.tolist(), first_idx.tolist()):
+                first_day[(code_id, pid)] = int(code_days[idx])
+
+    rules: list[AssociationRule] = []
+    min_both = max(1, int(min_support * n_patients))
+    for a in kept_codes.tolist():
+        set_a = patient_sets[a]
+        if len(set_a) < min_both:
+            continue
+        for b in kept_codes.tolist():
+            if a == b:
+                continue
+            both = set_a & patient_sets[b]
+            if ordered:
+                both = {
+                    pid for pid in both
+                    if first_day[(a, pid)] < first_day[(b, pid)]
+                }
+            n_both = len(both)
+            if n_both < min_both:
+                continue
+            support = n_both / n_patients
+            confidence = n_both / len(set_a)
+            p_b = len(patient_sets[b]) / n_patients
+            lift = confidence / p_b if p_b > 0 else 0.0
+            if confidence >= min_confidence and lift >= min_lift:
+                rules.append(
+                    AssociationRule(
+                        system=system,
+                        antecedent=code_system.code_of(a).code,
+                        consequent=code_system.code_of(b).code,
+                        support=support,
+                        confidence=confidence,
+                        lift=lift,
+                        n_both=n_both,
+                        ordered=ordered,
+                    )
+                )
+    rules.sort(key=lambda r: (-r.lift, -r.support, r.antecedent))
+    return rules

@@ -1,0 +1,146 @@
+"""Star-progressive multiple alignment of diagnosis sequences.
+
+Builds the noise-resilient merged view the NSEPter successor project
+aimed at: pick a center sequence (the one most similar to all others),
+align every other sequence to it pairwise, and merge by center position.
+Columns then play the role NSEPter's merged nodes played — but a history
+that differs in one position still lands its remaining codes in the
+right columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.alignment.pairwise import needleman_wunsch
+from repro.alignment.similarity import SimilarityMatrix
+from repro.errors import EventModelError
+
+__all__ = ["AlignmentColumn", "MultipleAlignment", "star_alignment"]
+
+
+@dataclass
+class AlignmentColumn:
+    """One column: the codes each participating sequence contributes."""
+
+    codes: dict[int, str] = field(default_factory=dict)  # patient -> code
+
+    @property
+    def support(self) -> int:
+        """How many sequences contribute to this column."""
+        return len(self.codes)
+
+    def consensus(self) -> str:
+        """The most frequent code (ties broken lexicographically)."""
+        counts: dict[str, int] = {}
+        for code in self.codes.values():
+            counts[code] = counts.get(code, 0) + 1
+        return min(counts, key=lambda c: (-counts[c], c))
+
+    def agreement(self) -> float:
+        """Fraction of contributions equal to the consensus code."""
+        if not self.codes:
+            return 0.0
+        consensus = self.consensus()
+        same = sum(1 for code in self.codes.values() if code == consensus)
+        return same / len(self.codes)
+
+
+@dataclass
+class MultipleAlignment:
+    """The merged columns plus bookkeeping."""
+
+    center_id: int
+    columns: list[AlignmentColumn]
+    sequences: dict[int, list[str]]
+
+    @property
+    def n_sequences(self) -> int:
+        return len(self.sequences)
+
+    def merged_column_count(self, min_support: int = 2) -> int:
+        """Columns shared by at least ``min_support`` sequences."""
+        return sum(1 for col in self.columns if col.support >= min_support)
+
+    def mean_agreement(self) -> float:
+        """Average within-column agreement over supported columns."""
+        supported = [c for c in self.columns if c.support >= 2]
+        if not supported:
+            return 0.0
+        return sum(c.agreement() for c in supported) / len(supported)
+
+
+def _choose_center(
+    sequences: dict[int, list[str]],
+    similarity: SimilarityMatrix,
+    sample_limit: int = 25,
+) -> int:
+    """The sequence with the highest summed alignment score to a sample."""
+    ids = sorted(sequences)
+    if len(ids) == 1:
+        return ids[0]
+    candidates = ids[:sample_limit]
+    others = ids[:sample_limit]
+    best_id, best_total = candidates[0], float("-inf")
+    for candidate in candidates:
+        total = sum(
+            needleman_wunsch(
+                sequences[candidate], sequences[other], similarity
+            ).score
+            for other in others
+            if other != candidate
+        )
+        if total > best_total:
+            best_id, best_total = candidate, total
+    return best_id
+
+
+def star_alignment(
+    sequences: dict[int, list[str]],
+    similarity: SimilarityMatrix,
+) -> MultipleAlignment:
+    """Align all sequences against the chosen center.
+
+    Column model: one column per center position; codes that align to a
+    gap on the center side go into *insertion* columns placed after the
+    preceding center position (kept separate per gap run, shared across
+    sequences at the same anchor).
+    """
+    if not sequences:
+        raise EventModelError("cannot align zero sequences")
+    center_id = _choose_center(sequences, similarity)
+    center = sequences[center_id]
+
+    # Position columns, plus insertion columns keyed by anchor position.
+    position_cols = [AlignmentColumn() for _ in center]
+    insert_cols: dict[int, AlignmentColumn] = {}
+    for pos, code in enumerate(center):
+        position_cols[pos].codes[center_id] = code
+
+    for patient_id, seq in sequences.items():
+        if patient_id == center_id:
+            continue
+        alignment = needleman_wunsch(center, seq, similarity)
+        anchor = -1  # last matched center position
+        for pair in alignment.pairs:
+            if pair.is_match:
+                anchor = pair.left
+                position_cols[pair.left].codes[patient_id] = seq[pair.right]
+            elif pair.right is not None:
+                column = insert_cols.setdefault(anchor, AlignmentColumn())
+                # A sequence with several inserts at one anchor keeps the
+                # last; insertion runs are rare and short in this data.
+                column.codes[patient_id] = seq[pair.right]
+            else:
+                anchor = pair.left if pair.left is not None else anchor
+
+    columns: list[AlignmentColumn] = []
+    if -1 in insert_cols:
+        columns.append(insert_cols[-1])
+    for pos, col in enumerate(position_cols):
+        columns.append(col)
+        if pos in insert_cols:
+            columns.append(insert_cols[pos])
+    return MultipleAlignment(
+        center_id=center_id, columns=columns, sequences=dict(sequences)
+    )

@@ -1,0 +1,238 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Wraps the common workflows so a cohort study runs without writing
+Python:
+
+* ``generate`` — synthesize a population and save the event store;
+* ``stats`` — summarize a store (optionally a query's sub-cohort);
+* ``select`` — run a query, write matching patient ids as CSV;
+* ``timeline`` — render the cohort timeline SVG for a query;
+* ``overview`` — render the density overview SVG;
+* ``export-web`` — batch-export personal timeline HTML pages;
+* ``recognition`` — run the recognition-study model on a query's cohort.
+
+Example::
+
+    python -m repro generate --patients 20000 --out study.npz
+    python -m repro select study.npz "concept T90" --out cohort.csv
+    python -m repro timeline study.npz "concept T90" --rows 200 --out fig.svg
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+
+__all__ = ["main"]
+
+
+def _add_query_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "query",
+        help="query in the textual language, e.g. "
+             "'concept T90 and atleast 2 category gp_contact'",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PAsTAs cohort-visualization workbench (ICDE 2016 "
+                    "reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="synthesize a population store")
+    p.add_argument("--patients", type=int, default=20_000)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--full-fidelity", action="store_true",
+                   help="emit raw registry records and run the full "
+                        "integration pipeline (slower)")
+    p.add_argument("--out", required=True, help="output .npz path")
+
+    p = sub.add_parser("stats", help="summarize a store")
+    p.add_argument("store", help="input .npz path")
+    p.add_argument("--query", default=None)
+
+    p = sub.add_parser("select", help="run a query, write ids as CSV")
+    p.add_argument("store")
+    _add_query_argument(p)
+    p.add_argument("--out", required=True)
+
+    p = sub.add_parser("timeline", help="render the cohort timeline SVG")
+    p.add_argument("store")
+    _add_query_argument(p)
+    p.add_argument("--rows", type=int, default=200)
+    p.add_argument("--align", default=None,
+                   help="concept code to align on (e.g. T90)")
+    p.add_argument("--out", required=True)
+
+    p = sub.add_parser("overview", help="render the density overview SVG")
+    p.add_argument("store")
+    p.add_argument("--query", default=None)
+    p.add_argument("--out", required=True)
+
+    p = sub.add_parser("export-web", help="batch-export personal timelines")
+    p.add_argument("store")
+    _add_query_argument(p)
+    p.add_argument("--limit", type=int, default=100)
+    p.add_argument("--simplified", action="store_true")
+    p.add_argument("--out-dir", required=True)
+
+    p = sub.add_parser("recognition", help="run the recognition-study model")
+    p.add_argument("store")
+    _add_query_argument(p)
+    p.add_argument("--seed", type=int, default=7)
+
+    p = sub.add_parser("compare", help="contrast a cohort vs the rest")
+    p.add_argument("store")
+    _add_query_argument(p)
+    p.add_argument("--top", type=int, default=8)
+
+    p = sub.add_parser("cohort-page", help="export an interactive cohort page")
+    p.add_argument("store")
+    _add_query_argument(p)
+    p.add_argument("--rows", type=int, default=150)
+    p.add_argument("--out", required=True)
+
+    p = sub.add_parser("serve", help="serve the web workbench")
+    p.add_argument("store")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8000)
+    return parser
+
+
+def _load_workbench(path: str):
+    from repro.io import load_store
+    from repro.workbench import Workbench
+
+    return Workbench.from_store(load_store(path))
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # stdout consumer (e.g. `head`) went away; not an error.
+        return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "generate":
+        from repro.io import save_store
+
+        if args.full_fidelity:
+            from repro.simulate import generate_raw_sources
+            from repro.sources.integrate import IntegrationPipeline
+
+            raw = generate_raw_sources(args.patients, seed=args.seed)
+            pipeline = IntegrationPipeline(horizon_day=raw.window.end_day)
+            store, report = pipeline.run(
+                raw.patients, raw.gp_claims, raw.hospital_episodes,
+                raw.municipal_records, raw.specialist_claims,
+            )
+            print(f"integrated {report.loaded_events:,} events "
+                  f"({report.failed_records} bad records)")
+        else:
+            from repro.simulate import generate_store_fast
+
+            store, __ = generate_store_fast(args.patients, seed=args.seed)
+        save_store(store, args.out)
+        print(f"wrote {store.n_patients:,} patients / "
+              f"{store.n_events:,} events to {args.out}")
+        return 0
+
+    wb = _load_workbench(args.store)
+
+    if args.command == "stats":
+        ids = wb.select(args.query) if args.query else None
+        print(wb.stats(ids).format_table())
+        return 0
+
+    if args.command == "select":
+        import csv
+
+        ids = wb.select(args.query)
+        with open(args.out, "w", newline="", encoding="utf-8") as f:
+            writer = csv.writer(f)
+            writer.writerow(["patient_id"])
+            writer.writerows([int(p)] for p in ids)
+        print(f"{len(ids):,} patients -> {args.out}")
+        return 0
+
+    if args.command == "timeline":
+        from repro.query.ast import Concept
+        from repro.viz.timeline_view import TimelineConfig
+
+        ids = wb.select(args.query)[: args.rows]
+        if args.align:
+            alignment = wb.align(Concept(args.align.upper()))
+            scene = wb.timeline(ids, TimelineConfig(mode="aligned"),
+                                alignment)
+        else:
+            scene = wb.timeline(ids)
+        scene.save(args.out)
+        print(f"{len(scene.rows)} rows, {scene.ink_marks:,} marks "
+              f"-> {args.out}")
+        return 0
+
+    if args.command == "overview":
+        ids = wb.select(args.query) if args.query else None
+        scene = wb.overview(ids)
+        scene.save(args.out)
+        print(f"{scene.n_patients:,} patients, "
+              f"{scene.n_row_buckets}x{scene.n_month_bins} grid "
+              f"-> {args.out}")
+        return 0
+
+    if args.command == "export-web":
+        ids = wb.select(args.query)[: args.limit]
+        count = wb.export_timelines(ids, args.out_dir,
+                                    simplified=args.simplified)
+        print(f"{count} pages -> {args.out_dir}/")
+        return 0
+
+    if args.command == "compare":
+        from repro.cohort.compare import compare_cohorts
+
+        ids = wb.select(args.query)
+        comparison = compare_cohorts(wb.store, ids)
+        print(comparison.format_table(top=args.top))
+        return 0
+
+    if args.command == "cohort-page":
+        from repro.viz.html_export import export_cohort_page
+
+        ids = wb.select(args.query)[: args.rows]
+        export_cohort_page(wb.store, [int(p) for p in ids], args.out,
+                           title=f"Cohort: {args.query}")
+        print(f"{len(ids)} rows -> {args.out}")
+        return 0
+
+    if args.command == "serve":
+        from repro.webapp import WorkbenchServer
+
+        server = WorkbenchServer(wb, host=args.host, port=args.port)
+        print(f"serving workbench at {server.url} (Ctrl-C to stop)")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            server.shutdown()
+        return 0
+
+    if args.command == "recognition":
+        ids = wb.select(args.query)
+        reference_day = int(wb.store.day.max())
+        study = wb.recognition_study(ids, reference_day, seed=args.seed)
+        print(f"cohort: {study.n_patients:,} patients")
+        for outcome, value in study.as_percentages().items():
+            print(f"  {outcome:<18} {value:5.1f} %")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")

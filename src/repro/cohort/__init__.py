@@ -1,0 +1,69 @@
+"""Cohort operations: extraction, sorting, alignment, event filtering,
+sequence abstraction and summary statistics."""
+
+from repro.cohort.abstraction import (
+    Episode,
+    abstract_code,
+    abstract_sequence,
+    episodes,
+)
+from repro.cohort.features import (
+    DEFAULT_CONCEPTS,
+    FeatureMatrix,
+    build_feature_matrix,
+)
+from repro.cohort.compare import (
+    CodeContrast,
+    CohortComparison,
+    compare_cohorts,
+)
+from repro.cohort.alignment import Alignment, aligned_cohort, compute_alignment
+from repro.cohort.operations import (
+    extract_subcohort,
+    filter_events,
+    hide_codes,
+    keep_codes,
+    sort_by_age,
+    sort_by_anchor,
+    sort_by_event_count,
+    sort_by_first_event,
+)
+from repro.cohort.stats import CohortStats, summarize
+from repro.cohort.survival import (
+    KaplanMeier,
+    TimeToEvent,
+    kaplan_meier,
+    logrank_test,
+    time_to_event,
+)
+
+__all__ = [
+    "Alignment",
+    "CodeContrast",
+    "CohortComparison",
+    "compare_cohorts",
+    "CohortStats",
+    "DEFAULT_CONCEPTS",
+    "FeatureMatrix",
+    "KaplanMeier",
+    "TimeToEvent",
+    "kaplan_meier",
+    "logrank_test",
+    "time_to_event",
+    "build_feature_matrix",
+    "Episode",
+    "abstract_code",
+    "abstract_sequence",
+    "aligned_cohort",
+    "compute_alignment",
+    "episodes",
+    "extract_subcohort",
+    "filter_events",
+    "hide_codes",
+    "keep_codes",
+    "sort_by_age",
+    "sort_by_anchor",
+    "sort_by_event_count",
+    "sort_by_first_event",
+    "summarize",
+]

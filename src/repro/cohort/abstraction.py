@@ -1,0 +1,100 @@
+"""Abstractions over diagnosis sequences.
+
+The second predecessor project "calculated abstractions over sequences
+of diagnosis instances" (Section II-A2), and LifeLines shows information
+"at different levels of abstraction: for example, medications can be
+shown using a name for the group of drugs (beta blocker) or by the
+individual drug names" (Section II-D1).  Three abstraction operators:
+
+* :func:`abstract_code` — lift one code to an ancestor level of its
+  hierarchy (ICPC-2 chapter, ICD-10 block/chapter, ATC level 1-4).
+* :func:`abstract_sequence` — lift a whole code sequence and collapse
+  consecutive repeats into (code, run length) pairs.
+* :func:`episodes` — segment a history into care episodes separated by
+  quiet gaps, the temporal abstraction the timeline view can band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TerminologyError
+from repro.events.model import History
+from repro.temporal.timeline import Interval
+from repro.terminology.codes import CodeSystem
+
+__all__ = ["abstract_code", "abstract_sequence", "Episode", "episodes"]
+
+
+def abstract_code(system: CodeSystem, code: str, level: int) -> str:
+    """Lift ``code`` to hierarchy depth ``level`` (0 = root).
+
+    A code already at or above the requested depth is returned unchanged,
+    so mixing granularities in one sequence is safe.
+    """
+    if level < 0:
+        raise TerminologyError("abstraction level must be >= 0")
+    chain = [code] + [c.code for c in system.ancestors(code)]
+    # chain[0] is the code itself (deepest); chain[-1] is the root.
+    depth = len(chain) - 1
+    if level >= depth:
+        return code
+    return chain[depth - level]
+
+
+def abstract_sequence(
+    system: CodeSystem, codes: list[str], level: int
+) -> list[tuple[str, int]]:
+    """Lift a code sequence and run-length collapse it.
+
+    ``["T90", "T90", "K86", "K87"]`` at chapter level (1 for ICPC-2)
+    becomes ``[("T", 2), ("K", 2)]`` — the "abstraction over sequences
+    of diagnosis instances" from the predecessor project.
+    """
+    lifted = [abstract_code(system, code, level) for code in codes]
+    collapsed: list[tuple[str, int]] = []
+    for code in lifted:
+        if collapsed and collapsed[-1][0] == code:
+            collapsed[-1] = (code, collapsed[-1][1] + 1)
+        else:
+            collapsed.append((code, 1))
+    return collapsed
+
+
+@dataclass(frozen=True)
+class Episode:
+    """A contiguous burst of care activity within one history."""
+
+    interval: Interval
+    n_events: int
+
+    @property
+    def days(self) -> int:
+        return self.interval.duration
+
+
+def episodes(history: History, max_gap_days: int = 60) -> list[Episode]:
+    """Segment a history into episodes separated by quiet gaps.
+
+    Two consecutive activity days more than ``max_gap_days`` apart start
+    a new episode.  Interval events contribute their whole extent, so an
+    eight-week hospital stay never splits.
+    """
+    # Collect (start, end) activity extents.
+    extents = [(p.day, p.day + 1) for p in history.points]
+    extents.extend((iv.start, iv.end) for iv in history.intervals)
+    if not extents:
+        return []
+    extents.sort()
+    result: list[Episode] = []
+    cur_start, cur_end = extents[0]
+    count = 1
+    for start, end in extents[1:]:
+        if start - cur_end > max_gap_days:
+            result.append(Episode(Interval(cur_start, cur_end), count))
+            cur_start, cur_end, count = start, end, 1
+        else:
+            cur_end = max(cur_end, end)
+            count += 1
+    result.append(Episode(Interval(cur_start, cur_end), count))
+    return result

@@ -1,0 +1,85 @@
+"""History alignment: from calendar time to months-around-an-anchor.
+
+Section IV-B: "In an aligned diagram, the axis shows the number of months
+before and after the alignment point."  The alignment point is per
+patient — typically the first occurrence of an index event (NSEPter's
+example: the first diabetes code T90).
+
+An :class:`Alignment` maps each patient to their anchor day; the timeline
+view consumes it to transform x coordinates, and :func:`aligned_cohort`
+produces shifted histories (anchor at day 0) for algorithms that want
+them materialized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.events.model import Cohort
+from repro.query.ast import EventExpr
+from repro.query.engine import QueryEngine
+from repro.temporal.timeline import months_between
+
+__all__ = ["Alignment", "compute_alignment", "aligned_cohort"]
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """Per-patient anchor days plus a display label.
+
+    Patients without a matching index event have no anchor and are
+    excluded from aligned views (the paper's tool hides them).
+    """
+
+    label: str
+    anchors: dict[int, int] = field(default_factory=dict)
+
+    def __contains__(self, patient_id: int) -> bool:
+        return patient_id in self.anchors
+
+    def __len__(self) -> int:
+        return len(self.anchors)
+
+    def anchor_of(self, patient_id: int) -> int:
+        """The anchor day for a patient (KeyError when unaligned)."""
+        return self.anchors[patient_id]
+
+    def relative_months(self, patient_id: int, day: int) -> float:
+        """Signed months from the patient's anchor to ``day``."""
+        return months_between(self.anchors[patient_id], day)
+
+    def aligned_ids(self) -> list[int]:
+        """Patient ids that have an anchor, sorted by id."""
+        return sorted(self.anchors)
+
+
+def compute_alignment(
+    engine: QueryEngine, expr: EventExpr, label: str = ""
+) -> Alignment:
+    """Anchor every patient at their *first* event matching ``expr``.
+
+    Runs on the columnar store, so computing anchors for a 168k-patient
+    population is a single masked pass.
+    """
+    mask = engine.event_mask(expr)
+    anchors = engine.store.first_day_per_patient(mask)
+    return Alignment(label=label or repr(expr), anchors=anchors)
+
+
+def aligned_cohort(cohort: Cohort, alignment: Alignment) -> Cohort:
+    """Materialize the aligned sub-cohort: anchors shifted to day 0.
+
+    Patients without an anchor are dropped; the result is ordered by
+    original cohort order.
+    """
+    if len(alignment) == 0:
+        raise QueryError(
+            f"alignment {alignment.label!r} matched no patients"
+        )
+    shifted = [
+        history.shifted(-alignment.anchor_of(history.patient_id))
+        for history in cohort
+        if history.patient_id in alignment
+    ]
+    return Cohort(shifted)

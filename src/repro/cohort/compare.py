@@ -1,0 +1,168 @@
+"""Cohort comparison: the 'relationships' task.
+
+Shneiderman's taxonomy (paper Section II-C3) includes *relationships*
+among the tasks prototypes seldom implement.  For cohort analysis the
+natural relationship question is "how does my selected cohort differ
+from a reference group?" — answered here as code-frequency contrasts
+(relative risk per code with a small-sample smoothing) plus demographic
+and utilization deltas.  This is the hypothesis-generation loop the
+paper's conclusion envisions for researchers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.events.store import EventStore
+
+__all__ = ["CodeContrast", "CohortComparison", "compare_cohorts"]
+
+
+@dataclass(frozen=True)
+class CodeContrast:
+    """One code's frequency contrast between cohort and reference."""
+
+    system: str
+    code: str
+    display: str
+    cohort_share: float      # fraction of cohort patients with the code
+    reference_share: float   # fraction of reference patients with it
+    relative_risk: float     # smoothed ratio
+
+    def __str__(self) -> str:
+        return (
+            f"{self.code:<8} RR={self.relative_risk:5.2f}  "
+            f"({self.cohort_share:.1%} vs {self.reference_share:.1%})  "
+            f"{self.display}"
+        )
+
+
+@dataclass
+class CohortComparison:
+    """The full comparison result."""
+
+    n_cohort: int
+    n_reference: int
+    mean_age_delta_years: float
+    female_share_delta: float
+    events_per_patient_ratio: float
+    over_represented: list[CodeContrast] = field(default_factory=list)
+    under_represented: list[CodeContrast] = field(default_factory=list)
+
+    def format_table(self, top: int = 8) -> str:
+        lines = [
+            f"cohort {self.n_cohort:,} vs reference {self.n_reference:,}",
+            f"mean age delta        {self.mean_age_delta_years:+.1f} years",
+            f"female share delta    {self.female_share_delta:+.1%}",
+            f"events/patient ratio  {self.events_per_patient_ratio:.2f}x",
+            "over-represented codes:",
+        ]
+        lines += [f"  {c}" for c in self.over_represented[:top]]
+        lines.append("under-represented codes:")
+        lines += [f"  {c}" for c in self.under_represented[:top]]
+        return "\n".join(lines)
+
+
+def _code_shares(
+    store: EventStore, ids: np.ndarray
+) -> dict[tuple[int, int], float]:
+    """(system idx, code id) -> fraction of the given patients with it."""
+    mask = store.mask_patients(ids.tolist()) & (store.code >= 0)
+    if not mask.any():
+        return {}
+    keys = (
+        store.system[mask].astype(np.int64) << 32
+    ) | store.code[mask].astype(np.int64)
+    patients = store.patient[mask]
+    # distinct (patient, code) pairs, then count patients per code
+    pairs = np.unique(np.stack((patients, keys)), axis=1)
+    unique_keys, counts = np.unique(pairs[1], return_counts=True)
+    n = len(ids)
+    return {
+        (int(key) >> 32, int(key) & 0xFFFFFFFF): int(count) / n
+        for key, count in zip(unique_keys.tolist(), counts.tolist())
+    }
+
+
+def compare_cohorts(
+    store: EventStore,
+    cohort_ids: np.ndarray | list[int],
+    reference_ids: np.ndarray | list[int] | None = None,
+    at_day: int | None = None,
+    min_share: float = 0.01,
+    smoothing: float = 0.5,
+) -> CohortComparison:
+    """Contrast a cohort against a reference (default: everyone else).
+
+    ``smoothing`` is added to numerator and denominator patient counts
+    (Haldane-style) so rare codes don't produce infinite relative risks.
+    """
+    cohort = np.asarray(sorted(set(int(p) for p in cohort_ids)),
+                        dtype=np.int64)
+    if len(cohort) == 0:
+        raise QueryError("cannot compare an empty cohort")
+    if reference_ids is None:
+        reference = np.setdiff1d(store.patient_ids, cohort,
+                                 assume_unique=True)
+    else:
+        reference = np.asarray(
+            sorted(set(int(p) for p in reference_ids)), dtype=np.int64
+        )
+    if len(reference) == 0:
+        raise QueryError("the reference group is empty")
+
+    # demographics
+    idx_c = np.searchsorted(store.patient_ids, cohort)
+    idx_r = np.searchsorted(store.patient_ids, reference)
+    ref_day = at_day if at_day is not None else int(store.day.max())
+    age_c = float(np.mean((ref_day - store.birth_days[idx_c]) / 365.25))
+    age_r = float(np.mean((ref_day - store.birth_days[idx_r]) / 365.25))
+    female_c = float(np.mean(store.sexes[idx_c] == 1))
+    female_r = float(np.mean(store.sexes[idx_r] == 1))
+
+    # utilization
+    events_c = int(store.mask_patients(cohort.tolist()).sum()) / len(cohort)
+    events_r = (
+        int(store.mask_patients(reference.tolist()).sum()) / len(reference)
+    )
+
+    shares_c = _code_shares(store, cohort)
+    shares_r = _code_shares(store, reference)
+    contrasts: list[CodeContrast] = []
+    for key in set(shares_c) | set(shares_r):
+        share_c = shares_c.get(key, 0.0)
+        share_r = shares_r.get(key, 0.0)
+        if max(share_c, share_r) < min_share:
+            continue
+        rr = ((share_c * len(cohort) + smoothing) / (len(cohort) + smoothing)
+              ) / ((share_r * len(reference) + smoothing)
+                   / (len(reference) + smoothing))
+        system_name = store.system_names[key[0]]
+        code = store.systems[system_name].code_of(key[1])
+        contrasts.append(
+            CodeContrast(
+                system=system_name,
+                code=code.code,
+                display=code.display,
+                cohort_share=share_c,
+                reference_share=share_r,
+                relative_risk=float(rr),
+            )
+        )
+    contrasts.sort(key=lambda c: -c.relative_risk)
+    over = [c for c in contrasts if c.relative_risk > 1.0]
+    under = [c for c in reversed(contrasts) if c.relative_risk < 1.0]
+    return CohortComparison(
+        n_cohort=len(cohort),
+        n_reference=len(reference),
+        mean_age_delta_years=age_c - age_r,
+        female_share_delta=female_c - female_r,
+        events_per_patient_ratio=(
+            events_c / events_r if events_r else float("inf")
+        ),
+        over_represented=over,
+        under_represented=under,
+    )

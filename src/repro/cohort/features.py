@@ -1,0 +1,178 @@
+"""Per-patient feature extraction for downstream statistics.
+
+The paper's conclusion: "the visualization can be useful to researchers
+looking at data to be statistically evaluated, in order to discover new
+hypotheses or get ideas for the best analysis strategies."  Once a
+cohort is identified visually, the statistician needs a flat feature
+matrix — this module builds one: demographics, utilization per care
+level, condition flags and simple temporal features, exportable as CSV
+or consumable as a numpy array.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.events.store import EventStore
+from repro.ontology.integration_ontology import (
+    CARE_LEVELS,
+    SOURCE_KIND_CLASSES,
+    care_level_of,
+)
+from repro.terminology import icpc2_to_icd10_map
+
+__all__ = ["FeatureMatrix", "build_feature_matrix", "DEFAULT_CONCEPTS"]
+
+#: Condition flags extracted by default (ICPC-2 index codes; expanded
+#: through the terminology map so ICD-10-coded diagnoses count too).
+DEFAULT_CONCEPTS: tuple[str, ...] = (
+    "T90", "K86", "K74", "K77", "K78", "R95", "R96", "P76", "L90", "K90",
+)
+
+
+@dataclass
+class FeatureMatrix:
+    """Column-named per-patient features."""
+
+    patient_ids: np.ndarray
+    names: list[str]
+    values: np.ndarray  # shape (n_patients, n_features)
+
+    @property
+    def n_patients(self) -> int:
+        return len(self.patient_ids)
+
+    def column(self, name: str) -> np.ndarray:
+        """One feature column by name."""
+        try:
+            return self.values[:, self.names.index(name)]
+        except ValueError:
+            raise QueryError(f"no feature named {name!r}") from None
+
+    def to_csv(self, path: str) -> None:
+        """Write the matrix with a header row."""
+        with open(path, "w", newline="", encoding="utf-8") as f:
+            writer = csv.writer(f)
+            writer.writerow(["patient_id", *self.names])
+            for pid, row in zip(self.patient_ids.tolist(), self.values):
+                writer.writerow(
+                    [pid] + [f"{v:g}" for v in row.tolist()]
+                )
+
+
+def build_feature_matrix(
+    store: EventStore,
+    patient_ids: np.ndarray | list[int] | None = None,
+    at_day: int | None = None,
+    concepts: tuple[str, ...] = DEFAULT_CONCEPTS,
+) -> FeatureMatrix:
+    """Extract the feature matrix for a cohort (default: everyone).
+
+    Features: ``age_years``, ``is_female``, ``n_events``, one
+    ``contacts_<level>`` per care level, ``n_hospital_days``,
+    ``has_<code>`` per concept, ``first_event_day``, ``active_days``
+    (span between first and last event).
+    """
+    if patient_ids is None:
+        ids = store.patient_ids
+    else:
+        ids = np.asarray(sorted(set(int(p) for p in patient_ids)),
+                         dtype=np.int64)
+    if len(ids) == 0:
+        raise QueryError("cannot build features for an empty cohort")
+    ref_day = at_day if at_day is not None else int(store.day.max())
+    index = {int(p): i for i, p in enumerate(ids)}
+    n = len(ids)
+
+    idx = np.searchsorted(store.patient_ids, ids)
+    ages = (ref_day - store.birth_days[idx]) / 365.25
+    is_female = (store.sexes[idx] == 1).astype(np.float64)
+
+    base_mask = store.mask_patients(ids.tolist())
+
+    def per_patient_counts(mask: np.ndarray) -> np.ndarray:
+        out = np.zeros(n, dtype=np.float64)
+        pids, counts = np.unique(store.patient[mask & base_mask],
+                                 return_counts=True)
+        for pid, count in zip(pids.tolist(), counts.tolist()):
+            out[index[int(pid)]] = count
+        return out
+
+    names: list[str] = ["age_years", "is_female", "n_events"]
+    columns: list[np.ndarray] = [
+        ages.astype(np.float64), is_female, per_patient_counts(
+            np.ones(store.n_events, dtype=bool)
+        ),
+    ]
+
+    # Contacts per care level, grouped via the integration ontology.
+    kind_to_level = {
+        kind: care_level_of(cls) for kind, cls in SOURCE_KIND_CLASSES.items()
+    }
+    for level in CARE_LEVELS:
+        level_kinds = [k for k, lv in kind_to_level.items() if lv == level]
+        mask = np.zeros(store.n_events, dtype=bool)
+        for kind in level_kinds:
+            mask |= store.mask_source(kind)
+        names.append(f"contacts_{level.lower()}")
+        columns.append(per_patient_counts(mask))
+
+    # Hospital bed days.
+    stay_mask = store.mask_category("hospital_stay") & base_mask
+    bed_days = np.zeros(n, dtype=np.float64)
+    for pid, start, end in zip(
+        store.patient[stay_mask].tolist(),
+        store.day[stay_mask].tolist(),
+        store.end[stay_mask].tolist(),
+    ):
+        bed_days[index[int(pid)]] += end - start
+    names.append("n_hospital_days")
+    columns.append(bed_days)
+
+    # Concept flags (terminology-map expanded).
+    mapping = icpc2_to_icd10_map()
+    for code in concepts:
+        icpc_codes, icd_codes = mapping.expand_concept(code)
+        mask = np.zeros(store.n_events, dtype=bool)
+        if icpc_codes:
+            mask |= store.mask_codes(
+                "ICPC-2",
+                frozenset(store.systems["ICPC-2"].id_of(c)
+                          for c in icpc_codes),
+            )
+        if icd_codes:
+            mask |= store.mask_codes(
+                "ICD-10",
+                frozenset(store.systems["ICD-10"].id_of(c)
+                          for c in icd_codes),
+            )
+        names.append(f"has_{code}")
+        columns.append((per_patient_counts(mask) > 0).astype(np.float64))
+
+    # Temporal extent features.
+    first_day = np.full(n, np.nan)
+    last_day = np.full(n, np.nan)
+    pids, first_idx = np.unique(store.patient[base_mask], return_index=True)
+    days = store.day[base_mask]
+    for pid, fi in zip(pids.tolist(), first_idx.tolist()):
+        first_day[index[int(pid)]] = days[fi]
+    # store is sorted by (patient, day): last index per patient
+    boundaries = np.concatenate(
+        (first_idx[1:], np.array([len(days)]))
+    ) - 1
+    for pid, li in zip(pids.tolist(), boundaries.tolist()):
+        last_day[index[int(pid)]] = days[li]
+    names.append("first_event_day")
+    columns.append(np.nan_to_num(first_day, nan=-1.0))
+    names.append("active_days")
+    columns.append(np.nan_to_num(last_day - first_day, nan=0.0))
+
+    return FeatureMatrix(
+        patient_ids=ids,
+        names=names,
+        values=np.column_stack(columns),
+    )

@@ -1,0 +1,141 @@
+"""Interactive cohort operations: extraction, sorting, event filtering.
+
+Section IV: "Interactive operations on this diagram include extraction
+of sub-collections, sorting and aligning histories, filtering events,
+and searching for temporal patterns."  Extraction and pattern search
+live in :mod:`repro.query`; this module supplies the sort keys and the
+event-filter façade the workbench exposes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.events.model import Cohort, History, IntervalEvent, PointEvent
+from repro.events.store import EventStore
+from repro.query.ast import EventExpr, PatientExpr
+from repro.query.engine import QueryEngine
+from repro.cohort.alignment import Alignment
+from repro.terminology.codes import CodeSelection
+
+__all__ = [
+    "extract_subcohort",
+    "sort_by_first_event",
+    "sort_by_event_count",
+    "sort_by_anchor",
+    "sort_by_age",
+    "filter_events",
+    "keep_codes",
+    "hide_codes",
+]
+
+
+def extract_subcohort(
+    store: EventStore, expr: PatientExpr | EventExpr
+) -> Cohort:
+    """Select and materialize the sub-cohort matching a query.
+
+    The query runs columnar; only the matching patients are materialized
+    into :class:`History` objects (the lazy path from DESIGN.md §6).
+    """
+    ids = QueryEngine(store).patients(expr)
+    return store.to_cohort(ids.tolist())
+
+
+# -- sorting (the view's vertical order) -------------------------------------
+
+
+def sort_by_first_event(cohort: Cohort) -> Cohort:
+    """Order by the day of each history's earliest event (empty last)."""
+
+    def key(history: History) -> tuple[int, int]:
+        span = history.span()
+        return (span.start if span else np.iinfo(np.int32).max,
+                history.patient_id)
+
+    return cohort.sorted_by(key)
+
+
+def sort_by_event_count(cohort: Cohort, descending: bool = True) -> Cohort:
+    """Order by history size (busiest first by default)."""
+
+    def key(history: History) -> tuple[int, int]:
+        count = len(history)
+        return (-count if descending else count, history.patient_id)
+
+    return cohort.sorted_by(key)
+
+
+def sort_by_anchor(cohort: Cohort, alignment: Alignment) -> Cohort:
+    """Order by anchor day; unaligned histories sort last."""
+
+    def key(history: History) -> tuple[int, int, int]:
+        if history.patient_id in alignment:
+            return (0, alignment.anchor_of(history.patient_id),
+                    history.patient_id)
+        return (1, 0, history.patient_id)
+
+    return cohort.sorted_by(key)
+
+
+def sort_by_age(cohort: Cohort, at_day: int, oldest_first: bool = True) -> Cohort:
+    """Order by patient age at a reference day."""
+
+    def key(history: History) -> tuple[int, int]:
+        birth = history.birth_day
+        return (birth if oldest_first else -birth, history.patient_id)
+
+    return cohort.sorted_by(key)
+
+
+# -- event filtering ("hide or show individual nodes") ------------------------
+
+
+def filter_events(
+    cohort: Cohort,
+    point_predicate: Callable[[PointEvent], bool] | None = None,
+    interval_predicate: Callable[[IntervalEvent], bool] | None = None,
+) -> Cohort:
+    """Apply predicates to every history's events (histories are kept
+    even when they become empty, preserving the vertical layout)."""
+    return Cohort(
+        history.filtered(point_predicate, interval_predicate)
+        for history in cohort
+    )
+
+
+def _selection_predicate(
+    selection: CodeSelection, keep: bool
+) -> tuple[Callable[[PointEvent], bool], Callable[[IntervalEvent], bool]]:
+    system_name = selection.system.name
+    codes = {c.code for c in selection.codes()}
+
+    def match(code: str | None, system: str | None) -> bool:
+        return code is not None and system == system_name and code in codes
+
+    def point_ok(event: PointEvent) -> bool:
+        hit = match(event.code, event.system)
+        return hit if keep else not hit
+
+    def interval_ok(event: IntervalEvent) -> bool:
+        hit = match(event.code, event.system)
+        return hit if keep else not hit
+
+    return point_ok, interval_ok
+
+
+def keep_codes(cohort: Cohort, selection: CodeSelection) -> Cohort:
+    """Keep only coded events in the selection (uncoded events dropped).
+
+    NSEPter's "show individual nodes" operation (Section II-A1).
+    """
+    point_ok, interval_ok = _selection_predicate(selection, keep=True)
+    return filter_events(cohort, point_ok, interval_ok)
+
+
+def hide_codes(cohort: Cohort, selection: CodeSelection) -> Cohort:
+    """Hide coded events in the selection; everything else stays."""
+    point_ok, interval_ok = _selection_predicate(selection, keep=False)
+    return filter_events(cohort, point_ok, interval_ok)

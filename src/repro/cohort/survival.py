@@ -1,0 +1,174 @@
+"""Time-to-event analysis over aligned cohorts.
+
+The conclusion envisions researchers using the workbench "to discover
+new hypotheses or get ideas for the best analysis strategies" — and the
+canonical analysis downstream of an aligned cohort ("months before and
+after the alignment point", Section IV-B) is time-to-event: from the
+index event (first diabetes code) to an outcome (first hospital stay),
+censored at the end of observation.
+
+Implements the Kaplan-Meier product-limit estimator and the two-sample
+log-rank test (chi-squared with 1 df via :mod:`scipy.stats`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import QueryError
+from repro.cohort.alignment import Alignment
+from repro.query.ast import EventExpr
+from repro.query.engine import QueryEngine
+
+__all__ = ["TimeToEvent", "KaplanMeier", "time_to_event", "kaplan_meier",
+           "logrank_test"]
+
+
+@dataclass
+class TimeToEvent:
+    """Durations (days from anchor) with event/censor indicators."""
+
+    durations: np.ndarray  # float days, >= 0
+    observed: np.ndarray   # bool: True = event, False = censored
+
+    def __post_init__(self) -> None:
+        if len(self.durations) != len(self.observed):
+            raise QueryError("durations and indicators differ in length")
+        if len(self.durations) == 0:
+            raise QueryError("no subjects in the time-to-event data")
+        if (self.durations < 0).any():
+            raise QueryError("durations must be non-negative")
+
+    @property
+    def n_subjects(self) -> int:
+        return len(self.durations)
+
+    @property
+    def n_events(self) -> int:
+        return int(self.observed.sum())
+
+
+def time_to_event(
+    engine: QueryEngine,
+    alignment: Alignment,
+    outcome: EventExpr,
+    horizon_day: int,
+) -> TimeToEvent:
+    """Durations from each patient's anchor to their first outcome event.
+
+    Patients without an outcome after their anchor are censored at
+    ``horizon_day``.  Outcome events strictly before the anchor are
+    ignored (the clock starts at the index event).
+    """
+    if len(alignment) == 0:
+        raise QueryError("the alignment anchors no patients")
+    mask = engine.event_mask(outcome)
+    store = engine.store
+    outcome_days: dict[int, list[int]] = {}
+    for pid, day in zip(store.patient[mask].tolist(),
+                        store.day[mask].tolist()):
+        outcome_days.setdefault(int(pid), []).append(int(day))
+
+    durations: list[float] = []
+    observed: list[bool] = []
+    for pid in alignment.aligned_ids():
+        anchor = alignment.anchor_of(pid)
+        after = [d for d in outcome_days.get(pid, ()) if d >= anchor]
+        if after:
+            durations.append(float(min(after) - anchor))
+            observed.append(True)
+        else:
+            durations.append(float(max(0, horizon_day - anchor)))
+            observed.append(False)
+    return TimeToEvent(
+        durations=np.asarray(durations, dtype=np.float64),
+        observed=np.asarray(observed, dtype=bool),
+    )
+
+
+@dataclass
+class KaplanMeier:
+    """The product-limit estimate: step function of survival probability."""
+
+    times: np.ndarray       # event times (sorted, unique)
+    survival: np.ndarray    # S(t) just after each time
+    at_risk: np.ndarray     # subjects at risk just before each time
+    events: np.ndarray      # events at each time
+
+    def probability_at(self, time: float) -> float:
+        """S(t): probability of remaining event-free past ``time``."""
+        idx = np.searchsorted(self.times, time, side="right") - 1
+        if idx < 0:
+            return 1.0
+        return float(self.survival[idx])
+
+    def median_time(self) -> float | None:
+        """First time S(t) drops to <= 0.5, or None if it never does."""
+        below = np.flatnonzero(self.survival <= 0.5)
+        if len(below) == 0:
+            return None
+        return float(self.times[below[0]])
+
+
+def kaplan_meier(data: TimeToEvent) -> KaplanMeier:
+    """Compute the Kaplan-Meier estimator."""
+    order = np.argsort(data.durations)
+    durations = data.durations[order]
+    observed = data.observed[order]
+    event_times = np.unique(durations[observed])
+    n = len(durations)
+
+    survival: list[float] = []
+    at_risk: list[int] = []
+    events: list[int] = []
+    current = 1.0
+    for t in event_times.tolist():
+        risk = int((durations >= t).sum())
+        d = int(((durations == t) & observed).sum())
+        current *= 1.0 - d / risk
+        survival.append(current)
+        at_risk.append(risk)
+        events.append(d)
+    return KaplanMeier(
+        times=event_times,
+        survival=np.asarray(survival, dtype=np.float64),
+        at_risk=np.asarray(at_risk, dtype=np.int64),
+        events=np.asarray(events, dtype=np.int64),
+    )
+
+
+def logrank_test(first: TimeToEvent, second: TimeToEvent) -> tuple[float, float]:
+    """Two-sample log-rank test: (chi-squared statistic, p-value).
+
+    Standard Mantel-Haenszel construction over the pooled event times.
+    """
+    pooled_times = np.unique(np.concatenate((
+        first.durations[first.observed], second.durations[second.observed],
+    )))
+    if len(pooled_times) == 0:
+        raise QueryError("no events in either group")
+    observed1 = 0.0
+    expected1 = 0.0
+    variance = 0.0
+    for t in pooled_times.tolist():
+        risk1 = int((first.durations >= t).sum())
+        risk2 = int((second.durations >= t).sum())
+        d1 = int(((first.durations == t) & first.observed).sum())
+        d2 = int(((second.durations == t) & second.observed).sum())
+        risk = risk1 + risk2
+        d = d1 + d2
+        if risk < 2 or d == 0:
+            continue
+        observed1 += d1
+        expected1 += d * risk1 / risk
+        variance += (
+            d * (risk1 / risk) * (1 - risk1 / risk) * (risk - d) / (risk - 1)
+        )
+    if variance <= 0:
+        return 0.0, 1.0
+    chi2 = (observed1 - expected1) ** 2 / variance
+    p_value = float(stats.chi2.sf(chi2, df=1))
+    return float(chi2), p_value

@@ -1,0 +1,64 @@
+"""Library-wide configuration and deterministic seeding helpers.
+
+The paper's tool pre-loads all content to be visualized or queried into an
+in-memory data structure (Section IV).  We mirror that decision; the knobs
+here bound how much is materialized eagerly and make every stochastic
+component reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: The seed used by examples and benchmarks unless overridden.
+DEFAULT_SEED = 20160516  # ICDE 2016 conference week.
+
+#: Shneiderman's bound on mouse/typing response time, in seconds (Section II-C2).
+RESPONSE_TIME_BOUND_S = 0.1
+
+
+def rng(seed: int | None = None) -> np.random.Generator:
+    """Return a numpy random generator for the given seed.
+
+    Passing ``None`` uses :data:`DEFAULT_SEED` so that *every* path through
+    the library is reproducible unless the caller explicitly asks for
+    entropy by supplying a seed of their own.
+    """
+    return np.random.default_rng(DEFAULT_SEED if seed is None else seed)
+
+
+def spawn_seeds(seed: int, count: int) -> list[int]:
+    """Derive ``count`` independent child seeds from a parent seed.
+
+    Used by the simulator so that per-patient generation is independent of
+    generation order (important for parallel or partial generation).
+    """
+    seq = np.random.SeedSequence(seed)
+    return [int(s.generate_state(1)[0]) for s in seq.spawn(count)]
+
+
+@dataclass(frozen=True)
+class WorkbenchConfig:
+    """Tunables for the :class:`repro.workbench.Workbench` facade.
+
+    Attributes:
+        seed: master seed for any stochastic operation (e.g. sampling
+            histories for a preview rendering).
+        max_drawn_histories: upper bound on the number of history rows a
+            single timeline rendering will materialize; beyond this the
+            view samples (the paper notes the tool "can be challenging to
+            use for very large data sets").
+        detail_cache_size: number of details-on-demand lookups memoized by
+            the interaction layer.
+        lazy_materialization: when True, ``History`` objects are built only
+            for patients actually drawn or exported, while queries run on
+            the columnar store.
+    """
+
+    seed: int = DEFAULT_SEED
+    max_drawn_histories: int = 20_000
+    detail_cache_size: int = 4_096
+    lazy_materialization: bool = True
+    extra: dict[str, object] = field(default_factory=dict)

@@ -1,0 +1,81 @@
+"""Exception taxonomy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at an application boundary while
+still being able to discriminate the failure domain (terminology,
+ontology, temporal reasoning, source integration, querying, rendering).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class TerminologyError(ReproError):
+    """A code, code system or mapping problem.
+
+    Raised for unknown code systems, malformed codes and invalid
+    hierarchy operations.
+    """
+
+
+class UnknownCodeError(TerminologyError):
+    """A code was looked up that does not exist in its code system."""
+
+    def __init__(self, system: str, code: str) -> None:
+        super().__init__(f"unknown code {code!r} in code system {system!r}")
+        self.system = system
+        self.code = code
+
+
+class OntologyError(ReproError):
+    """An ontology construction or reasoning problem."""
+
+
+class InconsistentOntologyError(OntologyError):
+    """The ontology (or an individual's assertions) is unsatisfiable."""
+
+
+class TemporalError(ReproError):
+    """An invalid temporal value or an inconsistent constraint network."""
+
+
+class InconsistentConstraintsError(TemporalError):
+    """A temporal constraint network has no consistent solution."""
+
+
+class EventModelError(ReproError):
+    """An invalid event, history or cohort construction."""
+
+
+class SourceFormatError(ReproError):
+    """A raw source record could not be parsed or integrated."""
+
+    def __init__(self, source: str, detail: str) -> None:
+        super().__init__(f"bad record from source {source!r}: {detail}")
+        self.source = source
+        self.detail = detail
+
+
+class QueryError(ReproError):
+    """A malformed query expression or an evaluation failure."""
+
+
+class QuerySyntaxError(QueryError):
+    """The textual query language failed to parse."""
+
+    def __init__(self, text: str, position: int, detail: str) -> None:
+        super().__init__(f"query syntax error at position {position}: {detail}")
+        self.text = text
+        self.position = position
+        self.detail = detail
+
+
+class RenderError(ReproError):
+    """The visualization layer was asked to draw something impossible."""
+
+
+class SimulationError(ReproError):
+    """The synthetic-data generator was configured inconsistently."""

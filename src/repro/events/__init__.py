@@ -1,0 +1,18 @@
+"""Unified event model: events, histories, cohorts, validation and the
+columnar event store."""
+
+from repro.events.model import Cohort, History, IntervalEvent, PointEvent
+from repro.events.store import EventStore, EventStoreBuilder, merge_stores
+from repro.events.validation import ValidationReport, clean_history
+
+__all__ = [
+    "Cohort",
+    "EventStore",
+    "EventStoreBuilder",
+    "merge_stores",
+    "History",
+    "IntervalEvent",
+    "PointEvent",
+    "ValidationReport",
+    "clean_history",
+]

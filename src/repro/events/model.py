@@ -1,0 +1,262 @@
+"""The unified patient-event model.
+
+After integration, every patient has a *history*: an ordered mixture of
+point events ("single day contacts, usually with a recorded diagnosis")
+and interval events ("notions such as Hospital stay") — Section IV.  A
+*cohort* is an ordered collection of histories, the unit the workbench
+visualizes and queries.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass, field, replace
+
+from repro.errors import EventModelError
+from repro.temporal.timeline import Interval
+
+__all__ = ["PointEvent", "IntervalEvent", "History", "Cohort"]
+
+
+def _point_sort_key(event: "PointEvent") -> tuple:
+    """Stable ordering for point events (optional fields None-safe)."""
+    return (event.day, event.category, event.code or "", event.source,
+            event.detail,
+            event.value if event.value is not None else float("-inf"),
+            event.value2 if event.value2 is not None else float("-inf"))
+
+
+def _interval_sort_key(event: "IntervalEvent") -> tuple:
+    """Stable ordering for interval events (optional fields None-safe)."""
+    return (event.interval.start, event.interval.end, event.category,
+            event.code or "", event.source, event.detail,
+            event.value if event.value is not None else float("-inf"))
+
+
+@dataclass(frozen=True)
+class PointEvent:
+    """An instantaneous (single-day) event in a patient history.
+
+    Attributes:
+        day: day number of the event.
+        category: event category (``"diagnosis"``, ``"blood_pressure"``,
+            ``"gp_contact"`` ...) — the key into the presentation ontology.
+        code: clinical code, when the event carries one.
+        system: name of the code's system (``"ICPC-2"``, ``"ICD-10"``,
+            ``"ATC"``), or ``None`` for uncoded events.
+        value: primary numeric value (e.g. systolic pressure), if any.
+        value2: secondary numeric value (e.g. diastolic pressure), if any.
+        source: the raw ``sourceKind`` this event was integrated from.
+        detail: free-text annotation (shown by details-on-demand).
+    """
+
+    day: int
+    category: str
+    code: str | None = None
+    system: str | None = None
+    value: float | None = None
+    value2: float | None = None
+    source: str = ""
+    detail: str = ""
+
+    def shifted(self, days: int) -> "PointEvent":
+        """This event translated in time (used by alignment)."""
+        return replace(self, day=self.day + days)
+
+
+@dataclass(frozen=True)
+class IntervalEvent:
+    """A duration-bearing event (hospital stay, medication course ...).
+
+    ``value`` carries an optional magnitude (e.g. home-care hours per
+    week), mirroring :class:`PointEvent.value`.
+    """
+
+    interval: Interval
+    category: str
+    code: str | None = None
+    system: str | None = None
+    value: float | None = None
+    source: str = ""
+    detail: str = ""
+
+    @property
+    def start(self) -> int:
+        return self.interval.start
+
+    @property
+    def end(self) -> int:
+        return self.interval.end
+
+    def shifted(self, days: int) -> "IntervalEvent":
+        """This event translated in time (used by alignment)."""
+        return replace(self, interval=self.interval.shifted(days))
+
+
+@dataclass
+class History:
+    """One patient's integrated trajectory.
+
+    Event lists are kept sorted by time; construction enforces it so all
+    downstream scans can rely on order.
+    """
+
+    patient_id: int
+    birth_day: int
+    sex: str = "U"
+    points: list[PointEvent] = field(default_factory=list)
+    intervals: list[IntervalEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.sex not in ("F", "M", "U"):
+            raise EventModelError(f"bad sex code {self.sex!r}")
+        self.points.sort(key=_point_sort_key)
+        self.intervals.sort(key=_interval_sort_key)
+
+    # -- basic views -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.points) + len(self.intervals)
+
+    def span(self) -> Interval | None:
+        """The smallest interval covering every event, or None when empty."""
+        starts: list[int] = []
+        ends: list[int] = []
+        if self.points:
+            starts.append(self.points[0].day)
+            ends.append(self.points[-1].day + 1)
+        if self.intervals:
+            starts.append(min(iv.start for iv in self.intervals))
+            ends.append(max(iv.end for iv in self.intervals))
+        if not starts:
+            return None
+        return Interval(min(starts), max(ends))
+
+    def codes(self, system: str | None = None) -> list[str]:
+        """All codes in time order, optionally restricted to one system."""
+        coded = [
+            (p.day, p.code)
+            for p in self.points
+            if p.code is not None and (system is None or p.system == system)
+        ]
+        coded.extend(
+            (iv.start, iv.code)
+            for iv in self.intervals
+            if iv.code is not None and (system is None or iv.system == system)
+        )
+        coded.sort()
+        return [code for _, code in coded]
+
+    def first_point(
+        self, predicate: Callable[[PointEvent], bool]
+    ) -> PointEvent | None:
+        """The earliest point event satisfying ``predicate``, if any."""
+        for event in self.points:
+            if predicate(event):
+                return event
+        return None
+
+    def first_code_day(self, codes: frozenset[str] | set[str]) -> int | None:
+        """Day of the first event (point or interval start) carrying a code.
+
+        This is the alignment-anchor primitive: "merged around the first
+        incidence of diabetes" uses ``first_code_day({"T90"})``.
+        """
+        best: int | None = None
+        for event in self.points:
+            if event.code in codes:
+                best = event.day
+                break
+        for iv in self.intervals:
+            if iv.code in codes and (best is None or iv.start < best):
+                best = iv.start
+        return best
+
+    # -- transformation ------------------------------------------------------
+
+    def filtered(
+        self,
+        point_predicate: Callable[[PointEvent], bool] | None = None,
+        interval_predicate: Callable[[IntervalEvent], bool] | None = None,
+    ) -> "History":
+        """A copy keeping only events passing the predicates."""
+        return History(
+            patient_id=self.patient_id,
+            birth_day=self.birth_day,
+            sex=self.sex,
+            points=[
+                p for p in self.points
+                if point_predicate is None or point_predicate(p)
+            ],
+            intervals=[
+                iv for iv in self.intervals
+                if interval_predicate is None or interval_predicate(iv)
+            ],
+        )
+
+    def shifted(self, days: int) -> "History":
+        """The history translated in time (alignment support)."""
+        return History(
+            patient_id=self.patient_id,
+            birth_day=self.birth_day + days,
+            sex=self.sex,
+            points=[p.shifted(days) for p in self.points],
+            intervals=[iv.shifted(days) for iv in self.intervals],
+        )
+
+
+class Cohort:
+    """An ordered collection of histories with id-based lookup.
+
+    The order is significant: it is the vertical order of the timeline
+    view, and sorting operations produce re-ordered cohorts.
+    """
+
+    def __init__(self, histories: Iterable[History] = ()) -> None:
+        self._histories: list[History] = list(histories)
+        self._by_id: dict[int, History] = {}
+        for history in self._histories:
+            if history.patient_id in self._by_id:
+                raise EventModelError(
+                    f"duplicate patient id {history.patient_id} in cohort"
+                )
+            self._by_id[history.patient_id] = history
+
+    def __len__(self) -> int:
+        return len(self._histories)
+
+    def __iter__(self) -> Iterator[History]:
+        return iter(self._histories)
+
+    def __getitem__(self, index: int) -> History:
+        return self._histories[index]
+
+    def __contains__(self, patient_id: int) -> bool:
+        return patient_id in self._by_id
+
+    def get(self, patient_id: int) -> History:
+        """Look a history up by patient id."""
+        try:
+            return self._by_id[patient_id]
+        except KeyError:
+            raise EventModelError(f"no patient {patient_id} in cohort") from None
+
+    @property
+    def patient_ids(self) -> list[int]:
+        """Patient ids in cohort order."""
+        return [h.patient_id for h in self._histories]
+
+    def subset(self, patient_ids: Iterable[int]) -> "Cohort":
+        """The sub-cohort with the given ids, in the given order."""
+        return Cohort(self.get(pid) for pid in patient_ids)
+
+    def sorted_by(self, key: Callable[[History], object]) -> "Cohort":
+        """A re-ordered copy (vertical sorting in the view)."""
+        return Cohort(sorted(self._histories, key=key))
+
+    def total_events(self) -> int:
+        """Total event count across all histories."""
+        return sum(len(h) for h in self._histories)
+
+    def __repr__(self) -> str:
+        return f"Cohort({len(self)} patients, {self.total_events()} events)"

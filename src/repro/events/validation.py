@@ -1,0 +1,121 @@
+"""History validation and cleaning.
+
+"When it comes to the representation of time, entries with a clearly
+invalid date (prior to the birth of the patient) are ignored"
+(Section IV).  This module implements that rule plus the adjacent hygiene
+an integration pipeline needs: far-future dates, intervals that extend
+past the data-extraction horizon, and exact duplicates produced when the
+same contact is reported by more than one source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.events.model import History, IntervalEvent, PointEvent
+from repro.temporal.timeline import Interval
+
+__all__ = ["ValidationReport", "clean_history"]
+
+
+@dataclass
+class ValidationReport:
+    """Counts of what cleaning removed or repaired, by reason."""
+
+    before_birth: int = 0
+    after_horizon: int = 0
+    truncated_intervals: int = 0
+    duplicates: int = 0
+    kept: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def dropped(self) -> int:
+        return self.before_birth + self.after_horizon + self.duplicates
+
+    def merge(self, other: "ValidationReport") -> None:
+        """Accumulate another report into this one (cohort-level totals)."""
+        self.before_birth += other.before_birth
+        self.after_horizon += other.after_horizon
+        self.truncated_intervals += other.truncated_intervals
+        self.duplicates += other.duplicates
+        self.kept += other.kept
+        self.notes.extend(other.notes)
+
+
+def clean_history(
+    history: History, horizon_day: int | None = None
+) -> tuple[History, ValidationReport]:
+    """Return a cleaned copy of ``history`` plus a report.
+
+    Rules, in order:
+
+    1. Point events strictly before the patient's birth day are dropped
+       (the paper's explicit rule); likewise intervals that *end* before
+       birth.  Intervals straddling birth are truncated to start at birth.
+    2. When ``horizon_day`` is given (the data-extraction date), events
+       after it are dropped and straddling intervals truncated.
+    3. Exact duplicates (same day/category/code/source/value) collapse to
+       a single event.
+    """
+    report = ValidationReport()
+    birth = history.birth_day
+
+    seen_points: set[PointEvent] = set()
+    points: list[PointEvent] = []
+    for event in history.points:
+        if event.day < birth:
+            report.before_birth += 1
+            continue
+        if horizon_day is not None and event.day > horizon_day:
+            report.after_horizon += 1
+            continue
+        if event in seen_points:
+            report.duplicates += 1
+            continue
+        seen_points.add(event)
+        points.append(event)
+
+    seen_intervals: set[IntervalEvent] = set()
+    intervals: list[IntervalEvent] = []
+    for iv in history.intervals:
+        interval = iv.interval
+        if interval.end <= birth:
+            report.before_birth += 1
+            continue
+        if horizon_day is not None and interval.start > horizon_day:
+            report.after_horizon += 1
+            continue
+        truncated = False
+        if interval.start < birth:
+            interval = Interval(birth, interval.end)
+            truncated = True
+        if horizon_day is not None and interval.end > horizon_day + 1:
+            interval = Interval(interval.start, horizon_day + 1)
+            truncated = True
+        if truncated:
+            report.truncated_intervals += 1
+            iv = IntervalEvent(
+                interval=interval,
+                category=iv.category,
+                code=iv.code,
+                system=iv.system,
+                value=iv.value,
+                source=iv.source,
+                detail=iv.detail,
+            )
+        if iv in seen_intervals:
+            report.duplicates += 1
+            continue
+        seen_intervals.add(iv)
+        intervals.append(iv)
+
+    cleaned = History(
+        patient_id=history.patient_id,
+        birth_day=history.birth_day,
+        sex=history.sex,
+        points=points,
+        intervals=intervals,
+    )
+    report.kept = len(cleaned)
+    return cleaned, report

@@ -1,0 +1,195 @@
+"""Persistence: save and load event stores.
+
+The paper's tool pre-loads everything from a database at startup
+(Section IV); an adoptable library also needs to *persist* an integrated
+snapshot so the expensive aggregation runs once.  Format: a single
+``.npz`` (numpy's zipped archive) holding the columnar arrays plus a
+JSON-encoded header with the string tables and code-system fingerprints.
+
+Code systems themselves are not serialized — they are versioned library
+data — but their name and size are fingerprinted so loading a store
+against a mismatching terminology fails loudly instead of mis-decoding
+code ids.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.errors import EventModelError
+from repro.events.store import EventStore, default_systems
+
+__all__ = ["save_store", "load_store", "export_events_csv",
+           "import_events_csv"]
+
+_FORMAT_VERSION = 1
+
+
+def save_store(store: EventStore, path: str) -> None:
+    """Write a store to ``path`` (conventionally ``*.npz``)."""
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "system_names": store.system_names,
+        "system_sizes": [len(store.systems[n]) for n in store.system_names],
+        "categories": store.categories,
+        "sources": store.sources,
+        "details": store.details,
+    }
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        ),
+        patient=store.patient,
+        day=store.day,
+        end=store.end,
+        is_point=store.is_point,
+        category=store.category,
+        system=store.system,
+        code=store.code,
+        value=store.value,
+        value2=store.value2,
+        source=store.source,
+        detail=store.detail,
+        patient_ids=store.patient_ids,
+        birth_days=store.birth_days,
+        sexes=store.sexes,
+    )
+
+
+def load_store(path: str) -> EventStore:
+    """Load a store written by :func:`save_store`.
+
+    Raises :class:`EventModelError` on version or terminology-fingerprint
+    mismatches.
+    """
+    with np.load(path) as archive:
+        header = json.loads(bytes(archive["header"].tobytes()).decode("utf-8"))
+        if header.get("format_version") != _FORMAT_VERSION:
+            raise EventModelError(
+                f"unsupported store format version "
+                f"{header.get('format_version')!r} in {path!r}"
+            )
+        systems = default_systems()
+        for name, size in zip(header["system_names"],
+                              header["system_sizes"]):
+            if name not in systems:
+                raise EventModelError(
+                    f"store {path!r} references unknown code system {name!r}"
+                )
+            if len(systems[name]) != size:
+                raise EventModelError(
+                    f"code system {name!r} has {len(systems[name])} codes "
+                    f"but the store was written against {size}; "
+                    f"code ids would mis-decode"
+                )
+        return EventStore(
+            systems=systems,
+            system_names=list(header["system_names"]),
+            categories=list(header["categories"]),
+            sources=list(header["sources"]),
+            details=list(header["details"]),
+            patient=archive["patient"],
+            day=archive["day"],
+            end=archive["end"],
+            is_point=archive["is_point"],
+            category=archive["category"],
+            system=archive["system"],
+            code=archive["code"],
+            value=archive["value"],
+            value2=archive["value2"],
+            source=archive["source"],
+            detail=archive["detail"],
+            patient_ids=archive["patient_ids"],
+            birth_days=archive["birth_days"],
+            sexes=archive["sexes"],
+        )
+
+
+def export_events_csv(
+    store: EventStore,
+    path: str,
+    patient_ids: "list[int] | None" = None,
+) -> int:
+    """Write a flat event table (one row per event) for external tools.
+
+    Columns: patient_id, day, end_day (empty for point events), category,
+    system, code, value, value2, source, detail.  Returns the number of
+    event rows written.
+    """
+    import csv
+
+    if patient_ids is None:
+        mask = np.ones(store.n_events, dtype=bool)
+    else:
+        mask = store.mask_patients([int(p) for p in patient_ids])
+    rows = np.flatnonzero(mask)
+    with open(path, "w", newline="", encoding="utf-8") as f:
+        writer = csv.writer(f)
+        writer.writerow([
+            "patient_id", "day", "end_day", "category", "system", "code",
+            "value", "value2", "source", "detail",
+        ])
+        for row in rows.tolist():
+            system_idx = int(store.system[row])
+            system = (
+                "" if system_idx < 0 else store.system_names[system_idx]
+            )
+            code_idx = int(store.code[row])
+            code = (
+                ""
+                if code_idx < 0 or not system
+                else store.systems[system].code_of(code_idx).code
+            )
+            value = store.value[row]
+            value2 = store.value2[row]
+            writer.writerow([
+                int(store.patient[row]),
+                int(store.day[row]),
+                "" if store.is_point[row] else int(store.end[row]),
+                store.categories[int(store.category[row])],
+                system,
+                code,
+                "" if np.isnan(value) else repr(float(value)),
+                "" if np.isnan(value2) else repr(float(value2)),
+                store.sources[int(store.source[row])],
+                store.details[int(store.detail[row])],
+            ])
+    return len(rows)
+
+
+def import_events_csv(
+    path: str,
+    demographics: "dict[int, tuple[int, str]]",
+) -> EventStore:
+    """Load a flat event table written by :func:`export_events_csv`.
+
+    ``demographics`` maps patient id -> (birth_day, sex); the CSV format
+    intentionally carries only events, so demographics travel separately
+    (as they do between registries).
+    """
+    import csv
+
+    from repro.events.store import EventStoreBuilder
+
+    builder = EventStoreBuilder()
+    for pid, (birth, sex) in demographics.items():
+        builder.add_patient(pid, birth, sex)
+    with open(path, newline="", encoding="utf-8") as f:
+        reader = csv.DictReader(f)
+        for record in reader:
+            builder.add_event(
+                patient_id=int(record["patient_id"]),
+                day=int(record["day"]),
+                end=int(record["end_day"]) if record["end_day"] else None,
+                category=record["category"],
+                code=record["code"] or None,
+                system=record["system"] or None,
+                value=float(record["value"]) if record["value"] else None,
+                value2=float(record["value2"]) if record["value2"] else None,
+                source=record["source"],
+                detail=record["detail"],
+            )
+    return builder.build()

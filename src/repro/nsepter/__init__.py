@@ -1,0 +1,25 @@
+"""The NSEPter baseline: directed graphs of diagnosis sequences with
+regex-driven merging (the paper's predecessor prototype, Section II-A)."""
+
+from repro.nsepter.graph import HistoryGraph, Occurrence, build_graph
+from repro.nsepter.layout import (
+    GraphLayout,
+    layered_layout,
+    ReadabilityMetrics,
+    layout_graph,
+    readability_metrics,
+)
+from repro.nsepter.merge import merge_by_regex, recursive_neighbour_merge
+
+__all__ = [
+    "GraphLayout",
+    "HistoryGraph",
+    "Occurrence",
+    "ReadabilityMetrics",
+    "build_graph",
+    "layered_layout",
+    "layout_graph",
+    "merge_by_regex",
+    "readability_metrics",
+    "recursive_neighbour_merge",
+]

@@ -1,0 +1,139 @@
+"""NSEPter's data structure: directed graphs of diagnosis sequences.
+
+The predecessor prototype (Section II-A1): "Each history was laid out on
+a horizontal line, and each diagnosis code was represented by a node,
+with an edge between nodes representing diagnoses adjacent to each other
+in the history."  The initial graph is therefore a disjoint union of
+chains — one per patient — which merging operations then fuse.
+
+Node identity uses union-find so merges are cheap and the member
+occurrences (history, position) stay enumerable for layout and metrics.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.errors import EventModelError
+from repro.events.model import Cohort
+
+__all__ = ["Occurrence", "HistoryGraph", "build_graph"]
+
+
+@dataclass(frozen=True, order=True)
+class Occurrence:
+    """One diagnosis instance: (patient, position in sequence, code)."""
+
+    patient_id: int
+    position: int
+    code: str
+
+
+class HistoryGraph:
+    """A mergeable directed graph over diagnosis occurrences.
+
+    Nodes are equivalence classes of occurrences (union-find); edges are
+    adjacency in at least one history, weighted by how many histories
+    exhibit the transition ("common edges between merged nodes were
+    scaled according to the number of histories").
+    """
+
+    def __init__(self, sequences: dict[int, list[str]]) -> None:
+        if not sequences:
+            raise EventModelError("cannot build a graph from no histories")
+        self.sequences = sequences
+        self._parent: dict[Occurrence, Occurrence] = {}
+        self._members: dict[Occurrence, list[Occurrence]] = {}
+        for patient_id, codes in sequences.items():
+            for position, code in enumerate(codes):
+                occ = Occurrence(patient_id, position, code)
+                self._parent[occ] = occ
+                self._members[occ] = [occ]
+
+    # -- union-find -----------------------------------------------------
+
+    def find(self, occ: Occurrence) -> Occurrence:
+        """Representative occurrence of ``occ``'s node."""
+        root = occ
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[occ] != root:  # path compression
+            self._parent[occ], occ = root, self._parent[occ]
+        return root
+
+    def union(self, a: Occurrence, b: Occurrence) -> Occurrence:
+        """Merge the nodes containing ``a`` and ``b``; returns the root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if len(self._members[ra]) < len(self._members[rb]):
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._members[ra].extend(self._members.pop(rb))
+        return ra
+
+    # -- views ------------------------------------------------------------
+
+    def nodes(self) -> list[Occurrence]:
+        """Current node representatives."""
+        return list(self._members)
+
+    def members(self, node: Occurrence) -> list[Occurrence]:
+        """All occurrences merged into ``node``."""
+        return list(self._members[self.find(node)])
+
+    def node_of(self, patient_id: int, position: int) -> Occurrence:
+        """The node containing a specific occurrence."""
+        code = self.sequences[patient_id][position]
+        return self.find(Occurrence(patient_id, position, code))
+
+    def node_codes(self, node: Occurrence) -> set[str]:
+        """Distinct codes merged into a node (singleton unless merged)."""
+        return {occ.code for occ in self.members(node)}
+
+    def node_label(self, node: Occurrence) -> str:
+        """Display label: the merged codes, slash-separated."""
+        return "/".join(sorted(self.node_codes(node)))
+
+    def edges(self) -> dict[tuple[Occurrence, Occurrence], int]:
+        """(source node, target node) -> number of histories with the
+        transition.  Self-loops from merging adjacent occurrences are
+        kept (they mean repeated codes collapsed into one node)."""
+        weights: dict[tuple[Occurrence, Occurrence], set[int]] = defaultdict(set)
+        for patient_id, codes in self.sequences.items():
+            for position in range(len(codes) - 1):
+                u = self.node_of(patient_id, position)
+                v = self.node_of(patient_id, position + 1)
+                weights[(u, v)].add(patient_id)
+        return {edge: len(patients) for edge, patients in weights.items()}
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._members)
+
+    @property
+    def n_histories(self) -> int:
+        return len(self.sequences)
+
+    def __repr__(self) -> str:
+        return (
+            f"HistoryGraph({self.n_histories} histories, "
+            f"{self.n_nodes} nodes)"
+        )
+
+
+def build_graph(cohort: Cohort, system: str = "ICPC-2") -> HistoryGraph:
+    """Build the initial (unmerged) graph from a cohort.
+
+    Only diagnosis codes in the chosen system are used — NSEPter's data
+    was ICPC-2 only ("The only information from the EHR that was
+    utilized, was the diagnosis codes for each patient").  Histories with
+    no codes in that system are skipped.
+    """
+    sequences = {
+        history.patient_id: codes
+        for history in cohort
+        if (codes := history.codes(system))
+    }
+    return HistoryGraph(sequences)

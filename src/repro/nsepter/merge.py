@@ -1,0 +1,101 @@
+"""NSEPter's regex-driven node merging.
+
+Section II-A1: "The users specified a regular expression over the ICPC
+codes, and the application merged nodes with codes matching the given
+expression into one.  This was performed serially from the beginning of
+the histories, so that the first occurrence of a node from one history
+was merged with the first from all the other histories, the second was
+merged with the second, and so on.  From each merged node, the process
+could be recursively applied to neighbouring nodes in both directions."
+
+The paper then lists the weaknesses we preserve deliberately (they are
+the subject of ablation A2): the merge "would miss an opportunity to
+merge nodes if two histories differed in one single position", and it is
+rank-based, so one extra occurrence in one history desynchronizes all
+later merges.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+
+from repro.errors import QueryError
+from repro.nsepter.graph import HistoryGraph, Occurrence
+
+__all__ = ["merge_by_regex", "recursive_neighbour_merge"]
+
+
+def merge_by_regex(graph: HistoryGraph, pattern: str) -> list[Occurrence]:
+    """Rank-based merge of all occurrences matching ``pattern``.
+
+    Returns the merged node representatives, one per occurrence rank
+    (rank 1 = each history's first matching occurrence, and so on).
+    """
+    try:
+        compiled = re.compile(pattern)
+    except re.error as exc:
+        raise QueryError(f"bad merge regex {pattern!r}: {exc}") from exc
+
+    by_rank: dict[int, list[Occurrence]] = defaultdict(list)
+    for patient_id, codes in graph.sequences.items():
+        rank = 0
+        for position, code in enumerate(codes):
+            if compiled.fullmatch(code):
+                rank += 1
+                by_rank[rank].append(Occurrence(patient_id, position, code))
+
+    roots: list[Occurrence] = []
+    for rank in sorted(by_rank):
+        occurrences = by_rank[rank]
+        root = occurrences[0]
+        for other in occurrences[1:]:
+            root = graph.union(root, other)
+        roots.append(graph.find(root))
+    return roots
+
+
+def recursive_neighbour_merge(
+    graph: HistoryGraph, seeds: list[Occurrence], depth: int = 1
+) -> int:
+    """Expand merges outward from seed nodes, ``depth`` steps each way.
+
+    For every merged node, neighbouring occurrences (position +-1 within
+    each member history) that share the *same code* are merged with each
+    other — "in a hope that the histories would exhibit similar patterns
+    before or after an important event".  Returns the number of union
+    operations performed.
+
+    Faithful to the original's noise sensitivity: neighbours are grouped
+    by exact code equality at the same offset; a single differing
+    position in one history breaks that history out of the merge.
+    """
+    merges = 0
+    frontier = [graph.find(seed) for seed in seeds]
+    for _ in range(depth):
+        next_frontier: list[Occurrence] = []
+        for node in frontier:
+            node = graph.find(node)
+            for direction in (-1, +1):
+                groups: dict[str, list[Occurrence]] = defaultdict(list)
+                for member in graph.members(node):
+                    position = member.position + direction
+                    codes = graph.sequences[member.patient_id]
+                    if 0 <= position < len(codes):
+                        neighbour = Occurrence(
+                            member.patient_id, position, codes[position]
+                        )
+                        groups[neighbour.code].append(neighbour)
+                for occurrences in groups.values():
+                    if len(occurrences) < 2:
+                        continue
+                    root = occurrences[0]
+                    for other in occurrences[1:]:
+                        if graph.find(root) != graph.find(other):
+                            root = graph.union(root, other)
+                            merges += 1
+                    next_frontier.append(graph.find(root))
+        frontier = next_frontier
+        if not frontier:
+            break
+    return merges

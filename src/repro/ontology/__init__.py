@@ -1,0 +1,67 @@
+"""Ontology substrate: the OWL-style model, reasoner and the paper's two
+formalizations (integration and presentation)."""
+
+from repro.ontology.integration_ontology import (
+    CARE_LEVELS,
+    SOURCE_KIND_CLASSES,
+    build_integration_ontology,
+    care_level_of,
+    contact_class_for_source_kind,
+    integration_reasoner,
+    is_interval_contact,
+)
+from repro.ontology.model import (
+    THING,
+    Conjunction,
+    DataHasValue,
+    DataProperty,
+    DisjointClasses,
+    EquivalentClasses,
+    Individual,
+    NamedClass,
+    ObjectProperty,
+    ObjectSomeValuesFrom,
+    Ontology,
+    SubClassOf,
+    SubPropertyOf,
+)
+from repro.ontology.owl_io import from_functional_syntax, to_functional_syntax
+from repro.ontology.presentation_ontology import (
+    FACETS,
+    VisualSpec,
+    build_presentation_ontology,
+    presentation_reasoner,
+    visual_spec_for,
+)
+from repro.ontology.reasoner import Reasoner
+
+__all__ = [
+    "CARE_LEVELS",
+    "Conjunction",
+    "DataHasValue",
+    "DataProperty",
+    "DisjointClasses",
+    "EquivalentClasses",
+    "FACETS",
+    "Individual",
+    "NamedClass",
+    "ObjectProperty",
+    "ObjectSomeValuesFrom",
+    "Ontology",
+    "Reasoner",
+    "SOURCE_KIND_CLASSES",
+    "SubClassOf",
+    "SubPropertyOf",
+    "THING",
+    "VisualSpec",
+    "build_integration_ontology",
+    "build_presentation_ontology",
+    "care_level_of",
+    "contact_class_for_source_kind",
+    "from_functional_syntax",
+    "integration_reasoner",
+    "is_interval_contact",
+    "presentation_reasoner",
+    "to_functional_syntax",
+    "visual_spec_for",
+]

@@ -1,0 +1,194 @@
+"""Formalization #1: integration and alignment of records and observations.
+
+The paper: "One [OWL formalization] for integration and alignment of
+patient records and observations" (abstract).  This ontology gives every
+raw record arriving from a heterogeneous source a place in a common class
+hierarchy, so the integration pipeline can ask the *reasoner* — rather
+than per-source ``if`` chains — what kind of clinical event a record
+denotes and at which care level it happened.
+
+The hierarchy mirrors Section III's enumeration of the data set: "any
+visit to a hospital (inpatient, outpatient or day treatment), receiving
+services from the adjacent municipalities (home care services, nursing
+home etc.) and visits to a primary care provider (General Practitioner
+(GP), emergency primary care services operated by GPs, physiotherapist
+etc.) or private medical specialist".
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.ontology.model import (
+    DataHasValue,
+    ObjectSomeValuesFrom,
+    Ontology,
+    SubPropertyOf,
+)
+from repro.ontology.reasoner import Reasoner
+
+__all__ = [
+    "build_integration_ontology",
+    "integration_reasoner",
+    "CARE_LEVELS",
+    "SOURCE_KIND_CLASSES",
+]
+
+#: sourceKind literal (as emitted by the raw sources) -> ontology class.
+SOURCE_KIND_CLASSES: dict[str, str] = {
+    "gp_claim": "GPContact",
+    "gp_emergency_claim": "EmergencyPrimaryCareContact",
+    "physio_claim": "PhysiotherapyContact",
+    "specialist_claim": "PrivateSpecialistContact",
+    "hospital_inpatient": "InpatientStay",
+    "hospital_outpatient": "OutpatientVisit",
+    "hospital_day_treatment": "DayTreatment",
+    "municipal_home_care": "HomeCareService",
+    "municipal_nursing_home": "NursingHomeStay",
+}
+
+#: The three care levels the workbench groups contacts into.
+CARE_LEVELS = ("PrimaryCare", "SpecialistCare", "MunicipalCare")
+
+
+def build_integration_ontology() -> Ontology:
+    """Construct the integration TBox.
+
+    Besides the source/contact taxonomy, the ontology carries the clinical
+    statement classes (diagnoses, prescriptions, observations) and the
+    defined classes used for alignment — e.g. ``DiabetesContact`` is
+    *defined* as a contact with a diabetes-coded diagnosis, so membership
+    is inferred, never asserted.
+    """
+    ont = Ontology("pastas-integration")
+    c = ont.declare_class
+
+    # -- top-level partition
+    health_contact = c("HealthServiceContact")
+    clinical_statement = c("ClinicalStatement")
+    patient = c("Patient")
+    provider = c("Provider")
+    ont.disjoint(health_contact, clinical_statement)
+    ont.disjoint(health_contact, patient)
+
+    # -- care levels and the contact taxonomy
+    for level in CARE_LEVELS:
+        ont.subclass_of(c(level + "Contact"), health_contact)
+    primary = ont.classes["PrimaryCareContact"]
+    specialist = ont.classes["SpecialistCareContact"]
+    municipal = ont.classes["MunicipalCareContact"]
+    ont.disjoint(primary, specialist)
+    ont.disjoint(primary, municipal)
+    ont.disjoint(specialist, municipal)
+
+    ont.subclass_of(c("GPContact"), primary)
+    ont.subclass_of(c("EmergencyPrimaryCareContact"), ont.classes["GPContact"])
+    ont.subclass_of(c("PhysiotherapyContact"), primary)
+    ont.subclass_of(c("PrivateSpecialistContact"), specialist)
+    hospital = c("HospitalContact")
+    ont.subclass_of(hospital, specialist)
+    ont.subclass_of(c("InpatientStay"), hospital)
+    ont.subclass_of(c("OutpatientVisit"), hospital)
+    ont.subclass_of(c("DayTreatment"), hospital)
+    ont.subclass_of(c("HomeCareService"), municipal)
+    ont.subclass_of(c("NursingHomeStay"), municipal)
+
+    # Duration shape: some contacts span time, others are single-day.
+    interval_contact = c("IntervalContact")
+    point_contact = c("PointContact")
+    ont.subclass_of(interval_contact, health_contact)
+    ont.subclass_of(point_contact, health_contact)
+    ont.disjoint(interval_contact, point_contact)
+    for name in ("InpatientStay", "NursingHomeStay", "HomeCareService"):
+        ont.subclass_of(ont.classes[name], interval_contact)
+    for name in (
+        "GPContact",
+        "PhysiotherapyContact",
+        "PrivateSpecialistContact",
+        "OutpatientVisit",
+        "DayTreatment",
+    ):
+        ont.subclass_of(ont.classes[name], point_contact)
+
+    # -- clinical statements
+    diagnosis = c("DiagnosisAssertion")
+    prescription = c("MedicationPrescription")
+    observation = c("Observation")
+    ont.subclass_of(diagnosis, clinical_statement)
+    ont.subclass_of(prescription, clinical_statement)
+    ont.subclass_of(observation, clinical_statement)
+    ont.subclass_of(c("BloodPressureMeasurement"), observation)
+
+    # -- properties
+    ont.declare_object_property("hasPatient", health_contact, patient)
+    ont.declare_object_property("hasProvider", health_contact, provider)
+    ont.declare_object_property("hasStatement", health_contact, clinical_statement)
+    ont.declare_object_property("hasDiagnosis", health_contact, diagnosis)
+    ont.add_axiom(SubPropertyOf("hasDiagnosis", "hasStatement"))
+    ont.declare_data_property("sourceKind", health_contact)
+    ont.declare_data_property("codeSystem", diagnosis)
+    ont.declare_data_property("codeChapter", diagnosis)
+
+    # -- sourceKind literals define the contact class (the integration step)
+    for kind, class_name in SOURCE_KIND_CLASSES.items():
+        ont.subclass_of(
+            DataHasValue("sourceKind", kind), ont.classes[class_name]
+        )
+
+    # -- defined (inferred) alignment classes
+    diabetes_code = c("DiabetesDiagnosis")
+    ont.subclass_of(diabetes_code, diagnosis)
+    ont.equivalent(
+        c("DiabetesContact"),
+        ObjectSomeValuesFrom("hasDiagnosis", diabetes_code),
+    )
+    ont.subclass_of(ont.classes["DiabetesContact"], health_contact)
+
+    cardiovascular_code = c("CardiovascularDiagnosis")
+    ont.subclass_of(cardiovascular_code, diagnosis)
+    ont.equivalent(
+        c("CardiovascularContact"),
+        ObjectSomeValuesFrom("hasDiagnosis", cardiovascular_code),
+    )
+    ont.subclass_of(ont.classes["CardiovascularContact"], health_contact)
+
+    # Chapter literals drive diagnosis classification across both code systems:
+    # ICPC-2 chapter T / ICD-10 block E10-E14 both mean diabetes here.
+    for chapter in ("icpc2:T89", "icpc2:T90", "icd10:E10", "icd10:E11", "icd10:E14"):
+        ont.subclass_of(DataHasValue("codeChapter", chapter), diabetes_code)
+    for chapter in ("icpc2:K", "icd10:IX"):
+        ont.subclass_of(DataHasValue("codeChapter", chapter), cardiovascular_code)
+
+    return ont
+
+
+@lru_cache(maxsize=1)
+def integration_reasoner() -> Reasoner:
+    """Build (once) the classified integration ontology."""
+    return Reasoner(build_integration_ontology())
+
+
+def contact_class_for_source_kind(kind: str) -> str:
+    """Map a raw ``sourceKind`` literal to its most specific contact class."""
+    return SOURCE_KIND_CLASSES[kind]
+
+
+def care_level_of(contact_class: str) -> str | None:
+    """Return which of :data:`CARE_LEVELS` a contact class belongs to.
+
+    Answered by the reasoner, not by a lookup table: the taxonomy is the
+    single source of truth.
+    """
+    reasoner = integration_reasoner()
+    for level in CARE_LEVELS:
+        if reasoner.is_subclass_of(contact_class, level + "Contact"):
+            return level
+    return None
+
+
+def is_interval_contact(contact_class: str) -> bool:
+    """True when contacts of this class span time (stays, home care)."""
+    return integration_reasoner().is_subclass_of(contact_class, "IntervalContact")
+
+
+__all__ += ["contact_class_for_source_kind", "care_level_of", "is_interval_contact"]

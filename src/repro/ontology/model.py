@@ -1,0 +1,312 @@
+"""A lightweight OWL-style ontology model.
+
+The paper "represents and reasons with patient events in different
+OWL-formalizations according to the perspective and use" (abstract).  The
+offline environment has no OWL toolchain, so this module implements a
+small description-logic model from scratch — expressive enough for the
+paper's two formalizations (EL-flavoured: named classes, conjunction,
+existential restriction, property hierarchies, individuals) while staying
+deliberately far from a full tableau reasoner.
+
+Terminology used here mirrors the OWL 2 specification where possible:
+``SubClassOf``, ``EquivalentClasses``, ``DisjointClasses``,
+``ObjectSomeValuesFrom`` etc., so the functional-syntax serializer in
+:mod:`repro.ontology.owl_io` is a direct transcription.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import OntologyError
+
+__all__ = [
+    "ClassExpression",
+    "NamedClass",
+    "Conjunction",
+    "ObjectSomeValuesFrom",
+    "DataHasValue",
+    "ObjectProperty",
+    "DataProperty",
+    "Axiom",
+    "SubClassOf",
+    "EquivalentClasses",
+    "DisjointClasses",
+    "SubPropertyOf",
+    "Individual",
+    "Ontology",
+    "THING",
+]
+
+
+# -- class expressions ---------------------------------------------------
+
+
+class ClassExpression:
+    """Marker base for class expressions (named or complex)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class NamedClass(ClassExpression):
+    """An atomic, named class such as ``HospitalStay``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise OntologyError("a class name must be non-empty")
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+#: OWL's top class; every named class is implicitly subsumed by it.
+THING = NamedClass("Thing")
+
+
+@dataclass(frozen=True)
+class Conjunction(ClassExpression):
+    """``ObjectIntersectionOf`` — all operands must hold."""
+
+    operands: tuple[ClassExpression, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.operands) < 2:
+            raise OntologyError("a conjunction needs at least two operands")
+
+    def __repr__(self) -> str:
+        return "And(" + ", ".join(map(repr, self.operands)) + ")"
+
+
+@dataclass(frozen=True)
+class ObjectSomeValuesFrom(ClassExpression):
+    """``ObjectSomeValuesFrom(property, filler)`` — an existential."""
+
+    property: str
+    filler: ClassExpression
+
+    def __repr__(self) -> str:
+        return f"Some({self.property}, {self.filler!r})"
+
+
+@dataclass(frozen=True)
+class DataHasValue(ClassExpression):
+    """``DataHasValue(property, literal)`` — a concrete value restriction.
+
+    Used by the integration ontology to classify records by a literal
+    field, e.g. ``DataHasValue("sourceKind", "gp_claim")``.
+    """
+
+    property: str
+    value: str | int | float | bool
+
+    def __repr__(self) -> str:
+        return f"HasValue({self.property}, {self.value!r})"
+
+
+# -- properties ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ObjectProperty:
+    """A relation between individuals, with optional domain/range classes."""
+
+    name: str
+    domain: NamedClass | None = None
+    range: NamedClass | None = None
+
+
+@dataclass(frozen=True)
+class DataProperty:
+    """A relation from an individual to a literal value."""
+
+    name: str
+    domain: NamedClass | None = None
+
+
+# -- axioms --------------------------------------------------------------
+
+
+class Axiom:
+    """Marker base for axioms."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SubClassOf(Axiom):
+    """``sub`` is subsumed by ``sup``; either side may be complex."""
+
+    sub: ClassExpression
+    sup: ClassExpression
+
+
+@dataclass(frozen=True)
+class EquivalentClasses(Axiom):
+    """Mutual subsumption of two class expressions."""
+
+    left: ClassExpression
+    right: ClassExpression
+
+
+@dataclass(frozen=True)
+class DisjointClasses(Axiom):
+    """No individual may instantiate both classes."""
+
+    left: NamedClass
+    right: NamedClass
+
+
+@dataclass(frozen=True)
+class SubPropertyOf(Axiom):
+    """Property hierarchy: every ``sub`` assertion is also a ``sup`` one."""
+
+    sub: str
+    sup: str
+
+
+# -- individuals ----------------------------------------------------------
+
+
+@dataclass
+class Individual:
+    """An ABox individual with asserted types and property assertions."""
+
+    name: str
+    types: set[NamedClass] = field(default_factory=set)
+    object_assertions: list[tuple[str, str]] = field(default_factory=list)
+    data_assertions: list[tuple[str, str | int | float | bool]] = field(
+        default_factory=list
+    )
+
+    def assert_type(self, cls: NamedClass) -> None:
+        """Assert that this individual is an instance of ``cls``."""
+        self.types.add(cls)
+
+    def relate(self, prop: str, other: str) -> None:
+        """Assert an object-property edge to another individual's name."""
+        self.object_assertions.append((prop, other))
+
+    def set_value(self, prop: str, value: str | int | float | bool) -> None:
+        """Assert a data-property literal."""
+        self.data_assertions.append((prop, value))
+
+
+# -- the ontology container ------------------------------------------------
+
+
+class Ontology:
+    """A TBox (classes, properties, axioms) plus an ABox (individuals).
+
+    The container is declaration-checked: axioms may only reference
+    declared classes and properties, which catches typos at build time —
+    the same guarantee an OWL editor would give.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.classes: dict[str, NamedClass] = {THING.name: THING}
+        self.object_properties: dict[str, ObjectProperty] = {}
+        self.data_properties: dict[str, DataProperty] = {}
+        self.axioms: list[Axiom] = []
+        self.individuals: dict[str, Individual] = {}
+
+    # -- declarations ----------------------------------------------------
+
+    def declare_class(self, name: str) -> NamedClass:
+        """Declare (or fetch) a named class."""
+        if name not in self.classes:
+            self.classes[name] = NamedClass(name)
+        return self.classes[name]
+
+    def declare_object_property(
+        self,
+        name: str,
+        domain: NamedClass | None = None,
+        range: NamedClass | None = None,
+    ) -> ObjectProperty:
+        """Declare an object property with optional domain/range."""
+        prop = ObjectProperty(name, domain, range)
+        existing = self.object_properties.get(name)
+        if existing is not None and existing != prop:
+            raise OntologyError(f"conflicting redeclaration of property {name!r}")
+        self.object_properties[name] = prop
+        return prop
+
+    def declare_data_property(
+        self, name: str, domain: NamedClass | None = None
+    ) -> DataProperty:
+        """Declare a data property with an optional domain."""
+        prop = DataProperty(name, domain)
+        existing = self.data_properties.get(name)
+        if existing is not None and existing != prop:
+            raise OntologyError(f"conflicting redeclaration of property {name!r}")
+        self.data_properties[name] = prop
+        return prop
+
+    # -- axiom assertion --------------------------------------------------
+
+    def _check_expression(self, expr: ClassExpression) -> None:
+        if isinstance(expr, NamedClass):
+            if expr.name not in self.classes:
+                raise OntologyError(f"undeclared class {expr.name!r}")
+        elif isinstance(expr, Conjunction):
+            for operand in expr.operands:
+                self._check_expression(operand)
+        elif isinstance(expr, ObjectSomeValuesFrom):
+            if expr.property not in self.object_properties:
+                raise OntologyError(f"undeclared object property {expr.property!r}")
+            self._check_expression(expr.filler)
+        elif isinstance(expr, DataHasValue):
+            if expr.property not in self.data_properties:
+                raise OntologyError(f"undeclared data property {expr.property!r}")
+        else:
+            raise OntologyError(f"unknown class expression {expr!r}")
+
+    def add_axiom(self, axiom: Axiom) -> None:
+        """Add an axiom, validating every referenced name."""
+        if isinstance(axiom, SubClassOf):
+            self._check_expression(axiom.sub)
+            self._check_expression(axiom.sup)
+        elif isinstance(axiom, EquivalentClasses):
+            self._check_expression(axiom.left)
+            self._check_expression(axiom.right)
+        elif isinstance(axiom, DisjointClasses):
+            self._check_expression(axiom.left)
+            self._check_expression(axiom.right)
+        elif isinstance(axiom, SubPropertyOf):
+            if axiom.sub not in self.object_properties:
+                raise OntologyError(f"undeclared object property {axiom.sub!r}")
+            if axiom.sup not in self.object_properties:
+                raise OntologyError(f"undeclared object property {axiom.sup!r}")
+        else:
+            raise OntologyError(f"unknown axiom {axiom!r}")
+        self.axioms.append(axiom)
+
+    def subclass_of(self, sub: ClassExpression, sup: ClassExpression) -> None:
+        """Convenience wrapper for :class:`SubClassOf` axioms."""
+        self.add_axiom(SubClassOf(sub, sup))
+
+    def equivalent(self, left: ClassExpression, right: ClassExpression) -> None:
+        """Convenience wrapper for :class:`EquivalentClasses` axioms."""
+        self.add_axiom(EquivalentClasses(left, right))
+
+    def disjoint(self, left: NamedClass, right: NamedClass) -> None:
+        """Convenience wrapper for :class:`DisjointClasses` axioms."""
+        self.add_axiom(DisjointClasses(left, right))
+
+    # -- individuals ------------------------------------------------------
+
+    def add_individual(self, name: str) -> Individual:
+        """Create (or fetch) an ABox individual by name."""
+        if name not in self.individuals:
+            self.individuals[name] = Individual(name)
+        return self.individuals[name]
+
+    def __repr__(self) -> str:
+        return (
+            f"Ontology({self.name!r}, {len(self.classes)} classes, "
+            f"{len(self.axioms)} axioms, {len(self.individuals)} individuals)"
+        )

@@ -1,0 +1,270 @@
+"""OWL functional-syntax serialization for :class:`~repro.ontology.model.Ontology`.
+
+The paper's prototype keeps its formalizations as OWL artifacts; we keep
+ours round-trippable so the two formalizations can be inspected, diffed
+and versioned as text.  The dialect is a faithful subset of OWL 2
+functional syntax covering exactly the constructs the model supports.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import OntologyError
+from repro.ontology.model import (
+    ClassExpression,
+    Conjunction,
+    DataHasValue,
+    DisjointClasses,
+    EquivalentClasses,
+    NamedClass,
+    ObjectSomeValuesFrom,
+    Ontology,
+    SubClassOf,
+    SubPropertyOf,
+)
+
+__all__ = ["to_functional_syntax", "from_functional_syntax"]
+
+
+def _render_literal(value: str | int | float | bool) -> str:
+    if isinstance(value, bool):
+        return '"true"^^xsd:boolean' if value else '"false"^^xsd:boolean'
+    if isinstance(value, int):
+        return f'"{value}"^^xsd:integer'
+    if isinstance(value, float):
+        return f'"{value}"^^xsd:double'
+    escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _render_expr(expr: ClassExpression) -> str:
+    if isinstance(expr, NamedClass):
+        return f":{expr.name}"
+    if isinstance(expr, Conjunction):
+        inner = " ".join(_render_expr(op) for op in expr.operands)
+        return f"ObjectIntersectionOf({inner})"
+    if isinstance(expr, ObjectSomeValuesFrom):
+        return f"ObjectSomeValuesFrom(:{expr.property} {_render_expr(expr.filler)})"
+    if isinstance(expr, DataHasValue):
+        return f"DataHasValue(:{expr.property} {_render_literal(expr.value)})"
+    raise OntologyError(f"cannot serialize expression {expr!r}")
+
+
+def to_functional_syntax(ontology: Ontology) -> str:
+    """Serialize an ontology to OWL 2 functional-syntax text."""
+    lines: list[str] = [f"Ontology(<urn:repro:{ontology.name}>"]
+    for name in ontology.classes:
+        if name != "Thing":
+            lines.append(f"  Declaration(Class(:{name}))")
+    for name in ontology.object_properties:
+        lines.append(f"  Declaration(ObjectProperty(:{name}))")
+    for name in ontology.data_properties:
+        lines.append(f"  Declaration(DataProperty(:{name}))")
+    for axiom in ontology.axioms:
+        if isinstance(axiom, SubClassOf):
+            lines.append(
+                f"  SubClassOf({_render_expr(axiom.sub)} {_render_expr(axiom.sup)})"
+            )
+        elif isinstance(axiom, EquivalentClasses):
+            lines.append(
+                "  EquivalentClasses("
+                f"{_render_expr(axiom.left)} {_render_expr(axiom.right)})"
+            )
+        elif isinstance(axiom, DisjointClasses):
+            lines.append(
+                "  DisjointClasses("
+                f"{_render_expr(axiom.left)} {_render_expr(axiom.right)})"
+            )
+        elif isinstance(axiom, SubPropertyOf):
+            lines.append(
+                f"  SubObjectPropertyOf(:{axiom.sub} :{axiom.sup})"
+            )
+    for ind in ontology.individuals.values():
+        lines.append(f"  Declaration(NamedIndividual(:{ind.name}))")
+        for cls in sorted(ind.types, key=lambda c: c.name):
+            lines.append(f"  ClassAssertion(:{cls.name} :{ind.name})")
+        for prop, other in ind.object_assertions:
+            lines.append(
+                f"  ObjectPropertyAssertion(:{prop} :{ind.name} :{other})"
+            )
+        for prop, value in ind.data_assertions:
+            lines.append(
+                "  DataPropertyAssertion("
+                f":{prop} :{ind.name} {_render_literal(value)})"
+            )
+    lines.append(")")
+    return "\n".join(lines) + "\n"
+
+
+# -- parsing ----------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<lparen>\() | (?P<rparen>\)) |
+    (?P<string>"(?:[^"\\]|\\.)*"(?:\^\^xsd:\w+)?) |
+    (?P<iri><[^>]*>) |
+    (?P<name>:[A-Za-z_][\w\-]*) |
+    (?P<keyword>[A-Za-z][A-Za-z]*) |
+    (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise OntologyError(f"bad OWL syntax near {text[pos:pos + 30]!r}")
+        pos = match.end()
+        if match.lastgroup != "ws":
+            tokens.append(match.group())
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise OntologyError("unexpected end of OWL document")
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise OntologyError(f"expected {token!r}, got {got!r}")
+
+    def parse_literal(self, token: str) -> str | int | float | bool:
+        if "^^xsd:" in token:
+            raw, _, kind = token.rpartition("^^xsd:")
+            body = raw[1:-1]
+            if kind == "integer":
+                return int(body)
+            if kind == "double":
+                return float(body)
+            if kind == "boolean":
+                return body == "true"
+            raise OntologyError(f"unknown literal datatype {kind!r}")
+        return token[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+
+    def parse_expr(self) -> ClassExpression:
+        token = self.next()
+        if token.startswith(":"):
+            return NamedClass(token[1:])
+        if token == "ObjectIntersectionOf":
+            self.expect("(")
+            operands: list[ClassExpression] = []
+            while self.peek() != ")":
+                operands.append(self.parse_expr())
+            self.expect(")")
+            return Conjunction(tuple(operands))
+        if token == "ObjectSomeValuesFrom":
+            self.expect("(")
+            prop = self.next()[1:]
+            filler = self.parse_expr()
+            self.expect(")")
+            return ObjectSomeValuesFrom(prop, filler)
+        if token == "DataHasValue":
+            self.expect("(")
+            prop = self.next()[1:]
+            value = self.parse_literal(self.next())
+            self.expect(")")
+            return DataHasValue(prop, value)
+        raise OntologyError(f"unexpected token {token!r} in class expression")
+
+
+def from_functional_syntax(text: str) -> Ontology:
+    """Parse functional-syntax text produced by :func:`to_functional_syntax`."""
+    parser = _Parser(_tokenize(text))
+    parser.expect("Ontology")
+    parser.expect("(")
+    iri = parser.next()
+    if not iri.startswith("<urn:repro:"):
+        raise OntologyError(f"unexpected ontology IRI {iri!r}")
+    ontology = Ontology(iri[len("<urn:repro:"):-1])
+
+    # Two passes are avoided by buffering axioms until declarations are read;
+    # in practice our serializer emits declarations first, but we stay robust.
+    pending: list[tuple[str, list]] = []
+    while parser.peek() not in (")", None):
+        keyword = parser.next()
+        parser.expect("(")
+        if keyword == "Declaration":
+            inner = parser.next()
+            parser.expect("(")
+            name = parser.next()[1:]
+            parser.expect(")")
+            parser.expect(")")
+            if inner == "Class":
+                ontology.declare_class(name)
+            elif inner == "ObjectProperty":
+                ontology.declare_object_property(name)
+            elif inner == "DataProperty":
+                ontology.declare_data_property(name)
+            elif inner == "NamedIndividual":
+                ontology.add_individual(name)
+            else:
+                raise OntologyError(f"unknown declaration kind {inner!r}")
+            continue
+        if keyword in ("SubClassOf", "EquivalentClasses", "DisjointClasses"):
+            left = parser.parse_expr()
+            right = parser.parse_expr()
+            parser.expect(")")
+            pending.append((keyword, [left, right]))
+            continue
+        if keyword == "SubObjectPropertyOf":
+            sub = parser.next()[1:]
+            sup = parser.next()[1:]
+            parser.expect(")")
+            pending.append((keyword, [sub, sup]))
+            continue
+        if keyword == "ClassAssertion":
+            cls = parser.next()[1:]
+            ind = parser.next()[1:]
+            parser.expect(")")
+            pending.append((keyword, [cls, ind]))
+            continue
+        if keyword == "ObjectPropertyAssertion":
+            prop = parser.next()[1:]
+            subject = parser.next()[1:]
+            obj = parser.next()[1:]
+            parser.expect(")")
+            pending.append((keyword, [prop, subject, obj]))
+            continue
+        if keyword == "DataPropertyAssertion":
+            prop = parser.next()[1:]
+            subject = parser.next()[1:]
+            value = parser.parse_literal(parser.next())
+            parser.expect(")")
+            pending.append((keyword, [prop, subject, value]))
+            continue
+        raise OntologyError(f"unknown OWL construct {keyword!r}")
+    parser.expect(")")
+
+    for keyword, args in pending:
+        if keyword == "SubClassOf":
+            ontology.add_axiom(SubClassOf(args[0], args[1]))
+        elif keyword == "EquivalentClasses":
+            ontology.add_axiom(EquivalentClasses(args[0], args[1]))
+        elif keyword == "DisjointClasses":
+            ontology.add_axiom(DisjointClasses(args[0], args[1]))
+        elif keyword == "SubObjectPropertyOf":
+            ontology.add_axiom(SubPropertyOf(args[0], args[1]))
+        elif keyword == "ClassAssertion":
+            ontology.add_individual(args[1]).assert_type(NamedClass(args[0]))
+        elif keyword == "ObjectPropertyAssertion":
+            ontology.add_individual(args[1]).relate(args[0], args[2])
+        elif keyword == "DataPropertyAssertion":
+            ontology.add_individual(args[1]).set_value(args[0], args[2])
+    return ontology

@@ -1,0 +1,173 @@
+"""Formalization #2: visual presentation of individual or cohort trajectories.
+
+The paper's second OWL formalization is "for visual presentation of
+individual or cohort trajectories" (abstract).  It describes *how event
+categories appear*: which mark family draws them (point glyph vs interval
+band), which visual channel carries which attribute, and which facet
+(LifeLines-style semantic group, Section II-D1) each category belongs to.
+
+The renderer (:mod:`repro.viz.timeline_view`) asks this ontology — not a
+hard-coded table — what to draw for an event category, so the encoding is
+data, auditable and swappable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import OntologyError
+from repro.ontology.model import DataHasValue, Ontology
+from repro.ontology.reasoner import Reasoner
+
+__all__ = [
+    "build_presentation_ontology",
+    "presentation_reasoner",
+    "VisualSpec",
+    "visual_spec_for",
+    "FACETS",
+]
+
+#: LifeLines-style facets (semantic groupings of timeline content).
+FACETS = ("Diagnoses", "Medications", "Observations", "Contacts", "Stays")
+
+#: event category -> (mark, facet, channel hints).  The authoritative copy
+#: lives in the ontology axioms below; this literal only feeds the builder.
+_CATEGORY_SPECS: dict[str, tuple[str, str, str]] = {
+    # category: (mark class, facet, preattentive channel carrying identity)
+    "diagnosis": ("RectangleGlyph", "Diagnoses", "color_hue"),
+    "symptom": ("TriangleGlyph", "Diagnoses", "color_hue"),
+    "blood_pressure": ("ArrowGlyph", "Observations", "position"),
+    "prescription": ("BandMark", "Medications", "color_hue"),
+    "hospital_stay": ("BandMark", "Stays", "color_intensity"),
+    "nursing_home": ("BandMark", "Stays", "color_intensity"),
+    "home_care": ("BandMark", "Stays", "color_intensity"),
+    "gp_contact": ("TickGlyph", "Contacts", "position"),
+    "emergency_contact": ("TickGlyph", "Contacts", "color_hue"),
+    "physio_contact": ("TickGlyph", "Contacts", "position"),
+    "specialist_contact": ("TickGlyph", "Contacts", "position"),
+    "outpatient_visit": ("TickGlyph", "Contacts", "position"),
+    "day_treatment": ("TickGlyph", "Contacts", "position"),
+}
+
+
+def build_presentation_ontology() -> Ontology:
+    """Construct the presentation TBox.
+
+    Mark taxonomy: ``TimelineMark`` splits into ``PointMark`` (glyphs:
+    rectangle, triangle, arrow, tick) and ``IntervalMark`` (bands) —
+    disjoint, mirroring the paper's "entries ... are either intervals ...
+    or events that happen at a given time and have no duration".
+    """
+    ont = Ontology("pastas-presentation")
+    c = ont.declare_class
+
+    mark = c("TimelineMark")
+    point_mark = c("PointMark")
+    interval_mark = c("IntervalMark")
+    ont.subclass_of(point_mark, mark)
+    ont.subclass_of(interval_mark, mark)
+    ont.disjoint(point_mark, interval_mark)
+
+    for glyph in ("RectangleGlyph", "TriangleGlyph", "ArrowGlyph", "TickGlyph"):
+        ont.subclass_of(c(glyph), point_mark)
+    ont.subclass_of(c("BandMark"), interval_mark)
+
+    facet = c("Facet")
+    for name in FACETS:
+        ont.subclass_of(c(name + "Facet"), facet)
+
+    channel = c("VisualChannel")
+    # Ware's preattentively-processed features (Section II-B2).
+    preattentive = c("PreattentiveChannel")
+    ont.subclass_of(preattentive, channel)
+    for name in (
+        "color_hue",
+        "color_intensity",
+        "position",
+        "size",
+        "orientation",
+        "shape",
+    ):
+        ont.subclass_of(c("Channel_" + name), preattentive)
+
+    entry = c("TimelineEntry")
+    ont.declare_data_property("category", entry)
+    ont.declare_object_property("drawnAs", entry, mark)
+    ont.declare_object_property("inFacet", entry, facet)
+    ont.declare_object_property("identityChannel", entry, channel)
+
+    # One defined class per event category; the reasoner classifies an
+    # entry individual from its `category` literal.
+    for category, (mark_class, facet_name, channel_name) in _CATEGORY_SPECS.items():
+        entry_class = c(f"Entry_{category}")
+        ont.subclass_of(entry_class, entry)
+        ont.subclass_of(DataHasValue("category", category), entry_class)
+        ont.subclass_of(entry_class, c(f"DrawnAs_{mark_class}"))
+        ont.subclass_of(
+            ont.classes[f"DrawnAs_{mark_class}"], ont.classes["TimelineEntry"]
+        )
+        ont.subclass_of(entry_class, c(f"InFacet_{facet_name}"))
+        ont.subclass_of(
+            ont.classes[f"InFacet_{facet_name}"], ont.classes["TimelineEntry"]
+        )
+        ont.subclass_of(entry_class, c(f"Identity_{channel_name}"))
+        ont.subclass_of(
+            ont.classes[f"Identity_{channel_name}"], ont.classes["TimelineEntry"]
+        )
+
+    return ont
+
+
+@lru_cache(maxsize=1)
+def presentation_reasoner() -> Reasoner:
+    """Build (once) the classified presentation ontology."""
+    return Reasoner(build_presentation_ontology())
+
+
+@dataclass(frozen=True)
+class VisualSpec:
+    """The resolved drawing instructions for one event category.
+
+    Attributes:
+        category: the event category string.
+        mark: mark class name (``"RectangleGlyph"``, ``"BandMark"`` ...).
+        facet: LifeLines facet name.
+        identity_channel: the preattentive channel carrying identity.
+        is_interval: True when the mark spans time (a band).
+    """
+
+    category: str
+    mark: str
+    facet: str
+    identity_channel: str
+
+    @property
+    def is_interval(self) -> bool:
+        return self.mark == "BandMark"
+
+
+@lru_cache(maxsize=64)
+def visual_spec_for(category: str) -> VisualSpec:
+    """Resolve a category to its :class:`VisualSpec` via the reasoner.
+
+    The lookup is done through subsumption: ``Entry_<category>`` is
+    classified under exactly one ``DrawnAs_*``, one ``InFacet_*`` and one
+    ``Identity_*`` class.  Unknown categories raise :class:`OntologyError`.
+    """
+    reasoner = presentation_reasoner()
+    entry_class = f"Entry_{category}"
+    if entry_class not in reasoner.ontology.classes:
+        raise OntologyError(f"no presentation axioms for category {category!r}")
+    supers = reasoner.subsumers(entry_class)
+    marks = sorted(s[len("DrawnAs_"):] for s in supers if s.startswith("DrawnAs_"))
+    facets = sorted(s[len("InFacet_"):] for s in supers if s.startswith("InFacet_"))
+    channels = sorted(
+        s[len("Identity_"):] for s in supers if s.startswith("Identity_")
+    )
+    if len(marks) != 1 or len(facets) != 1 or len(channels) != 1:
+        raise OntologyError(
+            f"ambiguous presentation for {category!r}: "
+            f"marks={marks} facets={facets} channels={channels}"
+        )
+    return VisualSpec(category, marks[0], facets[0], channels[0])

@@ -1,0 +1,371 @@
+"""A structural EL-style reasoner over :class:`repro.ontology.model.Ontology`.
+
+Implements the standard EL completion (saturation) algorithm:
+
+1. *Normalization* rewrites every axiom into one of four normal forms,
+   introducing fresh names for nested expressions::
+
+       A ⊑ B          A1 ⊓ A2 ⊑ B          A ⊑ ∃r.B          ∃r.A ⊑ B
+
+   ``DataHasValue`` restrictions become synthetic atoms (``prop=value``),
+   which is sound because literals have no further structure.
+
+2. *Saturation* applies the EL completion rules (CR1-CR4 plus property
+   hierarchy propagation) to a fixpoint, yielding for every named class
+   ``A`` the full set ``S(A)`` of its subsumers.
+
+3. *Realization* runs the same rules over the ABox, so individuals pick
+   up inferred types through both subsumption and role assertions —
+   e.g. ``GPContact(x), hasDiagnosis(x, d), DiabetesCode(d)`` together
+   with ``∃hasDiagnosis.DiabetesCode ⊑ DiabetesContact`` infers
+   ``DiabetesContact(x)``.
+
+Consistency in EL reduces to disjointness violations; they are reported
+per class (unsatisfiable classes) and per individual.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+
+from repro.errors import InconsistentOntologyError
+from repro.ontology.model import (
+    THING,
+    ClassExpression,
+    Conjunction,
+    DataHasValue,
+    DisjointClasses,
+    EquivalentClasses,
+    NamedClass,
+    ObjectSomeValuesFrom,
+    Ontology,
+    SubClassOf,
+    SubPropertyOf,
+)
+
+__all__ = ["Reasoner"]
+
+
+def _value_atom(prop: str, value: object) -> str:
+    """The synthetic class name standing for ``DataHasValue(prop, value)``."""
+    return f"__val__{prop}={value!r}"
+
+
+class _NormalForm:
+    """The four EL normal forms, stored as index structures for saturation."""
+
+    def __init__(self) -> None:
+        # A -> {B}  for A ⊑ B
+        self.atomic: dict[str, set[str]] = defaultdict(set)
+        # (A1, A2) -> {B}  for A1 ⊓ A2 ⊑ B  (stored both orders)
+        self.conj: dict[tuple[str, str], set[str]] = defaultdict(set)
+        # A -> {(r, B)}  for A ⊑ ∃r.B
+        self.exists_rhs: dict[str, set[tuple[str, str]]] = defaultdict(set)
+        # (r, A) -> {B}  for ∃r.A ⊑ B
+        self.exists_lhs: dict[tuple[str, str], set[str]] = defaultdict(set)
+
+
+class Reasoner:
+    """Classify an ontology once; answer subsumption/instance queries fast.
+
+    The reasoner takes a snapshot: later mutations of the ontology are not
+    reflected.  Re-instantiate after editing (classification is cheap at
+    this scale — a few hundred classes).
+    """
+
+    def __init__(self, ontology: Ontology) -> None:
+        self.ontology = ontology
+        self._fresh_counter = itertools.count()
+        self._nf = _NormalForm()
+        self._super_props: dict[str, set[str]] = defaultdict(set)
+        self._normalize()
+        self._subsumers = self._saturate_tbox()
+        self._instance_types = self._realize_abox()
+
+    # -- normalization ----------------------------------------------------
+
+    def _fresh(self) -> str:
+        return f"__fresh__{next(self._fresh_counter)}"
+
+    def _name_of(self, expr: ClassExpression) -> str:
+        """Reduce an expression to an atom name, adding helper axioms."""
+        if isinstance(expr, NamedClass):
+            return expr.name
+        if isinstance(expr, DataHasValue):
+            return _value_atom(expr.property, expr.value)
+        fresh = self._fresh()
+        # fresh ≡ expr  (both directions, via the general lowering).
+        self._lower_subclass(NamedClass(fresh), expr)
+        self._lower_superclass(expr, NamedClass(fresh))
+        return fresh
+
+    def _lower_subclass(self, sub: ClassExpression, sup: ClassExpression) -> None:
+        """Record ``sub ⊑ sup`` where ``sup`` may be complex."""
+        if isinstance(sup, Conjunction):
+            for operand in sup.operands:
+                self._lower_subclass(sub, operand)
+            return
+        if isinstance(sup, ObjectSomeValuesFrom):
+            filler = self._name_of(sup.filler)
+            self._nf.exists_rhs[self._lower_lhs(sub)].add((sup.property, filler))
+            return
+        # sup is atomic (named or value atom)
+        sup_name = self._name_of(sup)
+        lhs = sub
+        if isinstance(lhs, Conjunction):
+            operands = [self._name_of(op) for op in lhs.operands]
+            # Reduce an n-ary conjunction to nested binary ones.
+            while len(operands) > 2:
+                fresh = self._fresh()
+                a, b = operands[0], operands[1]
+                self._nf.conj[(a, b)].add(fresh)
+                self._nf.conj[(b, a)].add(fresh)
+                operands = [fresh] + operands[2:]
+            if len(operands) == 2:
+                a, b = operands
+                self._nf.conj[(a, b)].add(sup_name)
+                self._nf.conj[(b, a)].add(sup_name)
+            else:
+                self._nf.atomic[operands[0]].add(sup_name)
+            return
+        if isinstance(lhs, ObjectSomeValuesFrom):
+            filler = self._name_of(lhs.filler)
+            self._nf.exists_lhs[(lhs.property, filler)].add(sup_name)
+            return
+        self._nf.atomic[self._name_of(lhs)].add(sup_name)
+
+    def _lower_lhs(self, sub: ClassExpression) -> str:
+        """Reduce a (possibly complex) LHS to a single atom name."""
+        if isinstance(sub, (NamedClass, DataHasValue)):
+            return self._name_of(sub)
+        fresh = self._fresh()
+        self._lower_subclass(sub, NamedClass(fresh))
+        # Also the reverse, so the fresh name is equivalent, keeping
+        # subsumers flowing into existential right-hand sides.
+        self._lower_superclass(sub, NamedClass(fresh))
+        return fresh
+
+    def _lower_superclass(self, sub: ClassExpression, sup: NamedClass) -> None:
+        """Record ``sub ⊑ sup`` where ``sub`` may be complex, ``sup`` atomic."""
+        self._lower_subclass(sub, sup)
+
+    def _normalize(self) -> None:
+        for axiom in self.ontology.axioms:
+            if isinstance(axiom, SubClassOf):
+                self._lower_subclass(axiom.sub, axiom.sup)
+            elif isinstance(axiom, EquivalentClasses):
+                self._lower_subclass(axiom.left, axiom.right)
+                self._lower_subclass(axiom.right, axiom.left)
+            elif isinstance(axiom, SubPropertyOf):
+                self._super_props[axiom.sub].add(axiom.sup)
+            # DisjointClasses handled at consistency-check time.
+        # Transitive closure of the property hierarchy.
+        changed = True
+        while changed:
+            changed = False
+            for sub, sups in list(self._super_props.items()):
+                for sup in list(sups):
+                    extra = self._super_props.get(sup, set()) - sups
+                    if extra:
+                        sups.update(extra)
+                        changed = True
+
+    # -- TBox saturation ----------------------------------------------------
+
+    def _all_atoms(self) -> set[str]:
+        atoms = set(self.ontology.classes)
+        atoms.update(self._nf.atomic)
+        for targets in self._nf.atomic.values():
+            atoms.update(targets)
+        for (a, b), targets in self._nf.conj.items():
+            atoms.update((a, b))
+            atoms.update(targets)
+        for a, pairs in self._nf.exists_rhs.items():
+            atoms.add(a)
+            atoms.update(filler for _, filler in pairs)
+        for (_, a), targets in self._nf.exists_lhs.items():
+            atoms.add(a)
+            atoms.update(targets)
+        return atoms
+
+    def _saturate(
+        self,
+        seeds: dict[str, set[str]],
+        edges: dict[tuple[str, str], set[str]] | None = None,
+    ) -> dict[str, set[str]]:
+        """Run EL completion over nodes with seeded subsumer sets.
+
+        ``seeds`` maps node -> initial subsumer atoms.  ``edges`` maps
+        (node, property) -> set of successor nodes (ABox role assertions);
+        TBox existentials create edges to class-atom nodes internally.
+        """
+        subsumers: dict[str, set[str]] = {
+            node: set(atoms) | {node, THING.name} for node, atoms in seeds.items()
+        }
+        # (node, property) -> successor nodes (class atoms or individuals)
+        links: dict[tuple[str, str], set[str]] = defaultdict(set)
+        if edges:
+            for key, succs in edges.items():
+                node, prop = key
+                links[(node, prop)].update(succs)
+                for sup_prop in self._super_props.get(prop, ()):
+                    links[(node, sup_prop)].update(succs)
+
+        def ensure(node: str) -> set[str]:
+            if node not in subsumers:
+                subsumers[node] = {node, THING.name}
+            return subsumers[node]
+
+        changed = True
+        while changed:
+            changed = False
+            for node in list(subsumers):
+                s = subsumers[node]
+                # CR1: atomic subsumption
+                new: set[str] = set()
+                for atom in s:
+                    new.update(self._nf.atomic.get(atom, ()))
+                # CR2: conjunctions
+                s_list = list(s)
+                for i, a in enumerate(s_list):
+                    for b in s_list[i:]:
+                        new.update(self._nf.conj.get((a, b), ()))
+                # CR3: node ⊑ ∃r.B creates a link to atom-node B
+                for atom in s:
+                    for prop, filler in self._nf.exists_rhs.get(atom, ()):
+                        targets = links[(node, prop)]
+                        if filler not in targets:
+                            targets.add(filler)
+                            ensure(filler)
+                            changed = True
+                        for sup_prop in self._super_props.get(prop, ()):
+                            sup_targets = links[(node, sup_prop)]
+                            if filler not in sup_targets:
+                                sup_targets.add(filler)
+                                changed = True
+                # CR4: links + ∃r.B' ⊑ C
+                for (link_node, prop), succs in list(links.items()):
+                    if link_node != node:
+                        continue
+                    for succ in succs:
+                        for succ_atom in ensure(succ):
+                            new.update(self._nf.exists_lhs.get((prop, succ_atom), ()))
+                added = new - s
+                if added:
+                    s.update(added)
+                    changed = True
+        return subsumers
+
+    def _saturate_tbox(self) -> dict[str, set[str]]:
+        seeds = {atom: set() for atom in self._all_atoms()}
+        return self._saturate(seeds)
+
+    # -- ABox realization ----------------------------------------------------
+
+    def _realize_abox(self) -> dict[str, set[str]]:
+        seeds: dict[str, set[str]] = {}
+        edges: dict[tuple[str, str], set[str]] = defaultdict(set)
+        prefix = "__ind__"
+        for name, ind in self.ontology.individuals.items():
+            node = prefix + name
+            atoms = {t.name for t in ind.types}
+            atoms.update(
+                _value_atom(prop, value) for prop, value in ind.data_assertions
+            )
+            seeds[node] = atoms
+            for prop, other in ind.object_assertions:
+                edges[(node, prop)].add(prefix + other)
+        for other_node in {
+            prefix + other
+            for ind in self.ontology.individuals.values()
+            for _, other in ind.object_assertions
+        }:
+            seeds.setdefault(other_node, set())
+        # Individual nodes must also see the TBox atoms' saturations, so
+        # saturate jointly: merge TBox seeds in.
+        for atom in self._all_atoms():
+            seeds.setdefault(atom, set())
+        result = self._saturate(seeds, edges)
+        return {
+            name: {
+                atom
+                for atom in result.get(prefix + name, set())
+                if atom in self.ontology.classes
+            }
+            for name in self.ontology.individuals
+        }
+
+    # -- public queries -------------------------------------------------------
+
+    def subsumers(self, cls: str) -> frozenset[str]:
+        """All named classes subsuming ``cls`` (reflexive, includes Thing)."""
+        raw = self._subsumers.get(cls, {cls, THING.name})
+        return frozenset(a for a in raw if a in self.ontology.classes)
+
+    def is_subclass_of(self, sub: str, sup: str) -> bool:
+        """True when ``sub ⊑ sup`` is entailed."""
+        return sup in self._subsumers.get(sub, {sub, THING.name})
+
+    def direct_superclasses(self, cls: str) -> frozenset[str]:
+        """The most specific strict named subsumers of ``cls``."""
+        strict = {
+            s
+            for s in self.subsumers(cls)
+            if s != cls and not self.is_subclass_of(s, cls)
+        }
+        return frozenset(
+            s
+            for s in strict
+            if not any(
+                o != s and o in strict and self.is_subclass_of(o, s) for o in strict
+            )
+        )
+
+    def subclasses(self, sup: str) -> frozenset[str]:
+        """All named classes subsumed by ``sup`` (reflexive)."""
+        return frozenset(
+            cls for cls in self.ontology.classes if self.is_subclass_of(cls, sup)
+        )
+
+    def instance_types(self, individual: str) -> frozenset[str]:
+        """All inferred named types of an individual."""
+        return frozenset(self._instance_types.get(individual, set()))
+
+    def instances_of(self, cls: str) -> frozenset[str]:
+        """All individuals inferred to instantiate ``cls``."""
+        return frozenset(
+            name
+            for name, types in self._instance_types.items()
+            if cls in types
+        )
+
+    def unsatisfiable_classes(self) -> frozenset[str]:
+        """Named classes subsumed by two declared-disjoint classes."""
+        bad: set[str] = set()
+        for axiom in self.ontology.axioms:
+            if not isinstance(axiom, DisjointClasses):
+                continue
+            left, right = axiom.left.name, axiom.right.name
+            for cls in self.ontology.classes:
+                if self.is_subclass_of(cls, left) and self.is_subclass_of(cls, right):
+                    bad.add(cls)
+        return frozenset(bad)
+
+    def check_consistency(self) -> None:
+        """Raise :class:`InconsistentOntologyError` on disjointness violations."""
+        problems: list[str] = []
+        for cls in sorted(self.unsatisfiable_classes()):
+            problems.append(f"class {cls} is unsatisfiable")
+        for axiom in self.ontology.axioms:
+            if not isinstance(axiom, DisjointClasses):
+                continue
+            left, right = axiom.left.name, axiom.right.name
+            for name, types in sorted(self._instance_types.items()):
+                if left in types and right in types:
+                    problems.append(
+                        f"individual {name} instantiates disjoint classes "
+                        f"{left} and {right}"
+                    )
+        if problems:
+            raise InconsistentOntologyError("; ".join(problems))

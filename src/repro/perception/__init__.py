@@ -1,0 +1,36 @@
+"""Perception substrate: preattentive feature model, simulated visual
+search (Figure 3) and the cost-of-knowledge interaction model."""
+
+from repro.perception.cost_of_knowledge import (
+    DESIGNS,
+    InterfaceDesign,
+    knowledge_cost,
+)
+from repro.perception.preattentive import (
+    PREATTENTIVE_FEATURES,
+    DisplayItem,
+    SearchTask,
+    classify_search,
+)
+from repro.perception.search_model import (
+    SearchTrialResult,
+    fit_slope,
+    make_conjunction_task,
+    make_popout_task,
+    simulate_search_times,
+)
+
+__all__ = [
+    "DESIGNS",
+    "DisplayItem",
+    "InterfaceDesign",
+    "PREATTENTIVE_FEATURES",
+    "SearchTask",
+    "SearchTrialResult",
+    "classify_search",
+    "fit_slope",
+    "knowledge_cost",
+    "make_conjunction_task",
+    "make_popout_task",
+    "simulate_search_times",
+]

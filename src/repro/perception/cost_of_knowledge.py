@@ -1,0 +1,96 @@
+"""The cost-of-knowledge model (paper Section II-C1).
+
+Pirolli & Card's information-foraging framing: extracting a unit of
+information costs interaction energy, and good designs minimize it.  We
+model a concrete task the workbench supports — *read the details of k
+specific events in a cohort view* — under different interface designs,
+in interaction-operation costs (seconds, using Shneiderman-style
+per-operation budgets).
+
+This quantifies two of the paper's design decisions: details-on-demand
+under the cursor (vs opening each record) and the overview+zoom
+structure (vs paging through lists).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+__all__ = ["InterfaceDesign", "knowledge_cost", "DESIGNS"]
+
+#: Interaction-operation costs in seconds (keystroke-level style).
+HOVER_S = 0.3       # point at a visible mark
+ZOOM_S = 0.8        # one zoom operation (slider / wheel step)
+PAN_S = 0.6         # one pan
+OPEN_RECORD_S = 6.0  # open a patient record in a text EHR and find the entry
+PAGE_S = 1.5        # page through a list view
+
+
+@dataclass(frozen=True)
+class InterfaceDesign:
+    """A design point: which navigation affordances exist."""
+
+    name: str
+    has_overview: bool
+    has_details_on_demand: bool
+    visible_marks: int  # marks legible without zooming, per screen
+
+
+#: The designs the ablation compares.
+DESIGNS: tuple[InterfaceDesign, ...] = (
+    InterfaceDesign("text-ehr", has_overview=False,
+                    has_details_on_demand=False, visible_marks=0),
+    InterfaceDesign("list-view", has_overview=False,
+                    has_details_on_demand=True, visible_marks=40),
+    InterfaceDesign("timeline-no-dod", has_overview=True,
+                    has_details_on_demand=False, visible_marks=600),
+    InterfaceDesign("timeline-workbench", has_overview=True,
+                    has_details_on_demand=True, visible_marks=600),
+)
+
+
+def knowledge_cost(
+    design: InterfaceDesign,
+    total_marks: int,
+    k_details: int,
+) -> float:
+    """Expected seconds to read the details of ``k_details`` events out
+    of a view containing ``total_marks`` events.
+
+    Cost structure:
+
+    * no overview: each event must be reached by paging through
+      ``total_marks / visible`` screens on average (or opening records
+      when nothing is visible at all);
+    * overview without details-on-demand: each detail needs zoom-in,
+      read, zoom-out (Ware's iterative loop, Section II-C3) — 2 zoom
+      steps each way on average;
+    * overview with details-on-demand: hover each target; an occasional
+      zoom when the mark is sub-pixel (past the visible budget).
+    """
+    if k_details < 0 or total_marks < 0:
+        raise SimulationError("counts must be non-negative")
+    if k_details == 0:
+        return 0.0
+
+    if not design.has_overview:
+        if design.visible_marks == 0:
+            return k_details * OPEN_RECORD_S
+        screens = max(1.0, total_marks / design.visible_marks)
+        # Expected paging to reach a uniformly placed item: half the screens.
+        per_item = PAGE_S * screens / 2.0 + (
+            HOVER_S if design.has_details_on_demand else OPEN_RECORD_S
+        )
+        return k_details * per_item
+
+    crowding = max(1.0, total_marks / design.visible_marks)
+    zoom_steps = math.ceil(math.log2(crowding)) if crowding > 1 else 0
+    if design.has_details_on_demand:
+        per_item = HOVER_S + ZOOM_S * zoom_steps * 0.3  # zoom occasionally
+    else:
+        # zoom in to read, zoom back out for the next target
+        per_item = OPEN_RECORD_S * 0.3 + ZOOM_S * (zoom_steps + 1) * 2
+    return k_details * per_item

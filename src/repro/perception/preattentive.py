@@ -1,0 +1,91 @@
+"""Preattentive feature model (paper Section II-B1/B2 and Figure 3).
+
+Ware's catalog of preattentively processed features is quoted verbatim
+in the paper; it is reproduced here as data.  The display model is
+minimal: items carry values on feature dimensions, and a search task is
+*preattentive* when the target is uniquely distinguished by a single
+feature dimension — finding the red circle among blue circles.  When
+identifying the target requires conjoining two dimensions (red AND
+circular among blue circles and red squares), search is serial
+(Section II-B1's conjunction search).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+__all__ = ["PREATTENTIVE_FEATURES", "DisplayItem", "SearchTask",
+           "classify_search"]
+
+#: Ware's preattentively processed features, as listed in the paper.
+PREATTENTIVE_FEATURES: tuple[str, ...] = (
+    "line_orientation",
+    "line_length",
+    "line_width",
+    "line_colinearity",
+    "size",
+    "curvature",
+    "spatial_grouping",
+    "blur",
+    "added_marks",
+    "numerosity",
+    "color_hue",
+    "color_intensity",
+    "flicker",
+    "direction_of_motion",
+    "2d_position",
+    "stereoscopic_depth",
+    "convexity",
+)
+
+
+@dataclass(frozen=True)
+class DisplayItem:
+    """One visual item: a mapping from feature dimension to value."""
+
+    features: tuple[tuple[str, str], ...]
+
+    @classmethod
+    def of(cls, **features: str) -> "DisplayItem":
+        for name in features:
+            if name not in PREATTENTIVE_FEATURES:
+                raise ReproError(f"unknown visual feature {name!r}")
+        return cls(tuple(sorted(features.items())))
+
+    def value(self, feature: str) -> str | None:
+        for name, value in self.features:
+            if name == feature:
+                return value
+        return None
+
+
+@dataclass
+class SearchTask:
+    """A target among distractors."""
+
+    target: DisplayItem
+    distractors: list[DisplayItem] = field(default_factory=list)
+
+
+def classify_search(task: SearchTask) -> str:
+    """``"preattentive"``, ``"conjunction"`` or ``"absent"``.
+
+    Preattentive: some single feature dimension separates the target
+    from *every* distractor.  Conjunction: no single dimension does, but
+    the full feature bundle is unique.  Absent: a distractor is
+    indistinguishable from the target.
+    """
+    target = task.target
+    dimensions = {name for name, _ in target.features}
+    for distractor in task.distractors:
+        if distractor.features == target.features:
+            return "absent"
+    for dimension in sorted(dimensions):
+        target_value = target.value(dimension)
+        if all(
+            d.value(dimension) != target_value for d in task.distractors
+        ):
+            return "preattentive"
+    return "conjunction"

@@ -1,0 +1,158 @@
+"""Plug-in registry for filters and view engines.
+
+NSEPter "had a plug-in architecture in which filters and visualization
+engines could be interchanged, all operating on the same data model"
+(Section II-A1).  The workbench keeps that property: a *filter* maps a
+cohort to a cohort, a *view engine* maps (store, patient ids) to a
+renderable scene, and both are registered by name so tools can be
+composed from configuration.
+
+The built-in views (timeline, density, NSEPter graph) and filters
+(keep/hide code selections, top-N busiest) self-register on import;
+downstream code registers its own with the decorators::
+
+    @register_filter("women-only")
+    def women_only(cohort: Cohort) -> Cohort: ...
+
+    @register_view("my-view")
+    def my_view(store: EventStore, ids: list[int]) -> MyScene: ...
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import ReproError
+from repro.events.model import Cohort
+from repro.events.store import EventStore
+
+__all__ = [
+    "register_filter",
+    "register_view",
+    "get_filter",
+    "get_view",
+    "list_filters",
+    "list_views",
+    "apply_filters",
+]
+
+FilterFn = Callable[[Cohort], Cohort]
+ViewFn = Callable[[EventStore, list], object]
+
+_FILTERS: dict[str, FilterFn] = {}
+_VIEWS: dict[str, ViewFn] = {}
+
+
+def register_filter(name: str) -> Callable[[FilterFn], FilterFn]:
+    """Decorator registering a cohort filter under ``name``."""
+
+    def decorate(fn: FilterFn) -> FilterFn:
+        if name in _FILTERS:
+            raise ReproError(f"filter {name!r} already registered")
+        _FILTERS[name] = fn
+        return fn
+
+    return decorate
+
+
+def register_view(name: str) -> Callable[[ViewFn], ViewFn]:
+    """Decorator registering a view engine under ``name``."""
+
+    def decorate(fn: ViewFn) -> ViewFn:
+        if name in _VIEWS:
+            raise ReproError(f"view {name!r} already registered")
+        _VIEWS[name] = fn
+        return fn
+
+    return decorate
+
+
+def get_filter(name: str) -> FilterFn:
+    """Look a filter up by name."""
+    try:
+        return _FILTERS[name]
+    except KeyError:
+        raise ReproError(
+            f"no filter {name!r}; available: {sorted(_FILTERS)}"
+        ) from None
+
+
+def get_view(name: str) -> ViewFn:
+    """Look a view engine up by name."""
+    try:
+        return _VIEWS[name]
+    except KeyError:
+        raise ReproError(
+            f"no view {name!r}; available: {sorted(_VIEWS)}"
+        ) from None
+
+
+def list_filters() -> list[str]:
+    """Registered filter names, sorted."""
+    return sorted(_FILTERS)
+
+
+def list_views() -> list[str]:
+    """Registered view names, sorted."""
+    return sorted(_VIEWS)
+
+
+def apply_filters(cohort: Cohort, names: list[str]) -> Cohort:
+    """Apply a filter chain left to right."""
+    for name in names:
+        cohort = get_filter(name)(cohort)
+    return cohort
+
+
+# -- built-ins ---------------------------------------------------------------
+
+
+@register_filter("busiest-50")
+def _busiest_50(cohort: Cohort) -> Cohort:
+    """Keep the 50 histories with the most events."""
+    from repro.cohort.operations import sort_by_event_count
+
+    ordered = sort_by_event_count(cohort)
+    return Cohort(list(ordered)[:50])
+
+
+@register_filter("drop-empty")
+def _drop_empty(cohort: Cohort) -> Cohort:
+    """Remove histories without any events."""
+    return Cohort(h for h in cohort if len(h) > 0)
+
+
+@register_filter("diagnoses-only")
+def _diagnoses_only(cohort: Cohort) -> Cohort:
+    """Keep only diagnosis events (NSEPter's own data diet)."""
+    from repro.cohort.operations import filter_events
+
+    return filter_events(
+        cohort,
+        point_predicate=lambda e: e.category == "diagnosis",
+        interval_predicate=lambda e: False,
+    )
+
+
+@register_view("timeline")
+def _timeline_view(store: EventStore, ids: list) -> object:
+    from repro.viz.timeline_view import TimelineConfig, TimelineView
+
+    return TimelineView(store, TimelineConfig()).render(list(ids))
+
+
+@register_view("density")
+def _density_view(store: EventStore, ids: list) -> object:
+    from repro.viz.density_view import render_density
+
+    return render_density(store, list(ids))
+
+
+@register_view("nsepter-graph")
+def _nsepter_view(store: EventStore, ids: list) -> object:
+    from repro.nsepter.graph import build_graph
+    from repro.nsepter.layout import layout_graph
+    from repro.viz.graph_view import render_graph
+
+    graph = build_graph(store.to_cohort(list(ids)))
+    return render_graph(graph, layout_graph(graph))

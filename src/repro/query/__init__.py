@@ -1,0 +1,70 @@
+"""Query layer: AST, fluent builder, textual language, vectorized engine
+and temporal pattern search."""
+
+from repro.query.ast import (
+    AgeRange,
+    Category,
+    CodeMatch,
+    Concept,
+    CountAtLeast,
+    EventAnd,
+    EventExpr,
+    EventNot,
+    EventOr,
+    FirstBefore,
+    HasEvent,
+    PatientAnd,
+    PatientExpr,
+    PatientNot,
+    PatientOr,
+    SexIs,
+    Source,
+    TimeWindow,
+    ValueRange,
+)
+from repro.query.builder import QueryBuilder
+from repro.query.engine import QueryEngine
+from repro.query.parser import parse_query
+from repro.query.printer import to_text
+from repro.query.temporal_patterns import (
+    AbsencePattern,
+    CareGap,
+    PatternMatch,
+    find_care_gaps,
+    PatternSearcher,
+    PatternStep,
+    TemporalPattern,
+)
+
+__all__ = [
+    "AgeRange",
+    "Category",
+    "CodeMatch",
+    "Concept",
+    "CountAtLeast",
+    "EventAnd",
+    "EventExpr",
+    "EventNot",
+    "EventOr",
+    "FirstBefore",
+    "HasEvent",
+    "PatientAnd",
+    "PatientExpr",
+    "PatientNot",
+    "PatientOr",
+    "AbsencePattern",
+    "CareGap",
+    "PatternMatch",
+    "find_care_gaps",
+    "PatternSearcher",
+    "PatternStep",
+    "QueryBuilder",
+    "QueryEngine",
+    "SexIs",
+    "Source",
+    "TemporalPattern",
+    "TimeWindow",
+    "ValueRange",
+    "parse_query",
+    "to_text",
+]

@@ -1,0 +1,251 @@
+"""Query AST: the workbench's selection language.
+
+Two strata, mirroring how the prototype's query builder works
+(Section IV, Figure 4):
+
+* **Event expressions** select *rows* of the event store: code regexes
+  over a hierarchy (the paper's primitive), categories, sources, value
+  and time ranges, and boolean combinations thereof.
+* **Patient expressions** select *patients* (the cohort identification
+  step): "has an event matching E", counted occurrence thresholds,
+  demographics, temporal sequences, and boolean combinations.
+
+Every node is a frozen dataclass, so queries are hashable values that
+can be cached, compared and printed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+
+__all__ = [
+    "EventExpr",
+    "CodeMatch",
+    "Concept",
+    "Category",
+    "Source",
+    "ValueRange",
+    "TimeWindow",
+    "EventAnd",
+    "EventOr",
+    "EventNot",
+    "PatientExpr",
+    "HasEvent",
+    "CountAtLeast",
+    "AgeRange",
+    "SexIs",
+    "FirstBefore",
+    "PatientAnd",
+    "PatientOr",
+    "PatientNot",
+]
+
+
+class EventExpr:
+    """Marker base for event-level expressions."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "EventExpr") -> "EventAnd":
+        return EventAnd((self, other))
+
+    def __or__(self, other: "EventExpr") -> "EventOr":
+        return EventOr((self, other))
+
+    def __invert__(self) -> "EventNot":
+        return EventNot(self)
+
+
+@dataclass(frozen=True)
+class CodeMatch(EventExpr):
+    """Events whose code (in ``system``) fully matches ``pattern``.
+
+    The paper's regex-over-hierarchy primitive: ``CodeMatch("ICPC-2",
+    "F.*|H.*")`` is the eye-or-ear example from Section IV-A.
+    """
+
+    system: str
+    pattern: str
+
+
+@dataclass(frozen=True)
+class Concept(EventExpr):
+    """Cross-terminology concept: ``code`` expanded through the ICPC-2 <->
+    ICD-10 map so one query spans primary care and hospital coding."""
+
+    code: str
+
+
+@dataclass(frozen=True)
+class Category(EventExpr):
+    """Events of one category (``"diagnosis"``, ``"gp_contact"`` ...)."""
+
+    category: str
+
+
+@dataclass(frozen=True)
+class Source(EventExpr):
+    """Events integrated from one raw source kind."""
+
+    source_kind: str
+
+
+@dataclass(frozen=True)
+class ValueRange(EventExpr):
+    """Events whose primary value lies in ``[low, high]`` (e.g. systolic)."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise QueryError(f"empty value range [{self.low}, {self.high}]")
+
+
+@dataclass(frozen=True)
+class TimeWindow(EventExpr):
+    """Events overlapping the closed day range ``[first_day, last_day]``."""
+
+    first_day: int
+    last_day: int
+
+    def __post_init__(self) -> None:
+        if self.first_day > self.last_day:
+            raise QueryError(
+                f"empty time window [{self.first_day}, {self.last_day}]"
+            )
+
+
+@dataclass(frozen=True)
+class EventAnd(EventExpr):
+    """Conjunction of event expressions (row-wise)."""
+
+    children: tuple[EventExpr, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.children) < 2:
+            raise QueryError("EventAnd needs at least two children")
+
+
+@dataclass(frozen=True)
+class EventOr(EventExpr):
+    """Disjunction of event expressions (row-wise)."""
+
+    children: tuple[EventExpr, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.children) < 2:
+            raise QueryError("EventOr needs at least two children")
+
+
+@dataclass(frozen=True)
+class EventNot(EventExpr):
+    """Row-wise complement."""
+
+    child: EventExpr
+
+
+class PatientExpr:
+    """Marker base for patient-level expressions."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "PatientExpr") -> "PatientAnd":
+        return PatientAnd((self, other))
+
+    def __or__(self, other: "PatientExpr") -> "PatientOr":
+        return PatientOr((self, other))
+
+    def __invert__(self) -> "PatientNot":
+        return PatientNot(self)
+
+
+@dataclass(frozen=True)
+class HasEvent(PatientExpr):
+    """Patients with at least one event matching ``expr``."""
+
+    expr: EventExpr
+
+
+@dataclass(frozen=True)
+class CountAtLeast(PatientExpr):
+    """Patients with at least ``minimum`` events matching ``expr``.
+
+    The utilization-threshold primitive: "at least 4 GP contacts in the
+    window" is ``CountAtLeast(Category("gp_contact"), 4)``.
+    """
+
+    expr: EventExpr
+    minimum: int
+
+    def __post_init__(self) -> None:
+        if self.minimum < 1:
+            raise QueryError("CountAtLeast minimum must be >= 1")
+
+
+@dataclass(frozen=True)
+class AgeRange(PatientExpr):
+    """Patients aged in ``[min_years, max_years]`` at ``at_day``."""
+
+    min_years: float
+    max_years: float
+    at_day: int
+
+    def __post_init__(self) -> None:
+        if self.min_years > self.max_years:
+            raise QueryError(
+                f"empty age range [{self.min_years}, {self.max_years}]"
+            )
+
+
+@dataclass(frozen=True)
+class SexIs(PatientExpr):
+    """Patients of the given sex (``"F"``/``"M"``)."""
+
+    sex: str
+
+    def __post_init__(self) -> None:
+        if self.sex not in ("F", "M", "U"):
+            raise QueryError(f"bad sex code {self.sex!r}")
+
+
+@dataclass(frozen=True)
+class FirstBefore(PatientExpr):
+    """Patients whose *first* event matching ``expr`` is on/before ``day``.
+
+    Supports incidence-style selections ("diagnosed before 2013").
+    """
+
+    expr: EventExpr
+    day: int
+
+
+@dataclass(frozen=True)
+class PatientAnd(PatientExpr):
+    """Set intersection of patient expressions."""
+
+    children: tuple[PatientExpr, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.children) < 2:
+            raise QueryError("PatientAnd needs at least two children")
+
+
+@dataclass(frozen=True)
+class PatientOr(PatientExpr):
+    """Set union of patient expressions."""
+
+    children: tuple[PatientExpr, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.children) < 2:
+            raise QueryError("PatientOr needs at least two children")
+
+
+@dataclass(frozen=True)
+class PatientNot(PatientExpr):
+    """Set complement (relative to every patient in the store)."""
+
+    child: PatientExpr

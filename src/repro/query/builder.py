@@ -1,0 +1,176 @@
+"""The query builder: Figure 4's GUI as a fluent API.
+
+Section IV-A: "While being a useful tool for computer scientists,
+general practitioners cannot be expected to be acquainted with regular
+expressions.  This means that a graphical user interface is needed."
+The GUI assembles regexes and boolean structure from form controls; this
+class is that assembly step, producing the same AST the GUI would.
+
+Example::
+
+    query = (
+        QueryBuilder()
+        .with_concept("T90")              # diabetes, either terminology
+        .with_branch("ICPC-2", "F", "H")  # the paper's eye-or-ear example
+        .min_count("gp_contact", 4)
+        .aged(40, 90, at_day=window.end_day)
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.query.ast import (
+    AgeRange,
+    Category,
+    CodeMatch,
+    Concept,
+    CountAtLeast,
+    EventAnd,
+    EventExpr,
+    FirstBefore,
+    HasEvent,
+    PatientAnd,
+    PatientExpr,
+    PatientNot,
+    PatientOr,
+    SexIs,
+    TimeWindow,
+)
+from repro.terminology.regex_select import any_of, prefix_pattern
+
+__all__ = ["QueryBuilder"]
+
+
+class QueryBuilder:
+    """Accumulates clauses; ``build()`` conjoins them (GUI semantics).
+
+    Each ``with_*``/``min_*``/demographic call adds one clause; clauses
+    are ANDed.  ``either(...)`` injects a disjunctive group, ``exclude``
+    a negated one.  The builder is single-use: ``build`` freezes it.
+    """
+
+    def __init__(self) -> None:
+        self._clauses: list[PatientExpr] = []
+        self._window: TimeWindow | None = None
+        self._built = False
+
+    # -- time scoping --------------------------------------------------------
+
+    def in_window(self, first_day: int, last_day: int) -> "QueryBuilder":
+        """Restrict every event clause to a day window."""
+        self._window = TimeWindow(first_day, last_day)
+        return self
+
+    def _scoped(self, expr: EventExpr) -> EventExpr:
+        if self._window is None:
+            return expr
+        return EventAnd((expr, self._window))
+
+    # -- event clauses -------------------------------------------------
+
+    def with_event(self, expr: EventExpr) -> "QueryBuilder":
+        """Require at least one event matching an arbitrary expression."""
+        self._clauses.append(HasEvent(self._scoped(expr)))
+        return self
+
+    def with_code(self, system: str, pattern: str) -> "QueryBuilder":
+        """Require a code regex hit (the paper's primitive)."""
+        return self.with_event(CodeMatch(system, pattern))
+
+    def with_branch(self, system: str, *prefixes: str) -> "QueryBuilder":
+        """Require a hit in one of the named hierarchy branches.
+
+        ``with_branch("ICPC-2", "F", "H")`` builds ``F.*|H.*``.
+        """
+        if not prefixes:
+            raise QueryError("with_branch needs at least one prefix")
+        pattern = any_of(*(prefix_pattern(p) for p in prefixes))
+        return self.with_code(system, pattern)
+
+    def with_concept(self, code: str) -> "QueryBuilder":
+        """Require the concept in either terminology (map-expanded)."""
+        return self.with_event(Concept(code))
+
+    def with_category(self, category: str) -> "QueryBuilder":
+        """Require at least one event of a category."""
+        return self.with_event(Category(category))
+
+    def min_count(self, category: str, minimum: int) -> "QueryBuilder":
+        """Require at least ``minimum`` events of a category."""
+        self._clauses.append(
+            CountAtLeast(self._scoped(Category(category)), minimum)
+        )
+        return self
+
+    def min_code_count(
+        self, system: str, pattern: str, minimum: int
+    ) -> "QueryBuilder":
+        """Require at least ``minimum`` code-regex hits."""
+        self._clauses.append(
+            CountAtLeast(self._scoped(CodeMatch(system, pattern)), minimum)
+        )
+        return self
+
+    def first_diagnosis_before(
+        self, system: str, pattern: str, day: int
+    ) -> "QueryBuilder":
+        """Require the first matching diagnosis on/before ``day``."""
+        self._clauses.append(
+            FirstBefore(self._scoped(CodeMatch(system, pattern)), day)
+        )
+        return self
+
+    # -- demographics ------------------------------------------------------
+
+    def aged(
+        self, min_years: float, max_years: float, at_day: int
+    ) -> "QueryBuilder":
+        """Require age within a range at a reference day."""
+        self._clauses.append(AgeRange(min_years, max_years, at_day))
+        return self
+
+    def female(self) -> "QueryBuilder":
+        """Require female sex."""
+        self._clauses.append(SexIs("F"))
+        return self
+
+    def male(self) -> "QueryBuilder":
+        """Require male sex."""
+        self._clauses.append(SexIs("M"))
+        return self
+
+    # -- boolean structure ---------------------------------------------------
+
+    def either(self, *alternatives: PatientExpr | EventExpr) -> "QueryBuilder":
+        """Add a disjunctive clause (any alternative suffices)."""
+        if len(alternatives) < 2:
+            raise QueryError("either() needs at least two alternatives")
+        wrapped = tuple(
+            HasEvent(self._scoped(a)) if isinstance(a, EventExpr) else a
+            for a in alternatives
+        )
+        self._clauses.append(PatientOr(wrapped))
+        return self
+
+    def exclude(self, expr: PatientExpr | EventExpr) -> "QueryBuilder":
+        """Add a negated clause (matching patients are removed)."""
+        wrapped = (
+            HasEvent(self._scoped(expr)) if isinstance(expr, EventExpr) else expr
+        )
+        self._clauses.append(PatientNot(wrapped))
+        return self
+
+    # -- finalization --------------------------------------------------------
+
+    def build(self) -> PatientExpr:
+        """Conjoin all clauses into the final patient expression."""
+        if self._built:
+            raise QueryError("this builder was already built")
+        if not self._clauses:
+            raise QueryError("cannot build an empty query")
+        self._built = True
+        if len(self._clauses) == 1:
+            return self._clauses[0]
+        return PatientAnd(tuple(self._clauses))

@@ -1,0 +1,147 @@
+"""Vectorized query evaluation over the columnar event store.
+
+Event expressions compile to boolean masks (numpy row predicates);
+patient expressions compile to sorted int64 id arrays.  Set algebra on
+patients uses ``np.intersect1d``/``union1d``/``setdiff1d``, so the whole
+168k-patient selection (experiment E5) runs in tens of milliseconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.events.store import EventStore
+from repro.query.ast import (
+    AgeRange,
+    Category,
+    CodeMatch,
+    Concept,
+    CountAtLeast,
+    EventAnd,
+    EventExpr,
+    EventNot,
+    EventOr,
+    FirstBefore,
+    HasEvent,
+    PatientAnd,
+    PatientExpr,
+    PatientNot,
+    PatientOr,
+    SexIs,
+    Source,
+    TimeWindow,
+    ValueRange,
+)
+from repro.terminology import icpc2_to_icd10_map
+
+__all__ = ["QueryEngine"]
+
+
+class QueryEngine:
+    """Evaluates query ASTs against one :class:`EventStore`."""
+
+    def __init__(self, store: EventStore) -> None:
+        self.store = store
+
+    # -- event level -----------------------------------------------------
+
+    def event_mask(self, expr: EventExpr) -> np.ndarray:
+        """Compile an event expression to a boolean row mask."""
+        store = self.store
+        if isinstance(expr, CodeMatch):
+            return store.mask_pattern(expr.system, expr.pattern)
+        if isinstance(expr, Concept):
+            icpc_codes, icd_codes = icpc2_to_icd10_map().expand_concept(expr.code)
+            mask = np.zeros(store.n_events, dtype=bool)
+            if icpc_codes:
+                ids = frozenset(
+                    store.systems["ICPC-2"].id_of(c) for c in icpc_codes
+                )
+                mask |= store.mask_codes("ICPC-2", ids)
+            if icd_codes:
+                ids = frozenset(
+                    store.systems["ICD-10"].id_of(c) for c in icd_codes
+                )
+                mask |= store.mask_codes("ICD-10", ids)
+            return mask
+        if isinstance(expr, Category):
+            return store.mask_category(expr.category)
+        if isinstance(expr, Source):
+            return store.mask_source(expr.source_kind)
+        if isinstance(expr, ValueRange):
+            return store.mask_value_range(expr.low, expr.high)
+        if isinstance(expr, TimeWindow):
+            return store.mask_day_range(expr.first_day, expr.last_day)
+        if isinstance(expr, EventAnd):
+            mask = self.event_mask(expr.children[0])
+            for child in expr.children[1:]:
+                mask = mask & self.event_mask(child)
+            return mask
+        if isinstance(expr, EventOr):
+            mask = self.event_mask(expr.children[0])
+            for child in expr.children[1:]:
+                mask = mask | self.event_mask(child)
+            return mask
+        if isinstance(expr, EventNot):
+            return ~self.event_mask(expr.child)
+        raise QueryError(f"unknown event expression {expr!r}")
+
+    # -- patient level ------------------------------------------------------
+
+    def patients(self, expr: PatientExpr | EventExpr) -> np.ndarray:
+        """Evaluate to a sorted array of matching patient ids.
+
+        An event expression is implicitly wrapped in :class:`HasEvent`.
+        """
+        if isinstance(expr, EventExpr):
+            expr = HasEvent(expr)
+        store = self.store
+        if isinstance(expr, HasEvent):
+            return store.patients_matching(self.event_mask(expr.expr))
+        if isinstance(expr, CountAtLeast):
+            mask = self.event_mask(expr.expr)
+            ids, counts = np.unique(store.patient[mask], return_counts=True)
+            return ids[counts >= expr.minimum]
+        if isinstance(expr, AgeRange):
+            ages = (expr.at_day - store.birth_days) / 365.25
+            selected = (ages >= expr.min_years) & (ages <= expr.max_years)
+            return store.patient_ids[selected]
+        if isinstance(expr, SexIs):
+            code = {"U": 0, "F": 1, "M": 2}[expr.sex]
+            return store.patient_ids[store.sexes == code]
+        if isinstance(expr, FirstBefore):
+            first = store.first_day_per_patient(self.event_mask(expr.expr))
+            return np.asarray(
+                sorted(pid for pid, day in first.items() if day <= expr.day),
+                dtype=np.int64,
+            )
+        if isinstance(expr, PatientAnd):
+            result = self.patients(expr.children[0])
+            for child in expr.children[1:]:
+                if len(result) == 0:
+                    break
+                result = np.intersect1d(
+                    result, self.patients(child), assume_unique=True
+                )
+            return result
+        if isinstance(expr, PatientOr):
+            result = self.patients(expr.children[0])
+            for child in expr.children[1:]:
+                result = np.union1d(result, self.patients(child))
+            return result
+        if isinstance(expr, PatientNot):
+            return np.setdiff1d(
+                store.patient_ids, self.patients(expr.child), assume_unique=True
+            )
+        raise QueryError(f"unknown patient expression {expr!r}")
+
+    def count(self, expr: PatientExpr | EventExpr) -> int:
+        """Number of matching patients."""
+        return int(len(self.patients(expr)))
+
+    def selectivity(self, expr: PatientExpr | EventExpr) -> float:
+        """Matching fraction of the store's population."""
+        if self.store.n_patients == 0:
+            return 0.0
+        return self.count(expr) / self.store.n_patients

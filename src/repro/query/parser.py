@@ -1,0 +1,215 @@
+"""A small textual query language over the query AST.
+
+The workbench's saved/scripted face of the Figure 4 builder.  Grammar
+(case-insensitive keywords, ``#`` comments to end of line)::
+
+    query    := or
+    or       := and ( "or" and )*
+    and      := unary ( "and" unary )*
+    unary    := "not" unary | "(" query ")" | atom
+    atom     := "code" SYSTEM REGEX
+              | "concept" CODE
+              | "category" NAME
+              | "source" NAME
+              | "atleast" INT event_atom
+              | "first" event_atom "before" INT
+              | "age" NUM ".." NUM "at" INT
+              | "sex" ("F" | "M")
+              | "during" INT ".." INT event_atom
+
+    SYSTEM   := "icpc2" | "icd10" | "atc"
+    REGEX    := /.../          (slash-delimited)
+
+Examples::
+
+    code icpc2 /T90/ and atleast 4 category gp_contact
+    (concept E11 or code icpc2 /T89/) and age 40 .. 90 at 15706
+    during 15340 .. 15706 code icpc2 /K8./ and not sex M
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import QuerySyntaxError
+from repro.query.ast import (
+    AgeRange,
+    Category,
+    CodeMatch,
+    Concept,
+    CountAtLeast,
+    EventAnd,
+    EventExpr,
+    FirstBefore,
+    HasEvent,
+    PatientAnd,
+    PatientExpr,
+    PatientNot,
+    PatientOr,
+    SexIs,
+    Source,
+    TimeWindow,
+)
+
+__all__ = ["parse_query"]
+
+_SYSTEM_ALIASES = {"icpc2": "ICPC-2", "icd10": "ICD-10", "atc": "ATC"}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<regex>/(?:[^/\\]|\\.)*/) |
+    (?P<range>\.\.) |
+    (?P<lparen>\() | (?P<rparen>\)) |
+    (?P<number>-?\d+(?:\.\d+)?) |
+    (?P<word>[A-Za-z_][\w\-]*) |
+    (?P<comment>\#[^\n]*) |
+    (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str, int]]:
+    tokens: list[tuple[str, str, int]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise QuerySyntaxError(text, pos, f"bad character {text[pos]!r}")
+        kind = match.lastgroup or ""
+        if kind not in ("ws", "comment"):
+            tokens.append((kind, match.group(), pos))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    def _error(self, detail: str) -> QuerySyntaxError:
+        at = self.tokens[self.pos][2] if self.pos < len(self.tokens) else len(
+            self.text
+        )
+        return QuerySyntaxError(self.text, at, detail)
+
+    def peek_word(self) -> str | None:
+        if self.pos < len(self.tokens) and self.tokens[self.pos][0] == "word":
+            return self.tokens[self.pos][1].lower()
+        return None
+
+    def next(self, expected_kind: str | None = None) -> tuple[str, str]:
+        if self.pos >= len(self.tokens):
+            raise self._error("unexpected end of query")
+        kind, value, _ = self.tokens[self.pos]
+        if expected_kind is not None and kind != expected_kind:
+            raise self._error(f"expected {expected_kind}, got {value!r}")
+        self.pos += 1
+        return kind, value
+
+    def accept_word(self, word: str) -> bool:
+        if self.peek_word() == word:
+            self.pos += 1
+            return True
+        return False
+
+    # -- grammar ---------------------------------------------------------
+
+    def parse(self) -> PatientExpr:
+        expr = self.parse_or()
+        if self.pos < len(self.tokens):
+            raise self._error("trailing input after query")
+        return expr
+
+    def parse_or(self) -> PatientExpr:
+        parts = [self.parse_and()]
+        while self.accept_word("or"):
+            parts.append(self.parse_and())
+        return parts[0] if len(parts) == 1 else PatientOr(tuple(parts))
+
+    def parse_and(self) -> PatientExpr:
+        parts = [self.parse_unary()]
+        while self.accept_word("and"):
+            parts.append(self.parse_unary())
+        return parts[0] if len(parts) == 1 else PatientAnd(tuple(parts))
+
+    def parse_unary(self) -> PatientExpr:
+        if self.accept_word("not"):
+            return PatientNot(self.parse_unary())
+        if self.pos < len(self.tokens) and self.tokens[self.pos][0] == "lparen":
+            self.next("lparen")
+            expr = self.parse_or()
+            self.next("rparen")
+            return expr
+        return self.parse_atom()
+
+    def parse_event_atom(self) -> EventExpr:
+        word = self.peek_word()
+        if word == "code":
+            self.pos += 1
+            __, system_word = self.next("word")
+            system = _SYSTEM_ALIASES.get(system_word.lower())
+            if system is None:
+                raise self._error(f"unknown code system {system_word!r}")
+            __, regex = self.next("regex")
+            return CodeMatch(system, regex[1:-1].replace("\\/", "/"))
+        if word == "concept":
+            self.pos += 1
+            __, code = self.next("word")
+            return Concept(code.upper())
+        if word == "category":
+            self.pos += 1
+            __, name = self.next("word")
+            return Category(name)
+        if word == "source":
+            self.pos += 1
+            __, name = self.next("word")
+            return Source(name)
+        if word == "during":
+            self.pos += 1
+            __, lo = self.next("number")
+            self.next("range")
+            __, hi = self.next("number")
+            inner = self.parse_event_atom()
+            return EventAnd((inner, TimeWindow(int(lo), int(hi))))
+        raise self._error(f"expected an event atom, got {word!r}")
+
+    def parse_atom(self) -> PatientExpr:
+        word = self.peek_word()
+        if word in ("code", "concept", "category", "source", "during"):
+            return HasEvent(self.parse_event_atom())
+        if word == "atleast":
+            self.pos += 1
+            __, n = self.next("number")
+            inner = self.parse_event_atom()
+            return CountAtLeast(inner, int(n))
+        if word == "first":
+            self.pos += 1
+            inner = self.parse_event_atom()
+            if not self.accept_word("before"):
+                raise self._error("expected 'before' after first <event>")
+            __, day = self.next("number")
+            return FirstBefore(inner, int(day))
+        if word == "age":
+            self.pos += 1
+            __, lo = self.next("number")
+            self.next("range")
+            __, hi = self.next("number")
+            if not self.accept_word("at"):
+                raise self._error("expected 'at <day>' after age range")
+            __, day = self.next("number")
+            return AgeRange(float(lo), float(hi), int(day))
+        if word == "sex":
+            self.pos += 1
+            __, sex = self.next("word")
+            if sex.upper() not in ("F", "M"):
+                raise self._error(f"sex must be F or M, got {sex!r}")
+            return SexIs(sex.upper())
+        raise self._error(f"expected a query atom, got {word!r}")
+
+
+def parse_query(text: str) -> PatientExpr:
+    """Parse the textual query language into a patient expression."""
+    return _Parser(text).parse()

@@ -1,0 +1,101 @@
+"""Query printing: AST -> the textual language.
+
+The inverse of :mod:`repro.query.parser`, used by the session log and
+for saving queries.  ``parse_query(to_text(q))`` is the identity on
+every expressible query (property-tested), so stored query text is a
+faithful serialization.
+
+Expressions the text language cannot express (`ValueRange`, `EventNot`,
+free-standing `TimeWindow` combinations beyond the ``during`` form)
+raise :class:`~repro.errors.QueryError` rather than printing something
+that would not parse back.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.query.ast import (
+    AgeRange,
+    Category,
+    CodeMatch,
+    Concept,
+    CountAtLeast,
+    EventAnd,
+    EventExpr,
+    FirstBefore,
+    HasEvent,
+    PatientAnd,
+    PatientExpr,
+    PatientNot,
+    PatientOr,
+    SexIs,
+    Source,
+    TimeWindow,
+)
+
+__all__ = ["to_text"]
+
+_SYSTEM_ALIASES = {"ICPC-2": "icpc2", "ICD-10": "icd10", "ATC": "atc"}
+
+
+def _format_number(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _event_text(expr: EventExpr) -> str:
+    if isinstance(expr, CodeMatch):
+        alias = _SYSTEM_ALIASES.get(expr.system)
+        if alias is None:
+            raise QueryError(f"no textual alias for system {expr.system!r}")
+        escaped = expr.pattern.replace("/", "\\/")
+        return f"code {alias} /{escaped}/"
+    if isinstance(expr, Concept):
+        return f"concept {expr.code}"
+    if isinstance(expr, Category):
+        return f"category {expr.category}"
+    if isinstance(expr, Source):
+        return f"source {expr.source_kind}"
+    if isinstance(expr, EventAnd):
+        # Only the `during LO .. HI <atom>` shape is expressible.
+        if len(expr.children) == 2 and isinstance(
+            expr.children[1], TimeWindow
+        ):
+            window = expr.children[1]
+            inner = _event_text(expr.children[0])
+            return f"during {window.first_day} .. {window.last_day} {inner}"
+        raise QueryError(
+            "only 'atom AND TimeWindow' event conjunctions are printable"
+        )
+    raise QueryError(f"event expression {expr!r} is not printable")
+
+
+def to_text(query: PatientExpr, _parenthesize: bool = False) -> str:
+    """Render a patient expression in the textual query language."""
+    if isinstance(query, HasEvent):
+        return _event_text(query.expr)
+    if isinstance(query, CountAtLeast):
+        return f"atleast {query.minimum} {_event_text(query.expr)}"
+    if isinstance(query, FirstBefore):
+        return f"first {_event_text(query.expr)} before {query.day}"
+    if isinstance(query, AgeRange):
+        return (
+            f"age {_format_number(query.min_years)} .. "
+            f"{_format_number(query.max_years)} at {query.at_day}"
+        )
+    if isinstance(query, SexIs):
+        return f"sex {query.sex}"
+    if isinstance(query, PatientNot):
+        return f"not {to_text(query.child, _parenthesize=True)}"
+    if isinstance(query, PatientAnd):
+        text = " and ".join(
+            to_text(child, _parenthesize=True) for child in query.children
+        )
+        return f"({text})" if _parenthesize else text
+    if isinstance(query, PatientOr):
+        text = " or ".join(
+            to_text(child, _parenthesize=True) for child in query.children
+        )
+        return f"({text})" if _parenthesize else text
+    raise QueryError(f"query {query!r} is not printable")

@@ -1,0 +1,252 @@
+"""Temporal pattern search: event sequences with gap constraints.
+
+The interactive operations include "searching for temporal patterns"
+(Section IV), and the related-work discussion of Fails et al. (Section
+II-D2) describes showing one line per *hit* of a temporal query.  A
+pattern is an ordered list of event expressions with per-step gap bounds
+and an optional whole-match window; matches are found greedily
+(earliest-first, non-overlapping) per patient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.query.ast import EventExpr
+from repro.query.engine import QueryEngine
+
+__all__ = ["PatternStep", "TemporalPattern", "PatternMatch",
+           "PatternSearcher", "AbsencePattern", "CareGap", "find_care_gaps"]
+
+
+@dataclass(frozen=True)
+class PatternStep:
+    """One step of a pattern: an event expression plus a display label."""
+
+    expr: EventExpr
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class TemporalPattern:
+    """An ordered sequence of steps with gap constraints.
+
+    Attributes:
+        steps: the steps, in required temporal order.
+        min_gap: minimum days between consecutive step events (0 allows
+            same-day chaining).
+        max_gap: maximum days between consecutive step events, or None.
+        within: bound on the whole match span (first to last day), or None.
+    """
+
+    steps: tuple[PatternStep, ...]
+    min_gap: int = 0
+    max_gap: int | None = None
+    within: int | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.steps) < 1:
+            raise QueryError("a pattern needs at least one step")
+        if self.min_gap < 0:
+            raise QueryError("min_gap must be non-negative")
+        if self.max_gap is not None and self.max_gap < self.min_gap:
+            raise QueryError("max_gap must be >= min_gap")
+
+
+@dataclass(frozen=True)
+class PatternMatch:
+    """One hit: the matched day per step for one patient."""
+
+    patient_id: int
+    days: tuple[int, ...]
+
+    @property
+    def first_day(self) -> int:
+        return self.days[0]
+
+    @property
+    def last_day(self) -> int:
+        return self.days[-1]
+
+    @property
+    def span_days(self) -> int:
+        return self.last_day - self.first_day
+
+
+class PatternSearcher:
+    """Finds :class:`TemporalPattern` matches over an event store."""
+
+    def __init__(self, engine: QueryEngine) -> None:
+        self.engine = engine
+
+    def _step_days(self, expr: EventExpr) -> dict[int, np.ndarray]:
+        """patient id -> sorted array of matching event days."""
+        store = self.engine.store
+        mask = self.engine.event_mask(expr)
+        patients = store.patient[mask]
+        days = store.day[mask]
+        result: dict[int, np.ndarray] = {}
+        if len(patients) == 0:
+            return result
+        # Store rows are sorted by (patient, day): slice per patient.
+        boundaries = np.flatnonzero(np.diff(patients)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [len(patients)]))
+        for lo, hi in zip(starts.tolist(), ends.tolist()):
+            result[int(patients[lo])] = days[lo:hi]
+        return result
+
+    def find(self, pattern: TemporalPattern) -> list[PatternMatch]:
+        """All greedy, non-overlapping matches, ordered by (patient, day)."""
+        step_days = [self._step_days(step.expr) for step in pattern.steps]
+        if not step_days or not step_days[0]:
+            return []
+        candidates = set(step_days[0])
+        for days in step_days[1:]:
+            candidates &= set(days)
+            if not candidates:
+                return []
+        matches: list[PatternMatch] = []
+        for patient_id in sorted(candidates):
+            matches.extend(
+                self._match_patient(
+                    patient_id,
+                    [days[patient_id] for days in step_days],
+                    pattern,
+                )
+            )
+        return matches
+
+    def _match_patient(
+        self,
+        patient_id: int,
+        per_step: list[np.ndarray],
+        pattern: TemporalPattern,
+    ) -> list[PatternMatch]:
+        matches: list[PatternMatch] = []
+        cursor = -np.inf  # first step event must be strictly after this
+        while True:
+            days = self._greedy_from(per_step, pattern, cursor)
+            if days is None:
+                return matches
+            matches.append(PatternMatch(patient_id, tuple(days)))
+            cursor = days[-1]  # non-overlapping: restart after the match
+
+    @staticmethod
+    def _greedy_from(
+        per_step: list[np.ndarray],
+        pattern: TemporalPattern,
+        after: float,
+    ) -> list[int] | None:
+        """Earliest match whose first event is strictly after ``after``."""
+        first_days = per_step[0]
+        start_idx = int(np.searchsorted(first_days, after, side="right"))
+        while start_idx < len(first_days):
+            first_day = int(first_days[start_idx])
+            days = [first_day]
+            ok = True
+            for step_days in per_step[1:]:
+                # min_gap == 0 allows same-day chaining (day granularity
+                # cannot distinguish same-day order).
+                lo = days[-1] + pattern.min_gap
+                idx = int(np.searchsorted(step_days, lo, side="left"))
+                if idx >= len(step_days):
+                    ok = False
+                    break
+                day = int(step_days[idx])
+                if pattern.max_gap is not None and day - days[-1] > pattern.max_gap:
+                    ok = False
+                    break
+                days.append(day)
+            if ok and (
+                pattern.within is None or days[-1] - days[0] <= pattern.within
+            ):
+                return days
+            start_idx += 1
+        return None
+
+    def patients(self, pattern: TemporalPattern) -> np.ndarray:
+        """Sorted ids of patients with at least one match."""
+        return np.asarray(
+            sorted({m.patient_id for m in self.find(pattern)}), dtype=np.int64
+        )
+
+
+@dataclass(frozen=True)
+class AbsencePattern:
+    """An anchor event NOT followed by an expected event in time.
+
+    The care-gap query: patients whose ``anchor`` (e.g. first diabetes
+    diagnosis) is *not* followed by ``expected`` (e.g. any GP contact)
+    within ``within`` days.  The complement of a two-step
+    :class:`TemporalPattern`, phrased directly because "find who is
+    missing follow-up" is its own clinical question.
+
+    Attributes:
+        anchor: the index event expression.
+        expected: the event that should follow.
+        within: follow-up window in days (> 0).
+        from_first_anchor_only: when True (default) only each patient's
+            first anchor occurrence is checked; when False, *any* anchor
+            occurrence lacking follow-up flags the patient.
+    """
+
+    anchor: EventExpr
+    expected: EventExpr
+    within: int
+    from_first_anchor_only: bool = True
+
+    def __post_init__(self) -> None:
+        if self.within <= 0:
+            raise QueryError("the follow-up window must be positive")
+
+
+@dataclass(frozen=True)
+class CareGap:
+    """One detected gap: the anchor day lacking expected follow-up."""
+
+    patient_id: int
+    anchor_day: int
+    window_end: int
+
+
+def find_care_gaps(
+    engine: QueryEngine, pattern: AbsencePattern,
+    horizon_day: int | None = None,
+) -> list[CareGap]:
+    """All anchor occurrences lacking the expected follow-up.
+
+    Anchors whose window extends past ``horizon_day`` (the end of
+    observation) are skipped — absence cannot be asserted when the
+    window is censored.
+    """
+    store = engine.store
+    searcher = PatternSearcher(engine)
+    anchor_days = searcher._step_days(pattern.anchor)
+    expected_days = searcher._step_days(pattern.expected)
+    if horizon_day is None:
+        horizon_day = int(store.day.max())
+
+    gaps: list[CareGap] = []
+    for patient_id, days in anchor_days.items():
+        candidates = (
+            days[:1] if pattern.from_first_anchor_only else days
+        )
+        follow = expected_days.get(patient_id)
+        for day in candidates.tolist():
+            window_end = day + pattern.within
+            if window_end > horizon_day:
+                continue  # censored: absence unknowable
+            if follow is None:
+                gaps.append(CareGap(patient_id, int(day), window_end))
+                continue
+            idx = int(np.searchsorted(follow, day, side="right"))
+            has_follow_up = (
+                idx < len(follow) and int(follow[idx]) <= window_end
+            )
+            if not has_follow_up:
+                gaps.append(CareGap(patient_id, int(day), window_end))
+    return gaps

@@ -1,0 +1,181 @@
+"""Analysis sessions: history, undo and extraction.
+
+Shneiderman's task taxonomy (paper Section II-C3) lists seven tasks;
+the paper notes the last three — relationships, **history**, and
+**extraction** — are "more seldom [implemented] since they do not add to
+the capability of the visualization itself ... They are, however,
+important for the explorative aspects of interaction and should be
+remembered when developing a prototype."  This module remembers them:
+
+* :class:`AnalysisSession` keeps a navigable log of selection steps
+  (query text/AST, resulting cohort size, wall time) with undo/redo, so
+  the analyst can retrace how a cohort was derived;
+* :meth:`AnalysisSession.extract` writes the current selection out —
+  ids as CSV, or the full sub-cohort as a reloadable ``.npz`` store —
+  the "extraction of sub-collections" the paper's Section IV lists as an
+  interactive operation.
+"""
+
+from __future__ import annotations
+
+import csv
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.events.store import EventStore
+from repro.io import save_store
+from repro.query.ast import EventExpr, PatientExpr
+from repro.query.parser import parse_query
+from repro.workbench import Workbench
+
+__all__ = ["SelectionStep", "AnalysisSession"]
+
+
+@dataclass(frozen=True)
+class SelectionStep:
+    """One recorded step in the session history."""
+
+    label: str
+    n_selected: int
+    elapsed_s: float
+    patient_ids: tuple[int, ...] = field(repr=False)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label}  ->  {self.n_selected:,} patients "
+            f"({self.elapsed_s * 1e3:.0f} ms)"
+        )
+
+
+class AnalysisSession:
+    """A workbench plus the analyst's selection history.
+
+    Steps operate on the *current* selection: ``select`` replaces it,
+    ``refine`` intersects with it, ``extend`` unions into it, and
+    ``undo``/``redo`` walk the history.  The initial selection is the
+    whole population.
+    """
+
+    def __init__(self, workbench: Workbench) -> None:
+        self.workbench = workbench
+        initial = tuple(int(p) for p in workbench.store.patient_ids)
+        self._steps: list[SelectionStep] = [
+            SelectionStep("(all patients)", len(initial), 0.0, initial)
+        ]
+        self._cursor = 0
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def current(self) -> SelectionStep:
+        """The step the cursor points at."""
+        return self._steps[self._cursor]
+
+    @property
+    def selected_ids(self) -> tuple[int, ...]:
+        """The current selection's patient ids."""
+        return self.current.patient_ids
+
+    def history(self) -> list[SelectionStep]:
+        """All steps up to the cursor (the visible history)."""
+        return self._steps[: self._cursor + 1]
+
+    # -- selection operations ---------------------------------------------
+
+    def _run(self, query: str | PatientExpr | EventExpr) -> np.ndarray:
+        if isinstance(query, str):
+            return self.workbench.select(parse_query(query))
+        return self.workbench.select(query)
+
+    def _push(self, label: str, ids, elapsed: float) -> SelectionStep:
+        step = SelectionStep(
+            label=label,
+            n_selected=len(ids),
+            elapsed_s=elapsed,
+            patient_ids=tuple(int(p) for p in ids),
+        )
+        # A new step truncates any redo tail.
+        del self._steps[self._cursor + 1:]
+        self._steps.append(step)
+        self._cursor += 1
+        return step
+
+    def select(self, query: str | PatientExpr | EventExpr,
+               label: str = "") -> SelectionStep:
+        """Replace the selection with the query result."""
+        t0 = time.perf_counter()
+        ids = self._run(query)
+        return self._push(
+            label or f"select {query}" if not isinstance(query, str)
+            else label or f"select: {query}",
+            ids, time.perf_counter() - t0,
+        )
+
+    def refine(self, query: str | PatientExpr | EventExpr,
+               label: str = "") -> SelectionStep:
+        """Intersect the current selection with the query result."""
+        t0 = time.perf_counter()
+        ids = np.intersect1d(
+            np.asarray(self.selected_ids, dtype=np.int64), self._run(query)
+        )
+        text = label or (f"refine: {query}" if isinstance(query, str)
+                         else f"refine {query!r}")
+        return self._push(text, ids, time.perf_counter() - t0)
+
+    def extend(self, query: str | PatientExpr | EventExpr,
+               label: str = "") -> SelectionStep:
+        """Union the query result into the current selection."""
+        t0 = time.perf_counter()
+        ids = np.union1d(
+            np.asarray(self.selected_ids, dtype=np.int64), self._run(query)
+        )
+        text = label or (f"extend: {query}" if isinstance(query, str)
+                         else f"extend {query!r}")
+        return self._push(text, ids, time.perf_counter() - t0)
+
+    # -- history navigation ---------------------------------------------------
+
+    def undo(self) -> SelectionStep:
+        """Step back; raises at the initial state."""
+        if self._cursor == 0:
+            raise QueryError("nothing to undo")
+        self._cursor -= 1
+        return self.current
+
+    def redo(self) -> SelectionStep:
+        """Step forward after an undo; raises at the newest state."""
+        if self._cursor == len(self._steps) - 1:
+            raise QueryError("nothing to redo")
+        self._cursor += 1
+        return self.current
+
+    # -- extraction -------------------------------------------------------
+
+    def extract_ids(self, path: str) -> int:
+        """Write the current selection's patient ids as CSV."""
+        ids = self.selected_ids
+        with open(path, "w", newline="", encoding="utf-8") as f:
+            writer = csv.writer(f)
+            writer.writerow(["patient_id"])
+            writer.writerows([pid] for pid in ids)
+        return len(ids)
+
+    def extract_store(self, path: str) -> int:
+        """Write the current selection as a reloadable sub-store."""
+        cohort = self.workbench.cohort(list(self.selected_ids))
+        sub_store = EventStore.from_cohort(
+            cohort, systems=self.workbench.store.systems
+        )
+        save_store(sub_store, path)
+        return sub_store.n_patients
+
+    def describe(self) -> str:
+        """A printable history block (the 'history' task, made visible)."""
+        lines = []
+        for i, step in enumerate(self.history()):
+            marker = "->" if i == self._cursor else "  "
+            lines.append(f"{marker} {i}. {step}")
+        return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Synthetic data substrate: population, condition models, trajectory
+generation (full-fidelity raw records and fast vectorized store), noise
+injection and the patient-recall model."""
+
+from repro.simulate.conditions import (
+    ACUTE_CONDITIONS,
+    CONDITIONS,
+    AcuteModel,
+    ConditionModel,
+)
+from repro.simulate.fast import FastGenerationSummary, generate_store_fast
+from repro.simulate.noise import NoiseConfig, Noiser
+from repro.simulate.population import SimulatedPatient, generate_population
+from repro.simulate.recall import RecallOutcome, RecallStudy, run_recognition_study
+from repro.simulate.trajectories import RawSources, StudyWindow, generate_raw_sources
+
+__all__ = [
+    "ACUTE_CONDITIONS",
+    "AcuteModel",
+    "CONDITIONS",
+    "ConditionModel",
+    "FastGenerationSummary",
+    "NoiseConfig",
+    "Noiser",
+    "RawSources",
+    "RecallOutcome",
+    "RecallStudy",
+    "SimulatedPatient",
+    "StudyWindow",
+    "generate_population",
+    "generate_raw_sources",
+    "generate_store_fast",
+    "run_recognition_study",
+]

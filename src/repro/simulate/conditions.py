@@ -1,0 +1,372 @@
+"""Chronic-condition models driving the synthetic population.
+
+The paper's cohort is "patients trajectories in a prospective
+longitudinal cohort study with data on somatic primary and specialist
+health care utilization for a two-year period" (Section III), with a
+focus on "chronically ill patients as they frequently have complex
+patient histories".  Each :class:`ConditionModel` couples:
+
+* coding in both terminologies (the heterogeneity the tool integrates),
+* utilization rates per care level (GP / specialist / hospital),
+* typical medications (ATC) so Figure 1's medication-class coloring has
+  something to show,
+* age/sex prevalence structure and comorbidity boosts (diabetes raises
+  hypertension odds etc.), so cohort queries select clinically coherent
+  subgroups.
+
+Rates are plausible order-of-magnitude values for Norwegian primary
+care; the reproduction's claims depend on their *relative* structure,
+not on epidemiological precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ConditionModel", "CONDITIONS", "ACUTE_CONDITIONS", "AcuteModel"]
+
+
+@dataclass(frozen=True)
+class ConditionModel:
+    """One chronic condition's coding, utilization and prevalence model.
+
+    Attributes:
+        name: internal identifier.
+        icpc2: ICPC-2 rubric used in primary care.
+        icd10: ICD-10 category used by hospitals/specialists.
+        prevalence_at_60: probability an average 60-year-old has it.
+        age_slope: multiplicative prevalence change per decade of age
+            above/below 60 (1.6 = strongly age-driven).
+        female_share: fraction of cases that are female (0.5 = neutral).
+        gp_visits_per_year: Poisson rate of condition-related GP visits.
+        specialist_visits_per_year: Poisson rate of specialist visits.
+        hospitalizations_per_year: Poisson rate of inpatient episodes.
+        mean_stay_days: mean inpatient length of stay.
+        medications: ATC substances commonly prescribed.
+        symptoms: ICPC-2 symptom rubrics coded at some visits.
+        comorbidity_boost: condition name -> odds multiplier applied when
+            this condition is already present.
+        bp_monitored: True when visits record blood pressure in the note.
+        needs_municipal_care: probability per year of starting home care
+            (elderly only); drives the municipal source.
+    """
+
+    name: str
+    icpc2: str
+    icd10: str
+    prevalence_at_60: float
+    age_slope: float = 1.0
+    female_share: float = 0.5
+    gp_visits_per_year: float = 2.0
+    specialist_visits_per_year: float = 0.3
+    hospitalizations_per_year: float = 0.05
+    mean_stay_days: float = 5.0
+    medications: tuple[str, ...] = ()
+    symptoms: tuple[str, ...] = ()
+    comorbidity_boost: dict[str, float] = field(default_factory=dict)
+    bp_monitored: bool = False
+    needs_municipal_care: float = 0.0
+
+
+#: The chronic-condition catalog.
+CONDITIONS: tuple[ConditionModel, ...] = (
+    ConditionModel(
+        name="diabetes_t2",
+        icpc2="T90",
+        icd10="E11",
+        prevalence_at_60=0.08,
+        age_slope=1.5,
+        female_share=0.45,
+        gp_visits_per_year=3.5,
+        specialist_visits_per_year=0.5,
+        hospitalizations_per_year=0.08,
+        mean_stay_days=4.0,
+        medications=("A10BA02", "A10BB12"),
+        symptoms=("T01", "T08", "A04"),
+        comorbidity_boost={"hypertension": 2.5, "lipid_disorder": 2.0,
+                           "ihd_angina": 1.8},
+        bp_monitored=True,
+    ),
+    ConditionModel(
+        name="hypertension",
+        icpc2="K86",
+        icd10="I10",
+        prevalence_at_60=0.25,
+        age_slope=1.5,
+        gp_visits_per_year=2.5,
+        specialist_visits_per_year=0.1,
+        hospitalizations_per_year=0.01,
+        mean_stay_days=2.0,
+        medications=("C03AA03", "C07AB02", "C09AA02", "C08CA01"),
+        symptoms=("N01", "K04"),
+        comorbidity_boost={"ihd_angina": 1.6, "heart_failure": 1.5,
+                           "stroke": 1.5},
+        bp_monitored=True,
+    ),
+    ConditionModel(
+        name="ihd_angina",
+        icpc2="K74",
+        icd10="I20",
+        prevalence_at_60=0.06,
+        age_slope=1.8,
+        female_share=0.38,
+        gp_visits_per_year=2.0,
+        specialist_visits_per_year=0.8,
+        hospitalizations_per_year=0.20,
+        mean_stay_days=3.5,
+        medications=("B01AC06", "C10AA01", "C07AB03"),
+        symptoms=("K01", "K02", "R02"),
+        comorbidity_boost={"heart_failure": 2.0, "atrial_fibrillation": 1.5},
+        bp_monitored=True,
+    ),
+    ConditionModel(
+        name="heart_failure",
+        icpc2="K77",
+        icd10="I50",
+        prevalence_at_60=0.02,
+        age_slope=2.2,
+        gp_visits_per_year=3.0,
+        specialist_visits_per_year=1.0,
+        hospitalizations_per_year=0.45,
+        mean_stay_days=7.0,
+        medications=("C03CA01", "C09AA02", "C07AB02"),
+        symptoms=("R02", "A04", "K04"),
+        comorbidity_boost={"atrial_fibrillation": 1.8},
+        bp_monitored=True,
+        needs_municipal_care=0.15,
+    ),
+    ConditionModel(
+        name="atrial_fibrillation",
+        icpc2="K78",
+        icd10="I48",
+        prevalence_at_60=0.03,
+        age_slope=2.0,
+        female_share=0.42,
+        gp_visits_per_year=2.0,
+        specialist_visits_per_year=0.6,
+        hospitalizations_per_year=0.15,
+        mean_stay_days=3.0,
+        medications=("B01AA03", "C07AB02"),
+        symptoms=("K04", "K05"),
+        comorbidity_boost={"stroke": 2.5},
+        bp_monitored=True,
+    ),
+    ConditionModel(
+        name="copd",
+        icpc2="R95",
+        icd10="J44",
+        prevalence_at_60=0.06,
+        age_slope=1.7,
+        gp_visits_per_year=2.5,
+        specialist_visits_per_year=0.5,
+        hospitalizations_per_year=0.30,
+        mean_stay_days=6.0,
+        medications=("R03BB04", "R03AK06", "R03AC02"),
+        symptoms=("R02", "R05", "R03"),
+        comorbidity_boost={"pneumonia_risk": 1.0},
+        needs_municipal_care=0.08,
+    ),
+    ConditionModel(
+        name="asthma",
+        icpc2="R96",
+        icd10="J45",
+        prevalence_at_60=0.06,
+        age_slope=0.8,
+        female_share=0.55,
+        gp_visits_per_year=1.5,
+        specialist_visits_per_year=0.3,
+        hospitalizations_per_year=0.04,
+        mean_stay_days=2.5,
+        medications=("R03AC02", "R03BA02"),
+        symptoms=("R02", "R03", "R05"),
+    ),
+    ConditionModel(
+        name="depression",
+        icpc2="P76",
+        icd10="F32",
+        prevalence_at_60=0.07,
+        age_slope=0.9,
+        female_share=0.62,
+        gp_visits_per_year=3.0,
+        specialist_visits_per_year=0.4,
+        hospitalizations_per_year=0.03,
+        mean_stay_days=14.0,
+        medications=("N06AB04", "N06AB06", "N06AB10"),
+        symptoms=("P03", "P06", "A04"),
+        comorbidity_boost={"anxiety": 2.5},
+    ),
+    ConditionModel(
+        name="anxiety",
+        icpc2="P74",
+        icd10="F41",
+        prevalence_at_60=0.06,
+        age_slope=0.9,
+        female_share=0.60,
+        gp_visits_per_year=2.5,
+        specialist_visits_per_year=0.2,
+        hospitalizations_per_year=0.01,
+        mean_stay_days=7.0,
+        medications=("N05BA01", "N05CF01"),
+        symptoms=("P01", "P06"),
+    ),
+    ConditionModel(
+        name="osteoarthritis",
+        icpc2="L90",
+        icd10="M17",
+        prevalence_at_60=0.12,
+        age_slope=1.6,
+        female_share=0.58,
+        gp_visits_per_year=1.8,
+        specialist_visits_per_year=0.3,
+        hospitalizations_per_year=0.06,
+        mean_stay_days=4.0,
+        medications=("M01AE01", "N02BE01"),
+        symptoms=("L15", "L02"),
+    ),
+    ConditionModel(
+        name="osteoporosis",
+        icpc2="L95",
+        icd10="M81",
+        prevalence_at_60=0.05,
+        age_slope=1.9,
+        female_share=0.80,
+        gp_visits_per_year=1.2,
+        specialist_visits_per_year=0.2,
+        hospitalizations_per_year=0.08,
+        mean_stay_days=8.0,
+        medications=("M05BA04",),
+        symptoms=("L02", "L03"),
+        comorbidity_boost={"fracture_risk": 1.0},
+    ),
+    ConditionModel(
+        name="hypothyroidism",
+        icpc2="T86",
+        icd10="E03",
+        prevalence_at_60=0.05,
+        age_slope=1.2,
+        female_share=0.85,
+        gp_visits_per_year=1.5,
+        specialist_visits_per_year=0.1,
+        hospitalizations_per_year=0.005,
+        mean_stay_days=2.0,
+        medications=("H03AA01",),
+        symptoms=("A04", "T07"),
+    ),
+    ConditionModel(
+        name="lipid_disorder",
+        icpc2="T93",
+        icd10="E78",
+        prevalence_at_60=0.15,
+        age_slope=1.2,
+        gp_visits_per_year=1.0,
+        specialist_visits_per_year=0.05,
+        hospitalizations_per_year=0.002,
+        mean_stay_days=1.0,
+        medications=("C10AA01", "C10AA05"),
+        bp_monitored=True,
+    ),
+    ConditionModel(
+        name="stroke",
+        icpc2="K90",
+        icd10="I63",
+        prevalence_at_60=0.02,
+        age_slope=2.3,
+        gp_visits_per_year=2.0,
+        specialist_visits_per_year=0.5,
+        hospitalizations_per_year=0.25,
+        mean_stay_days=12.0,
+        medications=("B01AC06", "C10AA05"),
+        symptoms=("N17", "A04"),
+        bp_monitored=True,
+        needs_municipal_care=0.30,
+    ),
+    ConditionModel(
+        name="dementia",
+        icpc2="P70",
+        icd10="F03",
+        prevalence_at_60=0.01,
+        age_slope=3.0,
+        female_share=0.60,
+        gp_visits_per_year=2.0,
+        specialist_visits_per_year=0.3,
+        hospitalizations_per_year=0.15,
+        mean_stay_days=10.0,
+        symptoms=("P06",),
+        needs_municipal_care=0.50,
+    ),
+    ConditionModel(
+        name="back_pain_chronic",
+        icpc2="L84",
+        icd10="M54",
+        prevalence_at_60=0.10,
+        age_slope=1.1,
+        gp_visits_per_year=2.2,
+        specialist_visits_per_year=0.2,
+        hospitalizations_per_year=0.02,
+        mean_stay_days=3.0,
+        medications=("M01AE01", "N02BE01"),
+        symptoms=("L02", "L03"),
+    ),
+)
+
+
+@dataclass(frozen=True)
+class AcuteModel:
+    """An acute, self-limiting condition generating background GP traffic.
+
+    ``winter_factor`` models seasonality: the episode rate in mid-winter
+    relative to mid-summer (1.0 = flat, 4.0 = strongly winter-peaked,
+    as for influenza).  Rates vary sinusoidally over the year.
+    """
+
+    name: str
+    icpc2: str
+    icd10: str
+    episodes_per_year: float
+    hospitalization_probability: float = 0.0
+    mean_stay_days: float = 3.0
+    medications: tuple[str, ...] = ()
+    winter_factor: float = 1.0
+
+
+def seasonal_weights(days: "np.ndarray", winter_factor: float):
+    """Relative episode weight per day number (peak around January 15).
+
+    Returns an array of multiplicative weights with mean ~1, so scaling a
+    Poisson rate by the weight preserves the annual total.
+    """
+    import numpy as np  # noqa: PLC0415
+
+    if winter_factor <= 1.0:
+        return np.ones_like(days, dtype=np.float64)
+    # phase: day-of-year distance from Jan 15 (day 14).
+    day_of_year = np.asarray(days, dtype=np.float64) % 365.25
+    phase = np.cos(2.0 * np.pi * (day_of_year - 14.0) / 365.25)
+    amplitude = (winter_factor - 1.0) / (winter_factor + 1.0)
+    return 1.0 + amplitude * phase
+
+
+#: Background acute conditions hitting everyone at some rate.
+ACUTE_CONDITIONS: tuple[AcuteModel, ...] = (
+    AcuteModel("uri", "R74", "J06", episodes_per_year=0.5,
+               medications=("J01CE02",), winter_factor=2.5),
+    AcuteModel("influenza", "R80", "J11", episodes_per_year=0.08,
+               hospitalization_probability=0.02, winter_factor=6.0),
+    AcuteModel("cystitis", "U71", "N30", episodes_per_year=0.15,
+               medications=("J01XE01",)),
+    AcuteModel("acute_bronchitis", "R78", "J20", episodes_per_year=0.12,
+               hospitalization_probability=0.02,
+               medications=("J01CA04",), winter_factor=2.0),
+    AcuteModel("pneumonia", "R81", "J18", episodes_per_year=0.03,
+               hospitalization_probability=0.30, mean_stay_days=6.0,
+               medications=("J01CA04",), winter_factor=1.8),
+    AcuteModel("otitis_media", "H71", "H66", episodes_per_year=0.05,
+               medications=("J01CE02",)),
+    AcuteModel("conjunctivitis", "F70", "H10", episodes_per_year=0.06),
+    AcuteModel("forearm_fracture", "L72", "S52", episodes_per_year=0.02,
+               hospitalization_probability=0.40, mean_stay_days=2.0,
+               medications=("N02BE01",)),
+    AcuteModel("hip_fracture", "L75", "S72", episodes_per_year=0.006,
+               hospitalization_probability=0.95, mean_stay_days=9.0,
+               medications=("N02AA01",)),
+)

@@ -1,0 +1,393 @@
+"""Vectorized population->EventStore generation for 168k-patient scale.
+
+The full-fidelity path (:mod:`repro.simulate.trajectories`) emits raw
+registry records with native date strings and free text and replays the
+whole parsing pipeline — right for fidelity, too slow to regenerate a
+168,000-patient study inside a benchmark loop.  This module produces a
+*statistically matching* event store directly with numpy (same condition
+catalog, same rates, same demographics), skipping string round-trips.
+
+DESIGN.md §2 records this as a substitution: scale experiments (E5, E7,
+E8, E9) use the fast path; integration-fidelity experiments run the full
+path at moderate n.  A property test asserts the two paths agree on
+per-condition patient counts within sampling error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import rng
+from repro.errors import SimulationError
+from repro.events.store import EventStore, default_systems
+from repro.simulate.conditions import (
+    ACUTE_CONDITIONS,
+    CONDITIONS,
+    seasonal_weights,
+)
+from repro.simulate.trajectories import StudyWindow
+
+__all__ = ["generate_store_fast", "FastGenerationSummary"]
+
+_CATEGORIES = [
+    "gp_contact",
+    "emergency_contact",
+    "specialist_contact",
+    "outpatient_visit",
+    "diagnosis",
+    "blood_pressure",
+    "prescription",
+    "hospital_stay",
+    "home_care",
+    "nursing_home",
+]
+_SOURCES = [
+    "gp_claim",
+    "gp_emergency_claim",
+    "specialist_claim",
+    "hospital_inpatient",
+    "hospital_outpatient",
+    "municipal_home_care",
+    "municipal_nursing_home",
+]
+
+
+@dataclass
+class FastGenerationSummary:
+    """What the fast generator produced, for reporting and cross-checks."""
+
+    n_patients: int
+    n_events: int
+    patients_per_condition: dict[str, int]
+
+
+class _Assembler:
+    """Accumulates column chunks and assembles a sorted EventStore."""
+
+    def __init__(self) -> None:
+        self.chunks: list[tuple[np.ndarray, ...]] = []
+
+    def add(
+        self,
+        patient: np.ndarray,
+        day: np.ndarray,
+        end: np.ndarray,
+        is_point: bool,
+        category: int,
+        system: int,
+        code: int,
+        source: int,
+        value: np.ndarray | None = None,
+        value2: np.ndarray | None = None,
+    ) -> None:
+        n = len(patient)
+        if n == 0:
+            return
+        nanfill = np.full(n, np.nan, dtype=np.float64)
+        self.chunks.append(
+            (
+                patient.astype(np.int64),
+                day.astype(np.int32),
+                end.astype(np.int32),
+                np.full(n, is_point, dtype=bool),
+                np.full(n, category, dtype=np.int16),
+                np.full(n, system, dtype=np.int8),
+                np.full(n, code, dtype=np.int32),
+                nanfill if value is None else value.astype(np.float64),
+                nanfill if value2 is None else value2.astype(np.float64),
+                np.full(n, source, dtype=np.int16),
+                np.zeros(n, dtype=np.int32),
+            )
+        )
+
+    def assemble(
+        self,
+        patient_ids: np.ndarray,
+        birth_days: np.ndarray,
+        sexes: np.ndarray,
+        systems: dict,
+        system_names: list[str],
+    ) -> EventStore:
+        columns = [np.concatenate([c[i] for c in self.chunks]) for i in range(11)]
+        order = np.lexsort((columns[1], columns[0]))
+        columns = [c[order] for c in columns]
+        return EventStore(
+            systems=systems,
+            system_names=system_names,
+            categories=list(_CATEGORIES),
+            sources=list(_SOURCES),
+            details=[""],
+            patient=columns[0],
+            day=columns[1],
+            end=columns[2],
+            is_point=columns[3],
+            category=columns[4],
+            system=columns[5],
+            code=columns[6],
+            value=columns[7],
+            value2=columns[8],
+            source=columns[9],
+            detail=columns[10],
+            patient_ids=patient_ids,
+            birth_days=birth_days,
+            sexes=sexes,
+        )
+
+
+def generate_store_fast(
+    n_patients: int,
+    seed: int | None = None,
+    reference_year: int = 2012,
+    years: float = 2.0,
+) -> tuple[EventStore, FastGenerationSummary]:
+    """Generate an event store for ``n_patients`` synthetic adults.
+
+    Deterministic in ``(n_patients, seed)``; a few seconds for 168,000
+    patients (~5M events) versus minutes for the full-fidelity path.
+    """
+    if n_patients <= 0:
+        raise SimulationError("population size must be positive")
+    generator = rng(seed)
+    window = StudyWindow.for_year(reference_year, years)
+
+    # -- demographics (same mixture as simulate.population) ----------------
+    bulk = generator.uniform(18.0, 72.0, size=n_patients)
+    elderly = np.clip(generator.normal(80.0, 8.0, size=n_patients), 65.0, 100.0)
+    ages = np.where(generator.random(n_patients) < 0.18, elderly, bulk)
+    is_female = generator.random(n_patients) < 0.505
+    birth_jitter = generator.integers(0, 365, size=n_patients)
+    birth_days = (
+        window.start_day - (ages * 365.25).astype(np.int64) - birth_jitter
+    ).astype(np.int32)
+    patient_ids = np.arange(100_000, 100_000 + n_patients, dtype=np.int64)
+    sexes = np.where(is_female, 1, 2).astype(np.int8)
+
+    # -- condition assignment (vectorized, catalog order) -------------------
+    decades = (ages - 60.0) / 10.0
+    boosts = {model.name: np.ones(n_patients) for model in CONDITIONS}
+    assigned: dict[str, np.ndarray] = {}
+    for model in CONDITIONS:
+        base = model.prevalence_at_60 * np.power(model.age_slope, decades)
+        sex_factor = np.where(
+            is_female, 2.0 * model.female_share, 2.0 * (1.0 - model.female_share)
+        )
+        p = np.minimum(0.95, base * sex_factor * boosts[model.name])
+        has = generator.random(n_patients) < p
+        assigned[model.name] = has
+        for other, factor in model.comorbidity_boost.items():
+            if other in boosts:
+                boosts[other] = np.where(has, boosts[other] * factor, boosts[other])
+
+    systems = default_systems()
+    system_names = list(systems)
+    sys_icpc = system_names.index("ICPC-2")
+    sys_icd = system_names.index("ICD-10")
+    sys_atc = system_names.index("ATC")
+    cat = {name: i for i, name in enumerate(_CATEGORIES)}
+    src = {name: i for i, name in enumerate(_SOURCES)}
+    icpc, icd, atc_sys = (
+        systems["ICPC-2"],
+        systems["ICD-10"],
+        systems["ATC"],
+    )
+
+    assembler = _Assembler()
+    hypertensive = assigned["hypertension"]
+
+    def scatter_days(counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Expand per-patient counts into (patient_id row, uniform day)."""
+        total = int(counts.sum())
+        pid = np.repeat(patient_ids, counts)
+        days = generator.integers(window.start_day, window.end_day, size=total)
+        return pid, days
+
+    for model in CONDITIONS:
+        has = assigned[model.name]
+        idx = np.flatnonzero(has)
+        if len(idx) == 0:
+            continue
+        counts_full = np.zeros(n_patients, dtype=np.int64)
+
+        # GP visits: contact + diagnosis (ICPC-2)
+        counts_full[idx] = generator.poisson(
+            model.gp_visits_per_year * years, size=len(idx)
+        )
+        pid, days = scatter_days(counts_full)
+        code_id = icpc.id_of(model.icpc2)
+        assembler.add(pid, days, days + 1, True, cat["gp_contact"], -1, -1,
+                      src["gp_claim"])
+        assembler.add(pid, days, days + 1, True, cat["diagnosis"], sys_icpc,
+                      code_id, src["gp_claim"])
+
+        # Blood pressure at ~70% of monitored visits
+        if model.bp_monitored:
+            counts_full[:] = 0
+            counts_full[idx] = generator.binomial(
+                generator.poisson(model.gp_visits_per_year * years, size=len(idx)),
+                0.7,
+            )
+            pid, days = scatter_days(counts_full)
+            high = np.repeat(hypertensive, counts_full)
+            sysv = np.where(
+                high,
+                generator.normal(152, 14, size=len(pid)),
+                generator.normal(128, 11, size=len(pid)),
+            )
+            diav = np.where(
+                high,
+                generator.normal(92, 9, size=len(pid)),
+                generator.normal(80, 8, size=len(pid)),
+            )
+            assembler.add(
+                pid, days, days + 1, True, cat["blood_pressure"], -1, -1,
+                src["gp_claim"],
+                value=np.clip(sysv, 80, 240), value2=np.clip(diav, 45, 140),
+            )
+
+        # Specialist visits: contact + ICD-10 diagnosis (+ prescriptions)
+        counts_full[:] = 0
+        counts_full[idx] = generator.poisson(
+            model.specialist_visits_per_year * years, size=len(idx)
+        )
+        pid, days = scatter_days(counts_full)
+        icd_id = icd.id_of(model.icd10)
+        assembler.add(pid, days, days + 1, True, cat["specialist_contact"],
+                      -1, -1, src["specialist_claim"])
+        assembler.add(pid, days, days + 1, True, cat["diagnosis"], sys_icd,
+                      icd_id, src["specialist_claim"])
+
+        # Prescriptions: 90-day bands at ~2 renewals/year for the medicated
+        if model.medications:
+            counts_full[:] = 0
+            counts_full[idx] = generator.poisson(2.0 * years, size=len(idx))
+            pid, days = scatter_days(counts_full)
+            med_ids = np.array(
+                [atc_sys.id_of(m) for m in model.medications], dtype=np.int32
+            )
+            chosen = med_ids[generator.integers(0, len(med_ids), size=len(pid))]
+            # chunk per med id to keep code column constant per chunk
+            for med_id in med_ids:
+                mask = chosen == med_id
+                assembler.add(
+                    pid[mask], days[mask], days[mask] + 90, False,
+                    cat["prescription"], sys_atc, int(med_id),
+                    src["specialist_claim"],
+                )
+
+        # Hospitalizations: stay interval + ICD-10 diagnosis
+        counts_full[:] = 0
+        counts_full[idx] = generator.poisson(
+            model.hospitalizations_per_year * years, size=len(idx)
+        )
+        pid, days = scatter_days(counts_full)
+        stays = np.maximum(
+            1, generator.exponential(model.mean_stay_days, size=len(pid))
+        ).astype(np.int64)
+        ends = np.minimum(days + stays, window.end_day) + 1
+        assembler.add(pid, days, ends, False, cat["hospital_stay"], -1, -1,
+                      src["hospital_inpatient"])
+        assembler.add(pid, days, days + 1, True, cat["diagnosis"], sys_icd,
+                      icd_id, src["hospital_inpatient"])
+
+        # Municipal care for frail elderly with qualifying conditions
+        if model.needs_municipal_care > 0.0:
+            old = (window.start_day - birth_days) / 365.25 >= 70.0
+            eligible = np.flatnonzero(has & old)
+            starts_care = (
+                generator.random(len(eligible))
+                < model.needs_municipal_care * years
+            )
+            care_idx = eligible[starts_care]
+            if len(care_idx) > 0:
+                starts = generator.integers(
+                    window.start_day, window.end_day, size=len(care_idx)
+                )
+                weeks = generator.integers(8, 80, size=len(care_idx))
+                ends = np.minimum(starts + weeks * 7, window.end_day + 1)
+                ends = np.maximum(ends, starts + 7)
+                nursing = generator.random(len(care_idx)) < (
+                    0.5 if model.name == "dementia" else 0.1
+                )
+                pid_c = patient_ids[care_idx]
+                hours = generator.integers(2, 20, size=len(care_idx)).astype(
+                    np.float32
+                )
+                assembler.add(
+                    pid_c[~nursing], starts[~nursing], ends[~nursing], False,
+                    cat["home_care"], -1, -1, src["municipal_home_care"],
+                    value=hours[~nursing],
+                )
+                assembler.add(
+                    pid_c[nursing], starts[nursing],
+                    np.full(int(nursing.sum()), window.end_day + 1), False,
+                    cat["nursing_home"], -1, -1, src["municipal_nursing_home"],
+                )
+
+    def seasonal_days(n: int, winter_factor: float) -> np.ndarray:
+        """Uniform days thinned to the seasonal profile (rejection)."""
+        if winter_factor <= 1.0 or n == 0:
+            return generator.integers(window.start_day, window.end_day,
+                                      size=n)
+        out = np.empty(n, dtype=np.int64)
+        filled = 0
+        while filled < n:
+            candidates = generator.integers(
+                window.start_day, window.end_day,
+                size=(n - filled) * 2 + 8,
+            )
+            weights = seasonal_weights(candidates, winter_factor)
+            keep = generator.random(len(candidates)) < weights / 2.0
+            taken = candidates[keep][: n - filled]
+            out[filled:filled + len(taken)] = taken
+            filled += len(taken)
+        return out
+
+    # -- acute background traffic (seasonally modulated) ----------------------
+    for model in ACUTE_CONDITIONS:
+        counts = generator.poisson(model.episodes_per_year * years,
+                                   size=n_patients)
+        pid = np.repeat(patient_ids, counts)
+        days = seasonal_days(int(counts.sum()), model.winter_factor)
+        emergency = generator.random(len(pid)) < 0.25
+        code_id = icpc.id_of(model.icpc2)
+        assembler.add(pid[emergency], days[emergency], days[emergency] + 1,
+                      True, cat["emergency_contact"], -1, -1,
+                      src["gp_emergency_claim"])
+        assembler.add(pid[~emergency], days[~emergency], days[~emergency] + 1,
+                      True, cat["gp_contact"], -1, -1, src["gp_claim"])
+        assembler.add(pid, days, days + 1, True, cat["diagnosis"], sys_icpc,
+                      code_id, src["gp_claim"])
+        admit = generator.random(len(pid)) < model.hospitalization_probability
+        pid_h, days_h = pid[admit], days[admit]
+        if len(pid_h) > 0:
+            stays = np.maximum(
+                1, generator.exponential(model.mean_stay_days, size=len(pid_h))
+            ).astype(np.int64)
+            ends = np.minimum(days_h + stays, window.end_day) + 1
+            icd_id = icd.id_of(model.icd10)
+            assembler.add(pid_h, days_h, ends, False, cat["hospital_stay"],
+                          -1, -1, src["hospital_inpatient"])
+            assembler.add(pid_h, days_h, days_h + 1, True, cat["diagnosis"],
+                          sys_icd, icd_id, src["hospital_inpatient"])
+
+    # -- well-patient checkups (A97) ----------------------------------------
+    counts = generator.poisson(0.3 * years, size=n_patients)
+    pid, days = scatter_days(counts)
+    assembler.add(pid, days, days + 1, True, cat["gp_contact"], -1, -1,
+                  src["gp_claim"])
+    assembler.add(pid, days, days + 1, True, cat["diagnosis"], sys_icpc,
+                  icpc.id_of("A97"), src["gp_claim"])
+
+    store = assembler.assemble(
+        patient_ids, birth_days, sexes, systems, system_names
+    )
+    summary = FastGenerationSummary(
+        n_patients=n_patients,
+        n_events=store.n_events,
+        patients_per_condition={
+            name: int(mask.sum()) for name, mask in assigned.items()
+        },
+    )
+    return store, summary

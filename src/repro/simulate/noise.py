@@ -1,0 +1,81 @@
+"""Noise injection for the raw sources.
+
+The paper is explicit that real registry data is messy: free-text
+extraction "is limited because of differing conventions and many typing
+errors" (Section IV-A) and entries can carry "a clearly invalid date"
+(Section IV).  The generator therefore injects exactly those defects, at
+configurable rates, so the parsers' error paths are exercised by every
+end-to-end run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NoiseConfig", "Noiser"]
+
+
+@dataclass(frozen=True)
+class NoiseConfig:
+    """Rates of each defect class (probabilities per opportunity)."""
+
+    bad_date: float = 0.002
+    pre_birth_date: float = 0.001
+    lowercase_code: float = 0.03
+    junk_code: float = 0.01
+    whitespace_code: float = 0.05
+    bp_typo: float = 0.02
+    bp_convention_variants: bool = True
+
+    @classmethod
+    def none(cls) -> "NoiseConfig":
+        """A configuration injecting no noise (for clean-room tests)."""
+        return cls(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, False)
+
+
+class Noiser:
+    """Applies :class:`NoiseConfig` defects using a dedicated RNG stream."""
+
+    def __init__(self, config: NoiseConfig, generator: np.random.Generator) -> None:
+        self.config = config
+        self._rng = generator
+
+    def date(self, formatted: str) -> str:
+        """Possibly mangle a formatted date string."""
+        if self._rng.random() < self.config.bad_date:
+            choice = self._rng.integers(0, 3)
+            if choice == 0:
+                return "00.00.0000"
+            if choice == 1:
+                # Day 31 in a short month / impossible month.
+                return formatted[:-7] + "13" + formatted[-5:]
+            return formatted[:4] + formatted[5:]  # drop a separator digit
+        return formatted
+
+    def icpc_code(self, code: str) -> str:
+        """Possibly lowercase, pad or replace a code."""
+        if self._rng.random() < self.config.junk_code:
+            return "Q" + str(self._rng.integers(10, 99))  # no ICPC chapter Q
+        if self._rng.random() < self.config.lowercase_code:
+            code = code.lower()
+        if self._rng.random() < self.config.whitespace_code:
+            code = f" {code} "
+        return code
+
+    def bp_note(self, systolic: int, diastolic: int) -> str:
+        """Render a blood-pressure reading with convention drift and typos."""
+        if self._rng.random() < self.config.bp_typo:
+            systolic = int(str(systolic)[:-1] or "9")  # dropped digit
+        if self.config.bp_convention_variants:
+            variant = int(self._rng.integers(0, 4))
+        else:
+            variant = 0
+        if variant == 0:
+            return f"BT {systolic}/{diastolic}"
+        if variant == 1:
+            return f"bp: {systolic} / {diastolic} mmHg"
+        if variant == 2:
+            return f"Blodtrykk {systolic}-{diastolic}"
+        return f"BP{systolic}/{diastolic}"

@@ -1,0 +1,98 @@
+"""Synthetic population: demographics and condition assignment.
+
+Produces the 168,000-patient general population the research project
+selected from (Section IV).  Ages follow a plausible adult distribution;
+chronic conditions are assigned by the age/sex-structured prevalence in
+:mod:`repro.simulate.conditions`, with comorbidity boosts applied in
+catalog order so clinically linked conditions co-occur.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import rng
+from repro.errors import SimulationError
+from repro.simulate.conditions import CONDITIONS, ConditionModel
+from repro.temporal.timeline import day_number
+
+__all__ = ["SimulatedPatient", "generate_population"]
+
+
+@dataclass(frozen=True)
+class SimulatedPatient:
+    """One synthetic patient: demographics plus assigned chronic conditions."""
+
+    patient_id: int
+    birth_day: int
+    sex: str
+    conditions: tuple[str, ...]
+
+    @property
+    def n_conditions(self) -> int:
+        return len(self.conditions)
+
+
+def _prevalence(model: ConditionModel, age: float, sex: str) -> float:
+    """Age/sex-adjusted probability of having a condition."""
+    decades_from_60 = (age - 60.0) / 10.0
+    p = model.prevalence_at_60 * (model.age_slope ** decades_from_60)
+    sex_factor = (
+        2.0 * model.female_share if sex == "F" else 2.0 * (1.0 - model.female_share)
+    )
+    return float(min(0.95, p * sex_factor))
+
+
+def generate_population(
+    n_patients: int,
+    seed: int | None = None,
+    reference_year: int = 2012,
+) -> list[SimulatedPatient]:
+    """Generate ``n_patients`` synthetic adults, deterministically.
+
+    ``reference_year`` anchors ages: the study window starts Jan 1 of
+    that year.  Ages are drawn from a mixture approximating the adult
+    Norwegian population with the elderly tail the chronic catalog needs.
+    """
+    if n_patients <= 0:
+        raise SimulationError("population size must be positive")
+    generator = rng(seed)
+    from datetime import date  # noqa: PLC0415
+
+    window_start = day_number(date(reference_year, 1, 1))
+
+    # Age mixture: bulk adults (18-70 roughly uniform) + elderly tail.
+    bulk = generator.uniform(18.0, 72.0, size=n_patients)
+    elderly = generator.normal(80.0, 8.0, size=n_patients)
+    take_elderly = generator.random(n_patients) < 0.18
+    ages = np.where(take_elderly, np.clip(elderly, 65.0, 100.0), bulk)
+    sexes = np.where(generator.random(n_patients) < 0.505, "F", "M")
+    birth_jitter = generator.integers(0, 365, size=n_patients)
+
+    by_name = {model.name: model for model in CONDITIONS}
+    patients: list[SimulatedPatient] = []
+    uniforms = generator.random((n_patients, len(CONDITIONS)))
+    for i in range(n_patients):
+        age = float(ages[i])
+        sex = str(sexes[i])
+        assigned: list[str] = []
+        boosts: dict[str, float] = {}
+        for j, model in enumerate(CONDITIONS):
+            p = _prevalence(model, age, sex) * boosts.get(model.name, 1.0)
+            if uniforms[i, j] < min(0.95, p):
+                assigned.append(model.name)
+                for other, factor in model.comorbidity_boost.items():
+                    if other in by_name:
+                        boosts[other] = boosts.get(other, 1.0) * factor
+        birth = window_start - int(age * 365.25) - int(birth_jitter[i])
+        patients.append(
+            SimulatedPatient(
+                patient_id=100_000 + i,
+                birth_day=birth,
+                sex=sex,
+                conditions=tuple(assigned),
+            )
+        )
+    return patients

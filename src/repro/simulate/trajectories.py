@@ -1,0 +1,358 @@
+"""Trajectory generation: synthetic patients -> raw per-source records.
+
+This is the full-fidelity path: it emits :class:`GPClaim`,
+:class:`HospitalEpisode`, :class:`MunicipalServiceRecord` and
+:class:`SpecialistClaim` objects *in each registry's native format*
+(Norwegian dates, free-text notes, comma-packed codes, noise), so the
+entire integration pipeline — parsers, free-text regexes, validation,
+dedup — is exercised end to end.  For 168 k-patient scale work use
+:mod:`repro.simulate.fast`, which produces the statistically matching
+event store directly (documented substitution, DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+
+import numpy as np
+
+from repro.config import rng
+from repro.simulate.conditions import (
+    ACUTE_CONDITIONS,
+    CONDITIONS,
+    seasonal_weights,
+)
+from repro.simulate.noise import NoiseConfig, Noiser
+from repro.simulate.population import SimulatedPatient, generate_population
+from repro.sources.integrate import PatientRecord
+from repro.sources.schema import (
+    GPClaim,
+    HospitalEpisode,
+    MunicipalServiceRecord,
+    SpecialistClaim,
+)
+from repro.temporal.timeline import day_number, from_day_number
+
+__all__ = ["RawSources", "generate_raw_sources", "StudyWindow"]
+
+_SPECIALTIES = {
+    "diabetes_t2": "endocrinology",
+    "hypertension": "internal medicine",
+    "ihd_angina": "cardiology",
+    "heart_failure": "cardiology",
+    "atrial_fibrillation": "cardiology",
+    "copd": "pulmonology",
+    "asthma": "pulmonology",
+    "depression": "psychiatry",
+    "anxiety": "psychiatry",
+    "osteoarthritis": "orthopedics",
+    "osteoporosis": "orthopedics",
+    "hypothyroidism": "endocrinology",
+    "lipid_disorder": "internal medicine",
+    "stroke": "neurology",
+    "dementia": "geriatrics",
+    "back_pain_chronic": "orthopedics",
+}
+
+
+@dataclass(frozen=True)
+class StudyWindow:
+    """The two-year observation window of the cohort study (Section III)."""
+
+    start_day: int
+    end_day: int
+
+    @classmethod
+    def for_year(cls, reference_year: int, years: float = 2.0) -> "StudyWindow":
+        start = day_number(date(reference_year, 1, 1))
+        return cls(start, start + int(years * 365.25))
+
+    @property
+    def days(self) -> int:
+        return self.end_day - self.start_day
+
+
+@dataclass
+class RawSources:
+    """Everything the registries delivered, still in native formats."""
+
+    window: StudyWindow
+    patients: list[PatientRecord] = field(default_factory=list)
+    simulated: list[SimulatedPatient] = field(default_factory=list)
+    gp_claims: list[GPClaim] = field(default_factory=list)
+    hospital_episodes: list[HospitalEpisode] = field(default_factory=list)
+    municipal_records: list[MunicipalServiceRecord] = field(default_factory=list)
+    specialist_claims: list[SpecialistClaim] = field(default_factory=list)
+
+    def total_records(self) -> int:
+        return (
+            len(self.gp_claims)
+            + len(self.hospital_episodes)
+            + len(self.municipal_records)
+            + len(self.specialist_claims)
+        )
+
+
+def _norwegian(day: int) -> str:
+    return from_day_number(day).strftime("%d.%m.%Y")
+
+
+def _iso(day: int) -> str:
+    return from_day_number(day).isoformat()
+
+
+def _slash(day: int) -> str:
+    return from_day_number(day).strftime("%d/%m/%Y")
+
+
+class _PatientGenerator:
+    """Generates one patient's records; split out for readability."""
+
+    def __init__(
+        self,
+        window: StudyWindow,
+        generator: np.random.Generator,
+        noiser: Noiser,
+        out: RawSources,
+    ) -> None:
+        self.window = window
+        self.rng = generator
+        self.noiser = noiser
+        self.out = out
+        self.years = window.days / 365.25
+        self._by_name = {m.name: m for m in CONDITIONS}
+
+    def _visit_days(self, rate_per_year: float) -> list[int]:
+        count = int(self.rng.poisson(rate_per_year * self.years))
+        if count == 0:
+            return []
+        days = self.rng.integers(
+            self.window.start_day, self.window.end_day, size=count
+        )
+        return sorted(int(d) for d in days)
+
+    def _bp_pair(self, hypertensive: bool) -> tuple[int, int]:
+        if hypertensive:
+            sys = int(self.rng.normal(152, 14))
+            dia = int(self.rng.normal(92, 9))
+        else:
+            sys = int(self.rng.normal(128, 11))
+            dia = int(self.rng.normal(80, 8))
+        return max(80, min(240, sys)), max(45, min(140, dia))
+
+    def generate(self, patient: SimulatedPatient) -> None:
+        self.out.patients.append(
+            PatientRecord(patient.patient_id, patient.birth_day, patient.sex)
+        )
+        hypertensive = "hypertension" in patient.conditions
+        for name in patient.conditions:
+            self._chronic_condition(patient, self._by_name[name], hypertensive)
+        self._acute_episodes(patient)
+        self._checkups(patient, hypertensive)
+
+    # -- chronic conditions -------------------------------------------------
+
+    def _chronic_condition(self, patient, model, hypertensive: bool) -> None:
+        pid = patient.patient_id
+        # GP visits
+        for day in self._visit_days(model.gp_visits_per_year):
+            codes = [self.noiser.icpc_code(model.icpc2)]
+            if model.symptoms and self.rng.random() < 0.3:
+                symptom = model.symptoms[
+                    int(self.rng.integers(0, len(model.symptoms)))
+                ]
+                codes.append(self.noiser.icpc_code(symptom))
+            note_parts: list[str] = []
+            if model.bp_monitored and self.rng.random() < 0.7:
+                sys, dia = self._bp_pair(hypertensive)
+                note_parts.append(self.noiser.bp_note(sys, dia))
+            if model.medications and self.rng.random() < 0.4:
+                med = model.medications[
+                    int(self.rng.integers(0, len(model.medications)))
+                ]
+                days = int(self.rng.choice((30, 90)))
+                note_parts.append(f"rx {med}x{days}")
+            contact_day = self._maybe_pre_birth(day, patient)
+            self.out.gp_claims.append(
+                GPClaim(
+                    patient_id=pid,
+                    contact_date=self.noiser.date(_norwegian(contact_day)),
+                    icpc_codes=", ".join(codes),
+                    claim_type="gp",
+                    note=". ".join(note_parts),
+                )
+            )
+        # Specialist visits
+        for day in self._visit_days(model.specialist_visits_per_year):
+            prescriptions: list[str] = []
+            if model.medications and self.rng.random() < 0.5:
+                med = model.medications[
+                    int(self.rng.integers(0, len(model.medications)))
+                ]
+                prescriptions.append(f"{med}x90")
+            self.out.specialist_claims.append(
+                SpecialistClaim(
+                    patient_id=pid,
+                    visit_date=_slash(day),
+                    icd10_codes=model.icd10,
+                    specialty=_SPECIALTIES.get(model.name, "internal medicine"),
+                    prescriptions=tuple(prescriptions),
+                )
+            )
+        # Hospitalizations (+ outpatient follow-up)
+        for day in self._visit_days(model.hospitalizations_per_year):
+            stay = max(1, int(self.rng.exponential(model.mean_stay_days)))
+            discharge = min(day + stay, self.window.end_day)
+            self.out.hospital_episodes.append(
+                HospitalEpisode(
+                    patient_id=pid,
+                    admitted=_iso(day),
+                    discharged=_iso(discharge),
+                    episode_type="inpatient",
+                    main_diagnosis=model.icd10,
+                    ward=_SPECIALTIES.get(model.name, "medicine"),
+                )
+            )
+            follow_up = discharge + int(self.rng.integers(20, 60))
+            if follow_up < self.window.end_day:
+                self.out.hospital_episodes.append(
+                    HospitalEpisode(
+                        patient_id=pid,
+                        admitted=_iso(follow_up),
+                        discharged=_iso(follow_up),
+                        episode_type="outpatient",
+                        main_diagnosis=model.icd10,
+                        ward=_SPECIALTIES.get(model.name, "medicine"),
+                    )
+                )
+        # Municipal care for the frail elderly
+        age_at_start = (self.window.start_day - patient.birth_day) / 365.25
+        if (
+            model.needs_municipal_care > 0.0
+            and age_at_start >= 70.0
+            and self.rng.random() < model.needs_municipal_care * self.years
+        ):
+            start = int(
+                self.rng.integers(self.window.start_day, self.window.end_day)
+            )
+            if model.name == "dementia" and self.rng.random() < 0.5:
+                self.out.municipal_records.append(
+                    MunicipalServiceRecord(
+                        patient_id=pid,
+                        service="nursing_home",
+                        period_start=_iso(start),
+                        period_end="",  # still resident at extraction
+                    )
+                )
+            else:
+                weeks = int(self.rng.integers(8, 80))
+                end = min(start + weeks * 7, self.window.end_day)
+                self.out.municipal_records.append(
+                    MunicipalServiceRecord(
+                        patient_id=pid,
+                        service="home_care",
+                        period_start=_iso(start),
+                        period_end=_iso(end),
+                        hours_per_week=float(self.rng.integers(2, 20)),
+                    )
+                )
+
+    # -- acute + background --------------------------------------------------
+
+    def _seasonal_day(self, winter_factor: float) -> int:
+        """One episode day honouring the seasonal profile (rejection)."""
+        while True:
+            day = int(self.rng.integers(self.window.start_day,
+                                        self.window.end_day))
+            if winter_factor <= 1.0:
+                return day
+            weight = float(
+                seasonal_weights(np.array([day]), winter_factor)[0]
+            )
+            if self.rng.random() < weight / 2.0:
+                return day
+
+    def _acute_episodes(self, patient: SimulatedPatient) -> None:
+        pid = patient.patient_id
+        for model in ACUTE_CONDITIONS:
+            n_episodes = int(
+                self.rng.poisson(model.episodes_per_year * self.years)
+            )
+            for __ in range(n_episodes):
+                day = self._seasonal_day(model.winter_factor)
+                emergency = self.rng.random() < 0.25
+                note = ""
+                if model.medications and self.rng.random() < 0.5:
+                    med = model.medications[
+                        int(self.rng.integers(0, len(model.medications)))
+                    ]
+                    note = f"rx {med}x10"
+                self.out.gp_claims.append(
+                    GPClaim(
+                        patient_id=pid,
+                        contact_date=self.noiser.date(_norwegian(day)),
+                        icpc_codes=self.noiser.icpc_code(model.icpc2),
+                        claim_type="emergency" if emergency else "gp",
+                        note=note,
+                    )
+                )
+                if self.rng.random() < model.hospitalization_probability:
+                    stay = max(1, int(self.rng.exponential(model.mean_stay_days)))
+                    discharge = min(day + stay, self.window.end_day)
+                    self.out.hospital_episodes.append(
+                        HospitalEpisode(
+                            patient_id=pid,
+                            admitted=_iso(day),
+                            discharged=_iso(discharge),
+                            episode_type="inpatient",
+                            main_diagnosis=model.icd10,
+                            ward="emergency",
+                        )
+                    )
+
+    def _checkups(self, patient: SimulatedPatient, hypertensive: bool) -> None:
+        """Background well-patient contacts (A97 'no disease')."""
+        for day in self._visit_days(0.3):
+            note = ""
+            if self.rng.random() < 0.5:
+                sys, dia = self._bp_pair(hypertensive)
+                note = self.noiser.bp_note(sys, dia)
+            self.out.gp_claims.append(
+                GPClaim(
+                    patient_id=patient.patient_id,
+                    contact_date=self.noiser.date(_norwegian(day)),
+                    icpc_codes=self.noiser.icpc_code("A97"),
+                    claim_type="gp",
+                    note=note,
+                )
+            )
+
+    def _maybe_pre_birth(self, day: int, patient: SimulatedPatient) -> int:
+        """Rarely emit an impossible pre-birth date (registry defect)."""
+        if self.rng.random() < self.noiser.config.pre_birth_date:
+            return patient.birth_day - int(self.rng.integers(30, 2000))
+        return day
+
+
+def generate_raw_sources(
+    n_patients: int,
+    seed: int | None = None,
+    reference_year: int = 2012,
+    years: float = 2.0,
+    noise: NoiseConfig | None = None,
+) -> RawSources:
+    """Generate the full heterogeneous raw-source bundle, deterministically.
+
+    The same seed always produces byte-identical records for a given
+    population size (generation is sequential in patient order).
+    """
+    window = StudyWindow.for_year(reference_year, years)
+    population = generate_population(n_patients, seed, reference_year)
+    generator = rng(None if seed is None else seed + 1)
+    noiser = Noiser(noise or NoiseConfig(), generator)
+    out = RawSources(window=window, simulated=population)
+    patient_generator = _PatientGenerator(window, generator, noiser, out)
+    for patient in population:
+        patient_generator.generate(patient)
+    return out

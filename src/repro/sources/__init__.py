@@ -1,0 +1,61 @@
+"""Heterogeneous source integration: schemas, parsers, free-text
+extraction, deduplication and the integration pipeline."""
+
+from repro.sources.dedup import DedupReport, deduplicate
+from repro.sources.freetext import (
+    BloodPressureReading,
+    PrescriptionMention,
+    extract_blood_pressures,
+    extract_prescriptions,
+)
+from repro.sources.gp import GPClaimParser, GPParseStats
+from repro.sources.hospital import HospitalEpisodeParser, HospitalParseStats
+from repro.sources.integrate import (
+    IntegrationPipeline,
+    IntegrationReport,
+    PatientRecord,
+)
+from repro.sources.municipal import MunicipalParseStats, MunicipalServiceParser
+from repro.sources.parsed import (
+    ParsedEvent,
+    parse_iso_date,
+    parse_norwegian_date,
+    parse_slash_date,
+)
+from repro.sources.schema import (
+    GPClaim,
+    HospitalEpisode,
+    MunicipalServiceRecord,
+    RawRecord,
+    SpecialistClaim,
+)
+from repro.sources.specialist import SpecialistClaimParser, SpecialistParseStats
+
+__all__ = [
+    "BloodPressureReading",
+    "DedupReport",
+    "GPClaim",
+    "GPClaimParser",
+    "GPParseStats",
+    "HospitalEpisode",
+    "HospitalEpisodeParser",
+    "HospitalParseStats",
+    "IntegrationPipeline",
+    "IntegrationReport",
+    "MunicipalParseStats",
+    "MunicipalServiceParser",
+    "MunicipalServiceRecord",
+    "ParsedEvent",
+    "PatientRecord",
+    "PrescriptionMention",
+    "RawRecord",
+    "SpecialistClaim",
+    "SpecialistClaimParser",
+    "SpecialistParseStats",
+    "deduplicate",
+    "extract_blood_pressures",
+    "extract_prescriptions",
+    "parse_iso_date",
+    "parse_norwegian_date",
+    "parse_slash_date",
+]

@@ -1,0 +1,90 @@
+"""Cross-source record linkage and deduplication.
+
+Aggregating heterogeneous sources produces redundancy: the same contact
+is reimbursed once but can surface in two registries, and the same
+condition is coded as ICPC-2 by the GP and ICD-10 by the specialist.
+Two rules keep the integrated history honest:
+
+1. **Exact duplicates** (identical normalized events) collapse.
+2. **Concept duplicates**: two same-day diagnosis events for the same
+   patient whose codes map to the same concept through the
+   ICPC-2<->ICD-10 map collapse to the first-seen event (the duplicate's
+   source is recorded for the report).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.sources.parsed import ParsedEvent
+from repro.terminology import icpc2_to_icd10_map
+
+__all__ = ["DedupReport", "deduplicate"]
+
+
+@dataclass
+class DedupReport:
+    """What deduplication removed."""
+
+    exact_duplicates: int = 0
+    concept_duplicates: int = 0
+    cross_source_pairs: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def removed(self) -> int:
+        return self.exact_duplicates + self.concept_duplicates
+
+
+def _concept_key(event: ParsedEvent) -> tuple[int, int, frozenset[str]] | None:
+    """A (patient, day, concept) key for diagnosis events, None otherwise.
+
+    The concept is the union of the code's images in both terminologies,
+    so ``T90`` (ICPC-2) and ``E11`` (ICD-10) produce overlapping keys.
+    """
+    if event.category != "diagnosis" or event.code is None:
+        return None
+    mapping = icpc2_to_icd10_map()
+    try:
+        icpc_side, icd_side = mapping.expand_concept(event.code)
+    except Exception:  # unmapped/foreign code: treat as its own concept
+        return (event.patient_id, event.day, frozenset({event.code}))
+    return (event.patient_id, event.day, icpc_side | icd_side)
+
+
+def deduplicate(
+    events: Iterable[ParsedEvent],
+) -> tuple[list[ParsedEvent], DedupReport]:
+    """Remove exact and concept-level duplicates, preserving order."""
+    report = DedupReport()
+    seen_exact: set[ParsedEvent] = set()
+    # (patient, day) -> list of (concept set, source_kind) already kept
+    seen_concepts: dict[tuple[int, int], list[tuple[frozenset[str], str]]] = {}
+    kept: list[ParsedEvent] = []
+    for event in events:
+        if event in seen_exact:
+            report.exact_duplicates += 1
+            continue
+        seen_exact.add(event)
+        key = _concept_key(event)
+        if key is not None:
+            patient_day = (key[0], key[1])
+            concept = key[2]
+            duplicate_of = None
+            for existing_concept, existing_source in seen_concepts.get(
+                patient_day, ()
+            ):
+                if existing_concept & concept:
+                    duplicate_of = existing_source
+                    break
+            if duplicate_of is not None:
+                report.concept_duplicates += 1
+                pair = (duplicate_of, event.source_kind)
+                if duplicate_of != event.source_kind:
+                    report.cross_source_pairs.append(pair)
+                continue
+            seen_concepts.setdefault(patient_day, []).append(
+                (concept, event.source_kind)
+            )
+        kept.append(event)
+    return kept, report

@@ -1,0 +1,97 @@
+"""Regex extraction of structure from noisy free text.
+
+Section IV-A: "Regular expressions are also used for extraction of some
+of the available free text data ... However, this extraction is limited
+because of differing conventions and many typing errors in the text."
+
+GP notes in the synthetic data embed two kinds of structure worth
+harvesting: blood-pressure readings and prescription mentions.  The
+patterns below tolerate the conventions the simulator's noise model
+produces (``BT 140/90``, ``bp: 140 / 90 mmHg``, ``blodtrykk 140-90``),
+and — faithfully to the paper — are *not* expected to catch everything.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = [
+    "BloodPressureReading",
+    "PrescriptionMention",
+    "extract_blood_pressures",
+    "extract_prescriptions",
+]
+
+
+@dataclass(frozen=True)
+class BloodPressureReading:
+    """A systolic/diastolic pair found in free text."""
+
+    systolic: int
+    diastolic: int
+
+    @property
+    def plausible(self) -> bool:
+        """Physiologically plausible values (filters typo garbage)."""
+        return 60 <= self.systolic <= 260 and 30 <= self.diastolic <= 160
+
+
+@dataclass(frozen=True)
+class PrescriptionMention:
+    """An ATC code (optionally with a day count) found in free text."""
+
+    atc_code: str
+    days: int | None = None
+
+
+# "BT 140/90", "bp: 140 / 90", "blodtrykk 140-90 mmHg", "BP140/90" ...
+_BP_PATTERN = re.compile(
+    r"""
+    (?:bt|bp|blodtrykk|blood\s*pressure)   # the label, any convention
+    \s*[:.]?\s*
+    (?P<sys>\d{2,3})
+    \s*[/\-]\s*
+    (?P<dia>\d{2,3})
+    """,
+    re.IGNORECASE | re.VERBOSE,
+)
+
+# "rx C07AB02", "resept: C07AB02x90", "prescribed C07AB02 x 90d"
+_RX_PATTERN = re.compile(
+    r"""
+    (?:rx|resept|prescribed|utskrevet)
+    \s*[:.]?\s*
+    (?P<code>[A-Z]\d{2}[A-Z]{2}\d{2})
+    (?:\s*x\s*(?P<days>\d{1,3})\s*d?)?
+    """,
+    re.IGNORECASE | re.VERBOSE,
+)
+
+
+def extract_blood_pressures(text: str) -> list[BloodPressureReading]:
+    """All plausible blood-pressure readings mentioned in ``text``.
+
+    Implausible pairs (typo artifacts such as ``BT 14/90``) are parsed
+    but discarded, mirroring the paper's observation that free-text
+    extraction stays incomplete.
+    """
+    readings = [
+        BloodPressureReading(int(m.group("sys")), int(m.group("dia")))
+        for m in _BP_PATTERN.finditer(text)
+    ]
+    return [r for r in readings if r.plausible]
+
+
+def extract_prescriptions(text: str) -> list[PrescriptionMention]:
+    """All prescription mentions (uppercased ATC codes) in ``text``."""
+    mentions: list[PrescriptionMention] = []
+    for m in _RX_PATTERN.finditer(text):
+        days = m.group("days")
+        mentions.append(
+            PrescriptionMention(
+                atc_code=m.group("code").upper(),
+                days=None if days is None else int(days),
+            )
+        )
+    return mentions

@@ -1,0 +1,122 @@
+"""Parser for primary-care reimbursement claims (GP, emergency GP, physio).
+
+A claim yields a *contact* event, one *diagnosis* event per valid ICPC-2
+code, and whatever the free-text note surrenders to regex extraction
+(blood pressures, prescriptions).  Invalid ICPC codes are skipped and
+counted — the claims registry is the noisiest source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SourceFormatError
+from repro.sources.freetext import extract_blood_pressures, extract_prescriptions
+from repro.sources.parsed import ParsedEvent, parse_norwegian_date
+from repro.sources.schema import GPClaim
+from repro.terminology import atc, icpc2
+
+__all__ = ["GPClaimParser", "GPParseStats"]
+
+_CLAIM_KINDS = {
+    "gp": ("gp_claim", "gp_contact"),
+    "emergency": ("gp_emergency_claim", "emergency_contact"),
+    "physio": ("physio_claim", "physio_contact"),
+}
+
+#: Default prescription length when the note gives no day count.
+DEFAULT_PRESCRIPTION_DAYS = 30
+
+
+@dataclass
+class GPParseStats:
+    """Per-run parse statistics for reporting and tests."""
+
+    claims: int = 0
+    bad_dates: int = 0
+    bad_codes: int = 0
+    diagnoses: int = 0
+    blood_pressures: int = 0
+    prescriptions: int = 0
+
+
+class GPClaimParser:
+    """Stateless parser; ``stats`` accumulates across :meth:`parse` calls."""
+
+    def __init__(self) -> None:
+        self.stats = GPParseStats()
+        self._icpc = icpc2()
+        self._atc = atc()
+
+    def parse(self, claim: GPClaim) -> list[ParsedEvent]:
+        """Normalize one claim; raises :class:`SourceFormatError` on a bad
+        date or unknown claim type (the caller counts and skips)."""
+        self.stats.claims += 1
+        if claim.claim_type not in _CLAIM_KINDS:
+            raise SourceFormatError("gp_claim", f"unknown claim type {claim.claim_type!r}")
+        source_kind, contact_category = _CLAIM_KINDS[claim.claim_type]
+        try:
+            day = parse_norwegian_date(claim.contact_date, source_kind)
+        except SourceFormatError:
+            self.stats.bad_dates += 1
+            raise
+        events = [
+            ParsedEvent(
+                patient_id=claim.patient_id,
+                day=day,
+                category=contact_category,
+                source_kind=source_kind,
+                detail=claim.note[:120],
+            )
+        ]
+        for raw_code in claim.icpc_codes.split(","):
+            code = raw_code.strip().upper()
+            if not code:
+                continue
+            if code not in self._icpc:
+                self.stats.bad_codes += 1
+                continue
+            self.stats.diagnoses += 1
+            events.append(
+                ParsedEvent(
+                    patient_id=claim.patient_id,
+                    day=day,
+                    category="diagnosis",
+                    code=code,
+                    system="ICPC-2",
+                    source_kind=source_kind,
+                    detail=self._icpc.get(code).display,
+                )
+            )
+        for reading in extract_blood_pressures(claim.note):
+            self.stats.blood_pressures += 1
+            events.append(
+                ParsedEvent(
+                    patient_id=claim.patient_id,
+                    day=day,
+                    category="blood_pressure",
+                    value=float(reading.systolic),
+                    value2=float(reading.diastolic),
+                    source_kind=source_kind,
+                    detail=f"BP {reading.systolic}/{reading.diastolic}",
+                )
+            )
+        for mention in extract_prescriptions(claim.note):
+            if mention.atc_code not in self._atc:
+                self.stats.bad_codes += 1
+                continue
+            self.stats.prescriptions += 1
+            days = mention.days or DEFAULT_PRESCRIPTION_DAYS
+            events.append(
+                ParsedEvent(
+                    patient_id=claim.patient_id,
+                    day=day,
+                    end=day + days,
+                    category="prescription",
+                    code=mention.atc_code,
+                    system="ATC",
+                    source_kind=source_kind,
+                    detail=f"{mention.atc_code} for {days}d",
+                )
+            )
+        return events

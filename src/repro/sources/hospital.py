@@ -1,0 +1,107 @@
+"""Parser for hospital episodes (inpatient, outpatient, day treatment).
+
+Inpatient episodes become interval events spanning admission to
+discharge; outpatient and day-treatment episodes are single-day
+contacts.  Both carry ICD-10 diagnosis events anchored at admission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SourceFormatError
+from repro.sources.parsed import ParsedEvent, parse_iso_date
+from repro.sources.schema import HospitalEpisode
+from repro.terminology import icd10
+
+__all__ = ["HospitalEpisodeParser", "HospitalParseStats"]
+
+_EPISODE_KINDS = {
+    "inpatient": ("hospital_inpatient", "hospital_stay", True),
+    "outpatient": ("hospital_outpatient", "outpatient_visit", False),
+    "day_treatment": ("hospital_day_treatment", "day_treatment", False),
+}
+
+
+@dataclass
+class HospitalParseStats:
+    """Per-run parse statistics."""
+
+    episodes: int = 0
+    bad_dates: int = 0
+    bad_codes: int = 0
+    negative_stays: int = 0
+    diagnoses: int = 0
+
+
+class HospitalEpisodeParser:
+    """Stateless parser; ``stats`` accumulates across :meth:`parse` calls."""
+
+    def __init__(self) -> None:
+        self.stats = HospitalParseStats()
+        self._icd = icd10()
+
+    def parse(self, episode: HospitalEpisode) -> list[ParsedEvent]:
+        """Normalize one episode; raises on structural problems."""
+        self.stats.episodes += 1
+        if episode.episode_type not in _EPISODE_KINDS:
+            raise SourceFormatError(
+                "hospital", f"unknown episode type {episode.episode_type!r}"
+            )
+        source_kind, category, spans_time = _EPISODE_KINDS[episode.episode_type]
+        try:
+            admitted = parse_iso_date(episode.admitted, source_kind)
+            discharged = parse_iso_date(episode.discharged, source_kind)
+        except SourceFormatError:
+            self.stats.bad_dates += 1
+            raise
+        if discharged < admitted:
+            self.stats.negative_stays += 1
+            raise SourceFormatError(
+                source_kind,
+                f"discharge {episode.discharged} precedes admission "
+                f"{episode.admitted}",
+            )
+        events: list[ParsedEvent] = []
+        if spans_time:
+            events.append(
+                ParsedEvent(
+                    patient_id=episode.patient_id,
+                    day=admitted,
+                    end=discharged + 1,  # discharge day is still in hospital
+                    category=category,
+                    source_kind=source_kind,
+                    detail=episode.ward,
+                )
+            )
+        else:
+            events.append(
+                ParsedEvent(
+                    patient_id=episode.patient_id,
+                    day=admitted,
+                    category=category,
+                    source_kind=source_kind,
+                    detail=episode.ward,
+                )
+            )
+        codes = [episode.main_diagnosis, *episode.secondary_diagnoses]
+        for raw_code in codes:
+            code = raw_code.strip().upper()
+            if not code:
+                continue
+            if code not in self._icd:
+                self.stats.bad_codes += 1
+                continue
+            self.stats.diagnoses += 1
+            events.append(
+                ParsedEvent(
+                    patient_id=episode.patient_id,
+                    day=admitted,
+                    category="diagnosis",
+                    code=code,
+                    system="ICD-10",
+                    source_kind=source_kind,
+                    detail=self._icd.get(code).display,
+                )
+            )
+        return events

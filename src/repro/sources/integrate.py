@@ -1,0 +1,240 @@
+"""The integration pipeline: raw heterogeneous records -> one event store.
+
+This is the paper's core data path — "a tool that integrates multiple,
+heterogeneous clinical data sources ... in a common workbench"
+(abstract).  Stages:
+
+1. **Parse** each registry's records with its dedicated parser; records
+   that fail structurally (bad dates, inverted periods) are skipped and
+   counted, never silently repaired.
+2. **Validate** events against demographics: entries dated before the
+   patient's birth are ignored (the paper's explicit rule), intervals
+   are truncated to the extraction horizon.
+3. **Deduplicate** within and across sources (concept-level, via the
+   ICPC-2<->ICD-10 map).
+4. **Load** into the columnar :class:`~repro.events.store.EventStore`.
+
+The integration ontology is consulted for classification metadata (care
+level per contact, interval-ness) and cross-checked against what the
+parsers emitted — a structural self-test that the two formalizations and
+the code agree.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.errors import SourceFormatError
+from repro.events.store import EventStore, EventStoreBuilder
+from repro.ontology.integration_ontology import (
+    CARE_LEVELS,
+    SOURCE_KIND_CLASSES,
+    care_level_of,
+    is_interval_contact,
+)
+from repro.sources.dedup import DedupReport, deduplicate
+from repro.sources.gp import GPClaimParser
+from repro.sources.hospital import HospitalEpisodeParser
+from repro.sources.municipal import MunicipalServiceParser
+from repro.sources.parsed import ParsedEvent
+from repro.sources.schema import (
+    GPClaim,
+    HospitalEpisode,
+    MunicipalServiceRecord,
+    SpecialistClaim,
+)
+from repro.sources.specialist import SpecialistClaimParser
+
+__all__ = ["IntegrationPipeline", "IntegrationReport", "PatientRecord"]
+
+#: Contact categories, as emitted by the parsers, per source kind.
+_CONTACT_CATEGORIES: dict[str, str] = {
+    "gp_claim": "gp_contact",
+    "gp_emergency_claim": "emergency_contact",
+    "physio_claim": "physio_contact",
+    "specialist_claim": "specialist_contact",
+    "hospital_inpatient": "hospital_stay",
+    "hospital_outpatient": "outpatient_visit",
+    "hospital_day_treatment": "day_treatment",
+    "municipal_home_care": "home_care",
+    "municipal_nursing_home": "nursing_home",
+}
+
+
+@dataclass(frozen=True)
+class PatientRecord:
+    """Demographics from the population registry."""
+
+    patient_id: int
+    birth_day: int
+    sex: str = "U"
+
+
+@dataclass
+class IntegrationReport:
+    """Everything the pipeline counted while integrating."""
+
+    patients: int = 0
+    parsed_events: int = 0
+    failed_records: int = 0
+    before_birth: int = 0
+    after_horizon: int = 0
+    truncated: int = 0
+    unknown_patient: int = 0
+    dedup: DedupReport = field(default_factory=DedupReport)
+    contacts_by_care_level: dict[str, int] = field(default_factory=dict)
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def loaded_events(self) -> int:
+        return (
+            self.parsed_events
+            - self.before_birth
+            - self.after_horizon
+            - self.unknown_patient
+            - self.dedup.removed
+        )
+
+
+class IntegrationPipeline:
+    """Configure once (horizon), then :meth:`run` over record collections."""
+
+    def __init__(self, horizon_day: int) -> None:
+        self.horizon_day = horizon_day
+        self._check_ontology_agreement()
+
+    @staticmethod
+    def _check_ontology_agreement() -> None:
+        """Structural self-test: parsers and ontology must agree on shape.
+
+        Every source kind with an interval contact class must emit
+        interval contact events and vice versa.  Runs at construction so
+        a drift between formalization and code fails fast.
+        """
+        interval_categories = {
+            "hospital_stay", "home_care", "nursing_home",
+        }
+        for kind, contact_class in SOURCE_KIND_CLASSES.items():
+            category = _CONTACT_CATEGORIES[kind]
+            expected = category in interval_categories
+            if is_interval_contact(contact_class) != expected:
+                raise SourceFormatError(
+                    kind,
+                    f"ontology says {contact_class} interval-ness differs "
+                    f"from parser category {category}",
+                )
+
+    def run(
+        self,
+        patients: Iterable[PatientRecord],
+        gp_claims: Iterable[GPClaim] = (),
+        hospital_episodes: Iterable[HospitalEpisode] = (),
+        municipal_records: Iterable[MunicipalServiceRecord] = (),
+        specialist_claims: Iterable[SpecialistClaim] = (),
+    ) -> tuple[EventStore, IntegrationReport]:
+        """Integrate all sources and return the store plus the report."""
+        report = IntegrationReport()
+        births: dict[int, int] = {}
+        builder = EventStoreBuilder()
+        for patient in patients:
+            builder.add_patient(patient.patient_id, patient.birth_day, patient.sex)
+            births[patient.patient_id] = patient.birth_day
+            report.patients += 1
+
+        gp_parser = GPClaimParser()
+        hospital_parser = HospitalEpisodeParser()
+        municipal_parser = MunicipalServiceParser(self.horizon_day)
+        specialist_parser = SpecialistClaimParser()
+
+        events: list[ParsedEvent] = []
+        batches = (
+            (gp_parser, gp_claims),
+            (hospital_parser, hospital_episodes),
+            (municipal_parser, municipal_records),
+            (specialist_parser, specialist_claims),
+        )
+        for parser, records in batches:
+            for record in records:
+                try:
+                    events.extend(parser.parse(record))
+                except SourceFormatError as exc:
+                    report.failed_records += 1
+                    if len(report.failures) < 100:
+                        report.failures.append(str(exc))
+        report.parsed_events = len(events)
+
+        validated: list[ParsedEvent] = []
+        for event in events:
+            birth = births.get(event.patient_id)
+            if birth is None:
+                report.unknown_patient += 1
+                continue
+            cleaned = self._validate(event, birth, report)
+            if cleaned is not None:
+                validated.append(cleaned)
+
+        deduped, report.dedup = deduplicate(validated)
+
+        level_counts = {level: 0 for level in CARE_LEVELS}
+        contact_categories = set(_CONTACT_CATEGORIES.values())
+        kind_to_level = {
+            kind: care_level_of(cls) for kind, cls in SOURCE_KIND_CLASSES.items()
+        }
+        for event in deduped:
+            builder.add_event(
+                patient_id=event.patient_id,
+                day=event.day,
+                category=event.category,
+                end=event.end,
+                code=event.code,
+                system=event.system,
+                value=event.value,
+                value2=event.value2,
+                source=event.source_kind,
+                detail=event.detail,
+            )
+            if event.category in contact_categories:
+                level = kind_to_level.get(event.source_kind)
+                if level is not None:
+                    level_counts[level] += 1
+        report.contacts_by_care_level = level_counts
+        return builder.build(), report
+
+    def _validate(
+        self, event: ParsedEvent, birth_day: int, report: IntegrationReport
+    ) -> ParsedEvent | None:
+        """Apply the birth/horizon rules to one event (None = dropped)."""
+        horizon = self.horizon_day
+        if event.end is None:
+            if event.day < birth_day:
+                report.before_birth += 1
+                return None
+            if event.day > horizon:
+                report.after_horizon += 1
+                return None
+            return event
+        start, end = event.day, event.end
+        if end <= birth_day:
+            report.before_birth += 1
+            return None
+        if start > horizon:
+            report.after_horizon += 1
+            return None
+        new_start = max(start, birth_day)
+        new_end = min(end, horizon + 1)
+        if (new_start, new_end) != (start, end):
+            report.truncated += 1
+            return ParsedEvent(
+                patient_id=event.patient_id,
+                day=new_start,
+                end=new_end,
+                category=event.category,
+                code=event.code,
+                system=event.system,
+                value=event.value,
+                value2=event.value2,
+                source_kind=event.source_kind,
+                detail=event.detail,
+            )
+        return event

@@ -1,0 +1,81 @@
+"""Parser for municipal care service records (home care, nursing home).
+
+Municipal periods are intervals without clinical coding.  Open-ended
+periods (service still running at data extraction) are closed at the
+caller-supplied horizon day, mirroring how the research project's
+two-year extraction window truncated ongoing services.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SourceFormatError
+from repro.sources.parsed import ParsedEvent, parse_iso_date
+from repro.sources.schema import MunicipalServiceRecord
+
+__all__ = ["MunicipalServiceParser", "MunicipalParseStats"]
+
+_SERVICE_KINDS = {
+    "home_care": ("municipal_home_care", "home_care"),
+    "nursing_home": ("municipal_nursing_home", "nursing_home"),
+}
+
+
+@dataclass
+class MunicipalParseStats:
+    """Per-run parse statistics."""
+
+    records: int = 0
+    bad_dates: int = 0
+    open_ended: int = 0
+    inverted_periods: int = 0
+
+
+class MunicipalServiceParser:
+    """Stateless parser; ``stats`` accumulates across :meth:`parse` calls."""
+
+    def __init__(self, horizon_day: int) -> None:
+        self.horizon_day = horizon_day
+        self.stats = MunicipalParseStats()
+
+    def parse(self, record: MunicipalServiceRecord) -> list[ParsedEvent]:
+        """Normalize one service period into a single interval event."""
+        self.stats.records += 1
+        if record.service not in _SERVICE_KINDS:
+            raise SourceFormatError(
+                "municipal", f"unknown service {record.service!r}"
+            )
+        source_kind, category = _SERVICE_KINDS[record.service]
+        try:
+            start = parse_iso_date(record.period_start, source_kind)
+            if record.period_end:
+                end = parse_iso_date(record.period_end, source_kind) + 1
+            else:
+                self.stats.open_ended += 1
+                end = self.horizon_day + 1
+        except SourceFormatError:
+            self.stats.bad_dates += 1
+            raise
+        if end <= start:
+            self.stats.inverted_periods += 1
+            raise SourceFormatError(
+                source_kind,
+                f"period end {record.period_end!r} precedes start "
+                f"{record.period_start!r}",
+            )
+        hours = record.hours_per_week
+        detail = record.service if hours is None else (
+            f"{record.service} {hours:.1f}h/week"
+        )
+        return [
+            ParsedEvent(
+                patient_id=record.patient_id,
+                day=start,
+                end=end,
+                category=category,
+                value=hours,
+                source_kind=source_kind,
+                detail=detail,
+            )
+        ]

@@ -1,0 +1,77 @@
+"""The normalized intermediate event form shared by all source parsers,
+plus the per-registry date-format helpers."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from datetime import date
+
+from repro.errors import SourceFormatError
+from repro.temporal.timeline import day_number
+
+__all__ = [
+    "ParsedEvent",
+    "parse_norwegian_date",
+    "parse_iso_date",
+    "parse_slash_date",
+]
+
+
+@dataclass(frozen=True)
+class ParsedEvent:
+    """One normalized event extracted from a raw record.
+
+    ``end`` is ``None`` for point events.  ``source_kind`` is the literal
+    the integration ontology classifies on (:data:`SOURCE_KIND_CLASSES`).
+    """
+
+    patient_id: int
+    day: int
+    category: str
+    end: int | None = None
+    code: str | None = None
+    system: str | None = None
+    value: float | None = None
+    value2: float | None = None
+    source_kind: str = ""
+    detail: str = ""
+
+
+_NORWEGIAN = re.compile(r"^(\d{2})\.(\d{2})\.(\d{4})$")
+_ISO = re.compile(r"^(\d{4})-(\d{2})-(\d{2})$")
+_SLASH = re.compile(r"^(\d{2})/(\d{2})/(\d{4})$")
+
+
+def _build(day: int, month: int, year: int, raw: str, source: str) -> int:
+    try:
+        return day_number(date(year, month, day))
+    except ValueError as exc:
+        raise SourceFormatError(source, f"invalid date {raw!r}: {exc}") from exc
+
+
+def parse_norwegian_date(raw: str, source: str = "gp_claim") -> int:
+    """Parse ``DD.MM.YYYY`` (the claims-registry convention) to a day number."""
+    match = _NORWEGIAN.match(raw.strip())
+    if match is None:
+        raise SourceFormatError(source, f"unparseable date {raw!r}")
+    dd, mm, yyyy = (int(g) for g in match.groups())
+    return _build(dd, mm, yyyy, raw, source)
+
+
+def parse_iso_date(raw: str, source: str = "hospital") -> int:
+    """Parse ``YYYY-MM-DD`` (hospital and municipal systems) to a day number."""
+    match = _ISO.match(raw.strip())
+    if match is None:
+        raise SourceFormatError(source, f"unparseable date {raw!r}")
+    yyyy, mm, dd = (int(g) for g in match.groups())
+    return _build(dd, mm, yyyy, raw, source)
+
+
+def parse_slash_date(raw: str, source: str = "specialist_claim") -> int:
+    """Parse ``DD/MM/YYYY`` (the specialist registry's habit) to a day number."""
+    match = _SLASH.match(raw.strip())
+    if match is None:
+        raise SourceFormatError(source, f"unparseable date {raw!r}")
+    dd, mm, yyyy = (int(g) for g in match.groups())
+    return _build(dd, mm, yyyy, raw, source)

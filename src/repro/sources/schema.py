@@ -1,0 +1,119 @@
+"""Raw record schemas for the heterogeneous sources.
+
+Section III enumerates the feeds: hospital (inpatient, outpatient, day
+treatment), municipal services (home care, nursing home), primary care
+(GP, GP-operated emergency services, physiotherapist) and private
+specialists claiming reimbursement.  Each registry has its own field
+names, its own date conventions and its own coding habits — that
+heterogeneity is the integration problem, so the schemas preserve it
+faithfully instead of pre-normalizing:
+
+* GP/emergency/physio claims: Norwegian ``DD.MM.YYYY`` dates, ICPC-2
+  codes, a free-text note field.
+* Hospital episodes: ISO dates, admission/discharge pair, ICD-10 main and
+  secondary diagnoses, an episode type string.
+* Municipal service records: ISO period start/end, a service type string,
+  no clinical coding.
+* Specialist claims: ``DD/MM/YYYY`` dates, ICD-10 coding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "GPClaim",
+    "HospitalEpisode",
+    "MunicipalServiceRecord",
+    "SpecialistClaim",
+    "RawRecord",
+]
+
+
+@dataclass(frozen=True)
+class GPClaim:
+    """A primary-care reimbursement claim (GP, emergency GP or physio).
+
+    Attributes:
+        patient_id: national patient identifier.
+        contact_date: visit date as ``DD.MM.YYYY`` (registry convention).
+        icpc_codes: ICPC-2 codes claimed, comma-separated as received
+            (may contain stray whitespace or lowercase letters).
+        claim_type: ``"gp"``, ``"emergency"`` or ``"physio"``.
+        note: free-text clinical note; may embed blood-pressure readings
+            and prescription mentions in inconsistent formats.
+    """
+
+    patient_id: int
+    contact_date: str
+    icpc_codes: str = ""
+    claim_type: str = "gp"
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class HospitalEpisode:
+    """One hospital episode from the patient administrative system.
+
+    Attributes:
+        patient_id: national patient identifier.
+        admitted: ISO admission date (``YYYY-MM-DD``).
+        discharged: ISO discharge date; equals ``admitted`` for
+            outpatient/day episodes.
+        episode_type: ``"inpatient"``, ``"outpatient"`` or
+            ``"day_treatment"``.
+        main_diagnosis: principal ICD-10 category.
+        secondary_diagnoses: further ICD-10 categories.
+        ward: free-text ward/department label.
+    """
+
+    patient_id: int
+    admitted: str
+    discharged: str
+    episode_type: str = "inpatient"
+    main_diagnosis: str = ""
+    secondary_diagnoses: tuple[str, ...] = ()
+    ward: str = ""
+
+
+@dataclass(frozen=True)
+class MunicipalServiceRecord:
+    """A municipal care service period (home care, nursing home ...).
+
+    Attributes:
+        patient_id: national patient identifier.
+        service: ``"home_care"`` or ``"nursing_home"``.
+        period_start: ISO start date.
+        period_end: ISO end date (inclusive); empty string means the
+            service was still running at extraction time.
+        hours_per_week: allotted service hours (home care only).
+    """
+
+    patient_id: int
+    service: str
+    period_start: str
+    period_end: str = ""
+    hours_per_week: float | None = None
+
+
+@dataclass(frozen=True)
+class SpecialistClaim:
+    """A private-specialist reimbursement claim.
+
+    Attributes:
+        patient_id: national patient identifier.
+        visit_date: visit date as ``DD/MM/YYYY`` (this registry's habit).
+        icd10_codes: ICD-10 categories, semicolon-separated as received.
+        specialty: free-text specialty label (``"cardiology"`` ...).
+        prescriptions: ATC codes prescribed at the visit, with optional
+            ``xNN`` day-count suffix (e.g. ``"C07AB02x90"``).
+    """
+
+    patient_id: int
+    visit_date: str
+    icd10_codes: str = ""
+    specialty: str = ""
+    prescriptions: tuple[str, ...] = ()
+
+
+RawRecord = GPClaim | HospitalEpisode | MunicipalServiceRecord | SpecialistClaim

@@ -1,0 +1,103 @@
+"""Parser for private-specialist reimbursement claims.
+
+Specialist visits are single-day contacts coded in ICD-10, optionally
+carrying prescriptions given as ATC codes with an ``xNN`` day-count
+suffix (``"C07AB02x90"``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import SourceFormatError
+from repro.sources.parsed import ParsedEvent, parse_slash_date
+from repro.sources.schema import SpecialistClaim
+from repro.terminology import atc, icd10
+
+__all__ = ["SpecialistClaimParser", "SpecialistParseStats"]
+
+_RX = re.compile(
+    r"^(?P<code>[A-Z]\d{2}[A-Z]{2}\d{2})(?:[xX](?P<days>\d{1,3}))?$"
+)
+
+#: Default prescription length when no day count is given.
+DEFAULT_PRESCRIPTION_DAYS = 90
+
+
+@dataclass
+class SpecialistParseStats:
+    """Per-run parse statistics."""
+
+    claims: int = 0
+    bad_dates: int = 0
+    bad_codes: int = 0
+    diagnoses: int = 0
+    prescriptions: int = 0
+
+
+class SpecialistClaimParser:
+    """Stateless parser; ``stats`` accumulates across :meth:`parse` calls."""
+
+    def __init__(self) -> None:
+        self.stats = SpecialistParseStats()
+        self._icd = icd10()
+        self._atc = atc()
+
+    def parse(self, claim: SpecialistClaim) -> list[ParsedEvent]:
+        """Normalize one claim into contact + diagnosis + prescription events."""
+        self.stats.claims += 1
+        try:
+            day = parse_slash_date(claim.visit_date)
+        except SourceFormatError:
+            self.stats.bad_dates += 1
+            raise
+        events = [
+            ParsedEvent(
+                patient_id=claim.patient_id,
+                day=day,
+                category="specialist_contact",
+                source_kind="specialist_claim",
+                detail=claim.specialty,
+            )
+        ]
+        for raw_code in claim.icd10_codes.split(";"):
+            code = raw_code.strip().upper()
+            if not code:
+                continue
+            if code not in self._icd:
+                self.stats.bad_codes += 1
+                continue
+            self.stats.diagnoses += 1
+            events.append(
+                ParsedEvent(
+                    patient_id=claim.patient_id,
+                    day=day,
+                    category="diagnosis",
+                    code=code,
+                    system="ICD-10",
+                    source_kind="specialist_claim",
+                    detail=self._icd.get(code).display,
+                )
+            )
+        for raw_rx in claim.prescriptions:
+            match = _RX.match(raw_rx.strip().upper())
+            if match is None or match.group("code") not in self._atc:
+                self.stats.bad_codes += 1
+                continue
+            days_text = match.group("days")
+            days = DEFAULT_PRESCRIPTION_DAYS if days_text is None else int(days_text)
+            self.stats.prescriptions += 1
+            events.append(
+                ParsedEvent(
+                    patient_id=claim.patient_id,
+                    day=day,
+                    end=day + max(days, 1),
+                    category="prescription",
+                    code=match.group("code"),
+                    system="ATC",
+                    source_kind="specialist_claim",
+                    detail=f"{match.group('code')} for {days}d",
+                )
+            )
+        return events

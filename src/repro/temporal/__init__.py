@@ -1,0 +1,37 @@
+"""Temporal substrate: day-number timeline, Allen algebra, constraint
+networks and uncertain intervals."""
+
+from repro.temporal.allen import (
+    ALL_RELATIONS,
+    AllenRelation,
+    compose,
+    compose_sets,
+    invert_set,
+    relation_between,
+)
+from repro.temporal.constraints import TemporalConstraintNetwork
+from repro.temporal.timeline import (
+    EPOCH,
+    Interval,
+    day_number,
+    from_day_number,
+    months_between,
+)
+from repro.temporal.uncertainty import UncertainInterval, UncertaintyMetaphor
+
+__all__ = [
+    "ALL_RELATIONS",
+    "AllenRelation",
+    "EPOCH",
+    "Interval",
+    "TemporalConstraintNetwork",
+    "UncertainInterval",
+    "UncertaintyMetaphor",
+    "compose",
+    "compose_sets",
+    "day_number",
+    "from_day_number",
+    "invert_set",
+    "months_between",
+    "relation_between",
+]

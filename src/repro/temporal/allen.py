@@ -1,0 +1,231 @@
+"""Allen's interval algebra: the 13 basic relations and their composition.
+
+The paper implements "much of the same functionality" as the CNTRO
+temporal-reasoning framework and lists constraint-based interval
+reasoning as ongoing work (Section II-D2); this module supplies that
+machinery properly.
+
+Rather than transcribing the 13x13 composition table (169 cells, easy to
+mistype), we *derive* it from the point algebra: each Allen relation is a
+4-tuple of atomic point relations between interval endpoints, and a
+composition ``R ∈ comp(R1, R2)`` holds exactly when the 6-endpoint point
+network {R1(A,B), R2(B,C), R(A,C), start<end for each} is consistent.
+Point-algebra path consistency decides that, and the result is cached.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from functools import lru_cache
+from itertools import product
+
+from repro.temporal.timeline import Interval
+
+__all__ = ["AllenRelation", "relation_between", "compose", "ALL_RELATIONS"]
+
+# Point-algebra relations as bitmasks over {<, =, >}.
+_LT, _EQ, _GT = 1, 2, 4
+_ANY = _LT | _EQ | _GT
+
+#: Point-algebra composition: mask x mask -> mask, built from atomic cases.
+_ATOMIC_COMPOSE: dict[tuple[int, int], int] = {
+    (_LT, _LT): _LT,
+    (_LT, _EQ): _LT,
+    (_LT, _GT): _ANY,
+    (_EQ, _LT): _LT,
+    (_EQ, _EQ): _EQ,
+    (_EQ, _GT): _GT,
+    (_GT, _LT): _ANY,
+    (_GT, _EQ): _GT,
+    (_GT, _GT): _GT,
+}
+
+
+def _compose_masks(a: int, b: int) -> int:
+    result = 0
+    for bit_a in (_LT, _EQ, _GT):
+        if not a & bit_a:
+            continue
+        for bit_b in (_LT, _EQ, _GT):
+            if b & bit_b:
+                result |= _ATOMIC_COMPOSE[(bit_a, bit_b)]
+    return result
+
+
+def _invert_mask(mask: int) -> int:
+    result = 0
+    if mask & _LT:
+        result |= _GT
+    if mask & _GT:
+        result |= _LT
+    if mask & _EQ:
+        result |= _EQ
+    return result
+
+
+class AllenRelation(Enum):
+    """The 13 basic interval relations, values are conventional symbols."""
+
+    BEFORE = "b"
+    MEETS = "m"
+    OVERLAPS = "o"
+    STARTS = "s"
+    DURING = "d"
+    FINISHES = "f"
+    EQUALS = "e"
+    AFTER = "bi"
+    MET_BY = "mi"
+    OVERLAPPED_BY = "oi"
+    STARTED_BY = "si"
+    CONTAINS = "di"
+    FINISHED_BY = "fi"
+
+    @property
+    def inverse(self) -> "AllenRelation":
+        """The converse relation (``a R b`` iff ``b R.inverse a``)."""
+        return _INVERSES[self]
+
+    def __repr__(self) -> str:
+        return f"AllenRelation.{self.name}"
+
+
+_INVERSES = {
+    AllenRelation.BEFORE: AllenRelation.AFTER,
+    AllenRelation.AFTER: AllenRelation.BEFORE,
+    AllenRelation.MEETS: AllenRelation.MET_BY,
+    AllenRelation.MET_BY: AllenRelation.MEETS,
+    AllenRelation.OVERLAPS: AllenRelation.OVERLAPPED_BY,
+    AllenRelation.OVERLAPPED_BY: AllenRelation.OVERLAPS,
+    AllenRelation.STARTS: AllenRelation.STARTED_BY,
+    AllenRelation.STARTED_BY: AllenRelation.STARTS,
+    AllenRelation.DURING: AllenRelation.CONTAINS,
+    AllenRelation.CONTAINS: AllenRelation.DURING,
+    AllenRelation.FINISHES: AllenRelation.FINISHED_BY,
+    AllenRelation.FINISHED_BY: AllenRelation.FINISHES,
+    AllenRelation.EQUALS: AllenRelation.EQUALS,
+}
+
+#: All thirteen relations, in a stable order.
+ALL_RELATIONS: tuple[AllenRelation, ...] = tuple(AllenRelation)
+
+# Endpoint signature of each relation: atomic point relations for
+# (s1 ? s2, s1 ? e2, e1 ? s2, e1 ? e2).
+_SIGNATURES: dict[AllenRelation, tuple[int, int, int, int]] = {
+    AllenRelation.BEFORE: (_LT, _LT, _LT, _LT),
+    AllenRelation.MEETS: (_LT, _LT, _EQ, _LT),
+    AllenRelation.OVERLAPS: (_LT, _LT, _GT, _LT),
+    AllenRelation.STARTS: (_EQ, _LT, _GT, _LT),
+    AllenRelation.DURING: (_GT, _LT, _GT, _LT),
+    AllenRelation.FINISHES: (_GT, _LT, _GT, _EQ),
+    AllenRelation.EQUALS: (_EQ, _LT, _GT, _EQ),
+    AllenRelation.AFTER: (_GT, _GT, _GT, _GT),
+    AllenRelation.MET_BY: (_GT, _EQ, _GT, _GT),
+    AllenRelation.OVERLAPPED_BY: (_GT, _LT, _GT, _GT),
+    AllenRelation.STARTED_BY: (_EQ, _LT, _GT, _GT),
+    AllenRelation.CONTAINS: (_LT, _LT, _GT, _GT),
+    AllenRelation.FINISHED_BY: (_LT, _LT, _GT, _EQ),
+}
+
+
+def relation_between(first: Interval, second: Interval) -> AllenRelation:
+    """Compute the (unique) basic relation holding between two intervals."""
+
+    def cmp(a: int, b: int) -> int:
+        if a < b:
+            return _LT
+        if a == b:
+            return _EQ
+        return _GT
+
+    signature = (
+        cmp(first.start, second.start),
+        cmp(first.start, second.end),
+        cmp(first.end, second.start),
+        cmp(first.end, second.end),
+    )
+    for relation, expected in _SIGNATURES.items():
+        if signature == expected:
+            return relation
+    raise AssertionError(f"unreachable: no Allen relation for {signature}")
+
+
+def _point_network_consistent(
+    r_ab: AllenRelation, r_bc: AllenRelation, r_ac: AllenRelation
+) -> bool:
+    """Path-consistency check of the 6-endpoint point network.
+
+    Nodes: sA=0, eA=1, sB=2, eB=3, sC=4, eC=5.  Point algebra over
+    {<,=,>} is decided by path consistency for these (convex) relations.
+    """
+    n = 6
+    net = [[_ANY] * n for _ in range(n)]
+    for i in range(n):
+        net[i][i] = _EQ
+    for start, end in ((0, 1), (2, 3), (4, 5)):
+        net[start][end] = _LT
+        net[end][start] = _GT
+
+    def apply(sig: tuple[int, int, int, int], i: int, j: int) -> None:
+        # sig = (si?sj, si?ej, ei?sj, ei?ej)
+        pairs = ((i, j, sig[0]), (i, j + 1, sig[1]), (i + 1, j, sig[2]),
+                 (i + 1, j + 1, sig[3]))
+        for a, b, mask in pairs:
+            net[a][b] &= mask
+            net[b][a] &= _invert_mask(mask)
+
+    apply(_SIGNATURES[r_ab], 0, 2)
+    apply(_SIGNATURES[r_bc], 2, 4)
+    apply(_SIGNATURES[r_ac], 0, 4)
+
+    changed = True
+    while changed:
+        changed = False
+        for i in range(n):
+            for k in range(n):
+                for j in range(n):
+                    derived = _compose_masks(net[i][k], net[k][j])
+                    narrowed = net[i][j] & derived
+                    if narrowed != net[i][j]:
+                        if narrowed == 0:
+                            return False
+                        net[i][j] = narrowed
+                        net[j][i] = _invert_mask(narrowed)
+                        changed = True
+    return all(net[i][j] for i in range(n) for j in range(n))
+
+
+@lru_cache(maxsize=None)
+def compose(
+    first: AllenRelation, second: AllenRelation
+) -> frozenset[AllenRelation]:
+    """All relations possibly holding between A and C given A-B and B-C.
+
+    Derived, not transcribed: see the module docstring.  The full table is
+    materialized lazily and memoized; deriving all 169 entries takes well
+    under a second.
+    """
+    return frozenset(
+        candidate
+        for candidate in ALL_RELATIONS
+        if _point_network_consistent(first, second, candidate)
+    )
+
+
+def compose_sets(
+    first: frozenset[AllenRelation], second: frozenset[AllenRelation]
+) -> frozenset[AllenRelation]:
+    """Set-level composition: union of pairwise compositions."""
+    result: set[AllenRelation] = set()
+    for r1, r2 in product(first, second):
+        result.update(compose(r1, r2))
+        if len(result) == len(ALL_RELATIONS):
+            break
+    return frozenset(result)
+
+
+def invert_set(relations: frozenset[AllenRelation]) -> frozenset[AllenRelation]:
+    """Converse of a relation set."""
+    return frozenset(r.inverse for r in relations)
+
+
+__all__ += ["compose_sets", "invert_set"]

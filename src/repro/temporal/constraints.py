@@ -1,0 +1,264 @@
+"""Qualitative temporal constraint networks over Allen's algebra.
+
+This is the "constraint logic programming to handle interval reasoning"
+the paper reports investigating (Section II-D2), realized as Allen's
+classic path-consistency algorithm: variables are intervals, edges carry
+sets of possible relations, and propagation narrows every edge through
+composition until a fixpoint (or an empty edge proves inconsistency).
+
+Path consistency is sound but (for full Allen algebra) incomplete for
+global consistency; :meth:`TemporalConstraintNetwork.solve` therefore
+backs propagation with search, returning one consistent *scenario*
+(an atomic labeling) that is also realized as concrete intervals.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import InconsistentConstraintsError, TemporalError
+from repro.temporal.allen import (
+    ALL_RELATIONS,
+    AllenRelation,
+    compose_sets,
+    invert_set,
+    relation_between,
+)
+from repro.temporal.timeline import Interval
+
+__all__ = ["TemporalConstraintNetwork"]
+
+_FULL = frozenset(ALL_RELATIONS)
+_EQ_ONLY = frozenset({AllenRelation.EQUALS})
+
+
+class TemporalConstraintNetwork:
+    """A network of interval variables and Allen relation-set constraints."""
+
+    def __init__(self) -> None:
+        self._variables: list[str] = []
+        self._edges: dict[tuple[str, str], frozenset[AllenRelation]] = {}
+
+    # -- construction --------------------------------------------------
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return tuple(self._variables)
+
+    def add_variable(self, name: str) -> None:
+        """Declare an interval variable (idempotent)."""
+        if name not in self._variables:
+            self._variables.append(name)
+
+    def constrain(
+        self,
+        first: str,
+        second: str,
+        relations: Iterable[AllenRelation] | AllenRelation,
+    ) -> None:
+        """Constrain ``first R second`` to a relation (set).
+
+        Repeated calls intersect, so constraints accumulate monotonically.
+        An immediately empty intersection raises.
+        """
+        if isinstance(relations, AllenRelation):
+            relations = {relations}
+        rel_set = frozenset(relations)
+        if not rel_set:
+            raise TemporalError("a constraint needs at least one relation")
+        self.add_variable(first)
+        self.add_variable(second)
+        if first == second:
+            if AllenRelation.EQUALS not in rel_set:
+                raise InconsistentConstraintsError(
+                    f"{first} cannot relate to itself by {sorted(r.value for r in rel_set)}"
+                )
+            return
+        current = self._edges.get((first, second), _FULL)
+        narrowed = current & rel_set
+        if not narrowed:
+            raise InconsistentConstraintsError(
+                f"constraint on ({first}, {second}) became empty"
+            )
+        self._edges[(first, second)] = narrowed
+        self._edges[(second, first)] = invert_set(narrowed)
+
+    def relation(self, first: str, second: str) -> frozenset[AllenRelation]:
+        """The current constraint between two variables (full set if none)."""
+        if first == second:
+            return _EQ_ONLY
+        return self._edges.get((first, second), _FULL)
+
+    # -- propagation ------------------------------------------------------
+
+    def propagate(self) -> bool:
+        """Run path consistency to a fixpoint.
+
+        Returns True when the network remains (path-)consistent; raises
+        :class:`InconsistentConstraintsError` when an edge empties.
+        """
+        names = self._variables
+        index = {name: i for i, name in enumerate(names)}
+        n = len(names)
+        matrix: list[list[frozenset[AllenRelation]]] = [
+            [_FULL] * n for _ in range(n)
+        ]
+        for i in range(n):
+            matrix[i][i] = _EQ_ONLY
+        for (a, b), rel in self._edges.items():
+            matrix[index[a]][index[b]] = rel
+
+        queue: list[tuple[int, int]] = [
+            (i, j) for i in range(n) for j in range(n) if i != j
+        ]
+        while queue:
+            i, j = queue.pop()
+            for k in range(n):
+                if k in (i, j):
+                    continue
+                # narrow (i,k) through (i,j);(j,k)
+                for a, b, via in ((i, k, j), (k, j, i)):
+                    derived = compose_sets(matrix[a][via], matrix[via][b])
+                    narrowed = matrix[a][b] & derived
+                    if narrowed != matrix[a][b]:
+                        if not narrowed:
+                            raise InconsistentConstraintsError(
+                                f"no relation possible between "
+                                f"{names[a]!r} and {names[b]!r}"
+                            )
+                        matrix[a][b] = narrowed
+                        matrix[b][a] = invert_set(narrowed)
+                        queue.append((a, b))
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    self._edges[(names[i], names[j])] = matrix[i][j]
+        return True
+
+    # -- solving ---------------------------------------------------------
+
+    def solve(self) -> dict[tuple[str, str], AllenRelation]:
+        """Find one globally consistent atomic scenario via backtracking.
+
+        Edges are instantiated one at a time, re-propagating after each
+        choice.  Raises :class:`InconsistentConstraintsError` when no
+        scenario exists.
+        """
+        self.propagate()
+        names = self._variables
+        pairs = [
+            (a, b)
+            for i, a in enumerate(names)
+            for b in names[i + 1:]
+        ]
+
+        def backtrack(
+            edges: dict[tuple[str, str], frozenset[AllenRelation]], pos: int
+        ) -> dict[tuple[str, str], frozenset[AllenRelation]] | None:
+            while pos < len(pairs) and len(edges.get(pairs[pos], _FULL)) == 1:
+                pos += 1
+            if pos == len(pairs):
+                return edges
+            a, b = pairs[pos]
+            for relation in sorted(edges.get((a, b), _FULL), key=lambda r: r.value):
+                trial = TemporalConstraintNetwork()
+                trial._variables = list(names)
+                trial._edges = dict(edges)
+                try:
+                    trial.constrain(a, b, relation)
+                    trial.propagate()
+                except InconsistentConstraintsError:
+                    continue
+                solution = backtrack(trial._edges, pos + 1)
+                if solution is not None:
+                    return solution
+            return None
+
+        solution = backtrack(dict(self._edges), 0)
+        if solution is None:
+            raise InconsistentConstraintsError(
+                "network is path-consistent but globally unsatisfiable"
+            )
+        return {
+            (a, b): next(iter(solution[(a, b)]))
+            for i, a in enumerate(names)
+            for b in names[i + 1:]
+        }
+
+    def realize(self) -> dict[str, Interval]:
+        """Produce concrete intervals satisfying one consistent scenario.
+
+        Endpoints are ordered topologically on the point level and packed
+        onto the integer day line, then verified against the scenario.
+        """
+        scenario = self.solve()
+        names = self._variables
+        # Build endpoint orderings from the atomic scenario.
+        points = [f"{name}.{end}" for name in names for end in ("s", "e")]
+        lt: dict[str, set[str]] = {p: set() for p in points}  # p -> strictly after
+        eq: dict[str, set[str]] = {p: {p} for p in points}
+
+        def add_lt(a: str, b: str) -> None:
+            lt[a].add(b)
+
+        def add_eq(a: str, b: str) -> None:
+            union = eq[a] | eq[b]
+            for member in union:
+                eq[member] = union
+
+        for name in names:
+            add_lt(f"{name}.s", f"{name}.e")
+        from repro.temporal.allen import _SIGNATURES, _EQ, _GT, _LT  # noqa: PLC0415
+
+        for (a, b), relation in scenario.items():
+            sig = _SIGNATURES[relation]
+            endpoints = (
+                (f"{a}.s", f"{b}.s", sig[0]),
+                (f"{a}.s", f"{b}.e", sig[1]),
+                (f"{a}.e", f"{b}.s", sig[2]),
+                (f"{a}.e", f"{b}.e", sig[3]),
+            )
+            for p, q, mask in endpoints:
+                if mask == _LT:
+                    add_lt(p, q)
+                elif mask == _GT:
+                    add_lt(q, p)
+                else:
+                    add_eq(p, q)
+
+        # Assign levels: representatives ordered by successive minima.
+        remaining = {frozenset(eq[p]) for p in points}
+        assigned: dict[str, int] = {}
+        level = 0
+        while remaining:
+            # A group is minimal if no other group must precede it.
+            minimal = None
+            for group in sorted(remaining, key=lambda g: sorted(g)):
+                has_predecessor = any(
+                    group != other and any(
+                        succ in group for member in other for succ in lt[member]
+                    )
+                    for other in remaining
+                )
+                if not has_predecessor:
+                    minimal = group
+                    break
+            if minimal is None:
+                raise InconsistentConstraintsError(
+                    "cyclic endpoint ordering in scenario"
+                )
+            for member in minimal:
+                assigned[member] = level
+            remaining.remove(minimal)
+            level += 1
+
+        result = {
+            name: Interval(assigned[f"{name}.s"], assigned[f"{name}.e"])
+            for name in names
+        }
+        for (a, b), relation in scenario.items():
+            if relation_between(result[a], result[b]) != relation:
+                raise InconsistentConstraintsError(
+                    f"realization failed to honour {a} {relation.value} {b}"
+                )
+        return result

@@ -1,0 +1,174 @@
+"""Quantitative temporal reasoning: Simple Temporal Networks.
+
+The qualitative Allen network (:mod:`repro.temporal.constraints`) answers
+*which order* events can take; clinical questions are often metric —
+"the follow-up happens 20 to 60 days after discharge; the prescription
+starts at most 3 days after the visit; is that schedulable, and what is
+the earliest consistent date for each event?"  This is the constraint-
+logic-programming direction the paper reports investigating (Section
+II-D2), in its standard form: an STN over time points with binary
+difference constraints ``lo <= t_b - t_a <= hi``, solved by shortest
+paths (Bellman-Ford; a negative cycle certifies inconsistency).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro.errors import InconsistentConstraintsError, TemporalError
+
+__all__ = ["SimpleTemporalNetwork"]
+
+
+class SimpleTemporalNetwork:
+    """Time points and difference constraints ``lo <= b - a <= hi``.
+
+    Units are days (floats allowed).  An anchored point fixes its value
+    relative to the implicit origin.
+    """
+
+    def __init__(self) -> None:
+        self._points: list[str] = []
+        # Edges of the distance graph: (u, v) -> weight means t_v - t_u <= w.
+        self._edges: dict[tuple[str, str], float] = {}
+
+    @property
+    def points(self) -> tuple[str, ...]:
+        return tuple(self._points)
+
+    def add_point(self, name: str) -> None:
+        """Declare a time point (idempotent)."""
+        if name not in self._points:
+            self._points.append(name)
+
+    def constrain(
+        self, a: str, b: str, lo: float = -math.inf, hi: float = math.inf
+    ) -> None:
+        """Require ``lo <= t_b - t_a <= hi`` (repeat calls intersect)."""
+        if lo > hi:
+            raise TemporalError(f"empty bound [{lo}, {hi}] on ({a}, {b})")
+        self.add_point(a)
+        self.add_point(b)
+        if hi < math.inf:
+            key = (a, b)
+            self._edges[key] = min(self._edges.get(key, math.inf), hi)
+        if lo > -math.inf:
+            key = (b, a)
+            self._edges[key] = min(self._edges.get(key, math.inf), -lo)
+
+    def anchor(self, point: str, value: float) -> None:
+        """Fix a point at an absolute day value (relative to the origin)."""
+        self.add_point("__origin__")
+        self.constrain("__origin__", point, value, value)
+
+    # -- solving ----------------------------------------------------------
+
+    def _bellman_ford(self, source: str) -> dict[str, float]:
+        distance = {p: math.inf for p in self._points}
+        distance[source] = 0.0
+        for __ in range(len(self._points)):
+            changed = False
+            for (u, v), w in self._edges.items():
+                if distance[u] + w < distance[v]:
+                    distance[v] = distance[u] + w
+                    changed = True
+            if not changed:
+                return distance
+        # One extra pass still relaxed something: negative cycle.
+        raise InconsistentConstraintsError(
+            "temporal constraints admit no schedule (negative cycle)"
+        )
+
+    def check_consistency(self) -> None:
+        """Raise :class:`InconsistentConstraintsError` when unschedulable."""
+        if not self._points:
+            return
+        # A virtual source connected to every point finds any cycle.
+        virtual = "__virtual_source__"
+        saved_points = list(self._points)
+        saved_edges = dict(self._edges)
+        try:
+            self.add_point(virtual)
+            for p in saved_points:
+                self._edges.setdefault((virtual, p), 0.0)
+            self._bellman_ford(virtual)
+        finally:
+            self._points = saved_points
+            self._edges = saved_edges
+
+    def earliest_schedule(self, origin: str) -> dict[str, float]:
+        """Earliest consistent time per point, relative to ``origin`` = 0.
+
+        ``earliest[p] = -shortest_path(p -> origin)``; points not
+        connected to the origin get ``-inf`` (unbounded below) reported
+        as ``-math.inf``.
+        """
+        if origin not in self._points:
+            raise TemporalError(f"unknown point {origin!r}")
+        self.check_consistency()
+        # shortest distances FROM each node TO origin == distances from
+        # origin in the reversed graph.
+        reversed_edges = {(v, u): w for (u, v), w in self._edges.items()}
+        saved = self._edges
+        try:
+            self._edges = reversed_edges
+            dist = self._bellman_ford(origin)
+        finally:
+            self._edges = saved
+        return {
+            p: (-d if d < math.inf else -math.inf)
+            for p, d in dist.items()
+        }
+
+    def latest_schedule(self, origin: str) -> dict[str, float]:
+        """Latest consistent time per point, relative to ``origin`` = 0."""
+        if origin not in self._points:
+            raise TemporalError(f"unknown point {origin!r}")
+        self.check_consistency()
+        dist = self._bellman_ford(origin)
+        return {p: (d if d < math.inf else math.inf) for p, d in dist.items()}
+
+    def feasible_window(self, a: str, b: str) -> tuple[float, float]:
+        """The implied bounds on ``t_b - t_a`` after full propagation."""
+        for name in (a, b):
+            if name not in self._points:
+                raise TemporalError(f"unknown point {name!r}")
+        self.check_consistency()
+        upper = self._bellman_ford(a).get(b, math.inf)
+        lower_dist = self._bellman_ford(b).get(a, math.inf)
+        lower = -lower_dist if lower_dist < math.inf else -math.inf
+        return (lower, upper)
+
+    def schedule(
+        self, origin: str, prefer: str = "earliest"
+    ) -> dict[str, float]:
+        """One concrete consistent schedule (earliest or latest)."""
+        if prefer == "earliest":
+            return self.earliest_schedule(origin)
+        if prefer == "latest":
+            return self.latest_schedule(origin)
+        raise TemporalError(f"unknown preference {prefer!r}")
+
+    def satisfied_by(self, assignment: dict[str, float]) -> bool:
+        """True when the assignment meets every constraint."""
+        for (u, v), w in self._edges.items():
+            if u in assignment and v in assignment:
+                if assignment[v] - assignment[u] > w + 1e-9:
+                    return False
+        return True
+
+    @classmethod
+    def from_interval_chain(
+        cls, steps: Iterable[tuple[str, float, float]]
+    ) -> "SimpleTemporalNetwork":
+        """Build a chain: each step ``(name, lo, hi)`` follows the
+        previous point by ``[lo, hi]`` days; the first step's bounds are
+        relative to the origin point ``"start"``."""
+        network = cls()
+        previous = "start"
+        network.add_point(previous)
+        for name, lo, hi in steps:
+            network.constrain(previous, name, lo, hi)
+            previous = name
+        return network

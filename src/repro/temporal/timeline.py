@@ -1,0 +1,119 @@
+"""Time points, intervals and the day-number representation.
+
+"The entries themselves are either intervals, defined by their start and
+end times, or events that happen at a given time and have no duration"
+(Section IV).  The whole library represents time as integer *day numbers*
+(days since the Unix epoch): the cohort data is daily-resolution contact
+data, integers vectorize in numpy, and date arithmetic stays exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, timedelta
+
+from repro.errors import TemporalError
+
+__all__ = [
+    "EPOCH",
+    "day_number",
+    "from_day_number",
+    "months_between",
+    "Interval",
+]
+
+#: Day zero of the day-number scale.
+EPOCH = date(1970, 1, 1)
+
+#: Average days per month, used for the aligned axis (months before/after).
+DAYS_PER_MONTH = 30.4375
+
+
+def day_number(when: date) -> int:
+    """Convert a calendar date to its integer day number."""
+    return (when - EPOCH).days
+
+
+def from_day_number(day: int) -> date:
+    """Convert an integer day number back to a calendar date."""
+    return EPOCH + timedelta(days=day)
+
+
+def months_between(start_day: int, end_day: int) -> float:
+    """Signed distance in (average) months between two day numbers.
+
+    The paper's aligned axis "shows the number of months before and after
+    the alignment point" (Section IV-B); this is that scale.
+    """
+    return (end_day - start_day) / DAYS_PER_MONTH
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open day interval ``[start, end)`` with ``start < end``.
+
+    Half-open semantics make adjacent intervals tile without overlap and
+    give Allen's ``meets`` a crisp meaning (``a.end == b.start``).
+    A one-day hospital contact is ``Interval(d, d + 1)``.
+    """
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start >= self.end:
+            raise TemporalError(
+                f"interval start {self.start} must precede end {self.end}"
+            )
+
+    @classmethod
+    def from_dates(cls, start: date, end: date) -> "Interval":
+        """Build an interval from calendar dates (end exclusive)."""
+        return cls(day_number(start), day_number(end))
+
+    @classmethod
+    def single_day(cls, day: int) -> "Interval":
+        """The one-day interval covering ``day``."""
+        return cls(day, day + 1)
+
+    @property
+    def duration(self) -> int:
+        """Length in days."""
+        return self.end - self.start
+
+    def contains_point(self, day: int) -> bool:
+        """True when ``day`` falls inside the interval."""
+        return self.start <= day < self.end
+
+    def contains(self, other: "Interval") -> bool:
+        """True when ``other`` lies fully inside this interval."""
+        return self.start <= other.start and other.end <= self.end
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the two intervals share at least one day."""
+        return self.start < other.end and other.start < self.end
+
+    def intersection(self, other: "Interval") -> "Interval | None":
+        """The shared sub-interval, or ``None`` when disjoint."""
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        return Interval(start, end) if start < end else None
+
+    def hull(self, other: "Interval") -> "Interval":
+        """The smallest interval covering both."""
+        return Interval(min(self.start, other.start), max(self.end, other.end))
+
+    def shifted(self, days: int) -> "Interval":
+        """This interval translated by ``days`` (used by alignment)."""
+        return Interval(self.start + days, self.end + days)
+
+    def gap_to(self, other: "Interval") -> int:
+        """Days of empty time between the intervals (0 when touching/overlapping)."""
+        if self.overlaps(other):
+            return 0
+        if self.end <= other.start:
+            return other.start - self.end
+        return self.start - other.end
+
+    def __repr__(self) -> str:
+        return f"Interval({from_day_number(self.start)}..{from_day_number(self.end)})"

@@ -1,0 +1,155 @@
+"""Intervals with uncertain endpoints and their visual metaphors.
+
+Chittaro and Combi (paper Section II-D2) describe metaphors for
+"intervals with uncertain length": an elastic band, a spring, or a strip
+of paint.  This module supplies the data model those renderings need — an
+interval whose start and end each lie inside a known range — plus
+possible/necessary relation queries against crisp intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import TemporalError
+from repro.temporal.allen import ALL_RELATIONS, AllenRelation, relation_between
+from repro.temporal.timeline import Interval
+
+__all__ = ["UncertainInterval", "UncertaintyMetaphor"]
+
+
+class UncertaintyMetaphor(Enum):
+    """The three renderings from Chittaro & Combi's usability study."""
+
+    ELASTIC_BAND = "elastic_band"
+    SPRING = "spring"
+    PAINT_STRIP = "paint_strip"
+
+
+@dataclass(frozen=True)
+class UncertainInterval:
+    """An interval whose endpoints are only known to ranges.
+
+    ``start`` lies in ``[min_start, max_start]`` and ``end`` in
+    ``[min_end, max_end]``; additionally every realization must satisfy
+    ``start < end``.
+
+    Attributes:
+        min_start, max_start: the start bounds (inclusive).
+        min_end, max_end: the end bounds (inclusive).
+    """
+
+    min_start: int
+    max_start: int
+    min_end: int
+    max_end: int
+
+    def __post_init__(self) -> None:
+        if self.min_start > self.max_start:
+            raise TemporalError("min_start must not exceed max_start")
+        if self.min_end > self.max_end:
+            raise TemporalError("min_end must not exceed max_end")
+        if self.min_start >= self.max_end:
+            raise TemporalError("no realization can have start < end")
+
+    @classmethod
+    def crisp(cls, interval: Interval) -> "UncertainInterval":
+        """Wrap a fully known interval."""
+        return cls(interval.start, interval.start, interval.end, interval.end)
+
+    # -- realization bounds --------------------------------------------
+
+    @property
+    def core(self) -> Interval | None:
+        """Days contained in *every* realization (the painted part)."""
+        if self.max_start < self.min_end:
+            return Interval(self.max_start, self.min_end)
+        return None
+
+    @property
+    def support(self) -> Interval:
+        """Days contained in *some* realization (the elastic extent)."""
+        return Interval(self.min_start, self.max_end)
+
+    @property
+    def min_duration(self) -> int:
+        """Shortest possible length."""
+        return max(1, self.min_end - self.max_start)
+
+    @property
+    def max_duration(self) -> int:
+        """Longest possible length."""
+        return self.max_end - self.min_start
+
+    def realizations_valid(self, start: int, end: int) -> bool:
+        """True when (start, end) is an admissible realization."""
+        return (
+            self.min_start <= start <= self.max_start
+            and self.min_end <= end <= self.max_end
+            and start < end
+        )
+
+    # -- modal relation queries ------------------------------------------
+
+    def possible_relations(self, other: Interval) -> frozenset[AllenRelation]:
+        """Relations holding in at least one realization vs a crisp interval.
+
+        Endpoint ranges are small in practice (date imprecision of days to
+        weeks), so realizations are enumerated over the corner-and-edge
+        candidates; the relation between intervals only depends on the
+        orderings of endpoints, for which the candidate set below is
+        exhaustive (every distinct ordering is achieved at an endpoint
+        bound or immediately adjacent to one of ``other``'s endpoints).
+        """
+        start_candidates = self._candidates(
+            self.min_start, self.max_start, other
+        )
+        end_candidates = self._candidates(self.min_end, self.max_end, other)
+        found: set[AllenRelation] = set()
+        for start in start_candidates:
+            for end in end_candidates:
+                if not self.realizations_valid(start, end):
+                    continue
+                found.add(relation_between(Interval(start, end), other))
+                if len(found) == len(ALL_RELATIONS):
+                    return frozenset(found)
+        return frozenset(found)
+
+    def necessary_relations(self, other: Interval) -> frozenset[AllenRelation]:
+        """The singleton relation set when all realizations agree, else empty."""
+        possible = self.possible_relations(other)
+        return possible if len(possible) == 1 else frozenset()
+
+    @staticmethod
+    def _candidates(lo: int, hi: int, other: Interval) -> list[int]:
+        interesting = {lo, hi}
+        for pivot in (other.start, other.end):
+            for candidate in (pivot - 1, pivot, pivot + 1):
+                if lo <= candidate <= hi:
+                    interesting.add(candidate)
+        return sorted(interesting)
+
+    # -- rendering hints ---------------------------------------------------
+
+    def render_segments(
+        self, metaphor: UncertaintyMetaphor
+    ) -> list[tuple[int, int, str]]:
+        """Decompose into drawable segments ``(start, end, style)``.
+
+        Styles: ``"solid"`` for the certain core, ``"fuzzy"`` for the
+        uncertain margins.  The metaphor picks how the fuzzy part is
+        textured by the renderer (band = gradient, spring = zigzag,
+        paint = fading brush), but the geometry is shared.
+        """
+        segments: list[tuple[int, int, str]] = []
+        core = self.core
+        if core is None:
+            segments.append((self.min_start, self.max_end, "fuzzy"))
+            return segments
+        if self.min_start < core.start:
+            segments.append((self.min_start, core.start, "fuzzy"))
+        segments.append((core.start, core.end, "solid"))
+        if core.end < self.max_end:
+            segments.append((core.end, self.max_end, "fuzzy"))
+        return segments

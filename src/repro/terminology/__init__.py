@@ -1,0 +1,41 @@
+"""Terminology substrate: code systems, hierarchies and mappings.
+
+Exposes the three clinical code systems the paper's data uses (ICPC-2 for
+primary care, ICD-10 for hospitals/specialists, ATC for medications), the
+generic hierarchy machinery they are built on, and the regex-selection
+helpers that implement the paper's query primitive.
+"""
+
+from repro.terminology.atc import ATC_MAIN_GROUPS, ancestor_at_level, atc, level_of
+from repro.terminology.codes import Code, CodeSelection, CodeSystem
+from repro.terminology.icd10 import ICD10_CHAPTERS, icd10
+from repro.terminology.icpc2 import CHAPTERS, PROCESS_RUBRICS, component_of, icpc2
+from repro.terminology.mapping import TerminologyMap, icpc2_to_icd10_map
+from repro.terminology.regex_select import (
+    any_of,
+    branch_selection,
+    exact,
+    prefix_pattern,
+)
+
+__all__ = [
+    "ATC_MAIN_GROUPS",
+    "CHAPTERS",
+    "Code",
+    "CodeSelection",
+    "CodeSystem",
+    "ICD10_CHAPTERS",
+    "PROCESS_RUBRICS",
+    "TerminologyMap",
+    "ancestor_at_level",
+    "any_of",
+    "atc",
+    "branch_selection",
+    "component_of",
+    "exact",
+    "icd10",
+    "icpc2",
+    "icpc2_to_icd10_map",
+    "level_of",
+    "prefix_pattern",
+]

@@ -1,0 +1,312 @@
+"""ATC (Anatomical Therapeutic Chemical) medication classification.
+
+The paper's Figure 1 colors histories by "different classes of
+medication", and the LifeLines discussion (Section II-D1) motivates
+showing drugs at different abstraction levels — a group name like
+"beta blocker" versus individual drug names such as atenolol and
+propranolol.  ATC provides exactly that ladder:
+
+* level 1 — anatomical main group (``C``)
+* level 2 — therapeutic subgroup (``C07``)
+* level 3 — pharmacological subgroup (``C07A``)
+* level 4 — chemical subgroup (``C07AB``)
+* level 5 — chemical substance (``C07AB02`` = metoprolol)
+
+We carry all 14 main groups and a curated substance set covering the
+chronic conditions the simulator produces.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.terminology.codes import Code, CodeSystem
+
+__all__ = ["atc", "ATC_MAIN_GROUPS", "level_of", "ancestor_at_level"]
+
+#: Level-1 anatomical main groups.
+ATC_MAIN_GROUPS: dict[str, str] = {
+    "A": "Alimentary tract and metabolism",
+    "B": "Blood and blood forming organs",
+    "C": "Cardiovascular system",
+    "D": "Dermatologicals",
+    "G": "Genito-urinary system and sex hormones",
+    "H": "Systemic hormonal preparations",
+    "J": "Antiinfectives for systemic use",
+    "L": "Antineoplastic and immunomodulating agents",
+    "M": "Musculo-skeletal system",
+    "N": "Nervous system",
+    "P": "Antiparasitic products",
+    "R": "Respiratory system",
+    "S": "Sensory organs",
+    "V": "Various",
+}
+
+# (level-2 code, title, [(level-3, title, [(level-4, title, [(level-5, substance)])])])
+_SUBGROUPS: list[tuple[str, str, list]] = [
+    ("A02", "Drugs for acid related disorders", [
+        ("A02B", "Drugs for peptic ulcer and GORD", [
+            ("A02BC", "Proton pump inhibitors", [
+                ("A02BC01", "omeprazole"),
+                ("A02BC05", "esomeprazole"),
+            ]),
+        ]),
+    ]),
+    ("A10", "Drugs used in diabetes", [
+        ("A10A", "Insulins and analogues", [
+            ("A10AB", "Insulins, fast-acting", [
+                ("A10AB01", "insulin (human), fast-acting"),
+                ("A10AB05", "insulin aspart"),
+            ]),
+            ("A10AE", "Insulins, long-acting", [
+                ("A10AE04", "insulin glargine"),
+            ]),
+        ]),
+        ("A10B", "Blood glucose lowering drugs, excl. insulins", [
+            ("A10BA", "Biguanides", [
+                ("A10BA02", "metformin"),
+            ]),
+            ("A10BB", "Sulfonylureas", [
+                ("A10BB01", "glibenclamide"),
+                ("A10BB12", "glimepiride"),
+            ]),
+        ]),
+    ]),
+    ("B01", "Antithrombotic agents", [
+        ("B01A", "Antithrombotic agents", [
+            ("B01AA", "Vitamin K antagonists", [
+                ("B01AA03", "warfarin"),
+            ]),
+            ("B01AC", "Platelet aggregation inhibitors", [
+                ("B01AC06", "acetylsalicylic acid (low dose)"),
+            ]),
+        ]),
+    ]),
+    ("B03", "Antianemic preparations", [
+        ("B03A", "Iron preparations", [
+            ("B03AA", "Iron bivalent, oral", [
+                ("B03AA07", "ferrous sulfate"),
+            ]),
+        ]),
+        ("B03B", "Vitamin B12 and folic acid", [
+            ("B03BA", "Vitamin B12", [
+                ("B03BA01", "cyanocobalamin"),
+            ]),
+        ]),
+    ]),
+    ("C03", "Diuretics", [
+        ("C03A", "Low-ceiling diuretics, thiazides", [
+            ("C03AA", "Thiazides, plain", [
+                ("C03AA03", "hydrochlorothiazide"),
+            ]),
+        ]),
+        ("C03C", "High-ceiling diuretics", [
+            ("C03CA", "Sulfonamides, plain", [
+                ("C03CA01", "furosemide"),
+            ]),
+        ]),
+    ]),
+    ("C07", "Beta blocking agents", [
+        ("C07A", "Beta blocking agents", [
+            ("C07AA", "Beta blocking agents, non-selective", [
+                ("C07AA05", "propranolol"),
+            ]),
+            ("C07AB", "Beta blocking agents, selective", [
+                ("C07AB02", "metoprolol"),
+                ("C07AB03", "atenolol"),
+            ]),
+        ]),
+    ]),
+    ("C08", "Calcium channel blockers", [
+        ("C08C", "Selective calcium channel blockers, vascular", [
+            ("C08CA", "Dihydropyridine derivatives", [
+                ("C08CA01", "amlodipine"),
+            ]),
+        ]),
+    ]),
+    ("C09", "Agents acting on the renin-angiotensin system", [
+        ("C09A", "ACE inhibitors, plain", [
+            ("C09AA", "ACE inhibitors, plain", [
+                ("C09AA02", "enalapril"),
+                ("C09AA05", "ramipril"),
+            ]),
+        ]),
+        ("C09C", "Angiotensin II receptor blockers, plain", [
+            ("C09CA", "Angiotensin II receptor blockers", [
+                ("C09CA01", "losartan"),
+                ("C09CA06", "candesartan"),
+            ]),
+        ]),
+    ]),
+    ("C10", "Lipid modifying agents", [
+        ("C10A", "Lipid modifying agents, plain", [
+            ("C10AA", "HMG CoA reductase inhibitors", [
+                ("C10AA01", "simvastatin"),
+                ("C10AA05", "atorvastatin"),
+            ]),
+        ]),
+    ]),
+    ("H03", "Thyroid therapy", [
+        ("H03A", "Thyroid preparations", [
+            ("H03AA", "Thyroid hormones", [
+                ("H03AA01", "levothyroxine sodium"),
+            ]),
+        ]),
+        ("H03B", "Antithyroid preparations", [
+            ("H03BB", "Sulfur-containing imidazole derivatives", [
+                ("H03BB02", "thiamazole"),
+            ]),
+        ]),
+    ]),
+    ("J01", "Antibacterials for systemic use", [
+        ("J01C", "Beta-lactam antibacterials, penicillins", [
+            ("J01CA", "Penicillins with extended spectrum", [
+                ("J01CA04", "amoxicillin"),
+            ]),
+            ("J01CE", "Beta-lactamase sensitive penicillins", [
+                ("J01CE02", "phenoxymethylpenicillin"),
+            ]),
+        ]),
+        ("J01X", "Other antibacterials", [
+            ("J01XE", "Nitrofuran derivatives", [
+                ("J01XE01", "nitrofurantoin"),
+            ]),
+        ]),
+    ]),
+    ("M01", "Antiinflammatory and antirheumatic products", [
+        ("M01A", "Antiinflammatory products, non-steroids", [
+            ("M01AB", "Acetic acid derivatives", [
+                ("M01AB05", "diclofenac"),
+            ]),
+            ("M01AE", "Propionic acid derivatives", [
+                ("M01AE01", "ibuprofen"),
+                ("M01AE02", "naproxen"),
+            ]),
+        ]),
+    ]),
+    ("M04", "Antigout preparations", [
+        ("M04A", "Antigout preparations", [
+            ("M04AA", "Preparations inhibiting uric acid production", [
+                ("M04AA01", "allopurinol"),
+            ]),
+        ]),
+    ]),
+    ("M05", "Drugs for treatment of bone diseases", [
+        ("M05B", "Drugs affecting bone structure and mineralization", [
+            ("M05BA", "Bisphosphonates", [
+                ("M05BA04", "alendronic acid"),
+            ]),
+        ]),
+    ]),
+    ("N02", "Analgesics", [
+        ("N02A", "Opioids", [
+            ("N02AA", "Natural opium alkaloids", [
+                ("N02AA01", "morphine"),
+                ("N02AA05", "oxycodone"),
+            ]),
+        ]),
+        ("N02B", "Other analgesics and antipyretics", [
+            ("N02BE", "Anilides", [
+                ("N02BE01", "paracetamol"),
+            ]),
+        ]),
+    ]),
+    ("N03", "Antiepileptics", [
+        ("N03A", "Antiepileptics", [
+            ("N03AX", "Other antiepileptics", [
+                ("N03AX09", "lamotrigine"),
+            ]),
+        ]),
+    ]),
+    ("N05", "Psycholeptics", [
+        ("N05B", "Anxiolytics", [
+            ("N05BA", "Benzodiazepine derivatives", [
+                ("N05BA01", "diazepam"),
+                ("N05BA12", "alprazolam"),
+            ]),
+        ]),
+        ("N05C", "Hypnotics and sedatives", [
+            ("N05CF", "Benzodiazepine related drugs", [
+                ("N05CF01", "zopiclone"),
+            ]),
+        ]),
+    ]),
+    ("N06", "Psychoanaleptics", [
+        ("N06A", "Antidepressants", [
+            ("N06AA", "Non-selective monoamine reuptake inhibitors", [
+                ("N06AA09", "amitriptyline"),
+            ]),
+            ("N06AB", "Selective serotonin reuptake inhibitors", [
+                ("N06AB04", "citalopram"),
+                ("N06AB06", "sertraline"),
+                ("N06AB10", "escitalopram"),
+            ]),
+        ]),
+    ]),
+    ("R03", "Drugs for obstructive airway diseases", [
+        ("R03A", "Adrenergics, inhalants", [
+            ("R03AC", "Selective beta-2-adrenoreceptor agonists", [
+                ("R03AC02", "salbutamol"),
+                ("R03AC12", "salmeterol"),
+            ]),
+            ("R03AK", "Adrenergics in combination with corticosteroids", [
+                ("R03AK06", "salmeterol and fluticasone"),
+            ]),
+        ]),
+        ("R03B", "Other drugs for obstructive airway diseases, inhalants", [
+            ("R03BA", "Glucocorticoids", [
+                ("R03BA02", "budesonide"),
+            ]),
+            ("R03BB", "Anticholinergics", [
+                ("R03BB04", "tiotropium bromide"),
+            ]),
+        ]),
+    ]),
+    ("R06", "Antihistamines for systemic use", [
+        ("R06A", "Antihistamines for systemic use", [
+            ("R06AE", "Piperazine derivatives", [
+                ("R06AE07", "cetirizine"),
+            ]),
+        ]),
+    ]),
+    ("S01", "Ophthalmologicals", [
+        ("S01E", "Antiglaucoma preparations and miotics", [
+            ("S01EE", "Prostaglandin analogues", [
+                ("S01EE01", "latanoprost"),
+            ]),
+        ]),
+    ]),
+]
+
+
+def level_of(code: str) -> int:
+    """Return the ATC level (1-5) implied by a code's length."""
+    return {1: 1, 3: 2, 4: 3, 5: 4, 7: 5}.get(len(code), 0)
+
+
+def ancestor_at_level(code: str, level: int) -> str:
+    """Return the ancestor of an ATC code at the given level.
+
+    ``ancestor_at_level("C07AB02", 2) == "C07"`` — this is the
+    string-structural shortcut ATC affords; the :class:`CodeSystem`
+    hierarchy gives the same answer via :meth:`CodeSystem.ancestors`.
+    """
+    lengths = {1: 1, 2: 3, 3: 4, 4: 5, 5: 7}
+    return code[: lengths[level]]
+
+
+@lru_cache(maxsize=1)
+def atc() -> CodeSystem:
+    """Build (once) and return the ATC :class:`CodeSystem`."""
+    system = CodeSystem("ATC")
+    for letter, title in ATC_MAIN_GROUPS.items():
+        system.add(Code(letter, title, parent=None, kind="level1"))
+    for l2, l2_title, l3_entries in _SUBGROUPS:
+        system.add(Code(l2, l2_title, parent=l2[0], kind="level2"))
+        for l3, l3_title, l4_entries in l3_entries:
+            system.add(Code(l3, l3_title, parent=l2, kind="level3"))
+            for l4, l4_title, substances in l4_entries:
+                system.add(Code(l4, l4_title, parent=l3, kind="level4"))
+                for l5, substance in substances:
+                    system.add(Code(l5, substance, parent=l4, kind="substance"))
+    return system

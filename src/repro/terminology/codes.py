@@ -1,0 +1,263 @@
+"""Generic clinical code-system machinery.
+
+The paper's data is "coded in a standard way ... mainly using ICPC-2
+and/or ICD-10" (Section III), and the query primitive is a regular
+expression over these hierarchies (Section IV-A).  This module provides
+the hierarchy container those concrete systems are built on:
+
+* :class:`Code` — one rubric/category with a parent link.
+* :class:`CodeSystem` — an ordered, integer-indexed hierarchy with
+  regex selection, ancestor/descendant navigation and subsumption tests.
+
+Integer indexing matters: the columnar event store
+(:mod:`repro.events.store`) keeps code *ids*, so a regex is compiled once
+here into a set of ids which the store then intersects vectorized.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.errors import TerminologyError, UnknownCodeError
+
+__all__ = ["Code", "CodeSystem"]
+
+
+@dataclass(frozen=True)
+class Code:
+    """A single code (rubric, category, class ...) in a code system.
+
+    Attributes:
+        code: the identifier as written in records, e.g. ``"T90"``.
+        display: human-readable label, e.g. ``"Diabetes non-insulin dependent"``.
+        parent: the parent code's identifier, or ``None`` for a root.
+        kind: the hierarchy level, system specific (e.g. ``"chapter"``,
+            ``"block"``, ``"category"``); purely descriptive.
+    """
+
+    code: str
+    display: str
+    parent: str | None = None
+    kind: str = "code"
+
+    def __post_init__(self) -> None:
+        if not self.code:
+            raise TerminologyError("a code identifier must be non-empty")
+
+
+class CodeSystem:
+    """An ordered hierarchy of :class:`Code` objects.
+
+    Codes are assigned dense integer ids in insertion order; those ids are
+    what the columnar event store records.  The class is append-only: codes
+    can be added but never removed, so ids handed out remain valid.
+    """
+
+    def __init__(self, name: str, codes: Iterable[Code] = ()) -> None:
+        self.name = name
+        self._codes: list[Code] = []
+        self._index: dict[str, int] = {}
+        self._children: dict[str, list[str]] = {}
+        for code in codes:
+            self.add(code)
+
+    # -- construction -------------------------------------------------
+
+    def add(self, code: Code) -> int:
+        """Add a code and return its integer id.
+
+        The parent, when given, must already be present: hierarchies are
+        built top-down.  Duplicate identifiers are rejected.
+        """
+        if code.code in self._index:
+            raise TerminologyError(
+                f"duplicate code {code.code!r} in system {self.name!r}"
+            )
+        if code.parent is not None and code.parent not in self._index:
+            raise TerminologyError(
+                f"parent {code.parent!r} of {code.code!r} not yet defined "
+                f"in system {self.name!r}"
+            )
+        code_id = len(self._codes)
+        self._codes.append(code)
+        self._index[code.code] = code_id
+        self._children.setdefault(code.code, [])
+        if code.parent is not None:
+            self._children[code.parent].append(code.code)
+        return code_id
+
+    # -- lookup -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._codes)
+
+    def __contains__(self, code: str) -> bool:
+        return code in self._index
+
+    def __iter__(self) -> Iterator[Code]:
+        return iter(self._codes)
+
+    def get(self, code: str) -> Code:
+        """Return the :class:`Code` for an identifier, or raise."""
+        try:
+            return self._codes[self._index[code]]
+        except KeyError:
+            raise UnknownCodeError(self.name, code) from None
+
+    def id_of(self, code: str) -> int:
+        """Return the dense integer id of a code identifier."""
+        try:
+            return self._index[code]
+        except KeyError:
+            raise UnknownCodeError(self.name, code) from None
+
+    def code_of(self, code_id: int) -> Code:
+        """Return the :class:`Code` for a dense integer id."""
+        if not 0 <= code_id < len(self._codes):
+            raise UnknownCodeError(self.name, f"<id {code_id}>")
+        return self._codes[code_id]
+
+    # -- hierarchy navigation ------------------------------------------
+
+    def parent_of(self, code: str) -> Code | None:
+        """Return the parent :class:`Code`, or ``None`` for roots."""
+        parent = self.get(code).parent
+        return None if parent is None else self.get(parent)
+
+    def children_of(self, code: str) -> list[Code]:
+        """Return direct children in insertion order."""
+        if code not in self._index:
+            raise UnknownCodeError(self.name, code)
+        return [self.get(child) for child in self._children[code]]
+
+    def roots(self) -> list[Code]:
+        """Return all codes without a parent."""
+        return [c for c in self._codes if c.parent is None]
+
+    def ancestors(self, code: str) -> list[Code]:
+        """Return the chain of ancestors, nearest first."""
+        chain: list[Code] = []
+        current = self.get(code).parent
+        while current is not None:
+            node = self.get(current)
+            chain.append(node)
+            current = node.parent
+        return chain
+
+    def descendants(self, code: str) -> list[Code]:
+        """Return all transitive descendants in depth-first order."""
+        if code not in self._index:
+            raise UnknownCodeError(self.name, code)
+        result: list[Code] = []
+        stack = list(reversed(self._children[code]))
+        while stack:
+            current = stack.pop()
+            result.append(self.get(current))
+            stack.extend(reversed(self._children[current]))
+        return result
+
+    def is_a(self, code: str, ancestor: str) -> bool:
+        """True when ``code`` equals or transitively descends from ``ancestor``."""
+        if ancestor not in self._index:
+            raise UnknownCodeError(self.name, ancestor)
+        current: str | None = code
+        while current is not None:
+            if current == ancestor:
+                return True
+            current = self.get(current).parent
+        return False
+
+    def depth(self, code: str) -> int:
+        """Return the distance from ``code`` to its root (roots are depth 0)."""
+        return len(self.ancestors(code))
+
+    # -- regex selection (the paper's query primitive) ------------------
+
+    def match(self, pattern: str) -> list[Code]:
+        """Return all codes whose identifier fully matches ``pattern``.
+
+        This is the paper's Section IV-A operation: ``F.*|H.*`` selects all
+        eye (F) and ear (H) codes.  Full-match semantics are used so that
+        ``T90`` selects exactly T90, not T90x prefixes.
+        """
+        try:
+            compiled = re.compile(pattern)
+        except re.error as exc:
+            raise TerminologyError(
+                f"bad regular expression {pattern!r}: {exc}"
+            ) from exc
+        return [c for c in self._codes if compiled.fullmatch(c.code)]
+
+    def match_ids(self, pattern: str) -> frozenset[int]:
+        """Like :meth:`match` but returning dense integer ids.
+
+        This is the form consumed by the columnar query engine.
+        """
+        try:
+            compiled = re.compile(pattern)
+        except re.error as exc:
+            raise TerminologyError(
+                f"bad regular expression {pattern!r}: {exc}"
+            ) from exc
+        return frozenset(
+            i for i, c in enumerate(self._codes) if compiled.fullmatch(c.code)
+        )
+
+    def search_display(self, text: str) -> list[Code]:
+        """Find codes whose display name contains ``text`` (case-folded).
+
+        The LifeLines-style related-item search (paper Section II-D1:
+        "searching for 'migraine' highlights all diagnoses and drugs
+        related to migraine") — matching on human-readable labels rather
+        than code identifiers.
+        """
+        needle = text.casefold()
+        if not needle:
+            raise TerminologyError("search text must be non-empty")
+        return [c for c in self._codes if needle in c.display.casefold()]
+
+    def subtree_ids(self, code: str) -> frozenset[int]:
+        """Return the ids of ``code`` and all its descendants.
+
+        The hierarchy-aware alternative to a prefix regex; used by the
+        ontology layer to expand an abstract class into concrete codes.
+        """
+        ids = [self.id_of(code)]
+        ids.extend(self.id_of(d.code) for d in self.descendants(code))
+        return frozenset(ids)
+
+    def __repr__(self) -> str:
+        return f"CodeSystem({self.name!r}, {len(self)} codes)"
+
+
+@dataclass
+class CodeSelection:
+    """A named, reusable selection of codes from one system.
+
+    Produced by the query builder so a clinician-facing label ("eye or ear
+    problems") stays attached to the regex and the resolved id set.
+    """
+
+    system: CodeSystem
+    pattern: str
+    label: str = ""
+    _ids: frozenset[int] | None = field(default=None, repr=False)
+
+    @property
+    def ids(self) -> frozenset[int]:
+        """The resolved (and cached) id set for the pattern."""
+        if self._ids is None:
+            self._ids = self.system.match_ids(self.pattern)
+        return self._ids
+
+    def codes(self) -> list[Code]:
+        """The resolved :class:`Code` objects."""
+        return [self.system.code_of(i) for i in sorted(self.ids)]
+
+    def __contains__(self, code: str) -> bool:
+        return self.system.id_of(code) in self.ids
+
+
+__all__.append("CodeSelection")

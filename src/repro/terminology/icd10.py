@@ -1,0 +1,335 @@
+"""ICD-10 (International Classification of Diseases, 10th revision).
+
+Specialist and hospital contacts in the paper's data set are coded in
+ICD-10 (Section III).  The reproduction carries the three upper levels of
+the classification: *chapters* (I-XXII), *blocks* (code ranges such as
+``I20-I25``) and three-character *categories* (``I21``).  We include every
+chapter, the blocks relevant to the synthetic population, and a curated
+set of categories covering the conditions, symptoms and external causes
+the simulator emits — enough for hierarchy-aware queries and for the
+ICPC-2 mapping to be total over simulator output.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.terminology.codes import Code, CodeSystem
+
+__all__ = ["icd10", "ICD10_CHAPTERS"]
+
+#: (chapter id, code range, title)
+ICD10_CHAPTERS: list[tuple[str, str, str]] = [
+    ("I", "A00-B99", "Certain infectious and parasitic diseases"),
+    ("II", "C00-D48", "Neoplasms"),
+    ("III", "D50-D89", "Diseases of the blood and blood-forming organs"),
+    ("IV", "E00-E90", "Endocrine, nutritional and metabolic diseases"),
+    ("V", "F00-F99", "Mental and behavioural disorders"),
+    ("VI", "G00-G99", "Diseases of the nervous system"),
+    ("VII", "H00-H59", "Diseases of the eye and adnexa"),
+    ("VIII", "H60-H95", "Diseases of the ear and mastoid process"),
+    ("IX", "I00-I99", "Diseases of the circulatory system"),
+    ("X", "J00-J99", "Diseases of the respiratory system"),
+    ("XI", "K00-K93", "Diseases of the digestive system"),
+    ("XII", "L00-L99", "Diseases of the skin and subcutaneous tissue"),
+    ("XIII", "M00-M99", "Diseases of the musculoskeletal system"),
+    ("XIV", "N00-N99", "Diseases of the genitourinary system"),
+    ("XV", "O00-O99", "Pregnancy, childbirth and the puerperium"),
+    ("XVI", "P00-P96", "Certain conditions originating in the perinatal period"),
+    ("XVII", "Q00-Q99", "Congenital malformations and chromosomal abnormalities"),
+    ("XVIII", "R00-R99", "Symptoms, signs and abnormal findings NEC"),
+    ("XIX", "S00-T98", "Injury, poisoning and other external causes"),
+    ("XX", "V01-Y98", "External causes of morbidity and mortality"),
+    ("XXI", "Z00-Z99", "Factors influencing health status and contact"),
+    ("XXII", "U00-U99", "Codes for special purposes"),
+]
+
+# block range -> (chapter id, title, [(category, display), ...])
+_BLOCKS: dict[str, tuple[str, str, list[tuple[str, str]]]] = {
+    "A00-A09": ("I", "Intestinal infectious diseases", [
+        ("A09", "Diarrhoea and gastroenteritis of presumed infectious origin"),
+    ]),
+    "B00-B09": ("I", "Viral infections characterized by skin lesions", [
+        ("B02", "Zoster [herpes zoster]"),
+    ]),
+    "C30-C39": ("II", "Malignant neoplasms of respiratory organs", [
+        ("C34", "Malignant neoplasm of bronchus and lung"),
+    ]),
+    "C43-C44": ("II", "Melanoma and other malignant neoplasms of skin", [
+        ("C44", "Other malignant neoplasms of skin"),
+    ]),
+    "C50-C50": ("II", "Malignant neoplasm of breast", [
+        ("C50", "Malignant neoplasm of breast"),
+    ]),
+    "C51-C58": ("II", "Malignant neoplasms of female genital organs", [
+        ("C53", "Malignant neoplasm of cervix uteri"),
+    ]),
+    "C60-C63": ("II", "Malignant neoplasms of male genital organs", [
+        ("C61", "Malignant neoplasm of prostate"),
+    ]),
+    "C64-C68": ("II", "Malignant neoplasms of urinary tract", [
+        ("C67", "Malignant neoplasm of bladder"),
+    ]),
+    "D50-D53": ("III", "Nutritional anaemias", [
+        ("D50", "Iron deficiency anaemia"),
+        ("D51", "Vitamin B12 deficiency anaemia"),
+        ("D53", "Other nutritional anaemias"),
+    ]),
+    "E00-E07": ("IV", "Disorders of thyroid gland", [
+        ("E03", "Other hypothyroidism"),
+        ("E04", "Other nontoxic goitre"),
+        ("E05", "Thyrotoxicosis [hyperthyroidism]"),
+    ]),
+    "E10-E14": ("IV", "Diabetes mellitus", [
+        ("E10", "Insulin-dependent diabetes mellitus"),
+        ("E11", "Non-insulin-dependent diabetes mellitus"),
+        ("E14", "Unspecified diabetes mellitus"),
+    ]),
+    "E15-E16": ("IV", "Other disorders of glucose regulation", [
+        ("E16", "Other disorders of pancreatic internal secretion"),
+    ]),
+    "E70-E90": ("IV", "Metabolic disorders", [
+        ("E78", "Disorders of lipoprotein metabolism and other lipidaemias"),
+    ]),
+    "F00-F09": ("V", "Organic mental disorders", [
+        ("F00", "Dementia in Alzheimer disease"),
+        ("F03", "Unspecified dementia"),
+    ]),
+    "F20-F29": ("V", "Schizophrenia, schizotypal and delusional disorders", [
+        ("F20", "Schizophrenia"),
+    ]),
+    "F30-F39": ("V", "Mood [affective] disorders", [
+        ("F31", "Bipolar affective disorder"),
+        ("F32", "Depressive episode"),
+        ("F33", "Recurrent depressive disorder"),
+    ]),
+    "F40-F48": ("V", "Neurotic, stress-related and somatoform disorders", [
+        ("F40", "Phobic anxiety disorders"),
+        ("F41", "Other anxiety disorders"),
+        ("F45", "Somatoform disorders"),
+    ]),
+    "G20-G26": ("VI", "Extrapyramidal and movement disorders", [
+        ("G20", "Parkinson disease"),
+    ]),
+    "G35-G37": ("VI", "Demyelinating diseases of the CNS", [
+        ("G35", "Multiple sclerosis"),
+    ]),
+    "G40-G47": ("VI", "Episodic and paroxysmal disorders", [
+        ("G40", "Epilepsy"),
+        ("G43", "Migraine"),
+        ("G44", "Other headache syndromes"),
+    ]),
+    "G50-G59": ("VI", "Nerve, nerve root and plexus disorders", [
+        ("G56", "Mononeuropathies of upper limb"),
+    ]),
+    "G60-G64": ("VI", "Polyneuropathies and other disorders of the PNS", [
+        ("G62", "Other polyneuropathies"),
+    ]),
+    "H10-H13": ("VII", "Disorders of conjunctiva", [
+        ("H10", "Conjunctivitis"),
+    ]),
+    "H25-H28": ("VII", "Disorders of lens", [
+        ("H25", "Senile cataract"),
+    ]),
+    "H30-H36": ("VII", "Disorders of choroid and retina", [
+        ("H35", "Other retinal disorders"),
+        ("H36", "Retinal disorders in diseases classified elsewhere"),
+    ]),
+    "H40-H42": ("VII", "Glaucoma", [
+        ("H40", "Glaucoma"),
+    ]),
+    "H65-H75": ("VIII", "Diseases of middle ear and mastoid", [
+        ("H65", "Nonsuppurative otitis media"),
+        ("H66", "Suppurative and unspecified otitis media"),
+    ]),
+    "H90-H95": ("VIII", "Other disorders of ear", [
+        ("H90", "Conductive and sensorineural hearing loss"),
+        ("H91", "Other hearing loss"),
+    ]),
+    "I10-I15": ("IX", "Hypertensive diseases", [
+        ("I10", "Essential (primary) hypertension"),
+        ("I11", "Hypertensive heart disease"),
+        ("I12", "Hypertensive renal disease"),
+    ]),
+    "I20-I25": ("IX", "Ischaemic heart diseases", [
+        ("I20", "Angina pectoris"),
+        ("I21", "Acute myocardial infarction"),
+        ("I24", "Other acute ischaemic heart diseases"),
+        ("I25", "Chronic ischaemic heart disease"),
+    ]),
+    "I44-I49": ("IX", "Other forms of heart disease (conduction/arrhythmia)", [
+        ("I47", "Paroxysmal tachycardia"),
+        ("I48", "Atrial fibrillation and flutter"),
+        ("I49", "Other cardiac arrhythmias"),
+    ]),
+    "I50-I52": ("IX", "Heart failure and complications of heart disease", [
+        ("I50", "Heart failure"),
+    ]),
+    "I60-I69": ("IX", "Cerebrovascular diseases", [
+        ("I63", "Cerebral infarction"),
+        ("I64", "Stroke, not specified as haemorrhage or infarction"),
+        ("I65", "Occlusion and stenosis of precerebral arteries"),
+    ]),
+    "G45-G45": ("VI", "Transient cerebral ischaemic attacks", [
+        ("G45", "Transient cerebral ischaemic attacks and related syndromes"),
+    ]),
+    "I70-I79": ("IX", "Diseases of arteries, arterioles and capillaries", [
+        ("I70", "Atherosclerosis"),
+        ("I73", "Other peripheral vascular diseases"),
+    ]),
+    "I80-I89": ("IX", "Diseases of veins and lymphatics", [
+        ("I83", "Varicose veins of lower extremities"),
+    ]),
+    "J00-J06": ("X", "Acute upper respiratory infections", [
+        ("J01", "Acute sinusitis"),
+        ("J03", "Acute tonsillitis"),
+        ("J04", "Acute laryngitis and tracheitis"),
+        ("J06", "Acute upper respiratory infections, unspecified"),
+    ]),
+    "J09-J18": ("X", "Influenza and pneumonia", [
+        ("J11", "Influenza, virus not identified"),
+        ("J18", "Pneumonia, organism unspecified"),
+    ]),
+    "J20-J22": ("X", "Other acute lower respiratory infections", [
+        ("J20", "Acute bronchitis"),
+    ]),
+    "J40-J47": ("X", "Chronic lower respiratory diseases", [
+        ("J42", "Unspecified chronic bronchitis"),
+        ("J44", "Other chronic obstructive pulmonary disease"),
+        ("J45", "Asthma"),
+        ("J47", "Bronchiectasis"),
+    ]),
+    "K20-K31": ("XI", "Diseases of oesophagus, stomach and duodenum", [
+        ("K21", "Gastro-oesophageal reflux disease"),
+        ("K26", "Duodenal ulcer"),
+        ("K27", "Peptic ulcer, site unspecified"),
+    ]),
+    "K35-K38": ("XI", "Diseases of appendix", [
+        ("K35", "Acute appendicitis"),
+    ]),
+    "K50-K52": ("XI", "Noninfective enteritis and colitis", [
+        ("K50", "Crohn disease"),
+        ("K51", "Ulcerative colitis"),
+    ]),
+    "K70-K77": ("XI", "Diseases of liver", [
+        ("K76", "Other diseases of liver"),
+    ]),
+    "L20-L30": ("XII", "Dermatitis and eczema", [
+        ("L20", "Atopic dermatitis"),
+        ("L23", "Allergic contact dermatitis"),
+    ]),
+    "L40-L45": ("XII", "Papulosquamous disorders", [
+        ("L40", "Psoriasis"),
+    ]),
+    "L97-L98": ("XII", "Other disorders of skin", [
+        ("L97", "Ulcer of lower limb, not elsewhere classified"),
+    ]),
+    "M05-M14": ("XIII", "Inflammatory polyarthropathies", [
+        ("M05", "Seropositive rheumatoid arthritis"),
+        ("M06", "Other rheumatoid arthritis"),
+        ("M10", "Gout"),
+    ]),
+    "M15-M19": ("XIII", "Arthrosis", [
+        ("M16", "Coxarthrosis [arthrosis of hip]"),
+        ("M17", "Gonarthrosis [arthrosis of knee]"),
+        ("M19", "Other arthrosis"),
+    ]),
+    "M50-M54": ("XIII", "Other dorsopathies", [
+        ("M51", "Other intervertebral disk disorders"),
+        ("M54", "Dorsalgia"),
+    ]),
+    "M80-M85": ("XIII", "Disorders of bone density and structure", [
+        ("M80", "Osteoporosis with pathological fracture"),
+        ("M81", "Osteoporosis without pathological fracture"),
+    ]),
+    "N10-N16": ("XIV", "Renal tubulo-interstitial diseases", [
+        ("N10", "Acute tubulo-interstitial nephritis"),
+    ]),
+    "N00-N08": ("XIV", "Glomerular diseases", [
+        ("N03", "Chronic nephritic syndrome"),
+    ]),
+    "N17-N19": ("XIV", "Renal failure", [
+        ("N18", "Chronic kidney disease"),
+    ]),
+    "N20-N23": ("XIV", "Urolithiasis", [
+        ("N20", "Calculus of kidney and ureter"),
+    ]),
+    "N30-N39": ("XIV", "Other diseases of urinary system", [
+        ("N30", "Cystitis"),
+        ("N39", "Other disorders of urinary system"),
+    ]),
+    "N40-N51": ("XIV", "Diseases of male genital organs", [
+        ("N40", "Hyperplasia of prostate"),
+        ("N41", "Inflammatory diseases of prostate"),
+    ]),
+    "N70-N77": ("XIV", "Inflammatory diseases of female pelvic organs", [
+        ("N73", "Other female pelvic inflammatory diseases"),
+    ]),
+    "N80-N98": ("XIV", "Noninflammatory disorders of female genital tract", [
+        ("N81", "Female genital prolapse"),
+    ]),
+    "O10-O16": ("XV", "Oedema, proteinuria and hypertensive disorders", [
+        ("O14", "Gestational [pregnancy-induced] hypertension with proteinuria"),
+    ]),
+    "O00-O08": ("XV", "Pregnancy with abortive outcome", [
+        ("O00", "Ectopic pregnancy"),
+    ]),
+    "O80-O84": ("XV", "Delivery", [
+        ("O80", "Single spontaneous delivery"),
+    ]),
+    "R00-R09": ("XVIII", "Circulatory and respiratory symptoms", [
+        ("R00", "Abnormalities of heart beat"),
+        ("R05", "Cough"),
+        ("R06", "Abnormalities of breathing"),
+        ("R07", "Pain in throat and chest"),
+    ]),
+    "R10-R19": ("XVIII", "Digestive symptoms", [
+        ("R10", "Abdominal and pelvic pain"),
+        ("R11", "Nausea and vomiting"),
+    ]),
+    "R40-R46": ("XVIII", "Cognition, perception, mood symptoms", [
+        ("R42", "Dizziness and giddiness"),
+    ]),
+    "R50-R69": ("XVIII", "General symptoms and signs", [
+        ("R51", "Headache"),
+        ("R53", "Malaise and fatigue"),
+        ("R55", "Syncope and collapse"),
+    ]),
+    "S50-S59": ("XIX", "Injuries to the elbow and forearm", [
+        ("S52", "Fracture of forearm"),
+    ]),
+    "S70-S79": ("XIX", "Injuries to the hip and thigh", [
+        ("S72", "Fracture of femur"),
+    ]),
+    "S80-S89": ("XIX", "Injuries to the knee and lower leg", [
+        ("S82", "Fracture of lower leg, including ankle"),
+    ]),
+    "Z00-Z13": ("XXI", "Examination and investigation encounters", [
+        ("Z00", "General examination without complaint or reported diagnosis"),
+        ("Z03", "Medical observation for suspected diseases"),
+    ]),
+    "Z40-Z54": ("XXI", "Encounters for specific procedures and health care", [
+        ("Z51", "Other medical care (incl. chemotherapy, rehabilitation)"),
+    ]),
+}
+
+
+@lru_cache(maxsize=1)
+def icd10() -> CodeSystem:
+    """Build (once) and return the ICD-10 :class:`CodeSystem`.
+
+    Level structure: chapter (root, e.g. ``"IX"``) -> block (range code,
+    e.g. ``"I20-I25"``) -> category (``"I21"``).  Regexes over categories
+    work as in the paper; hierarchy queries can also anchor at chapters or
+    blocks via :meth:`CodeSystem.subtree_ids`.
+    """
+    system = CodeSystem("ICD-10")
+    for chapter_id, code_range, title in ICD10_CHAPTERS:
+        system.add(
+            Code(chapter_id, f"{title} ({code_range})", parent=None, kind="chapter")
+        )
+    for block_range, (chapter_id, title, categories) in _BLOCKS.items():
+        system.add(Code(block_range, title, parent=chapter_id, kind="block"))
+        for category, display in categories:
+            system.add(Code(category, display, parent=block_range, kind="category"))
+    return system

@@ -1,0 +1,405 @@
+"""ICPC-2 (International Classification of Primary Care, 2nd edition).
+
+The paper's primary-care diagnoses are "mainly coded using ICPC-2"
+(Section III), and every example regex in the paper (``F.*|H.*``, the
+diabetes code ``T90``) ranges over this system.
+
+ICPC-2 has a biaxial structure: 17 *chapters* (body systems, one letter)
+by 7 *components* (two digits).  Component 1 (01-29) holds symptoms and
+complaints, components 2-6 (30-69) hold process codes that are identical
+across chapters, and component 7 (70-99) holds diagnoses.  We build the
+full process grid programmatically and curate the clinically important
+symptom and diagnosis rubrics used throughout the reproduction.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.terminology.codes import Code, CodeSystem
+
+__all__ = ["icpc2", "CHAPTERS", "PROCESS_RUBRICS", "component_of"]
+
+#: Chapter letter -> chapter title (Section: body systems).
+CHAPTERS: dict[str, str] = {
+    "A": "General and unspecified",
+    "B": "Blood, blood-forming organs and immune mechanism",
+    "D": "Digestive",
+    "F": "Eye",
+    "H": "Ear",
+    "K": "Cardiovascular",
+    "L": "Musculoskeletal",
+    "N": "Neurological",
+    "P": "Psychological",
+    "R": "Respiratory",
+    "S": "Skin",
+    "T": "Endocrine, metabolic and nutritional",
+    "U": "Urological",
+    "W": "Pregnancy, childbearing, family planning",
+    "X": "Female genital",
+    "Y": "Male genital",
+    "Z": "Social problems",
+}
+
+#: Process component rubrics 30-69, identical across all chapters.
+PROCESS_RUBRICS: dict[int, str] = {
+    30: "Medical examination/health evaluation, complete",
+    31: "Medical examination/health evaluation, partial",
+    32: "Sensitivity test",
+    33: "Microbiological/immunological test",
+    34: "Blood test",
+    35: "Urine test",
+    36: "Faeces test",
+    37: "Histological/exfoliative cytology",
+    38: "Other laboratory test NEC",
+    39: "Physical function test",
+    40: "Diagnostic endoscopy",
+    41: "Diagnostic radiology/imaging",
+    42: "Electrical tracings",
+    43: "Other diagnostic procedure",
+    44: "Preventive immunization/medication",
+    45: "Observation/health education/advice/diet",
+    46: "Consultation with primary care provider",
+    47: "Consultation with specialist",
+    48: "Clarification/discussion of reason for encounter",
+    49: "Other preventive procedure",
+    50: "Medication - prescription/request/renewal/injection",
+    51: "Incision/drainage/flushing/aspiration",
+    52: "Excision/removal of tissue/biopsy",
+    53: "Instrumentation/catheterization/intubation/dilation",
+    54: "Repair/fixation - suture/cast/prosthetic device",
+    55: "Local injection/infiltration",
+    56: "Dressing/pressure/compression/tamponade",
+    57: "Physical medicine/rehabilitation",
+    58: "Therapeutic counselling/listening",
+    59: "Other therapeutic procedure",
+    60: "Test results/procedures",
+    61: "Result examination/test/record from other provider",
+    62: "Administrative procedure",
+    63: "Follow-up encounter unspecified",
+    64: "Encounter/problem initiated by provider",
+    65: "Encounter/problem initiated by other than patient/provider",
+    66: "Referral to other provider (non-physician)",
+    67: "Referral to physician/specialist/clinic/hospital",
+    68: "Other referral NEC",
+    69: "Other reason for encounter NEC",
+}
+
+# Curated symptom (component 1) and diagnosis (component 7) rubrics, per
+# chapter, as (two-digit number, display) pairs.
+_SYMPTOMS: dict[str, list[tuple[int, str]]] = {
+    "A": [
+        (1, "Pain, general/multiple sites"),
+        (2, "Chills"),
+        (3, "Fever"),
+        (4, "Weakness/tiredness, general"),
+        (5, "Feeling ill"),
+        (6, "Fainting/syncope"),
+        (29, "General symptom/complaint, other"),
+    ],
+    "B": [
+        (2, "Lymph gland(s) enlarged/painful"),
+        (4, "Blood symptom/complaint"),
+    ],
+    "D": [
+        (1, "Abdominal pain/cramps, general"),
+        (2, "Abdominal pain, epigastric"),
+        (6, "Abdominal pain, localized, other"),
+        (8, "Flatulence/gas/belching"),
+        (9, "Nausea"),
+        (10, "Vomiting"),
+        (11, "Diarrhoea"),
+        (12, "Constipation"),
+    ],
+    "F": [
+        (1, "Eye pain"),
+        (2, "Red eye"),
+        (5, "Visual disturbance, other"),
+    ],
+    "H": [
+        (1, "Ear pain/earache"),
+        (2, "Hearing complaint"),
+        (3, "Tinnitus, ringing/buzzing ear"),
+    ],
+    "K": [
+        (1, "Heart pain"),
+        (2, "Pressure/tightness of heart"),
+        (3, "Cardiovascular pain NOS"),
+        (4, "Palpitations/awareness of heart"),
+        (5, "Irregular heartbeat, other"),
+        (6, "Prominent veins"),
+    ],
+    "L": [
+        (1, "Neck symptom/complaint"),
+        (2, "Back symptom/complaint"),
+        (3, "Low back symptom/complaint"),
+        (4, "Chest symptom/complaint"),
+        (8, "Shoulder symptom/complaint"),
+        (15, "Knee symptom/complaint"),
+        (17, "Foot/toe symptom/complaint"),
+    ],
+    "N": [
+        (1, "Headache"),
+        (5, "Tingling fingers/feet/toes"),
+        (6, "Sensation disturbance, other"),
+        (17, "Vertigo/dizziness"),
+    ],
+    "P": [
+        (1, "Feeling anxious/nervous/tense"),
+        (2, "Acute stress reaction"),
+        (3, "Feeling depressed"),
+        (4, "Feeling/behaving irritable/angry"),
+        (6, "Sleep disturbance"),
+        (15, "Chronic alcohol abuse"),
+        (17, "Tobacco abuse"),
+    ],
+    "R": [
+        (1, "Pain, respiratory system"),
+        (2, "Shortness of breath/dyspnoea"),
+        (3, "Wheezing"),
+        (4, "Breathing problem, other"),
+        (5, "Cough"),
+        (7, "Sneezing/nasal congestion"),
+        (21, "Throat symptom/complaint"),
+    ],
+    "S": [
+        (1, "Pain/tenderness of skin"),
+        (2, "Pruritus"),
+        (4, "Lump/swelling, localized"),
+        (6, "Rash, localized"),
+    ],
+    "T": [
+        (1, "Excessive thirst"),
+        (2, "Excessive appetite"),
+        (3, "Loss of appetite"),
+        (7, "Weight gain"),
+        (8, "Weight loss"),
+    ],
+    "U": [
+        (1, "Dysuria/painful urination"),
+        (2, "Urinary frequency/urgency"),
+        (4, "Incontinence, urine"),
+        (6, "Haematuria"),
+    ],
+    "W": [
+        (1, "Question of pregnancy"),
+        (5, "Nausea/vomiting of pregnancy"),
+    ],
+    "X": [(1, "Genital pain, female")],
+    "Y": [(1, "Genital pain, male")],
+    "Z": [
+        (1, "Poverty/financial problem"),
+        (3, "Housing/neighbourhood problem"),
+        (5, "Work problem"),
+        (6, "Unemployment problem"),
+        (12, "Relationship problem with partner"),
+        (15, "Loss/death of partner"),
+        (29, "Social problem NOS"),
+    ],
+}
+
+_DIAGNOSES: dict[str, list[tuple[int, str]]] = {
+    "A": [
+        (77, "Viral disease, other/NOS"),
+        (85, "Adverse effect of medical agent"),
+        (97, "No disease"),
+    ],
+    "B": [
+        (80, "Iron deficiency anaemia"),
+        (81, "Anaemia, vitamin B12/folate deficiency"),
+        (82, "Anaemia, other/unspecified"),
+    ],
+    "D": [
+        (70, "Gastrointestinal infection"),
+        (84, "Oesophagus disease"),
+        (85, "Duodenal ulcer"),
+        (86, "Peptic ulcer, other"),
+        (88, "Appendicitis"),
+        (94, "Chronic enteritis/ulcerative colitis"),
+        (97, "Liver disease NOS"),
+    ],
+    "F": [
+        (70, "Conjunctivitis, infectious"),
+        (83, "Retinopathy"),
+        (92, "Cataract"),
+        (93, "Glaucoma"),
+        (94, "Blindness"),
+    ],
+    "H": [
+        (70, "Otitis externa"),
+        (71, "Acute otitis media/myringitis"),
+        (72, "Serous otitis media"),
+        (81, "Excessive ear wax"),
+        (84, "Presbyacusis"),
+        (86, "Deafness"),
+    ],
+    "K": [
+        (74, "Ischaemic heart disease with angina"),
+        (75, "Acute myocardial infarction"),
+        (76, "Ischaemic heart disease without angina"),
+        (77, "Heart failure"),
+        (78, "Atrial fibrillation/flutter"),
+        (79, "Paroxysmal tachycardia"),
+        (80, "Cardiac arrhythmia NOS"),
+        (86, "Hypertension, uncomplicated"),
+        (87, "Hypertension, complicated"),
+        (89, "Transient cerebral ischaemia"),
+        (90, "Stroke/cerebrovascular accident"),
+        (92, "Atherosclerosis/peripheral vascular disease"),
+        (95, "Varicose veins of leg"),
+    ],
+    "L": [
+        (72, "Fracture: radius/ulna"),
+        (73, "Fracture: tibia/fibula"),
+        (75, "Fracture: femur"),
+        (76, "Fracture: other"),
+        (84, "Back syndrome without radiating pain"),
+        (86, "Back syndrome with radiating pain"),
+        (88, "Rheumatoid/seropositive arthritis"),
+        (89, "Osteoarthrosis of hip"),
+        (90, "Osteoarthrosis of knee"),
+        (91, "Osteoarthrosis, other"),
+        (95, "Osteoporosis"),
+    ],
+    "N": [
+        (86, "Multiple sclerosis"),
+        (87, "Parkinsonism"),
+        (88, "Epilepsy"),
+        (89, "Migraine"),
+        (90, "Cluster headache"),
+        (93, "Carpal tunnel syndrome"),
+        (94, "Peripheral neuritis/neuropathy"),
+        (95, "Tension headache"),
+    ],
+    "P": [
+        (70, "Dementia"),
+        (71, "Organic psychosis, other"),
+        (72, "Schizophrenia"),
+        (73, "Affective psychosis"),
+        (74, "Anxiety disorder/anxiety state"),
+        (75, "Somatization disorder"),
+        (76, "Depressive disorder"),
+        (77, "Suicide/suicide attempt"),
+        (78, "Neurasthenia/surmenage"),
+        (79, "Phobia/compulsive disorder"),
+    ],
+    "R": [
+        (74, "Upper respiratory infection, acute"),
+        (75, "Sinusitis, acute/chronic"),
+        (76, "Tonsillitis, acute"),
+        (77, "Laryngitis/tracheitis, acute"),
+        (78, "Acute bronchitis/bronchiolitis"),
+        (80, "Influenza"),
+        (81, "Pneumonia"),
+        (84, "Malignant neoplasm bronchus/lung"),
+        (91, "Chronic bronchitis/bronchiectasis"),
+        (95, "Chronic obstructive pulmonary disease"),
+        (96, "Asthma"),
+    ],
+    "S": [
+        (70, "Herpes zoster"),
+        (74, "Dermatophytosis"),
+        (76, "Skin infection, other"),
+        (77, "Malignant neoplasm of skin"),
+        (87, "Dermatitis/atopic eczema"),
+        (88, "Dermatitis, contact/allergic"),
+        (91, "Psoriasis"),
+        (97, "Chronic ulcer of skin"),
+    ],
+    "T": [
+        (81, "Goitre"),
+        (85, "Hyperthyroidism/thyrotoxicosis"),
+        (86, "Hypothyroidism/myxoedema"),
+        (87, "Hypoglycaemia"),
+        (89, "Diabetes, insulin dependent"),
+        (90, "Diabetes, non-insulin dependent"),
+        (92, "Gout"),
+        (93, "Lipid disorder"),
+    ],
+    "U": [
+        (70, "Pyelonephritis/pyelitis"),
+        (71, "Cystitis/urinary infection, other"),
+        (76, "Malignant neoplasm of bladder"),
+        (88, "Glomerulonephritis/nephrosis"),
+        (95, "Urinary calculus"),
+        (99, "Urinary disease, other"),
+    ],
+    "W": [
+        (78, "Pregnancy"),
+        (80, "Ectopic pregnancy"),
+        (81, "Toxaemia of pregnancy"),
+        (84, "Pregnancy, high risk"),
+        (90, "Uncomplicated labour/delivery, livebirth"),
+    ],
+    "X": [
+        (74, "Pelvic inflammatory disease"),
+        (75, "Malignant neoplasm of cervix"),
+        (76, "Malignant neoplasm of breast, female"),
+        (87, "Uterovaginal prolapse"),
+    ],
+    "Y": [
+        (73, "Prostatitis/seminal vesiculitis"),
+        (77, "Malignant neoplasm of prostate"),
+        (85, "Benign prostatic hypertrophy"),
+    ],
+    "Z": [],
+}
+
+
+def component_of(code: str) -> int:
+    """Return the ICPC-2 component (1-7) for a code such as ``"T90"``.
+
+    Component 1 covers 01-29 (symptoms), 2-6 cover the process codes
+    30-69, and 7 covers 70-99 (diagnoses).
+    """
+    number = int(code[1:])
+    if 1 <= number <= 29:
+        return 1
+    if 30 <= number <= 49:
+        return 2
+    if 50 <= number <= 59:
+        return 3
+    if 60 <= number <= 61:
+        return 4
+    if number == 62:
+        return 5
+    if 63 <= number <= 69:
+        return 6
+    return 7
+
+
+@lru_cache(maxsize=1)
+def icpc2() -> CodeSystem:
+    """Build (once) and return the ICPC-2 :class:`CodeSystem`.
+
+    Roots are the 17 chapter letters; every rubric is a child of its
+    chapter.  The system is cached because it is immutable and shared by
+    the sources, query and simulation layers.
+    """
+    system = CodeSystem("ICPC-2")
+    for letter, title in CHAPTERS.items():
+        system.add(Code(letter, title, parent=None, kind="chapter"))
+    for letter in CHAPTERS:
+        for number, display in _SYMPTOMS.get(letter, []):
+            system.add(
+                Code(f"{letter}{number:02d}", display, parent=letter, kind="symptom")
+            )
+        for number, display in PROCESS_RUBRICS.items():
+            system.add(
+                Code(
+                    f"{letter}{number:02d}",
+                    display,
+                    parent=letter,
+                    kind="process",
+                )
+            )
+        for number, display in _DIAGNOSES.get(letter, []):
+            system.add(
+                Code(
+                    f"{letter}{number:02d}",
+                    display,
+                    parent=letter,
+                    kind="diagnosis",
+                )
+            )
+    return system

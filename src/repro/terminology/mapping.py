@@ -1,0 +1,209 @@
+"""ICPC-2 <-> ICD-10 cross-terminology mapping.
+
+The paper integrates primary-care records (ICPC-2) with hospital and
+specialist records (ICD-10) into one workbench (Section III), so the
+unified query layer needs a concept map: asking for "diabetes" must match
+``T90`` in a GP claim and ``E11`` in a hospital episode.
+
+The map below is a curated subset of the official ICPC-2/ICD-10
+conversion tables covering every diagnosis the simulator emits.  It is
+directional many-to-many: one ICPC rubric may map to several ICD-10
+categories and vice versa.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import UnknownCodeError
+from repro.terminology.icd10 import icd10
+from repro.terminology.icpc2 import icpc2
+
+__all__ = ["TerminologyMap", "icpc2_to_icd10_map"]
+
+# ICPC-2 code -> ICD-10 categories.
+_ICPC_TO_ICD: dict[str, tuple[str, ...]] = {
+    # -- endocrine / metabolic
+    "T89": ("E10",),
+    "T90": ("E11", "E14"),
+    "T85": ("E05",),
+    "T86": ("E03",),
+    "T81": ("E04",),
+    "T87": ("E16",),
+    "T92": ("M10",),
+    "T93": ("E78",),
+    # -- cardiovascular
+    "K74": ("I20",),
+    "K75": ("I21",),
+    "K76": ("I24", "I25"),
+    "K77": ("I50",),
+    "K78": ("I48",),
+    "K79": ("I47",),
+    "K80": ("I49",),
+    "K86": ("I10",),
+    "K87": ("I11", "I12"),
+    "K89": ("G45",),
+    "K90": ("I63", "I64"),
+    "K92": ("I70", "I73"),
+    "K95": ("I83",),
+    # -- respiratory
+    "R74": ("J06",),
+    "R75": ("J01",),
+    "R76": ("J03",),
+    "R77": ("J04",),
+    "R78": ("J20",),
+    "R80": ("J11",),
+    "R81": ("J18",),
+    "R84": ("C34",),
+    "R91": ("J42", "J47"),
+    "R95": ("J44",),
+    "R96": ("J45",),
+    # -- psychological
+    "P70": ("F00", "F03"),
+    "P72": ("F20",),
+    "P73": ("F31",),
+    "P74": ("F41",),
+    "P75": ("F45",),
+    "P76": ("F32", "F33"),
+    "P79": ("F40",),
+    # -- neurological
+    "N86": ("G35",),
+    "N87": ("G20",),
+    "N88": ("G40",),
+    "N89": ("G43",),
+    "N90": ("G44",),
+    "N93": ("G56",),
+    "N94": ("G62",),
+    "N95": ("G44",),
+    # -- digestive
+    "D70": ("A09",),
+    "D84": ("K21",),
+    "D85": ("K26",),
+    "D86": ("K27",),
+    "D88": ("K35",),
+    "D94": ("K50", "K51"),
+    "D97": ("K76",),
+    # -- musculoskeletal
+    "L72": ("S52",),
+    "L73": ("S82",),
+    "L75": ("S72",),
+    "L84": ("M54",),
+    "L86": ("M51",),
+    "L88": ("M05", "M06"),
+    "L89": ("M16",),
+    "L90": ("M17",),
+    "L91": ("M19",),
+    "L95": ("M80", "M81"),
+    # -- eye / ear
+    "F70": ("H10",),
+    "F83": ("H35", "H36"),
+    "F92": ("H25",),
+    "F93": ("H40",),
+    "H71": ("H66",),
+    "H72": ("H65",),
+    "H84": ("H91",),
+    "H86": ("H90",),
+    # -- skin
+    "S70": ("B02",),
+    "S77": ("C44",),
+    "S87": ("L20",),
+    "S88": ("L23",),
+    "S91": ("L40",),
+    "S97": ("L97",),
+    # -- urological / genital
+    "U70": ("N10",),
+    "U71": ("N30",),
+    "U76": ("C67",),
+    "U88": ("N03",),
+    "U95": ("N20",),
+    "U99": ("N39",),
+    "X74": ("N73",),
+    "X75": ("C53",),
+    "X76": ("C50",),
+    "X87": ("N81",),
+    "Y73": ("N41",),
+    "Y77": ("C61",),
+    "Y85": ("N40",),
+    # -- blood
+    "B80": ("D50",),
+    "B81": ("D51",),
+    "B82": ("D53",),
+    # -- pregnancy
+    "W80": ("O00",),
+    "W81": ("O14",),
+    "W90": ("O80",),
+    # -- common symptoms (ICD-10 chapter XVIII)
+    "N01": ("R51",),
+    "N17": ("R42",),
+    "R02": ("R06",),
+    "R05": ("R05",),
+    "D01": ("R10",),
+    "D09": ("R11",),
+    "D10": ("R11",),
+    "A04": ("R53",),
+    "A06": ("R55",),
+    "K01": ("R07",),
+    "K04": ("R00",),
+    "A97": ("Z00",),
+}
+
+
+class TerminologyMap:
+    """A verified, bidirectional many-to-many concept map.
+
+    Construction validates every code against its system so that a typo in
+    the map data fails loudly at build time rather than silently dropping
+    matches at query time.
+    """
+
+    def __init__(self, forward: dict[str, tuple[str, ...]]) -> None:
+        source = icpc2()
+        target = icd10()
+        for icpc_code, icd_codes in forward.items():
+            if icpc_code not in source:
+                raise UnknownCodeError(source.name, icpc_code)
+            for icd_code in icd_codes:
+                if icd_code not in target:
+                    raise UnknownCodeError(target.name, icd_code)
+        self._forward = {k: tuple(v) for k, v in forward.items()}
+        self._backward: dict[str, tuple[str, ...]] = {}
+        reverse: dict[str, list[str]] = {}
+        for icpc_code, icd_codes in self._forward.items():
+            for icd_code in icd_codes:
+                reverse.setdefault(icd_code, []).append(icpc_code)
+        self._backward = {k: tuple(v) for k, v in reverse.items()}
+
+    def to_icd10(self, icpc_code: str) -> tuple[str, ...]:
+        """ICD-10 categories for an ICPC-2 rubric (empty if unmapped)."""
+        return self._forward.get(icpc_code, ())
+
+    def to_icpc2(self, icd_code: str) -> tuple[str, ...]:
+        """ICPC-2 rubrics for an ICD-10 category (empty if unmapped)."""
+        return self._backward.get(icd_code, ())
+
+    def mapped_icpc2_codes(self) -> frozenset[str]:
+        """All ICPC-2 codes with at least one ICD-10 image."""
+        return frozenset(self._forward)
+
+    def mapped_icd10_codes(self) -> frozenset[str]:
+        """All ICD-10 codes with at least one ICPC-2 preimage."""
+        return frozenset(self._backward)
+
+    def expand_concept(self, code: str) -> tuple[frozenset[str], frozenset[str]]:
+        """Expand a code from either system into (icpc2 set, icd10 set).
+
+        Given ``"T90"`` returns ``({"T90"}, {"E11", "E14"})``; given
+        ``"E11"`` returns ``({"T90"}, {"E11"})``.  This is the operation
+        the unified query engine uses to span heterogeneous sources.
+        """
+        if code in icpc2():
+            return frozenset({code}), frozenset(self.to_icd10(code))
+        if code in icd10():
+            return frozenset(self.to_icpc2(code)), frozenset({code})
+        raise UnknownCodeError("ICPC-2/ICD-10", code)
+
+
+@lru_cache(maxsize=1)
+def icpc2_to_icd10_map() -> TerminologyMap:
+    """Build (once) and return the curated ICPC-2 <-> ICD-10 map."""
+    return TerminologyMap(_ICPC_TO_ICD)

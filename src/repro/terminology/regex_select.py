@@ -1,0 +1,60 @@
+"""Helpers for building the paper's regex-over-hierarchy selections.
+
+Section IV-A: "with a regular expression one may easily refer to any
+branch of the hierarchies by listing the first few letters or digits and
+appending a wildcard", combined with the disjunctive construct — e.g.
+``F.*|H.*`` for eye-or-ear.  General practitioners cannot be expected to
+write regexes, so the query-builder GUI assembles them; these helpers are
+that assembly step as an API.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import TerminologyError
+from repro.terminology.codes import CodeSelection, CodeSystem
+
+__all__ = ["prefix_pattern", "any_of", "exact", "branch_selection"]
+
+
+def prefix_pattern(prefix: str) -> str:
+    """Return the pattern selecting every code starting with ``prefix``.
+
+    ``prefix_pattern("F")`` -> ``"F.*"`` — the paper's branch idiom.
+    Regex metacharacters in the prefix are escaped, so ``"I20-I25"`` is
+    treated literally.
+    """
+    if not prefix:
+        raise TerminologyError("a branch prefix must be non-empty")
+    return re.escape(prefix) + ".*"
+
+
+def exact(code: str) -> str:
+    """Return the pattern matching exactly one code identifier."""
+    if not code:
+        raise TerminologyError("a code must be non-empty")
+    return re.escape(code)
+
+
+def any_of(*patterns: str) -> str:
+    """Combine patterns with regex disjunction.
+
+    ``any_of(prefix_pattern("F"), prefix_pattern("H"))`` -> ``"F.*|H.*"``,
+    the paper's worked example.
+    """
+    if not patterns:
+        raise TerminologyError("any_of requires at least one pattern")
+    return "|".join(f"(?:{p})" for p in patterns)
+
+
+def branch_selection(
+    system: CodeSystem, *prefixes: str, label: str = ""
+) -> CodeSelection:
+    """Build a :class:`CodeSelection` of one or more hierarchy branches.
+
+    This is the one-call form of what the Figure 4 query builder does when
+    a clinician ticks chapter checkboxes.
+    """
+    pattern = any_of(*(prefix_pattern(p) for p in prefixes))
+    return CodeSelection(system, pattern, label=label or "|".join(prefixes))

@@ -1,0 +1,69 @@
+"""Visualization engine: SVG backend, preattentive color assignment,
+glyph catalog, axes/zoom model, the cohort timeline view (Figure 1),
+interaction layer, NSEPter graph rendering (Figure 2) and personal
+timeline HTML export."""
+
+from repro.viz.audit import SceneAudit, audit_scene
+from repro.viz.axes import TimeScale, ZoomSliders
+from repro.viz.density_view import DensityScene, render_density
+from repro.viz.event_chart import EventChartScene, render_event_chart
+from repro.viz.km_plot import render_km_plot
+from repro.viz.uncertainty_view import draw_uncertain_interval
+from repro.viz.colors import (
+    MAX_PREATTENTIVE_HUES,
+    QUALITATIVE_PALETTE,
+    ColorAssignment,
+    assign_colors,
+    contrast_ratio,
+    label_color_for,
+    relative_luminance,
+)
+from repro.viz.graph_view import render_graph
+from repro.viz.html_export import (
+    export_batch,
+    export_cohort_page,
+    export_personal_timeline,
+    personal_timeline_svg,
+)
+from repro.viz.interaction import (
+    HitIndex,
+    InteractionSession,
+    Viewport,
+    diff_scenes,
+)
+from repro.viz.svg import SvgDocument
+from repro.viz.timeline_view import Mark, TimelineConfig, TimelineScene, TimelineView
+
+__all__ = [
+    "ColorAssignment",
+    "SceneAudit",
+    "audit_scene",
+    "DensityScene",
+    "EventChartScene",
+    "render_event_chart",
+    "render_km_plot",
+    "draw_uncertain_interval",
+    "render_density",
+    "HitIndex",
+    "InteractionSession",
+    "MAX_PREATTENTIVE_HUES",
+    "Mark",
+    "QUALITATIVE_PALETTE",
+    "SvgDocument",
+    "TimeScale",
+    "TimelineConfig",
+    "TimelineScene",
+    "TimelineView",
+    "Viewport",
+    "ZoomSliders",
+    "assign_colors",
+    "contrast_ratio",
+    "diff_scenes",
+    "export_batch",
+    "export_cohort_page",
+    "export_personal_timeline",
+    "label_color_for",
+    "personal_timeline_svg",
+    "relative_luminance",
+    "render_graph",
+]

@@ -1,0 +1,104 @@
+"""Perceptual audit of rendered scenes.
+
+Section II-B distills design guidance: keep identity search preattentive
+(few, well-separated hues), keep glyphs discriminable, and respect
+cognitive limits.  This module turns that guidance into a checkable
+audit over a rendered :class:`~repro.viz.timeline_view.TimelineScene`,
+so a pipeline can *fail* when a rendering quietly degrades — e.g. a
+medication palette saturating past the preattentive budget, or rows
+collapsing below a pixel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.viz.colors import (
+    MAX_PREATTENTIVE_HUES,
+    contrast_ratio,
+)
+from repro.viz.timeline_view import TimelineScene
+
+__all__ = ["SceneAudit", "audit_scene"]
+
+#: Glyphs smaller than this many px are effectively unreadable marks.
+MIN_READABLE_GLYPH_PX = 3.0
+
+#: Minimum contrast for a data color against the white canvas.
+MIN_CANVAS_CONTRAST = 1.3
+
+
+@dataclass
+class SceneAudit:
+    """The audit result: metrics plus human-readable warnings."""
+
+    n_marks: int
+    distinct_hues: int
+    hue_budget: int
+    sub_pixel_fraction: float
+    readable_glyph_fraction: float
+    low_contrast_colors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def preattentive_identity(self) -> bool:
+        """True when color-identity search stays preattentive."""
+        return self.distinct_hues <= self.hue_budget
+
+    @property
+    def ok(self) -> bool:
+        return not self.warnings
+
+
+def audit_scene(scene: TimelineScene) -> SceneAudit:
+    """Audit a rendered timeline scene against the Section II-B guidance."""
+    marks = [m for m in scene.marks if m.kind != "bar"]
+    n = len(marks)
+    hues = {m.color for m in marks}
+    sub_pixel = sum(1 for m in marks if m.height < 1.0)
+    points = [m for m in marks if m.kind == "point"]
+    readable = sum(1 for m in points if m.height >= MIN_READABLE_GLYPH_PX)
+
+    low_contrast = sorted(
+        color for color in hues
+        if color.startswith("#") and len(color) == 7
+        and contrast_ratio(color, "#ffffff") < MIN_CANVAS_CONTRAST
+    )
+
+    audit = SceneAudit(
+        n_marks=n,
+        distinct_hues=len(hues),
+        hue_budget=MAX_PREATTENTIVE_HUES + len(
+            {m.color for m in marks if m.kind == "band"
+             and m.category != "prescription"}
+        ),
+        sub_pixel_fraction=sub_pixel / n if n else 0.0,
+        readable_glyph_fraction=readable / len(points) if points else 1.0,
+        low_contrast_colors=low_contrast,
+    )
+
+    med_hues = {
+        m.color for m in marks
+        if m.kind == "band" and m.category == "prescription"
+    }
+    if len(med_hues) > MAX_PREATTENTIVE_HUES:
+        audit.warnings.append(
+            f"{len(med_hues)} medication hues exceed the preattentive "
+            f"budget of {MAX_PREATTENTIVE_HUES}; abstract the ATC level up"
+        )
+    if audit.sub_pixel_fraction > 0.5:
+        audit.warnings.append(
+            f"{audit.sub_pixel_fraction:.0%} of marks are sub-pixel; "
+            f"use the density overview or zoom in"
+        )
+    if audit.readable_glyph_fraction < 0.5 and points:
+        audit.warnings.append(
+            f"only {audit.readable_glyph_fraction:.0%} of glyphs are "
+            f">= {MIN_READABLE_GLYPH_PX:.0f}px; identity is positional only"
+        )
+    for color in low_contrast:
+        audit.warnings.append(
+            f"color {color} has near-canvas contrast "
+            f"(< {MIN_CANVAS_CONTRAST})"
+        )
+    return audit

@@ -1,0 +1,194 @@
+"""Axes and the two-slider zoom model.
+
+Section IV-B: the horizontal axis has two modes — calendar time when the
+diagram is not aligned, and "months before and after the alignment
+point" when it is; patient IDs run along the vertical axis.  "Two
+sliders ... allow the user to zoom both vertically and horizontally, in
+order to see many patients and/or many details (long time-span) at the
+same time."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from datetime import date
+
+from repro.errors import RenderError
+from repro.temporal.timeline import DAYS_PER_MONTH, from_day_number
+from repro.viz.colors import AXIS_COLOR, GRID_COLOR
+from repro.viz.svg import SvgDocument
+
+__all__ = ["ZoomSliders", "TimeScale", "render_calendar_axis",
+           "render_aligned_axis", "render_patient_axis"]
+
+# Zoom ranges: horizontal in px/day, vertical in px/row (log-interpolated).
+_MIN_PX_PER_DAY, _MAX_PX_PER_DAY = 0.02, 24.0
+_MIN_ROW_PX, _MAX_ROW_PX = 0.05, 28.0
+
+
+@dataclass(frozen=True)
+class ZoomSliders:
+    """The two zoom sliders, each in [0, 1] (paper Figure 1, bottom right).
+
+    0 = fully zoomed out (many patients / long time span), 1 = fully
+    zoomed in (few patients / fine detail).
+    """
+
+    horizontal: float = 0.5
+    vertical: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.horizontal <= 1.0 and 0.0 <= self.vertical <= 1.0):
+            raise RenderError("slider positions must lie in [0, 1]")
+
+    @property
+    def px_per_day(self) -> float:
+        """Horizontal scale implied by the slider (log interpolation)."""
+        return float(
+            _MIN_PX_PER_DAY
+            * (_MAX_PX_PER_DAY / _MIN_PX_PER_DAY) ** self.horizontal
+        )
+
+    @property
+    def row_height(self) -> float:
+        """Vertical row pitch implied by the slider (log interpolation)."""
+        return float(_MIN_ROW_PX * (_MAX_ROW_PX / _MIN_ROW_PX) ** self.vertical)
+
+    @classmethod
+    def fit(
+        cls,
+        n_days: int,
+        n_rows: int,
+        plot_width: float,
+        plot_height: float,
+    ) -> "ZoomSliders":
+        """Slider positions that fit the whole cohort into the plot area."""
+        px_day = min(_MAX_PX_PER_DAY, max(_MIN_PX_PER_DAY,
+                                          plot_width / max(1, n_days)))
+        row_px = min(_MAX_ROW_PX, max(_MIN_ROW_PX,
+                                      plot_height / max(1, n_rows)))
+        h = math.log(px_day / _MIN_PX_PER_DAY) / math.log(
+            _MAX_PX_PER_DAY / _MIN_PX_PER_DAY
+        )
+        v = math.log(row_px / _MIN_ROW_PX) / math.log(_MAX_ROW_PX / _MIN_ROW_PX)
+        return cls(horizontal=min(1.0, max(0.0, h)),
+                   vertical=min(1.0, max(0.0, v)))
+
+
+@dataclass(frozen=True)
+class TimeScale:
+    """Linear day -> x mapping for the plot area."""
+
+    first_day: int
+    px_per_day: float
+    x_offset: float = 0.0
+
+    def x(self, day: float) -> float:
+        """Pixel x for a day number (fractional days allowed)."""
+        return self.x_offset + (day - self.first_day) * self.px_per_day
+
+    def day_at(self, x: float) -> float:
+        """Inverse mapping: pixel x back to a (fractional) day."""
+        return self.first_day + (x - self.x_offset) / self.px_per_day
+
+
+def _month_starts(first_day: int, last_day: int) -> list[tuple[int, date]]:
+    """Day numbers of month boundaries within [first_day, last_day]."""
+    current = from_day_number(first_day).replace(day=1)
+    result: list[tuple[int, date]] = []
+    while True:
+        day_no = (current - date(1970, 1, 1)).days
+        if day_no > last_day:
+            break
+        if day_no >= first_day:
+            result.append((day_no, current))
+        if current.month == 12:
+            current = current.replace(year=current.year + 1, month=1)
+        else:
+            current = current.replace(month=current.month + 1)
+    return result
+
+
+def render_calendar_axis(
+    svg: SvgDocument,
+    scale: TimeScale,
+    first_day: int,
+    last_day: int,
+    y: float,
+    plot_top: float,
+    grid: bool = True,
+) -> None:
+    """Month/year ticks for the unaligned diagram (actual dates)."""
+    svg.line(scale.x(first_day), y, scale.x(last_day), y, stroke=AXIS_COLOR)
+    months = _month_starts(first_day, last_day)
+    # Thin ticks when zoomed out: label roughly every 90 px.
+    min_px = 60.0
+    step = 1
+    if months and len(months) > 1:
+        month_px = scale.px_per_day * DAYS_PER_MONTH
+        step = max(1, int(math.ceil(min_px / max(month_px, 1e-9))))
+    for i, (day_no, when) in enumerate(months):
+        x = scale.x(day_no)
+        major = when.month == 1
+        svg.line(x, y, x, y + (6 if major else 3), stroke=AXIS_COLOR)
+        if grid:
+            svg.line(x, plot_top, x, y, stroke=GRID_COLOR, stroke_width=0.5,
+                     opacity=0.6)
+        if i % step == 0:
+            label = when.strftime("%Y") if major else when.strftime("%b")
+            svg.text(x + 2, y + 16, label, size=9, fill=AXIS_COLOR)
+
+
+def render_aligned_axis(
+    svg: SvgDocument,
+    scale: TimeScale,
+    first_day: int,
+    last_day: int,
+    y: float,
+    plot_top: float,
+    grid: bool = True,
+) -> None:
+    """Relative-month ticks for the aligned diagram (0 at the anchor).
+
+    ``first_day``/``last_day`` here are *relative* day numbers (anchor at
+    0); labels are signed month counts.
+    """
+    svg.line(scale.x(first_day), y, scale.x(last_day), y, stroke=AXIS_COLOR)
+    month_px = scale.px_per_day * DAYS_PER_MONTH
+    step = max(1, int(math.ceil(60.0 / max(month_px, 1e-9))))
+    first_month = int(math.ceil(first_day / DAYS_PER_MONTH))
+    last_month = int(math.floor(last_day / DAYS_PER_MONTH))
+    for month in range(first_month, last_month + 1):
+        day_no = month * DAYS_PER_MONTH
+        x = scale.x(day_no)
+        is_anchor = month == 0
+        svg.line(x, y, x, y + (8 if is_anchor else 4),
+                 stroke=AXIS_COLOR, stroke_width=2.0 if is_anchor else 1.0)
+        if grid:
+            svg.line(x, plot_top, x, y,
+                     stroke="#888888" if is_anchor else GRID_COLOR,
+                     stroke_width=1.0 if is_anchor else 0.5, opacity=0.7)
+        if month % step == 0:
+            label = "0" if is_anchor else f"{month:+d} mo"
+            svg.text(x + 2, y + 18, label, size=9, fill=AXIS_COLOR)
+
+
+def render_patient_axis(
+    svg: SvgDocument,
+    patient_ids: list[int],
+    row_height: float,
+    plot_top: float,
+    x: float,
+) -> None:
+    """Patient-ID labels along the vertical axis (Section IV-B).
+
+    Labels are skipped entirely when rows are thinner than a readable
+    glyph — the zoomed-out view keeps only positional identity.
+    """
+    if row_height < 9.0:
+        return
+    for row, patient_id in enumerate(patient_ids):
+        y = plot_top + row * row_height + row_height * 0.7
+        svg.text(x, y, str(patient_id), size=min(10.0, row_height - 2),
+                 fill=AXIS_COLOR, anchor="end")

@@ -1,0 +1,162 @@
+"""Color assignment under preattentive constraints.
+
+Section II-B: a well-crafted visualization lets searching happen
+preattentively; color hue is one of Ware's preattentively processed
+features, *but only for a small number of well-separated hues* —
+conjunction search (red AND circular) is not preattentive.  Two rules
+are enforced here:
+
+1. The qualitative palette holds at most :data:`MAX_PREATTENTIVE_HUES`
+   well-separated, colorblind-aware hues (Okabe-Ito).  Asking for more
+   distinct classes falls back to deterministic-but-degraded colors and
+   flags the assignment as ``saturated`` so callers can regroup (e.g.
+   abstract ATC level 5 drugs up to level 2 groups).
+2. Each hue is paired with a guaranteed-readable label color via a
+   relative-luminance contrast check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RenderError
+
+__all__ = [
+    "MAX_PREATTENTIVE_HUES",
+    "QUALITATIVE_PALETTE",
+    "ColorAssignment",
+    "assign_colors",
+    "relative_luminance",
+    "contrast_ratio",
+    "label_color_for",
+]
+
+#: Beyond this many simultaneous hues, identity search stops being
+#: preattentive (conservative reading of Ware 2004 / Healey 1999).
+MAX_PREATTENTIVE_HUES = 8
+
+#: Okabe-Ito colorblind-aware qualitative palette.
+QUALITATIVE_PALETTE: tuple[str, ...] = (
+    "#E69F00",  # orange
+    "#56B4E9",  # sky blue
+    "#009E73",  # bluish green
+    "#F0E442",  # yellow
+    "#0072B2",  # blue
+    "#D55E00",  # vermillion
+    "#CC79A7",  # reddish purple
+    "#999999",  # grey
+)
+
+#: Fixed structural colors of the timeline view.
+HISTORY_BAR = "#e8e8e8"
+HISTORY_BAR_ALT = "#dedede"
+AXIS_COLOR = "#555555"
+GRID_COLOR = "#cccccc"
+STAY_BAND = "#b0c4d8"
+MUNICIPAL_BAND = "#cfe3cf"
+
+
+def relative_luminance(hex_color: str) -> float:
+    """WCAG relative luminance of an ``#rrggbb`` color."""
+    if not (hex_color.startswith("#") and len(hex_color) == 7):
+        raise RenderError(f"bad hex color {hex_color!r}")
+
+    def channel(raw: str) -> float:
+        c = int(raw, 16) / 255.0
+        return c / 12.92 if c <= 0.04045 else ((c + 0.055) / 1.055) ** 2.4
+
+    r = channel(hex_color[1:3])
+    g = channel(hex_color[3:5])
+    b = channel(hex_color[5:7])
+    return 0.2126 * r + 0.7152 * g + 0.0722 * b
+
+
+def contrast_ratio(first: str, second: str) -> float:
+    """WCAG contrast ratio between two colors (>= 1)."""
+    l1 = relative_luminance(first)
+    l2 = relative_luminance(second)
+    bright, dark = max(l1, l2), min(l1, l2)
+    return (bright + 0.05) / (dark + 0.05)
+
+
+def label_color_for(background: str) -> str:
+    """Black or white, whichever reads better on ``background``."""
+    return (
+        "#000000"
+        if contrast_ratio(background, "#000000")
+        >= contrast_ratio(background, "#ffffff")
+        else "#ffffff"
+    )
+
+
+@dataclass(frozen=True)
+class ColorAssignment:
+    """A mapping from class keys to colors, with a saturation flag.
+
+    ``saturated`` is True when more classes were requested than the
+    preattentive budget allows; identity search over the view is then no
+    longer guaranteed preattentive, and the caller should consider
+    abstracting classes upward (the LifeLines beta-blocker move).
+    """
+
+    colors: dict[str, str]
+    saturated: bool
+
+    def __getitem__(self, key: str) -> str:
+        return self.colors[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.colors
+
+    def get(self, key: str, default: str = "#888888") -> str:
+        return self.colors.get(key, default)
+
+
+def distinct_color(index: int) -> str:
+    """A deterministic, well-separated color for any integer index.
+
+    Golden-angle hues; used for open-ended categorical scales (e.g.
+    chapter coloring) where the fixed palette would run out.
+    """
+    return _degraded_color(index)
+
+
+def _degraded_color(index: int) -> str:
+    """Deterministic fallback colors past the palette (golden-angle hues)."""
+    hue = (index * 137.508) % 360.0
+    # Compact HSL->RGB for s=0.55, l=0.55.
+    s, lightness = 0.55, 0.55
+    c = (1 - abs(2 * lightness - 1)) * s
+    x = c * (1 - abs((hue / 60.0) % 2 - 1))
+    m = lightness - c / 2
+    sector = int(hue // 60) % 6
+    rgb = [
+        (c, x, 0.0), (x, c, 0.0), (0.0, c, x),
+        (0.0, x, c), (x, 0.0, c), (c, 0.0, x),
+    ][sector]
+    return "#{:02x}{:02x}{:02x}".format(
+        *(round((v + m) * 255) for v in rgb)
+    )
+
+
+def assign_colors(keys: list[str]) -> ColorAssignment:
+    """Assign stable colors to class keys (order-sensitive, deterministic).
+
+    The first :data:`MAX_PREATTENTIVE_HUES` keys get palette hues; any
+    excess gets golden-angle fallback colors and sets ``saturated``.
+    """
+    colors: dict[str, str] = {}
+    for i, key in enumerate(keys):
+        if key in colors:
+            continue
+        if len(colors) < len(QUALITATIVE_PALETTE):
+            colors[key] = QUALITATIVE_PALETTE[len(colors)]
+        else:
+            colors[key] = _degraded_color(len(colors))
+    return ColorAssignment(
+        colors=colors, saturated=len(colors) > MAX_PREATTENTIVE_HUES
+    )
+
+
+__all__ += ["HISTORY_BAR", "HISTORY_BAR_ALT", "AXIS_COLOR", "GRID_COLOR",
+            "STAY_BAND", "MUNICIPAL_BAND", "distinct_color"]

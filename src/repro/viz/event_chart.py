@@ -1,0 +1,102 @@
+"""Event chart of temporal-pattern hits (Fails et al., Section II-D2).
+
+"The visualisation used by Fails et al. can remind of an event chart
+showing multiple lines per history, one for each hit of a temporal
+query.  However, the visualisation shows only the time spanned by the
+search hits" — this view renders exactly that: one row per
+:class:`~repro.query.temporal_patterns.PatternMatch`, spanning only the
+match, with a dot per step, aligned on the first step (so recurring
+patterns in one patient produce several rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RenderError
+from repro.query.temporal_patterns import PatternMatch, TemporalPattern
+from repro.viz.colors import QUALITATIVE_PALETTE
+from repro.viz.svg import SvgDocument
+
+__all__ = ["EventChartScene", "render_event_chart"]
+
+_ROW_H = 14.0
+_MARGIN_LEFT = 90.0
+_MARGIN_TOP = 34.0
+
+
+@dataclass
+class EventChartScene:
+    """The rendered chart plus its row bookkeeping."""
+
+    svg_text: str
+    n_rows: int
+    max_span_days: int
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.svg_text)
+
+
+def render_event_chart(
+    matches: list[PatternMatch],
+    pattern: TemporalPattern,
+    width: float = 900.0,
+    max_rows: int = 60,
+) -> EventChartScene:
+    """Render pattern hits, one row per match, aligned on step 1.
+
+    Rows are sorted by span (shortest first) so the distribution of
+    step-to-step delays reads as a shape; beyond ``max_rows`` the rows
+    are evenly sampled.
+    """
+    if not matches:
+        raise RenderError("no matches to chart")
+    ordered = sorted(matches, key=lambda m: (m.span_days, m.patient_id))
+    sampled = ordered
+    if len(ordered) > max_rows:
+        step = len(ordered) / max_rows
+        sampled = [ordered[int(i * step)] for i in range(max_rows)]
+
+    max_span = max(m.span_days for m in sampled) or 1
+    plot_w = width - _MARGIN_LEFT - 20.0
+    px_per_day = plot_w / max_span
+    height = _MARGIN_TOP + len(sampled) * _ROW_H + 30.0
+
+    svg = SvgDocument(width, height)
+    svg.text(_MARGIN_LEFT, 16,
+             " -> ".join(s.label or f"step {i+1}"
+                         for i, s in enumerate(pattern.steps)),
+             size=12, fill="#333333")
+
+    for row, match in enumerate(sampled):
+        y = _MARGIN_TOP + row * _ROW_H + _ROW_H / 2
+        x_start = _MARGIN_LEFT
+        x_end = _MARGIN_LEFT + match.span_days * px_per_day
+        svg.text(_MARGIN_LEFT - 6, y + 3, str(match.patient_id), size=8,
+                 fill="#888888", anchor="end")
+        svg.line(x_start, y, max(x_end, x_start + 1), y,
+                 stroke="#bbbbbb", stroke_width=2.0)
+        for i, day in enumerate(match.days):
+            x = _MARGIN_LEFT + (day - match.first_day) * px_per_day
+            color = QUALITATIVE_PALETTE[i % len(QUALITATIVE_PALETTE)]
+            svg.circle(x, y, 3.2, fill=color,
+                       title=f"patient {match.patient_id}, step {i + 1}, "
+                             f"day +{day - match.first_day}")
+
+    # axis: days since the first step
+    axis_y = _MARGIN_TOP + len(sampled) * _ROW_H + 8
+    svg.line(_MARGIN_LEFT, axis_y, _MARGIN_LEFT + plot_w, axis_y,
+             stroke="#555555")
+    ticks = 6
+    for t in range(ticks + 1):
+        day = max_span * t / ticks
+        x = _MARGIN_LEFT + day * px_per_day
+        svg.line(x, axis_y, x, axis_y + 4, stroke="#555555")
+        svg.text(x + 2, axis_y + 14, f"+{day:.0f}d", size=8, fill="#555555")
+
+    return EventChartScene(
+        svg_text=svg.to_string(),
+        n_rows=len(sampled),
+        max_span_days=max_span,
+    )

@@ -1,0 +1,66 @@
+"""SVG rendering of NSEPter graphs (paper Figure 2).
+
+Edge stroke width scales with the number of histories exhibiting the
+transition — "the thicker lines indicate that several patients follow
+the same path" (Section II-A1).  Merged nodes (the T90 node in Figure
+2a) render larger, labeled with their merged code set.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.nsepter.graph import HistoryGraph
+from repro.nsepter.layout import GraphLayout
+from repro.viz.svg import SvgDocument
+
+__all__ = ["render_graph"]
+
+_NODE_COLOR = "#4477AA"
+_MERGED_COLOR = "#D55E00"
+_EDGE_COLOR = "#667788"
+
+
+def render_graph(
+    graph: HistoryGraph,
+    layout: GraphLayout,
+    max_canvas: float = 4000.0,
+    label_nodes: bool = True,
+) -> SvgDocument:
+    """Render a laid-out graph; canvases beyond ``max_canvas`` px scale
+    down uniformly (this is exactly how Figure 2b becomes unreadable)."""
+    scale = min(1.0, max_canvas / max(layout.width, layout.height, 1.0))
+    svg = SvgDocument(
+        max(120.0, layout.width * scale), max(80.0, layout.height * scale)
+    )
+
+    max_weight = max(layout.edges.values(), default=1)
+    for (u, v), weight in layout.edges.items():
+        x1, y1 = layout.positions[u]
+        x2, y2 = layout.positions[v]
+        width = 0.8 + 4.0 * math.sqrt(weight / max_weight)
+        if u == v:
+            # Self-loop (repeated code collapsed into one node).
+            r = 9.0 * scale
+            svg.path(
+                f"M {x1 * scale} {y1 * scale - r} "
+                f"a {r} {r} 0 1 1 0.1 0",
+                stroke=_EDGE_COLOR, stroke_width=width * scale, opacity=0.7,
+            )
+            continue
+        svg.line(x1 * scale, y1 * scale, x2 * scale, y2 * scale,
+                 stroke=_EDGE_COLOR, stroke_width=width * scale, opacity=0.65)
+
+    for node, (x, y) in layout.positions.items():
+        members = graph.members(node)
+        merged = len(members) > 1
+        radius = (4.0 + 2.5 * math.log1p(len(members))) * scale
+        svg.circle(x * scale, y * scale, radius,
+                   fill=_MERGED_COLOR if merged else _NODE_COLOR,
+                   title=f"{graph.node_label(node)} ({len(members)})")
+        if label_nodes and radius >= 3.0:
+            svg.text(x * scale, y * scale - radius - 2,
+                     graph.node_label(node),
+                     size=max(6.0, min(10.0, radius * 1.6)),
+                     anchor="middle")
+    return svg

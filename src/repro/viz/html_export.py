@@ -1,0 +1,251 @@
+"""Interactive personal health timelines as self-contained HTML.
+
+The abstract: "We have also used the tool to produce interactive
+personal health time-lines (for more than 10,000 individuals) on the
+web" — the pastas.no deployment; and Section IV: trajectories were
+"presented to the patients in a simplified form" for the recognition
+study (experiment E6).
+
+Each export is one dependency-free HTML file: a LifeLines-style faceted
+SVG (facets from the presentation ontology) plus ~30 lines of vanilla
+JavaScript for wheel-zoom/drag-pan on the SVG viewBox.  The *simplified*
+form keeps only contacts and stays with plain-language labels — what a
+patient can be asked to recognize.
+"""
+
+from __future__ import annotations
+
+import os
+from xml.sax.saxutils import escape
+
+from repro.errors import RenderError
+from repro.events.model import History
+from repro.events.store import EventStore
+from repro.ontology.presentation_ontology import FACETS, visual_spec_for
+from repro.temporal.timeline import from_day_number
+from repro.terminology import ancestor_at_level, atc
+from repro.viz.axes import TimeScale, render_calendar_axis
+from repro.viz.colors import assign_colors
+from repro.viz.shapes import draw_band, draw_point_mark
+from repro.viz.svg import SvgDocument
+from repro.viz.timeline_view import _CATEGORY_COLORS
+
+__all__ = ["personal_timeline_svg", "export_personal_timeline",
+           "export_batch", "export_cohort_page"]
+
+_FACET_HEIGHT = 54.0
+_MARGIN_LEFT = 110.0
+_WIDTH = 1100.0
+
+#: Plain-language facet titles for the simplified (patient-facing) form.
+_SIMPLIFIED_FACETS = {"Contacts": "Your health service visits",
+                      "Stays": "Hospital and care stays"}
+
+
+def personal_timeline_svg(history: History, simplified: bool = False) -> str:
+    """Render one patient's LifeLines-style faceted timeline to SVG text."""
+    span = history.span()
+    if span is None:
+        raise RenderError(f"patient {history.patient_id} has no events")
+
+    facets = list(_SIMPLIFIED_FACETS) if simplified else list(FACETS)
+    height = 70.0 + _FACET_HEIGHT * len(facets)
+    svg = SvgDocument(_WIDTH, height)
+    plot_left, plot_right = _MARGIN_LEFT, _WIDTH - 24.0
+    px_per_day = (plot_right - plot_left) / max(1, span.duration)
+    scale = TimeScale(span.start, px_per_day, plot_left)
+
+    svg.text(plot_left, 18, f"Patient {history.patient_id} — personal "
+             f"health timeline", size=14, fill="#222222")
+
+    atc_system = atc()
+    med_groups: list[str] = []
+    for iv in history.intervals:
+        if iv.category == "prescription" and iv.code is not None:
+            med_groups.append(ancestor_at_level(iv.code, 2))
+    med_colors = assign_colors(sorted(set(med_groups))).colors
+
+    facet_top: dict[str, float] = {}
+    for i, facet in enumerate(facets):
+        top = 34.0 + i * _FACET_HEIGHT
+        facet_top[facet] = top
+        label = _SIMPLIFIED_FACETS.get(facet, facet) if simplified else facet
+        svg.rect(plot_left, top, plot_right - plot_left, _FACET_HEIGHT - 8,
+                 fill="#f4f4f4" if i % 2 == 0 else "#ececec")
+        svg.text(plot_left - 8, top + _FACET_HEIGHT / 2, label, size=10,
+                 fill="#444444", anchor="end")
+
+    def place(category: str) -> tuple[str, float] | None:
+        try:
+            spec = visual_spec_for(category)
+        except Exception:
+            return None
+        if spec.facet not in facet_top:
+            return None
+        return spec.mark, facet_top[spec.facet]
+
+    for iv in history.intervals:
+        placed = place(iv.category)
+        if placed is None:
+            continue
+        __, top = placed
+        if iv.category == "prescription" and iv.code is not None:
+            group = ancestor_at_level(iv.code, 2)
+            color = med_colors.get(group, "#888888")
+            name = (atc_system.get(iv.code).display
+                    if iv.code in atc_system else iv.code)
+            title = f"{from_day_number(iv.start)} → " \
+                    f"{from_day_number(iv.end)}: {name}"
+        else:
+            color = _CATEGORY_COLORS.get(iv.category, "#9E9E9E")
+            title = (f"{from_day_number(iv.start)} → "
+                     f"{from_day_number(iv.end)}: "
+                     f"{iv.detail or iv.category}")
+        draw_band(svg, scale.x(iv.start), scale.x(iv.end), top + 6,
+                  _FACET_HEIGHT - 20, color, title=title)
+
+    for event in history.points:
+        placed = place(event.category)
+        if placed is None:
+            continue
+        mark_class, top = placed
+        color = _CATEGORY_COLORS.get(event.category, "#555555")
+        detail = event.detail or event.category
+        if event.code:
+            detail = f"{event.code}: {detail}"
+        size = 16.0 if simplified else 12.0
+        draw_point_mark(svg, mark_class, scale.x(event.day),
+                        top + (_FACET_HEIGHT - 8) / 2, size, color,
+                        title=f"{from_day_number(event.day)}: {detail}")
+
+    axis_y = 34.0 + len(facets) * _FACET_HEIGHT
+    render_calendar_axis(svg, scale, span.start, span.end, axis_y, 34.0,
+                         grid=not simplified)
+    return svg.to_string()
+
+
+_HTML_TEMPLATE = """<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>{title}</title>
+<style>
+ body {{ font-family: sans-serif; margin: 1em; background: #fafafa; }}
+ #frame {{ border: 1px solid #ccc; background: #fff; overflow: hidden; }}
+ #hint {{ color: #777; font-size: 12px; }}
+</style></head><body>
+<h2>{title}</h2>
+<p id="hint">Scroll to zoom the time axis, drag to pan. Hover marks for
+details.</p>
+<div id="frame">{svg}</div>
+<script>
+(function () {{
+  var svg = document.querySelector('#frame svg');
+  var vb = svg.getAttribute('viewBox').split(' ').map(Number);
+  function apply() {{ svg.setAttribute('viewBox', vb.join(' ')); }}
+  svg.addEventListener('wheel', function (e) {{
+    e.preventDefault();
+    var factor = e.deltaY > 0 ? 1.15 : 0.87;
+    var rect = svg.getBoundingClientRect();
+    var fx = (e.clientX - rect.left) / rect.width;
+    var cx = vb[0] + vb[2] * fx;
+    vb[2] = Math.min(vb[2] * factor, {width});
+    vb[0] = Math.max(0, cx - vb[2] * fx);
+    apply();
+  }}, {{ passive: false }});
+  var dragging = null;
+  svg.addEventListener('mousedown', function (e) {{ dragging = e.clientX; }});
+  window.addEventListener('mouseup', function () {{ dragging = null; }});
+  window.addEventListener('mousemove', function (e) {{
+    if (dragging === null) return;
+    var rect = svg.getBoundingClientRect();
+    vb[0] = Math.max(0, vb[0] - (e.clientX - dragging) * vb[2] / rect.width);
+    dragging = e.clientX;
+    apply();
+  }});
+}})();
+</script></body></html>
+"""
+
+
+def export_personal_timeline(
+    store: EventStore,
+    patient_id: int,
+    path: str | None = None,
+    simplified: bool = False,
+) -> str:
+    """Build (and optionally write) one patient's interactive HTML page."""
+    history = store.materialize(patient_id)
+    svg_text = personal_timeline_svg(history, simplified=simplified)
+    title = f"Personal health timeline — patient {patient_id}"
+    html = _HTML_TEMPLATE.format(
+        title=escape(title), svg=svg_text, width=_WIDTH
+    )
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(html)
+    return html
+
+
+def export_batch(
+    store: EventStore,
+    patient_ids: list[int],
+    directory: str,
+    simplified: bool = False,
+    write_index: bool = True,
+) -> int:
+    """Export one HTML file per patient (the >10,000-timelines web path).
+
+    Returns the number of pages written; patients with empty histories
+    are skipped.  An ``index.html`` linking every page is written unless
+    disabled.
+    """
+    os.makedirs(directory, exist_ok=True)
+    written: list[int] = []
+    for patient_id in patient_ids:
+        try:
+            export_personal_timeline(
+                store, int(patient_id),
+                path=os.path.join(directory, f"patient_{patient_id}.html"),
+                simplified=simplified,
+            )
+        except RenderError:
+            continue
+        written.append(int(patient_id))
+    if write_index:
+        links = "\n".join(
+            f'<li><a href="patient_{p}.html">patient {p}</a></li>'
+            for p in written
+        )
+        with open(os.path.join(directory, "index.html"), "w",
+                  encoding="utf-8") as f:
+            f.write(
+                "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+                f"<title>Timelines</title></head><body>"
+                f"<h1>{len(written)} personal timelines</h1>"
+                f"<ul>{links}</ul></body></html>"
+            )
+    return len(written)
+
+
+def export_cohort_page(
+    store: EventStore,
+    patient_ids: list[int],
+    path: str | None = None,
+    title: str = "Cohort timeline",
+    config=None,
+) -> str:
+    """Build one interactive HTML page around the cohort timeline view.
+
+    The Figure 1 rendering with the same wheel-zoom/drag-pan shell the
+    personal pages use — the shareable artifact for a whole selection.
+    """
+    from repro.viz.timeline_view import TimelineConfig, TimelineView
+
+    view = TimelineView(store, config or TimelineConfig())
+    scene = view.render(list(patient_ids))
+    html = _HTML_TEMPLATE.format(
+        title=escape(title), svg=scene.svg_text, width=scene.width
+    )
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(html)
+    return html

@@ -1,0 +1,194 @@
+"""The interaction model: viewport, hit-testing, details-on-demand.
+
+The paper's interaction requirements (Section II-C): response under
+Shneiderman's 0.1 s bound for mouse actions, support for the
+explore/navigate and data-manipulation loops, and visible change
+highlighting because humans are change-blind between abruptly differing
+views.  A GUI toolkit is not required to *model* any of that:
+
+* :class:`Viewport` — the pan/zoom state machine over (days x rows);
+* :class:`HitIndex` — a uniform spatial hash over the scene's marks, so
+  a mouse position resolves to the topmost mark in O(bucket);
+* :class:`InteractionSession` — details-on-demand lookups (memoized)
+  against a rendered scene, the thing experiment E8 times;
+* :func:`diff_scenes` — the added/removed mark sets between two views,
+  feeding change highlighting instead of relying on the user spotting
+  differences (Section II-C2).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import RenderError
+from repro.temporal.timeline import from_day_number
+from repro.viz.timeline_view import Mark, TimelineScene
+
+__all__ = ["Viewport", "HitIndex", "InteractionSession", "diff_scenes"]
+
+
+@dataclass(frozen=True)
+class Viewport:
+    """Visible window over the cohort: a day range and a row range."""
+
+    first_day: float
+    last_day: float
+    top_row: int
+    n_rows: int
+
+    def __post_init__(self) -> None:
+        if self.first_day >= self.last_day:
+            raise RenderError("viewport day range is empty")
+        if self.n_rows < 1:
+            raise RenderError("viewport must show at least one row")
+
+    @property
+    def span_days(self) -> float:
+        return self.last_day - self.first_day
+
+    def pan_days(self, delta: float) -> "Viewport":
+        """Horizontal pan by ``delta`` days."""
+        return Viewport(self.first_day + delta, self.last_day + delta,
+                        self.top_row, self.n_rows)
+
+    def pan_rows(self, delta: int) -> "Viewport":
+        """Vertical pan by ``delta`` rows (clamped at the top)."""
+        return Viewport(self.first_day, self.last_day,
+                        max(0, self.top_row + delta), self.n_rows)
+
+    def zoom_time(self, factor: float, around_day: float | None = None) -> "Viewport":
+        """Zoom the day range by ``factor`` (<1 zooms in) around a pivot."""
+        if factor <= 0:
+            raise RenderError("zoom factor must be positive")
+        pivot = (
+            (self.first_day + self.last_day) / 2.0
+            if around_day is None
+            else around_day
+        )
+        new_span = max(1.0, self.span_days * factor)
+        left_share = (pivot - self.first_day) / self.span_days
+        first = pivot - new_span * left_share
+        return Viewport(first, first + new_span, self.top_row, self.n_rows)
+
+    def zoom_rows(self, factor: float) -> "Viewport":
+        """Zoom the row range by ``factor`` (<1 shows fewer rows)."""
+        if factor <= 0:
+            raise RenderError("zoom factor must be positive")
+        return Viewport(self.first_day, self.last_day, self.top_row,
+                        max(1, int(round(self.n_rows * factor))))
+
+
+class HitIndex:
+    """Uniform spatial hash over marks; lookup returns the topmost hit."""
+
+    def __init__(self, marks: list[Mark], cell_size: float = 24.0) -> None:
+        if cell_size <= 0:
+            raise RenderError("cell size must be positive")
+        self.cell_size = cell_size
+        self._cells: dict[tuple[int, int], list[int]] = {}
+        self._marks = marks
+        for idx, mark in enumerate(marks):
+            for key in self._keys_for(mark.x, mark.y, mark.width, mark.height):
+                self._cells.setdefault(key, []).append(idx)
+
+    def _keys_for(self, x: float, y: float, w: float, h: float):
+        c = self.cell_size
+        x0, x1 = int(x // c), int((x + max(w, 0.1)) // c)
+        y0, y1 = int(y // c), int((y + max(h, 0.1)) // c)
+        for cx in range(x0, x1 + 1):
+            for cy in range(y0, y1 + 1):
+                yield (cx, cy)
+
+    def hits(self, x: float, y: float, slop: float = 1.5) -> list[Mark]:
+        """All marks under (x, y), draw order; ``slop`` pads tiny glyphs."""
+        key = (int(x // self.cell_size), int(y // self.cell_size))
+        found: list[Mark] = []
+        for idx in self._cells.get(key, ()):
+            mark = self._marks[idx]
+            if (mark.x - slop <= x <= mark.x + mark.width + slop
+                    and mark.y - slop <= y <= mark.y + mark.height + slop):
+                found.append(mark)
+        return found
+
+    def hit(self, x: float, y: float) -> Mark | None:
+        """The topmost (= last drawn) mark under the cursor, if any.
+
+        History bars are background: they only win when nothing else is
+        under the cursor.
+        """
+        found = self.hits(x, y)
+        if not found:
+            return None
+        for mark in reversed(found):
+            if mark.kind != "bar":
+                return mark
+        return found[-1]
+
+
+class InteractionSession:
+    """Details-on-demand over one rendered scene (paper Figure 1's
+    "dynamic displays showing detailed information about the history
+    content under the mouse cursor")."""
+
+    def __init__(self, scene: TimelineScene, cache_size: int = 4096) -> None:
+        self.scene = scene
+        self.index = HitIndex(scene.marks)
+        self._cache: OrderedDict[tuple[int, int], str | None] = OrderedDict()
+        self._cache_size = cache_size
+
+    def details_at(self, x: float, y: float) -> str | None:
+        """The detail-pane text for a cursor position (memoized per px)."""
+        key = (int(x), int(y))
+        if key in self._cache:
+            self._cache.move_to_end(key)
+            return self._cache[key]
+        mark = self.index.hit(x, y)
+        if mark is None:
+            text: str | None = None
+        else:
+            when = from_day_number(mark.day).isoformat()
+            if mark.end_day is not None and mark.kind == "band":
+                until = from_day_number(mark.end_day).isoformat()
+                when = f"{when} → {until}"
+            text = f"patient {mark.patient_id} | {when} | {mark.detail}"
+        self._cache[key] = text
+        if len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+        return text
+
+    def patient_at(self, y: float) -> int | None:
+        """The patient whose row is under a y position, if any."""
+        scene = self.scene
+        if not (scene.plot_top <= y <= scene.plot_bottom):
+            return None
+        row = int((y - scene.plot_top) / scene.row_height)
+        if 0 <= row < len(scene.rows):
+            return scene.rows[row]
+        return None
+
+    def day_at(self, x: float) -> float:
+        """The (fractional) day under an x position."""
+        return self.scene.scale.day_at(x)
+
+
+def diff_scenes(
+    old: TimelineScene, new: TimelineScene
+) -> tuple[list[Mark], list[Mark]]:
+    """(appeared, disappeared) marks between two renderings.
+
+    Keyed by event identity (patient, day, category, code, kind) rather
+    than geometry, so a pure pan/zoom — same data, new coordinates —
+    reports no changes, while a filter change reports exactly what to
+    highlight (the change-blindness countermeasure of Section II-C2).
+    """
+
+    def key(mark: Mark) -> tuple:
+        return (mark.patient_id, mark.day, mark.end_day, mark.category,
+                mark.code, mark.kind)
+
+    old_keys = {key(m): m for m in old.marks}
+    new_keys = {key(m): m for m in new.marks}
+    appeared = [m for k, m in new_keys.items() if k not in old_keys]
+    disappeared = [m for k, m in old_keys.items() if k not in new_keys]
+    return appeared, disappeared

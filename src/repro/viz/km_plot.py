@@ -1,0 +1,83 @@
+"""Kaplan-Meier curve rendering.
+
+Plots one or more survival curves (step functions) from
+:mod:`repro.cohort.survival` with the library's qualitative palette —
+the statistical companion plot to the aligned timeline view.
+"""
+
+from __future__ import annotations
+
+from repro.cohort.survival import KaplanMeier
+from repro.errors import RenderError
+from repro.viz.colors import AXIS_COLOR, GRID_COLOR, QUALITATIVE_PALETTE
+from repro.viz.svg import SvgDocument
+
+__all__ = ["render_km_plot"]
+
+_MARGIN_LEFT = 60.0
+_MARGIN_BOTTOM = 40.0
+_MARGIN_TOP = 24.0
+
+
+def render_km_plot(
+    curves: dict[str, KaplanMeier],
+    width: float = 720.0,
+    height: float = 440.0,
+    title: str = "Time to event",
+    time_label: str = "days since index event",
+) -> SvgDocument:
+    """Render labelled KM curves; returns the SVG document."""
+    if not curves:
+        raise RenderError("no curves to plot")
+    max_time = max(
+        (float(km.times[-1]) for km in curves.values() if len(km.times)),
+        default=1.0,
+    )
+    if max_time <= 0:
+        max_time = 1.0
+    plot_w = width - _MARGIN_LEFT - 20.0
+    plot_h = height - _MARGIN_TOP - _MARGIN_BOTTOM
+
+    def x_of(t: float) -> float:
+        return _MARGIN_LEFT + t / max_time * plot_w
+
+    def y_of(s: float) -> float:
+        return _MARGIN_TOP + (1.0 - s) * plot_h
+
+    svg = SvgDocument(width, height)
+    svg.text(_MARGIN_LEFT, 14, title, size=13, fill="#222222")
+
+    # axes and grid
+    svg.line(_MARGIN_LEFT, y_of(0), x_of(max_time), y_of(0),
+             stroke=AXIS_COLOR)
+    svg.line(_MARGIN_LEFT, y_of(0), _MARGIN_LEFT, y_of(1), stroke=AXIS_COLOR)
+    for frac in (0.25, 0.5, 0.75, 1.0):
+        y = y_of(frac)
+        svg.line(_MARGIN_LEFT, y, x_of(max_time), y, stroke=GRID_COLOR,
+                 stroke_width=0.5, opacity=0.7)
+        svg.text(_MARGIN_LEFT - 6, y + 3, f"{frac:.2f}", size=9,
+                 fill=AXIS_COLOR, anchor="end")
+    for i in range(5):
+        t = max_time * i / 4
+        svg.line(x_of(t), y_of(0), x_of(t), y_of(0) + 4, stroke=AXIS_COLOR)
+        svg.text(x_of(t), y_of(0) + 16, f"{t:.0f}", size=9, fill=AXIS_COLOR,
+                 anchor="middle")
+    svg.text(x_of(max_time / 2), height - 6, time_label, size=10,
+             fill=AXIS_COLOR, anchor="middle")
+
+    # curves (step functions)
+    for i, (label, km) in enumerate(curves.items()):
+        color = QUALITATIVE_PALETTE[i % len(QUALITATIVE_PALETTE)]
+        parts = [f"M {x_of(0):.2f} {y_of(1.0):.2f}"]
+        prev_s = 1.0
+        for t, s in zip(km.times.tolist(), km.survival.tolist()):
+            parts.append(f"L {x_of(t):.2f} {y_of(prev_s):.2f}")
+            parts.append(f"L {x_of(t):.2f} {y_of(s):.2f}")
+            prev_s = s
+        parts.append(f"L {x_of(max_time):.2f} {y_of(prev_s):.2f}")
+        svg.path(" ".join(parts), stroke=color, stroke_width=2.0)
+        svg.rect(x_of(max_time) - 150, _MARGIN_TOP + 4 + i * 16, 12, 8,
+                 fill=color)
+        svg.text(x_of(max_time) - 133, _MARGIN_TOP + 11 + i * 16,
+                 label, size=10, fill="#333333")
+    return svg

@@ -1,0 +1,75 @@
+"""Legend rendering for the timeline view.
+
+Keeps the mapping visible: medication-class colors (the Figure 1
+encoding) plus the structural glyphs and bands.  The legend is data ink
+about the encoding itself, so it renders from the same assignments the
+view used — never from a parallel table that could drift.
+"""
+
+from __future__ import annotations
+
+from repro.terminology import atc
+from repro.viz.shapes import draw_point_mark
+from repro.viz.svg import SvgDocument
+
+__all__ = ["render_legend"]
+
+_GLYPH_ROWS = (
+    ("RectangleGlyph", "diagnosis", "Diagnosis"),
+    ("TriangleGlyph", "symptom", "Symptom"),
+    ("ArrowGlyph", "blood_pressure", "Blood pressure"),
+    ("TickGlyph", "gp_contact", "Contact"),
+)
+
+_BAND_ROWS = (
+    ("hospital_stay", "Hospital stay"),
+    ("home_care", "Home care"),
+    ("nursing_home", "Nursing home"),
+)
+
+
+def render_legend(
+    svg: SvgDocument,
+    x: float,
+    y: float,
+    medication_colors: dict[str, str],
+    category_colors: dict[str, str],
+    max_medication_rows: int = 10,
+) -> None:
+    """Draw the legend column at ``(x, y)``."""
+    atc_system = atc()
+    cursor = y + 10
+    svg.text(x, cursor, "Marks", size=11, fill="#333333")
+    cursor += 14
+    for mark_class, category, label in _GLYPH_ROWS:
+        color = category_colors.get(category, "#555555")
+        draw_point_mark(svg, mark_class, x + 6, cursor - 3, 9, color)
+        svg.text(x + 18, cursor, label, size=10, fill="#444444")
+        cursor += 14
+
+    cursor += 6
+    svg.text(x, cursor, "Stays", size=11, fill="#333333")
+    cursor += 14
+    for category, label in _BAND_ROWS:
+        color = category_colors.get(category, "#9E9E9E")
+        svg.rect(x, cursor - 8, 14, 9, fill=color, opacity=0.8)
+        svg.text(x + 18, cursor, label, size=10, fill="#444444")
+        cursor += 14
+
+    if medication_colors:
+        cursor += 6
+        svg.text(x, cursor, "Medication classes", size=11, fill="#333333")
+        cursor += 14
+        for group, color in list(medication_colors.items())[:max_medication_rows]:
+            svg.rect(x, cursor - 8, 14, 9, fill=color, opacity=0.8)
+            name = (
+                atc_system.get(group).display if group in atc_system else group
+            )
+            if len(name) > 24:
+                name = name[:23] + "…"
+            svg.text(x + 18, cursor, f"{group} {name}", size=9, fill="#444444")
+            cursor += 13
+        overflow = len(medication_colors) - max_medication_rows
+        if overflow > 0:
+            svg.text(x + 18, cursor, f"(+{overflow} more)", size=9,
+                     fill="#888888")

@@ -1,0 +1,82 @@
+"""The glyph catalog: how each presentation-ontology mark class draws.
+
+Section II-B2 (choice of shapes): preattentively processed shapes are
+simple and mutually distinct.  The catalog keeps four point-mark
+families — rectangle (diagnoses), triangle (symptoms), arrow
+(observations; Figure 1 uses arrows for blood pressures), tick
+(contacts) — plus the interval band.  Dispatch is by the mark-class
+names defined in :mod:`repro.ontology.presentation_ontology`, so the
+ontology stays the single source of truth for which event draws how.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RenderError
+from repro.viz.svg import SvgDocument
+
+__all__ = ["draw_point_mark", "draw_band"]
+
+
+def draw_point_mark(
+    svg: SvgDocument,
+    mark_class: str,
+    x: float,
+    y_center: float,
+    size: float,
+    color: str,
+    title: str | None = None,
+) -> None:
+    """Draw one point glyph centered at ``(x, y_center)``.
+
+    ``size`` is the glyph's nominal height in px (derived from the row
+    pitch); at sub-pixel sizes everything degrades to a 1px-wide tick so
+    the zoomed-out view stays ink-proportional.
+    """
+    if size <= 1.2:
+        svg.rect(x - 0.5, y_center - max(size, 0.4) / 2, 1.0,
+                 max(size, 0.4), fill=color, title=title)
+        return
+    half = size / 2.0
+    if mark_class == "RectangleGlyph":
+        svg.rect(x - half * 0.6, y_center - half, size * 0.6, size,
+                 fill=color, title=title)
+    elif mark_class == "TriangleGlyph":
+        svg.polygon(
+            [(x, y_center - half), (x - half * 0.8, y_center + half),
+             (x + half * 0.8, y_center + half)],
+            fill=color, title=title,
+        )
+    elif mark_class == "ArrowGlyph":
+        # Vertical arrow, as the blood-pressure marks in Figure 1.
+        svg.line(x, y_center + half, x, y_center - half * 0.4,
+                 stroke=color, stroke_width=max(1.0, size / 8))
+        svg.polygon(
+            [(x, y_center - half), (x - half * 0.45, y_center - half * 0.2),
+             (x + half * 0.45, y_center - half * 0.2)],
+            fill=color, title=title,
+        )
+    elif mark_class == "TickGlyph":
+        svg.line(x, y_center - half, x, y_center + half,
+                 stroke=color, stroke_width=max(1.0, size / 10))
+    else:
+        raise RenderError(f"unknown point mark class {mark_class!r}")
+
+
+def draw_band(
+    svg: SvgDocument,
+    x1: float,
+    x2: float,
+    y_top: float,
+    height: float,
+    color: str,
+    opacity: float = 0.75,
+    title: str | None = None,
+) -> None:
+    """Draw one interval band (background coloring, Section IV).
+
+    Bands always paint at least one pixel of width so short stays remain
+    visible when zoomed far out.
+    """
+    width = max(1.0, x2 - x1)
+    svg.rect(x1, y_top, width, max(height, 0.4), fill=color,
+             opacity=opacity, title=title)

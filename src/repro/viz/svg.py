@@ -1,0 +1,222 @@
+"""A minimal, dependency-free SVG document builder.
+
+The prototype was a Java Swing application; the reproduction renders to
+SVG (and self-contained HTML) so every figure is a verifiable artifact.
+Only the primitives the views need are implemented — this is a drawing
+surface, not a vector-graphics library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from xml.sax.saxutils import escape, quoteattr
+
+from repro.errors import RenderError
+
+__all__ = ["SvgDocument"]
+
+
+def _fmt(value: float) -> str:
+    """Compact numeric formatting (SVG files get large fast)."""
+    if isinstance(value, float):
+        text = f"{value:.2f}".rstrip("0").rstrip(".")
+        return text if text else "0"
+    return str(value)
+
+
+@dataclass
+class SvgDocument:
+    """An append-only SVG document with optional grouping.
+
+    Attributes:
+        width, height: canvas size in px.
+        background: CSS color painted behind everything, or None.
+    """
+
+    width: float
+    height: float
+    background: str | None = "#ffffff"
+    _parts: list[str] = field(default_factory=list)
+    _open_groups: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise RenderError("canvas must have positive size")
+        if self.background is not None:
+            self.rect(0, 0, self.width, self.height, fill=self.background)
+
+    # -- structural -------------------------------------------------------
+
+    def open_group(self, **attrs: str) -> None:
+        """Open a ``<g>`` element (e.g. ``transform=...`` or ``id=...``)."""
+        self._parts.append(f"<g{self._attrs(attrs)}>")
+        self._open_groups += 1
+
+    def close_group(self) -> None:
+        """Close the innermost open group."""
+        if self._open_groups <= 0:
+            raise RenderError("no group to close")
+        self._parts.append("</g>")
+        self._open_groups -= 1
+
+    # -- primitives --------------------------------------------------------
+
+    def rect(
+        self,
+        x: float,
+        y: float,
+        width: float,
+        height: float,
+        fill: str = "#000000",
+        stroke: str | None = None,
+        stroke_width: float = 1.0,
+        opacity: float | None = None,
+        rx: float | None = None,
+        title: str | None = None,
+    ) -> None:
+        """An axis-aligned rectangle (zero-size rects are skipped)."""
+        if width <= 0 or height <= 0:
+            return
+        attrs = {
+            "x": _fmt(x), "y": _fmt(y),
+            "width": _fmt(width), "height": _fmt(height),
+            "fill": fill,
+        }
+        if stroke is not None:
+            attrs["stroke"] = stroke
+            attrs["stroke-width"] = _fmt(stroke_width)
+        if opacity is not None:
+            attrs["fill-opacity"] = _fmt(opacity)
+        if rx is not None:
+            attrs["rx"] = _fmt(rx)
+        self._element("rect", attrs, title)
+
+    def line(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        stroke: str = "#000000",
+        stroke_width: float = 1.0,
+        opacity: float | None = None,
+        dash: str | None = None,
+    ) -> None:
+        """A straight line segment."""
+        attrs = {
+            "x1": _fmt(x1), "y1": _fmt(y1), "x2": _fmt(x2), "y2": _fmt(y2),
+            "stroke": stroke, "stroke-width": _fmt(stroke_width),
+        }
+        if opacity is not None:
+            attrs["stroke-opacity"] = _fmt(opacity)
+        if dash is not None:
+            attrs["stroke-dasharray"] = dash
+        self._element("line", attrs)
+
+    def circle(
+        self,
+        cx: float,
+        cy: float,
+        r: float,
+        fill: str = "#000000",
+        stroke: str | None = None,
+        title: str | None = None,
+    ) -> None:
+        """A filled circle."""
+        attrs = {"cx": _fmt(cx), "cy": _fmt(cy), "r": _fmt(r), "fill": fill}
+        if stroke is not None:
+            attrs["stroke"] = stroke
+        self._element("circle", attrs, title)
+
+    def polygon(
+        self,
+        points: list[tuple[float, float]],
+        fill: str = "#000000",
+        stroke: str | None = None,
+        title: str | None = None,
+    ) -> None:
+        """A filled polygon from a vertex list."""
+        if len(points) < 3:
+            raise RenderError("a polygon needs at least three points")
+        attrs = {
+            "points": " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points),
+            "fill": fill,
+        }
+        if stroke is not None:
+            attrs["stroke"] = stroke
+        self._element("polygon", attrs, title)
+
+    def path(
+        self,
+        d: str,
+        stroke: str = "#000000",
+        stroke_width: float = 1.0,
+        fill: str = "none",
+        opacity: float | None = None,
+    ) -> None:
+        """A raw path (used for curved graph edges)."""
+        attrs = {
+            "d": d, "stroke": stroke, "stroke-width": _fmt(stroke_width),
+            "fill": fill,
+        }
+        if opacity is not None:
+            attrs["stroke-opacity"] = _fmt(opacity)
+        self._element("path", attrs)
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        size: float = 11.0,
+        fill: str = "#222222",
+        anchor: str = "start",
+        family: str = "sans-serif",
+        rotate: float | None = None,
+    ) -> None:
+        """A text label; ``anchor`` is start/middle/end."""
+        attrs = {
+            "x": _fmt(x), "y": _fmt(y),
+            "font-size": _fmt(size), "fill": fill,
+            "text-anchor": anchor, "font-family": family,
+        }
+        if rotate is not None:
+            attrs["transform"] = f"rotate({_fmt(rotate)} {_fmt(x)} {_fmt(y)})"
+        self._parts.append(
+            f"<text{self._attrs(attrs)}>{escape(content)}</text>"
+        )
+
+    # -- output ------------------------------------------------------------
+
+    def to_string(self) -> str:
+        """Serialize the (balanced) document."""
+        if self._open_groups:
+            raise RenderError(f"{self._open_groups} unclosed group(s)")
+        header = (
+            '<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{_fmt(self.width)}" height="{_fmt(self.height)}" '
+            f'viewBox="0 0 {_fmt(self.width)} {_fmt(self.height)}">'
+        )
+        return header + "".join(self._parts) + "</svg>"
+
+    def save(self, path: str) -> None:
+        """Write the document to a file."""
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.to_string())
+
+    # -- internals ----------------------------------------------------------
+
+    @staticmethod
+    def _attrs(attrs: dict[str, str]) -> str:
+        return "".join(f" {k}={quoteattr(str(v))}" for k, v in attrs.items())
+
+    def _element(
+        self, tag: str, attrs: dict[str, str], title: str | None = None
+    ) -> None:
+        if title:
+            self._parts.append(
+                f"<{tag}{self._attrs(attrs)}>"
+                f"<title>{escape(title)}</title></{tag}>"
+            )
+        else:
+            self._parts.append(f"<{tag}{self._attrs(attrs)}/>")

@@ -1,0 +1,431 @@
+"""The main visualization: cohort timelines (paper Figure 1).
+
+"The visualization shows each patient history as a bar annotated with
+symbols representing the events in the history, and interval concepts
+shown by background colorings" (Section IV).  Concretely:
+
+* each row is one patient history — a gray bar spanning its extent;
+* point events draw as glyphs (small rectangles for diagnoses, arrows
+  for blood pressures, ticks for contacts), per the presentation
+  ontology;
+* interval events draw as background bands — hospital stays and
+  municipal care in fixed structural colors, medication courses colored
+  by medication *class* (ATC group), which is what Figure 1's colors
+  show;
+* the horizontal axis is calendar time, or signed months around the
+  anchor in aligned mode (Section IV-B);
+* the two zoom sliders set px/day and row pitch.
+
+Rendering produces a :class:`TimelineScene`: the SVG text *plus* the
+flat mark list the interaction layer hit-tests against — so
+details-on-demand latency (experiment E8) is measured on the same
+geometry the user sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cohort.alignment import Alignment
+from repro.errors import RenderError
+from repro.events.model import History
+from repro.events.store import EventStore
+from repro.ontology.presentation_ontology import visual_spec_for
+from repro.temporal.timeline import from_day_number
+from repro.terminology import ancestor_at_level, atc
+from repro.viz.axes import (
+    TimeScale,
+    ZoomSliders,
+    render_aligned_axis,
+    render_calendar_axis,
+    render_patient_axis,
+)
+from repro.viz.colors import (
+    HISTORY_BAR,
+    distinct_color,
+    HISTORY_BAR_ALT,
+    MUNICIPAL_BAND,
+    STAY_BAND,
+    assign_colors,
+)
+from repro.viz.legend import render_legend
+from repro.viz.shapes import draw_band, draw_point_mark
+from repro.viz.svg import SvgDocument
+
+__all__ = ["Mark", "TimelineConfig", "TimelineScene", "TimelineView"]
+
+#: Structural (non-medication) colors per category.
+_CATEGORY_COLORS = {
+    "diagnosis": "#37474F",
+    "symptom": "#78909C",
+    "blood_pressure": "#B71C1C",
+    "gp_contact": "#455A64",
+    "emergency_contact": "#D55E00",
+    "physio_contact": "#607D8B",
+    "specialist_contact": "#283593",
+    "outpatient_visit": "#5C6BC0",
+    "day_treatment": "#7986CB",
+    "hospital_stay": STAY_BAND,
+    "home_care": MUNICIPAL_BAND,
+    "nursing_home": "#9CCC9C",
+}
+
+
+def _chapter_color(code: str, system: str | None) -> str:
+    """A stable color per terminology chapter (first code letter)."""
+    letter = code[0].upper()
+    return distinct_color(ord(letter) - ord("A"))
+
+
+@dataclass(frozen=True)
+class Mark:
+    """One drawn mark: geometry plus the event identity behind it."""
+
+    patient_id: int
+    row: int
+    x: float
+    y: float
+    width: float
+    height: float
+    kind: str  # "point" | "band" | "bar"
+    mark_class: str
+    color: str
+    day: int
+    end_day: int | None
+    category: str
+    code: str | None
+    detail: str
+
+
+@dataclass(frozen=True)
+class TimelineConfig:
+    """Rendering configuration for :class:`TimelineView`.
+
+    Attributes:
+        width, height: canvas size in px.
+        mode: ``"calendar"`` or ``"aligned"`` (needs an alignment).
+        sliders: zoom slider state; None fits the cohort to the canvas.
+        medication_level: ATC level medication bands are colored by
+            (2 = therapeutic subgroup, the beta-blocker granularity).
+        max_rows: histories beyond this are evenly sampled (the paper's
+            tool "can be challenging to use for very large data sets").
+        draw_contacts: include contact tick glyphs (dense; off for the
+            simplified patient-facing form).
+        show_legend: reserve a right margin and draw the legend.
+        mark_overrides: per-category mark-class overrides — LifeLines'
+            "attributes can be mapped to different graphical
+            representations by the user" (Section II-D1).  Values must
+            be point-mark classes from the presentation ontology.
+        color_overrides: per-category color overrides (hex strings).
+        diagnosis_color_mode: ``"uniform"`` (Figure 1's dark glyphs) or
+            ``"chapter"`` — color diagnosis glyphs by ICPC-2 chapter /
+            ICD-10 chapter, a user-selectable abstraction level.
+    """
+
+    width: float = 1280.0
+    height: float = 760.0
+    mode: str = "calendar"
+    sliders: ZoomSliders | None = None
+    medication_level: int = 2
+    max_rows: int = 20_000
+    draw_contacts: bool = True
+    show_legend: bool = True
+    margin_left: float = 88.0
+    margin_top: float = 16.0
+    margin_bottom: float = 42.0
+    mark_overrides: dict[str, str] = field(default_factory=dict)
+    color_overrides: dict[str, str] = field(default_factory=dict)
+    diagnosis_color_mode: str = "uniform"
+
+    _POINT_MARKS = ("RectangleGlyph", "TriangleGlyph", "ArrowGlyph",
+                    "TickGlyph")
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("calendar", "aligned"):
+            raise RenderError(f"unknown mode {self.mode!r}")
+        if self.diagnosis_color_mode not in ("uniform", "chapter"):
+            raise RenderError(
+                f"unknown diagnosis color mode {self.diagnosis_color_mode!r}"
+            )
+        for category, mark in self.mark_overrides.items():
+            if mark not in self._POINT_MARKS:
+                raise RenderError(
+                    f"mark override for {category!r} must be one of "
+                    f"{self._POINT_MARKS}, got {mark!r}"
+                )
+
+    @property
+    def margin_right(self) -> float:
+        return 190.0 if self.show_legend else 12.0
+
+
+@dataclass
+class TimelineScene:
+    """The rendered artifact plus everything interaction needs."""
+
+    svg_text: str
+    width: float
+    height: float
+    plot_left: float
+    plot_top: float
+    plot_right: float
+    plot_bottom: float
+    scale: TimeScale
+    row_height: float
+    rows: list[int]  # patient ids, top to bottom
+    marks: list[Mark]
+    sampled: bool
+    medication_colors: dict[str, str] = field(default_factory=dict)
+
+    def save(self, path: str) -> None:
+        """Write the SVG to a file."""
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.svg_text)
+
+    @property
+    def ink_marks(self) -> int:
+        """Number of drawn marks (the E9 cost metric)."""
+        return len(self.marks)
+
+
+class TimelineView:
+    """Renders timeline scenes from an event store."""
+
+    def __init__(self, store: EventStore, config: TimelineConfig | None = None):
+        self.store = store
+        self.config = config or TimelineConfig()
+        self._atc = atc()
+
+    # -- public -------------------------------------------------------------
+
+    def render(
+        self,
+        patient_ids: list[int] | np.ndarray,
+        alignment: Alignment | None = None,
+        highlight: set[str] | frozenset[str] | None = None,
+    ) -> TimelineScene:
+        """Render the given patients (in the given vertical order).
+
+        ``highlight`` is a set of code identifiers; marks carrying one of
+        them get a pop-out halo (the LifeLines related-item search of
+        Section II-D1, and a preattentive single-feature cue per
+        Section II-B1).
+        """
+        config = self.config
+        ids = [int(p) for p in patient_ids]
+        if config.mode == "aligned":
+            if alignment is None:
+                raise RenderError("aligned mode needs an Alignment")
+            ids = [p for p in ids if p in alignment]
+        if not ids:
+            raise RenderError("nothing to draw: no patients selected")
+        sampled = False
+        if len(ids) > config.max_rows:
+            step = len(ids) / config.max_rows
+            ids = [ids[int(i * step)] for i in range(config.max_rows)]
+            sampled = True
+
+        histories = [self.store.materialize(p) for p in ids]
+        shift = {
+            p: (-alignment.anchor_of(p) if alignment is not None
+                and config.mode == "aligned" else 0)
+            for p in ids
+        }
+        first_day, last_day = self._day_range(histories, shift)
+
+        plot_left = config.margin_left
+        plot_top = config.margin_top
+        plot_right = config.width - config.margin_right
+        plot_bottom = config.height - config.margin_bottom
+        plot_w = plot_right - plot_left
+        plot_h = plot_bottom - plot_top
+        if plot_w <= 0 or plot_h <= 0:
+            raise RenderError("margins leave no plot area")
+
+        sliders = config.sliders or ZoomSliders.fit(
+            last_day - first_day, len(ids), plot_w, plot_h
+        )
+        scale = TimeScale(first_day, sliders.px_per_day, plot_left)
+        row_height = sliders.row_height
+
+        med_colors = self._medication_colors(histories)
+        svg = SvgDocument(config.width, config.height)
+        marks: list[Mark] = []
+
+        for row, history in enumerate(histories):
+            y_top = plot_top + row * row_height
+            if y_top > plot_bottom:
+                break
+            self._render_row(
+                svg, marks, history, row, y_top,
+                min(row_height, plot_bottom - y_top),
+                scale, shift[history.patient_id], med_colors,
+                first_day, last_day,
+                frozenset(highlight or ()),
+            )
+
+        # Axes last, above the data ink.
+        if config.mode == "aligned":
+            render_aligned_axis(svg, scale, first_day, last_day,
+                                plot_bottom + 2, plot_top)
+        else:
+            render_calendar_axis(svg, scale, first_day, last_day,
+                                 plot_bottom + 2, plot_top)
+        render_patient_axis(svg, ids, row_height, plot_top, plot_left - 6)
+        if config.show_legend:
+            render_legend(svg, plot_right + 14, plot_top, med_colors,
+                          _CATEGORY_COLORS)
+
+        return TimelineScene(
+            svg_text=svg.to_string(),
+            width=config.width,
+            height=config.height,
+            plot_left=plot_left,
+            plot_top=plot_top,
+            plot_right=plot_right,
+            plot_bottom=plot_bottom,
+            scale=scale,
+            row_height=row_height,
+            rows=ids,
+            marks=marks,
+            sampled=sampled,
+            medication_colors=med_colors,
+        )
+
+    # -- internals ------------------------------------------------------------
+
+    @staticmethod
+    def _day_range(
+        histories: list[History], shift: dict[int, int]
+    ) -> tuple[int, int]:
+        starts: list[int] = []
+        ends: list[int] = []
+        for history in histories:
+            span = history.span()
+            if span is None:
+                continue
+            delta = shift[history.patient_id]
+            starts.append(span.start + delta)
+            ends.append(span.end + delta)
+        if not starts:
+            raise RenderError("all selected histories are empty")
+        return min(starts), max(ends)
+
+    def _medication_colors(self, histories: list[History]) -> dict[str, str]:
+        """Assign class colors to the ATC groups present, by frequency."""
+        level = self.config.medication_level
+        counts: dict[str, int] = {}
+        for history in histories:
+            for iv in history.intervals:
+                if iv.category == "prescription" and iv.code is not None:
+                    group = ancestor_at_level(iv.code, level)
+                    counts[group] = counts.get(group, 0) + 1
+        ordered = sorted(counts, key=lambda g: (-counts[g], g))
+        return assign_colors(ordered).colors
+
+    def _render_row(
+        self,
+        svg: SvgDocument,
+        marks: list[Mark],
+        history: History,
+        row: int,
+        y_top: float,
+        row_height: float,
+        scale: TimeScale,
+        shift: int,
+        med_colors: dict[str, str],
+        first_day: int,
+        last_day: int,
+        highlight: frozenset[str] = frozenset(),
+    ) -> None:
+        config = self.config
+        pid = history.patient_id
+        bar_color = HISTORY_BAR if row % 2 == 0 else HISTORY_BAR_ALT
+        span = history.span()
+        y_center = y_top + row_height / 2.0
+        glyph_size = max(0.5, min(row_height - 2.0, 12.0))
+        band_height = max(0.4, row_height - 1.0)
+
+        if span is not None:
+            x1 = scale.x(span.start + shift)
+            x2 = scale.x(span.end + shift)
+            svg.rect(x1, y_top + row_height * 0.15, max(1.0, x2 - x1),
+                     max(0.3, row_height * 0.7), fill=bar_color)
+            marks.append(Mark(
+                patient_id=pid, row=row, x=x1, y=y_top,
+                width=max(1.0, x2 - x1), height=row_height,
+                kind="bar", mark_class="HistoryBar", color=bar_color,
+                day=span.start, end_day=span.end, category="history",
+                code=None, detail=f"patient {pid}, {len(history)} events",
+            ))
+
+        # Interval bands first (background), then point glyphs (foreground).
+        for iv in history.intervals:
+            x1 = scale.x(iv.start + shift)
+            x2 = scale.x(iv.end + shift)
+            if iv.category == "prescription" and iv.code is not None:
+                group = ancestor_at_level(iv.code, config.medication_level)
+                color = med_colors.get(group, "#888888")
+                group_name = (
+                    self._atc.get(group).display if group in self._atc else group
+                )
+                detail = f"{iv.detail or iv.code} [{group_name}]"
+            else:
+                color = _CATEGORY_COLORS.get(iv.category, "#9E9E9E")
+                detail = iv.detail or iv.category
+            draw_band(svg, x1, x2, y_top + 0.5, band_height, color,
+                      title=self._title(iv.start, detail))
+            if iv.code is not None and iv.code in highlight:
+                svg.rect(x1 - 1, y_top - 0.5, max(1.0, x2 - x1) + 2,
+                         band_height + 2, fill="none",
+                         stroke="#FF6F00", stroke_width=1.6)
+            marks.append(Mark(
+                patient_id=pid, row=row, x=x1, y=y_top + 0.5,
+                width=max(1.0, x2 - x1), height=band_height,
+                kind="band", mark_class="BandMark", color=color,
+                day=iv.start, end_day=iv.end, category=iv.category,
+                code=iv.code, detail=detail,
+            ))
+
+        contact_categories = {
+            "gp_contact", "emergency_contact", "physio_contact",
+            "specialist_contact", "outpatient_visit", "day_treatment",
+        }
+        for event in history.points:
+            if not config.draw_contacts and event.category in contact_categories:
+                continue
+            try:
+                spec = visual_spec_for(event.category)
+            except Exception:
+                continue  # unknown category: skip rather than crash the view
+            x = scale.x(event.day + shift)
+            color = config.color_overrides.get(
+                event.category,
+                _CATEGORY_COLORS.get(event.category, "#555555"),
+            )
+            if (config.diagnosis_color_mode == "chapter"
+                    and event.category == "diagnosis"
+                    and event.code is not None):
+                color = _chapter_color(event.code, event.system)
+            detail = event.detail or event.category
+            if event.code:
+                detail = f"{event.code}: {detail}"
+            mark_class = config.mark_overrides.get(event.category, spec.mark)
+            draw_point_mark(svg, mark_class, x, y_center, glyph_size, color,
+                            title=self._title(event.day, detail))
+            if event.code is not None and event.code in highlight:
+                svg.circle(x, y_center, glyph_size * 0.8 + 2, fill="none",
+                           stroke="#FF6F00")
+            marks.append(Mark(
+                patient_id=pid, row=row, x=x - glyph_size / 2,
+                y=y_center - glyph_size / 2, width=glyph_size,
+                height=glyph_size, kind="point", mark_class=mark_class,
+                color=color, day=event.day, end_day=None,
+                category=event.category, code=event.code, detail=detail,
+            ))
+
+    @staticmethod
+    def _title(day: int, detail: str) -> str:
+        return f"{from_day_number(day).isoformat()}  {detail}"

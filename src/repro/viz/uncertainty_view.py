@@ -1,0 +1,81 @@
+"""Rendering uncertain intervals: the Chittaro & Combi metaphors.
+
+Paper Section II-D2: "Chittaro and Combi describe several metaphors for
+describing intervals with uncertain length: An elastic band, a spring,
+or a strip of paint."  This module draws an
+:class:`~repro.temporal.uncertainty.UncertainInterval` in any of the
+three metaphors on an :class:`~repro.viz.svg.SvgDocument` — the solid
+core is common, the fuzzy margins differ:
+
+* **elastic band** — a thinning band with fading opacity;
+* **spring** — a zigzag line through the uncertain stretch;
+* **paint strip** — hatched brush strokes trailing off.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RenderError
+from repro.temporal.uncertainty import UncertainInterval, UncertaintyMetaphor
+from repro.viz.axes import TimeScale
+from repro.viz.svg import SvgDocument
+
+__all__ = ["draw_uncertain_interval"]
+
+
+def draw_uncertain_interval(
+    svg: SvgDocument,
+    interval: UncertainInterval,
+    scale: TimeScale,
+    y_top: float,
+    height: float,
+    color: str = "#4477AA",
+    metaphor: UncertaintyMetaphor = UncertaintyMetaphor.ELASTIC_BAND,
+    title: str | None = None,
+) -> None:
+    """Draw one uncertain interval row at ``y_top`` with the metaphor."""
+    if height <= 0:
+        raise RenderError("band height must be positive")
+    y_mid = y_top + height / 2.0
+    for start, end, style in interval.render_segments(metaphor):
+        x1, x2 = scale.x(start), scale.x(end)
+        if style == "solid":
+            svg.rect(x1, y_top, max(1.0, x2 - x1), height, fill=color,
+                     opacity=0.9, title=title)
+            continue
+        if metaphor is UncertaintyMetaphor.ELASTIC_BAND:
+            # A thinner, translucent band: stretched rubber.
+            svg.rect(x1, y_top + height * 0.25, max(1.0, x2 - x1),
+                     height * 0.5, fill=color, opacity=0.35, title=title)
+        elif metaphor is UncertaintyMetaphor.SPRING:
+            _zigzag(svg, x1, x2, y_mid, height * 0.45, color)
+        else:  # PAINT_STRIP: hatch strokes trailing off
+            _hatch(svg, x1, x2, y_top, height, color)
+
+
+def _zigzag(svg: SvgDocument, x1: float, x2: float, y_mid: float,
+            amplitude: float, color: str) -> None:
+    width = x2 - x1
+    if width <= 0:
+        return
+    n_teeth = max(2, int(width / 6.0))
+    step = width / n_teeth
+    points = [f"M {x1:.2f} {y_mid:.2f}"]
+    for i in range(1, n_teeth + 1):
+        y = y_mid + (amplitude if i % 2 else -amplitude)
+        points.append(f"L {x1 + i * step:.2f} {y:.2f}")
+    svg.path(" ".join(points), stroke=color, stroke_width=1.4, opacity=0.8)
+
+
+def _hatch(svg: SvgDocument, x1: float, x2: float, y_top: float,
+           height: float, color: str) -> None:
+    width = x2 - x1
+    if width <= 0:
+        return
+    n_strokes = max(2, int(width / 5.0))
+    step = width / n_strokes
+    for i in range(n_strokes):
+        x = x1 + i * step
+        # strokes fade toward the uncertain edge
+        opacity = max(0.15, 0.8 * (1.0 - i / n_strokes))
+        svg.line(x, y_top + height, x + step * 0.7, y_top,
+                 stroke=color, stroke_width=1.2, opacity=opacity)

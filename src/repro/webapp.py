@@ -1,0 +1,211 @@
+"""A small web workbench (standard library only).
+
+The paper's deployment put trajectories "on the web" (pastas.no); this
+module serves the whole workbench over HTTP so a cohort study can be
+explored from a browser:
+
+* ``/`` — query form plus population summary;
+* ``/cohort?q=…`` — run a textual query: cohort statistics, a timeline
+  preview and per-patient links;
+* ``/timeline.svg?q=…&rows=…&align=…`` — the Figure 1 rendering;
+* ``/overview.svg?q=…`` — the density overview;
+* ``/patient/<id>`` — one interactive personal timeline.
+
+Built on :mod:`http.server` (no dependencies), single-threaded per
+request but served from a ``ThreadingHTTPServer`` so SVG fetches don't
+block the form.  Start with :class:`WorkbenchServer` (tests drive it
+in-process) or ``python -m repro serve``.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, quote, urlparse
+from xml.sax.saxutils import escape
+
+from repro.errors import ReproError
+from repro.query.ast import Concept
+from repro.viz.timeline_view import TimelineConfig
+from repro.workbench import Workbench
+
+__all__ = ["WorkbenchServer"]
+
+_PAGE = """<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8"><title>{title}</title>
+<style>
+ body {{ font-family: sans-serif; margin: 1.2em; background: #fafafa; }}
+ input[type=text] {{ width: 34em; }}
+ pre {{ background: #f0f0f0; padding: 0.6em; }}
+ img, object {{ border: 1px solid #ddd; background: #fff; }}
+ .err {{ color: #b00020; }}
+</style></head><body>
+<h2>{title}</h2>
+<form action="/cohort" method="get">
+ <input type="text" name="q" value="{query}"
+  placeholder="concept T90 and atleast 2 category gp_contact">
+ <button>run query</button>
+</form>
+{body}
+</body></html>
+"""
+
+
+class _Handler(BaseHTTPRequestHandler):
+    workbench: Workbench  # set by the server factory
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, *args) -> None:  # silence request logging
+        pass
+
+    def _send(self, body: str | bytes, content_type: str,
+              status: int = 200) -> None:
+        data = body.encode("utf-8") if isinstance(body, str) else body
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _page(self, title: str, body: str, query: str = "",
+              status: int = 200) -> None:
+        self._send(
+            _PAGE.format(title=escape(title), body=body,
+                         query=escape(query, {'"': "&quot;"})),
+            "text/html; charset=utf-8", status,
+        )
+
+    def _query_param(self, params: dict) -> str:
+        return (params.get("q") or [""])[0].strip()
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        url = urlparse(self.path)
+        params = parse_qs(url.query)
+        try:
+            if url.path == "/":
+                self._index()
+            elif url.path == "/cohort":
+                self._cohort(params)
+            elif url.path == "/timeline.svg":
+                self._timeline(params)
+            elif url.path == "/overview.svg":
+                self._overview(params)
+            elif url.path.startswith("/patient/"):
+                self._patient(url.path[len("/patient/"):])
+            else:
+                self._page("Not found", "<p class='err'>no such page</p>",
+                           status=404)
+        except ReproError as exc:
+            self._page("Query error",
+                       f"<p class='err'>{escape(str(exc))}</p>",
+                       query=self._query_param(params), status=400)
+
+    def _index(self) -> None:
+        stats = self.workbench.stats()
+        body = (
+            f"<pre>{escape(stats.format_table())}</pre>"
+            '<p><a href="/overview.svg">population density overview</a></p>'
+        )
+        self._page("PAsTAs workbench", body)
+
+    def _cohort(self, params: dict) -> None:
+        query = self._query_param(params)
+        if not query:
+            self._page("Cohort", "<p class='err'>empty query</p>",
+                       status=400)
+            return
+        ids = self.workbench.select(query)
+        stats = self.workbench.stats(ids)
+        encoded = quote(query)
+        links = "".join(
+            f'<li><a href="/patient/{int(p)}">patient {int(p)}</a></li>'
+            for p in ids[:20]
+        )
+        body = (
+            f"<p>{len(ids):,} patients match.</p>"
+            f"<pre>{escape(stats.format_table())}</pre>"
+            f'<object data="/timeline.svg?q={encoded}&rows=60" '
+            'type="image/svg+xml" width="100%"></object>'
+            f"<ul>{links}</ul>"
+        )
+        self._page("Cohort", body, query=query)
+
+    def _timeline(self, params: dict) -> None:
+        query = self._query_param(params)
+        rows = int((params.get("rows") or ["100"])[0])
+        align = (params.get("align") or [""])[0].strip()
+        ids = self.workbench.select(query) if query \
+            else self.workbench.store.patient_ids
+        ids = ids[: max(1, min(rows, 2_000))]
+        if align:
+            alignment = self.workbench.align(Concept(align.upper()))
+            scene = self.workbench.timeline(
+                ids, TimelineConfig(mode="aligned"), alignment
+            )
+        else:
+            scene = self.workbench.timeline(ids)
+        self._send(scene.svg_text, "image/svg+xml")
+
+    def _overview(self, params: dict) -> None:
+        query = self._query_param(params)
+        ids = self.workbench.select(query) if query else None
+        scene = self.workbench.overview(ids)
+        self._send(scene.svg_text, "image/svg+xml")
+
+    def _patient(self, raw_id: str) -> None:
+        try:
+            patient_id = int(raw_id)
+        except ValueError:
+            self._page("Bad patient id",
+                       f"<p class='err'>{escape(raw_id)}</p>", status=400)
+            return
+        html = self.workbench.personal_timeline(patient_id)
+        self._send(html, "text/html; charset=utf-8")
+
+
+class WorkbenchServer:
+    """Serves one workbench over HTTP; use as a context manager in tests.
+
+    ``port=0`` picks a free port; the bound address is exposed as
+    :attr:`url`.
+    """
+
+    def __init__(self, workbench: Workbench, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        handler = type("BoundHandler", (_Handler,),
+                       {"workbench": workbench})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "WorkbenchServer":
+        """Serve in a daemon thread and return self."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI path)."""
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop serving and release the socket."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "WorkbenchServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -1,0 +1,230 @@
+"""The workbench facade: the paper's "common workbench" as one object.
+
+Ties the layers together for the common flows: ingest heterogeneous raw
+sources (or adopt a pre-built store), identify cohorts with queries,
+align, visualize, export personal timelines, and run the NSEPter
+baseline — the operations Figure 1's window exposes, as an API.
+
+Example::
+
+    from repro import Workbench
+    from repro.simulate import generate_raw_sources
+
+    raw = generate_raw_sources(5_000, seed=7)
+    wb = Workbench.from_raw_sources(raw)
+    ids = wb.select('concept T90 and atleast 2 category gp_contact')
+    scene = wb.timeline(ids[:200])
+    scene.save("cohort.svg")
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cohort.alignment import Alignment, compute_alignment
+from repro.cohort.stats import CohortStats, summarize
+from repro.config import WorkbenchConfig
+from repro.events.model import Cohort
+from repro.events.store import EventStore
+from repro.nsepter.graph import HistoryGraph, build_graph
+from repro.nsepter.merge import merge_by_regex, recursive_neighbour_merge
+from repro.query.ast import EventExpr, PatientExpr
+from repro.query.builder import QueryBuilder
+from repro.query.engine import QueryEngine
+from repro.query.parser import parse_query
+from repro.query.temporal_patterns import (
+    PatternMatch,
+    PatternSearcher,
+    TemporalPattern,
+)
+from repro.simulate.recall import RecallStudy, run_recognition_study
+from repro.simulate.trajectories import RawSources
+from repro.sources.integrate import IntegrationPipeline, IntegrationReport
+from repro.viz.density_view import DensityScene, render_density
+from repro.viz.html_export import export_batch, export_personal_timeline
+from repro.viz.timeline_view import TimelineConfig, TimelineScene, TimelineView
+
+__all__ = ["Workbench"]
+
+
+class Workbench:
+    """One loaded data set plus every workbench operation.
+
+    Construct via :meth:`from_raw_sources` (runs the full integration
+    pipeline) or :meth:`from_store` (adopts a pre-built store, e.g. from
+    the fast generator).
+    """
+
+    def __init__(
+        self,
+        store: EventStore,
+        report: IntegrationReport | None = None,
+        config: WorkbenchConfig | None = None,
+    ) -> None:
+        self.store = store
+        self.report = report
+        self.config = config or WorkbenchConfig()
+        self.engine = QueryEngine(store)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_raw_sources(
+        cls,
+        raw: RawSources,
+        config: WorkbenchConfig | None = None,
+    ) -> "Workbench":
+        """Integrate a raw-source bundle end to end."""
+        pipeline = IntegrationPipeline(horizon_day=raw.window.end_day)
+        store, report = pipeline.run(
+            raw.patients,
+            raw.gp_claims,
+            raw.hospital_episodes,
+            raw.municipal_records,
+            raw.specialist_claims,
+        )
+        return cls(store, report=report, config=config)
+
+    @classmethod
+    def from_store(
+        cls, store: EventStore, config: WorkbenchConfig | None = None
+    ) -> "Workbench":
+        """Adopt an already-built event store."""
+        return cls(store, config=config)
+
+    # -- cohort identification -------------------------------------------------
+
+    def query(self) -> QueryBuilder:
+        """A fresh query builder (the Figure 4 form)."""
+        return QueryBuilder()
+
+    def select(self, query: str | PatientExpr | EventExpr) -> np.ndarray:
+        """Evaluate a query (text or AST) to sorted patient ids."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        return self.engine.patients(query)
+
+    def cohort(self, patient_ids: list[int] | np.ndarray) -> Cohort:
+        """Materialize histories for the given patients."""
+        return self.store.to_cohort([int(p) for p in patient_ids])
+
+    def stats(
+        self, patient_ids: list[int] | np.ndarray | None = None
+    ) -> CohortStats:
+        """Summary statistics for the whole store or a subset."""
+        return summarize(self.store, patient_ids)
+
+    # -- alignment and patterns --------------------------------------------------
+
+    def align(self, expr: EventExpr, label: str = "") -> Alignment:
+        """Anchor patients at their first event matching ``expr``."""
+        return compute_alignment(self.engine, expr, label)
+
+    def find_patterns(self, pattern: TemporalPattern) -> list[PatternMatch]:
+        """All matches of a temporal pattern."""
+        return PatternSearcher(self.engine).find(pattern)
+
+    # -- visualization --------------------------------------------------------
+
+    def timeline(
+        self,
+        patient_ids: list[int] | np.ndarray,
+        config: TimelineConfig | None = None,
+        alignment: Alignment | None = None,
+    ) -> TimelineScene:
+        """Render the cohort timeline view (Figure 1)."""
+        view_config = config or TimelineConfig(
+            max_rows=self.config.max_drawn_histories
+        )
+        return TimelineView(self.store, view_config).render(
+            patient_ids, alignment
+        )
+
+    def render_view(self, view_name: str,
+                    patient_ids: list[int] | np.ndarray):
+        """Render a registered view engine by name (the NSEPter plug-in
+        architecture, Section II-A1): ``"timeline"``, ``"density"``,
+        ``"nsepter-graph"`` or anything registered via
+        :func:`repro.plugins.register_view`."""
+        from repro.plugins import get_view  # noqa: PLC0415 (cycle)
+
+        return get_view(view_name)(self.store, [int(p) for p in patient_ids])
+
+    def search_codes(self, text: str) -> dict[str, list[str]]:
+        """Find codes in every system whose display name mentions ``text``.
+
+        The LifeLines related-item search (Section II-D1): searching for
+        "diabetes" returns the ICPC-2 rubrics, ICD-10 categories and ATC
+        substances whose labels mention it, ready to feed
+        :meth:`timeline`'s ``highlight`` or a query.
+        """
+        return {
+            name: [c.code for c in system.search_display(text)]
+            for name, system in self.store.systems.items()
+        }
+
+    def overview(
+        self,
+        patient_ids: list[int] | np.ndarray | None = None,
+        mask: np.ndarray | None = None,
+    ) -> DensityScene:
+        """Render the density overview (the 'overview first' remedy for
+        very large cohorts — see :mod:`repro.viz.density_view`)."""
+        return render_density(self.store, patient_ids, mask=mask)
+
+    def session(self):
+        """Start an :class:`~repro.session.AnalysisSession` on this data."""
+        from repro.session import AnalysisSession  # noqa: PLC0415 (cycle)
+
+        return AnalysisSession(self)
+
+    def personal_timeline(
+        self, patient_id: int, path: str | None = None, simplified: bool = False
+    ) -> str:
+        """Export one patient's interactive HTML timeline."""
+        return export_personal_timeline(
+            self.store, patient_id, path=path, simplified=simplified
+        )
+
+    def export_timelines(
+        self,
+        patient_ids: list[int] | np.ndarray,
+        directory: str,
+        simplified: bool = False,
+    ) -> int:
+        """Batch-export personal timelines (the >10k web deployment)."""
+        return export_batch(
+            self.store, [int(p) for p in patient_ids], directory,
+            simplified=simplified,
+        )
+
+    # -- baselines and studies ---------------------------------------------------
+
+    def nsepter_graph(
+        self,
+        patient_ids: list[int] | np.ndarray,
+        merge_pattern: str | None = None,
+        recursion_depth: int = 0,
+        system: str = "ICPC-2",
+    ) -> HistoryGraph:
+        """Build (and optionally merge) the NSEPter baseline graph."""
+        graph = build_graph(self.cohort(patient_ids), system=system)
+        if merge_pattern is not None:
+            seeds = merge_by_regex(graph, merge_pattern)
+            if recursion_depth > 0:
+                recursive_neighbour_merge(graph, seeds, depth=recursion_depth)
+        return graph
+
+    def recognition_study(
+        self,
+        patient_ids: list[int] | np.ndarray,
+        reference_day: int,
+        seed: int | None = None,
+    ) -> RecallStudy:
+        """Simulate the patient trajectory-recognition survey (E6)."""
+        return run_recognition_study(
+            self.store, patient_ids, reference_day, seed=seed
+        )
+
+    def __repr__(self) -> str:
+        return f"Workbench({self.store!r})"

@@ -1,0 +1,41 @@
+"""Shared fixtures: small deterministic data sets, built once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events.store import EventStore
+from repro.query.engine import QueryEngine
+from repro.simulate.fast import generate_store_fast
+from repro.simulate.trajectories import RawSources, StudyWindow, generate_raw_sources
+from repro.workbench import Workbench
+
+
+@pytest.fixture(scope="session")
+def window() -> StudyWindow:
+    """The canonical two-year study window used by the fixtures."""
+    return StudyWindow.for_year(2012)
+
+
+@pytest.fixture(scope="session")
+def small_store(window: StudyWindow) -> EventStore:
+    """A 2,000-patient store from the fast generator (seeded)."""
+    store, _ = generate_store_fast(2_000, seed=42)
+    return store
+
+
+@pytest.fixture(scope="session")
+def small_engine(small_store: EventStore) -> QueryEngine:
+    return QueryEngine(small_store)
+
+
+@pytest.fixture(scope="session")
+def raw_sources() -> RawSources:
+    """A 400-patient full-fidelity raw-source bundle (seeded)."""
+    return generate_raw_sources(400, seed=7)
+
+
+@pytest.fixture(scope="session")
+def workbench(raw_sources: RawSources) -> Workbench:
+    """A workbench built through the full integration pipeline."""
+    return Workbench.from_raw_sources(raw_sources)

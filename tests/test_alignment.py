@@ -1,0 +1,166 @@
+"""Tests for the sequence-alignment baseline: similarity, pairwise NW,
+multiple alignment and association mining."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alignment.mining import mine_code_pairs
+from repro.alignment.multiple import star_alignment
+from repro.alignment.pairwise import needleman_wunsch
+from repro.alignment.similarity import SimilarityMatrix, code_similarity
+from repro.terminology import icpc2
+
+_CODES = ["T90", "T89", "T86", "K86", "K74", "R74", "P76", "A97"]
+sequences = st.lists(st.sampled_from(_CODES), min_size=1, max_size=10)
+
+
+@pytest.fixture(scope="module")
+def sim() -> SimilarityMatrix:
+    return SimilarityMatrix(icpc2())
+
+
+class TestSimilarity:
+    def test_identity_is_one(self, sim):
+        assert sim("T90", "T90") == 1.0
+
+    def test_same_chapter_partial(self, sim):
+        value = sim("T90", "T89")
+        assert 0.0 < value < 1.0
+
+    def test_different_chapters_zero(self, sim):
+        assert sim("T90", "P76") == 0.0
+
+    def test_symmetric(self, sim):
+        assert sim("T90", "K86") == sim("K86", "T90")
+
+    def test_chapter_vs_child(self):
+        system = icpc2()
+        # chapter (depth 1) vs rubric (depth 2): 2*1/(1+2) Wu-Palmer
+        assert code_similarity(system, "T", "T90") == pytest.approx(2 / 3)
+
+    @given(st.sampled_from(_CODES), st.sampled_from(_CODES))
+    def test_bounded(self, a, b):
+        value = code_similarity(icpc2(), a, b)
+        assert 0.0 <= value <= 1.0
+
+
+class TestNeedlemanWunsch:
+    def test_identical_sequences_all_match(self, sim):
+        seq = ["T90", "K86", "R74"]
+        alignment = needleman_wunsch(seq, seq, sim)
+        assert alignment.n_matches == 3
+        assert alignment.identity(seq, seq) == 1.0
+        assert alignment.score == pytest.approx(3.0)
+
+    def test_single_insertion_shifts_not_destroys(self, sim):
+        """The exact failure NSEPter's rank merge has; NW absorbs it."""
+        left = ["T90", "K86", "R74"]
+        right = ["T90", "A97", "K86", "R74"]
+        alignment = needleman_wunsch(left, right, sim)
+        matched = {
+            (p.left, p.right) for p in alignment.pairs if p.is_match
+        }
+        assert (0, 0) in matched
+        assert (1, 2) in matched
+        assert (2, 3) in matched
+
+    def test_empty_sequences(self, sim):
+        alignment = needleman_wunsch([], ["T90"], sim)
+        assert alignment.n_matches == 0
+        assert len(alignment.pairs) == 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(sequences, sequences)
+    def test_alignment_is_consistent(self, left, right):
+        """Structural invariants: every position used exactly once, in
+        order, and the score is symmetric."""
+        sim_local = SimilarityMatrix(icpc2())
+        alignment = needleman_wunsch(left, right, sim_local)
+        lefts = [p.left for p in alignment.pairs if p.left is not None]
+        rights = [p.right for p in alignment.pairs if p.right is not None]
+        assert lefts == list(range(len(left)))
+        assert rights == list(range(len(right)))
+        mirrored = needleman_wunsch(right, left, sim_local)
+        assert alignment.score == pytest.approx(mirrored.score)
+
+
+class TestStarAlignment:
+    def test_columns_cover_center(self, sim):
+        msa = star_alignment(
+            {1: ["T90", "K86"], 2: ["T90", "K86", "R74"], 3: ["T90", "R74"]},
+            sim,
+        )
+        assert msa.n_sequences == 3
+        assert msa.merged_column_count() >= 2
+
+    def test_consensus_and_agreement(self, sim):
+        msa = star_alignment(
+            {1: ["T90", "K86"], 2: ["T90", "K86"], 3: ["T90", "K74"]}, sim
+        )
+        first_supported = next(c for c in msa.columns if c.support == 3)
+        assert first_supported.consensus() == "T90"
+        assert first_supported.agreement() == 1.0
+
+    def test_single_sequence(self, sim):
+        msa = star_alignment({7: ["T90"]}, sim)
+        assert msa.center_id == 7
+        assert len(msa.columns) == 1
+
+    def test_noise_resilience_vs_rank_merge(self, sim):
+        """A one-position substitution still aligns the shared suffix —
+        the improvement over NSEPter the ablation (A2) quantifies."""
+        noisy = {
+            1: ["A01", "T90", "K86", "R74"],
+            2: ["A03", "T90", "K86", "R74"],  # differs at position 0 only
+        }
+        msa = star_alignment(noisy, sim)
+        full_agreement = [
+            c for c in msa.columns if c.support == 2 and c.agreement() == 1.0
+        ]
+        assert len(full_agreement) == 3  # T90, K86, R74 columns
+
+
+class TestMining:
+    def test_rules_have_sound_statistics(self, small_store):
+        rules = mine_code_pairs(small_store, min_support=0.01)
+        assert rules
+        for rule in rules[:20]:
+            assert 0.0 < rule.support <= 1.0
+            assert 0.0 < rule.confidence <= 1.0
+            assert rule.lift >= 1.2
+            assert rule.support <= rule.confidence
+
+    def test_comorbidity_surfaces(self, small_store):
+        """The simulator boosts hypertension given diabetes; mining must
+        rediscover the link."""
+        rules = mine_code_pairs(small_store, min_support=0.01,
+                                min_confidence=0.1, min_lift=1.05)
+        pairs = {(r.antecedent, r.consequent) for r in rules}
+        assert ("T90", "K86") in pairs
+
+    def test_ordered_rules_subset_of_unordered(self, small_store):
+        unordered = {
+            (r.antecedent, r.consequent): r.n_both
+            for r in mine_code_pairs(small_store, min_support=0.005,
+                                     min_confidence=0.05, min_lift=1.0)
+        }
+        ordered = mine_code_pairs(small_store, min_support=0.005,
+                                  min_confidence=0.05, min_lift=1.0,
+                                  ordered=True)
+        for rule in ordered:
+            key = (rule.antecedent, rule.consequent)
+            if key in unordered:
+                assert rule.n_both <= unordered[key]
+
+    def test_sorted_by_lift(self, small_store):
+        rules = mine_code_pairs(small_store, min_support=0.01)
+        lifts = [r.lift for r in rules]
+        assert lifts == sorted(lifts, reverse=True)
+
+    def test_str_rendering(self, small_store):
+        rules = mine_code_pairs(small_store, min_support=0.01)
+        text = str(rules[0])
+        assert "lift=" in text and "=>" in text

@@ -1,0 +1,111 @@
+"""Tests for the command-line interface (driven in-process)."""
+
+from __future__ import annotations
+
+import csv
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def store_path(tmp_path_factory) -> str:
+    path = str(tmp_path_factory.mktemp("cli") / "store.npz")
+    assert main(["generate", "--patients", "1500", "--seed", "5",
+                 "--out", path]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_store_written(self, store_path):
+        assert os.path.exists(store_path)
+
+    def test_full_fidelity_path(self, tmp_path, capsys):
+        path = str(tmp_path / "full.npz")
+        assert main(["generate", "--patients", "150", "--seed", "2",
+                     "--full-fidelity", "--out", path]) == 0
+        out = capsys.readouterr().out
+        assert "integrated" in out
+        assert os.path.exists(path)
+
+
+class TestStats:
+    def test_whole_store(self, store_path, capsys):
+        assert main(["stats", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "patients" in out and "1,500" in out
+
+    def test_query_subset(self, store_path, capsys):
+        assert main(["stats", store_path, "--query", "concept T90"]) == 0
+        out = capsys.readouterr().out
+        assert "patients" in out
+
+
+class TestSelect:
+    def test_writes_csv(self, store_path, tmp_path, capsys):
+        out_path = str(tmp_path / "ids.csv")
+        assert main(["select", store_path, "concept T90",
+                     "--out", out_path]) == 0
+        with open(out_path, newline="") as f:
+            rows = list(csv.reader(f))
+        assert rows[0] == ["patient_id"]
+        assert len(rows) > 1
+
+    def test_bad_query_is_reported(self, store_path, tmp_path, capsys):
+        code = main(["select", store_path, "concept", "--out",
+                     str(tmp_path / "x.csv")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRenderCommands:
+    def test_timeline(self, store_path, tmp_path):
+        out_path = str(tmp_path / "tl.svg")
+        assert main(["timeline", store_path, "concept T90",
+                     "--rows", "20", "--out", out_path]) == 0
+        assert open(out_path).read().startswith("<svg")
+
+    def test_timeline_aligned(self, store_path, tmp_path):
+        out_path = str(tmp_path / "tla.svg")
+        assert main(["timeline", store_path, "concept T90",
+                     "--rows", "20", "--align", "t90",
+                     "--out", out_path]) == 0
+        assert os.path.exists(out_path)
+
+    def test_overview(self, store_path, tmp_path):
+        out_path = str(tmp_path / "ov.svg")
+        assert main(["overview", store_path, "--out", out_path]) == 0
+        assert open(out_path).read().startswith("<svg")
+
+    def test_export_web(self, store_path, tmp_path, capsys):
+        out_dir = str(tmp_path / "web")
+        assert main(["export-web", store_path, "concept T90",
+                     "--limit", "4", "--simplified",
+                     "--out-dir", out_dir]) == 0
+        assert os.path.exists(os.path.join(out_dir, "index.html"))
+
+
+class TestRecognition:
+    def test_prints_marginals(self, store_path, capsys):
+        assert main(["recognition", store_path, "concept T90"]) == 0
+        out = capsys.readouterr().out
+        assert "recognized" in out
+        assert "all_wrong" in out
+
+
+class TestCompareAndCohortPage:
+    def test_compare_prints_table(self, store_path, capsys):
+        assert main(["compare", store_path, "concept T90",
+                     "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "over-represented" in out
+        assert "RR=" in out
+
+    def test_cohort_page_written(self, store_path, tmp_path):
+        out_path = str(tmp_path / "cohort.html")
+        assert main(["cohort-page", store_path, "concept T90",
+                     "--rows", "15", "--out", out_path]) == 0
+        body = open(out_path, encoding="utf-8").read()
+        assert "<svg" in body and "wheel" in body

@@ -1,0 +1,186 @@
+"""Tests for cohort operations: alignment, sorting, filtering, abstraction,
+statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cohort.abstraction import abstract_code, abstract_sequence, episodes
+from repro.cohort.alignment import aligned_cohort, compute_alignment
+from repro.cohort.operations import (
+    extract_subcohort,
+    hide_codes,
+    keep_codes,
+    sort_by_anchor,
+    sort_by_event_count,
+    sort_by_first_event,
+)
+from repro.cohort.stats import summarize
+from repro.errors import QueryError, TerminologyError
+from repro.events.model import Cohort, History, IntervalEvent, PointEvent
+from repro.query.ast import Category, CodeMatch, Concept, HasEvent
+from repro.temporal.timeline import Interval
+from repro.terminology import CodeSelection, icpc2
+
+
+class TestAlignment:
+    def test_anchor_is_first_matching_day(self, small_engine):
+        alignment = compute_alignment(
+            small_engine, Concept("T90"), "first diabetes"
+        )
+        store = small_engine.store
+        for pid in alignment.aligned_ids()[:10]:
+            history = store.materialize(pid)
+            expected = history.first_code_day({"T90", "E11", "E14"})
+            assert alignment.anchor_of(pid) == expected
+
+    def test_relative_months_signed(self, small_engine):
+        alignment = compute_alignment(small_engine, Concept("T90"))
+        pid = alignment.aligned_ids()[0]
+        anchor = alignment.anchor_of(pid)
+        assert alignment.relative_months(pid, anchor) == 0.0
+        assert alignment.relative_months(pid, anchor + 61) == pytest.approx(
+            2.0, abs=0.05
+        )
+        assert alignment.relative_months(pid, anchor - 61) < 0
+
+    def test_aligned_cohort_shifts_to_zero(self, small_engine):
+        alignment = compute_alignment(small_engine, Concept("T90"))
+        ids = alignment.aligned_ids()[:5]
+        cohort = small_engine.store.to_cohort(ids)
+        shifted = aligned_cohort(cohort, alignment)
+        for history in shifted:
+            assert history.first_code_day({"T90", "E11", "E14"}) == 0
+
+    def test_unaligned_patients_dropped(self, small_engine):
+        alignment = compute_alignment(small_engine, Concept("T90"))
+        all_ids = small_engine.store.patient_ids[:50].tolist()
+        cohort = small_engine.store.to_cohort(all_ids)
+        shifted = aligned_cohort(cohort, alignment)
+        assert len(shifted) == sum(1 for p in all_ids if p in alignment)
+
+    def test_empty_alignment_raises(self, small_engine):
+        alignment = compute_alignment(
+            small_engine, CodeMatch("ICPC-2", "Z29"), "never"
+        )
+        cohort = small_engine.store.to_cohort(
+            small_engine.store.patient_ids[:3].tolist()
+        )
+        with pytest.raises(QueryError):
+            aligned_cohort(cohort, alignment)
+
+
+class TestSorting:
+    @pytest.fixture()
+    def cohort(self, small_store):
+        return small_store.to_cohort(small_store.patient_ids[:40].tolist())
+
+    def test_sort_by_first_event_monotone(self, cohort):
+        ordered = sort_by_first_event(cohort)
+        starts = [h.span().start for h in ordered if h.span()]
+        assert starts == sorted(starts)
+
+    def test_sort_by_event_count_descending(self, cohort):
+        ordered = sort_by_event_count(cohort)
+        counts = [len(h) for h in ordered]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_sort_by_anchor_unaligned_last(self, cohort, small_engine):
+        alignment = compute_alignment(small_engine, Concept("T90"))
+        ordered = sort_by_anchor(cohort, alignment)
+        flags = [h.patient_id in alignment for h in ordered]
+        # once we see an unaligned history, no aligned one may follow
+        assert flags == sorted(flags, reverse=True)
+
+
+class TestFiltering:
+    def test_keep_codes(self):
+        history = History(patient_id=1, birth_day=0, points=[
+            PointEvent(day=1, category="diagnosis", code="T90",
+                       system="ICPC-2"),
+            PointEvent(day=2, category="diagnosis", code="R74",
+                       system="ICPC-2"),
+            PointEvent(day=3, category="blood_pressure", value=140.0),
+        ])
+        selection = CodeSelection(icpc2(), "T.*")
+        kept = keep_codes(Cohort([history]), selection)
+        assert [p.code for p in kept.get(1).points] == ["T90"]
+
+    def test_hide_codes_keeps_uncoded(self):
+        history = History(patient_id=1, birth_day=0, points=[
+            PointEvent(day=1, category="diagnosis", code="T90",
+                       system="ICPC-2"),
+            PointEvent(day=3, category="blood_pressure", value=140.0),
+        ])
+        selection = CodeSelection(icpc2(), "T.*")
+        hidden = hide_codes(Cohort([history]), selection)
+        assert [p.category for p in hidden.get(1).points] == ["blood_pressure"]
+
+    def test_extract_subcohort(self, small_store):
+        cohort = extract_subcohort(small_store, HasEvent(Concept("T90")))
+        assert len(cohort) > 0
+        for history in cohort:
+            assert history.first_code_day({"T90", "E11", "E14"}) is not None
+
+
+class TestAbstraction:
+    def test_abstract_code_levels(self):
+        system = icpc2()
+        assert abstract_code(system, "T90", 0) == "T"
+        assert abstract_code(system, "T90", 1) == "T90"
+        assert abstract_code(system, "T90", 5) == "T90"  # already deepest
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(TerminologyError):
+            abstract_code(icpc2(), "T90", -1)
+
+    def test_abstract_sequence_collapses_runs(self):
+        collapsed = abstract_sequence(
+            icpc2(), ["T90", "T86", "K86", "K74", "R74"], 0
+        )
+        assert collapsed == [("T", 2), ("K", 2), ("R", 1)]
+
+    def test_episodes_split_on_gaps(self):
+        history = History(patient_id=1, birth_day=0, points=[
+            PointEvent(day=0, category="diagnosis"),
+            PointEvent(day=10, category="diagnosis"),
+            PointEvent(day=200, category="diagnosis"),
+        ])
+        result = episodes(history, max_gap_days=60)
+        assert len(result) == 2
+        assert result[0].n_events == 2
+        assert result[1].interval.start == 200
+
+    def test_long_interval_never_splits(self):
+        history = History(patient_id=1, birth_day=0, intervals=[
+            IntervalEvent(Interval(0, 300), "nursing_home"),
+        ], points=[PointEvent(day=299, category="diagnosis")])
+        result = episodes(history, max_gap_days=30)
+        assert len(result) == 1
+
+    def test_empty_history_no_episodes(self):
+        assert episodes(History(patient_id=1, birth_day=0)) == []
+
+
+class TestStats:
+    def test_summarize_whole_store(self, small_store):
+        stats = summarize(small_store)
+        assert stats.n_patients == small_store.n_patients
+        assert stats.n_events == small_store.n_events
+        assert stats.events_per_patient_mean > 0
+        assert sum(stats.contacts_by_care_level.values()) > 0
+        assert stats.top_codes
+
+    def test_summarize_subset_counts_zero_event_patients(self, small_store):
+        ids = small_store.patient_ids[:10].tolist()
+        stats = summarize(small_store, ids)
+        assert stats.n_patients == 10
+
+    def test_format_table_mentions_levels(self, small_store):
+        text = summarize(small_store).format_table()
+        assert "PrimaryCare" in text
+        assert "patients" in text
+
+    def test_monthly_series_sums_to_events(self, small_store):
+        stats = summarize(small_store)
+        assert sum(stats.monthly_events.values()) == stats.n_events

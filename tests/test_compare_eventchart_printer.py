@@ -1,0 +1,180 @@
+"""Tests for cohort comparison, the event chart and the query printer."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cohort.compare import compare_cohorts
+from repro.errors import QueryError, RenderError
+from repro.query.ast import (
+    AgeRange,
+    Category,
+    CodeMatch,
+    Concept,
+    CountAtLeast,
+    EventAnd,
+    FirstBefore,
+    HasEvent,
+    PatientAnd,
+    PatientNot,
+    PatientOr,
+    SexIs,
+    TimeWindow,
+    ValueRange,
+)
+from repro.query.engine import QueryEngine
+from repro.query.parser import parse_query
+from repro.query.printer import to_text
+from repro.query.temporal_patterns import (
+    PatternSearcher,
+    PatternStep,
+    TemporalPattern,
+)
+from repro.viz.event_chart import render_event_chart
+
+
+class TestCompareCohorts:
+    def test_diabetes_cohort_over_represents_its_codes(self, small_store,
+                                                       small_engine):
+        ids = small_engine.patients(HasEvent(Concept("T90")))
+        comparison = compare_cohorts(small_store, ids)
+        over = {c.code for c in comparison.over_represented[:15]}
+        assert "T90" in over
+        # medication classes follow (the simulator prescribes them)
+        assert {"A10BA02", "A10BB12"} & over
+
+    def test_relative_risk_finite_with_smoothing(self, small_store,
+                                                 small_engine):
+        ids = small_engine.patients(HasEvent(Concept("T90")))
+        comparison = compare_cohorts(small_store, ids)
+        for contrast in comparison.over_represented:
+            assert contrast.relative_risk < 1e6
+
+    def test_reference_default_is_complement(self, small_store,
+                                             small_engine):
+        ids = small_engine.patients(HasEvent(Concept("T90")))
+        comparison = compare_cohorts(small_store, ids)
+        assert (comparison.n_cohort + comparison.n_reference
+                == small_store.n_patients)
+
+    def test_explicit_reference(self, small_store, small_engine):
+        diabetics = small_engine.patients(HasEvent(Concept("T90")))
+        females = small_engine.patients(SexIs("F"))
+        comparison = compare_cohorts(small_store, diabetics, females)
+        assert comparison.n_reference == len(females)
+
+    def test_utilization_ratio_above_one_for_chronic(self, small_store,
+                                                     small_engine):
+        ids = small_engine.patients(HasEvent(Concept("T90")))
+        comparison = compare_cohorts(small_store, ids)
+        assert comparison.events_per_patient_ratio > 1.2
+
+    def test_empty_cohort_rejected(self, small_store):
+        with pytest.raises(QueryError):
+            compare_cohorts(small_store, [])
+
+    def test_format_table(self, small_store, small_engine):
+        ids = small_engine.patients(HasEvent(Concept("T90")))
+        text = compare_cohorts(small_store, ids).format_table()
+        assert "over-represented" in text
+        assert "RR=" in text
+
+
+class TestEventChart:
+    @pytest.fixture(scope="class")
+    def matches(self, small_engine):
+        pattern = TemporalPattern(
+            steps=(
+                PatternStep(Concept("T90"), "diabetes"),
+                PatternStep(Category("hospital_stay"), "admission"),
+            ),
+            min_gap=1, max_gap=365,
+        )
+        return PatternSearcher(small_engine).find(pattern), pattern
+
+    def test_valid_svg_one_row_per_match(self, matches):
+        found, pattern = matches
+        scene = render_event_chart(found[:30], pattern)
+        ET.fromstring(scene.svg_text)
+        assert scene.n_rows == min(30, len(found))
+
+    def test_sampling_beyond_max_rows(self, matches):
+        found, pattern = matches
+        if len(found) < 10:
+            pytest.skip("too few matches at this scale")
+        scene = render_event_chart(found, pattern, max_rows=10)
+        assert scene.n_rows == 10
+
+    def test_step_labels_in_header(self, matches):
+        found, pattern = matches
+        scene = render_event_chart(found[:5], pattern)
+        assert "diabetes" in scene.svg_text
+        assert "admission" in scene.svg_text
+
+    def test_empty_matches_rejected(self, matches):
+        __, pattern = matches
+        with pytest.raises(RenderError):
+            render_event_chart([], pattern)
+
+
+# -- query printer round-trip --------------------------------------------------
+
+_atoms = st.sampled_from([
+    HasEvent(Concept("T90")),
+    HasEvent(Category("gp_contact")),
+    HasEvent(CodeMatch("ICPC-2", "F.*|H.*")),
+    HasEvent(CodeMatch("ICD-10", "I2[015]")),
+    HasEvent(EventAnd((Category("gp_contact"), TimeWindow(15_340, 15_700)))),
+    CountAtLeast(Category("gp_contact"), 3),
+    FirstBefore(Concept("K86"), 15_600),
+    AgeRange(40, 90, 15_706),
+    SexIs("F"),
+])
+
+
+def _queries(depth: int):
+    if depth == 0:
+        return _atoms
+    smaller = _queries(depth - 1)
+    return st.one_of(
+        _atoms,
+        st.builds(PatientNot, smaller),
+        st.builds(lambda a, b: PatientAnd((a, b)), smaller, smaller),
+        st.builds(lambda a, b: PatientOr((a, b)), smaller, smaller),
+    )
+
+
+class TestQueryPrinter:
+    @given(_queries(2))
+    def test_roundtrip_identity(self, query):
+        assert parse_query(to_text(query)) == query
+
+    def test_roundtrip_preserves_semantics(self, small_engine):
+        query = PatientAnd((
+            HasEvent(Concept("T90")),
+            PatientOr((SexIs("F"), CountAtLeast(Category("gp_contact"), 5))),
+        ))
+        reparsed = parse_query(to_text(query))
+        a = small_engine.patients(query)
+        b = small_engine.patients(reparsed)
+        assert (a == b).all()
+
+    def test_regex_slash_escaping(self):
+        query = HasEvent(CodeMatch("ICPC-2", "F.*/x"))
+        assert parse_query(to_text(query)) == query
+
+    def test_unprintable_raises(self):
+        with pytest.raises(QueryError):
+            to_text(HasEvent(ValueRange(1, 2)))
+
+    def test_during_form(self):
+        query = HasEvent(
+            EventAnd((Category("gp_contact"), TimeWindow(100, 200)))
+        )
+        text = to_text(query)
+        assert text.startswith("during 100 .. 200")
+        assert parse_query(text) == query

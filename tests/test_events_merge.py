@@ -1,0 +1,94 @@
+"""Tests for merging event stores (incremental ingestion)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EventModelError
+from repro.events.model import Cohort, History, IntervalEvent, PointEvent
+from repro.events.store import EventStore, merge_stores
+from repro.temporal.timeline import Interval
+
+
+def store_of(*histories: History) -> EventStore:
+    return EventStore.from_cohort(Cohort(list(histories)))
+
+
+def history(pid: int, day: int, code: str = "T90",
+            category: str = "diagnosis", birth: int = 0) -> History:
+    return History(
+        patient_id=pid, birth_day=birth, sex="F",
+        points=[PointEvent(day=day, category=category, code=code,
+                           system="ICPC-2", source="gp_claim")],
+    )
+
+
+class TestMergeStores:
+    def test_disjoint_patients(self):
+        merged = merge_stores(store_of(history(1, 10)),
+                              store_of(history(2, 20)))
+        assert merged.n_patients == 2
+        assert merged.n_events == 2
+        assert merged.materialize(1).points[0].day == 10
+        assert merged.materialize(2).points[0].day == 20
+
+    def test_same_patient_events_interleave(self):
+        merged = merge_stores(store_of(history(1, 30)),
+                              store_of(history(1, 10)))
+        assert merged.n_patients == 1
+        assert [p.day for p in merged.materialize(1).points] == [10, 30]
+
+    def test_conflicting_demographics_rejected(self):
+        a = store_of(history(1, 10, birth=0))
+        b = store_of(history(1, 20, birth=999))
+        with pytest.raises(EventModelError, match="conflicting"):
+            merge_stores(a, b)
+
+    def test_string_tables_remapped(self):
+        a = store_of(history(1, 10, category="diagnosis"))
+        b = store_of(
+            History(patient_id=2, birth_day=0, sex="F", points=[
+                PointEvent(day=5, category="blood_pressure", value=140.0,
+                           source="specialist_claim", detail="note x"),
+            ])
+        )
+        merged = merge_stores(a, b)
+        back = merged.materialize(2).points[0]
+        assert back.category == "blood_pressure"
+        assert back.source == "specialist_claim"
+        assert back.detail == "note x"
+        assert back.value == 140.0
+
+    def test_intervals_survive(self):
+        b = store_of(
+            History(patient_id=2, birth_day=0, sex="F", intervals=[
+                IntervalEvent(Interval(5, 9), "hospital_stay",
+                              source="hospital_inpatient"),
+            ])
+        )
+        merged = merge_stores(store_of(history(1, 10)), b)
+        assert merged.materialize(2).intervals[0].interval == Interval(5, 9)
+
+    def test_queries_over_merged(self):
+        merged = merge_stores(
+            store_of(history(1, 10, "T90")),
+            store_of(history(2, 20, "K86")),
+        )
+        assert merged.patients_matching(
+            merged.mask_pattern("ICPC-2", "T90|K86")
+        ).tolist() == [1, 2]
+
+    def test_mismatched_systems_rejected(self):
+        from repro.terminology.codes import Code, CodeSystem
+
+        a = store_of(history(1, 10))
+        tiny = {
+            "ICPC-2": CodeSystem("ICPC-2", [Code("A", "x")]),
+            "ICD-10": a.systems["ICD-10"],
+            "ATC": a.systems["ATC"],
+        }
+        b = EventStore.from_cohort(
+            Cohort([History(patient_id=2, birth_day=0)]), systems=tiny
+        )
+        with pytest.raises(EventModelError, match="mis-decode"):
+            merge_stores(a, b)

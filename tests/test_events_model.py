@@ -1,0 +1,112 @@
+"""Tests for events, histories and cohorts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EventModelError
+from repro.events.model import Cohort, History, IntervalEvent, PointEvent
+from repro.temporal.timeline import Interval
+
+
+def make_history(pid: int = 1) -> History:
+    return History(
+        patient_id=pid,
+        birth_day=0,
+        sex="F",
+        points=[
+            PointEvent(day=300, category="diagnosis", code="K86",
+                       system="ICPC-2"),
+            PointEvent(day=100, category="diagnosis", code="T90",
+                       system="ICPC-2"),
+            PointEvent(day=200, category="blood_pressure", value=150.0,
+                       value2=95.0),
+        ],
+        intervals=[
+            IntervalEvent(Interval(250, 260), "hospital_stay"),
+            IntervalEvent(Interval(50, 80), "prescription", code="A10BA02",
+                          system="ATC"),
+        ],
+    )
+
+
+class TestHistory:
+    def test_events_sorted_on_construction(self):
+        history = make_history()
+        assert [p.day for p in history.points] == [100, 200, 300]
+        assert [iv.start for iv in history.intervals] == [50, 250]
+
+    def test_len_counts_both_kinds(self):
+        assert len(make_history()) == 5
+
+    def test_span_covers_everything(self):
+        assert make_history().span() == Interval(50, 301)
+
+    def test_span_of_empty_history(self):
+        assert History(patient_id=9, birth_day=0).span() is None
+
+    def test_codes_in_time_order_across_kinds(self):
+        assert make_history().codes() == ["A10BA02", "T90", "K86"]
+
+    def test_codes_filtered_by_system(self):
+        assert make_history().codes("ICPC-2") == ["T90", "K86"]
+
+    def test_first_code_day_considers_intervals(self):
+        history = make_history()
+        assert history.first_code_day({"T90"}) == 100
+        assert history.first_code_day({"A10BA02"}) == 50
+        assert history.first_code_day({"ZZZ"}) is None
+
+    def test_first_point(self):
+        history = make_history()
+        found = history.first_point(lambda e: e.category == "blood_pressure")
+        assert found is not None and found.day == 200
+
+    def test_filtered_keeps_structure(self):
+        history = make_history()
+        filtered = history.filtered(
+            point_predicate=lambda e: e.code == "T90"
+        )
+        assert [p.code for p in filtered.points] == ["T90"]
+        assert len(filtered.intervals) == 2  # untouched
+
+    def test_shifted_moves_everything(self):
+        shifted = make_history().shifted(10)
+        assert shifted.span() == Interval(60, 311)
+        assert shifted.birth_day == 10
+
+    def test_bad_sex_rejected(self):
+        with pytest.raises(EventModelError):
+            History(patient_id=1, birth_day=0, sex="X")
+
+
+class TestCohort:
+    def test_duplicate_patient_rejected(self):
+        with pytest.raises(EventModelError, match="duplicate"):
+            Cohort([make_history(1), make_history(1)])
+
+    def test_get_and_contains(self):
+        cohort = Cohort([make_history(1), make_history(2)])
+        assert 1 in cohort
+        assert cohort.get(2).patient_id == 2
+        with pytest.raises(EventModelError):
+            cohort.get(99)
+
+    def test_subset_preserves_requested_order(self):
+        cohort = Cohort([make_history(i) for i in (1, 2, 3)])
+        sub = cohort.subset([3, 1])
+        assert sub.patient_ids == [3, 1]
+
+    def test_sorted_by(self):
+        cohort = Cohort([make_history(3), make_history(1), make_history(2)])
+        assert cohort.sorted_by(
+            lambda h: h.patient_id
+        ).patient_ids == [1, 2, 3]
+
+    def test_total_events(self):
+        cohort = Cohort([make_history(1), make_history(2)])
+        assert cohort.total_events() == 10
+
+    def test_iteration_order_is_cohort_order(self):
+        cohort = Cohort([make_history(2), make_history(1)])
+        assert [h.patient_id for h in cohort] == [2, 1]

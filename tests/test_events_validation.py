@@ -1,0 +1,96 @@
+"""Tests for history cleaning (the paper's invalid-date rule)."""
+
+from __future__ import annotations
+
+from repro.events.model import History, IntervalEvent, PointEvent
+from repro.events.validation import clean_history
+from repro.temporal.timeline import Interval
+
+
+def test_pre_birth_points_dropped():
+    """Section IV: entries dated before birth are ignored."""
+    history = History(
+        patient_id=1, birth_day=1000,
+        points=[
+            PointEvent(day=500, category="diagnosis", code="T90"),
+            PointEvent(day=1500, category="diagnosis", code="T90"),
+        ],
+    )
+    cleaned, report = clean_history(history)
+    assert report.before_birth == 1
+    assert [p.day for p in cleaned.points] == [1500]
+
+
+def test_interval_straddling_birth_truncated():
+    history = History(
+        patient_id=1, birth_day=1000,
+        intervals=[IntervalEvent(Interval(900, 1100), "hospital_stay")],
+    )
+    cleaned, report = clean_history(history)
+    assert report.truncated_intervals == 1
+    assert cleaned.intervals[0].interval == Interval(1000, 1100)
+
+
+def test_interval_entirely_before_birth_dropped():
+    history = History(
+        patient_id=1, birth_day=1000,
+        intervals=[IntervalEvent(Interval(100, 200), "hospital_stay")],
+    )
+    cleaned, report = clean_history(history)
+    assert report.before_birth == 1
+    assert not cleaned.intervals
+
+
+def test_horizon_drops_and_truncates():
+    history = History(
+        patient_id=1, birth_day=0,
+        points=[PointEvent(day=400, category="diagnosis")],
+        intervals=[IntervalEvent(Interval(250, 500), "nursing_home")],
+    )
+    cleaned, report = clean_history(history, horizon_day=300)
+    assert report.after_horizon == 1       # the day-400 point
+    assert report.truncated_intervals == 1
+    assert cleaned.intervals[0].interval == Interval(250, 301)
+
+
+def test_exact_duplicates_collapse():
+    event = PointEvent(day=100, category="diagnosis", code="T90",
+                       system="ICPC-2", source="gp_claim")
+    history = History(patient_id=1, birth_day=0, points=[event, event])
+    cleaned, report = clean_history(history)
+    assert report.duplicates == 1
+    assert len(cleaned.points) == 1
+
+
+def test_near_duplicates_kept():
+    history = History(
+        patient_id=1, birth_day=0,
+        points=[
+            PointEvent(day=100, category="diagnosis", code="T90",
+                       source="gp_claim"),
+            PointEvent(day=100, category="diagnosis", code="T90",
+                       source="specialist_claim"),
+        ],
+    )
+    cleaned, report = clean_history(history)
+    assert report.duplicates == 0
+    assert len(cleaned.points) == 2
+
+
+def test_report_merge_accumulates():
+    h1 = History(patient_id=1, birth_day=1000,
+                 points=[PointEvent(day=1, category="x")])
+    h2 = History(patient_id=2, birth_day=1000,
+                 points=[PointEvent(day=2, category="x")])
+    __, r1 = clean_history(h1)
+    __, r2 = clean_history(h2)
+    r1.merge(r2)
+    assert r1.before_birth == 2
+    assert r1.dropped == 2
+
+
+def test_clean_history_preserves_demographics():
+    history = History(patient_id=7, birth_day=123, sex="M")
+    cleaned, report = clean_history(history)
+    assert (cleaned.patient_id, cleaned.birth_day, cleaned.sex) == (7, 123, "M")
+    assert report.kept == 0

@@ -1,0 +1,145 @@
+"""Tests for the feature matrix and the web workbench."""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.cohort.features import build_feature_matrix
+from repro.errors import QueryError
+from repro.query.ast import Concept, HasEvent
+from repro.webapp import WorkbenchServer
+from repro.workbench import Workbench
+
+
+class TestFeatureMatrix:
+    def test_shape_and_names(self, small_store):
+        fm = build_feature_matrix(small_store)
+        assert fm.values.shape == (small_store.n_patients, len(fm.names))
+        assert "age_years" in fm.names
+        assert "contacts_primarycare" in fm.names
+        assert "has_T90" in fm.names
+
+    def test_flags_match_queries(self, small_store, small_engine):
+        fm = build_feature_matrix(small_store)
+        flagged = set(
+            fm.patient_ids[fm.column("has_T90") > 0].tolist()
+        )
+        queried = set(
+            small_engine.patients(HasEvent(Concept("T90"))).tolist()
+        )
+        assert flagged == queried
+
+    def test_event_counts_match_store(self, small_store):
+        fm = build_feature_matrix(small_store)
+        assert int(fm.column("n_events").sum()) == small_store.n_events
+
+    def test_hospital_days_nonnegative_and_present(self, small_store):
+        fm = build_feature_matrix(small_store)
+        days = fm.column("n_hospital_days")
+        assert (days >= 0).all()
+        assert days.sum() > 0
+
+    def test_subset(self, small_store):
+        ids = small_store.patient_ids[:50].tolist()
+        fm = build_feature_matrix(small_store, ids)
+        assert fm.n_patients == 50
+
+    def test_active_days_within_span(self, small_store):
+        fm = build_feature_matrix(small_store)
+        span = int(small_store.day.max()) - int(small_store.day.min())
+        assert (fm.column("active_days") <= span + 1).all()
+
+    def test_csv_roundtrip(self, small_store, tmp_path):
+        import csv
+
+        fm = build_feature_matrix(small_store, small_store.patient_ids[:10])
+        path = tmp_path / "features.csv"
+        fm.to_csv(str(path))
+        with open(path, newline="") as f:
+            rows = list(csv.reader(f))
+        assert rows[0] == ["patient_id", *fm.names]
+        assert len(rows) == 11
+
+    def test_unknown_column_rejected(self, small_store):
+        fm = build_feature_matrix(small_store, small_store.patient_ids[:5])
+        with pytest.raises(QueryError):
+            fm.column("nope")
+
+    def test_empty_cohort_rejected(self, small_store):
+        with pytest.raises(QueryError):
+            build_feature_matrix(small_store, [])
+
+
+@pytest.fixture(scope="module")
+def server(small_store):
+    wb = Workbench.from_store(small_store)
+    with WorkbenchServer(wb) as running:
+        yield running
+
+
+def _get(server, path: str) -> tuple[int, str]:
+    with urllib.request.urlopen(server.url + path, timeout=15) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+class TestWebApp:
+    def test_index_shows_summary(self, server):
+        status, body = _get(server, "/")
+        assert status == 200
+        assert "run query" in body
+        assert "patients" in body
+
+    def test_cohort_page(self, server):
+        status, body = _get(server, "/cohort?q=concept%20T90")
+        assert status == 200
+        assert "patients match" in body
+        assert "timeline.svg" in body
+
+    def test_timeline_svg(self, server):
+        status, body = _get(server, "/timeline.svg?q=concept%20T90&rows=15")
+        assert status == 200
+        assert body.startswith("<svg")
+
+    def test_aligned_timeline(self, server):
+        status, body = _get(
+            server, "/timeline.svg?q=concept%20T90&rows=15&align=T90"
+        )
+        assert status == 200
+        assert "mo" in body  # relative-month axis labels
+
+    def test_overview_svg(self, server):
+        status, body = _get(server, "/overview.svg")
+        assert status == 200
+        assert body.startswith("<svg")
+
+    def test_patient_page(self, server, small_store):
+        pid = int(small_store.patient_ids[0])
+        status, body = _get(server, f"/patient/{pid}")
+        assert status == 200
+        assert "personal health timeline" in body
+
+    def test_bad_query_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _get(server, "/cohort?q=concept")
+        assert exc.value.code == 400
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _get(server, "/missing")
+        assert exc.value.code == 404
+
+    def test_bad_patient_id_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _get(server, "/patient/abc")
+        assert exc.value.code == 400
+
+    def test_query_is_escaped_in_form(self, server):
+        status, body = _get(
+            server, "/cohort?q=concept%20T90%20%23%3Cscript%3E"
+        )
+        assert status == 200
+        assert "<script>" not in body

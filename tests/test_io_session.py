@@ -1,0 +1,215 @@
+"""Tests for store persistence and analysis sessions."""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError, EventModelError
+from repro.io import load_store, save_store
+from repro.session import AnalysisSession
+from repro.workbench import Workbench
+
+
+class TestStorePersistence:
+    def test_roundtrip_preserves_everything(self, small_store, tmp_path):
+        path = str(tmp_path / "store.npz")
+        save_store(small_store, path)
+        loaded = load_store(path)
+        assert loaded.n_patients == small_store.n_patients
+        assert loaded.n_events == small_store.n_events
+        assert (loaded.patient == small_store.patient).all()
+        assert (loaded.day == small_store.day).all()
+        assert (loaded.code == small_store.code).all()
+        assert loaded.categories == small_store.categories
+        assert loaded.sources == small_store.sources
+
+    def test_roundtrip_preserves_query_results(self, small_store, tmp_path):
+        from repro.query.engine import QueryEngine
+        from repro.query.ast import Concept, HasEvent
+
+        path = str(tmp_path / "store.npz")
+        save_store(small_store, path)
+        loaded = load_store(path)
+        a = QueryEngine(small_store).patients(HasEvent(Concept("T90")))
+        b = QueryEngine(loaded).patients(HasEvent(Concept("T90")))
+        assert (a == b).all()
+
+    def test_materialization_identical(self, small_store, tmp_path):
+        path = str(tmp_path / "store.npz")
+        save_store(small_store, path)
+        loaded = load_store(path)
+        pid = int(small_store.patient_ids[5])
+        assert loaded.materialize(pid) == small_store.materialize(pid)
+
+    def test_fingerprint_mismatch_rejected(self, small_store, tmp_path,
+                                           monkeypatch):
+        path = str(tmp_path / "store.npz")
+        save_store(small_store, path)
+        import repro.io as io_module
+
+        def tiny_systems():
+            from repro.terminology.codes import Code, CodeSystem
+
+            return {
+                "ICPC-2": CodeSystem("ICPC-2", [Code("A", "only one")]),
+                "ICD-10": small_store.systems["ICD-10"],
+                "ATC": small_store.systems["ATC"],
+            }
+
+        monkeypatch.setattr(io_module, "default_systems", tiny_systems)
+        with pytest.raises(EventModelError, match="mis-decode"):
+            load_store(path)
+
+
+@pytest.fixture()
+def session(workbench: Workbench) -> AnalysisSession:
+    return AnalysisSession(workbench)
+
+
+class TestAnalysisSession:
+    def test_initial_state_is_everyone(self, session, workbench):
+        assert session.current.n_selected == workbench.store.n_patients
+
+    def test_select_replaces(self, session):
+        step = session.select("concept T90", "diabetes")
+        assert step.n_selected < session.history()[0].n_selected
+        assert session.selected_ids == step.patient_ids
+
+    def test_refine_intersects(self, session):
+        session.select("concept T90")
+        before = session.current.n_selected
+        session.refine("sex F")
+        assert session.current.n_selected <= before
+        # refined set is a subset of the previous one
+        assert set(session.selected_ids) <= set(
+            session.history()[-2].patient_ids
+        )
+
+    def test_extend_unions(self, session):
+        session.select("concept T90")
+        before = set(session.selected_ids)
+        session.extend("concept K86")
+        assert set(session.selected_ids) >= before
+
+    def test_undo_redo(self, session):
+        session.select("concept T90")
+        n_selected = session.current.n_selected
+        session.undo()
+        assert session.current.label == "(all patients)"
+        session.redo()
+        assert session.current.n_selected == n_selected
+
+    def test_undo_at_start_raises(self, session):
+        with pytest.raises(QueryError, match="undo"):
+            session.undo()
+
+    def test_redo_without_undo_raises(self, session):
+        session.select("concept T90")
+        with pytest.raises(QueryError, match="redo"):
+            session.redo()
+
+    def test_new_step_truncates_redo_tail(self, session):
+        session.select("concept T90")
+        session.select("concept K86")
+        session.undo()
+        session.select("sex F")
+        with pytest.raises(QueryError):
+            session.redo()
+        labels = [s.label for s in session.history()]
+        assert "select: concept K86" not in labels
+
+    def test_extract_ids_csv(self, session, tmp_path):
+        session.select("concept T90")
+        path = tmp_path / "cohort.csv"
+        count = session.extract_ids(str(path))
+        with open(path, newline="") as f:
+            rows = list(csv.reader(f))
+        assert rows[0] == ["patient_id"]
+        assert len(rows) - 1 == count == session.current.n_selected
+
+    def test_extract_store_reloads(self, session, tmp_path, workbench):
+        session.select("concept T90")
+        path = str(tmp_path / "cohort.npz")
+        count = session.extract_store(path)
+        sub = load_store(path)
+        assert sub.n_patients == count
+        assert set(sub.patient_ids.tolist()) == set(session.selected_ids)
+
+    def test_describe_marks_cursor(self, session):
+        session.select("concept T90")
+        session.undo()
+        text = session.describe()
+        assert text.splitlines()[0].startswith("->")
+
+    def test_history_hides_future_after_undo(self, session):
+        session.select("concept T90")
+        session.undo()
+        assert len(session.history()) == 1
+
+    def test_ast_queries_accepted(self, session):
+        from repro.query.ast import Concept
+
+        step = session.select(Concept("T90"))
+        assert step.n_selected > 0
+        step2 = session.refine(Concept("K86"))
+        assert step2.n_selected <= step.n_selected
+
+
+class TestEventCsv:
+    def test_roundtrip_full_precision(self, small_store, tmp_path):
+        from repro.io import export_events_csv, import_events_csv
+
+        ids = small_store.patient_ids[:40].tolist()
+        path = str(tmp_path / "events.csv")
+        n = export_events_csv(small_store, path, ids)
+        assert n == int(small_store.mask_patients(ids).sum())
+        demographics = {
+            int(p): (small_store.birth_day_of(int(p)),
+                     small_store.sex_of(int(p)))
+            for p in ids
+        }
+        back = import_events_csv(path, demographics)
+        for pid in ids:
+            assert back.materialize(pid) == small_store.materialize(pid)
+
+    def test_header_row(self, small_store, tmp_path):
+        from repro.io import export_events_csv
+
+        path = str(tmp_path / "events.csv")
+        export_events_csv(small_store, path, small_store.patient_ids[:2])
+        header = open(path, encoding="utf-8").readline().strip()
+        assert header.startswith("patient_id,day,end_day,category")
+
+    def test_point_events_have_empty_end(self, small_store, tmp_path):
+        import csv
+
+        from repro.io import export_events_csv
+
+        path = str(tmp_path / "events.csv")
+        export_events_csv(small_store, path, small_store.patient_ids[:5])
+        with open(path, newline="", encoding="utf-8") as f:
+            rows = list(csv.DictReader(f))
+        points = [r for r in rows if r["category"] == "gp_contact"]
+        assert points and all(r["end_day"] == "" for r in points)
+        stays = [r for r in rows if r["category"] == "hospital_stay"]
+        for r in stays:
+            assert int(r["end_day"]) > int(r["day"])
+
+
+class TestConfig:
+    def test_rng_default_seed_reproducible(self):
+        from repro.config import rng
+
+        assert rng(None).integers(0, 1_000_000) == \
+            rng(None).integers(0, 1_000_000)
+
+    def test_spawn_seeds_independent_of_count(self):
+        from repro.config import spawn_seeds
+
+        first = spawn_seeds(42, 10)
+        longer = spawn_seeds(42, 20)
+        assert first == longer[:10]
+        assert len(set(longer)) == 20

@@ -1,0 +1,188 @@
+"""Tests for the NSEPter baseline: graph building, merging, metrics —
+including the documented noise weakness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EventModelError, QueryError
+from repro.events.model import Cohort, History, PointEvent
+from repro.nsepter.graph import HistoryGraph, Occurrence, build_graph
+from repro.nsepter.layout import layout_graph, readability_metrics
+from repro.nsepter.merge import merge_by_regex, recursive_neighbour_merge
+
+
+def sequences_graph(sequences: dict[int, list[str]]) -> HistoryGraph:
+    return HistoryGraph(sequences)
+
+
+class TestGraph:
+    def test_initial_graph_is_disjoint_chains(self):
+        graph = sequences_graph({1: ["A01", "T90"], 2: ["T90", "K86"]})
+        assert graph.n_nodes == 4
+        edges = graph.edges()
+        assert len(edges) == 2
+        assert all(weight == 1 for weight in edges.values())
+
+    def test_build_from_cohort_skips_codeless(self):
+        cohort = Cohort([
+            History(patient_id=1, birth_day=0, points=[
+                PointEvent(day=1, category="diagnosis", code="T90",
+                           system="ICPC-2"),
+            ]),
+            History(patient_id=2, birth_day=0),  # no codes
+        ])
+        graph = build_graph(cohort)
+        assert graph.n_histories == 1
+
+    def test_union_merges_members(self):
+        graph = sequences_graph({1: ["T90"], 2: ["T90"]})
+        a = Occurrence(1, 0, "T90")
+        b = Occurrence(2, 0, "T90")
+        graph.union(a, b)
+        assert graph.find(a) == graph.find(b)
+        assert len(graph.members(a)) == 2
+        assert graph.n_nodes == 1
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(EventModelError):
+            HistoryGraph({})
+
+    def test_node_label_merged_codes(self):
+        graph = sequences_graph({1: ["T90"], 2: ["T89"]})
+        root = graph.union(Occurrence(1, 0, "T90"), Occurrence(2, 0, "T89"))
+        assert graph.node_label(root) == "T89/T90"
+
+
+class TestRegexMerge:
+    def test_rank_based_merge(self):
+        """First occurrences merge with first, second with second."""
+        graph = sequences_graph({
+            1: ["T90", "A01", "T90"],
+            2: ["A03", "T90", "T90"],
+        })
+        roots = merge_by_regex(graph, "T90")
+        assert len(roots) == 2  # rank-1 node and rank-2 node
+        rank1 = graph.node_of(1, 0)
+        assert graph.find(Occurrence(2, 1, "T90")) == rank1
+        rank2 = graph.node_of(1, 2)
+        assert graph.find(Occurrence(2, 2, "T90")) == rank2
+        assert rank1 != rank2
+
+    def test_edge_weights_scale_with_histories(self):
+        graph = sequences_graph({
+            1: ["T90", "K86"],
+            2: ["T90", "K86"],
+            3: ["T90", "R74"],
+        })
+        merge_by_regex(graph, "T90")
+        merge_by_regex(graph, "K86")
+        weights = sorted(graph.edges().values(), reverse=True)
+        assert weights[0] == 2  # two histories share T90 -> K86
+
+    def test_bad_regex_raises(self):
+        with pytest.raises(QueryError):
+            merge_by_regex(sequences_graph({1: ["T90"]}), "[")
+
+    def test_rank_desync_weakness_preserved(self):
+        """One extra occurrence desynchronizes later ranks — the
+        documented NSEPter flaw (ablation A2 depends on it)."""
+        graph = sequences_graph({
+            1: ["T90", "X", "T90"],       # ranks 1 and 2
+            2: ["T90", "T90", "T90"],     # ranks 1, 2 and 3
+        })
+        merge_by_regex(graph, "T90")
+        # history 1's second T90 (rank 2) merges with history 2's *middle*
+        # T90, not its last one.
+        assert graph.find(Occurrence(1, 2, "T90")) == graph.find(
+            Occurrence(2, 1, "T90")
+        )
+        assert graph.find(Occurrence(1, 2, "T90")) != graph.find(
+            Occurrence(2, 2, "T90")
+        )
+
+
+class TestRecursiveMerge:
+    def test_identical_neighbours_merge(self):
+        graph = sequences_graph({
+            1: ["A01", "T90", "K86"],
+            2: ["A01", "T90", "K86"],
+        })
+        seeds = merge_by_regex(graph, "T90")
+        merged = recursive_neighbour_merge(graph, seeds, depth=1)
+        assert merged == 2  # the A01 pair and the K86 pair
+        assert graph.n_nodes == 3
+
+    def test_depth_limits_expansion(self):
+        graph = sequences_graph({
+            1: ["B01", "A01", "T90"],
+            2: ["B01", "A01", "T90"],
+        })
+        seeds = merge_by_regex(graph, "T90")
+        recursive_neighbour_merge(graph, seeds, depth=1)
+        # depth 1 merges A01s but not B01s
+        assert graph.find(Occurrence(1, 1, "A01")) == graph.find(
+            Occurrence(2, 1, "A01")
+        )
+        assert graph.find(Occurrence(1, 0, "B01")) != graph.find(
+            Occurrence(2, 0, "B01")
+        )
+        recursive_neighbour_merge(graph, seeds, depth=2)
+        assert graph.find(Occurrence(1, 0, "B01")) == graph.find(
+            Occurrence(2, 0, "B01")
+        )
+
+    def test_single_position_noise_breaks_merge(self):
+        """'It would miss an opportunity to merge nodes if two histories
+        differed in one single position' — preserved faithfully."""
+        graph = sequences_graph({
+            1: ["A01", "T90", "K86"],
+            2: ["A03", "T90", "K86"],  # differs at position 0
+        })
+        seeds = merge_by_regex(graph, "T90")
+        recursive_neighbour_merge(graph, seeds, depth=2)
+        # K86 merges; the differing predecessors never do.
+        assert graph.find(Occurrence(1, 2, "K86")) == graph.find(
+            Occurrence(2, 2, "K86")
+        )
+        assert graph.find(Occurrence(1, 0, "A01")) != graph.find(
+            Occurrence(2, 0, "A03")
+        )
+
+
+class TestLayoutAndMetrics:
+    def test_unmerged_layout_keeps_history_rows(self):
+        graph = sequences_graph({1: ["A01", "T90"], 2: ["T90", "K86"]})
+        layout = layout_graph(graph)
+        ys = {occ.patient_id: y for occ, (x, y) in layout.positions.items()}
+        assert ys[1] != ys[2]
+
+    def test_merged_node_at_centroid(self):
+        graph = sequences_graph({1: ["T90"], 2: ["T90"]})
+        merge_by_regex(graph, "T90")
+        layout = layout_graph(graph)
+        assert layout.n_nodes == 1
+        (__, y), = layout.positions.values()
+        # centroid of rows 0 and 1
+        assert y == pytest.approx(0.5 * 26.0 + 30)
+
+    def test_metrics_count_crossings(self):
+        # Two crossing edges: (0,0)->(1,1) and (0,1)->(1,0)
+        graph = sequences_graph({1: ["A01", "K86"], 2: ["K86", "A01"]})
+        merge_by_regex(graph, "A01")
+        merge_by_regex(graph, "K86")
+        layout = layout_graph(graph)
+        metrics = readability_metrics(layout)
+        assert metrics.n_nodes == 2
+        assert metrics.edge_density > 0
+
+    def test_metrics_grow_with_scale(self, small_store):
+        small = small_store.to_cohort(small_store.patient_ids[:20].tolist())
+        large = small_store.to_cohort(small_store.patient_ids[:120].tolist())
+
+        def crossings(cohort):
+            graph = build_graph(cohort)
+            merge_by_regex(graph, "T90")
+            return readability_metrics(layout_graph(graph)).edge_crossings
+
+        assert crossings(large) > crossings(small)

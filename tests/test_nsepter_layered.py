@@ -1,0 +1,100 @@
+"""Tests for the layered crossing-reduction layout and code search /
+highlight features."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nsepter import (
+    build_graph,
+    layered_layout,
+    layout_graph,
+    merge_by_regex,
+    readability_metrics,
+    recursive_neighbour_merge,
+)
+from repro.terminology import atc, icd10, icpc2
+from repro.errors import TerminologyError
+from repro.viz.timeline_view import TimelineConfig, TimelineView
+from repro.query.ast import Concept
+
+
+class TestLayeredLayout:
+    @pytest.fixture(scope="class")
+    def merged_graph(self, small_store):
+        ids = small_store.patients_matching(
+            small_store.mask_pattern("ICPC-2", "T90")
+        )[:60].tolist()
+        graph = build_graph(small_store.to_cohort(ids))
+        seeds = merge_by_regex(graph, "T90")
+        recursive_neighbour_merge(graph, seeds, depth=1)
+        return graph
+
+    def test_reduces_crossings_vs_naive(self, merged_graph):
+        naive = readability_metrics(layout_graph(merged_graph),
+                                    max_pairs=300_000)
+        layered = readability_metrics(layered_layout(merged_graph, 6),
+                                      max_pairs=300_000)
+        assert layered.edge_crossings < naive.edge_crossings
+
+    def test_every_node_positioned(self, merged_graph):
+        layout = layered_layout(merged_graph)
+        assert set(layout.positions) == {
+            merged_graph.find(n) for n in merged_graph.nodes()
+        }
+
+    def test_nodes_in_a_layer_never_overlap(self, merged_graph):
+        layout = layered_layout(merged_graph)
+        seen: set[tuple[float, float]] = set()
+        for position in layout.positions.values():
+            assert position not in seen
+            seen.add(position)
+
+    def test_deterministic(self, merged_graph):
+        a = layered_layout(merged_graph, 4)
+        b = layered_layout(merged_graph, 4)
+        assert a.positions == b.positions
+
+
+class TestDisplaySearch:
+    def test_lifelines_search_example(self):
+        """Section II-D1: searching a word finds related items across
+        terminologies."""
+        hits = icpc2().search_display("diabetes")
+        assert {c.code for c in hits} == {"T89", "T90"}
+        icd_hits = {c.code for c in icd10().search_display("diabetes")}
+        assert {"E10", "E11", "E14"} <= icd_hits
+
+    def test_case_insensitive(self):
+        assert icpc2().search_display("DIABETES")
+
+    def test_drug_names_searchable(self):
+        hits = atc().search_display("metoprolol")
+        assert [c.code for c in hits] == ["C07AB02"]
+
+    def test_empty_search_rejected(self):
+        with pytest.raises(TerminologyError):
+            icpc2().search_display("")
+
+    def test_workbench_search_spans_systems(self, workbench):
+        found = workbench.search_codes("diabetes")
+        assert "T90" in found["ICPC-2"]
+        assert "E11" in found["ICD-10"]
+
+
+class TestHighlight:
+    def test_halo_marks_present(self, small_store, small_engine):
+        ids = small_engine.patients(Concept("T90"))[:20].tolist()
+        view = TimelineView(small_store, TimelineConfig(show_legend=False))
+        plain = view.render(ids)
+        highlighted = view.render(ids, highlight={"T90", "E11"})
+        assert highlighted.svg_text.count("#FF6F00") > 0
+        assert plain.svg_text.count("#FF6F00") == 0
+
+    def test_highlight_does_not_change_marks(self, small_store,
+                                             small_engine):
+        ids = small_engine.patients(Concept("T90"))[:20].tolist()
+        view = TimelineView(small_store, TimelineConfig(show_legend=False))
+        plain = view.render(ids)
+        highlighted = view.render(ids, highlight={"T90"})
+        assert len(plain.marks) == len(highlighted.marks)

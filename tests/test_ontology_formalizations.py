@@ -1,0 +1,139 @@
+"""Tests for the paper's two OWL formalizations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OntologyError
+from repro.ontology.integration_ontology import (
+    CARE_LEVELS,
+    SOURCE_KIND_CLASSES,
+    build_integration_ontology,
+    care_level_of,
+    contact_class_for_source_kind,
+    integration_reasoner,
+    is_interval_contact,
+)
+from repro.ontology.presentation_ontology import (
+    FACETS,
+    build_presentation_ontology,
+    presentation_reasoner,
+    visual_spec_for,
+)
+from repro.ontology.reasoner import Reasoner
+
+
+class TestIntegrationOntology:
+    def test_consistent(self):
+        integration_reasoner().check_consistency()
+
+    def test_every_source_kind_has_contact_class(self):
+        reasoner = integration_reasoner()
+        for kind, cls in SOURCE_KIND_CLASSES.items():
+            assert cls in reasoner.ontology.classes
+            assert contact_class_for_source_kind(kind) == cls
+
+    def test_care_levels_partition_contacts(self):
+        for cls in SOURCE_KIND_CLASSES.values():
+            levels = [
+                level for level in CARE_LEVELS
+                if integration_reasoner().is_subclass_of(
+                    cls, level + "Contact"
+                )
+            ]
+            assert len(levels) == 1, f"{cls} in {levels}"
+
+    def test_hospital_is_specialist_care(self):
+        assert care_level_of("InpatientStay") == "SpecialistCare"
+        assert care_level_of("GPContact") == "PrimaryCare"
+        assert care_level_of("NursingHomeStay") == "MunicipalCare"
+
+    def test_emergency_is_gp_subclass(self):
+        reasoner = integration_reasoner()
+        assert reasoner.is_subclass_of("EmergencyPrimaryCareContact", "GPContact")
+
+    def test_interval_vs_point_contacts(self):
+        assert is_interval_contact("InpatientStay")
+        assert is_interval_contact("HomeCareService")
+        assert not is_interval_contact("OutpatientVisit")
+        assert not is_interval_contact("GPContact")
+
+    def test_source_kind_literal_classifies_record(self):
+        ont = build_integration_ontology()
+        record = ont.add_individual("rec")
+        record.set_value("sourceKind", "hospital_inpatient")
+        reasoner = Reasoner(ont)
+        types = reasoner.instance_types("rec")
+        assert "InpatientStay" in types
+        assert "SpecialistCareContact" in types
+        assert "IntervalContact" in types
+
+    def test_diabetes_contact_defined_class(self):
+        """Membership in DiabetesContact is inferred, never asserted."""
+        ont = build_integration_ontology()
+        record = ont.add_individual("rec")
+        record.set_value("sourceKind", "gp_claim")
+        diagnosis = ont.add_individual("dx")
+        diagnosis.assert_type(ont.classes["DiagnosisAssertion"])
+        diagnosis.set_value("codeChapter", "icpc2:T90")
+        record.relate("hasDiagnosis", "dx")
+        reasoner = Reasoner(ont)
+        assert "DiabetesContact" in reasoner.instance_types("rec")
+
+    def test_icd_coded_diabetes_also_classifies(self):
+        """The same defined class spans both terminologies (integration)."""
+        ont = build_integration_ontology()
+        record = ont.add_individual("rec")
+        record.set_value("sourceKind", "hospital_inpatient")
+        diagnosis = ont.add_individual("dx")
+        diagnosis.set_value("codeChapter", "icd10:E11")
+        record.relate("hasDiagnosis", "dx")
+        reasoner = Reasoner(ont)
+        assert "DiabetesContact" in reasoner.instance_types("rec")
+
+
+class TestPresentationOntology:
+    def test_consistent(self):
+        presentation_reasoner().check_consistency()
+
+    def test_point_and_interval_marks_disjoint(self):
+        reasoner = presentation_reasoner()
+        assert reasoner.is_subclass_of("RectangleGlyph", "PointMark")
+        assert reasoner.is_subclass_of("BandMark", "IntervalMark")
+        assert "PointMark" not in reasoner.subsumers("BandMark")
+
+    def test_blood_pressure_is_arrow_in_observations(self):
+        spec = visual_spec_for("blood_pressure")
+        assert spec.mark == "ArrowGlyph"
+        assert spec.facet == "Observations"
+        assert not spec.is_interval
+
+    def test_prescription_is_band_in_medications(self):
+        spec = visual_spec_for("prescription")
+        assert spec.mark == "BandMark"
+        assert spec.facet == "Medications"
+        assert spec.is_interval
+
+    def test_every_category_resolves_uniquely(self):
+        ont = build_presentation_ontology()
+        categories = sorted(
+            name[len("Entry_"):]
+            for name in ont.classes
+            if name.startswith("Entry_")
+        )
+        assert len(categories) >= 10
+        for category in categories:
+            spec = visual_spec_for(category)
+            assert spec.facet in FACETS
+            assert spec.mark
+
+    def test_unknown_category_raises(self):
+        with pytest.raises(OntologyError, match="no presentation axioms"):
+            visual_spec_for("not_a_category")
+
+    def test_identity_channels_are_preattentive(self):
+        reasoner = presentation_reasoner()
+        for category in ("diagnosis", "prescription", "blood_pressure"):
+            spec = visual_spec_for(category)
+            channel_class = f"Channel_{spec.identity_channel}"
+            assert reasoner.is_subclass_of(channel_class, "PreattentiveChannel")

@@ -1,0 +1,105 @@
+"""Tests for the OWL-style ontology model container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OntologyError
+from repro.ontology.model import (
+    Conjunction,
+    DataHasValue,
+    DisjointClasses,
+    NamedClass,
+    ObjectSomeValuesFrom,
+    Ontology,
+    SubClassOf,
+    SubPropertyOf,
+)
+
+
+def test_declare_class_is_idempotent():
+    ont = Ontology("t")
+    a1 = ont.declare_class("A")
+    a2 = ont.declare_class("A")
+    assert a1 == a2
+    assert "A" in ont.classes
+
+
+def test_thing_predeclared():
+    assert "Thing" in Ontology("t").classes
+
+
+def test_axiom_rejects_undeclared_class():
+    ont = Ontology("t")
+    ont.declare_class("A")
+    with pytest.raises(OntologyError, match="undeclared class"):
+        ont.subclass_of(NamedClass("A"), NamedClass("B"))
+
+
+def test_axiom_rejects_undeclared_property():
+    ont = Ontology("t")
+    a = ont.declare_class("A")
+    b = ont.declare_class("B")
+    with pytest.raises(OntologyError, match="undeclared object property"):
+        ont.subclass_of(a, ObjectSomeValuesFrom("r", b))
+    with pytest.raises(OntologyError, match="undeclared data property"):
+        ont.subclass_of(a, DataHasValue("p", "x"))
+
+
+def test_nested_expressions_validated():
+    ont = Ontology("t")
+    a = ont.declare_class("A")
+    ont.declare_object_property("r")
+    with pytest.raises(OntologyError):
+        ont.subclass_of(a, ObjectSomeValuesFrom("r", NamedClass("Ghost")))
+
+
+def test_conjunction_needs_two_operands():
+    with pytest.raises(OntologyError):
+        Conjunction((NamedClass("A"),))
+
+
+def test_empty_class_name_rejected():
+    with pytest.raises(OntologyError):
+        NamedClass("")
+
+
+def test_conflicting_property_redeclaration():
+    ont = Ontology("t")
+    a = ont.declare_class("A")
+    ont.declare_object_property("r", domain=a)
+    with pytest.raises(OntologyError, match="conflicting"):
+        ont.declare_object_property("r", domain=ont.declare_class("B"))
+
+
+def test_subproperty_axiom_checks_names():
+    ont = Ontology("t")
+    ont.declare_object_property("r")
+    with pytest.raises(OntologyError):
+        ont.add_axiom(SubPropertyOf("r", "missing"))
+
+
+def test_individual_assertions_accumulate():
+    ont = Ontology("t")
+    a = ont.declare_class("A")
+    ind = ont.add_individual("x")
+    ind.assert_type(a)
+    ind.relate("r", "y")
+    ind.set_value("p", 3)
+    assert ont.add_individual("x") is ind
+    assert ind.types == {a}
+    assert ind.object_assertions == [("r", "y")]
+    assert ind.data_assertions == [("p", 3)]
+
+
+def test_disjoint_axiom_accepted():
+    ont = Ontology("t")
+    a = ont.declare_class("A")
+    b = ont.declare_class("B")
+    ont.disjoint(a, b)
+    assert any(isinstance(ax, DisjointClasses) for ax in ont.axioms)
+
+
+def test_subclassof_dataclass_equality():
+    a, b = NamedClass("A"), NamedClass("B")
+    assert SubClassOf(a, b) == SubClassOf(NamedClass("A"), NamedClass("B"))

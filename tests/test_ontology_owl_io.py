@@ -1,0 +1,116 @@
+"""Round-trip tests for the OWL functional-syntax serializer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OntologyError
+from repro.ontology.integration_ontology import build_integration_ontology
+from repro.ontology.model import (
+    Conjunction,
+    DataHasValue,
+    NamedClass,
+    ObjectSomeValuesFrom,
+    Ontology,
+)
+from repro.ontology.owl_io import from_functional_syntax, to_functional_syntax
+from repro.ontology.presentation_ontology import build_presentation_ontology
+from repro.ontology.reasoner import Reasoner
+
+
+def sample_ontology() -> Ontology:
+    ont = Ontology("sample")
+    a = ont.declare_class("A")
+    b = ont.declare_class("B")
+    c = ont.declare_class("C")
+    ont.declare_object_property("r")
+    ont.declare_data_property("p")
+    ont.subclass_of(a, b)
+    ont.equivalent(c, Conjunction((a, ObjectSomeValuesFrom("r", b))))
+    ont.disjoint(a, c)
+    ont.subclass_of(DataHasValue("p", 'quote"inside'), a)
+    ont.subclass_of(DataHasValue("p", 42), b)
+    ont.subclass_of(DataHasValue("p", True), b)
+    ont.subclass_of(DataHasValue("p", 2.5), b)
+    x = ont.add_individual("x")
+    x.assert_type(a)
+    x.relate("r", "y")
+    x.set_value("p", "hello world")
+    ont.add_individual("y")
+    return ont
+
+
+def roundtrip(ont: Ontology) -> Ontology:
+    return from_functional_syntax(to_functional_syntax(ont))
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self):
+        ont = sample_ontology()
+        back = roundtrip(ont)
+        assert set(back.classes) == set(ont.classes)
+        assert set(back.object_properties) == set(ont.object_properties)
+        assert set(back.data_properties) == set(ont.data_properties)
+        assert len(back.axioms) == len(ont.axioms)
+        assert set(back.individuals) == set(ont.individuals)
+
+    def test_axioms_semantically_identical(self):
+        ont = sample_ontology()
+        back = roundtrip(ont)
+        assert set(map(repr, back.axioms)) == set(map(repr, ont.axioms))
+
+    def test_literal_types_survive(self):
+        back = roundtrip(sample_ontology())
+        values = {
+            v for ax in back.axioms
+            if hasattr(ax, "sub") and isinstance(ax.sub, DataHasValue)
+            for v in [ax.sub.value]
+        }
+        assert 'quote"inside' in values
+        assert 42 in values and True in values and 2.5 in values
+        # bool must stay bool, not become int
+        assert any(v is True for v in values)
+
+    def test_individual_assertions_survive(self):
+        back = roundtrip(sample_ontology())
+        x = back.individuals["x"]
+        assert NamedClass("A") in x.types
+        assert ("r", "y") in x.object_assertions
+        assert ("p", "hello world") in x.data_assertions
+
+    def test_reasoning_agrees_after_roundtrip(self):
+        ont = sample_ontology()
+        r1 = Reasoner(ont)
+        r2 = Reasoner(roundtrip(ont))
+        for cls in ont.classes:
+            assert r1.subsumers(cls) == r2.subsumers(cls)
+
+    @pytest.mark.parametrize(
+        "builder", [build_integration_ontology, build_presentation_ontology]
+    )
+    def test_paper_formalizations_roundtrip(self, builder):
+        ont = builder()
+        back = roundtrip(ont)
+        assert set(back.classes) == set(ont.classes)
+        assert len(back.axioms) == len(ont.axioms)
+
+
+class TestParserErrors:
+    def test_garbage_rejected(self):
+        with pytest.raises(OntologyError):
+            from_functional_syntax("not owl at all ;;;")
+
+    def test_wrong_iri_rejected(self):
+        with pytest.raises(OntologyError, match="IRI"):
+            from_functional_syntax("Ontology(<urn:other:x>)")
+
+    def test_unknown_construct_rejected(self):
+        text = "Ontology(<urn:repro:x>\n  FancyAxiom(:A :B)\n)"
+        with pytest.raises(OntologyError, match="unknown OWL construct"):
+            from_functional_syntax(text)
+
+    def test_truncated_document(self):
+        ont = sample_ontology()
+        text = to_functional_syntax(ont)
+        with pytest.raises(OntologyError):
+            from_functional_syntax(text[: len(text) // 2])

@@ -1,0 +1,123 @@
+"""Property tests over random ontologies: serialization round-trips and
+reasoner invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ontology.model import (
+    Conjunction,
+    DataHasValue,
+    NamedClass,
+    ObjectSomeValuesFrom,
+    Ontology,
+)
+from repro.ontology.owl_io import from_functional_syntax, to_functional_syntax
+from repro.ontology.reasoner import Reasoner
+
+_CLASS_NAMES = [f"C{i}" for i in range(6)]
+_PROPS = ["r", "s"]
+_DATA_PROPS = ["p"]
+
+
+@st.composite
+def ontologies(draw) -> Ontology:
+    """A random small ontology with subclass/equivalence axioms over
+    named classes, conjunctions, existentials and value restrictions."""
+    ont = Ontology("random")
+    for name in _CLASS_NAMES:
+        ont.declare_class(name)
+    for prop in _PROPS:
+        ont.declare_object_property(prop)
+    for prop in _DATA_PROPS:
+        ont.declare_data_property(prop)
+
+    def atom():
+        return NamedClass(draw(st.sampled_from(_CLASS_NAMES)))
+
+    def expression(depth: int):
+        if depth == 0:
+            choice = draw(st.integers(0, 1))
+            if choice == 0:
+                return atom()
+            return DataHasValue(
+                draw(st.sampled_from(_DATA_PROPS)),
+                draw(st.sampled_from(["a", "b", 1, True])),
+            )
+        choice = draw(st.integers(0, 3))
+        if choice == 0:
+            return atom()
+        if choice == 1:
+            return Conjunction((expression(depth - 1), expression(depth - 1)))
+        if choice == 2:
+            return ObjectSomeValuesFrom(
+                draw(st.sampled_from(_PROPS)), expression(depth - 1)
+            )
+        return DataHasValue(
+            draw(st.sampled_from(_DATA_PROPS)),
+            draw(st.sampled_from(["a", "b", 2])),
+        )
+
+    n_axioms = draw(st.integers(1, 8))
+    for __ in range(n_axioms):
+        kind = draw(st.integers(0, 1))
+        if kind == 0:
+            ont.subclass_of(expression(2), expression(2))
+        else:
+            ont.equivalent(expression(1), expression(1))
+
+    n_individuals = draw(st.integers(0, 3))
+    for i in range(n_individuals):
+        ind = ont.add_individual(f"x{i}")
+        ind.assert_type(atom())
+        if draw(st.booleans()):
+            ind.relate(draw(st.sampled_from(_PROPS)), f"x{(i + 1) % 3}")
+        if draw(st.booleans()):
+            ind.set_value("p", draw(st.sampled_from(["a", "b", 1])))
+    return ont
+
+
+@settings(max_examples=60, deadline=None)
+@given(ontologies())
+def test_roundtrip_preserves_axioms(ont):
+    back = from_functional_syntax(to_functional_syntax(ont))
+    assert set(back.classes) == set(ont.classes)
+    assert [repr(a) for a in back.axioms] == [repr(a) for a in ont.axioms]
+    assert set(back.individuals) == set(ont.individuals)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ontologies())
+def test_roundtrip_preserves_entailments(ont):
+    original = Reasoner(ont)
+    back = Reasoner(from_functional_syntax(to_functional_syntax(ont)))
+    for cls in _CLASS_NAMES:
+        assert original.subsumers(cls) == back.subsumers(cls)
+    for name in ont.individuals:
+        assert original.instance_types(name) == back.instance_types(name)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ontologies())
+def test_subsumption_is_a_preorder(ont):
+    """Reflexivity and transitivity over all named classes."""
+    reasoner = Reasoner(ont)
+    for a in _CLASS_NAMES:
+        assert reasoner.is_subclass_of(a, a)
+        assert reasoner.is_subclass_of(a, "Thing")
+        for b in reasoner.subsumers(a):
+            for c in reasoner.subsumers(b):
+                assert reasoner.is_subclass_of(a, c), (a, b, c)
+
+
+@settings(max_examples=30, deadline=None)
+@given(ontologies())
+def test_instance_types_closed_under_subsumption(ont):
+    reasoner = Reasoner(ont)
+    for name in ont.individuals:
+        types = reasoner.instance_types(name)
+        for t in types:
+            # every subsumer of an inferred type must itself be inferred
+            for sup in reasoner.subsumers(t):
+                assert sup in types, (name, t, sup)

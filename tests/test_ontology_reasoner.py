@@ -1,0 +1,185 @@
+"""Tests for the EL-style reasoner: subsumption, realization, consistency."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InconsistentOntologyError
+from repro.ontology.model import (
+    Conjunction,
+    DataHasValue,
+    NamedClass,
+    ObjectSomeValuesFrom,
+    Ontology,
+    SubPropertyOf,
+)
+from repro.ontology.reasoner import Reasoner
+
+
+def chain_ontology() -> Ontology:
+    ont = Ontology("chain")
+    a = ont.declare_class("A")
+    b = ont.declare_class("B")
+    c = ont.declare_class("C")
+    ont.subclass_of(a, b)
+    ont.subclass_of(b, c)
+    return ont
+
+
+class TestSubsumption:
+    def test_transitive_closure(self):
+        reasoner = Reasoner(chain_ontology())
+        assert reasoner.is_subclass_of("A", "C")
+        assert not reasoner.is_subclass_of("C", "A")
+
+    def test_reflexive_and_thing(self):
+        reasoner = Reasoner(chain_ontology())
+        assert reasoner.is_subclass_of("A", "A")
+        assert reasoner.is_subclass_of("A", "Thing")
+
+    def test_direct_superclasses_skip_indirect(self):
+        reasoner = Reasoner(chain_ontology())
+        assert reasoner.direct_superclasses("A") == {"B"}
+
+    def test_subclasses(self):
+        reasoner = Reasoner(chain_ontology())
+        assert reasoner.subclasses("C") == {"A", "B", "C"}
+
+    def test_equivalence_creates_mutual_subsumption(self):
+        ont = Ontology("eq")
+        a = ont.declare_class("A")
+        b = ont.declare_class("B")
+        ont.equivalent(a, b)
+        reasoner = Reasoner(ont)
+        assert reasoner.is_subclass_of("A", "B")
+        assert reasoner.is_subclass_of("B", "A")
+
+    def test_conjunction_subsumption(self):
+        ont = Ontology("conj")
+        a = ont.declare_class("A")
+        b = ont.declare_class("B")
+        c = ont.declare_class("C")
+        d = ont.declare_class("D")
+        ont.subclass_of(Conjunction((a, b)), c)
+        ont.subclass_of(d, a)
+        ont.subclass_of(d, b)
+        reasoner = Reasoner(ont)
+        assert reasoner.is_subclass_of("D", "C")
+        assert not reasoner.is_subclass_of("A", "C")
+
+    def test_existential_chain(self):
+        """A ⊑ ∃r.B, ∃r.B ⊑ C entails A ⊑ C."""
+        ont = Ontology("ex")
+        a = ont.declare_class("A")
+        b = ont.declare_class("B")
+        c = ont.declare_class("C")
+        ont.declare_object_property("r")
+        ont.subclass_of(a, ObjectSomeValuesFrom("r", b))
+        ont.subclass_of(ObjectSomeValuesFrom("r", b), c)
+        reasoner = Reasoner(ont)
+        assert reasoner.is_subclass_of("A", "C")
+
+    def test_existential_filler_subsumption(self):
+        """A ⊑ ∃r.B1, B1 ⊑ B, ∃r.B ⊑ C entails A ⊑ C (CR4 via filler)."""
+        ont = Ontology("ex2")
+        a = ont.declare_class("A")
+        b1 = ont.declare_class("B1")
+        b = ont.declare_class("B")
+        c = ont.declare_class("C")
+        ont.declare_object_property("r")
+        ont.subclass_of(b1, b)
+        ont.subclass_of(a, ObjectSomeValuesFrom("r", b1))
+        ont.subclass_of(ObjectSomeValuesFrom("r", b), c)
+        assert Reasoner(ont).is_subclass_of("A", "C")
+
+    def test_property_hierarchy_in_existentials(self):
+        """A ⊑ ∃s.B, s ⊑ r, ∃r.B ⊑ C entails A ⊑ C."""
+        ont = Ontology("props")
+        a = ont.declare_class("A")
+        b = ont.declare_class("B")
+        c = ont.declare_class("C")
+        ont.declare_object_property("r")
+        ont.declare_object_property("s")
+        ont.add_axiom(SubPropertyOf("s", "r"))
+        ont.subclass_of(a, ObjectSomeValuesFrom("s", b))
+        ont.subclass_of(ObjectSomeValuesFrom("r", b), c)
+        assert Reasoner(ont).is_subclass_of("A", "C")
+
+    def test_data_value_atoms(self):
+        ont = Ontology("vals")
+        a = ont.declare_class("A")
+        ont.declare_data_property("kind")
+        ont.subclass_of(DataHasValue("kind", "x"), a)
+        reasoner = Reasoner(ont)
+        ind = ont.add_individual("i")
+        ind.set_value("kind", "x")
+        reasoner2 = Reasoner(ont)
+        assert "A" in reasoner2.instance_types("i")
+
+
+class TestRealization:
+    def test_types_close_under_subsumption(self):
+        ont = chain_ontology()
+        ont.add_individual("x").assert_type(NamedClass("A"))
+        reasoner = Reasoner(ont)
+        assert reasoner.instance_types("x") >= {"A", "B", "C"}
+
+    def test_role_assertion_triggers_existential(self):
+        ont = Ontology("role")
+        b = ont.declare_class("B")
+        c = ont.declare_class("C")
+        ont.declare_object_property("r")
+        ont.subclass_of(ObjectSomeValuesFrom("r", b), c)
+        x = ont.add_individual("x")
+        y = ont.add_individual("y")
+        x.relate("r", "y")
+        y.assert_type(b)
+        reasoner = Reasoner(ont)
+        assert "C" in reasoner.instance_types("x")
+        assert "C" not in reasoner.instance_types("y")
+
+    def test_instances_of(self):
+        ont = chain_ontology()
+        ont.add_individual("x").assert_type(NamedClass("A"))
+        ont.add_individual("y").assert_type(NamedClass("C"))
+        reasoner = Reasoner(ont)
+        assert reasoner.instances_of("C") == {"x", "y"}
+        assert reasoner.instances_of("A") == {"x"}
+
+
+class TestConsistency:
+    def test_unsatisfiable_class_detected(self):
+        ont = Ontology("bad")
+        a = ont.declare_class("A")
+        b = ont.declare_class("B")
+        c = ont.declare_class("C")
+        ont.disjoint(a, b)
+        ont.subclass_of(c, a)
+        ont.subclass_of(c, b)
+        reasoner = Reasoner(ont)
+        assert "C" in reasoner.unsatisfiable_classes()
+        with pytest.raises(InconsistentOntologyError, match="unsatisfiable"):
+            reasoner.check_consistency()
+
+    def test_individual_disjointness_violation(self):
+        ont = Ontology("badind")
+        a = ont.declare_class("A")
+        b = ont.declare_class("B")
+        ont.disjoint(a, b)
+        ind = ont.add_individual("x")
+        ind.assert_type(a)
+        ind.assert_type(b)
+        with pytest.raises(InconsistentOntologyError, match="x"):
+            Reasoner(ont).check_consistency()
+
+    def test_consistent_ontology_passes(self):
+        Reasoner(chain_ontology()).check_consistency()
+
+    def test_reasoner_is_snapshot(self):
+        ont = chain_ontology()
+        reasoner = Reasoner(ont)
+        d = ont.declare_class("D")
+        ont.subclass_of(d, NamedClass("A"))
+        # The old reasoner does not see D; a new one does.
+        assert not reasoner.is_subclass_of("D", "C")
+        assert Reasoner(ont).is_subclass_of("D", "C")

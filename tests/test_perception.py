@@ -1,0 +1,119 @@
+"""Tests for the perception models (Figure 3, cost of knowledge)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError, SimulationError
+from repro.perception.cost_of_knowledge import (
+    DESIGNS,
+    InterfaceDesign,
+    knowledge_cost,
+)
+from repro.perception.preattentive import (
+    PREATTENTIVE_FEATURES,
+    DisplayItem,
+    SearchTask,
+    classify_search,
+)
+from repro.perception.search_model import (
+    fit_slope,
+    make_conjunction_task,
+    make_popout_task,
+    simulate_search_times,
+)
+
+
+class TestClassification:
+    def test_figure3_popout_is_preattentive(self):
+        """Red circle among blue circles: single-feature pop-out."""
+        assert classify_search(make_popout_task(50)) == "preattentive"
+
+    def test_conjunction_detected(self):
+        """Red circle among blue circles AND red squares."""
+        assert classify_search(make_conjunction_task(50)) == "conjunction"
+
+    def test_identical_distractor_means_absent(self):
+        target = DisplayItem.of(color_hue="red", curvature="circle")
+        task = SearchTask(target, [target])
+        assert classify_search(task) == "absent"
+
+    def test_unknown_feature_rejected(self):
+        with pytest.raises(ReproError):
+            DisplayItem.of(smell="bad")
+
+    def test_ware_catalog_quoted(self):
+        assert "color_hue" in PREATTENTIVE_FEATURES
+        assert "direction_of_motion" in PREATTENTIVE_FEATURES
+        assert len(PREATTENTIVE_FEATURES) == 17
+
+
+class TestSearchModel:
+    def test_flat_vs_linear_shape(self):
+        """The Figure 3 phenomenon: flat pop-out, linear conjunction."""
+        sizes = (10, 40, 160, 640)
+        popout = [simulate_search_times(make_popout_task(n), seed=n)
+                  for n in sizes]
+        conj = [simulate_search_times(make_conjunction_task(n), seed=n)
+                for n in sizes]
+        popout_slope, __ = fit_slope(popout)
+        conj_slope, __ = fit_slope(conj)
+        assert abs(popout_slope) < 1.0          # flat, ms/item
+        assert conj_slope > 5.0                 # clearly linear
+        assert conj_slope > 20 * abs(popout_slope)
+
+    def test_mode_derived_not_assumed(self):
+        result = simulate_search_times(make_popout_task(30), seed=1)
+        assert result.mode == "preattentive"
+        result = simulate_search_times(make_conjunction_task(30), seed=1)
+        assert result.mode == "conjunction"
+
+    def test_absent_target_rejected(self):
+        target = DisplayItem.of(color_hue="red")
+        with pytest.raises(SimulationError):
+            simulate_search_times(SearchTask(target, [target]), seed=1)
+
+    def test_deterministic(self):
+        a = simulate_search_times(make_conjunction_task(100), seed=5)
+        b = simulate_search_times(make_conjunction_task(100), seed=5)
+        assert a.mean_rt_ms == b.mean_rt_ms
+
+    def test_fit_needs_two_points(self):
+        with pytest.raises(SimulationError):
+            fit_slope([simulate_search_times(make_popout_task(10), seed=1)])
+
+
+class TestCostOfKnowledge:
+    def test_workbench_design_wins(self):
+        """Overview + details-on-demand beats every alternative for the
+        read-k-details task — the design decision the paper made."""
+        total, k = 5_000, 10
+        costs = {d.name: knowledge_cost(d, total, k) for d in DESIGNS}
+        assert costs["timeline-workbench"] == min(costs.values())
+
+    def test_details_on_demand_matters_more_with_scale(self):
+        with_dod = next(d for d in DESIGNS if d.name == "timeline-workbench")
+        without = next(d for d in DESIGNS if d.name == "timeline-no-dod")
+        small_gap = (knowledge_cost(without, 500, 10)
+                     - knowledge_cost(with_dod, 500, 10))
+        large_gap = (knowledge_cost(without, 50_000, 10)
+                     - knowledge_cost(with_dod, 50_000, 10))
+        assert large_gap > small_gap
+
+    def test_zero_details_zero_cost(self):
+        assert knowledge_cost(DESIGNS[0], 1_000, 0) == 0.0
+
+    def test_cost_scales_linearly_in_k(self):
+        design = DESIGNS[-1]
+        assert knowledge_cost(design, 1_000, 20) == pytest.approx(
+            2 * knowledge_cost(design, 1_000, 10)
+        )
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(SimulationError):
+            knowledge_cost(DESIGNS[0], -1, 5)
+
+    def test_custom_design(self):
+        design = InterfaceDesign("paper-record", has_overview=False,
+                                 has_details_on_demand=False, visible_marks=0)
+        assert knowledge_cost(design, 100, 3) > 0

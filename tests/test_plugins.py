@@ -1,0 +1,106 @@
+"""Tests for the plug-in registry (NSEPter's interchangeable filters and
+view engines, Section II-A1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.plugins import (
+    apply_filters,
+    get_filter,
+    get_view,
+    list_filters,
+    list_views,
+    register_filter,
+    register_view,
+)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"busiest-50", "drop-empty", "diagnoses-only"} <= set(
+            list_filters()
+        )
+        assert {"timeline", "density", "nsepter-graph"} <= set(list_views())
+
+    def test_unknown_names_rejected_with_catalog(self):
+        with pytest.raises(ReproError, match="available"):
+            get_filter("nope")
+        with pytest.raises(ReproError, match="available"):
+            get_view("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ReproError, match="already registered"):
+            register_filter("drop-empty")(lambda c: c)
+        with pytest.raises(ReproError, match="already registered"):
+            register_view("timeline")(lambda s, i: None)
+
+    def test_custom_filter_roundtrip(self):
+        @register_filter("test-identity")
+        def identity(cohort):
+            return cohort
+
+        assert get_filter("test-identity") is identity
+        assert "test-identity" in list_filters()
+
+
+class TestBuiltinFilters:
+    def test_busiest_50(self, small_store):
+        cohort = small_store.to_cohort(
+            small_store.patient_ids[:120].tolist()
+        )
+        top = get_filter("busiest-50")(cohort)
+        assert len(top) == 50
+        counts = [len(h) for h in top]
+        assert counts == sorted(counts, reverse=True)
+        # no excluded history is busier than the selected minimum
+        excluded_max = max(
+            len(h) for h in cohort
+            if h.patient_id not in set(top.patient_ids)
+        )
+        assert min(counts) >= excluded_max - 0  # ties may fall either side
+
+    def test_diagnoses_only(self, small_store):
+        cohort = small_store.to_cohort(small_store.patient_ids[:20].tolist())
+        filtered = get_filter("diagnoses-only")(cohort)
+        for history in filtered:
+            assert not history.intervals
+            assert all(p.category == "diagnosis" for p in history.points)
+
+    def test_filter_chain(self, small_store):
+        cohort = small_store.to_cohort(
+            small_store.patient_ids[:120].tolist()
+        )
+        result = apply_filters(cohort, ["diagnoses-only", "busiest-50"])
+        assert len(result) == 50
+        assert all(
+            p.category == "diagnosis" for h in result for p in h.points
+        )
+
+
+class TestBuiltinViews:
+    def test_all_views_render_same_cohort(self, small_store, small_engine):
+        """The paper's point: engines interchange over one data model."""
+        from repro.query.ast import Concept
+
+        ids = small_engine.patients(Concept("T90"))[:25].tolist()
+        for name in ("timeline", "density", "nsepter-graph"):
+            scene = get_view(name)(small_store, ids)
+            text = (
+                scene.svg_text if hasattr(scene, "svg_text")
+                else scene.to_string()
+            )
+            assert text.startswith("<svg")
+
+
+def test_workbench_render_view(small_store, small_engine):
+    from repro.query.ast import Concept
+    from repro.workbench import Workbench
+
+    wb = Workbench.from_store(small_store)
+    ids = small_engine.patients(Concept("T90"))[:10]
+    scene = wb.render_view("density", ids)
+    assert scene.svg_text.startswith("<svg")
+    with pytest.raises(ReproError):
+        wb.render_view("missing-view", ids)

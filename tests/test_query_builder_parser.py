@@ -1,0 +1,158 @@
+"""Tests for the fluent query builder (Fig 4) and the textual language."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError, QuerySyntaxError
+from repro.query.ast import (
+    AgeRange,
+    Category,
+    CodeMatch,
+    Concept,
+    CountAtLeast,
+    HasEvent,
+    PatientAnd,
+    PatientNot,
+    PatientOr,
+    SexIs,
+)
+from repro.query.builder import QueryBuilder
+from repro.query.parser import parse_query
+
+
+class TestBuilder:
+    def test_single_clause_unwrapped(self):
+        query = QueryBuilder().with_concept("T90").build()
+        assert query == HasEvent(Concept("T90"))
+
+    def test_clauses_conjoined(self):
+        query = (
+            QueryBuilder()
+            .with_concept("T90")
+            .min_count("gp_contact", 4)
+            .female()
+            .build()
+        )
+        assert isinstance(query, PatientAnd)
+        assert len(query.children) == 3
+
+    def test_with_branch_builds_paper_regex(self):
+        query = QueryBuilder().with_branch("ICPC-2", "F", "H").build()
+        assert isinstance(query, HasEvent)
+        assert isinstance(query.expr, CodeMatch)
+        assert query.expr.pattern == "(?:F.*)|(?:H.*)"
+
+    def test_window_scopes_event_clauses(self, small_engine):
+        scoped = (
+            QueryBuilder()
+            .in_window(15_400, 15_450)
+            .with_category("gp_contact")
+            .build()
+        )
+        unscoped = QueryBuilder().with_category("gp_contact").build()
+        assert small_engine.count(scoped) < small_engine.count(unscoped)
+
+    def test_either_and_exclude(self, small_engine):
+        query = (
+            QueryBuilder()
+            .either(Concept("T90"), Concept("K86"))
+            .exclude(SexIs("M"))
+            .build()
+        )
+        assert isinstance(query, PatientAnd)
+        assert isinstance(query.children[0], PatientOr)
+        assert isinstance(query.children[1], PatientNot)
+        ids = small_engine.patients(query)
+        assert all(
+            small_engine.store.sex_of(int(p)) == "F" for p in ids[:20]
+        )
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(QueryError, match="empty"):
+            QueryBuilder().build()
+
+    def test_double_build_rejected(self):
+        builder = QueryBuilder().with_concept("T90")
+        builder.build()
+        with pytest.raises(QueryError, match="already built"):
+            builder.build()
+
+    def test_either_needs_two(self):
+        with pytest.raises(QueryError):
+            QueryBuilder().either(Concept("T90"))
+
+
+class TestParser:
+    def test_atoms(self):
+        assert parse_query("concept T90") == HasEvent(Concept("T90"))
+        assert parse_query("category gp_contact") == HasEvent(
+            Category("gp_contact")
+        )
+        assert parse_query("sex F") == SexIs("F")
+        assert parse_query("code icpc2 /T90/") == HasEvent(
+            CodeMatch("ICPC-2", "T90")
+        )
+
+    def test_atleast(self):
+        query = parse_query("atleast 4 category gp_contact")
+        assert query == CountAtLeast(Category("gp_contact"), 4)
+
+    def test_age(self):
+        assert parse_query("age 40 .. 80 at 15706") == AgeRange(40, 80, 15706)
+
+    def test_precedence_and_parens(self):
+        query = parse_query("concept T90 or concept K86 and sex F")
+        # and binds tighter than or
+        assert isinstance(query, PatientOr)
+        assert isinstance(query.children[1], PatientAnd)
+        grouped = parse_query("(concept T90 or concept K86) and sex F")
+        assert isinstance(grouped, PatientAnd)
+
+    def test_not(self):
+        query = parse_query("not sex M")
+        assert query == PatientNot(SexIs("M"))
+
+    def test_during_window(self):
+        query = parse_query("during 100 .. 200 category gp_contact")
+        assert isinstance(query, HasEvent)
+
+    def test_regex_with_escaped_slash(self):
+        query = parse_query(r"code icpc2 /F.*\/H/")
+        assert query.expr.pattern == "F.*/H"
+
+    def test_comments_ignored(self):
+        query = parse_query("concept T90  # diabetes cohort")
+        assert query == HasEvent(Concept("T90"))
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "concept",
+            "code snomed /x/",
+            "age 40 .. 80",
+            "sex Q",
+            "concept T90 and",
+            "first concept T90",
+            "concept T90 trailing garbage",
+            "atleast x category gp_contact",
+        ],
+    )
+    def test_syntax_errors(self, text):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(text)
+
+    def test_parser_and_builder_agree(self, small_engine):
+        from_text = parse_query(
+            "concept T90 and atleast 2 category gp_contact"
+        )
+        from_builder = (
+            QueryBuilder()
+            .with_concept("T90")
+            .min_count("gp_contact", 2)
+            .build()
+        )
+        left = small_engine.patients(from_text)
+        right = small_engine.patients(from_builder)
+        assert (left == right).all()

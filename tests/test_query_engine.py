@@ -1,0 +1,179 @@
+"""Tests for the query AST and vectorized engine, cross-checked against a
+naive object-model evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.query.ast import (
+    AgeRange,
+    Category,
+    CodeMatch,
+    Concept,
+    CountAtLeast,
+    EventAnd,
+    EventNot,
+    EventOr,
+    FirstBefore,
+    HasEvent,
+    PatientAnd,
+    PatientNot,
+    PatientOr,
+    SexIs,
+    Source,
+    TimeWindow,
+    ValueRange,
+)
+from repro.query.engine import QueryEngine
+
+
+class TestEventMasks:
+    def test_code_match(self, small_engine):
+        mask = small_engine.event_mask(CodeMatch("ICPC-2", "T90"))
+        store = small_engine.store
+        idx = store.systems["ICPC-2"].id_of("T90")
+        assert mask.sum() == ((store.code == idx)
+                              & (store.system == 0)).sum()
+
+    def test_concept_spans_terminologies(self, small_engine):
+        concept = small_engine.event_mask(Concept("T90"))
+        icpc_only = small_engine.event_mask(CodeMatch("ICPC-2", "T90"))
+        icd_only = small_engine.event_mask(CodeMatch("ICD-10", "E11|E14"))
+        assert concept.sum() == (icpc_only | icd_only).sum()
+        assert concept.sum() > icpc_only.sum() > 0
+
+    def test_boolean_algebra(self, small_engine):
+        a = Category("gp_contact")
+        b = TimeWindow(15_400, 15_500)
+        conj = small_engine.event_mask(EventAnd((a, b)))
+        disj = small_engine.event_mask(EventOr((a, b)))
+        neg = small_engine.event_mask(EventNot(a))
+        ma = small_engine.event_mask(a)
+        mb = small_engine.event_mask(b)
+        assert (conj == (ma & mb)).all()
+        assert (disj == (ma | mb)).all()
+        assert (neg == ~ma).all()
+
+    def test_operator_sugar(self, small_engine):
+        sugar = small_engine.event_mask(
+            Category("gp_contact") & TimeWindow(15_400, 15_500)
+        )
+        explicit = small_engine.event_mask(
+            EventAnd((Category("gp_contact"), TimeWindow(15_400, 15_500)))
+        )
+        assert (sugar == explicit).all()
+
+    def test_value_range(self, small_engine):
+        mask = small_engine.event_mask(
+            Category("blood_pressure") & ValueRange(160.0, 300.0)
+        )
+        values = small_engine.store.value[mask]
+        assert (values >= 160.0).all()
+
+    def test_empty_ranges_rejected(self):
+        with pytest.raises(QueryError):
+            ValueRange(10, 5)
+        with pytest.raises(QueryError):
+            TimeWindow(10, 5)
+        with pytest.raises(QueryError):
+            AgeRange(80, 40, at_day=0)
+
+
+class TestPatientQueries:
+    def test_has_event_equals_naive(self, small_engine):
+        """Columnar result == scanning materialized histories."""
+        expr = HasEvent(CodeMatch("ICPC-2", "K8[67]"))
+        fast = set(small_engine.patients(expr).tolist())
+        slow = set()
+        store = small_engine.store
+        for pid in store.patient_ids.tolist():
+            history = store.materialize(pid)
+            if any(c in ("K86", "K87") for c in history.codes("ICPC-2")):
+                slow.add(pid)
+        assert fast == slow
+
+    def test_count_at_least_equals_naive(self, small_engine):
+        expr = CountAtLeast(Category("gp_contact"), 10)
+        fast = set(small_engine.patients(expr).tolist())
+        store = small_engine.store
+        slow = set()
+        for pid in store.patient_ids.tolist():
+            history = store.materialize(pid)
+            n = sum(1 for p in history.points if p.category == "gp_contact")
+            if n >= 10:
+                slow.add(pid)
+        assert fast == slow
+
+    def test_event_expr_implicitly_wrapped(self, small_engine):
+        raw = small_engine.patients(Category("hospital_stay"))
+        wrapped = small_engine.patients(HasEvent(Category("hospital_stay")))
+        assert (raw == wrapped).all()
+
+    def test_set_algebra(self, small_engine):
+        a = HasEvent(Concept("T90"))
+        b = SexIs("F")
+        both = small_engine.patients(PatientAnd((a, b)))
+        either = small_engine.patients(PatientOr((a, b)))
+        neither = small_engine.patients(PatientNot(PatientOr((a, b))))
+        sa = set(small_engine.patients(a).tolist())
+        sb = set(small_engine.patients(b).tolist())
+        assert set(both.tolist()) == sa & sb
+        assert set(either.tolist()) == sa | sb
+        all_ids = set(small_engine.store.patient_ids.tolist())
+        assert set(neither.tolist()) == all_ids - (sa | sb)
+
+    def test_not_not_is_identity(self, small_engine):
+        a = HasEvent(Concept("T90"))
+        double = small_engine.patients(PatientNot(PatientNot(a)))
+        assert (double == small_engine.patients(a)).all()
+
+    def test_age_range(self, small_engine):
+        at_day = 16_000
+        ids = small_engine.patients(AgeRange(70, 200, at_day))
+        store = small_engine.store
+        for pid in ids.tolist():
+            age = (at_day - store.birth_day_of(pid)) / 365.25
+            assert age >= 70
+
+    def test_sex_partition(self, small_engine):
+        f = set(small_engine.patients(SexIs("F")).tolist())
+        m = set(small_engine.patients(SexIs("M")).tolist())
+        assert not (f & m)
+        assert len(f) + len(m) == small_engine.store.n_patients
+
+    def test_first_before(self, small_engine):
+        cutoff = 15_500
+        expr = FirstBefore(Concept("T90"), cutoff)
+        ids = small_engine.patients(expr)
+        store = small_engine.store
+        mask = small_engine.event_mask(Concept("T90"))
+        firsts = store.first_day_per_patient(mask)
+        expected = sorted(p for p, d in firsts.items() if d <= cutoff)
+        assert ids.tolist() == expected
+
+    def test_selectivity_and_count(self, small_engine):
+        expr = HasEvent(Concept("T90"))
+        count = small_engine.count(expr)
+        assert count == len(small_engine.patients(expr))
+        assert small_engine.selectivity(expr) == pytest.approx(
+            count / small_engine.store.n_patients
+        )
+
+    def test_results_sorted_unique(self, small_engine):
+        ids = small_engine.patients(
+            PatientOr((HasEvent(Concept("T90")), SexIs("F")))
+        )
+        assert (np.diff(ids) > 0).all()
+
+    def test_unknown_node_rejected(self, small_engine):
+        class Weird:  # neither EventExpr nor PatientExpr
+            pass
+
+        with pytest.raises(QueryError):
+            small_engine.patients(Weird())  # type: ignore[arg-type]
+
+    def test_source_query(self, small_engine):
+        ids = small_engine.patients(Source("municipal_home_care"))
+        assert len(ids) > 0

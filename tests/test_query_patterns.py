@@ -1,0 +1,298 @@
+"""Tests for temporal pattern search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError
+from repro.events.model import Cohort, History, PointEvent
+from repro.events.store import EventStore
+from repro.query.ast import Category, CodeMatch
+from repro.query.engine import QueryEngine
+from repro.query.temporal_patterns import (
+    PatternSearcher,
+    PatternStep,
+    TemporalPattern,
+)
+
+
+def make_engine() -> QueryEngine:
+    def dx(day, code):
+        return PointEvent(day=day, category="diagnosis", code=code,
+                          system="ICPC-2")
+
+    cohort = Cohort([
+        # T90 then K86 twice, 50 days apart each
+        History(patient_id=1, birth_day=0, points=[
+            dx(100, "T90"), dx(150, "K86"), dx(300, "T90"), dx(350, "K86"),
+        ]),
+        # K86 before T90 only
+        History(patient_id=2, birth_day=0, points=[
+            dx(100, "K86"), dx(200, "T90"),
+        ]),
+        # T90 then K86 but 400 days apart
+        History(patient_id=3, birth_day=0, points=[
+            dx(100, "T90"), dx(500, "K86"),
+        ]),
+    ])
+    return QueryEngine(EventStore.from_cohort(cohort))
+
+
+def pattern(max_gap=None, min_gap=1, within=None) -> TemporalPattern:
+    return TemporalPattern(
+        steps=(
+            PatternStep(CodeMatch("ICPC-2", "T90"), "diabetes"),
+            PatternStep(CodeMatch("ICPC-2", "K86"), "hypertension"),
+        ),
+        min_gap=min_gap,
+        max_gap=max_gap,
+        within=within,
+    )
+
+
+class TestPatternSearch:
+    def test_order_matters(self):
+        searcher = PatternSearcher(make_engine())
+        patients = searcher.patients(pattern()).tolist()
+        assert patients == [1, 3]  # patient 2 has K86 first... then T90
+
+    def test_max_gap_excludes_distant_steps(self):
+        searcher = PatternSearcher(make_engine())
+        patients = searcher.patients(pattern(max_gap=100)).tolist()
+        assert patients == [1]
+
+    def test_non_overlapping_greedy_matches(self):
+        searcher = PatternSearcher(make_engine())
+        matches = [
+            m for m in searcher.find(pattern(max_gap=100))
+            if m.patient_id == 1
+        ]
+        assert [m.days for m in matches] == [(100, 150), (300, 350)]
+
+    def test_within_bounds_whole_match(self):
+        searcher = PatternSearcher(make_engine())
+        patients = searcher.patients(pattern(within=60)).tolist()
+        assert patients == [1]
+
+    def test_single_step_pattern(self):
+        searcher = PatternSearcher(make_engine())
+        single = TemporalPattern(
+            steps=(PatternStep(CodeMatch("ICPC-2", "T90")),)
+        )
+        assert searcher.patients(single).tolist() == [1, 2, 3]
+
+    def test_empty_result_when_step_never_matches(self):
+        searcher = PatternSearcher(make_engine())
+        ghost = TemporalPattern(
+            steps=(
+                PatternStep(CodeMatch("ICPC-2", "T90")),
+                PatternStep(CodeMatch("ICPC-2", "Z29")),
+            )
+        )
+        assert searcher.find(ghost) == []
+
+    def test_match_span_properties(self):
+        searcher = PatternSearcher(make_engine())
+        match = searcher.find(pattern())[0]
+        assert match.first_day == 100
+        assert match.last_day == 150
+        assert match.span_days == 50
+
+    def test_same_day_chaining_with_zero_min_gap(self):
+        def dx(day, code):
+            return PointEvent(day=day, category="diagnosis", code=code,
+                              system="ICPC-2")
+
+        cohort = Cohort([
+            History(patient_id=1, birth_day=0,
+                    points=[dx(100, "T90"), dx(100, "K86")]),
+        ])
+        engine = QueryEngine(EventStore.from_cohort(cohort))
+        searcher = PatternSearcher(engine)
+        zero_gap = TemporalPattern(
+            steps=(
+                PatternStep(CodeMatch("ICPC-2", "T90")),
+                PatternStep(CodeMatch("ICPC-2", "K86")),
+            ),
+            min_gap=0,
+        )
+        assert searcher.patients(zero_gap).tolist() == [1]
+        strict = TemporalPattern(
+            steps=zero_gap.steps, min_gap=1,
+        )
+        assert searcher.patients(strict).tolist() == []
+
+
+class TestValidation:
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(QueryError):
+            TemporalPattern(steps=())
+
+    def test_negative_min_gap_rejected(self):
+        with pytest.raises(QueryError):
+            TemporalPattern(
+                steps=(PatternStep(Category("diagnosis")),), min_gap=-1
+            )
+
+    def test_max_gap_below_min_rejected(self):
+        with pytest.raises(QueryError):
+            TemporalPattern(
+                steps=(PatternStep(Category("diagnosis")),),
+                min_gap=10, max_gap=5,
+            )
+
+
+def test_pattern_at_scale(small_engine):
+    """Diabetes then hospital stay within a year — sanity at 2k patients."""
+    searcher = PatternSearcher(small_engine)
+    p = TemporalPattern(
+        steps=(
+            PatternStep(CodeMatch("ICPC-2", "T90")),
+            PatternStep(Category("hospital_stay")),
+        ),
+        min_gap=1,
+        max_gap=365,
+    )
+    patients = searcher.patients(p)
+    diabetics = set(
+        small_engine.patients(CodeMatch("ICPC-2", "T90")).tolist()
+    )
+    assert set(patients.tolist()) <= diabetics
+    assert len(patients) > 0
+
+
+class TestAbsencePatterns:
+    """Care-gap detection: anchor without expected follow-up."""
+
+    def _engine(self):
+        from repro.events.model import Cohort, History, PointEvent
+        from repro.events.store import EventStore
+
+        def dx(day):
+            return PointEvent(day=day, category="diagnosis", code="T90",
+                              system="ICPC-2")
+
+        def contact(day):
+            return PointEvent(day=day, category="gp_contact")
+
+        cohort = Cohort([
+            # followed up within the window
+            History(patient_id=1, birth_day=0,
+                    points=[dx(100), contact(150)]),
+            # no follow-up at all (horizon far enough to assert absence)
+            History(patient_id=2, birth_day=0, points=[dx(100)]),
+            # follow-up too late
+            History(patient_id=3, birth_day=0,
+                    points=[dx(100), contact(400)]),
+            # anchored too close to the horizon: censored
+            History(patient_id=4, birth_day=0, points=[dx(900)]),
+        ])
+        return QueryEngine(EventStore.from_cohort(cohort))
+
+    def test_gap_detection(self):
+        from repro.query.temporal_patterns import (
+            AbsencePattern,
+            find_care_gaps,
+        )
+
+        engine = self._engine()
+        pattern = AbsencePattern(
+            anchor=CodeMatch("ICPC-2", "T90"),
+            expected=Category("gp_contact"),
+            within=180,
+        )
+        gaps = find_care_gaps(engine, pattern, horizon_day=1000)
+        assert sorted(g.patient_id for g in gaps) == [2, 3]
+
+    def test_censored_windows_skipped(self):
+        from repro.query.temporal_patterns import (
+            AbsencePattern,
+            find_care_gaps,
+        )
+
+        engine = self._engine()
+        pattern = AbsencePattern(
+            anchor=CodeMatch("ICPC-2", "T90"),
+            expected=Category("gp_contact"),
+            within=180,
+        )
+        # horizon at 950: patient 4's window (900+180) is censored
+        gaps = find_care_gaps(engine, pattern, horizon_day=950)
+        assert 4 not in {g.patient_id for g in gaps}
+
+    def test_window_bounds(self):
+        from repro.query.temporal_patterns import (
+            AbsencePattern,
+            find_care_gaps,
+        )
+
+        engine = self._engine()
+        # a 350-day window: patient 3's day-400 contact is still too late
+        pattern = AbsencePattern(
+            anchor=CodeMatch("ICPC-2", "T90"),
+            expected=Category("gp_contact"),
+            within=299,
+        )
+        gaps = find_care_gaps(engine, pattern, horizon_day=1000)
+        assert 3 in {g.patient_id for g in gaps}
+        wide = AbsencePattern(
+            anchor=CodeMatch("ICPC-2", "T90"),
+            expected=Category("gp_contact"),
+            within=300,
+        )
+        gaps_wide = find_care_gaps(engine, wide, horizon_day=1000)
+        assert 3 not in {g.patient_id for g in gaps_wide}
+
+    def test_invalid_window_rejected(self):
+        from repro.query.temporal_patterns import AbsencePattern
+
+        with pytest.raises(QueryError):
+            AbsencePattern(anchor=Category("diagnosis"),
+                           expected=Category("gp_contact"), within=0)
+
+    def test_complementary_to_positive_pattern(self, small_engine):
+        """Patients split cleanly: anchored = follow-up within window
+        (positive pattern) + care gaps + censored anchors."""
+        from repro.query.ast import Concept
+        from repro.query.temporal_patterns import (
+            AbsencePattern,
+            PatternSearcher,
+            PatternStep,
+            TemporalPattern,
+            find_care_gaps,
+        )
+
+        store = small_engine.store
+        horizon = int(store.day.max())
+        within = 120
+        anchor_expr = Concept("T90")
+        expected_expr = Category("gp_contact")
+
+        searcher = PatternSearcher(small_engine)
+        anchor_days = searcher._step_days(anchor_expr)
+        eligible = {
+            pid for pid, days in anchor_days.items()
+            if int(days[0]) + within <= horizon
+        }
+        gaps = {
+            g.patient_id
+            for g in find_care_gaps(
+                small_engine,
+                AbsencePattern(anchor_expr, expected_expr, within),
+                horizon_day=horizon,
+            )
+        }
+        # positive side computed directly from first anchor + follow days
+        followed = set()
+        follow_days = searcher._step_days(expected_expr)
+        for pid in eligible:
+            first = int(anchor_days[pid][0])
+            follow = follow_days.get(pid)
+            if follow is not None:
+                import numpy as np
+
+                idx = int(np.searchsorted(follow, first, side="right"))
+                if idx < len(follow) and int(follow[idx]) <= first + within:
+                    followed.add(pid)
+        assert gaps | followed == eligible
+        assert not (gaps & followed)

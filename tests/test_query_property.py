@@ -1,0 +1,235 @@
+"""Property test: the vectorized engine vs a naive reference interpreter.
+
+Hypothesis generates random query ASTs; both evaluators must return the
+same patient set.  The reference interpreter works on materialized
+``History`` objects with the simplest possible semantics, so any
+disagreement points at the columnar fast path.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.events.model import History
+from repro.query.ast import (
+    AgeRange,
+    Category,
+    CodeMatch,
+    Concept,
+    CountAtLeast,
+    EventAnd,
+    EventExpr,
+    EventNot,
+    EventOr,
+    FirstBefore,
+    HasEvent,
+    PatientAnd,
+    PatientExpr,
+    PatientNot,
+    PatientOr,
+    SexIs,
+    Source,
+    TimeWindow,
+    ValueRange,
+)
+from repro.query.engine import QueryEngine
+from repro.simulate.fast import generate_store_fast
+from repro.terminology import icpc2_to_icd10_map
+
+# A small store keeps the naive interpreter fast enough for many examples.
+_STORE, __ = generate_store_fast(300, seed=17)
+_ENGINE = QueryEngine(_STORE)
+_HISTORIES: dict[int, History] = {
+    int(p): _STORE.materialize(int(p)) for p in _STORE.patient_ids
+}
+_DAY_LO = int(_STORE.day.min())
+_DAY_HI = int(_STORE.day.max())
+
+
+# -- the reference interpreter ---------------------------------------------
+
+
+def _iter_events(history: History):
+    for p in history.points:
+        yield (p.day, p.day + 1, p.category, p.code, p.system, p.value,
+               p.source)
+    for iv in history.intervals:
+        yield (iv.start, iv.end, iv.category, iv.code, iv.system, iv.value,
+               iv.source)
+
+
+def _event_matches(event, expr: EventExpr) -> bool:
+    day, end, category, code, system, value, source = event
+    if isinstance(expr, CodeMatch):
+        return (system == expr.system and code is not None
+                and re.fullmatch(expr.pattern, code) is not None)
+    if isinstance(expr, Concept):
+        icpc_codes, icd_codes = icpc2_to_icd10_map().expand_concept(expr.code)
+        if system == "ICPC-2":
+            return code in icpc_codes
+        if system == "ICD-10":
+            return code in icd_codes
+        return False
+    if isinstance(expr, Category):
+        return category == expr.category
+    if isinstance(expr, Source):
+        return source == expr.source_kind
+    if isinstance(expr, ValueRange):
+        return value is not None and expr.low <= value <= expr.high
+    if isinstance(expr, TimeWindow):
+        return day <= expr.last_day and end > expr.first_day
+    if isinstance(expr, EventAnd):
+        return all(_event_matches(event, c) for c in expr.children)
+    if isinstance(expr, EventOr):
+        return any(_event_matches(event, c) for c in expr.children)
+    if isinstance(expr, EventNot):
+        return not _event_matches(event, expr.child)
+    raise AssertionError(expr)
+
+
+def _naive_patients(expr: PatientExpr | EventExpr) -> set[int]:
+    if isinstance(expr, EventExpr):
+        expr = HasEvent(expr)
+    if isinstance(expr, HasEvent):
+        return {
+            pid for pid, h in _HISTORIES.items()
+            if any(_event_matches(e, expr.expr) for e in _iter_events(h))
+        }
+    if isinstance(expr, CountAtLeast):
+        return {
+            pid for pid, h in _HISTORIES.items()
+            if sum(
+                1 for e in _iter_events(h) if _event_matches(e, expr.expr)
+            ) >= expr.minimum
+        }
+    if isinstance(expr, FirstBefore):
+        result = set()
+        for pid, h in _HISTORIES.items():
+            days = [e[0] for e in _iter_events(h)
+                    if _event_matches(e, expr.expr)]
+            if days and min(days) <= expr.day:
+                result.add(pid)
+        return result
+    if isinstance(expr, AgeRange):
+        return {
+            pid for pid, h in _HISTORIES.items()
+            if expr.min_years
+            <= (expr.at_day - h.birth_day) / 365.25
+            <= expr.max_years
+        }
+    if isinstance(expr, SexIs):
+        return {pid for pid, h in _HISTORIES.items() if h.sex == expr.sex}
+    if isinstance(expr, PatientAnd):
+        sets = [_naive_patients(c) for c in expr.children]
+        result = sets[0]
+        for s in sets[1:]:
+            result = result & s
+        return result
+    if isinstance(expr, PatientOr):
+        result: set[int] = set()
+        for c in expr.children:
+            result |= _naive_patients(c)
+        return result
+    if isinstance(expr, PatientNot):
+        return set(_HISTORIES) - _naive_patients(expr.child)
+    raise AssertionError(expr)
+
+
+# -- strategies ---------------------------------------------------------------
+
+_event_atoms = st.one_of(
+    st.sampled_from([
+        CodeMatch("ICPC-2", "T90"),
+        CodeMatch("ICPC-2", "K8."),
+        CodeMatch("ICPC-2", "F.*|H.*"),
+        CodeMatch("ICD-10", "E1[14]"),
+        CodeMatch("ATC", "C07.*"),
+        Concept("T90"),
+        Concept("K86"),
+        Category("gp_contact"),
+        Category("hospital_stay"),
+        Category("blood_pressure"),
+        Source("hospital_inpatient"),
+        Source("gp_claim"),
+        ValueRange(140.0, 250.0),
+    ]),
+    st.builds(
+        TimeWindow,
+        st.integers(_DAY_LO, _DAY_HI - 30),
+        st.just(_DAY_HI),
+    ),
+)
+
+
+def _event_exprs(depth: int):
+    if depth == 0:
+        return _event_atoms
+    smaller = _event_exprs(depth - 1)
+    return st.one_of(
+        _event_atoms,
+        st.builds(lambda a, b: EventAnd((a, b)), smaller, smaller),
+        st.builds(lambda a, b: EventOr((a, b)), smaller, smaller),
+        st.builds(EventNot, smaller),
+    )
+
+
+_patient_atoms = st.one_of(
+    st.builds(HasEvent, _event_exprs(1)),
+    st.builds(CountAtLeast, _event_exprs(0), st.integers(1, 8)),
+    st.builds(FirstBefore, _event_exprs(0),
+              st.integers(_DAY_LO, _DAY_HI)),
+    st.builds(AgeRange, st.integers(0, 60), st.integers(60, 120),
+              st.just(_DAY_HI)),
+    st.sampled_from([SexIs("F"), SexIs("M")]),
+)
+
+
+def _patient_exprs(depth: int):
+    if depth == 0:
+        return _patient_atoms
+    smaller = _patient_exprs(depth - 1)
+    return st.one_of(
+        _patient_atoms,
+        st.builds(lambda a, b: PatientAnd((a, b)), smaller, smaller),
+        st.builds(lambda a, b: PatientOr((a, b)), smaller, smaller),
+        st.builds(PatientNot, smaller),
+    )
+
+
+@settings(max_examples=120, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(_patient_exprs(2))
+def test_engine_matches_reference_interpreter(query):
+    fast = set(_ENGINE.patients(query).tolist())
+    slow = _naive_patients(query)
+    assert fast == slow
+
+
+@settings(max_examples=60, deadline=None)
+@given(_event_exprs(2))
+def test_event_masks_match_reference(expr):
+    mask = _ENGINE.event_mask(expr)
+    fast_patients = set(_STORE.patients_matching(mask).tolist())
+    slow_patients = {
+        pid for pid, h in _HISTORIES.items()
+        if any(_event_matches(e, expr) for e in _iter_events(h))
+    }
+    assert fast_patients == slow_patients
+
+
+def test_reference_interpreter_sane():
+    """The reference itself agrees with hand counts on a spot check."""
+    expr = HasEvent(Category("hospital_stay"))
+    by_hand = {
+        pid for pid, h in _HISTORIES.items()
+        if any(iv.category == "hospital_stay" for iv in h.intervals)
+    }
+    assert _naive_patients(expr) == by_hand
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])

@@ -1,0 +1,244 @@
+"""Tests for the synthetic-data substrate: population, trajectories,
+noise, fast path and recall model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulate.conditions import ACUTE_CONDITIONS, CONDITIONS
+from repro.simulate.fast import generate_store_fast
+from repro.simulate.noise import NoiseConfig
+from repro.simulate.population import generate_population
+from repro.simulate.recall import RecallOutcome, run_recognition_study
+from repro.simulate.trajectories import StudyWindow, generate_raw_sources
+from repro.terminology import atc, icd10, icpc2
+
+
+class TestConditionCatalog:
+    def test_all_codes_exist_in_terminologies(self):
+        for model in CONDITIONS:
+            assert model.icpc2 in icpc2(), model.name
+            assert model.icd10 in icd10(), model.name
+            for med in model.medications:
+                assert med in atc(), (model.name, med)
+            for symptom in model.symptoms:
+                assert symptom in icpc2(), (model.name, symptom)
+        for model in ACUTE_CONDITIONS:
+            assert model.icpc2 in icpc2(), model.name
+            assert model.icd10 in icd10(), model.name
+
+    def test_comorbidity_targets_exist(self):
+        names = {m.name for m in CONDITIONS}
+        for model in CONDITIONS:
+            for target in model.comorbidity_boost:
+                # targets may be pseudo-flags (e.g. fracture_risk); real
+                # condition targets must resolve
+                if target in names:
+                    assert target in names
+
+
+class TestPopulation:
+    def test_deterministic(self):
+        a = generate_population(100, seed=5)
+        b = generate_population(100, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_population(100, seed=5)
+        b = generate_population(100, seed=6)
+        assert a != b
+
+    def test_size_and_ids(self):
+        patients = generate_population(50, seed=1)
+        assert len(patients) == 50
+        assert [p.patient_id for p in patients] == list(
+            range(100_000, 100_050)
+        )
+
+    def test_prevalence_increases_with_age(self):
+        patients = generate_population(8_000, seed=2)
+        window = StudyWindow.for_year(2012)
+        old = [p for p in patients
+               if (window.start_day - p.birth_day) / 365.25 >= 70]
+        young = [p for p in patients
+                 if (window.start_day - p.birth_day) / 365.25 < 40]
+        mean_old = np.mean([p.n_conditions for p in old])
+        mean_young = np.mean([p.n_conditions for p in young])
+        assert mean_old > mean_young * 1.5
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(SimulationError):
+            generate_population(0)
+
+
+class TestRawSources:
+    def test_deterministic(self):
+        a = generate_raw_sources(50, seed=3)
+        b = generate_raw_sources(50, seed=3)
+        assert a.gp_claims == b.gp_claims
+        assert a.hospital_episodes == b.hospital_episodes
+
+    def test_all_source_types_produced(self, raw_sources):
+        assert raw_sources.gp_claims
+        assert raw_sources.hospital_episodes
+        assert raw_sources.municipal_records
+        assert raw_sources.specialist_claims
+        assert raw_sources.total_records() > 1_000
+
+    def test_noise_rates_respected(self, raw_sources):
+        bad_dates = sum(
+            1 for claim in raw_sources.gp_claims
+            if not _parses(claim.contact_date)
+        )
+        rate = bad_dates / len(raw_sources.gp_claims)
+        assert 0.0 < rate < 0.02  # configured at 0.002 + mangled variants
+
+    def test_noise_can_be_disabled(self):
+        raw = generate_raw_sources(100, seed=3, noise=NoiseConfig.none())
+        assert all(_parses(c.contact_date) for c in raw.gp_claims)
+
+    def test_dates_inside_window(self, raw_sources):
+        from repro.sources.parsed import parse_iso_date
+
+        for episode in raw_sources.hospital_episodes[:200]:
+            day = parse_iso_date(episode.admitted)
+            assert raw_sources.window.start_day <= day \
+                <= raw_sources.window.end_day
+
+
+def _parses(raw: str) -> bool:
+    from repro.errors import SourceFormatError
+    from repro.sources.parsed import parse_norwegian_date
+
+    try:
+        parse_norwegian_date(raw)
+        return True
+    except SourceFormatError:
+        return False
+
+
+class TestFastPath:
+    def test_deterministic(self):
+        a, __ = generate_store_fast(500, seed=9)
+        b, __ = generate_store_fast(500, seed=9)
+        assert (a.patient == b.patient).all()
+        assert (a.day == b.day).all()
+        assert (a.code == b.code).all()
+
+    def test_store_is_sorted_by_patient_day(self, small_store):
+        assert (np.diff(small_store.patient) >= 0).all()
+        same_patient = np.diff(small_store.patient) == 0
+        assert (np.diff(small_store.day)[same_patient] >= 0).all()
+
+    def test_matches_full_path_statistics(self):
+        """The fast path's per-condition prevalence must agree with the
+        full-fidelity path within sampling error (DESIGN.md §2)."""
+        n = 3_000
+        __, summary = generate_store_fast(n, seed=11)
+        population = generate_population(n, seed=11)
+        full_counts = {m.name: 0 for m in CONDITIONS}
+        for patient in population:
+            for name in patient.conditions:
+                full_counts[name] += 1
+        for name, fast_count in summary.patients_per_condition.items():
+            full_count = full_counts[name]
+            spread = 4 * np.sqrt(max(full_count, fast_count) + 10)
+            assert abs(fast_count - full_count) <= spread, (
+                name, fast_count, full_count
+            )
+
+    def test_diabetes_selectivity_near_paper(self):
+        """~7.7% of the population (13k of 168k) is the paper's anchor."""
+        store, summary = generate_store_fast(20_000, seed=42)
+        share = summary.patients_per_condition["diabetes_t2"] / 20_000
+        assert 0.06 <= share <= 0.095
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(SimulationError):
+            generate_store_fast(0)
+
+
+class TestRecall:
+    def test_marginals_match_paper(self, small_store, window):
+        """92 / 7 / 1 within tolerance (experiment E6's assertion)."""
+        ids = small_store.patient_ids.tolist()
+        study = run_recognition_study(small_store, ids, window.end_day,
+                                      seed=1)
+        pct = study.as_percentages()
+        assert pct["recognized"] == pytest.approx(92.0, abs=2.5)
+        assert pct["did_not_remember"] == pytest.approx(7.0, abs=2.5)
+        assert pct["all_wrong"] == pytest.approx(1.0, abs=0.7)
+
+    def test_counts_sum_to_n(self, small_store, window):
+        ids = small_store.patient_ids[:500].tolist()
+        study = run_recognition_study(small_store, ids, window.end_day,
+                                      seed=2)
+        assert sum(study.counts.values()) == study.n_patients == 500
+
+    def test_deterministic_in_seed(self, small_store, window):
+        ids = small_store.patient_ids[:500].tolist()
+        a = run_recognition_study(small_store, ids, window.end_day, seed=3)
+        b = run_recognition_study(small_store, ids, window.end_day, seed=3)
+        assert a.counts == b.counts
+
+    def test_elderly_forget_more(self, small_store, window):
+        ages = (window.end_day - small_store.birth_days) / 365.25
+        old_ids = small_store.patient_ids[ages >= 80].tolist()
+        young_ids = small_store.patient_ids[ages <= 45].tolist()
+        old = run_recognition_study(small_store, old_ids, window.end_day,
+                                    seed=4)
+        young = run_recognition_study(small_store, young_ids, window.end_day,
+                                      seed=4)
+        assert old.fraction(RecallOutcome.DID_NOT_REMEMBER) > young.fraction(
+            RecallOutcome.DID_NOT_REMEMBER
+        )
+
+
+class TestSeasonality:
+    def test_winter_peaked_conditions_peak_in_winter(self, small_store):
+        import numpy as np
+
+        from repro.temporal.timeline import from_day_number
+
+        mask = small_store.mask_pattern("ICPC-2", "R80")  # influenza
+        months = np.array([
+            from_day_number(int(d)).month
+            for d in small_store.day[mask]
+        ])
+        winter = np.isin(months, (12, 1, 2)).mean()
+        summer = np.isin(months, (6, 7, 8)).mean()
+        assert winter > 2.0 * summer
+
+    def test_flat_conditions_stay_flat(self, small_store):
+        import numpy as np
+
+        from repro.temporal.timeline import from_day_number
+
+        mask = small_store.mask_pattern("ICPC-2", "U71")  # cystitis
+        months = np.array([
+            from_day_number(int(d)).month
+            for d in small_store.day[mask]
+        ])
+        winter = np.isin(months, (12, 1, 2)).mean()
+        summer = np.isin(months, (6, 7, 8)).mean()
+        assert abs(winter - summer) < 0.1
+
+    def test_seasonal_weights_mean_near_one(self):
+        import numpy as np
+
+        from repro.simulate.conditions import seasonal_weights
+
+        days = np.arange(0, 3653)  # ten years
+        weights = seasonal_weights(days, 6.0)
+        assert abs(float(weights.mean()) - 1.0) < 0.02
+        assert weights.min() > 0.0
+
+    def test_flat_factor_identity(self):
+        import numpy as np
+
+        from repro.simulate.conditions import seasonal_weights
+
+        days = np.arange(0, 365)
+        assert (seasonal_weights(days, 1.0) == 1.0).all()

@@ -1,0 +1,69 @@
+"""Tests for regex extraction from noisy free text (Section IV-A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sources.freetext import (
+    extract_blood_pressures,
+    extract_prescriptions,
+)
+
+
+class TestBloodPressure:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "BT 140/90",
+            "bp: 140 / 90 mmHg",
+            "Blodtrykk 140-90",
+            "BP140/90",
+            "Control visit. BT 140/90. Stable.",
+        ],
+    )
+    def test_convention_variants(self, text):
+        readings = extract_blood_pressures(text)
+        assert len(readings) == 1
+        assert (readings[0].systolic, readings[0].diastolic) == (140, 90)
+
+    def test_multiple_readings(self):
+        readings = extract_blood_pressures("BT 150/95, later bt 140/85")
+        assert len(readings) == 2
+
+    def test_implausible_typo_discarded(self):
+        """'BT 14/90' parses but is physiologically impossible — the
+        paper's point that free-text extraction stays limited."""
+        assert extract_blood_pressures("BT 14/90") == []
+        assert extract_blood_pressures("BT 500/90") == []
+
+    def test_no_label_no_match(self):
+        assert extract_blood_pressures("value 140/90 noted") == []
+
+    def test_empty_text(self):
+        assert extract_blood_pressures("") == []
+
+
+class TestPrescriptions:
+    @pytest.mark.parametrize(
+        "text,code,days",
+        [
+            ("rx C07AB02", "C07AB02", None),
+            ("resept: C07AB02x90", "C07AB02", 90),
+            ("prescribed c07ab02 x 90d", "C07AB02", 90),
+            ("utskrevet A10BA02x30", "A10BA02", 30),
+        ],
+    )
+    def test_variants(self, text, code, days):
+        mentions = extract_prescriptions(text)
+        assert len(mentions) == 1
+        assert mentions[0].atc_code == code
+        assert mentions[0].days == days
+
+    def test_bare_atc_code_without_marker_not_matched(self):
+        assert extract_prescriptions("patient on C07AB02") == []
+
+    def test_several_mentions(self):
+        text = "rx C07AB02x90. rx A10BA02x30"
+        assert [m.atc_code for m in extract_prescriptions(text)] == [
+            "C07AB02", "A10BA02"
+        ]

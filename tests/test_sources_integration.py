@@ -1,0 +1,157 @@
+"""Tests for deduplication and the end-to-end integration pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sources.dedup import deduplicate
+from repro.sources.integrate import IntegrationPipeline, PatientRecord
+from repro.sources.parsed import ParsedEvent
+from repro.sources.schema import (
+    GPClaim,
+    HospitalEpisode,
+    MunicipalServiceRecord,
+    SpecialistClaim,
+)
+
+
+def diag(pid, day, code, system, source):
+    return ParsedEvent(patient_id=pid, day=day, category="diagnosis",
+                       code=code, system=system, source_kind=source)
+
+
+class TestDedup:
+    def test_exact_duplicates_removed(self):
+        event = diag(1, 10, "T90", "ICPC-2", "gp_claim")
+        kept, report = deduplicate([event, event])
+        assert len(kept) == 1
+        assert report.exact_duplicates == 1
+
+    def test_concept_duplicate_across_terminologies(self):
+        """T90 (GP) and E11 (specialist) on the same day are one concept."""
+        events = [
+            diag(1, 10, "T90", "ICPC-2", "gp_claim"),
+            diag(1, 10, "E11", "ICD-10", "specialist_claim"),
+        ]
+        kept, report = deduplicate(events)
+        assert len(kept) == 1
+        assert report.concept_duplicates == 1
+        assert report.cross_source_pairs == [("gp_claim", "specialist_claim")]
+
+    def test_different_days_not_deduped(self):
+        events = [
+            diag(1, 10, "T90", "ICPC-2", "gp_claim"),
+            diag(1, 11, "E11", "ICD-10", "specialist_claim"),
+        ]
+        kept, __ = deduplicate(events)
+        assert len(kept) == 2
+
+    def test_different_patients_not_deduped(self):
+        events = [
+            diag(1, 10, "T90", "ICPC-2", "gp_claim"),
+            diag(2, 10, "E11", "ICD-10", "specialist_claim"),
+        ]
+        kept, __ = deduplicate(events)
+        assert len(kept) == 2
+
+    def test_unrelated_concepts_kept(self):
+        events = [
+            diag(1, 10, "T90", "ICPC-2", "gp_claim"),
+            diag(1, 10, "K86", "ICPC-2", "gp_claim"),
+        ]
+        kept, __ = deduplicate(events)
+        assert len(kept) == 2
+
+    def test_non_diagnosis_events_never_concept_deduped(self):
+        events = [
+            ParsedEvent(patient_id=1, day=10, category="gp_contact",
+                        source_kind="gp_claim"),
+            ParsedEvent(patient_id=1, day=10, category="gp_contact",
+                        source_kind="gp_claim", detail="second visit"),
+        ]
+        kept, __ = deduplicate(events)
+        assert len(kept) == 2
+
+
+class TestPipeline:
+    @pytest.fixture()
+    def pipeline(self) -> IntegrationPipeline:
+        return IntegrationPipeline(horizon_day=20_000)
+
+    def test_failed_records_counted_not_fatal(self, pipeline):
+        store, report = pipeline.run(
+            patients=[PatientRecord(1, 0, "F")],
+            gp_claims=[
+                GPClaim(1, "31.02.2012", "T90"),  # impossible date
+                GPClaim(1, "15.03.2012", "T90"),
+            ],
+        )
+        assert report.failed_records == 1
+        assert store.n_events == 2  # contact + diagnosis
+
+    def test_before_birth_rule(self, pipeline):
+        store, report = pipeline.run(
+            patients=[PatientRecord(1, 16_000, "F")],  # born ~2013
+            gp_claims=[GPClaim(1, "15.03.2012", "T90")],  # pre-birth
+        )
+        assert report.before_birth == 2
+        assert store.n_events == 0
+
+    def test_unknown_patient_dropped(self, pipeline):
+        store, report = pipeline.run(
+            patients=[PatientRecord(1, 0, "F")],
+            gp_claims=[GPClaim(99, "15.03.2012", "T90")],
+        )
+        assert report.unknown_patient == 2
+        assert store.n_events == 0
+
+    def test_interval_truncated_to_horizon(self):
+        pipeline = IntegrationPipeline(horizon_day=15_500)
+        store, report = pipeline.run(
+            patients=[PatientRecord(1, 0, "F")],
+            municipal_records=[
+                MunicipalServiceRecord(1, "nursing_home", "2012-03-01", ""),
+            ],
+        )
+        assert store.n_events == 1
+        history = store.materialize(1)
+        assert history.intervals[0].end == 15_501
+
+    def test_care_levels_counted_via_ontology(self, pipeline):
+        __, report = pipeline.run(
+            patients=[PatientRecord(1, 0, "F")],
+            gp_claims=[GPClaim(1, "15.03.2012", "")],
+            hospital_episodes=[
+                HospitalEpisode(1, "2012-05-01", "2012-05-03", "inpatient")
+            ],
+            municipal_records=[
+                MunicipalServiceRecord(1, "home_care", "2012-06-01",
+                                       "2012-07-01")
+            ],
+            specialist_claims=[SpecialistClaim(1, "20/03/2012")],
+        )
+        assert report.contacts_by_care_level == {
+            "PrimaryCare": 1, "SpecialistCare": 2, "MunicipalCare": 1,
+        }
+
+    def test_loaded_events_arithmetic(self, pipeline):
+        __, report = pipeline.run(
+            patients=[PatientRecord(1, 0, "F")],
+            gp_claims=[
+                GPClaim(1, "15.03.2012", "T90"),
+                GPClaim(1, "15.03.2012", "T90"),  # exact dup of both events
+            ],
+        )
+        assert report.parsed_events == 4
+        assert report.dedup.removed == 2
+        assert report.loaded_events == 2
+
+    def test_end_to_end_fixture(self, workbench):
+        """The 400-patient session fixture integrated without surprises."""
+        report = workbench.report
+        assert report is not None
+        assert report.patients == 400
+        assert report.loaded_events == workbench.store.n_events
+        assert report.failed_records < report.parsed_events * 0.02
+        # every care level observed in a 400-patient two-year window
+        assert all(v > 0 for v in report.contacts_by_care_level.values())

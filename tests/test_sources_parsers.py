@@ -1,0 +1,193 @@
+"""Tests for the per-source record parsers and date formats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SourceFormatError
+from repro.sources.gp import GPClaimParser
+from repro.sources.hospital import HospitalEpisodeParser
+from repro.sources.municipal import MunicipalServiceParser
+from repro.sources.parsed import (
+    parse_iso_date,
+    parse_norwegian_date,
+    parse_slash_date,
+)
+from repro.sources.schema import (
+    GPClaim,
+    HospitalEpisode,
+    MunicipalServiceRecord,
+    SpecialistClaim,
+)
+from repro.sources.specialist import SpecialistClaimParser
+from repro.temporal.timeline import day_number
+from datetime import date
+
+
+class TestDateFormats:
+    def test_three_registry_conventions_agree(self):
+        expected = day_number(date(2012, 3, 15))
+        assert parse_norwegian_date("15.03.2012") == expected
+        assert parse_iso_date("2012-03-15") == expected
+        assert parse_slash_date("15/03/2012") == expected
+
+    @pytest.mark.parametrize("raw", ["00.00.0000", "32.01.2012", "15.13.2012",
+                                     "2012-03-15", "garbage", ""])
+    def test_bad_norwegian_dates_raise(self, raw):
+        with pytest.raises(SourceFormatError):
+            parse_norwegian_date(raw)
+
+    @pytest.mark.parametrize("raw", ["2012-02-30", "15.03.2012", "2012/03/15"])
+    def test_bad_iso_dates_raise(self, raw):
+        with pytest.raises(SourceFormatError):
+            parse_iso_date(raw)
+
+    def test_whitespace_tolerated(self):
+        assert parse_iso_date(" 2012-03-15 ") == parse_iso_date("2012-03-15")
+
+
+class TestGPClaimParser:
+    def test_contact_plus_diagnoses(self):
+        parser = GPClaimParser()
+        events = parser.parse(
+            GPClaim(1, "15.03.2012", "T90, K86", "gp", "")
+        )
+        categories = [e.category for e in events]
+        assert categories == ["gp_contact", "diagnosis", "diagnosis"]
+        assert {e.code for e in events if e.code} == {"T90", "K86"}
+        assert all(e.source_kind == "gp_claim" for e in events)
+
+    def test_noisy_codes_normalized_or_skipped(self):
+        parser = GPClaimParser()
+        events = parser.parse(GPClaim(1, "15.03.2012", " t90 , Q42", "gp"))
+        assert [e.code for e in events if e.code] == ["T90"]
+        assert parser.stats.bad_codes == 1
+
+    def test_emergency_claim_type(self):
+        parser = GPClaimParser()
+        events = parser.parse(GPClaim(1, "15.03.2012", "", "emergency"))
+        assert events[0].category == "emergency_contact"
+        assert events[0].source_kind == "gp_emergency_claim"
+
+    def test_unknown_claim_type_raises(self):
+        with pytest.raises(SourceFormatError, match="unknown claim type"):
+            GPClaimParser().parse(GPClaim(1, "15.03.2012", "", "dentist"))
+
+    def test_note_extraction_bp_and_rx(self):
+        parser = GPClaimParser()
+        events = parser.parse(
+            GPClaim(1, "15.03.2012", "K86", "gp",
+                    "BT 150/95. rx C07AB02x90")
+        )
+        bp = [e for e in events if e.category == "blood_pressure"]
+        rx = [e for e in events if e.category == "prescription"]
+        assert bp[0].value == 150.0 and bp[0].value2 == 95.0
+        assert rx[0].code == "C07AB02"
+        assert rx[0].end == rx[0].day + 90
+
+    def test_unknown_atc_in_note_skipped(self):
+        parser = GPClaimParser()
+        events = parser.parse(
+            GPClaim(1, "15.03.2012", "", "gp", "rx Z99ZZ99x30")
+        )
+        assert not [e for e in events if e.category == "prescription"]
+
+    def test_bad_date_counted_then_raised(self):
+        parser = GPClaimParser()
+        with pytest.raises(SourceFormatError):
+            parser.parse(GPClaim(1, "31.02.2012", "T90"))
+        assert parser.stats.bad_dates == 1
+
+
+class TestHospitalEpisodeParser:
+    def test_inpatient_becomes_interval(self):
+        parser = HospitalEpisodeParser()
+        events = parser.parse(
+            HospitalEpisode(1, "2012-05-01", "2012-05-10", "inpatient",
+                            "E11", ("I10",), "endo")
+        )
+        stay = events[0]
+        assert stay.category == "hospital_stay"
+        assert stay.end - stay.day == 10  # discharge day inclusive
+        assert [e.code for e in events if e.category == "diagnosis"] == [
+            "E11", "I10"
+        ]
+
+    def test_outpatient_is_point(self):
+        parser = HospitalEpisodeParser()
+        events = parser.parse(
+            HospitalEpisode(1, "2012-05-01", "2012-05-01", "outpatient", "J45")
+        )
+        assert events[0].category == "outpatient_visit"
+        assert events[0].end is None
+
+    def test_negative_stay_rejected(self):
+        parser = HospitalEpisodeParser()
+        with pytest.raises(SourceFormatError, match="precedes"):
+            parser.parse(
+                HospitalEpisode(1, "2012-05-10", "2012-05-01", "inpatient")
+            )
+        assert parser.stats.negative_stays == 1
+
+    def test_unknown_icd_code_skipped(self):
+        parser = HospitalEpisodeParser()
+        events = parser.parse(
+            HospitalEpisode(1, "2012-05-01", "2012-05-02", "inpatient", "X99")
+        )
+        assert not [e for e in events if e.category == "diagnosis"]
+        assert parser.stats.bad_codes == 1
+
+
+class TestMunicipalServiceParser:
+    def test_closed_period(self):
+        parser = MunicipalServiceParser(horizon_day=99999)
+        events = parser.parse(
+            MunicipalServiceRecord(1, "home_care", "2012-06-01",
+                                   "2012-08-31", 4.0)
+        )
+        assert events[0].category == "home_care"
+        assert events[0].value == 4.0
+
+    def test_open_period_closes_at_horizon(self):
+        horizon = parse_iso_date("2013-12-31")
+        parser = MunicipalServiceParser(horizon_day=horizon)
+        events = parser.parse(
+            MunicipalServiceRecord(1, "nursing_home", "2012-06-01", "")
+        )
+        assert events[0].end == horizon + 1
+        assert parser.stats.open_ended == 1
+
+    def test_inverted_period_rejected(self):
+        parser = MunicipalServiceParser(horizon_day=99999)
+        with pytest.raises(SourceFormatError, match="precedes"):
+            parser.parse(
+                MunicipalServiceRecord(1, "home_care", "2012-06-01",
+                                       "2012-01-01")
+            )
+
+    def test_unknown_service_rejected(self):
+        with pytest.raises(SourceFormatError, match="unknown service"):
+            MunicipalServiceParser(0).parse(
+                MunicipalServiceRecord(1, "spa", "2012-06-01", "")
+            )
+
+
+class TestSpecialistClaimParser:
+    def test_contact_diagnoses_prescriptions(self):
+        parser = SpecialistClaimParser()
+        events = parser.parse(
+            SpecialistClaim(1, "20/03/2012", "E11;I10", "cardiology",
+                            ("C07AB02x90", "A10BA02"))
+        )
+        assert events[0].category == "specialist_contact"
+        assert [e.code for e in events if e.category == "diagnosis"] == [
+            "E11", "I10"
+        ]
+        rx = [e for e in events if e.category == "prescription"]
+        assert rx[0].end - rx[0].day == 90
+        assert rx[1].end - rx[1].day == 90  # default duration
+
+    def test_malformed_prescription_counted(self):
+        parser = SpecialistClaimParser()
+        parser.parse(SpecialistClaim(1, "20/03/2012", "", "x", ("NOPE",)))
+        assert parser.stats.bad_codes == 1

@@ -1,0 +1,168 @@
+"""Property tests over the source parsers: random records either parse to
+well-formed events or raise SourceFormatError — never crash, never emit
+invalid events."""
+
+from __future__ import annotations
+
+from datetime import date, timedelta
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SourceFormatError
+from repro.sources.gp import GPClaimParser
+from repro.sources.hospital import HospitalEpisodeParser
+from repro.sources.municipal import MunicipalServiceParser
+from repro.sources.schema import (
+    GPClaim,
+    HospitalEpisode,
+    MunicipalServiceRecord,
+    SpecialistClaim,
+)
+from repro.sources.specialist import SpecialistClaimParser
+from repro.terminology import atc, icd10, icpc2
+
+_KNOWN_CATEGORIES = {
+    "gp_contact", "emergency_contact", "physio_contact",
+    "specialist_contact", "outpatient_visit", "day_treatment",
+    "hospital_stay", "home_care", "nursing_home",
+    "diagnosis", "blood_pressure", "prescription",
+}
+
+# Date strings: a mix of valid and garbage.
+_dates_norwegian = st.one_of(
+    st.dates(date(1990, 1, 1), date(2020, 1, 1)).map(
+        lambda d: d.strftime("%d.%m.%Y")
+    ),
+    st.sampled_from(["00.00.0000", "31.02.2012", "garbage", "",
+                     "2012-01-01", "1.1.2012"]),
+)
+_dates_iso = st.one_of(
+    st.dates(date(1990, 1, 1), date(2020, 1, 1)).map(str),
+    st.sampled_from(["2012-02-30", "15.03.2012", "", "x"]),
+)
+_codes_icpc = st.one_of(
+    st.sampled_from(["T90", "K86", "R74", " t90 ", "Q42", "", "zzz", ","]),
+    st.text(alphabet="ABKTRQ019 ,", max_size=12),
+)
+_notes = st.one_of(
+    st.just(""),
+    st.sampled_from([
+        "BT 150/95", "bp: 14/90", "rx C07AB02x90", "rx NOPE",
+        "free text æøå", "BT 150/95. rx A10BA02x30",
+    ]),
+    st.text(max_size=40),
+)
+
+
+def _assert_events_well_formed(events, parser_source_kinds):
+    for event in events:
+        assert event.category in _KNOWN_CATEGORIES
+        if event.end is not None:
+            assert event.end > event.day
+        if event.system == "ICPC-2":
+            assert event.code in icpc2()
+        elif event.system == "ICD-10":
+            assert event.code in icd10()
+        elif event.system == "ATC":
+            assert event.code in atc()
+        assert event.source_kind in parser_source_kinds
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.integers(1, 10),
+    _dates_norwegian,
+    _codes_icpc,
+    st.sampled_from(["gp", "emergency", "physio", "dentist"]),
+    _notes,
+)
+def test_gp_parser_total(pid, when, codes, claim_type, note):
+    parser = GPClaimParser()
+    claim = GPClaim(pid, when, codes, claim_type, note)
+    try:
+        events = parser.parse(claim)
+    except SourceFormatError:
+        return
+    assert events  # at least the contact event
+    _assert_events_well_formed(
+        events, {"gp_claim", "gp_emergency_claim", "physio_claim"}
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(1, 10),
+    _dates_iso,
+    st.integers(-3, 30),
+    st.sampled_from(["inpatient", "outpatient", "day_treatment", "spa"]),
+    st.sampled_from(["E11", "I10", "X99", "", "e11"]),
+)
+def test_hospital_parser_total(pid, admitted, stay_days, kind, code):
+    parser = HospitalEpisodeParser()
+    try:
+        base = date.fromisoformat(admitted)
+        discharged = str(base + timedelta(days=stay_days))
+    except ValueError:
+        discharged = admitted
+    episode = HospitalEpisode(pid, admitted, discharged, kind, code)
+    try:
+        events = parser.parse(episode)
+    except SourceFormatError:
+        return
+    _assert_events_well_formed(
+        events,
+        {"hospital_inpatient", "hospital_outpatient",
+         "hospital_day_treatment"},
+    )
+    stays = [e for e in events if e.category == "hospital_stay"]
+    for stay in stays:
+        assert stay.end is not None
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(1, 10),
+    st.sampled_from(["home_care", "nursing_home", "gym"]),
+    _dates_iso,
+    st.one_of(st.just(""), _dates_iso),
+)
+def test_municipal_parser_total(pid, service, start, end):
+    parser = MunicipalServiceParser(horizon_day=20_000)
+    record = MunicipalServiceRecord(pid, service, start, end)
+    try:
+        events = parser.parse(record)
+    except SourceFormatError:
+        return
+    assert len(events) == 1
+    _assert_events_well_formed(
+        events, {"municipal_home_care", "municipal_nursing_home"}
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(1, 10),
+    st.one_of(
+        st.dates(date(2000, 1, 1), date(2015, 1, 1)).map(
+            lambda d: d.strftime("%d/%m/%Y")
+        ),
+        st.sampled_from(["2012-01-01", "", "1/1/12"]),
+    ),
+    st.sampled_from(["E11", "E11;I10", "E11; ", "X99", ""]),
+    st.lists(
+        st.sampled_from(["C07AB02x90", "A10BA02", "NOPE", "C07AB02x0"]),
+        max_size=3,
+    ).map(tuple),
+)
+def test_specialist_parser_total(pid, when, codes, prescriptions):
+    parser = SpecialistClaimParser()
+    claim = SpecialistClaim(pid, when, codes, "cardiology", prescriptions)
+    try:
+        events = parser.parse(claim)
+    except SourceFormatError:
+        return
+    _assert_events_well_formed(events, {"specialist_claim"})
+    for event in events:
+        if event.category == "prescription":
+            assert event.end is not None and event.end > event.day

@@ -1,0 +1,178 @@
+"""Tests for time-to-event analysis and KM plotting."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cohort.alignment import compute_alignment
+from repro.cohort.survival import (
+    KaplanMeier,
+    TimeToEvent,
+    kaplan_meier,
+    logrank_test,
+    time_to_event,
+)
+from repro.errors import QueryError
+from repro.query.ast import Category, Concept
+from repro.viz.km_plot import render_km_plot
+
+
+def tte(durations, observed) -> TimeToEvent:
+    return TimeToEvent(
+        durations=np.asarray(durations, dtype=np.float64),
+        observed=np.asarray(observed, dtype=bool),
+    )
+
+
+class TestKaplanMeier:
+    def test_textbook_example(self):
+        """Classic hand-checkable case: events at 1, 2; censored at 1.5."""
+        data = tte([1.0, 1.5, 2.0], [True, False, True])
+        km = kaplan_meier(data)
+        # S(1) = 2/3 (3 at risk, 1 event); S(2) = 2/3 * 0 (1 at risk, 1 ev)
+        assert km.probability_at(0.5) == 1.0
+        assert km.probability_at(1.0) == pytest.approx(2 / 3)
+        assert km.probability_at(2.0) == pytest.approx(0.0)
+
+    def test_all_censored_flat_curve(self):
+        data = tte([5.0, 6.0, 7.0], [False, False, False])
+        km = kaplan_meier(data)
+        assert len(km.times) == 0
+        assert km.probability_at(100.0) == 1.0
+        assert km.median_time() is None
+
+    def test_median(self):
+        data = tte([1, 2, 3, 4], [True, True, True, True])
+        km = kaplan_meier(data)
+        assert km.median_time() == 2.0
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            tte([], [])
+        with pytest.raises(QueryError):
+            tte([1.0], [True, False])
+        with pytest.raises(QueryError):
+            tte([-1.0], [True])
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.booleans()),
+            min_size=1, max_size=40,
+        )
+    )
+    def test_survival_is_monotone_nonincreasing_in_unit_interval(self, raw):
+        data = tte([d for d, __ in raw], [o for __, o in raw])
+        km = kaplan_meier(data)
+        assert ((km.survival >= -1e-12) & (km.survival <= 1 + 1e-12)).all()
+        assert (np.diff(km.survival) <= 1e-12).all()
+
+
+class TestLogRank:
+    def test_identical_groups_not_significant(self):
+        rng = np.random.default_rng(0)
+        durations = rng.exponential(50, size=200)
+        observed = rng.random(200) < 0.8
+        a = tte(durations[:100], observed[:100])
+        b = tte(durations[100:], observed[100:])
+        chi2, p = logrank_test(a, b)
+        assert p > 0.01
+
+    def test_different_hazards_detected(self):
+        rng = np.random.default_rng(1)
+        fast = tte(rng.exponential(20, size=150), np.ones(150, dtype=bool))
+        slow = tte(rng.exponential(80, size=150), np.ones(150, dtype=bool))
+        chi2, p = logrank_test(fast, slow)
+        assert p < 1e-6
+        assert chi2 > 20
+
+    def test_no_events_rejected(self):
+        a = tte([5.0], [False])
+        with pytest.raises(QueryError):
+            logrank_test(a, a)
+
+
+class TestTimeToEventFromStore:
+    def test_diabetes_to_first_admission(self, small_store, small_engine,
+                                         window):
+        alignment = compute_alignment(small_engine, Concept("T90"))
+        data = time_to_event(
+            small_engine, alignment, Category("hospital_stay"),
+            window.end_day,
+        )
+        assert data.n_subjects == len(alignment)
+        assert 0 < data.n_events < data.n_subjects
+        assert (data.durations <= window.end_day).all()
+
+    def test_durations_match_manual_check(self, small_store, small_engine,
+                                          window):
+        alignment = compute_alignment(small_engine, Concept("T90"))
+        data = time_to_event(
+            small_engine, alignment, Category("hospital_stay"),
+            window.end_day,
+        )
+        ids = alignment.aligned_ids()
+        for i in (0, len(ids) // 2, len(ids) - 1):
+            pid = ids[i]
+            history = small_store.materialize(pid)
+            anchor = alignment.anchor_of(pid)
+            stays = [iv.start for iv in history.intervals
+                     if iv.category == "hospital_stay"
+                     and iv.start >= anchor]
+            if stays:
+                assert data.observed[i]
+                assert data.durations[i] == min(stays) - anchor
+            else:
+                assert not data.observed[i]
+
+    def test_higher_risk_group_fails_faster(self, small_store, small_engine,
+                                            window):
+        """Heart-failure diabetics reach hospital sooner than the rest of
+        the diabetes cohort (their hospitalization rate is ~6x)."""
+        alignment = compute_alignment(small_engine, Concept("T90"))
+        hf = set(small_engine.patients(Concept("K77")).tolist())
+        ids = alignment.aligned_ids()
+        split = [pid in hf for pid in ids]
+        data = time_to_event(
+            small_engine, alignment, Category("hospital_stay"),
+            window.end_day,
+        )
+        mask = np.asarray(split)
+        if mask.sum() < 10:
+            pytest.skip("too few heart-failure diabetics at this scale")
+        with_hf = TimeToEvent(data.durations[mask], data.observed[mask])
+        without = TimeToEvent(data.durations[~mask], data.observed[~mask])
+        km_hf = kaplan_meier(with_hf)
+        km_rest = kaplan_meier(without)
+        at = 365.0
+        assert km_hf.probability_at(at) < km_rest.probability_at(at)
+        __, p = logrank_test(with_hf, without)
+        assert p < 0.05
+
+
+class TestKmPlot:
+    def test_valid_svg_with_legend(self):
+        data = tte([1, 2, 3, 4, 5], [True, True, False, True, False])
+        svg = render_km_plot({"cohort": kaplan_meier(data)})
+        ET.fromstring(svg.to_string())
+        assert "cohort" in svg.to_string()
+
+    def test_multiple_curves_distinct_colors(self):
+        a = kaplan_meier(tte([1, 2, 3], [True, True, True]))
+        b = kaplan_meier(tte([4, 5, 6], [True, True, True]))
+        text = render_km_plot({"a": a, "b": b}).to_string()
+        from repro.viz.colors import QUALITATIVE_PALETTE
+
+        assert QUALITATIVE_PALETTE[0] in text
+        assert QUALITATIVE_PALETTE[1] in text
+
+    def test_empty_rejected(self):
+        from repro.errors import RenderError
+
+        with pytest.raises(RenderError):
+            render_km_plot({})

@@ -1,0 +1,116 @@
+"""Tests for Allen's interval algebra, including algebraic property tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.temporal.allen import (
+    ALL_RELATIONS,
+    AllenRelation,
+    compose,
+    compose_sets,
+    invert_set,
+    relation_between,
+)
+from repro.temporal.timeline import Interval
+
+intervals = st.builds(
+    lambda start, length: Interval(start, start + length),
+    st.integers(min_value=-1000, max_value=1000),
+    st.integers(min_value=1, max_value=200),
+)
+
+
+class TestRelationBetween:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ((0, 5), (10, 20), AllenRelation.BEFORE),
+            ((0, 5), (5, 10), AllenRelation.MEETS),
+            ((0, 8), (5, 12), AllenRelation.OVERLAPS),
+            ((0, 5), (0, 10), AllenRelation.STARTS),
+            ((3, 5), (0, 10), AllenRelation.DURING),
+            ((5, 10), (0, 10), AllenRelation.FINISHES),
+            ((0, 10), (0, 10), AllenRelation.EQUALS),
+            ((10, 20), (0, 5), AllenRelation.AFTER),
+            ((5, 10), (0, 5), AllenRelation.MET_BY),
+            ((5, 12), (0, 8), AllenRelation.OVERLAPPED_BY),
+            ((0, 10), (0, 5), AllenRelation.STARTED_BY),
+            ((0, 10), (3, 5), AllenRelation.CONTAINS),
+            ((0, 10), (5, 10), AllenRelation.FINISHED_BY),
+        ],
+    )
+    def test_all_13_basic_cases(self, a, b, expected):
+        assert relation_between(Interval(*a), Interval(*b)) == expected
+
+    @given(intervals, intervals)
+    def test_exactly_one_relation_holds(self, a, b):
+        relation = relation_between(a, b)
+        assert relation in ALL_RELATIONS
+
+    @given(intervals, intervals)
+    def test_inverse_law(self, a, b):
+        assert relation_between(b, a) == relation_between(a, b).inverse
+
+
+class TestComposition:
+    def test_known_entries(self):
+        b = AllenRelation.BEFORE
+        assert compose(b, b) == frozenset({b})
+        assert compose(AllenRelation.DURING, b) == frozenset({b})
+        o = AllenRelation.OVERLAPS
+        assert compose(o, o) == frozenset({b, AllenRelation.MEETS, o})
+
+    def test_before_after_is_everything(self):
+        assert compose(AllenRelation.BEFORE, AllenRelation.AFTER) == frozenset(
+            ALL_RELATIONS
+        )
+
+    def test_equals_is_identity(self):
+        e = AllenRelation.EQUALS
+        for r in ALL_RELATIONS:
+            assert compose(e, r) == frozenset({r})
+            assert compose(r, e) == frozenset({r})
+
+    def test_composition_never_empty(self):
+        for r1 in ALL_RELATIONS:
+            for r2 in ALL_RELATIONS:
+                assert compose(r1, r2)
+
+    def test_converse_of_composition(self):
+        """(R1;R2)^-1 == R2^-1 ; R1^-1 — a theorem of the algebra."""
+        for r1 in ALL_RELATIONS:
+            for r2 in ALL_RELATIONS:
+                lhs = invert_set(compose(r1, r2))
+                rhs = compose(r2.inverse, r1.inverse)
+                assert lhs == rhs, (r1, r2)
+
+    @given(intervals, intervals, intervals)
+    def test_soundness_against_concrete_intervals(self, a, b, c):
+        """The actually-holding A-C relation is always in comp(A-B, B-C)."""
+        r_ab = relation_between(a, b)
+        r_bc = relation_between(b, c)
+        r_ac = relation_between(a, c)
+        assert r_ac in compose(r_ab, r_bc)
+
+    def test_compose_sets_unions(self):
+        first = frozenset({AllenRelation.BEFORE, AllenRelation.MEETS})
+        second = frozenset({AllenRelation.BEFORE})
+        assert compose_sets(first, second) == frozenset({AllenRelation.BEFORE})
+
+
+class TestInverses:
+    def test_involution(self):
+        for r in ALL_RELATIONS:
+            assert r.inverse.inverse == r
+
+    def test_equals_self_inverse(self):
+        assert AllenRelation.EQUALS.inverse == AllenRelation.EQUALS
+
+    def test_invert_set(self):
+        s = frozenset({AllenRelation.BEFORE, AllenRelation.STARTS})
+        assert invert_set(s) == frozenset(
+            {AllenRelation.AFTER, AllenRelation.STARTED_BY}
+        )

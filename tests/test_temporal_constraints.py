@@ -1,0 +1,120 @@
+"""Tests for the qualitative temporal constraint network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InconsistentConstraintsError
+from repro.temporal.allen import ALL_RELATIONS, AllenRelation, relation_between
+from repro.temporal.constraints import TemporalConstraintNetwork
+
+
+class TestConstrain:
+    def test_constraints_intersect(self):
+        net = TemporalConstraintNetwork()
+        net.constrain("a", "b", [AllenRelation.BEFORE, AllenRelation.MEETS])
+        net.constrain("a", "b", [AllenRelation.MEETS, AllenRelation.OVERLAPS])
+        assert net.relation("a", "b") == frozenset({AllenRelation.MEETS})
+
+    def test_empty_intersection_raises(self):
+        net = TemporalConstraintNetwork()
+        net.constrain("a", "b", AllenRelation.BEFORE)
+        with pytest.raises(InconsistentConstraintsError):
+            net.constrain("a", "b", AllenRelation.AFTER)
+
+    def test_inverse_edge_maintained(self):
+        net = TemporalConstraintNetwork()
+        net.constrain("a", "b", AllenRelation.DURING)
+        assert net.relation("b", "a") == frozenset({AllenRelation.CONTAINS})
+
+    def test_self_constraint_only_equals(self):
+        net = TemporalConstraintNetwork()
+        net.constrain("a", "a", AllenRelation.EQUALS)  # fine
+        with pytest.raises(InconsistentConstraintsError):
+            net.constrain("a", "a", AllenRelation.BEFORE)
+
+    def test_unconstrained_pair_is_full(self):
+        net = TemporalConstraintNetwork()
+        net.add_variable("a")
+        net.add_variable("b")
+        assert net.relation("a", "b") == frozenset(ALL_RELATIONS)
+
+
+class TestPropagation:
+    def test_transitivity_narrows(self):
+        net = TemporalConstraintNetwork()
+        net.constrain("a", "b", AllenRelation.BEFORE)
+        net.constrain("b", "c", AllenRelation.BEFORE)
+        net.propagate()
+        assert net.relation("a", "c") == frozenset({AllenRelation.BEFORE})
+
+    def test_inconsistent_cycle_detected(self):
+        net = TemporalConstraintNetwork()
+        net.constrain("a", "b", AllenRelation.BEFORE)
+        net.constrain("b", "c", AllenRelation.BEFORE)
+        net.constrain("c", "a", AllenRelation.BEFORE)
+        with pytest.raises(InconsistentConstraintsError):
+            net.propagate()
+
+    def test_during_chain(self):
+        net = TemporalConstraintNetwork()
+        net.constrain("surgery", "stay", AllenRelation.DURING)
+        net.constrain("stay", "study", AllenRelation.DURING)
+        net.propagate()
+        assert net.relation("surgery", "study") == frozenset(
+            {AllenRelation.DURING}
+        )
+
+
+class TestSolveAndRealize:
+    def test_realize_honours_all_constraints(self):
+        net = TemporalConstraintNetwork()
+        net.constrain("admission", "stay", AllenRelation.STARTS)
+        net.constrain("surgery", "stay", AllenRelation.DURING)
+        net.constrain("recovery", "surgery", AllenRelation.AFTER)
+        net.constrain("recovery", "stay", AllenRelation.FINISHES)
+        solution = net.realize()
+        assert relation_between(
+            solution["admission"], solution["stay"]
+        ) == AllenRelation.STARTS
+        assert relation_between(
+            solution["surgery"], solution["stay"]
+        ) == AllenRelation.DURING
+        assert relation_between(
+            solution["recovery"], solution["surgery"]
+        ) == AllenRelation.AFTER
+        assert relation_between(
+            solution["recovery"], solution["stay"]
+        ) == AllenRelation.FINISHES
+
+    def test_solve_picks_atomic_scenario(self):
+        net = TemporalConstraintNetwork()
+        net.constrain("a", "b", [AllenRelation.BEFORE, AllenRelation.MEETS])
+        scenario = net.solve()
+        assert scenario[("a", "b")] in (
+            AllenRelation.BEFORE, AllenRelation.MEETS
+        )
+
+    def test_unsatisfiable_raises_from_solve(self):
+        net = TemporalConstraintNetwork()
+        net.constrain("a", "b", AllenRelation.BEFORE)
+        net.constrain("b", "c", AllenRelation.BEFORE)
+        with pytest.raises(InconsistentConstraintsError):
+            net.constrain("a", "c", AllenRelation.AFTER)
+            net.propagate()
+
+    def test_disjunctive_network_realizes(self):
+        """CNTRO-style: uncertain order between two treatments, both
+        inside one stay."""
+        net = TemporalConstraintNetwork()
+        for name in ("antibiotics", "surgery"):
+            net.constrain(name, "stay", AllenRelation.DURING)
+        net.constrain(
+            "antibiotics", "surgery",
+            [AllenRelation.BEFORE, AllenRelation.AFTER, AllenRelation.OVERLAPS],
+        )
+        solution = net.realize()
+        r = relation_between(solution["antibiotics"], solution["surgery"])
+        assert r in (
+            AllenRelation.BEFORE, AllenRelation.AFTER, AllenRelation.OVERLAPS
+        )

@@ -1,0 +1,100 @@
+"""Property tests for the qualitative temporal constraint machinery."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InconsistentConstraintsError
+from repro.temporal.allen import ALL_RELATIONS, relation_between
+from repro.temporal.constraints import TemporalConstraintNetwork
+from repro.temporal.timeline import Interval
+
+_intervals = st.builds(
+    lambda start, length: Interval(start, start + length),
+    st.integers(0, 60),
+    st.integers(1, 25),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.dictionaries(st.sampled_from("abcd"), _intervals,
+                       min_size=2, max_size=4))
+def test_network_built_from_concrete_intervals_is_consistent(assignment):
+    """Constraints read off real intervals always propagate and realize."""
+    names = sorted(assignment)
+    net = TemporalConstraintNetwork()
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            net.constrain(a, b, relation_between(assignment[a],
+                                                 assignment[b]))
+    net.propagate()
+    realized = net.realize()
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            assert relation_between(realized[a], realized[b]) == \
+                relation_between(assignment[a], assignment[b])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from("abc"), st.sampled_from("abc"),
+            st.sets(st.sampled_from(ALL_RELATIONS), min_size=1, max_size=4),
+        ),
+        min_size=1, max_size=5,
+    )
+)
+def test_propagation_never_loses_solutions(constraints):
+    """If solve() finds a scenario, that scenario satisfies every original
+    constraint (soundness of propagation + search)."""
+    net = TemporalConstraintNetwork()
+    original: list[tuple[str, str, frozenset]] = []
+    try:
+        for a, b, relations in constraints:
+            if a == b:
+                continue
+            net.constrain(a, b, relations)
+            original.append((a, b, frozenset(relations)))
+    except InconsistentConstraintsError:
+        return
+    if len(net.variables) < 2:
+        return
+    try:
+        realized = net.realize()
+    except InconsistentConstraintsError:
+        return
+    for a, b, allowed in original:
+        # the net may have been narrowed by later constraints on (a, b);
+        # recompute the effective constraint at assertion time
+        actual = relation_between(realized[a], realized[b])
+        assert actual in allowed, (a, b, actual, allowed)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_intervals, _intervals, _intervals)
+def test_three_interval_network_realizes_exactly(a, b, c):
+    net = TemporalConstraintNetwork()
+    net.constrain("a", "b", relation_between(a, b))
+    net.constrain("b", "c", relation_between(b, c))
+    net.constrain("a", "c", relation_between(a, c))
+    realized = net.realize()
+    assert relation_between(realized["a"], realized["b"]) == \
+        relation_between(a, b)
+    assert relation_between(realized["b"], realized["c"]) == \
+        relation_between(b, c)
+    assert relation_between(realized["a"], realized["c"]) == \
+        relation_between(a, c)
+
+
+def test_realize_rejects_known_unsatisfiable():
+    from repro.temporal.allen import AllenRelation
+
+    net = TemporalConstraintNetwork()
+    net.constrain("a", "b", AllenRelation.BEFORE)
+    net.constrain("b", "c", AllenRelation.BEFORE)
+    with pytest.raises(InconsistentConstraintsError):
+        net.constrain("c", "a", AllenRelation.BEFORE)
+        net.propagate()

@@ -1,0 +1,123 @@
+"""Tests for the Simple Temporal Network, including schedule properties."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InconsistentConstraintsError, TemporalError
+from repro.temporal.stn import SimpleTemporalNetwork
+
+
+def care_pathway() -> SimpleTemporalNetwork:
+    """discharge -> follow-up in 20..60d -> prescription 0..3d after."""
+    stn = SimpleTemporalNetwork()
+    stn.constrain("discharge", "follow_up", 20, 60)
+    stn.constrain("follow_up", "rx", 0, 3)
+    return stn
+
+
+class TestConsistency:
+    def test_consistent_pathway(self):
+        care_pathway().check_consistency()
+
+    def test_negative_cycle_detected(self):
+        stn = SimpleTemporalNetwork()
+        stn.constrain("a", "b", 10, 20)
+        stn.constrain("b", "c", 10, 20)
+        stn.constrain("a", "c", 0, 15)  # needs >= 20
+        with pytest.raises(InconsistentConstraintsError):
+            stn.check_consistency()
+
+    def test_empty_bound_rejected(self):
+        with pytest.raises(TemporalError):
+            SimpleTemporalNetwork().constrain("a", "b", 5, 3)
+
+    def test_repeated_constraints_intersect(self):
+        stn = SimpleTemporalNetwork()
+        stn.constrain("a", "b", 0, 100)
+        stn.constrain("a", "b", 10, 50)
+        assert stn.feasible_window("a", "b") == (10, 50)
+
+
+class TestSchedules:
+    def test_earliest_schedule(self):
+        stn = care_pathway()
+        earliest = stn.earliest_schedule("discharge")
+        assert earliest["discharge"] == 0
+        assert earliest["follow_up"] == 20
+        assert earliest["rx"] == 20
+
+    def test_latest_schedule(self):
+        stn = care_pathway()
+        latest = stn.latest_schedule("discharge")
+        assert latest["follow_up"] == 60
+        assert latest["rx"] == 63
+
+    def test_schedules_satisfy_constraints(self):
+        stn = care_pathway()
+        for prefer in ("earliest", "latest"):
+            schedule = stn.schedule("discharge", prefer)
+            finite = {p: v for p, v in schedule.items()
+                      if abs(v) < math.inf}
+            assert stn.satisfied_by(finite)
+
+    def test_feasible_window_propagates(self):
+        stn = care_pathway()
+        assert stn.feasible_window("discharge", "rx") == (20, 63)
+
+    def test_anchor(self):
+        stn = care_pathway()
+        stn.anchor("discharge", 15_000)
+        earliest = stn.earliest_schedule("__origin__")
+        assert earliest["discharge"] == 15_000
+        assert earliest["rx"] == 15_020
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(TemporalError):
+            care_pathway().earliest_schedule("ghost")
+
+    def test_from_interval_chain(self):
+        stn = SimpleTemporalNetwork.from_interval_chain(
+            [("dx", 0, 0), ("admission", 1, 365), ("surgery", 0, 10)]
+        )
+        lo, hi = stn.feasible_window("start", "surgery")
+        assert (lo, hi) == (1, 375)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 4), st.integers(0, 4),
+            st.integers(-20, 20), st.integers(0, 30),
+        ),
+        min_size=1, max_size=8,
+    )
+)
+def test_property_schedules_always_satisfy(constraints):
+    """For any consistent random network, both extreme schedules satisfy
+    every constraint; inconsistent networks raise."""
+    stn = SimpleTemporalNetwork()
+    for a, b, lo, width in constraints:
+        if a == b:
+            continue
+        stn.constrain(f"p{a}", f"p{b}", lo, lo + width)
+    if not stn.points:
+        return
+    origin = stn.points[0]
+    try:
+        earliest = stn.earliest_schedule(origin)
+        latest = stn.latest_schedule(origin)
+    except InconsistentConstraintsError:
+        return
+    finite_e = {p: v for p, v in earliest.items() if abs(v) < math.inf}
+    finite_l = {p: v for p, v in latest.items() if abs(v) < math.inf}
+    assert stn.satisfied_by(finite_e)
+    assert stn.satisfied_by(finite_l)
+    for point in finite_e:
+        if point in finite_l:
+            assert finite_e[point] <= finite_l[point] + 1e-9

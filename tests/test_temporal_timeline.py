@@ -1,0 +1,85 @@
+"""Tests for day numbers and the Interval type."""
+
+from __future__ import annotations
+
+from datetime import date
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TemporalError
+from repro.temporal.timeline import (
+    EPOCH,
+    Interval,
+    day_number,
+    from_day_number,
+    months_between,
+)
+
+
+class TestDayNumbers:
+    def test_epoch_is_zero(self):
+        assert day_number(EPOCH) == 0
+
+    @given(st.dates(min_value=date(1900, 1, 1), max_value=date(2100, 1, 1)))
+    def test_roundtrip(self, when):
+        assert from_day_number(day_number(when)) == when
+
+    def test_months_between_signed(self):
+        assert months_between(0, 0) == 0.0
+        assert months_between(0, 365) == pytest.approx(12.0, abs=0.02)
+        assert months_between(365, 0) == pytest.approx(-12.0, abs=0.02)
+
+
+class TestInterval:
+    def test_empty_interval_rejected(self):
+        with pytest.raises(TemporalError):
+            Interval(5, 5)
+        with pytest.raises(TemporalError):
+            Interval(6, 5)
+
+    def test_from_dates_and_single_day(self):
+        iv = Interval.from_dates(date(2012, 1, 1), date(2012, 1, 3))
+        assert iv.duration == 2
+        assert Interval.single_day(100) == Interval(100, 101)
+
+    def test_contains_point_half_open(self):
+        iv = Interval(10, 20)
+        assert iv.contains_point(10)
+        assert iv.contains_point(19)
+        assert not iv.contains_point(20)
+
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains(Interval(2, 8))
+        assert Interval(0, 10).contains(Interval(0, 10))
+        assert not Interval(0, 10).contains(Interval(5, 11))
+
+    def test_overlaps_meets_is_not_overlap(self):
+        assert not Interval(0, 5).overlaps(Interval(5, 10))
+        assert Interval(0, 6).overlaps(Interval(5, 10))
+
+    def test_intersection(self):
+        assert Interval(0, 6).intersection(Interval(4, 10)) == Interval(4, 6)
+        assert Interval(0, 4).intersection(Interval(4, 10)) is None
+
+    def test_hull_and_shift(self):
+        assert Interval(0, 3).hull(Interval(8, 9)) == Interval(0, 9)
+        assert Interval(2, 4).shifted(10) == Interval(12, 14)
+
+    def test_gap_to(self):
+        assert Interval(0, 5).gap_to(Interval(8, 10)) == 3
+        assert Interval(8, 10).gap_to(Interval(0, 5)) == 3
+        assert Interval(0, 6).gap_to(Interval(5, 10)) == 0
+        assert Interval(0, 5).gap_to(Interval(5, 10)) == 0
+
+    @given(
+        st.integers(-500, 500), st.integers(1, 100),
+        st.integers(-500, 500), st.integers(1, 100),
+    )
+    def test_overlap_symmetric_and_consistent_with_intersection(
+        self, s1, d1, s2, d2
+    ):
+        a, b = Interval(s1, s1 + d1), Interval(s2, s2 + d2)
+        assert a.overlaps(b) == b.overlaps(a)
+        assert a.overlaps(b) == (a.intersection(b) is not None)

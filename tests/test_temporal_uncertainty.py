@@ -1,0 +1,89 @@
+"""Tests for uncertain intervals and their modal relation queries."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TemporalError
+from repro.temporal.allen import relation_between
+from repro.temporal.timeline import Interval
+from repro.temporal.uncertainty import UncertainInterval, UncertaintyMetaphor
+
+
+class TestConstruction:
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(TemporalError):
+            UncertainInterval(5, 3, 8, 10)  # min_start > max_start
+        with pytest.raises(TemporalError):
+            UncertainInterval(0, 2, 9, 8)   # min_end > max_end
+        with pytest.raises(TemporalError):
+            UncertainInterval(10, 12, 5, 10)  # no start < end realization
+
+    def test_crisp_wrapper(self):
+        u = UncertainInterval.crisp(Interval(3, 9))
+        assert u.core == Interval(3, 9)
+        assert u.support == Interval(3, 9)
+        assert u.min_duration == u.max_duration == 6
+
+
+class TestBounds:
+    def test_core_and_support(self):
+        u = UncertainInterval(0, 3, 8, 12)
+        assert u.core == Interval(3, 8)
+        assert u.support == Interval(0, 12)
+
+    def test_no_core_when_ranges_cross(self):
+        u = UncertainInterval(0, 9, 5, 12)
+        assert u.core is None
+        assert u.render_segments(UncertaintyMetaphor.ELASTIC_BAND) == [
+            (0, 12, "fuzzy")
+        ]
+
+    def test_durations(self):
+        u = UncertainInterval(0, 3, 8, 12)
+        assert u.min_duration == 5   # start latest (3), end earliest (8)
+        assert u.max_duration == 12  # start earliest (0), end latest (12)
+
+    def test_segments_cover_support_exactly(self):
+        u = UncertainInterval(0, 3, 8, 12)
+        segments = u.render_segments(UncertaintyMetaphor.SPRING)
+        assert segments[0][0] == 0 and segments[-1][1] == 12
+        for (______, end, __), (start, *__rest) in zip(segments, segments[1:]):
+            assert end == start
+
+
+class TestModalRelations:
+    def test_crisp_possible_is_singleton(self):
+        u = UncertainInterval.crisp(Interval(0, 5))
+        possible = u.possible_relations(Interval(10, 20))
+        assert len(possible) == 1
+        assert u.necessary_relations(Interval(10, 20)) == possible
+
+    def test_uncertain_end_spreads_relations(self):
+        # end anywhere in [8, 15] vs other [10, 20]: before/meets/overlaps
+        u = UncertainInterval(0, 0, 8, 15)
+        names = {r.value for r in u.possible_relations(Interval(10, 20))}
+        assert names == {"b", "m", "o"}
+        assert u.necessary_relations(Interval(10, 20)) == frozenset()
+
+    @given(
+        st.integers(-50, 50), st.integers(0, 10), st.integers(0, 10),
+        st.integers(-50, 50), st.integers(1, 30),
+        st.data(),
+    )
+    def test_every_realization_is_possible(
+        self, min_start, start_spread, end_spread, other_start, other_len, data
+    ):
+        """Soundness: the relation of any admissible realization is in
+        possible_relations."""
+        max_start = min_start + start_spread
+        min_end = max_start + 1
+        max_end = min_end + end_spread
+        u = UncertainInterval(min_start, max_start, min_end, max_end)
+        other = Interval(other_start, other_start + other_len)
+        start = data.draw(st.integers(min_start, max_start))
+        end = data.draw(st.integers(max(min_end, start + 1), max_end))
+        relation = relation_between(Interval(start, end), other)
+        assert relation in u.possible_relations(other)

@@ -1,0 +1,147 @@
+"""Unit tests for the generic code-system machinery."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TerminologyError, UnknownCodeError
+from repro.terminology.codes import Code, CodeSelection, CodeSystem
+
+
+def make_system() -> CodeSystem:
+    return CodeSystem(
+        "demo",
+        [
+            Code("A", "chapter A", kind="chapter"),
+            Code("A01", "a-one", parent="A"),
+            Code("A02", "a-two", parent="A"),
+            Code("A02x", "a-two-x", parent="A02"),
+            Code("B", "chapter B", kind="chapter"),
+            Code("B01", "b-one", parent="B"),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_ids_are_dense_and_stable(self):
+        system = make_system()
+        assert [system.id_of(c.code) for c in system] == list(range(len(system)))
+
+    def test_duplicate_code_rejected(self):
+        system = make_system()
+        with pytest.raises(TerminologyError, match="duplicate"):
+            system.add(Code("A01", "again", parent="A"))
+
+    def test_parent_must_exist(self):
+        system = make_system()
+        with pytest.raises(TerminologyError, match="parent"):
+            system.add(Code("C01", "orphan", parent="C"))
+
+    def test_empty_code_rejected(self):
+        with pytest.raises(TerminologyError):
+            Code("", "nothing")
+
+
+class TestLookup:
+    def test_get_and_contains(self):
+        system = make_system()
+        assert "A02x" in system
+        assert system.get("A02x").display == "a-two-x"
+
+    def test_unknown_code_raises_with_context(self):
+        system = make_system()
+        with pytest.raises(UnknownCodeError) as exc:
+            system.get("ZZ")
+        assert exc.value.system == "demo"
+        assert exc.value.code == "ZZ"
+
+    def test_code_of_inverts_id_of(self):
+        system = make_system()
+        for code in system:
+            assert system.code_of(system.id_of(code.code)) is code
+
+    def test_code_of_out_of_range(self):
+        with pytest.raises(UnknownCodeError):
+            make_system().code_of(999)
+
+
+class TestHierarchy:
+    def test_roots(self):
+        assert [c.code for c in make_system().roots()] == ["A", "B"]
+
+    def test_children_in_insertion_order(self):
+        system = make_system()
+        assert [c.code for c in system.children_of("A")] == ["A01", "A02"]
+
+    def test_ancestors_nearest_first(self):
+        system = make_system()
+        assert [c.code for c in system.ancestors("A02x")] == ["A02", "A"]
+
+    def test_descendants_depth_first(self):
+        system = make_system()
+        assert [c.code for c in system.descendants("A")] == ["A01", "A02", "A02x"]
+
+    def test_is_a_reflexive_and_transitive(self):
+        system = make_system()
+        assert system.is_a("A02x", "A02x")
+        assert system.is_a("A02x", "A")
+        assert not system.is_a("A02x", "B")
+
+    def test_depth(self):
+        system = make_system()
+        assert system.depth("A") == 0
+        assert system.depth("A02x") == 2
+
+    def test_parent_of_root_is_none(self):
+        assert make_system().parent_of("A") is None
+
+
+class TestRegexSelection:
+    def test_fullmatch_semantics(self):
+        system = make_system()
+        # "A02" must not match A02x via prefix.
+        assert [c.code for c in system.match("A02")] == ["A02"]
+
+    def test_branch_wildcard(self):
+        system = make_system()
+        assert {c.code for c in system.match("A.*")} == {"A", "A01", "A02", "A02x"}
+
+    def test_disjunction(self):
+        system = make_system()
+        assert {c.code for c in system.match("A01|B01")} == {"A01", "B01"}
+
+    def test_bad_regex_raises(self):
+        with pytest.raises(TerminologyError, match="bad regular expression"):
+            make_system().match("[")
+
+    def test_match_ids_agree_with_match(self):
+        system = make_system()
+        codes = {c.code for c in system.match("A.*")}
+        ids = {system.code_of(i).code for i in system.match_ids("A.*")}
+        assert codes == ids
+
+    def test_subtree_ids(self):
+        system = make_system()
+        subtree = {system.code_of(i).code for i in system.subtree_ids("A02")}
+        assert subtree == {"A02", "A02x"}
+
+
+class TestCodeSelection:
+    def test_ids_cached_and_contains(self):
+        system = make_system()
+        selection = CodeSelection(system, "A0.*", label="a-things")
+        assert "A01" in selection
+        assert "B01" not in selection
+        assert {c.code for c in selection.codes()} == {"A01", "A02", "A02x"}
+
+
+@given(st.text(alphabet="AB012x", min_size=1, max_size=4))
+def test_match_never_crashes_on_literal_codes(code_text):
+    """Selecting by any escaped literal either hits exactly or misses."""
+    import re
+
+    system = make_system()
+    hits = system.match(re.escape(code_text))
+    assert all(c.code == code_text for c in hits)

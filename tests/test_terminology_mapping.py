@@ -1,0 +1,86 @@
+"""Tests for the ICPC-2 <-> ICD-10 concept map and regex helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TerminologyError, UnknownCodeError
+from repro.terminology import (
+    TerminologyMap,
+    any_of,
+    branch_selection,
+    exact,
+    icpc2,
+    icpc2_to_icd10_map,
+    prefix_pattern,
+)
+
+
+class TestMapping:
+    def test_diabetes_both_directions(self):
+        mapping = icpc2_to_icd10_map()
+        assert set(mapping.to_icd10("T90")) == {"E11", "E14"}
+        assert "T90" in mapping.to_icpc2("E11")
+
+    def test_unmapped_returns_empty(self):
+        mapping = icpc2_to_icd10_map()
+        assert mapping.to_icd10("A97") != ()  # mapped (Z00)
+        assert mapping.to_icd10("Z29") == ()  # social problems: unmapped
+
+    def test_expand_concept_from_either_side(self):
+        mapping = icpc2_to_icd10_map()
+        icpc_side, icd_side = mapping.expand_concept("T90")
+        assert icpc_side == {"T90"}
+        assert icd_side == {"E11", "E14"}
+        icpc_side2, icd_side2 = mapping.expand_concept("E11")
+        assert "T90" in icpc_side2
+        assert icd_side2 == {"E11"}
+
+    def test_expand_unknown_code_raises(self):
+        with pytest.raises(UnknownCodeError):
+            icpc2_to_icd10_map().expand_concept("NOPE")
+
+    def test_map_validates_codes_at_build_time(self):
+        with pytest.raises(UnknownCodeError):
+            TerminologyMap({"T90": ("NOT-A-CODE",)})
+        with pytest.raises(UnknownCodeError):
+            TerminologyMap({"XX99": ("E11",)})
+
+    def test_backward_is_exact_inverse(self):
+        mapping = icpc2_to_icd10_map()
+        for icpc_code in mapping.mapped_icpc2_codes():
+            for icd_code in mapping.to_icd10(icpc_code):
+                assert icpc_code in mapping.to_icpc2(icd_code)
+
+
+class TestRegexHelpers:
+    def test_prefix_pattern_is_the_paper_idiom(self):
+        assert prefix_pattern("F") == "F.*"
+
+    def test_prefix_pattern_escapes_metacharacters(self):
+        pattern = prefix_pattern("I20-I25")
+        hits = [c.code for c in __import__(
+            "repro.terminology", fromlist=["icd10"]
+        ).icd10().match(pattern)]
+        assert "I20-I25" in hits
+
+    def test_any_of_reproduces_eye_or_ear(self):
+        pattern = any_of(prefix_pattern("F"), prefix_pattern("H"))
+        hits = icpc2().match(pattern)
+        assert {c.code[0] for c in hits} == {"F", "H"}
+
+    def test_exact(self):
+        assert icpc2().match(exact("T90")) == [icpc2().get("T90")]
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(TerminologyError):
+            prefix_pattern("")
+
+    def test_any_of_requires_patterns(self):
+        with pytest.raises(TerminologyError):
+            any_of()
+
+    def test_branch_selection_label_defaults(self):
+        selection = branch_selection(icpc2(), "F", "H")
+        assert selection.label == "F|H"
+        assert len(selection.ids) > 80

@@ -1,0 +1,118 @@
+"""Tests for the three concrete code systems (ICPC-2, ICD-10, ATC)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.terminology import (
+    ATC_MAIN_GROUPS,
+    CHAPTERS,
+    ancestor_at_level,
+    atc,
+    component_of,
+    icd10,
+    icpc2,
+    level_of,
+)
+
+
+class TestIcpc2:
+    def test_all_17_chapters_present(self):
+        system = icpc2()
+        assert len(CHAPTERS) == 17
+        for letter in CHAPTERS:
+            assert letter in system
+            assert system.get(letter).kind == "chapter"
+
+    def test_paper_examples_exist(self):
+        system = icpc2()
+        # T90 is the diabetes code from the NSEPter figure.
+        assert system.get("T90").display.startswith("Diabetes")
+        assert system.get("K86").display.startswith("Hypertension")
+
+    def test_process_codes_identical_across_chapters(self):
+        system = icpc2()
+        assert (
+            system.get("A50").display
+            == system.get("T50").display
+            == "Medication - prescription/request/renewal/injection"
+        )
+
+    def test_every_rubric_child_of_its_chapter(self):
+        system = icpc2()
+        for code in system:
+            if code.kind != "chapter":
+                assert code.parent == code.code[0]
+
+    def test_eye_or_ear_regex_spans_two_chapters(self):
+        hits = icpc2().match("F.*|H.*")
+        chapters = {c.code[0] for c in hits}
+        assert chapters == {"F", "H"}
+        assert len(hits) > 80  # both chapters' full rubric sets
+
+    @pytest.mark.parametrize(
+        "code,component",
+        [("A01", 1), ("T34", 2), ("K50", 3), ("D60", 4), ("N62", 5),
+         ("R67", 6), ("T90", 7)],
+    )
+    def test_component_of(self, code, component):
+        assert component_of(code) == component
+
+
+class TestIcd10:
+    def test_all_chapters_present(self):
+        system = icd10()
+        assert len(system.roots()) == 22
+
+    def test_category_under_block_under_chapter(self):
+        system = icd10()
+        ancestors = [c.code for c in system.ancestors("E11")]
+        assert ancestors == ["E10-E14", "IV"]
+
+    def test_diabetes_block_subtree(self):
+        system = icd10()
+        codes = {system.code_of(i).code for i in system.subtree_ids("E10-E14")}
+        assert {"E10", "E11", "E14"} <= codes
+
+    def test_category_regex(self):
+        hits = {c.code for c in icd10().match("I2[015]")}
+        assert hits == {"I20", "I21", "I25"}
+
+
+class TestAtc:
+    def test_14_main_groups(self):
+        system = atc()
+        assert len(ATC_MAIN_GROUPS) == 14
+        assert len(system.roots()) == 14
+
+    def test_paper_beta_blocker_example(self):
+        """The paper names atenolol and propranolol under 'beta blocker'."""
+        system = atc()
+        assert system.get("C07AB03").display == "atenolol"
+        assert system.get("C07AA05").display == "propranolol"
+        assert system.is_a("C07AB03", "C07")
+        assert system.is_a("C07AA05", "C07")
+        assert system.get("C07").display == "Beta blocking agents"
+
+    def test_level_of(self):
+        assert level_of("C") == 1
+        assert level_of("C07") == 2
+        assert level_of("C07A") == 3
+        assert level_of("C07AB") == 4
+        assert level_of("C07AB02") == 5
+
+    def test_ancestor_at_level_matches_hierarchy(self):
+        system = atc()
+        for substance in ("C07AB02", "A10BA02", "N06AB04"):
+            structural = ancestor_at_level(substance, 2)
+            via_hierarchy = [
+                a.code for a in system.ancestors(substance) if len(a.code) == 3
+            ]
+            assert [structural] == via_hierarchy
+
+    def test_every_substance_is_level5(self):
+        system = atc()
+        for code in system:
+            if code.kind == "substance":
+                assert level_of(code.code) == 5
+                assert system.depth(code.code) == 4

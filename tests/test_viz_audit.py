@@ -1,0 +1,81 @@
+"""Tests for the perceptual scene audit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.ast import Concept
+from repro.viz.audit import MIN_READABLE_GLYPH_PX, audit_scene
+from repro.viz.axes import ZoomSliders
+from repro.viz.timeline_view import TimelineConfig, TimelineView
+
+
+@pytest.fixture(scope="module")
+def ids(small_engine):
+    return small_engine.patients(Concept("T90")).tolist()
+
+
+class TestAuditScene:
+    def test_zoomed_in_scene_passes(self, small_store, ids):
+        view = TimelineView(
+            small_store,
+            TimelineConfig(show_legend=False,
+                           sliders=ZoomSliders(0.8, 0.9)),
+        )
+        scene = view.render(ids[:12])
+        audit = audit_scene(scene)
+        assert audit.readable_glyph_fraction > 0.9
+        assert audit.sub_pixel_fraction < 0.1
+        assert not any("sub-pixel" in w for w in audit.warnings)
+
+    def test_zoomed_out_scene_warns(self, small_store, ids):
+        view = TimelineView(
+            small_store,
+            TimelineConfig(show_legend=False,
+                           sliders=ZoomSliders(0.4, 0.02)),
+        )
+        scene = view.render(ids[:150])
+        audit = audit_scene(scene)
+        assert audit.readable_glyph_fraction < 0.5
+        assert any("glyphs" in w or "sub-pixel" in w
+                   for w in audit.warnings)
+
+    def test_medication_budget_warning(self, small_store):
+        """Coloring by ATC level 4 explodes the hue count past the
+        preattentive budget; the audit must flag it."""
+        ids = small_store.patient_ids[:80].tolist()
+        fine = TimelineView(
+            small_store,
+            TimelineConfig(show_legend=False, medication_level=4),
+        ).render(ids)
+        audit = audit_scene(fine)
+        if len(fine.medication_colors) > 8:
+            assert any("medication hues" in w for w in audit.warnings)
+            assert not audit.ok
+
+    def test_abstracting_up_restores_budget(self, small_store, ids):
+        """The audit's own advice — abstract the ATC level up — works:
+        level-1 anatomical groups fit the preattentive budget where
+        level-2 groups overflow it on multimorbid patients."""
+        fine = TimelineView(
+            small_store,
+            TimelineConfig(show_legend=False, medication_level=2),
+        ).render(ids[:10])
+        coarse = TimelineView(
+            small_store,
+            TimelineConfig(show_legend=False, medication_level=1),
+        ).render(ids[:10])
+        assert len(coarse.medication_colors) < len(fine.medication_colors)
+        audit = audit_scene(coarse)
+        assert not any("medication hues" in w for w in audit.warnings)
+
+    def test_counts_exclude_background_bars(self, small_store, ids):
+        scene = TimelineView(
+            small_store, TimelineConfig(show_legend=False)
+        ).render(ids[:10])
+        audit = audit_scene(scene)
+        bars = sum(1 for m in scene.marks if m.kind == "bar")
+        assert audit.n_marks == len(scene.marks) - bars
+
+    def test_min_readable_constant_sane(self):
+        assert 1.0 < MIN_READABLE_GLYPH_PX < 10.0

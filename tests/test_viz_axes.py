@@ -1,0 +1,102 @@
+"""Tests for axis rendering details (ticks, labels, month boundaries)."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from datetime import date
+
+from repro.temporal.timeline import day_number
+from repro.viz.axes import (
+    TimeScale,
+    ZoomSliders,
+    render_aligned_axis,
+    render_calendar_axis,
+    render_patient_axis,
+)
+from repro.viz.svg import SvgDocument
+
+
+def text_labels(svg: SvgDocument) -> list[str]:
+    root = ET.fromstring(svg.to_string())
+    ns = "{http://www.w3.org/2000/svg}"
+    return [el.text for el in root.iter(f"{ns}text")]
+
+
+class TestCalendarAxis:
+    def test_year_boundaries_labelled_with_year(self):
+        svg = SvgDocument(1200, 100)
+        first = day_number(date(2011, 11, 1))
+        last = day_number(date(2012, 3, 1))
+        scale = TimeScale(first, 6.0, 40)
+        render_calendar_axis(svg, scale, first, last, 60, 10)
+        labels = text_labels(svg)
+        assert "2012" in labels  # the January tick shows the year
+        assert any(lab in labels for lab in ("Nov", "Dec", "Feb"))
+
+    def test_zoomed_out_thins_labels(self):
+        svg = SvgDocument(600, 80)
+        first = day_number(date(2010, 1, 1))
+        last = day_number(date(2014, 1, 1))
+        scale = TimeScale(first, 0.3, 40)  # ~9px per month
+        render_calendar_axis(svg, scale, first, last, 60, 10)
+        labels = [lab for lab in text_labels(svg) if lab]
+        n_months = 48
+        assert 0 < len(labels) < n_months / 2
+
+    def test_grid_optional(self):
+        first = day_number(date(2012, 1, 1))
+        last = day_number(date(2012, 6, 1))
+        scale = TimeScale(first, 4.0, 40)
+        with_grid = SvgDocument(900, 80)
+        render_calendar_axis(with_grid, scale, first, last, 60, 10,
+                             grid=True)
+        without = SvgDocument(900, 80)
+        render_calendar_axis(without, scale, first, last, 60, 10,
+                             grid=False)
+        assert with_grid.to_string().count("<line") > \
+            without.to_string().count("<line")
+
+
+class TestAlignedAxis:
+    def test_anchor_labelled_zero(self):
+        svg = SvgDocument(900, 80)
+        scale = TimeScale(-200, 2.0, 450)
+        render_aligned_axis(svg, scale, -200, 200, 60, 10)
+        labels = text_labels(svg)
+        assert "0" in labels
+        assert any(lab and lab.startswith("+") for lab in labels)
+        assert any(lab and lab.startswith("-") for lab in labels)
+
+    def test_signed_month_labels(self):
+        svg = SvgDocument(900, 80)
+        scale = TimeScale(-100, 3.0, 350)
+        render_aligned_axis(svg, scale, -100, 100, 60, 10)
+        labels = [lab for lab in text_labels(svg) if lab and "mo" in lab]
+        assert labels  # has e.g. "+2 mo"
+
+
+class TestPatientAxis:
+    def test_labels_drawn_when_rows_readable(self):
+        svg = SvgDocument(300, 300)
+        render_patient_axis(svg, [101, 202, 303], row_height=20.0,
+                            plot_top=10, x=60)
+        labels = text_labels(svg)
+        assert {"101", "202", "303"} <= set(labels)
+
+    def test_labels_skipped_when_rows_tiny(self):
+        svg = SvgDocument(300, 300, background=None)
+        render_patient_axis(svg, list(range(100)), row_height=2.0,
+                            plot_top=10, x=60)
+        assert "<text" not in svg.to_string()
+
+
+class TestZoomFitEdgeCases:
+    def test_single_day_single_row(self):
+        sliders = ZoomSliders.fit(1, 1, 800, 600)
+        assert sliders.px_per_day > 0
+        assert sliders.row_height > 0
+
+    def test_huge_cohort_clamps_to_minimum(self):
+        sliders = ZoomSliders.fit(100_000, 1_000_000, 800, 600)
+        assert sliders.horizontal == 0.0 or sliders.px_per_day <= 0.05
+        assert sliders.vertical == 0.0 or sliders.row_height <= 0.06

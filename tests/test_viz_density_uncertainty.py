@@ -1,0 +1,112 @@
+"""Tests for the density overview and the uncertainty metaphors."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.errors import RenderError
+from repro.temporal.uncertainty import UncertainInterval, UncertaintyMetaphor
+from repro.viz.axes import TimeScale
+from repro.viz.density_view import render_density
+from repro.viz.svg import SvgDocument
+from repro.viz.uncertainty_view import draw_uncertain_interval
+
+
+class TestDensityView:
+    def test_svg_valid(self, small_store):
+        scene = render_density(small_store)
+        ET.fromstring(scene.svg_text)
+
+    def test_grid_sums_to_event_count(self, small_store):
+        scene = render_density(small_store)
+        assert int(scene.grid.sum()) == small_store.n_events
+
+    def test_mask_restricts_events(self, small_store):
+        mask = small_store.mask_category("hospital_stay")
+        scene = render_density(small_store, mask=mask)
+        assert int(scene.grid.sum()) == int(mask.sum())
+
+    def test_subset_of_patients(self, small_store):
+        ids = small_store.patient_ids[:100].tolist()
+        scene = render_density(small_store, ids)
+        assert scene.n_patients == 100
+        expected = int(small_store.mask_patients(ids).sum())
+        assert int(scene.grid.sum()) == expected
+
+    def test_row_buckets_capped_by_population(self, small_store):
+        ids = small_store.patient_ids[:10].tolist()
+        scene = render_density(small_store, ids, row_buckets=120)
+        assert scene.n_row_buckets == 10
+
+    def test_empty_selection_rejected(self, small_store):
+        with pytest.raises(RenderError):
+            render_density(small_store, [])
+
+    def test_empty_mask_rejected(self, small_store):
+        with pytest.raises(RenderError, match="no events"):
+            render_density(
+                small_store,
+                mask=np.zeros(small_store.n_events, dtype=bool),
+            )
+
+    def test_ink_is_bounded_by_grid_not_events(self, small_store):
+        """The point of the overview: O(cells), not O(events)."""
+        scene = render_density(small_store)
+        n_cells = scene.n_row_buckets * scene.n_month_bins
+        assert scene.svg_text.count("<rect") <= n_cells + 2
+
+
+class TestUncertaintyView:
+    @pytest.fixture()
+    def canvas(self):
+        return SvgDocument(400, 60)
+
+    @pytest.fixture()
+    def scale(self):
+        return TimeScale(first_day=0, px_per_day=10.0, x_offset=20.0)
+
+    @pytest.mark.parametrize("metaphor", list(UncertaintyMetaphor))
+    def test_each_metaphor_renders_valid_svg(self, canvas, scale, metaphor):
+        interval = UncertainInterval(0, 5, 15, 25)
+        draw_uncertain_interval(canvas, interval, scale, 10, 20,
+                                metaphor=metaphor, title="stay?")
+        ET.fromstring(canvas.to_string())
+
+    def test_solid_core_always_present(self, canvas, scale):
+        interval = UncertainInterval(0, 5, 15, 25)
+        draw_uncertain_interval(canvas, interval, scale, 10, 20)
+        text = canvas.to_string()
+        # core [5,15) at 10px/day + 20 offset -> rect at x=70 width 100
+        assert 'x="70"' in text and 'width="100"' in text
+
+    def test_spring_draws_zigzag_path(self, scale):
+        canvas = SvgDocument(400, 60)
+        interval = UncertainInterval(0, 10, 20, 35)
+        draw_uncertain_interval(canvas, interval, scale, 10, 20,
+                                metaphor=UncertaintyMetaphor.SPRING)
+        assert "<path" in canvas.to_string()
+
+    def test_paint_strip_hatches(self, scale):
+        canvas = SvgDocument(400, 60)
+        interval = UncertainInterval(0, 10, 20, 35)
+        draw_uncertain_interval(canvas, interval, scale, 10, 20,
+                                metaphor=UncertaintyMetaphor.PAINT_STRIP)
+        assert canvas.to_string().count("<line") >= 4
+
+    def test_bad_height_rejected(self, canvas, scale):
+        with pytest.raises(RenderError):
+            draw_uncertain_interval(
+                canvas, UncertainInterval(0, 5, 15, 25), scale, 10, 0
+            )
+
+    def test_crisp_interval_is_all_solid(self, scale):
+        from repro.temporal.timeline import Interval
+
+        canvas = SvgDocument(400, 60)
+        interval = UncertainInterval.crisp(Interval(2, 8))
+        draw_uncertain_interval(canvas, interval, scale, 10, 20)
+        text = canvas.to_string()
+        assert "<path" not in text  # no fuzzy rendering needed

@@ -1,0 +1,110 @@
+"""Tests for personal-timeline HTML export and NSEPter graph rendering."""
+
+from __future__ import annotations
+
+import os
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import RenderError
+from repro.events.model import Cohort, History, PointEvent
+from repro.events.store import EventStore
+from repro.nsepter import build_graph, layout_graph, merge_by_regex
+from repro.query.ast import Concept
+from repro.viz.graph_view import render_graph
+from repro.viz.html_export import (
+    export_batch,
+    export_personal_timeline,
+    personal_timeline_svg,
+)
+
+
+@pytest.fixture(scope="module")
+def ids(small_engine):
+    return small_engine.patients(Concept("T90"))[:12].tolist()
+
+
+class TestPersonalTimeline:
+    def test_svg_valid_and_faceted(self, small_store, ids):
+        history = small_store.materialize(ids[0])
+        svg = personal_timeline_svg(history)
+        ET.fromstring(svg)
+        assert "Diagnoses" in svg
+        assert "Medications" in svg
+
+    def test_simplified_form_hides_clinical_facets(self, small_store, ids):
+        history = small_store.materialize(ids[0])
+        svg = personal_timeline_svg(history, simplified=True)
+        assert "Diagnoses" not in svg
+        assert "Your health service visits" in svg
+
+    def test_empty_history_rejected(self):
+        history = History(patient_id=1, birth_day=0)
+        with pytest.raises(RenderError):
+            personal_timeline_svg(history)
+
+    def test_html_is_self_contained(self, small_store, ids, tmp_path):
+        path = tmp_path / "p.html"
+        html = export_personal_timeline(small_store, ids[0], str(path))
+        assert path.exists()
+        assert "<svg" in html
+        assert "<script>" in html
+        assert "http://" not in html.split("xmlns")[0]  # no external deps
+
+    def test_batch_export_writes_index(self, small_store, ids, tmp_path):
+        directory = tmp_path / "web"
+        count = export_batch(small_store, ids, str(directory))
+        assert count == len(ids)
+        assert (directory / "index.html").exists()
+        pages = [f for f in os.listdir(directory) if f.startswith("patient_")]
+        assert len(pages) == count
+
+    def test_batch_skips_empty_histories(self, tmp_path):
+        cohort = Cohort([
+            History(patient_id=1, birth_day=0,
+                    points=[PointEvent(day=10, category="diagnosis",
+                                       code="T90", system="ICPC-2")]),
+            History(patient_id=2, birth_day=0),  # empty
+        ])
+        store = EventStore.from_cohort(cohort)
+        count = export_batch(store, [1, 2], str(tmp_path / "w"))
+        assert count == 1
+
+
+class TestGraphRendering:
+    def test_graph_svg_valid(self, small_store, ids):
+        cohort = small_store.to_cohort(ids)
+        graph = build_graph(cohort)
+        merge_by_regex(graph, "T90")
+        svg = render_graph(graph, layout_graph(graph))
+        ET.fromstring(svg.to_string())
+
+    def test_merged_node_highlighted(self, small_store, ids):
+        cohort = small_store.to_cohort(ids)
+        graph = build_graph(cohort)
+        merge_by_regex(graph, "T90")
+        text = render_graph(graph, layout_graph(graph)).to_string()
+        assert "#D55E00" in text  # merged-node color present
+
+    def test_large_canvas_scaled_down(self, small_store):
+        ids = small_store.patient_ids[:150].tolist()
+        cohort = small_store.to_cohort(ids)
+        graph = build_graph(cohort)
+        svg = render_graph(graph, layout_graph(graph), max_canvas=800.0)
+        root = ET.fromstring(svg.to_string())
+        assert float(root.get("width")) <= 800.0
+        assert float(root.get("height")) <= 800.0
+
+
+class TestCohortPage:
+    def test_cohort_page_interactive(self, small_store, ids, tmp_path):
+        from repro.viz.html_export import export_cohort_page
+
+        path = str(tmp_path / "cohort.html")
+        html = export_cohort_page(small_store, ids, path,
+                                  title="Diabetes cohort")
+        assert "<svg" in html
+        assert "wheel" in html  # the zoom script
+        assert "Diabetes cohort" in html
+        assert open(path, encoding="utf-8").read() == html

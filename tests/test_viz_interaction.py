@@ -1,0 +1,142 @@
+"""Tests for the interaction layer: viewport, hit index, details, diffing."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.config import RESPONSE_TIME_BOUND_S
+from repro.errors import RenderError
+from repro.query.ast import Category, Concept
+from repro.viz.interaction import (
+    HitIndex,
+    InteractionSession,
+    Viewport,
+    diff_scenes,
+)
+from repro.viz.timeline_view import TimelineConfig, TimelineView
+
+
+class TestViewport:
+    def test_pan_and_zoom(self):
+        vp = Viewport(100, 200, 0, 50)
+        assert vp.pan_days(10).first_day == 110
+        assert vp.pan_rows(-10).top_row == 0  # clamped
+        zoomed = vp.zoom_time(0.5)
+        assert zoomed.span_days == pytest.approx(50)
+        assert (zoomed.first_day + zoomed.last_day) / 2 == pytest.approx(150)
+
+    def test_zoom_around_pivot_keeps_pivot(self):
+        vp = Viewport(0, 100, 0, 10)
+        zoomed = vp.zoom_time(0.5, around_day=20)
+        # pivot keeps its relative position (20% from the left)
+        assert (20 - zoomed.first_day) / zoomed.span_days == pytest.approx(0.2)
+
+    def test_invalid_viewport_rejected(self):
+        with pytest.raises(RenderError):
+            Viewport(10, 10, 0, 5)
+        with pytest.raises(RenderError):
+            Viewport(0, 10, 0, 0)
+        with pytest.raises(RenderError):
+            Viewport(0, 10, 0, 5).zoom_time(0)
+
+    def test_zoom_rows(self):
+        vp = Viewport(0, 10, 0, 10)
+        assert vp.zoom_rows(0.5).n_rows == 5
+        assert vp.zoom_rows(0.01).n_rows == 1  # floor at 1
+
+
+@pytest.fixture(scope="module")
+def scene(small_store, small_engine):
+    ids = small_engine.patients(Concept("T90"))[:40].tolist()
+    return TimelineView(small_store).render(ids)
+
+
+class TestHitIndex:
+    def test_hit_finds_drawn_mark(self, scene):
+        index = HitIndex(scene.marks)
+        target = next(m for m in scene.marks if m.kind == "point")
+        hit = index.hit(target.x + target.width / 2,
+                        target.y + target.height / 2)
+        assert hit is not None
+        assert hit.patient_id == target.patient_id
+
+    def test_miss_outside_canvas(self, scene):
+        index = HitIndex(scene.marks)
+        assert index.hit(-100.0, -100.0) is None
+
+    def test_topmost_over_background_bar(self, scene):
+        """Point glyphs win over the history bar beneath them."""
+        index = HitIndex(scene.marks)
+        target = next(m for m in scene.marks if m.kind == "point")
+        hit = index.hit(target.x + target.width / 2,
+                        target.y + target.height / 2)
+        assert hit.kind != "bar"
+
+    def test_bad_cell_size_rejected(self, scene):
+        with pytest.raises(RenderError):
+            HitIndex(scene.marks, cell_size=0)
+
+
+class TestInteractionSession:
+    def test_details_text_format(self, scene):
+        session = InteractionSession(scene)
+        target = next(m for m in scene.marks if m.kind == "point")
+        text = session.details_at(target.x + target.width / 2,
+                                  target.y + target.height / 2)
+        assert text is not None
+        assert f"patient {target.patient_id}" in text
+
+    def test_details_memoized(self, scene):
+        session = InteractionSession(scene)
+        first = session.details_at(300, 100)
+        second = session.details_at(300, 100)
+        assert first == second
+
+    def test_response_time_bound(self, scene):
+        """Shneiderman's 0.1 s budget — with huge margin (E8 shape)."""
+        session = InteractionSession(scene)
+        start = time.perf_counter()
+        lookups = 0
+        for x in range(100, 1000, 9):
+            for y in range(20, 700, 13):
+                session.details_at(float(x), float(y))
+                lookups += 1
+        per_lookup = (time.perf_counter() - start) / lookups
+        assert per_lookup < RESPONSE_TIME_BOUND_S / 10
+
+    def test_patient_at_row(self, scene):
+        session = InteractionSession(scene)
+        y = scene.plot_top + scene.row_height * 2.5
+        assert session.patient_at(y) == scene.rows[2]
+        assert session.patient_at(-5.0) is None
+
+    def test_day_at_inverts_scale(self, scene):
+        session = InteractionSession(scene)
+        x = scene.scale.x(15_400)
+        assert session.day_at(x) == pytest.approx(15_400)
+
+
+class TestDiffScenes:
+    def test_pan_zoom_reports_no_changes(self, small_store, scene):
+        """Same data, different zoom: change highlighting stays quiet."""
+        from repro.viz.axes import ZoomSliders
+
+        other = TimelineView(
+            small_store,
+            TimelineConfig(sliders=ZoomSliders(horizontal=0.9, vertical=0.9)),
+        ).render(scene.rows)
+        appeared, disappeared = diff_scenes(scene, other)
+        assert appeared == [] and disappeared == []
+
+    def test_filter_change_reports_exact_delta(self, small_store, scene):
+        without_contacts = TimelineView(
+            small_store, TimelineConfig(draw_contacts=False)
+        ).render(scene.rows)
+        appeared, disappeared = diff_scenes(scene, without_contacts)
+        assert appeared == []
+        assert disappeared
+        assert all("contact" in m.category or m.category in
+                   ("outpatient_visit", "day_treatment")
+                   for m in disappeared)

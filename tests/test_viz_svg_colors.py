@@ -1,0 +1,121 @@
+"""Tests for the SVG backend and preattentive color assignment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RenderError
+from repro.viz.colors import (
+    MAX_PREATTENTIVE_HUES,
+    QUALITATIVE_PALETTE,
+    assign_colors,
+    contrast_ratio,
+    label_color_for,
+    relative_luminance,
+)
+from repro.viz.svg import SvgDocument
+
+
+class TestSvgDocument:
+    def test_minimal_document_is_valid_xml(self):
+        import xml.etree.ElementTree as ET
+
+        svg = SvgDocument(100, 50)
+        svg.rect(1, 2, 10, 10, fill="#ff0000", title="tip")
+        svg.line(0, 0, 10, 10)
+        svg.circle(5, 5, 2)
+        svg.polygon([(0, 0), (4, 0), (2, 3)])
+        svg.text(1, 1, "héllo <&>")
+        svg.path("M 0 0 L 5 5")
+        ET.fromstring(svg.to_string())
+
+    def test_bad_canvas_rejected(self):
+        with pytest.raises(RenderError):
+            SvgDocument(0, 10)
+
+    def test_zero_size_rect_skipped(self):
+        svg = SvgDocument(10, 10, background=None)
+        svg.rect(0, 0, 0, 5)
+        assert "<rect" not in svg.to_string()
+
+    def test_groups_must_balance(self):
+        svg = SvgDocument(10, 10)
+        svg.open_group(id="g1")
+        with pytest.raises(RenderError, match="unclosed"):
+            svg.to_string()
+        svg.close_group()
+        assert "</g>" in svg.to_string()
+
+    def test_close_without_open_rejected(self):
+        with pytest.raises(RenderError):
+            SvgDocument(10, 10).close_group()
+
+    def test_title_tooltip_escaped(self):
+        svg = SvgDocument(10, 10)
+        svg.rect(0, 0, 5, 5, title="a<b>&c")
+        assert "a&lt;b&gt;&amp;c" in svg.to_string()
+
+    def test_attribute_quoting(self):
+        svg = SvgDocument(10, 10)
+        svg.text(0, 5, "x", family='serif"evil')
+        import xml.etree.ElementTree as ET
+
+        ET.fromstring(svg.to_string())
+
+    def test_save(self, tmp_path):
+        svg = SvgDocument(10, 10)
+        path = tmp_path / "out.svg"
+        svg.save(str(path))
+        assert path.read_text().startswith("<svg")
+
+    def test_polygon_needs_three_points(self):
+        with pytest.raises(RenderError):
+            SvgDocument(10, 10).polygon([(0, 0), (1, 1)])
+
+
+class TestColors:
+    def test_palette_within_preattentive_budget(self):
+        assert len(QUALITATIVE_PALETTE) <= MAX_PREATTENTIVE_HUES
+
+    def test_assignment_stable_and_deterministic(self):
+        keys = ["C07", "A10", "C09", "C07"]  # duplicate key
+        assignment = assign_colors(keys)
+        assert assignment["C07"] == QUALITATIVE_PALETTE[0]
+        assert assignment["A10"] == QUALITATIVE_PALETTE[1]
+        assert len(assignment.colors) == 3
+        assert not assignment.saturated
+
+    def test_saturation_flag_past_budget(self):
+        keys = [f"G{i}" for i in range(MAX_PREATTENTIVE_HUES + 3)]
+        assignment = assign_colors(keys)
+        assert assignment.saturated
+        # every key still gets a distinct color
+        assert len(set(assignment.colors.values())) == len(keys)
+
+    def test_fallback_colors_are_valid_hex(self):
+        keys = [f"G{i}" for i in range(20)]
+        for color in assign_colors(keys).colors.values():
+            assert len(color) == 7 and color.startswith("#")
+            relative_luminance(color)  # must parse
+
+    def test_luminance_bounds(self):
+        assert relative_luminance("#000000") == 0.0
+        assert relative_luminance("#ffffff") == pytest.approx(1.0)
+
+    def test_contrast_ratio_range(self):
+        assert contrast_ratio("#000000", "#ffffff") == pytest.approx(21.0)
+        assert contrast_ratio("#888888", "#888888") == 1.0
+
+    def test_label_color_readable(self):
+        for background in QUALITATIVE_PALETTE:
+            label = label_color_for(background)
+            assert contrast_ratio(background, label) >= 3.0
+
+    def test_bad_hex_rejected(self):
+        with pytest.raises(RenderError):
+            relative_luminance("red")
+
+    def test_get_with_default(self):
+        assignment = assign_colors(["A"])
+        assert assignment.get("missing") == "#888888"
+        assert "A" in assignment

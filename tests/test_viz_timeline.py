@@ -1,0 +1,178 @@
+"""Tests for axes/zoom, the timeline view and the scene model."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.cohort.alignment import compute_alignment
+from repro.errors import RenderError
+from repro.query.ast import Concept
+from repro.viz.axes import TimeScale, ZoomSliders
+from repro.viz.timeline_view import TimelineConfig, TimelineView
+
+
+class TestZoomSliders:
+    def test_bounds_enforced(self):
+        with pytest.raises(RenderError):
+            ZoomSliders(horizontal=1.2)
+        with pytest.raises(RenderError):
+            ZoomSliders(vertical=-0.1)
+
+    def test_monotone_in_slider_position(self):
+        low = ZoomSliders(horizontal=0.2, vertical=0.2)
+        high = ZoomSliders(horizontal=0.8, vertical=0.8)
+        assert low.px_per_day < high.px_per_day
+        assert low.row_height < high.row_height
+
+    def test_fit_covers_request(self):
+        sliders = ZoomSliders.fit(n_days=730, n_rows=100,
+                                  plot_width=1000, plot_height=700)
+        assert sliders.px_per_day * 730 <= 1000 * 1.01
+        assert sliders.row_height * 100 <= 700 * 1.01
+
+
+class TestTimeScale:
+    def test_round_trip(self):
+        scale = TimeScale(first_day=15_000, px_per_day=2.0, x_offset=80)
+        assert scale.x(15_000) == 80
+        assert scale.day_at(scale.x(15_123)) == pytest.approx(15_123)
+
+
+class TestTimelineView:
+    @pytest.fixture(scope="class")
+    def ids(self, small_engine):
+        return small_engine.patients(Concept("T90"))[:30].tolist()
+
+    def test_svg_is_valid_xml(self, small_store, ids):
+        scene = TimelineView(small_store).render(ids)
+        ET.fromstring(scene.svg_text)
+
+    def test_rows_match_requested_order(self, small_store, ids):
+        scene = TimelineView(small_store).render(ids)
+        assert scene.rows == ids
+
+    def test_marks_reference_only_requested_patients(self, small_store, ids):
+        scene = TimelineView(small_store).render(ids)
+        assert {m.patient_id for m in scene.marks} <= set(ids)
+
+    def test_mark_kinds_present(self, small_store, ids):
+        scene = TimelineView(small_store).render(ids)
+        kinds = {m.kind for m in scene.marks}
+        assert {"bar", "point", "band"} <= kinds
+
+    def test_medication_colors_are_atc_groups(self, small_store, ids):
+        scene = TimelineView(small_store).render(ids)
+        assert scene.medication_colors
+        for group in scene.medication_colors:
+            assert len(group) == 3  # ATC level 2, e.g. "C07"
+
+    def test_aligned_mode_requires_alignment(self, small_store, ids):
+        view = TimelineView(small_store, TimelineConfig(mode="aligned"))
+        with pytest.raises(RenderError, match="needs an Alignment"):
+            view.render(ids)
+
+    def test_aligned_mode_anchors_at_zero(
+        self, small_store, small_engine, ids
+    ):
+        alignment = compute_alignment(small_engine, Concept("T90"))
+        view = TimelineView(small_store, TimelineConfig(mode="aligned"))
+        scene = view.render(ids, alignment)
+        # The anchor diagnosis of every drawn patient maps near x(0).
+        zero_x = scene.scale.x(0)
+        assert scene.plot_left <= zero_x <= scene.plot_right
+
+    def test_sampling_beyond_max_rows(self, small_store):
+        all_ids = small_store.patient_ids[:200].tolist()
+        view = TimelineView(small_store, TimelineConfig(max_rows=50))
+        scene = view.render(all_ids)
+        assert scene.sampled
+        assert len(scene.rows) == 50
+
+    def test_empty_selection_rejected(self, small_store):
+        with pytest.raises(RenderError, match="no patients"):
+            TimelineView(small_store).render([])
+
+    def test_contacts_toggle_reduces_marks(self, small_store, ids):
+        with_contacts = TimelineView(small_store).render(ids)
+        without = TimelineView(
+            small_store, TimelineConfig(draw_contacts=False)
+        ).render(ids)
+        assert without.ink_marks < with_contacts.ink_marks
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(RenderError):
+            TimelineConfig(mode="spiral")
+
+    def test_detail_text_carries_code(self, small_store, ids):
+        scene = TimelineView(small_store).render(ids)
+        coded = [m for m in scene.marks if m.code and m.kind == "point"]
+        assert coded
+        assert all(m.code in m.detail for m in coded[:50])
+
+
+class TestUserMappableRepresentations:
+    """LifeLines Section II-D1: attributes mapped to different graphical
+    representations by the user."""
+
+    @pytest.fixture(scope="class")
+    def ids(self, small_engine):
+        return small_engine.patients(Concept("T90"))[:30].tolist()
+
+    def test_mark_override_applied(self, small_store, ids):
+        config = TimelineConfig(
+            show_legend=False,
+            mark_overrides={"blood_pressure": "TickGlyph"},
+        )
+        scene = TimelineView(small_store, config).render(ids)
+        bp = {m.mark_class for m in scene.marks
+              if m.category == "blood_pressure"}
+        assert bp == {"TickGlyph"}
+
+    def test_color_override_applied(self, small_store, ids):
+        config = TimelineConfig(
+            show_legend=False,
+            color_overrides={"gp_contact": "#123456"},
+        )
+        scene = TimelineView(small_store, config).render(ids)
+        gp = {m.color for m in scene.marks if m.category == "gp_contact"}
+        assert gp == {"#123456"}
+
+    def test_invalid_mark_override_rejected(self):
+        with pytest.raises(RenderError, match="must be one of"):
+            TimelineConfig(mark_overrides={"diagnosis": "BandMark"})
+
+    def test_chapter_coloring_spreads_hues(self, small_store, ids):
+        uniform = TimelineView(
+            small_store, TimelineConfig(show_legend=False)
+        ).render(ids)
+        chapter = TimelineView(
+            small_store,
+            TimelineConfig(show_legend=False,
+                           diagnosis_color_mode="chapter"),
+        ).render(ids)
+        hues_uniform = {m.color for m in uniform.marks
+                        if m.category == "diagnosis"}
+        hues_chapter = {m.color for m in chapter.marks
+                        if m.category == "diagnosis"}
+        assert len(hues_uniform) == 1
+        assert len(hues_chapter) > 4
+
+    def test_chapter_color_stable_per_chapter(self, small_store, ids):
+        scene = TimelineView(
+            small_store,
+            TimelineConfig(show_legend=False,
+                           diagnosis_color_mode="chapter"),
+        ).render(ids)
+        by_letter: dict[str, set[str]] = {}
+        for m in scene.marks:
+            if m.category == "diagnosis" and m.code:
+                by_letter.setdefault(m.code[0], set()).add(m.color)
+        assert by_letter
+        for letter, colors in by_letter.items():
+            assert len(colors) == 1, letter
+
+    def test_bad_color_mode_rejected(self):
+        with pytest.raises(RenderError):
+            TimelineConfig(diagnosis_color_mode="rainbow")
