@@ -13,6 +13,8 @@ The package rebuilds the paper's PAsTAs workbench as a Python library:
 * :mod:`repro.events` — the unified event model and the columnar store;
 * :mod:`repro.sources` — heterogeneous raw-record parsers and the
   integration pipeline;
+* :mod:`repro.resilience` — fault-tolerant ingestion: retries, circuit
+  breakers, record quarantine and deterministic fault injection;
 * :mod:`repro.query` / :mod:`repro.cohort` — cohort identification,
   alignment and cohort operations;
 * :mod:`repro.viz` — the timeline view (Figure 1), interaction model,
@@ -32,13 +34,14 @@ Quickstart::
     wb.timeline(ids[:100]).save("diabetes_cohort.svg")
 """
 
-from repro.config import DEFAULT_SEED, WorkbenchConfig
+from repro.config import DEFAULT_SEED, ResilienceConfig, WorkbenchConfig
 from repro.errors import ReproError
-from repro.io import load_store, save_store
+from repro.io import load_store, merge_stores, save_store
 from repro.session import AnalysisSession
 from repro.workbench import Workbench
 
 __version__ = "1.0.0"
 
-__all__ = ["AnalysisSession", "DEFAULT_SEED", "ReproError", "Workbench",
-           "WorkbenchConfig", "__version__", "load_store", "save_store"]
+__all__ = ["AnalysisSession", "DEFAULT_SEED", "ReproError",
+           "ResilienceConfig", "Workbench", "WorkbenchConfig",
+           "__version__", "load_store", "merge_stores", "save_store"]

@@ -9,7 +9,9 @@ Python:
 * ``timeline`` — render the cohort timeline SVG for a query;
 * ``overview`` — render the density overview SVG;
 * ``export-web`` — batch-export personal timeline HTML pages;
-* ``recognition`` — run the recognition-study model on a query's cohort.
+* ``recognition`` — run the recognition-study model on a query's cohort;
+* ``quarantine`` — inspect (``show``) or re-integrate (``replay``) the
+  dead-letter store written during a resilient ingestion.
 
 Example::
 
@@ -50,6 +52,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--full-fidelity", action="store_true",
                    help="emit raw registry records and run the full "
                         "integration pipeline (slower)")
+    p.add_argument("--max-retries", type=int, default=3,
+                   help="retries per transient source-read failure "
+                        "(full-fidelity ingestion)")
+    p.add_argument("--fail-fast", action="store_true",
+                   help="abort on the first degraded source instead of "
+                        "completing with the remaining ones")
+    p.add_argument("--quarantine", default=None, metavar="JSONL",
+                   help="dead-letter unparseable records to this JSONL "
+                        "file for later replay")
     p.add_argument("--out", required=True, help="output .npz path")
 
     p = sub.add_parser("stats", help="summarize a store")
@@ -101,6 +112,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("store")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8000)
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-request wall-clock budget in seconds "
+                        "(503 on overrun)")
+    p.add_argument("--degraded-mode", choices=("serve", "fail"),
+                   default="serve",
+                   help="what to serve while sources are degraded: "
+                        "banner ('serve') or all-routes 503 ('fail')")
+
+    p = sub.add_parser("quarantine",
+                       help="inspect or replay the dead-letter store")
+    qsub = p.add_subparsers(dest="quarantine_command", required=True)
+    q = qsub.add_parser("show", help="summarize quarantined records")
+    q.add_argument("path", help="quarantine JSONL path")
+    q = qsub.add_parser("replay",
+                        help="re-integrate dead letters and merge them "
+                             "into a store")
+    q.add_argument("path", help="quarantine JSONL path")
+    q.add_argument("--store", required=True,
+                   help="base .npz store to merge the recovered events "
+                        "into (also supplies demographics)")
+    q.add_argument("--out", required=True, help="merged .npz output path")
+    q.add_argument("--horizon", type=int, default=None,
+                   help="extraction horizon day (default: last event "
+                        "day in the base store)")
     return parser
 
 
@@ -128,17 +163,33 @@ def _dispatch(args: argparse.Namespace) -> int:
         from repro.io import save_store
 
         if args.full_fidelity:
+            from repro.config import ResilienceConfig
             from repro.simulate import generate_raw_sources
             from repro.sources.integrate import IntegrationPipeline
 
+            quarantine = None
+            if args.quarantine:
+                from repro.resilience.quarantine import QuarantineStore
+
+                quarantine = QuarantineStore(args.quarantine)
             raw = generate_raw_sources(args.patients, seed=args.seed)
-            pipeline = IntegrationPipeline(horizon_day=raw.window.end_day)
+            pipeline = IntegrationPipeline(
+                horizon_day=raw.window.end_day,
+                resilience=ResilienceConfig(
+                    max_retries=args.max_retries,
+                    fail_fast=args.fail_fast,
+                ),
+                quarantine=quarantine,
+            )
             store, report = pipeline.run(
                 raw.patients, raw.gp_claims, raw.hospital_episodes,
                 raw.municipal_records, raw.specialist_claims,
             )
             print(f"integrated {report.loaded_events:,} events "
                   f"({report.failed_records} bad records)")
+            if (report.is_degraded or report.failures_truncated
+                    or report.quarantined):
+                print(report.format_summary())
         else:
             from repro.simulate import generate_store_fast
 
@@ -147,6 +198,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(f"wrote {store.n_patients:,} patients / "
               f"{store.n_events:,} events to {args.out}")
         return 0
+
+    if args.command == "quarantine":
+        return _dispatch_quarantine(args)
 
     wb = _load_workbench(args.store)
 
@@ -218,7 +272,9 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "serve":
         from repro.webapp import WorkbenchServer
 
-        server = WorkbenchServer(wb, host=args.host, port=args.port)
+        server = WorkbenchServer(wb, host=args.host, port=args.port,
+                                 request_deadline_s=args.deadline,
+                                 degraded_mode=args.degraded_mode)
         print(f"serving workbench at {server.url} (Ctrl-C to stop)")
         try:
             server.serve_forever()
@@ -236,3 +292,56 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _dispatch_quarantine(args: argparse.Namespace) -> int:
+    from repro.resilience.quarantine import QuarantineStore
+
+    quarantine = QuarantineStore(args.path)
+
+    if args.quarantine_command == "show":
+        by_source = quarantine.reasons_by_source()
+        total = sum(len(reasons) for reasons in by_source.values())
+        print(f"{total} quarantined record(s) in {args.path}")
+        for source, reasons in sorted(by_source.items()):
+            print(f"  {source}: {len(reasons)}")
+            for reason in reasons[:5]:
+                print(f"    - {reason}")
+            if len(reasons) > 5:
+                print(f"    ... and {len(reasons) - 5} more")
+        return 0
+
+    if args.quarantine_command == "replay":
+        from repro.errors import EventModelError
+        from repro.io import load_store, merge_stores, save_store
+        from repro.sources.integrate import IntegrationPipeline, PatientRecord
+
+        base = load_store(args.store)
+        horizon = args.horizon
+        if horizon is None:
+            if base.n_events == 0:
+                raise EventModelError(
+                    "base store has no events; pass --horizon explicitly"
+                )
+            # Stored ends are exclusive: an interval truncated at the
+            # extraction horizon carries end == horizon + 1.
+            horizon = int(base.end.max()) - 1
+        patients = [
+            PatientRecord(int(pid), base.birth_day_of(int(pid)),
+                          base.sex_of(int(pid)))
+            for pid in base.patient_ids
+        ]
+        pipeline = IntegrationPipeline(horizon_day=horizon)
+        replayed, report = quarantine.replay(pipeline, patients)
+        merged = merge_stores(base, replayed, deduplicate_events=True)
+        save_store(merged, args.out)
+        print(f"replayed {len(quarantine)} dead letter(s): "
+              f"{report.loaded_events:,} events recovered, "
+              f"{report.failed_records} still failing")
+        print(f"merged store: {merged.n_patients:,} patients / "
+              f"{merged.n_events:,} events -> {args.out}")
+        return 0
+
+    raise AssertionError(
+        f"unhandled quarantine command {args.quarantine_command!r}"
+    )

@@ -40,6 +40,44 @@ def spawn_seeds(seed: int, count: int) -> list[int]:
 
 
 @dataclass(frozen=True)
+class ResilienceConfig:
+    """Tunables for fault-tolerant ingestion (:mod:`repro.resilience`).
+
+    Attributes:
+        max_retries: how many times a transient source-read failure is
+            retried before it counts as exhausted.
+        backoff_base_s: first retry delay; doubles per attempt.
+        backoff_max_s: ceiling on a single retry delay.
+        jitter: fraction of each delay that is randomized (0 disables
+            jitter, 1 randomizes the whole delay).  The jitter stream is
+            seeded (``retry_seed``) so schedules are deterministic.
+        retry_seed: seed for the jitter stream.
+        read_deadline_s: optional wall-clock budget for reading one
+            source end to end; retries never sleep past it.
+        failure_threshold: consecutive read failures before a source's
+            circuit breaker opens and the source is declared degraded.
+        recovery_timeout_s: how long an open breaker waits before letting
+            a half-open probe through.
+        fail_fast: raise on the first degraded source instead of
+            completing the integration with the remaining sources.
+        max_failure_messages: cap on per-record failure messages kept in
+            the report; excess failures are still *counted* (as
+            ``failures_truncated``), never silently dropped.
+    """
+
+    max_retries: int = 3
+    backoff_base_s: float = 0.05
+    backoff_max_s: float = 2.0
+    jitter: float = 0.5
+    retry_seed: int = DEFAULT_SEED
+    read_deadline_s: float | None = None
+    failure_threshold: int = 5
+    recovery_timeout_s: float = 30.0
+    fail_fast: bool = False
+    max_failure_messages: int = 100
+
+
+@dataclass(frozen=True)
 class WorkbenchConfig:
     """Tunables for the :class:`repro.workbench.Workbench` facade.
 

@@ -59,6 +59,43 @@ class SourceFormatError(ReproError):
         self.detail = detail
 
 
+class SourceUnavailableError(ReproError):
+    """A source could not deliver records at all (registry down, I/O).
+
+    ``transient`` distinguishes failures worth retrying (timeouts,
+    intermittent connectivity) from permanent ones (the registry rejected
+    the extraction, the feed is decommissioned).
+    """
+
+    def __init__(self, source: str, detail: str,
+                 transient: bool = False) -> None:
+        super().__init__(f"source {source!r} unavailable: {detail}")
+        self.source = source
+        self.detail = detail
+        self.transient = transient
+
+
+class RetryExhaustedError(SourceUnavailableError):
+    """Every retry attempt (or the read deadline) was used up."""
+
+    def __init__(self, source: str, attempts: int, detail: str) -> None:
+        super().__init__(
+            source, f"gave up after {attempts} attempt(s): {detail}"
+        )
+        self.attempts = attempts
+
+
+class CircuitOpenError(SourceUnavailableError):
+    """A circuit breaker is open; the source is not even being tried."""
+
+    def __init__(self, source: str, detail: str) -> None:
+        super().__init__(source, f"circuit open: {detail}")
+
+
+class DeadlineExceededError(ReproError):
+    """A per-request or per-operation deadline elapsed before completion."""
+
+
 class QueryError(ReproError):
     """A malformed query expression or an evaluation failure."""
 

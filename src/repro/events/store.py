@@ -358,6 +358,66 @@ class EventStore:
             result[pid] = int(masked_days[idx])
         return result
 
+    # -- decoding ------------------------------------------------------------
+
+    def iter_events(self, rows: Iterable[int] | None = None):
+        """Yield one decoded event dict per row.
+
+        Each dict is keyword-compatible with
+        :meth:`EventStoreBuilder.add_event`, which makes stores
+        re-buildable: merging (:func:`repro.io.merge_stores`) and
+        content comparison both decode through here.
+        """
+        if rows is None:
+            rows = range(self.n_events)
+        for row in rows:
+            row = int(row)
+            system_idx = int(self.system[row])
+            system = None if system_idx < 0 else self.system_names[system_idx]
+            code_idx = int(self.code[row])
+            code = (
+                None if code_idx < 0 or system is None
+                else self.systems[system].code_of(code_idx).code
+            )
+            value = float(self.value[row])
+            value2 = float(self.value2[row])
+            yield {
+                "patient_id": int(self.patient[row]),
+                "day": int(self.day[row]),
+                "end": None if self.is_point[row] else int(self.end[row]),
+                "category": self.categories[int(self.category[row])],
+                "code": code,
+                "system": system,
+                "value": None if np.isnan(value) else value,
+                "value2": None if np.isnan(value2) else value2,
+                "source": self.sources[int(self.source[row])],
+                "detail": self.details[int(self.detail[row])],
+            }
+
+    def content_signature(self) -> tuple:
+        """An order-insensitive fingerprint of demographics plus events.
+
+        Two stores with equal signatures hold exactly the same patients
+        and the same multiset of decoded events, regardless of the order
+        records were integrated in (replaying quarantined records
+        appends them last, so array order is not comparable).
+        """
+        demographics = tuple(
+            (int(p), int(b), int(s))
+            for p, b, s in zip(self.patient_ids, self.birth_days, self.sexes)
+        )
+        events = tuple(
+            sorted(
+                (tuple(event.items()) for event in self.iter_events()),
+                key=repr,
+            )
+        )
+        return demographics, events
+
+    def content_equal(self, other: "EventStore") -> bool:
+        """True when both stores hold identical patients and events."""
+        return self.content_signature() == other.content_signature()
+
     # -- patient access ------------------------------------------------------
 
     def birth_day_of(self, patient_id: int) -> int:

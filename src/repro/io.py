@@ -22,7 +22,8 @@ from repro.errors import EventModelError
 from repro.events.store import EventStore, default_systems
 
 __all__ = ["save_store", "load_store", "export_events_csv",
-           "import_events_csv"]
+           "import_events_csv", "append_jsonl", "read_jsonl",
+           "merge_stores"]
 
 _FORMAT_VERSION = 1
 
@@ -106,6 +107,124 @@ def load_store(path: str) -> EventStore:
             birth_days=archive["birth_days"],
             sexes=archive["sexes"],
         )
+
+
+def append_jsonl(path: str, entries: "list[dict]") -> None:
+    """Append one JSON object per line (the dead-letter store format).
+
+    Appending keeps quarantine writes crash-tolerant: every already
+    written line stays valid whatever happens to the process mid-run.
+    """
+    with open(path, "a", encoding="utf-8") as f:
+        for entry in entries:
+            f.write(json.dumps(entry, sort_keys=True))
+            f.write("\n")
+
+
+def read_jsonl(path: str) -> "list[dict]":
+    """Read a JSONL file written by :func:`append_jsonl`.
+
+    A missing file reads as empty (a quarantine that never received a
+    record).  Malformed lines raise :class:`EventModelError` with the
+    line number — a dead-letter store must never lose records silently.
+    """
+    import os
+
+    if not os.path.exists(path):
+        return []
+    entries: list[dict] = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise EventModelError(
+                    f"malformed JSONL at {path}:{lineno}: {exc}"
+                ) from exc
+    return entries
+
+
+#: Source kinds -> the pipeline's batch order (gp, hospital, municipal,
+#: specialist), so a dedup-aware merge sees events in ingestion order.
+_SOURCE_BATCH_RANK = {
+    "gp_claim": 0, "gp_emergency_claim": 0, "physio_claim": 0,
+    "hospital_inpatient": 1, "hospital_outpatient": 1,
+    "hospital_day_treatment": 1,
+    "municipal_home_care": 2, "municipal_nursing_home": 2,
+    "specialist_claim": 3,
+}
+
+
+def merge_stores(
+    *stores: EventStore, deduplicate_events: bool = False
+) -> EventStore:
+    """Rebuild one store holding every patient and event of the inputs.
+
+    Used by quarantine replay to fold recovered events into the store
+    integrated from the healthy sources.  Demographics must agree across
+    inputs (conflicts raise :class:`EventModelError` via the builder);
+    events are re-sorted by (patient, day) as always, so compare merged
+    stores with :meth:`EventStore.content_equal`, not array identity.
+
+    With ``deduplicate_events=True`` the exact/concept deduplication of
+    the integration pipeline is re-run over the combined events.  That
+    is what quarantine replay needs: a dead-lettered record's events may
+    duplicate events that reached the base store through another
+    registry, and a plain concatenation would keep both.
+
+    Without it, the merge is the fast array-level
+    :func:`repro.events.store.merge_stores`, folded over the inputs.
+    """
+    import functools
+
+    from repro.events.store import EventStoreBuilder
+    from repro.events.store import merge_stores as merge_pair
+
+    if not stores:
+        raise EventModelError("merge_stores needs at least one store")
+    if not deduplicate_events:
+        return functools.reduce(merge_pair, stores)
+
+    builder = EventStoreBuilder()
+    for store in stores:
+        for patient_id in store.patient_ids.tolist():
+            builder.add_patient(
+                patient_id,
+                store.birth_day_of(patient_id),
+                store.sex_of(patient_id),
+            )
+    from repro.sources.dedup import deduplicate
+    from repro.sources.parsed import ParsedEvent
+
+    events: list[ParsedEvent] = []
+    for store in stores:
+        for event in store.iter_events():
+            events.append(ParsedEvent(
+                patient_id=event["patient_id"],
+                day=event["day"],
+                end=event["end"],
+                category=event["category"],
+                code=event["code"],
+                system=event["system"],
+                value=event["value"],
+                value2=event["value2"],
+                source_kind=event["source"],
+                detail=event["detail"],
+            ))
+    # Stable sort: duplicates collapse to the event the pipeline's own
+    # batch order would have kept (dedup only compares same patient+day).
+    events.sort(key=lambda ev: _SOURCE_BATCH_RANK.get(ev.source_kind, 9))
+    kept, __ = deduplicate(events)
+    for ev in kept:
+        builder.add_event(
+            patient_id=ev.patient_id, day=ev.day, category=ev.category,
+            end=ev.end, code=ev.code, system=ev.system, value=ev.value,
+            value2=ev.value2, source=ev.source_kind, detail=ev.detail,
+        )
+    return builder.build()
 
 
 def export_events_csv(

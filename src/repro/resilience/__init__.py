@@ -1,0 +1,48 @@
+"""Fault-tolerant ingestion: retries, breakers, quarantine, faults.
+
+The paper integrates "multiple, heterogeneous clinical data sources" —
+registries that in practice arrive late, truncated or malformed.  This
+package gives the integration pipeline production survival skills:
+
+* :mod:`~repro.resilience.retry` — deadline-aware retry with seeded
+  exponential backoff and jitter for transient source failures;
+* :mod:`~repro.resilience.circuit` — per-source circuit breakers, so a
+  persistently failing registry degrades the run instead of crashing it;
+* :mod:`~repro.resilience.quarantine` — a replayable JSONL dead-letter
+  store for records the parsers reject;
+* :mod:`~repro.resilience.faults` — a deterministic fault-injection
+  harness (seeded transient / permanent / corrupt-record failures)
+  driving the resilience test suite and benchmarks.
+
+Everything stochastic is seeded and every clock is injectable: the same
+faults produce the same retries, the same breaker transitions and the
+same quarantine contents on every run.
+"""
+
+from repro.resilience.circuit import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.resilience.faults import (
+    CORRUPTION_MARKER,
+    FaultPlan,
+    FaultySource,
+    corrupt_record,
+    repair_record,
+)
+from repro.resilience.quarantine import QuarantinedRecord, QuarantineStore
+from repro.resilience.retry import Deadline, RetryPolicy, call_with_retry
+
+__all__ = [
+    "CLOSED",
+    "CORRUPTION_MARKER",
+    "CircuitBreaker",
+    "Deadline",
+    "FaultPlan",
+    "FaultySource",
+    "HALF_OPEN",
+    "OPEN",
+    "QuarantineStore",
+    "QuarantinedRecord",
+    "RetryPolicy",
+    "call_with_retry",
+    "corrupt_record",
+    "repair_record",
+]

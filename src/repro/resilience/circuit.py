@@ -1,0 +1,102 @@
+"""Per-source circuit breakers.
+
+A persistently failing registry must degrade the integration gracefully
+rather than stall it: after ``failure_threshold`` consecutive read
+failures the breaker *opens* and the source is skipped (it appears in
+the report's ``degraded_sources``).  After ``recovery_timeout_s`` the
+breaker lets one *half-open* probe through; a success closes it again, a
+failure re-opens it for another full timeout.
+
+The clock is injectable so state transitions are deterministic in tests.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+from repro.config import ResilienceConfig
+from repro.errors import CircuitOpenError
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Tracks consecutive failures for one named source."""
+
+    def __init__(
+        self,
+        source: str,
+        failure_threshold: int = 5,
+        recovery_timeout_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.source = source
+        self.failure_threshold = failure_threshold
+        self.recovery_timeout_s = recovery_timeout_s
+        self._clock = clock
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self.last_reason = ""
+
+    @classmethod
+    def from_config(
+        cls, source: str, config: ResilienceConfig,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "CircuitBreaker":
+        return cls(
+            source,
+            failure_threshold=config.failure_threshold,
+            recovery_timeout_s=config.recovery_timeout_s,
+            clock=clock,
+        )
+
+    @property
+    def state(self) -> str:
+        """``closed``, ``open`` or ``half_open`` (timeout elapsed)."""
+        if self._opened_at is None:
+            return CLOSED
+        if self._clock() - self._opened_at >= self.recovery_timeout_s:
+            return HALF_OPEN
+        return OPEN
+
+    def allow(self) -> bool:
+        """May the caller contact the source right now?"""
+        return self.state != OPEN
+
+    def record_success(self) -> None:
+        """A read succeeded: reset the failure streak, close the breaker."""
+        self._consecutive_failures = 0
+        self._opened_at = None
+
+    def record_failure(self, reason: str) -> None:
+        """A read failed; opens the breaker at the threshold.
+
+        A failure while half-open re-opens immediately — the probe was
+        the source's one chance this window.
+        """
+        self.last_reason = reason
+        if self.state == HALF_OPEN:
+            self._opened_at = self._clock()
+            return
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.failure_threshold:
+            self._opened_at = self._clock()
+
+    def call(self, fn: Callable[[], object]):
+        """Run ``fn`` through the breaker (library-facing convenience)."""
+        if not self.allow():
+            raise CircuitOpenError(self.source, self.last_reason)
+        try:
+            result = fn()
+        except Exception as exc:
+            self.record_failure(str(exc))
+            raise
+        self.record_success()
+        return result

@@ -1,0 +1,173 @@
+"""Deterministic fault injection for ingestion testing.
+
+Wraps any record collection in a source that misbehaves on a *seeded*
+schedule: individual fetches fail transiently (and succeed when
+retried), records arrive corrupted (their date field is mangled so the
+parser rejects them), or the whole source goes down — permanently from
+the start or after delivering a prefix.  Identical seeds produce
+identical fault schedules, so every resilience test and benchmark is
+replayable bit for bit.
+
+The default corruption is *reversible* (:func:`corrupt_record` prefixes
+the date with a marker, :func:`repair_record` strips it), which lets the
+quarantine round-trip tests repair dead-lettered records and assert the
+replayed store equals the fault-free one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.errors import SourceUnavailableError
+from repro.sources.schema import (
+    GPClaim,
+    HospitalEpisode,
+    MunicipalServiceRecord,
+    RawRecord,
+    SpecialistClaim,
+)
+
+__all__ = [
+    "CORRUPTION_MARKER",
+    "FaultPlan",
+    "FaultySource",
+    "corrupt_record",
+    "repair_record",
+]
+
+#: Prepended to a record's date field to make it unparseable (reversibly).
+CORRUPTION_MARKER = "XX"
+
+#: The field carrying each record type's primary date.
+_DATE_FIELD: dict[type, str] = {
+    GPClaim: "contact_date",
+    HospitalEpisode: "admitted",
+    MunicipalServiceRecord: "period_start",
+    SpecialistClaim: "visit_date",
+}
+
+
+def corrupt_record(record: RawRecord) -> RawRecord:
+    """Mangle the record's date field so its parser raises.
+
+    The original text is preserved behind :data:`CORRUPTION_MARKER`, so
+    :func:`repair_record` restores the record exactly.
+    """
+    field = _DATE_FIELD[type(record)]
+    value = getattr(record, field)
+    return dataclasses.replace(record, **{field: CORRUPTION_MARKER + value})
+
+
+def repair_record(record: RawRecord) -> RawRecord:
+    """Undo :func:`corrupt_record`; non-corrupted records pass through."""
+    field = _DATE_FIELD[type(record)]
+    value = getattr(record, field)
+    if not value.startswith(CORRUPTION_MARKER):
+        return record
+    return dataclasses.replace(
+        record, **{field: value[len(CORRUPTION_MARKER):]}
+    )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What should go wrong, and how often.
+
+    Attributes:
+        seed: drives every random draw; same seed, same schedule.
+        transient_rate: probability that a given record's fetch fails
+            transiently before succeeding.
+        transient_failures: how many consecutive transient failures an
+            affected fetch raises before the record comes through.
+        corrupt_rate: probability that a delivered record is corrupted
+            (parseable container, unparseable content).
+        fail_after: the source dies permanently after delivering this
+            many records (``None`` = never).
+        down: the source is permanently down from the first fetch.
+    """
+
+    seed: int = 0
+    transient_rate: float = 0.0
+    transient_failures: int = 1
+    corrupt_rate: float = 0.0
+    fail_after: int | None = None
+    down: bool = False
+
+
+class FaultySource(Iterable[RawRecord]):
+    """A re-iterable record source that fails on a seeded schedule.
+
+    Transient failures are raised by ``next()`` *without* consuming the
+    record — calling ``next()`` again retries the same fetch, which is
+    exactly the contract :func:`repro.resilience.retry.call_with_retry`
+    relies on.
+    """
+
+    def __init__(self, records: Iterable[RawRecord], plan: FaultPlan,
+                 source: str = "faulty_source") -> None:
+        self.records = list(records)
+        self.plan = plan
+        self.source = source
+        rng = random.Random(plan.seed)
+        n = len(self.records)
+        self._transient_budget = [
+            plan.transient_failures
+            if rng.random() < plan.transient_rate else 0
+            for _ in range(n)
+        ]
+        self._corrupt = [rng.random() < plan.corrupt_rate for _ in range(n)]
+
+    @property
+    def corrupted_records(self) -> list[RawRecord]:
+        """The records this plan corrupts, in as-delivered (mangled) form."""
+        limit = len(self.records)
+        if self.plan.down:
+            limit = 0
+        elif self.plan.fail_after is not None:
+            limit = min(limit, self.plan.fail_after)
+        return [
+            corrupt_record(r)
+            for r, bad in zip(self.records[:limit], self._corrupt[:limit])
+            if bad
+        ]
+
+    def __iter__(self) -> Iterator[RawRecord]:
+        return _FaultyIterator(self)
+
+
+class _FaultyIterator(Iterator[RawRecord]):
+    def __init__(self, owner: FaultySource) -> None:
+        self._owner = owner
+        self._index = 0
+        self._budget = list(owner._transient_budget)
+
+    def __next__(self) -> RawRecord:
+        owner = self._owner
+        plan = owner.plan
+        if plan.down:
+            raise SourceUnavailableError(
+                owner.source, "registry down", transient=False
+            )
+        if self._index >= len(owner.records):
+            raise StopIteration
+        if plan.fail_after is not None and self._index >= plan.fail_after:
+            raise SourceUnavailableError(
+                owner.source,
+                f"feed died after {plan.fail_after} records",
+                transient=False,
+            )
+        if self._budget[self._index] > 0:
+            self._budget[self._index] -= 1
+            raise SourceUnavailableError(
+                owner.source,
+                f"transient read failure at record {self._index}",
+                transient=True,
+            )
+        record = owner.records[self._index]
+        if owner._corrupt[self._index]:
+            record = corrupt_record(record)
+        self._index += 1
+        return record

@@ -1,0 +1,177 @@
+"""Record quarantine: a replayable dead-letter store for failed records.
+
+Counting failures (the old behaviour) tells you *how much* was lost;
+a production ingestion must also be able to say *what* was lost and to
+recover it.  Every record the pipeline fails to parse is persisted here
+as one JSON line — the raw payload verbatim, the failing source, the
+:class:`~repro.errors.SourceFormatError` reason and a sequence number —
+so that after a parser fix (or a payload repair) the dead letters replay
+back through the very same pipeline and the recovered events merge into
+the store.
+
+The file format is append-only JSONL via :func:`repro.io.append_jsonl`,
+mirroring the library's other persistence round-trips.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.errors import EventModelError
+from repro.io import append_jsonl, read_jsonl
+from repro.sources.schema import (
+    GPClaim,
+    HospitalEpisode,
+    MunicipalServiceRecord,
+    RawRecord,
+    SpecialistClaim,
+)
+
+__all__ = ["QuarantinedRecord", "QuarantineStore"]
+
+#: JSON ``kind`` tag <-> raw record class.
+_KINDS: dict[str, type] = {
+    "GPClaim": GPClaim,
+    "HospitalEpisode": HospitalEpisode,
+    "MunicipalServiceRecord": MunicipalServiceRecord,
+    "SpecialistClaim": SpecialistClaim,
+}
+
+#: Record class -> the :meth:`IntegrationPipeline.run` keyword it feeds.
+_RUN_KEYWORD: dict[type, str] = {
+    GPClaim: "gp_claims",
+    HospitalEpisode: "hospital_episodes",
+    MunicipalServiceRecord: "municipal_records",
+    SpecialistClaim: "specialist_claims",
+}
+
+#: Tuple-typed schema fields (JSON round-trips them as lists).
+_TUPLE_FIELDS = {"secondary_diagnoses", "prescriptions"}
+
+
+@dataclass(frozen=True)
+class QuarantinedRecord:
+    """One dead letter: the raw record plus why it was rejected."""
+
+    seq: int
+    source: str
+    reason: str
+    record: RawRecord
+
+    def to_json(self) -> dict:
+        payload = dataclasses.asdict(self.record)
+        for name in _TUPLE_FIELDS & payload.keys():
+            payload[name] = list(payload[name])
+        return {
+            "seq": self.seq,
+            "source": self.source,
+            "reason": self.reason,
+            "kind": type(self.record).__name__,
+            "record": payload,
+        }
+
+    @classmethod
+    def from_json(cls, entry: dict) -> "QuarantinedRecord":
+        kind = entry.get("kind")
+        record_class = _KINDS.get(kind)
+        if record_class is None:
+            raise EventModelError(
+                f"quarantine entry has unknown record kind {kind!r}"
+            )
+        payload = dict(entry["record"])
+        for name in _TUPLE_FIELDS & payload.keys():
+            payload[name] = tuple(payload[name])
+        return cls(
+            seq=int(entry["seq"]),
+            source=str(entry["source"]),
+            reason=str(entry["reason"]),
+            record=record_class(**payload),
+        )
+
+
+class QuarantineStore:
+    """A file-backed dead-letter store with repair and replay.
+
+    Pass one to :class:`~repro.sources.integrate.IntegrationPipeline`
+    and every record that raises ``SourceFormatError`` is persisted
+    instead of merely counted.  Later::
+
+        quarantine.repair(repair_record)       # fix the payloads
+        store2, report2 = quarantine.replay(pipeline, patients)
+        merged = merge_stores(store1, store2)  # repro.io.merge_stores
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+
+    # -- writing -----------------------------------------------------------
+
+    def add(self, source: str, record: RawRecord, reason: str) -> None:
+        """Persist one failed record with its failure reason."""
+        entry = QuarantinedRecord(
+            seq=len(self), source=source, reason=reason, record=record
+        )
+        append_jsonl(self.path, [entry.to_json()])
+
+    def clear(self) -> int:
+        """Drop every dead letter; returns how many were dropped."""
+        count = len(self)
+        append_jsonl(self.path, [])  # ensure the file exists
+        with open(self.path, "w", encoding="utf-8"):
+            pass
+        return count
+
+    # -- reading -----------------------------------------------------------
+
+    def records(self) -> list[QuarantinedRecord]:
+        """All dead letters, in quarantine order."""
+        return [QuarantinedRecord.from_json(e) for e in read_jsonl(self.path)]
+
+    def __len__(self) -> int:
+        return len(read_jsonl(self.path))
+
+    def reasons_by_source(self) -> dict[str, list[str]]:
+        """source -> failure reasons (for reports and the CLI)."""
+        result: dict[str, list[str]] = {}
+        for item in self.records():
+            result.setdefault(item.source, []).append(item.reason)
+        return result
+
+    # -- repair and replay -------------------------------------------------
+
+    def repair(self, fix: Callable[[RawRecord], RawRecord]) -> int:
+        """Rewrite every dead letter through ``fix``; returns the count
+        of records the function actually changed."""
+        items = self.records()
+        changed = 0
+        rewritten = []
+        for item in items:
+            fixed = fix(item.record)
+            if fixed != item.record:
+                changed += 1
+            rewritten.append(
+                dataclasses.replace(item, record=fixed).to_json()
+            )
+        with open(self.path, "w", encoding="utf-8"):
+            pass
+        append_jsonl(self.path, rewritten)
+        return changed
+
+    def replay(self, pipeline, patients):
+        """Run the dead letters back through an integration pipeline.
+
+        Groups the quarantined records by schema type and calls
+        ``pipeline.run`` once over all of them; returns the resulting
+        ``(EventStore, IntegrationReport)``.  Records that *still* fail
+        stay quarantined here (and are re-counted in the report) — give
+        the pipeline a different quarantine path if you want the
+        re-failures dead-lettered separately.
+        """
+        groups: dict[str, list[RawRecord]] = {
+            keyword: [] for keyword in _RUN_KEYWORD.values()
+        }
+        for item in self.records():
+            groups[_RUN_KEYWORD[type(item.record)]].append(item.record)
+        return pipeline.run(patients, **groups)

@@ -1,0 +1,118 @@
+"""Deadline-aware retry with seeded exponential backoff and jitter.
+
+Registries arrive late, truncated or not at all; the integration
+pipeline retries *transient* read failures
+(:class:`~repro.errors.SourceUnavailableError` with ``transient=True``)
+and gives up deterministically.  Both the time source and the sleep
+function are injectable so tests drive schedules with a fake clock, and
+the jitter stream is seeded — the same failures produce the same delays
+on every run.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.config import ResilienceConfig
+from repro.errors import RetryExhaustedError, SourceUnavailableError
+
+__all__ = ["Deadline", "RetryPolicy", "call_with_retry"]
+
+
+class Deadline:
+    """A wall-clock budget measured against an injectable clock.
+
+    ``Deadline(None)`` never expires, so callers can thread one object
+    through unconditionally.
+    """
+
+    def __init__(self, seconds: float | None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._expires = None if seconds is None else clock() + seconds
+
+    def remaining(self) -> float:
+        """Seconds left (``inf`` for a never-expiring deadline)."""
+        if self._expires is None:
+            return float("inf")
+        return self._expires - self._clock()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with bounded, seeded jitter.
+
+    The delay before retry ``attempt`` (0-based) is
+    ``min(backoff_max_s, backoff_base_s * 2**attempt)`` with a fraction
+    ``jitter`` of it re-drawn uniformly from the policy's random stream.
+    """
+
+    max_retries: int = 3
+    backoff_base_s: float = 0.05
+    backoff_max_s: float = 2.0
+    jitter: float = 0.5
+
+    @classmethod
+    def from_config(cls, config: ResilienceConfig) -> "RetryPolicy":
+        return cls(
+            max_retries=config.max_retries,
+            backoff_base_s=config.backoff_base_s,
+            backoff_max_s=config.backoff_max_s,
+            jitter=config.jitter,
+        )
+
+    def delay_for(self, attempt: int, rng: random.Random) -> float:
+        """The (jittered) sleep before the given 0-based retry attempt."""
+        base = min(self.backoff_max_s, self.backoff_base_s * (2.0 ** attempt))
+        if self.jitter <= 0.0:
+            return base
+        fixed = base * (1.0 - self.jitter)
+        return fixed + base * self.jitter * rng.random()
+
+
+def call_with_retry(
+    fn: Callable[[], object],
+    policy: RetryPolicy,
+    *,
+    source: str,
+    rng: random.Random,
+    sleep: Callable[[float], None] = time.sleep,
+    deadline: Deadline | None = None,
+    on_retry: Callable[[int, float], None] | None = None,
+):
+    """Call ``fn`` retrying transient :class:`SourceUnavailableError`.
+
+    Non-transient errors propagate immediately.  When retries (or the
+    deadline budget) run out, raises
+    :class:`~repro.errors.RetryExhaustedError` — itself a
+    ``SourceUnavailableError`` so circuit breakers treat both alike.
+    ``on_retry(attempt, delay)`` is invoked before each sleep, letting
+    the pipeline count retries in its report.
+    """
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except SourceUnavailableError as exc:
+            if isinstance(exc, RetryExhaustedError) or not exc.transient:
+                raise
+            if attempt >= policy.max_retries:
+                raise RetryExhaustedError(
+                    source, attempt + 1, str(exc)
+                ) from exc
+            delay = policy.delay_for(attempt, rng)
+            if deadline is not None and deadline.remaining() < delay:
+                raise RetryExhaustedError(
+                    source, attempt + 1,
+                    f"read deadline would elapse before retry: {exc}",
+                ) from exc
+            if on_retry is not None:
+                on_retry(attempt + 1, delay)
+            sleep(delay)
+            attempt += 1

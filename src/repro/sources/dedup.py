@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+from repro.errors import TerminologyError
 from repro.sources.parsed import ParsedEvent
 from repro.terminology import icpc2_to_icd10_map
 
@@ -47,7 +48,7 @@ def _concept_key(event: ParsedEvent) -> tuple[int, int, frozenset[str]] | None:
     mapping = icpc2_to_icd10_map()
     try:
         icpc_side, icd_side = mapping.expand_concept(event.code)
-    except Exception:  # unmapped/foreign code: treat as its own concept
+    except TerminologyError:  # unmapped/foreign code: its own concept
         return (event.patient_id, event.day, frozenset({event.code}))
     return (event.patient_id, event.day, icpc_side | icd_side)
 

@@ -4,15 +4,22 @@ This is the paper's core data path — "a tool that integrates multiple,
 heterogeneous clinical data sources ... in a common workbench"
 (abstract).  Stages:
 
-1. **Parse** each registry's records with its dedicated parser; records
+1. **Read** each registry resiliently: transient fetch failures are
+   retried with seeded backoff (:mod:`repro.resilience.retry`) and a
+   per-source circuit breaker (:mod:`repro.resilience.circuit`) turns a
+   persistently failing registry into a *degraded* source — the run
+   completes with the remaining sources instead of crashing.
+2. **Parse** each registry's records with its dedicated parser; records
    that fail structurally (bad dates, inverted periods) are skipped and
-   counted, never silently repaired.
-2. **Validate** events against demographics: entries dated before the
+   counted — and, when a :class:`~repro.resilience.quarantine.QuarantineStore`
+   is attached, persisted as replayable dead letters — never silently
+   repaired.
+3. **Validate** events against demographics: entries dated before the
    patient's birth are ignored (the paper's explicit rule), intervals
    are truncated to the extraction horizon.
-3. **Deduplicate** within and across sources (concept-level, via the
+4. **Deduplicate** within and across sources (concept-level, via the
    ICPC-2<->ICD-10 map).
-4. **Load** into the columnar :class:`~repro.events.store.EventStore`.
+5. **Load** into the columnar :class:`~repro.events.store.EventStore`.
 
 The integration ontology is consulted for classification metadata (care
 level per contact, interval-ness) and cross-checked against what the
@@ -22,10 +29,17 @@ the code agree.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+import random
+import time
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 
-from repro.errors import SourceFormatError
+from repro.config import ResilienceConfig
+from repro.errors import (
+    CircuitOpenError,
+    SourceFormatError,
+    SourceUnavailableError,
+)
 from repro.events.store import EventStore, EventStoreBuilder
 from repro.ontology.integration_ontology import (
     CARE_LEVELS,
@@ -33,6 +47,8 @@ from repro.ontology.integration_ontology import (
     care_level_of,
     is_interval_contact,
 )
+from repro.resilience.circuit import CircuitBreaker
+from repro.resilience.retry import Deadline, RetryPolicy, call_with_retry
 from repro.sources.dedup import DedupReport, deduplicate
 from repro.sources.gp import GPClaimParser
 from repro.sources.hospital import HospitalEpisodeParser
@@ -73,7 +89,13 @@ class PatientRecord:
 
 @dataclass
 class IntegrationReport:
-    """Everything the pipeline counted while integrating."""
+    """Everything the pipeline counted while integrating.
+
+    ``failures`` keeps at most ``max_failure_messages`` (default 100)
+    per-record messages; the overflow is *counted* in
+    ``failures_truncated`` instead of vanishing.  ``degraded_sources``
+    maps each source the run had to give up on to the reason.
+    """
 
     patients: int = 0
     parsed_events: int = 0
@@ -85,6 +107,11 @@ class IntegrationReport:
     dedup: DedupReport = field(default_factory=DedupReport)
     contacts_by_care_level: dict[str, int] = field(default_factory=dict)
     failures: list[str] = field(default_factory=list)
+    failures_truncated: int = 0
+    degraded_sources: dict[str, str] = field(default_factory=dict)
+    quarantined: int = 0
+    retries: int = 0
+    failed_reads: int = 0
 
     @property
     def loaded_events(self) -> int:
@@ -96,13 +123,72 @@ class IntegrationReport:
             - self.dedup.removed
         )
 
+    @property
+    def is_degraded(self) -> bool:
+        """Did any source fail hard enough to be skipped?"""
+        return bool(self.degraded_sources)
+
+    def format_summary(self) -> str:
+        """A readable multi-line account for the CLI and the webapp."""
+        lines = [
+            f"patients            {self.patients:,}",
+            f"events loaded       {self.loaded_events:,}",
+            f"records failed      {self.failed_records:,}",
+        ]
+        if self.quarantined:
+            lines.append(f"records quarantined {self.quarantined:,}")
+        if self.retries:
+            lines.append(f"read retries        {self.retries:,}")
+        if self.failed_reads:
+            lines.append(f"failed reads        {self.failed_reads:,}")
+        if self.failures_truncated:
+            lines.append(
+                f"failure messages truncated: {self.failures_truncated:,} "
+                f"more than the {len(self.failures)} shown"
+            )
+        if self.degraded_sources:
+            lines.append("degraded sources:")
+            for source, reason in sorted(self.degraded_sources.items()):
+                lines.append(f"  {source}: {reason}")
+        return "\n".join(lines)
+
 
 class IntegrationPipeline:
-    """Configure once (horizon), then :meth:`run` over record collections."""
+    """Configure once (horizon + resilience), then :meth:`run` over
+    record collections.
 
-    def __init__(self, horizon_day: int) -> None:
+    The pipeline owns one :class:`CircuitBreaker` per source, persistent
+    across :meth:`run` calls: a source that degraded one run is skipped
+    cheaply on the next until its recovery timeout lets a probe through.
+    ``clock`` and ``sleep`` are injectable so tests drive retry and
+    breaker timing deterministically.
+    """
+
+    def __init__(
+        self,
+        horizon_day: int,
+        resilience: ResilienceConfig | None = None,
+        quarantine=None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
         self.horizon_day = horizon_day
+        self.resilience = resilience or ResilienceConfig()
+        self.quarantine = quarantine
+        self._clock = clock
+        self._sleep = sleep
+        self._policy = RetryPolicy.from_config(self.resilience)
+        self._rng = random.Random(self.resilience.retry_seed)
+        self._breakers: dict[str, CircuitBreaker] = {}
         self._check_ontology_agreement()
+
+    def breaker(self, source: str) -> CircuitBreaker:
+        """The (lazily created) circuit breaker for a source."""
+        if source not in self._breakers:
+            self._breakers[source] = CircuitBreaker.from_config(
+                source, self.resilience, clock=self._clock
+            )
+        return self._breakers[source]
 
     @staticmethod
     def _check_ontology_agreement() -> None:
@@ -133,7 +219,13 @@ class IntegrationPipeline:
         municipal_records: Iterable[MunicipalServiceRecord] = (),
         specialist_claims: Iterable[SpecialistClaim] = (),
     ) -> tuple[EventStore, IntegrationReport]:
-        """Integrate all sources and return the store plus the report."""
+        """Integrate all sources and return the store plus the report.
+
+        A fully or persistently failing source never aborts the run
+        (unless ``resilience.fail_fast`` is set): it is recorded in the
+        report's ``degraded_sources`` and the remaining sources complete
+        normally.
+        """
         report = IntegrationReport()
         births: dict[int, int] = {}
         builder = EventStoreBuilder()
@@ -149,19 +241,13 @@ class IntegrationPipeline:
 
         events: list[ParsedEvent] = []
         batches = (
-            (gp_parser, gp_claims),
-            (hospital_parser, hospital_episodes),
-            (municipal_parser, municipal_records),
-            (specialist_parser, specialist_claims),
+            ("gp_claims", gp_parser, gp_claims),
+            ("hospital_episodes", hospital_parser, hospital_episodes),
+            ("municipal_records", municipal_parser, municipal_records),
+            ("specialist_claims", specialist_parser, specialist_claims),
         )
-        for parser, records in batches:
-            for record in records:
-                try:
-                    events.extend(parser.parse(record))
-                except SourceFormatError as exc:
-                    report.failed_records += 1
-                    if len(report.failures) < 100:
-                        report.failures.append(str(exc))
+        for source_name, parser, records in batches:
+            self._ingest_source(source_name, parser, records, events, report)
         report.parsed_events = len(events)
 
         validated: list[ParsedEvent] = []
@@ -200,6 +286,88 @@ class IntegrationPipeline:
                     level_counts[level] += 1
         report.contacts_by_care_level = level_counts
         return builder.build(), report
+
+    # -- resilient reading ---------------------------------------------------
+
+    def _ingest_source(
+        self,
+        source_name: str,
+        parser,
+        records: Iterable,
+        events: list[ParsedEvent],
+        report: IntegrationReport,
+    ) -> None:
+        """Drain one source through retry + breaker + quarantine."""
+        breaker = self.breaker(source_name)
+        if not breaker.allow():
+            self._degrade(
+                source_name,
+                f"circuit open since an earlier run: {breaker.last_reason}",
+                report,
+            )
+            return
+        config = self.resilience
+        deadline = (
+            Deadline(config.read_deadline_s, self._clock)
+            if config.read_deadline_s is not None else None
+        )
+        iterator = iter(records)
+
+        def count_retry(attempt: int, delay: float) -> None:
+            report.retries += 1
+
+        while True:
+            try:
+                record = call_with_retry(
+                    lambda: next(iterator),
+                    self._policy,
+                    source=source_name,
+                    rng=self._rng,
+                    sleep=self._sleep,
+                    deadline=deadline,
+                    on_retry=count_retry,
+                )
+            except StopIteration:
+                breaker.record_success()
+                return
+            except SourceUnavailableError as exc:
+                report.failed_reads += 1
+                breaker.record_failure(str(exc))
+                if config.fail_fast:
+                    report.degraded_sources[source_name] = str(exc)
+                    raise
+                if not breaker.allow():
+                    self._degrade(source_name, str(exc), report)
+                    return
+                continue
+            breaker.record_success()
+            try:
+                events.extend(parser.parse(record))
+            except SourceFormatError as exc:
+                self._record_parse_failure(source_name, record, exc, report)
+
+    def _degrade(
+        self, source_name: str, reason: str, report: IntegrationReport
+    ) -> None:
+        report.degraded_sources[source_name] = reason
+        if self.resilience.fail_fast:
+            raise CircuitOpenError(source_name, reason)
+
+    def _record_parse_failure(
+        self,
+        source_name: str,
+        record,
+        exc: SourceFormatError,
+        report: IntegrationReport,
+    ) -> None:
+        report.failed_records += 1
+        if len(report.failures) < self.resilience.max_failure_messages:
+            report.failures.append(str(exc))
+        else:
+            report.failures_truncated += 1
+        if self.quarantine is not None:
+            self.quarantine.add(source_name, record, str(exc))
+            report.quarantined += 1
 
     def _validate(
         self, event: ParsedEvent, birth_day: int, report: IntegrationReport

@@ -18,7 +18,7 @@ from __future__ import annotations
 import os
 from xml.sax.saxutils import escape
 
-from repro.errors import RenderError
+from repro.errors import OntologyError, RenderError
 from repro.events.model import History
 from repro.events.store import EventStore
 from repro.ontology.presentation_ontology import FACETS, visual_spec_for
@@ -78,7 +78,7 @@ def personal_timeline_svg(history: History, simplified: bool = False) -> str:
     def place(category: str) -> tuple[str, float] | None:
         try:
             spec = visual_spec_for(category)
-        except Exception:
+        except OntologyError:
             return None
         if spec.facet not in facet_top:
             return None

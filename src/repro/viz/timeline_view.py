@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cohort.alignment import Alignment
-from repro.errors import RenderError
+from repro.errors import OntologyError, RenderError
 from repro.events.model import History
 from repro.events.store import EventStore
 from repro.ontology.presentation_ontology import visual_spec_for
@@ -398,7 +398,7 @@ class TimelineView:
                 continue
             try:
                 spec = visual_spec_for(event.category)
-            except Exception:
+            except OntologyError:
                 continue  # unknown category: skip rather than crash the view
             x = scale.x(event.day + shift)
             color = config.color_overrides.get(

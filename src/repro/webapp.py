@@ -9,7 +9,14 @@ explored from a browser:
   preview and per-patient links;
 * ``/timeline.svg?q=…&rows=…&align=…`` — the Figure 1 rendering;
 * ``/overview.svg?q=…`` — the density overview;
-* ``/patient/<id>`` — one interactive personal timeline.
+* ``/patient/<id>`` — one interactive personal timeline;
+* ``/healthz`` — JSON liveness report: store sizes plus any sources the
+  ingestion had to degrade (HTTP 503 while degraded).
+
+Hardening: malformed query parameters answer 400 with a readable error,
+each request can carry a wall-clock deadline (503 on overrun), and a
+workbench in a degraded state can be served either with a banner or as
+an all-routes 503 (``degraded_mode``).
 
 Built on :mod:`http.server` (no dependencies), single-threaded per
 request but served from a ``ThreadingHTTPServer`` so SVG fetches don't
@@ -19,17 +26,23 @@ in-process) or ``python -m repro serve``.
 
 from __future__ import annotations
 
+import json
+import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, quote, urlparse
 from xml.sax.saxutils import escape
 
-from repro.errors import ReproError
+from repro.errors import DeadlineExceededError, QueryError, ReproError
 from repro.query.ast import Concept
+from repro.resilience.retry import Deadline
 from repro.viz.timeline_view import TimelineConfig
 from repro.workbench import Workbench
 
 __all__ = ["WorkbenchServer"]
+
+#: Alignment concepts are terminology codes: letters, digits, dots.
+_CONCEPT_RE = re.compile(r"^[A-Za-z][A-Za-z0-9.]{0,15}$")
 
 _PAGE = """<!DOCTYPE html>
 <html lang="en"><head><meta charset="utf-8"><title>{title}</title>
@@ -53,6 +66,11 @@ _PAGE = """<!DOCTYPE html>
 
 class _Handler(BaseHTTPRequestHandler):
     workbench: Workbench  # set by the server factory
+    #: Per-request wall-clock budget in seconds (None = unlimited).
+    request_deadline_s: float | None = None
+    #: "serve" keeps answering with a degradation banner; "fail" turns
+    #: every non-health route into a 503 while sources are degraded.
+    degraded_mode: str = "serve"
 
     # -- plumbing ----------------------------------------------------------
 
@@ -79,13 +97,39 @@ class _Handler(BaseHTTPRequestHandler):
     def _query_param(self, params: dict) -> str:
         return (params.get("q") or [""])[0].strip()
 
+    def _int_param(self, params: dict, name: str, default: int) -> int:
+        """Parse an integer query parameter or raise a 400-able error."""
+        raw = (params.get(name) or [str(default)])[0].strip()
+        try:
+            return int(raw)
+        except ValueError:
+            raise QueryError(
+                f"query parameter {name!r} must be an integer, got {raw!r}"
+            ) from None
+
+    def _check_deadline(self) -> None:
+        """Raise once the per-request budget is spent (between stages)."""
+        if self._deadline is not None and self._deadline.expired():
+            raise DeadlineExceededError(
+                f"request exceeded its {self.request_deadline_s:.1f}s "
+                f"deadline"
+            )
+
     # -- routes ------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         url = urlparse(self.path)
         params = parse_qs(url.query)
+        self._deadline = (
+            Deadline(self.request_deadline_s)
+            if self.request_deadline_s is not None else None
+        )
         try:
-            if url.path == "/":
+            if url.path == "/healthz":
+                self._healthz()
+            elif self.degraded_mode == "fail" and self.workbench.is_degraded:
+                self._degraded_page()
+            elif url.path == "/":
                 self._index()
             elif url.path == "/cohort":
                 self._cohort(params)
@@ -98,15 +142,57 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 self._page("Not found", "<p class='err'>no such page</p>",
                            status=404)
+        except DeadlineExceededError as exc:
+            self._page("Deadline exceeded",
+                       f"<p class='err'>{escape(str(exc))}</p>",
+                       query=self._query_param(params), status=503)
         except ReproError as exc:
             self._page("Query error",
                        f"<p class='err'>{escape(str(exc))}</p>",
                        query=self._query_param(params), status=400)
 
+    def _healthz(self) -> None:
+        health = self.workbench.health()
+        status = 200 if health["status"] == "ok" else 503
+        self._send(json.dumps(health, sort_keys=True),
+                   "application/json", status)
+
+    def _degraded_page(self) -> None:
+        items = "".join(
+            f"<li><b>{escape(source)}</b>: {escape(reason)}</li>"
+            for source, reason in
+            sorted(self.workbench.degraded_sources.items())
+        )
+        self._page(
+            "Workbench degraded",
+            "<p class='err'>The workbench is running without these "
+            f"sources:</p><ul class='err'>{items}</ul>"
+            "<p>Retry once the registries recover, or restart with "
+            "<code>--degraded-mode serve</code> to browse the partial "
+            "integration.</p>",
+            status=503,
+        )
+
     def _index(self) -> None:
         stats = self.workbench.stats()
+        banner = ""
+        if self.workbench.is_degraded:
+            degraded = ", ".join(sorted(self.workbench.degraded_sources))
+            banner = (
+                f"<p class='err'>degraded: integrated without "
+                f"{escape(degraded)} (see <a href='/healthz'>/healthz</a>)"
+                f"</p>"
+            )
+        report = self.workbench.report
+        report_block = (
+            f"<pre>{escape(report.format_summary())}</pre>"
+            if report is not None and (report.is_degraded
+                                       or report.failures_truncated)
+            else ""
+        )
         body = (
-            f"<pre>{escape(stats.format_table())}</pre>"
+            banner + report_block
+            + f"<pre>{escape(stats.format_table())}</pre>"
             '<p><a href="/overview.svg">population density overview</a></p>'
         )
         self._page("PAsTAs workbench", body)
@@ -118,6 +204,7 @@ class _Handler(BaseHTTPRequestHandler):
                        status=400)
             return
         ids = self.workbench.select(query)
+        self._check_deadline()
         stats = self.workbench.stats(ids)
         encoded = quote(query)
         links = "".join(
@@ -135,11 +222,17 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _timeline(self, params: dict) -> None:
         query = self._query_param(params)
-        rows = int((params.get("rows") or ["100"])[0])
+        rows = self._int_param(params, "rows", 100)
         align = (params.get("align") or [""])[0].strip()
+        if align and not _CONCEPT_RE.match(align):
+            raise QueryError(
+                f"query parameter 'align' must be a concept code "
+                f"(e.g. T90), got {align!r}"
+            )
         ids = self.workbench.select(query) if query \
             else self.workbench.store.patient_ids
         ids = ids[: max(1, min(rows, 2_000))]
+        self._check_deadline()
         if align:
             alignment = self.workbench.align(Concept(align.upper()))
             scene = self.workbench.timeline(
@@ -152,6 +245,7 @@ class _Handler(BaseHTTPRequestHandler):
     def _overview(self, params: dict) -> None:
         query = self._query_param(params)
         ids = self.workbench.select(query) if query else None
+        self._check_deadline()
         scene = self.workbench.overview(ids)
         self._send(scene.svg_text, "image/svg+xml")
 
@@ -159,9 +253,9 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             patient_id = int(raw_id)
         except ValueError:
-            self._page("Bad patient id",
-                       f"<p class='err'>{escape(raw_id)}</p>", status=400)
-            return
+            raise QueryError(
+                f"patient id must be an integer, got {raw_id!r}"
+            ) from None
         html = self.workbench.personal_timeline(patient_id)
         self._send(html, "text/html; charset=utf-8")
 
@@ -171,12 +265,26 @@ class WorkbenchServer:
 
     ``port=0`` picks a free port; the bound address is exposed as
     :attr:`url`.
+
+    ``request_deadline_s`` bounds each request's wall-clock budget
+    (exceeding it answers 503); ``degraded_mode`` decides what a
+    workbench with degraded sources serves — ``"serve"`` (default) keeps
+    answering with a banner, ``"fail"`` turns every route except
+    ``/healthz`` into a readable 503 page.
     """
 
     def __init__(self, workbench: Workbench, host: str = "127.0.0.1",
-                 port: int = 0) -> None:
+                 port: int = 0, request_deadline_s: float | None = None,
+                 degraded_mode: str = "serve") -> None:
+        if degraded_mode not in ("serve", "fail"):
+            raise ValueError(
+                f"degraded_mode must be 'serve' or 'fail', "
+                f"got {degraded_mode!r}"
+            )
         handler = type("BoundHandler", (_Handler,),
-                       {"workbench": workbench})
+                       {"workbench": workbench,
+                        "request_deadline_s": request_deadline_s,
+                        "degraded_mode": degraded_mode})
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._thread: threading.Thread | None = None
 

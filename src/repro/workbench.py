@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.cohort.alignment import Alignment, compute_alignment
 from repro.cohort.stats import CohortStats, summarize
-from repro.config import WorkbenchConfig
+from repro.config import ResilienceConfig, WorkbenchConfig
 from repro.events.model import Cohort
 from repro.events.store import EventStore
 from repro.nsepter.graph import HistoryGraph, build_graph
@@ -73,9 +73,21 @@ class Workbench:
         cls,
         raw: RawSources,
         config: WorkbenchConfig | None = None,
+        resilience: "ResilienceConfig | None" = None,
+        quarantine=None,
     ) -> "Workbench":
-        """Integrate a raw-source bundle end to end."""
-        pipeline = IntegrationPipeline(horizon_day=raw.window.end_day)
+        """Integrate a raw-source bundle end to end.
+
+        ``resilience`` tunes retries/circuit breakers and ``quarantine``
+        (a :class:`~repro.resilience.quarantine.QuarantineStore`)
+        dead-letters unparseable records for later replay; see
+        :mod:`repro.resilience`.
+        """
+        pipeline = IntegrationPipeline(
+            horizon_day=raw.window.end_day,
+            resilience=resilience,
+            quarantine=quarantine,
+        )
         store, report = pipeline.run(
             raw.patients,
             raw.gp_claims,
@@ -91,6 +103,36 @@ class Workbench:
     ) -> "Workbench":
         """Adopt an already-built event store."""
         return cls(store, config=config)
+
+    # -- health ---------------------------------------------------------------
+
+    @property
+    def degraded_sources(self) -> dict[str, str]:
+        """Sources the integration had to give up on (source -> reason)."""
+        if self.report is None:
+            return {}
+        return dict(self.report.degraded_sources)
+
+    @property
+    def is_degraded(self) -> bool:
+        """Did ingestion complete without one or more sources?"""
+        return bool(self.degraded_sources)
+
+    def health(self) -> dict:
+        """The ``/healthz`` payload: status, sizes, degraded sources."""
+        payload = {
+            "status": "degraded" if self.is_degraded else "ok",
+            "patients": int(self.store.n_patients),
+            "events": int(self.store.n_events),
+            "degraded_sources": self.degraded_sources,
+        }
+        if self.report is not None:
+            payload["failed_records"] = int(self.report.failed_records)
+            payload["failures_truncated"] = int(
+                self.report.failures_truncated
+            )
+            payload["quarantined"] = int(self.report.quarantined)
+        return payload
 
     # -- cohort identification -------------------------------------------------
 

@@ -1,0 +1,251 @@
+"""Integration-pipeline behaviour under injected faults.
+
+Covers the ISSUE-1 acceptance scenario: with a 10% corrupt GP feed and a
+fully-down municipal registry, ``IntegrationPipeline.run`` completes
+without raising, reports the down source as degraded, dead-letters every
+corrupt record with a reason, and replay-after-repair reproduces the
+fault-free store exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ResilienceConfig
+from repro.errors import (
+    CircuitOpenError,
+    RetryExhaustedError,
+    SourceUnavailableError,
+)
+from repro.io import merge_stores
+from repro.resilience.circuit import CLOSED, OPEN
+from repro.resilience.faults import FaultPlan, FaultySource, repair_record
+from repro.resilience.quarantine import QuarantineStore
+from repro.simulate import generate_raw_sources
+from repro.sources.integrate import IntegrationPipeline
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.now += seconds
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_pipeline(horizon_day, clock=None, **config):
+    clock = clock or FakeClock()
+    return IntegrationPipeline(
+        horizon_day,
+        resilience=ResilienceConfig(**config),
+        clock=clock,
+        sleep=clock.sleep,
+    )
+
+
+@pytest.fixture(scope="module")
+def raw():
+    return generate_raw_sources(60, seed=7)
+
+
+@pytest.fixture(scope="module")
+def baseline(raw):
+    """The fault-free run everything is compared against."""
+    pipeline = make_pipeline(raw.window.end_day)
+    return pipeline.run(
+        raw.patients, raw.gp_claims, raw.hospital_episodes,
+        raw.municipal_records, raw.specialist_claims,
+    )
+
+
+class TestTransientFaults:
+    def test_retries_recover_every_record(self, raw, baseline):
+        store0, report0 = baseline
+        faulty_gp = FaultySource(
+            raw.gp_claims,
+            FaultPlan(seed=13, transient_rate=0.2, transient_failures=2),
+            source="gp_claims",
+        )
+        pipeline = make_pipeline(raw.window.end_day)
+        store, report = pipeline.run(
+            raw.patients, faulty_gp, raw.hospital_episodes,
+            raw.municipal_records, raw.specialist_claims,
+        )
+        assert report.retries > 0
+        assert report.failed_reads == 0
+        assert not report.is_degraded
+        assert store.content_equal(store0)
+
+    def test_transient_runs_are_deterministic(self, raw):
+        def run():
+            faulty_gp = FaultySource(
+                raw.gp_claims,
+                FaultPlan(seed=13, transient_rate=0.2),
+                source="gp_claims",
+            )
+            pipeline = make_pipeline(raw.window.end_day)
+            return pipeline.run(raw.patients, gp_claims=faulty_gp)
+
+        (store_a, report_a), (store_b, report_b) = run(), run()
+        assert report_a.retries == report_b.retries
+        assert store_a.content_equal(store_b)
+
+    def test_exhausted_transients_degrade_not_crash(self, raw):
+        # More consecutive failures per record than the retry budget:
+        # reads fail until the breaker opens; the run still completes.
+        faulty_gp = FaultySource(
+            raw.gp_claims,
+            FaultPlan(seed=13, transient_rate=1.0, transient_failures=99),
+            source="gp_claims",
+        )
+        pipeline = make_pipeline(raw.window.end_day,
+                                 max_retries=1, failure_threshold=3)
+        store, report = pipeline.run(
+            raw.patients, faulty_gp,
+            hospital_episodes=raw.hospital_episodes,
+        )
+        assert "gp_claims" in report.degraded_sources
+        assert report.failed_reads == 3  # bounded by the threshold
+        assert store.n_events > 0  # hospital data still loaded
+
+
+class TestDownSource:
+    def test_down_source_degrades_and_rest_complete(self, raw, baseline):
+        store0, __ = baseline
+        down = FaultySource(raw.municipal_records, FaultPlan(seed=4, down=True),
+                            source="municipal_records")
+        pipeline = make_pipeline(raw.window.end_day)
+        store, report = pipeline.run(
+            raw.patients, raw.gp_claims, raw.hospital_episodes,
+            down, raw.specialist_claims,
+        )
+        assert list(report.degraded_sources) == ["municipal_records"]
+        assert "registry down" in report.degraded_sources["municipal_records"]
+        assert 0 < store.n_events < store0.n_events
+        assert report.patients == len(raw.patients)
+
+    def test_fail_fast_raises(self, raw):
+        down = FaultySource(raw.municipal_records, FaultPlan(seed=4, down=True),
+                            source="municipal_records")
+        pipeline = make_pipeline(raw.window.end_day, fail_fast=True)
+        with pytest.raises(SourceUnavailableError):
+            pipeline.run(raw.patients, municipal_records=down)
+
+    def test_feed_dying_midway_keeps_the_prefix(self, raw):
+        dying = FaultySource(raw.gp_claims, FaultPlan(seed=2, fail_after=10),
+                             source="gp_claims")
+        pipeline = make_pipeline(raw.window.end_day, failure_threshold=1)
+        store, report = pipeline.run(raw.patients, gp_claims=dying)
+        assert "gp_claims" in report.degraded_sources
+        assert store.n_events > 0  # the 10 delivered records made it in
+
+
+class TestBreakerAcrossRuns:
+    def test_open_breaker_skips_next_run_then_recovers(self, raw):
+        clock = FakeClock()
+        pipeline = make_pipeline(raw.window.end_day, clock=clock,
+                                 failure_threshold=2, recovery_timeout_s=60.0)
+        down = FaultySource(raw.gp_claims, FaultPlan(seed=1, down=True),
+                            source="gp_claims")
+        __, report1 = pipeline.run(raw.patients, gp_claims=down)
+        assert pipeline.breaker("gp_claims").state == OPEN
+        assert report1.failed_reads == 2
+
+        # Second run, still inside the recovery timeout: skipped outright,
+        # without burning retries against the dead registry.
+        __, report2 = pipeline.run(raw.patients, gp_claims=down)
+        assert "circuit open since an earlier run" in (
+            report2.degraded_sources["gp_claims"]
+        )
+        assert report2.failed_reads == 0
+
+        # After the timeout a healthy source closes the breaker again.
+        clock.advance(60.0)
+        store3, report3 = pipeline.run(raw.patients, gp_claims=raw.gp_claims)
+        assert not report3.is_degraded
+        assert pipeline.breaker("gp_claims").state == CLOSED
+        assert store3.n_events > 0
+
+
+class TestFailureTruncation:
+    def test_messages_cap_but_count_survives(self, raw):
+        faulty_gp = FaultySource(
+            raw.gp_claims, FaultPlan(seed=3, corrupt_rate=1.0),
+            source="gp_claims",
+        )
+        pipeline = make_pipeline(raw.window.end_day, max_failure_messages=20)
+        __, report = pipeline.run(raw.patients, gp_claims=faulty_gp)
+        assert len(report.failures) == 20
+        assert report.failed_records == len(raw.gp_claims)
+        assert report.failures_truncated == report.failed_records - 20
+        assert "truncated" in report.format_summary()
+
+
+class TestAcceptanceScenario:
+    """ISSUE-1's end-to-end criterion, verbatim."""
+
+    def test_corrupt_plus_down_completes_and_replays(self, raw, tmp_path):
+        # Reference: the same three healthy sources, no municipal feed.
+        reference, __ = make_pipeline(raw.window.end_day).run(
+            raw.patients, raw.gp_claims, raw.hospital_episodes,
+            (), raw.specialist_claims,
+        )
+
+        quarantine = QuarantineStore(str(tmp_path / "dead.jsonl"))
+        faulty_gp = FaultySource(
+            raw.gp_claims,
+            FaultPlan(seed=3, corrupt_rate=0.10, transient_rate=0.05),
+            source="gp_claims",
+        )
+        down = FaultySource(raw.municipal_records, FaultPlan(seed=4, down=True),
+                            source="municipal_records")
+        clock = FakeClock()
+        pipeline = IntegrationPipeline(
+            raw.window.end_day,
+            resilience=ResilienceConfig(),
+            quarantine=quarantine,
+            clock=clock, sleep=clock.sleep,
+        )
+        # 1. completes without raising
+        store, report = pipeline.run(
+            raw.patients, faulty_gp, raw.hospital_episodes,
+            down, raw.specialist_claims,
+        )
+        # 2. the down source is reported degraded
+        assert "municipal_records" in report.degraded_sources
+        # 3. every corrupt record is quarantined, with its reason
+        injected = faulty_gp.corrupted_records
+        assert len(injected) > 0
+        assert len(quarantine) >= len(injected)
+        quarantined_dates = {
+            item.record.contact_date for item in quarantine.records()
+            if item.source == "gp_claims"
+        }
+        assert {r.contact_date for r in injected} <= quarantined_dates
+        assert all(item.reason for item in quarantine.records())
+        # 4. replay after repair reproduces the fault-free result
+        quarantine.repair(repair_record)
+        replayed, __ = quarantine.replay(
+            make_pipeline(raw.window.end_day), raw.patients
+        )
+        merged = merge_stores(store, replayed, deduplicate_events=True)
+        assert merged.content_equal(reference)
+
+
+class TestErrorTypes:
+    def test_retry_exhausted_is_a_source_unavailable(self):
+        exc = RetryExhaustedError("gp_claims", 4, "boom")
+        assert isinstance(exc, SourceUnavailableError)
+        assert exc.attempts == 4
+        assert "4 attempt" in str(exc)
+
+    def test_circuit_open_is_a_source_unavailable(self):
+        exc = CircuitOpenError("gp_claims", "too many failures")
+        assert isinstance(exc, SourceUnavailableError)
+        assert not exc.transient

@@ -1,0 +1,199 @@
+"""Tests for retry policies, deadlines and circuit breakers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import ResilienceConfig
+from repro.errors import (
+    CircuitOpenError,
+    RetryExhaustedError,
+    SourceUnavailableError,
+)
+from repro.resilience.circuit import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.resilience.retry import Deadline, RetryPolicy, call_with_retry
+
+
+class FakeClock:
+    """A controllable monotonic clock; sleeping advances it."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.sleeps: list[float] = []
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def flaky(failures: int, result: str = "ok", transient: bool = True):
+    """A callable that fails ``failures`` times, then succeeds."""
+    state = {"left": failures}
+
+    def call():
+        if state["left"] > 0:
+            state["left"] -= 1
+            raise SourceUnavailableError("reg", "flaky", transient=transient)
+        return result
+
+    return call
+
+
+class TestRetryPolicy:
+    def test_deterministic_given_seed(self):
+        policy = RetryPolicy(backoff_base_s=0.1, jitter=0.5)
+        a = [policy.delay_for(i, random.Random(9)) for i in range(4)]
+        b = [policy.delay_for(i, random.Random(9)) for i in range(4)]
+        assert a == b
+
+    def test_exponential_growth_and_cap(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_max_s=0.4, jitter=0.0)
+        rng = random.Random(0)
+        delays = [policy.delay_for(i, rng) for i in range(4)]
+        assert delays == [0.1, 0.2, 0.4, 0.4]
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(backoff_base_s=1.0, backoff_max_s=1.0, jitter=0.5)
+        rng = random.Random(3)
+        for attempt in range(8):
+            delay = policy.delay_for(attempt, rng)
+            assert 0.5 <= delay <= 1.0
+
+    def test_from_config(self):
+        config = ResilienceConfig(max_retries=7, backoff_base_s=0.2)
+        policy = RetryPolicy.from_config(config)
+        assert policy.max_retries == 7
+        assert policy.backoff_base_s == 0.2
+
+
+class TestCallWithRetry:
+    def test_succeeds_after_transient_failures(self):
+        clock = FakeClock()
+        result = call_with_retry(
+            flaky(2), RetryPolicy(max_retries=3, jitter=0.0),
+            source="reg", rng=random.Random(1), sleep=clock.sleep,
+        )
+        assert result == "ok"
+        assert len(clock.sleeps) == 2
+
+    def test_permanent_error_not_retried(self):
+        clock = FakeClock()
+        with pytest.raises(SourceUnavailableError) as exc:
+            call_with_retry(
+                flaky(1, transient=False), RetryPolicy(max_retries=5),
+                source="reg", rng=random.Random(1), sleep=clock.sleep,
+            )
+        assert not isinstance(exc.value, RetryExhaustedError)
+        assert clock.sleeps == []
+
+    def test_exhaustion_raises_and_counts_attempts(self):
+        clock = FakeClock()
+        with pytest.raises(RetryExhaustedError) as exc:
+            call_with_retry(
+                flaky(99), RetryPolicy(max_retries=2, jitter=0.0),
+                source="reg", rng=random.Random(1), sleep=clock.sleep,
+            )
+        assert exc.value.attempts == 3
+        assert exc.value.source == "reg"
+        assert len(clock.sleeps) == 2  # never sleeps after the last try
+        assert isinstance(exc.value, SourceUnavailableError)  # breaker-visible
+
+    def test_deadline_cuts_retries_short(self):
+        clock = FakeClock()
+        deadline = Deadline(0.05, clock)
+        with pytest.raises(RetryExhaustedError) as exc:
+            call_with_retry(
+                flaky(99),
+                RetryPolicy(max_retries=10, backoff_base_s=0.1, jitter=0.0),
+                source="reg", rng=random.Random(1), sleep=clock.sleep,
+                deadline=deadline,
+            )
+        assert "deadline" in str(exc.value)
+        assert clock.sleeps == []  # first 0.1s delay already over budget
+
+    def test_on_retry_callback_sees_each_attempt(self):
+        clock = FakeClock()
+        seen: list[int] = []
+        call_with_retry(
+            flaky(2), RetryPolicy(max_retries=3, jitter=0.0),
+            source="reg", rng=random.Random(1), sleep=clock.sleep,
+            on_retry=lambda attempt, delay: seen.append(attempt),
+        )
+        assert seen == [1, 2]
+
+    def test_never_expiring_deadline(self):
+        deadline = Deadline(None)
+        assert not deadline.expired()
+        assert deadline.remaining() == float("inf")
+
+
+class TestCircuitBreaker:
+    def test_opens_at_threshold(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("reg", failure_threshold=3, clock=clock)
+        for __ in range(2):
+            breaker.record_failure("boom")
+        assert breaker.state == CLOSED
+        breaker.record_failure("boom")
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.last_reason == "boom"
+
+    def test_success_resets_streak(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("reg", failure_threshold=2, clock=clock)
+        breaker.record_failure("a")
+        breaker.record_success()
+        breaker.record_failure("b")
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_then_close(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("reg", failure_threshold=1,
+                                 recovery_timeout_s=10.0, clock=clock)
+        breaker.record_failure("down")
+        assert breaker.state == OPEN
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("reg", failure_threshold=1,
+                                 recovery_timeout_s=10.0, clock=clock)
+        breaker.record_failure("down")
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+        breaker.record_failure("still down")
+        assert breaker.state == OPEN
+        clock.advance(9.9)
+        assert breaker.state == OPEN  # full fresh timeout
+
+    def test_call_wrapper(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("reg", failure_threshold=1, clock=clock)
+        with pytest.raises(SourceUnavailableError):
+            breaker.call(flaky(1, transient=False))
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: "never reached")
+
+    def test_from_config(self):
+        config = ResilienceConfig(failure_threshold=9,
+                                  recovery_timeout_s=1.5)
+        breaker = CircuitBreaker.from_config("reg", config)
+        assert breaker.failure_threshold == 9
+        assert breaker.recovery_timeout_s == 1.5
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("reg", failure_threshold=0)
