@@ -6,6 +6,9 @@ Python:
 * ``generate`` — synthesize a population and save the event store;
 * ``stats`` — summarize a store (optionally a query's sub-cohort);
 * ``select`` — run a query, write matching patient ids as CSV;
+* ``query`` — run a query, print the match count; ``--explain`` prints
+  the planner's normalized tree with estimated selectivities and cache
+  residency (``--repeat 2`` shows warm-cache hits);
 * ``timeline`` — render the cohort timeline SVG for a query;
 * ``overview`` — render the density overview SVG;
 * ``export-web`` — batch-export personal timeline HTML pages;
@@ -71,6 +74,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("store")
     _add_query_argument(p)
     p.add_argument("--out", required=True)
+
+    p = sub.add_parser("query",
+                       help="run a query, print the match count (and "
+                            "optionally the evaluation plan)")
+    p.add_argument("store")
+    _add_query_argument(p)
+    p.add_argument("--explain", action="store_true",
+                   help="print the normalized plan with estimated "
+                        "selectivities and cache residency")
+    p.add_argument("--no-optimize", action="store_true",
+                   help="bypass the planner/cache (naive evaluation)")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="evaluate N times (N>1 demonstrates warm-cache "
+                        "hits in --explain)")
 
     p = sub.add_parser("timeline", help="render the cohort timeline SVG")
     p.add_argument("store")
@@ -207,6 +224,18 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "stats":
         ids = wb.select(args.query) if args.query else None
         print(wb.stats(ids).format_table())
+        return 0
+
+    if args.command == "query":
+        if args.no_optimize:
+            wb.engine.optimize = False
+        repeats = max(1, args.repeat)
+        for __ in range(repeats):
+            ids = wb.select(args.query)
+        print(f"{len(ids):,} of {wb.store.n_patients:,} patients match")
+        if args.explain:
+            print()
+            print(wb.explain(args.query))
         return 0
 
     if args.command == "select":

@@ -93,10 +93,20 @@ class WorkbenchConfig:
         lazy_materialization: when True, ``History`` objects are built only
             for patients actually drawn or exported, while queries run on
             the columnar store.
+        optimize_queries: route queries through the planner/memoization
+            layer (:mod:`repro.query.planner`); turn off to force the
+            naive recursive evaluation.
+        query_cache_entries: LRU entry bound of the per-workbench query
+            result cache.
+        query_cache_bytes: LRU payload-byte bound of the same cache
+            (event masks on paper-scale stores are megabytes each).
     """
 
     seed: int = DEFAULT_SEED
     max_drawn_histories: int = 20_000
     detail_cache_size: int = 4_096
     lazy_materialization: bool = True
+    optimize_queries: bool = True
+    query_cache_entries: int = 512
+    query_cache_bytes: int = 256 * 1024 * 1024
     extra: dict[str, object] = field(default_factory=dict)

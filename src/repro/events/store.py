@@ -15,6 +15,7 @@ contiguous and materialization is a cheap range scan.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterable
 
 import numpy as np
@@ -417,6 +418,39 @@ class EventStore:
     def content_equal(self, other: "EventStore") -> bool:
         """True when both stores hold identical patients and events."""
         return self.content_signature() == other.content_signature()
+
+    def content_token(self) -> str:
+        """A cheap content-addressed fingerprint (hex digest), memoized.
+
+        Hashes the raw columnar arrays plus the string tables in one
+        vectorized pass, so it is O(bytes) the first time and O(1)
+        afterwards (the store is immutable).  Query caches key results
+        by this token: replacing or merging a store changes the token,
+        which invalidates its entries without any explicit protocol.
+        Unlike :meth:`content_signature` the token is sensitive to row
+        and interning order, which can only cause a cache *miss* for
+        equal-content stores, never a wrong hit.
+        """
+        token = getattr(self, "_content_token", None)
+        if token is None:
+            digest = hashlib.blake2b(digest_size=16)
+            for array in (
+                self.patient, self.day, self.end, self.is_point,
+                self.category, self.system, self.code, self.value,
+                self.value2, self.source, self.detail,
+                self.patient_ids, self.birth_days, self.sexes,
+            ):
+                digest.update(np.ascontiguousarray(array).tobytes())
+            for table in (self.system_names, self.categories,
+                          self.sources, self.details):
+                digest.update(repr(table).encode("utf-8"))
+            digest.update(
+                repr([len(self.systems[n]) for n in self.system_names])
+                .encode("utf-8")
+            )
+            token = digest.hexdigest()
+            self._content_token = token
+        return token
 
     # -- patient access ------------------------------------------------------
 

@@ -1,5 +1,5 @@
 """Query layer: AST, fluent builder, textual language, vectorized engine
-and temporal pattern search."""
+with a planning/memoization layer, and temporal pattern search."""
 
 from repro.query.ast import (
     AgeRange,
@@ -23,8 +23,17 @@ from repro.query.ast import (
     ValueRange,
 )
 from repro.query.builder import QueryBuilder
+from repro.query.cache import CacheStats, QueryCache
 from repro.query.engine import QueryEngine
 from repro.query.parser import parse_query
+from repro.query.planner import (
+    Plan,
+    SelectivityEstimator,
+    format_plan,
+    normalize_event,
+    normalize_patient,
+    plan_query,
+)
 from repro.query.printer import to_text
 from repro.query.temporal_patterns import (
     AbsencePattern,
@@ -58,8 +67,16 @@ __all__ = [
     "find_care_gaps",
     "PatternSearcher",
     "PatternStep",
+    "CacheStats",
+    "Plan",
     "QueryBuilder",
+    "QueryCache",
     "QueryEngine",
+    "SelectivityEstimator",
+    "format_plan",
+    "normalize_event",
+    "normalize_patient",
+    "plan_query",
     "SexIs",
     "Source",
     "TemporalPattern",

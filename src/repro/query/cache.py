@@ -1,0 +1,138 @@
+"""Memoized result cache for the query planner.
+
+The workbench's interaction loop is iterative cohort refinement:
+consecutive queries share most of their sub-expressions, so the planner
+(:mod:`repro.query.planner`) memoizes every compiled sub-result — event
+row masks and sorted patient-id arrays — in one LRU keyed by
+
+``(store content token, result kind, canonical plan key)``
+
+The store token (:meth:`repro.events.store.EventStore.content_token`)
+content-addresses the data, so replacing or merging a store naturally
+invalidates its entries without any explicit invalidation protocol, and
+one per-process cache can safely serve several stores at once.
+
+Cached arrays are marked read-only before they are stored: the same
+array object is handed to every cache hit, so accidental in-place
+mutation by a caller would corrupt later queries.  Eviction is LRU,
+bounded both by entry count and by total payload bytes (event masks on
+a paper-scale store run to megabytes each).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CacheStats", "QueryCache"]
+
+#: Cache key: (store content token, result kind, canonical plan key).
+CacheKey = tuple[str, str, str]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one :class:`QueryCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 3),
+        }
+
+
+class QueryCache:
+    """A byte- and entry-bounded LRU for numpy query results.
+
+    ``get`` counts a hit or miss and refreshes recency; ``put`` freezes
+    the array (read-only) and evicts least-recently-used entries until
+    both bounds hold again.  A single oversized array is still cached
+    (the cache never refuses a result); it simply evicts everything
+    else.
+    """
+
+    def __init__(self, max_entries: int = 512,
+                 max_bytes: int = 256 * 1024 * 1024) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.stats = CacheStats()
+        self._entries: OrderedDict[CacheKey, np.ndarray] = OrderedDict()
+        self._nbytes = 0
+
+    # -- core protocol ------------------------------------------------------
+
+    def get(self, key: CacheKey) -> np.ndarray | None:
+        """The cached array for ``key`` (refreshing recency), or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: CacheKey, array: np.ndarray) -> np.ndarray:
+        """Cache ``array`` under ``key`` and return the frozen copy used."""
+        array.setflags(write=False)
+        previous = self._entries.pop(key, None)
+        if previous is not None:
+            self._nbytes -= previous.nbytes
+        self._entries[key] = array
+        self._nbytes += array.nbytes
+        while len(self._entries) > self.max_entries or (
+            self._nbytes > self.max_bytes and len(self._entries) > 1
+        ):
+            __, evicted = self._entries.popitem(last=False)
+            self._nbytes -= evicted.nbytes
+            self.stats.evictions += 1
+        return array
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()
+        self._nbytes = 0
+
+    # -- introspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes currently held."""
+        return self._nbytes
+
+    def stats_dict(self) -> dict:
+        """Counters plus occupancy, JSON-ready (the ``/stats`` payload)."""
+        payload = self.stats.as_dict()
+        payload["entries"] = len(self._entries)
+        payload["bytes"] = self._nbytes
+        payload["max_entries"] = self.max_entries
+        payload["max_bytes"] = self.max_bytes
+        return payload
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryCache({len(self._entries)} entries, {self._nbytes:,} B, "
+            f"{self.stats.hits} hits / {self.stats.misses} misses)"
+        )

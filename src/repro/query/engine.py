@@ -4,6 +4,21 @@ Event expressions compile to boolean masks (numpy row predicates);
 patient expressions compile to sorted int64 id arrays.  Set algebra on
 patients uses ``np.intersect1d``/``union1d``/``setdiff1d``, so the whole
 168k-patient selection (experiment E5) runs in tens of milliseconds.
+
+With ``optimize=True`` (the default) every query first passes through
+the planner (:mod:`repro.query.planner`): the AST is rewritten into a
+canonical normal form, conjunction children are evaluated in ascending
+estimated-selectivity order with early exit, and every sub-result —
+event masks and patient-id arrays — is memoized in an LRU
+(:class:`repro.query.cache.QueryCache`) keyed by
+``(store.content_token(), kind, canonical plan key)``.  Iterative
+cohort refinement (the paper's core loop) therefore re-computes only
+the clauses that actually changed.  ``optimize=False`` keeps the naive
+recursive evaluation; the two paths are differentially property-tested
+to be equivalent.
+
+Arrays returned from the optimized path are cached and therefore marked
+read-only; copy before mutating.
 """
 
 from __future__ import annotations
@@ -33,21 +48,64 @@ from repro.query.ast import (
     TimeWindow,
     ValueRange,
 )
+from repro.query.cache import QueryCache
+from repro.query.planner import (
+    AllEvents,
+    AllPatients,
+    EmptyEvents,
+    NoPatients,
+    Plan,
+    SelectivityEstimator,
+    format_plan,
+    normalize_event,
+    plan_query,
+)
 from repro.terminology import icpc2_to_icd10_map
 
 __all__ = ["QueryEngine"]
 
 
 class QueryEngine:
-    """Evaluates query ASTs against one :class:`EventStore`."""
+    """Evaluates query ASTs against one :class:`EventStore`.
 
-    def __init__(self, store: EventStore) -> None:
+    ``optimize`` toggles the planning/caching layer (default on);
+    ``cache`` lets several engines share one per-process
+    :class:`~repro.query.cache.QueryCache` (entries are keyed by store
+    content, so sharing across stores is safe).
+    """
+
+    def __init__(
+        self,
+        store: EventStore,
+        optimize: bool = True,
+        cache: QueryCache | None = None,
+    ) -> None:
         self.store = store
+        self.optimize = optimize
+        self.cache = cache if cache is not None else QueryCache()
+        self._estimator: SelectivityEstimator | None = None
+
+    @property
+    def estimator(self) -> SelectivityEstimator:
+        """Per-store selectivity statistics, built on first use."""
+        if self._estimator is None:
+            self._estimator = SelectivityEstimator(self.store)
+        return self._estimator
 
     # -- event level -----------------------------------------------------
 
     def event_mask(self, expr: EventExpr) -> np.ndarray:
-        """Compile an event expression to a boolean row mask."""
+        """Compile an event expression to a boolean row mask.
+
+        Optimized engines normalize the expression and memoize the mask
+        (the returned array is then read-only).
+        """
+        if not self.optimize:
+            return self._raw_event_mask(expr)
+        return self._planned_event_mask(normalize_event(expr))
+
+    def _raw_event_mask(self, expr: EventExpr) -> np.ndarray:
+        """The naive recursive compilation (no planning, no cache)."""
         store = self.store
         if isinstance(expr, CodeMatch):
             return store.mask_pattern(expr.system, expr.pattern)
@@ -73,19 +131,50 @@ class QueryEngine:
             return store.mask_value_range(expr.low, expr.high)
         if isinstance(expr, TimeWindow):
             return store.mask_day_range(expr.first_day, expr.last_day)
+        if isinstance(expr, EmptyEvents):
+            return np.zeros(store.n_events, dtype=bool)
+        if isinstance(expr, AllEvents):
+            return np.ones(store.n_events, dtype=bool)
         if isinstance(expr, EventAnd):
-            mask = self.event_mask(expr.children[0])
+            mask = self._raw_event_mask(expr.children[0])
             for child in expr.children[1:]:
-                mask = mask & self.event_mask(child)
+                mask = mask & self._raw_event_mask(child)
             return mask
         if isinstance(expr, EventOr):
-            mask = self.event_mask(expr.children[0])
+            mask = self._raw_event_mask(expr.children[0])
             for child in expr.children[1:]:
-                mask = mask | self.event_mask(child)
+                mask = mask | self._raw_event_mask(child)
             return mask
         if isinstance(expr, EventNot):
-            return ~self.event_mask(expr.child)
+            return ~self._raw_event_mask(expr.child)
         raise QueryError(f"unknown event expression {expr!r}")
+
+    def _planned_event_mask(self, expr: EventExpr) -> np.ndarray:
+        """Memoized evaluation of a *normalized* event expression."""
+        key = (self.store.content_token(), "mask", repr(expr))
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        if isinstance(expr, EventAnd):
+            # Cheapest-to-falsify first; once no row survives, the
+            # remaining children cannot resurrect any.
+            children = sorted(expr.children, key=self.estimator.event)
+            mask = self._planned_event_mask(children[0])
+            for child in children[1:]:
+                if not mask.any():
+                    break
+                mask = mask & self._planned_event_mask(child)
+        elif isinstance(expr, EventOr):
+            mask = self._planned_event_mask(expr.children[0])
+            for child in expr.children[1:]:
+                if mask.all():
+                    break
+                mask = mask | self._planned_event_mask(child)
+        elif isinstance(expr, EventNot):
+            mask = ~self._planned_event_mask(expr.child)
+        else:
+            mask = self._raw_event_mask(expr)
+        return self.cache.put(key, mask)
 
     # -- patient level ------------------------------------------------------
 
@@ -93,14 +182,32 @@ class QueryEngine:
         """Evaluate to a sorted array of matching patient ids.
 
         An event expression is implicitly wrapped in :class:`HasEvent`.
+        Optimized engines return memoized (read-only) arrays.
         """
-        if isinstance(expr, EventExpr):
-            expr = HasEvent(expr)
+        if not self.optimize:
+            if isinstance(expr, EventExpr):
+                expr = HasEvent(expr)
+            return self._raw_patients(expr)
+        return self._planned_patients(plan_query(expr).root)
+
+    def _first_before(self, mask: np.ndarray, day: int) -> np.ndarray:
+        """Patients whose first masked event is on/before ``day``.
+
+        Store rows are sorted by ``(patient, day)``, so the first index
+        ``np.unique`` reports per patient is also their earliest day —
+        one vectorized pass, no per-patient dict or sort.
+        """
+        store = self.store
+        ids, first_idx = np.unique(store.patient[mask], return_index=True)
+        return ids[store.day[mask][first_idx] <= day]
+
+    def _raw_patients(self, expr: PatientExpr) -> np.ndarray:
+        """The naive recursive evaluation (no planning, no cache)."""
         store = self.store
         if isinstance(expr, HasEvent):
-            return store.patients_matching(self.event_mask(expr.expr))
+            return store.patients_matching(self._raw_event_mask(expr.expr))
         if isinstance(expr, CountAtLeast):
-            mask = self.event_mask(expr.expr)
+            mask = self._raw_event_mask(expr.expr)
             ids, counts = np.unique(store.patient[mask], return_counts=True)
             return ids[counts >= expr.minimum]
         if isinstance(expr, AgeRange):
@@ -111,30 +218,85 @@ class QueryEngine:
             code = {"U": 0, "F": 1, "M": 2}[expr.sex]
             return store.patient_ids[store.sexes == code]
         if isinstance(expr, FirstBefore):
-            first = store.first_day_per_patient(self.event_mask(expr.expr))
-            return np.asarray(
-                sorted(pid for pid, day in first.items() if day <= expr.day),
-                dtype=np.int64,
+            return self._first_before(
+                self._raw_event_mask(expr.expr), expr.day
             )
+        if isinstance(expr, NoPatients):
+            return np.empty(0, dtype=np.int64)
+        if isinstance(expr, AllPatients):
+            return store.patient_ids.copy()
         if isinstance(expr, PatientAnd):
-            result = self.patients(expr.children[0])
+            result = self._raw_patients(expr.children[0])
             for child in expr.children[1:]:
                 if len(result) == 0:
                     break
                 result = np.intersect1d(
-                    result, self.patients(child), assume_unique=True
+                    result, self._raw_patients(child), assume_unique=True
                 )
             return result
         if isinstance(expr, PatientOr):
-            result = self.patients(expr.children[0])
+            result = self._raw_patients(expr.children[0])
             for child in expr.children[1:]:
-                result = np.union1d(result, self.patients(child))
+                result = np.union1d(result, self._raw_patients(child))
             return result
         if isinstance(expr, PatientNot):
             return np.setdiff1d(
-                store.patient_ids, self.patients(expr.child), assume_unique=True
+                store.patient_ids, self._raw_patients(expr.child),
+                assume_unique=True,
             )
         raise QueryError(f"unknown patient expression {expr!r}")
+
+    def _planned_patients(self, expr: PatientExpr) -> np.ndarray:
+        """Memoized evaluation of a *normalized* patient expression."""
+        store = self.store
+        if isinstance(expr, NoPatients):
+            return np.empty(0, dtype=np.int64)
+        if isinstance(expr, AllPatients):
+            universe = store.patient_ids.view()
+            universe.setflags(write=False)
+            return universe
+        key = (store.content_token(), "patients", repr(expr))
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        if isinstance(expr, HasEvent):
+            result = store.patients_matching(
+                self._planned_event_mask(expr.expr)
+            )
+        elif isinstance(expr, CountAtLeast):
+            mask = self._planned_event_mask(expr.expr)
+            ids, counts = np.unique(store.patient[mask], return_counts=True)
+            result = ids[counts >= expr.minimum]
+        elif isinstance(expr, FirstBefore):
+            result = self._first_before(
+                self._planned_event_mask(expr.expr), expr.day
+            )
+        elif isinstance(expr, PatientAnd):
+            # Most selective clause first: the running intersection
+            # shrinks fastest and an empty result short-circuits the
+            # remaining (potentially expensive) children entirely.
+            children = sorted(expr.children, key=self.estimator.patient)
+            result = self._planned_patients(children[0])
+            for child in children[1:]:
+                if len(result) == 0:
+                    break
+                result = np.intersect1d(
+                    result, self._planned_patients(child), assume_unique=True
+                )
+        elif isinstance(expr, PatientOr):
+            result = self._planned_patients(expr.children[0])
+            for child in expr.children[1:]:
+                result = np.union1d(result, self._planned_patients(child))
+        elif isinstance(expr, PatientNot):
+            result = np.setdiff1d(
+                store.patient_ids, self._planned_patients(expr.child),
+                assume_unique=True,
+            )
+        else:
+            result = self._raw_patients(expr)
+        return self.cache.put(key, result)
+
+    # -- derived metrics -----------------------------------------------------
 
     def count(self, expr: PatientExpr | EventExpr) -> int:
         """Number of matching patients."""
@@ -145,3 +307,40 @@ class QueryEngine:
         if self.store.n_patients == 0:
             return 0.0
         return self.count(expr) / self.store.n_patients
+
+    # -- introspection -------------------------------------------------------
+
+    def explain(self, expr: PatientExpr | EventExpr) -> str:
+        """The query's normalized plan as an indented text tree.
+
+        Each node carries its estimated selectivity and — when its
+        memoized result is currently resident — a ``[cached]`` marker;
+        conjunction children appear in evaluation order.  A summary
+        header reports the plan key and cache counters.
+        """
+        plan: Plan = plan_query(expr)
+        token = self.store.content_token()
+
+        def is_cached(kind: str, node) -> bool:
+            if isinstance(node, (NoPatients, AllPatients)):
+                return False  # sentinels evaluate without the cache
+            return (token, kind, repr(node)) in self.cache
+
+        stats = self.cache.stats
+        header = [
+            f"plan for: {plan.key}",
+            f"estimated selectivity: {self.estimator.patient(plan.root):.4f}"
+            f" of {self.store.n_patients:,} patients",
+            f"cache: {stats.hits} hits, {stats.misses} misses, "
+            f"{len(self.cache)} entries",
+            "",
+        ]
+        return "\n".join(header) + format_plan(
+            plan, self.estimator, is_cached=is_cached
+        )
+
+    def cache_stats(self) -> dict:
+        """JSON-ready cache counters (the webapp ``/stats`` payload)."""
+        payload = self.cache.stats_dict()
+        payload["optimize"] = self.optimize
+        return payload

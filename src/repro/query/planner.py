@@ -1,0 +1,543 @@
+"""Query planner: canonical normalization plus selectivity estimation.
+
+The paper's cohort-identification loop is *iterative*: a clinician runs
+a regex-over-hierarchy query, inspects the cohort, tightens one clause
+and runs again, so consecutive queries share most of their sub-trees.
+``plan_query`` rewrites a query AST into a canonical normal form so
+that equivalent (sub-)queries map to identical cache keys:
+
+* nested ``EventAnd``/``EventOr`` and ``PatientAnd``/``PatientOr``
+  chains are flattened, duplicate children dropped, and children sorted
+  into a deterministic canonical order (``A and B`` keys like
+  ``B and A``);
+* ``EventNot`` and ``PatientNot`` are pushed down through conjunctions
+  and disjunctions (De Morgan) and double negations cancel, so only
+  leaf-level negations remain;
+* contradictions and tautologies constant-fold to the sentinels
+  ``EmptyEvents``/``AllEvents`` (row level) and
+  ``NoPatients``/``AllPatients`` (patient level): ``x and not x`` folds
+  empty, ``x or not x`` folds universal, and empty terms propagate
+  (e.g. ``HasEvent(EmptyEvents)`` is ``NoPatients``).
+
+Every rewrite is plain boolean-mask / fixed-universe set algebra, so a
+planned query is equivalent to the naive evaluation by construction —
+and the differential property suite
+(``tests/test_query_planner_property.py``) re-proves it on thousands of
+randomly generated ASTs.
+
+:class:`SelectivityEstimator` provides the cheap cardinality estimates
+the engine uses to evaluate ``PatientAnd``/``EventAnd`` children in
+ascending estimated-selectivity order (cheapest-to-falsify first, with
+early exit once the running result is empty).  Estimates only influence
+*evaluation order*; correctness never depends on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.query.ast import (
+    AgeRange,
+    Category,
+    CodeMatch,
+    Concept,
+    CountAtLeast,
+    EventAnd,
+    EventExpr,
+    EventNot,
+    EventOr,
+    FirstBefore,
+    HasEvent,
+    PatientAnd,
+    PatientExpr,
+    PatientNot,
+    PatientOr,
+    SexIs,
+    Source,
+    TimeWindow,
+    ValueRange,
+)
+from repro.terminology import icpc2_to_icd10_map
+
+__all__ = [
+    "AllEvents",
+    "AllPatients",
+    "EmptyEvents",
+    "NoPatients",
+    "Plan",
+    "SelectivityEstimator",
+    "format_plan",
+    "normalize_event",
+    "normalize_patient",
+    "plan_query",
+]
+
+
+# -- constant-fold sentinels ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EmptyEvents(EventExpr):
+    """The event expression matching no rows (a folded contradiction)."""
+
+
+@dataclass(frozen=True)
+class AllEvents(EventExpr):
+    """The event expression matching every row (a folded tautology)."""
+
+
+@dataclass(frozen=True)
+class NoPatients(PatientExpr):
+    """The patient expression matching nobody (a folded contradiction)."""
+
+
+@dataclass(frozen=True)
+class AllPatients(PatientExpr):
+    """The patient expression matching the whole population."""
+
+
+# -- normalization -------------------------------------------------------------
+
+
+def _canonical_order(expr) -> str:
+    # Frozen-dataclass reprs are deterministic, so they double as a
+    # total order over normalized subtrees.
+    return repr(expr)
+
+
+def _combine_event(is_and: bool, children: list[EventExpr]) -> EventExpr:
+    """Flatten, dedupe, cancel and fold already-normalized children."""
+    absorbing = EmptyEvents() if is_and else AllEvents()
+    identity = AllEvents() if is_and else EmptyEvents()
+    flat: list[EventExpr] = []
+    for child in children:
+        if is_and and isinstance(child, EventAnd):
+            flat.extend(child.children)
+        elif not is_and and isinstance(child, EventOr):
+            flat.extend(child.children)
+        else:
+            flat.append(child)
+    unique: list[EventExpr] = []
+    seen: set[EventExpr] = set()
+    for child in flat:
+        if child == absorbing:
+            return absorbing
+        if child == identity or child in seen:
+            continue
+        seen.add(child)
+        unique.append(child)
+    for child in unique:
+        complement = (
+            child.child if isinstance(child, EventNot) else EventNot(child)
+        )
+        if complement in seen:
+            return absorbing  # x AND not x / x OR not x
+    if not unique:
+        return identity
+    if len(unique) == 1:
+        return unique[0]
+    unique.sort(key=_canonical_order)
+    return EventAnd(tuple(unique)) if is_and else EventOr(tuple(unique))
+
+
+def _negate_event(expr: EventExpr) -> EventExpr:
+    """Complement an already-normalized event expression (De Morgan)."""
+    if isinstance(expr, EventNot):
+        return expr.child
+    if isinstance(expr, EmptyEvents):
+        return AllEvents()
+    if isinstance(expr, AllEvents):
+        return EmptyEvents()
+    if isinstance(expr, EventAnd):
+        return _combine_event(False, [_negate_event(c) for c in expr.children])
+    if isinstance(expr, EventOr):
+        return _combine_event(True, [_negate_event(c) for c in expr.children])
+    return EventNot(expr)
+
+
+def normalize_event(expr: EventExpr) -> EventExpr:
+    """Rewrite an event expression into canonical normal form."""
+    if isinstance(expr, EventNot):
+        return _negate_event(normalize_event(expr.child))
+    if isinstance(expr, (EventAnd, EventOr)):
+        return _combine_event(
+            isinstance(expr, EventAnd),
+            [normalize_event(c) for c in expr.children],
+        )
+    if isinstance(expr, (EmptyEvents, AllEvents, CodeMatch, Concept,
+                         Category, Source, ValueRange, TimeWindow)):
+        return expr
+    raise QueryError(f"unknown event expression {expr!r}")
+
+
+def _combine_patient(is_and: bool, children: list[PatientExpr]) -> PatientExpr:
+    absorbing = NoPatients() if is_and else AllPatients()
+    identity = AllPatients() if is_and else NoPatients()
+    flat: list[PatientExpr] = []
+    for child in children:
+        if is_and and isinstance(child, PatientAnd):
+            flat.extend(child.children)
+        elif not is_and and isinstance(child, PatientOr):
+            flat.extend(child.children)
+        else:
+            flat.append(child)
+    unique: list[PatientExpr] = []
+    seen: set[PatientExpr] = set()
+    for child in flat:
+        if child == absorbing:
+            return absorbing
+        if child == identity or child in seen:
+            continue
+        seen.add(child)
+        unique.append(child)
+    for child in unique:
+        complement = (
+            child.child if isinstance(child, PatientNot) else PatientNot(child)
+        )
+        if complement in seen:
+            return absorbing
+    if not unique:
+        return identity
+    if len(unique) == 1:
+        return unique[0]
+    unique.sort(key=_canonical_order)
+    return PatientAnd(tuple(unique)) if is_and else PatientOr(tuple(unique))
+
+
+def _negate_patient(expr: PatientExpr) -> PatientExpr:
+    """Complement within the store's fixed patient universe."""
+    if isinstance(expr, PatientNot):
+        return expr.child
+    if isinstance(expr, NoPatients):
+        return AllPatients()
+    if isinstance(expr, AllPatients):
+        return NoPatients()
+    if isinstance(expr, PatientAnd):
+        return _combine_patient(
+            False, [_negate_patient(c) for c in expr.children]
+        )
+    if isinstance(expr, PatientOr):
+        return _combine_patient(
+            True, [_negate_patient(c) for c in expr.children]
+        )
+    return PatientNot(expr)
+
+
+def normalize_patient(expr: PatientExpr | EventExpr) -> PatientExpr:
+    """Rewrite a patient expression into canonical normal form.
+
+    A bare event expression is implicitly wrapped in :class:`HasEvent`
+    first, mirroring the engine's convention."""
+    if isinstance(expr, EventExpr):
+        expr = HasEvent(expr)
+    if isinstance(expr, PatientNot):
+        return _negate_patient(normalize_patient(expr.child))
+    if isinstance(expr, (PatientAnd, PatientOr)):
+        return _combine_patient(
+            isinstance(expr, PatientAnd),
+            [normalize_patient(c) for c in expr.children],
+        )
+    if isinstance(expr, HasEvent):
+        inner = normalize_event(expr.expr)
+        if inner == EmptyEvents():
+            return NoPatients()
+        # HasEvent(AllEvents) is *not* AllPatients: a patient can have
+        # zero events and still be in the store's demographics table.
+        return HasEvent(inner)
+    if isinstance(expr, CountAtLeast):
+        inner = normalize_event(expr.expr)
+        if inner == EmptyEvents():
+            return NoPatients()
+        return CountAtLeast(inner, expr.minimum)
+    if isinstance(expr, FirstBefore):
+        inner = normalize_event(expr.expr)
+        if inner == EmptyEvents():
+            return NoPatients()
+        return FirstBefore(inner, expr.day)
+    if isinstance(expr, (NoPatients, AllPatients, AgeRange, SexIs)):
+        return expr
+    raise QueryError(f"unknown patient expression {expr!r}")
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A normalized query plus its canonical cache key."""
+
+    root: PatientExpr
+    key: str
+
+
+def plan_query(expr: PatientExpr | EventExpr) -> Plan:
+    """Compile an AST to a normalized :class:`Plan`.
+
+    The plan's ``key`` (the repr of the normalized tree) is the
+    canonical identity used for memoization: two queries with the same
+    key are equivalent by construction.
+    """
+    root = normalize_patient(expr)
+    return Plan(root=root, key=repr(root))
+
+
+# -- selectivity estimation ----------------------------------------------------
+
+#: Upper bound on the rows sampled per column for estimation.
+_SAMPLE_LIMIT = 65_536
+
+
+def _sorted_sample(values: np.ndarray) -> np.ndarray:
+    """A deterministic sorted sample bounded to :data:`_SAMPLE_LIMIT`."""
+    stride = max(1, len(values) // _SAMPLE_LIMIT)
+    return np.sort(values[::stride])
+
+
+class SelectivityEstimator:
+    """Cheap selectivity estimates from one pass of per-store statistics.
+
+    Leaf estimates come from column histograms (category/source/code
+    frequencies are exact; day and value ranges use a bounded sorted
+    sample); composite estimates assume independence.  Demographic
+    estimates (:class:`SexIs`, :class:`AgeRange`) are exact.  All
+    estimates are clamped to ``[0, 1]`` and exist purely to order
+    conjunction children cheapest-first.
+    """
+
+    def __init__(self, store) -> None:
+        self.store = store
+        n = store.n_events
+        self._n = n
+        safe_n = max(1, n)
+        self._category_frac = (
+            np.bincount(store.category, minlength=len(store.categories))
+            / safe_n
+        )
+        self._source_frac = (
+            np.bincount(store.source, minlength=len(store.sources)) / safe_n
+        )
+        self._code_counts: dict[str, np.ndarray] = {}
+        for idx, name in enumerate(store.system_names):
+            codes = store.code[(store.system == idx) & (store.code >= 0)]
+            self._code_counts[name] = np.bincount(
+                codes, minlength=len(store.systems[name])
+            )
+        self._day_sample = _sorted_sample(store.day) if n else np.empty(0)
+        valid_values = store.value[~np.isnan(store.value)] if n else store.value
+        self._valid_value_frac = len(valid_values) / safe_n
+        self._value_sample = (
+            _sorted_sample(valid_values) if len(valid_values) else np.empty(0)
+        )
+        n_patients = store.n_patients
+        self._sex_frac = (
+            np.bincount(store.sexes, minlength=3) / max(1, n_patients)
+        )
+        self._avg_events = n / n_patients if n_patients else 0.0
+
+    # -- event level --------------------------------------------------------
+
+    def _sample_fraction(self, sample: np.ndarray, low, high) -> float:
+        if not len(sample):
+            return 0.0
+        lo = np.searchsorted(sample, low, side="left")
+        hi = np.searchsorted(sample, high, side="right")
+        return (hi - lo) / len(sample)
+
+    def event(self, expr: EventExpr) -> float:
+        """Estimated fraction of event rows matching ``expr``."""
+        return float(np.clip(self._event(expr), 0.0, 1.0))
+
+    def _event(self, expr: EventExpr) -> float:
+        if self._n == 0:
+            return 0.0
+        if isinstance(expr, EmptyEvents):
+            return 0.0
+        if isinstance(expr, AllEvents):
+            return 1.0
+        if isinstance(expr, CodeMatch):
+            counts = self._code_counts.get(expr.system)
+            system = self.store.systems.get(expr.system)
+            if counts is None or system is None:
+                return 0.0
+            ids = system.match_ids(expr.pattern)
+            if not ids:
+                return 0.0
+            return counts[np.fromiter(ids, dtype=np.int64)].sum() / self._n
+        if isinstance(expr, Concept):
+            icpc_codes, icd_codes = icpc2_to_icd10_map().expand_concept(
+                expr.code
+            )
+            total = 0.0
+            for system_name, codes in (
+                ("ICPC-2", icpc_codes), ("ICD-10", icd_codes)
+            ):
+                counts = self._code_counts.get(system_name)
+                system = self.store.systems.get(system_name)
+                if counts is None or system is None:
+                    continue
+                for code in codes:
+                    total += counts[system.id_of(code)]
+            return total / self._n
+        if isinstance(expr, Category):
+            try:
+                idx = self.store.categories.index(expr.category)
+            except ValueError:
+                return 0.0
+            return float(self._category_frac[idx])
+        if isinstance(expr, Source):
+            try:
+                idx = self.store.sources.index(expr.source_kind)
+            except ValueError:
+                return 0.0
+            return float(self._source_frac[idx])
+        if isinstance(expr, ValueRange):
+            return self._valid_value_frac * self._sample_fraction(
+                self._value_sample, expr.low, expr.high
+            )
+        if isinstance(expr, TimeWindow):
+            return self._sample_fraction(
+                self._day_sample, expr.first_day, expr.last_day
+            )
+        if isinstance(expr, EventAnd):
+            product = 1.0
+            for child in expr.children:
+                product *= self._event(child)
+            return product
+        if isinstance(expr, EventOr):
+            product = 1.0
+            for child in expr.children:
+                product *= 1.0 - self._event(child)
+            return 1.0 - product
+        if isinstance(expr, EventNot):
+            return 1.0 - self._event(expr.child)
+        return 0.5  # unknown node: neutral estimate, never an error
+
+    # -- patient level ------------------------------------------------------
+
+    def patient(self, expr: PatientExpr | EventExpr) -> float:
+        """Estimated fraction of the population matching ``expr``."""
+        return float(np.clip(self._patient(expr), 0.0, 1.0))
+
+    def _patient(self, expr: PatientExpr | EventExpr) -> float:
+        if isinstance(expr, EventExpr):
+            expr = HasEvent(expr)
+        if self.store.n_patients == 0:
+            return 0.0
+        if isinstance(expr, NoPatients):
+            return 0.0
+        if isinstance(expr, AllPatients):
+            return 1.0
+        if isinstance(expr, HasEvent):
+            row_sel = self._event(expr.expr)
+            # P(at least one of ~avg_events rows matches), independence.
+            return 1.0 - (1.0 - row_sel) ** self._avg_events
+        if isinstance(expr, CountAtLeast):
+            row_sel = self._event(expr.expr)
+            expected = row_sel * self._avg_events
+            has = 1.0 - (1.0 - row_sel) ** self._avg_events
+            return has * min(1.0, expected / max(1, expr.minimum))
+        if isinstance(expr, FirstBefore):
+            row_sel = self._event(expr.expr)
+            has = 1.0 - (1.0 - row_sel) ** self._avg_events
+            if not len(self._day_sample):
+                return 0.0
+            before = np.searchsorted(
+                self._day_sample, expr.day, side="right"
+            ) / len(self._day_sample)
+            return has * before
+        if isinstance(expr, AgeRange):
+            ages = (expr.at_day - self.store.birth_days) / 365.25
+            return float(
+                ((ages >= expr.min_years) & (ages <= expr.max_years)).mean()
+            )
+        if isinstance(expr, SexIs):
+            code = {"U": 0, "F": 1, "M": 2}[expr.sex]
+            return float(self._sex_frac[code])
+        if isinstance(expr, PatientAnd):
+            product = 1.0
+            for child in expr.children:
+                product *= self._patient(child)
+            return product
+        if isinstance(expr, PatientOr):
+            product = 1.0
+            for child in expr.children:
+                product *= 1.0 - self._patient(child)
+            return 1.0 - product
+        if isinstance(expr, PatientNot):
+            return 1.0 - self._patient(expr.child)
+        return 0.5
+
+
+# -- explain -------------------------------------------------------------------
+
+_LEAF_EVENT_TYPES = (CodeMatch, Concept, Category, Source, ValueRange,
+                     TimeWindow, EmptyEvents, AllEvents)
+
+
+def _node_label(expr) -> str:
+    if isinstance(expr, _LEAF_EVENT_TYPES + (AgeRange, SexIs, NoPatients,
+                                             AllPatients)):
+        return repr(expr)
+    if isinstance(expr, EventNot):
+        return f"EventNot {repr(expr.child)}"
+    if isinstance(expr, CountAtLeast):
+        return f"CountAtLeast(minimum={expr.minimum})"
+    if isinstance(expr, FirstBefore):
+        return f"FirstBefore(day={expr.day})"
+    return type(expr).__name__
+
+
+def format_plan(
+    plan: Plan,
+    estimator: SelectivityEstimator,
+    is_cached=None,
+) -> str:
+    """Render a plan as an indented tree with estimated selectivities.
+
+    ``is_cached(kind, node)`` (kind ``"patients"`` or ``"mask"``) may
+    report whether the node's memoized result is currently resident;
+    cached nodes are marked ``[cached]``.  Conjunction children are
+    listed in the ascending-selectivity order the engine evaluates them
+    in.
+    """
+
+    lines: list[str] = []
+
+    def annotate(kind: str, expr, estimate: float) -> str:
+        suffix = f"  est={estimate:.4f}"
+        if is_cached is not None and is_cached(kind, expr):
+            suffix += "  [cached]"
+        return suffix
+
+    def walk_event(expr: EventExpr, depth: int) -> None:
+        indent = "  " * depth
+        lines.append(
+            indent + _node_label(expr)
+            + annotate("mask", expr, estimator.event(expr))
+        )
+        if isinstance(expr, EventAnd):
+            for child in sorted(expr.children, key=estimator.event):
+                walk_event(child, depth + 1)
+        elif isinstance(expr, EventOr):
+            for child in expr.children:
+                walk_event(child, depth + 1)
+
+    def walk_patient(expr: PatientExpr, depth: int) -> None:
+        indent = "  " * depth
+        lines.append(
+            indent + _node_label(expr)
+            + annotate("patients", expr, estimator.patient(expr))
+        )
+        if isinstance(expr, PatientAnd):
+            for child in sorted(expr.children, key=estimator.patient):
+                walk_patient(child, depth + 1)
+        elif isinstance(expr, PatientOr):
+            for child in expr.children:
+                walk_patient(child, depth + 1)
+        elif isinstance(expr, PatientNot):
+            walk_patient(expr.child, depth + 1)
+        elif isinstance(expr, (HasEvent, CountAtLeast, FirstBefore)):
+            walk_event(expr.expr, depth + 1)
+
+    walk_patient(plan.root, 0)
+    return "\n".join(lines)

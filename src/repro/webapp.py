@@ -11,7 +11,11 @@ explored from a browser:
 * ``/overview.svg?q=…`` — the density overview;
 * ``/patient/<id>`` — one interactive personal timeline;
 * ``/healthz`` — JSON liveness report: store sizes plus any sources the
-  ingestion had to degrade (HTTP 503 while degraded).
+  ingestion had to degrade (HTTP 503 while degraded);
+* ``/stats`` — JSON serving metrics: store sizes plus the query
+  planner's cache counters (hits/misses/evictions/entries).  The cache
+  is per-process — one workbench engine serves every request — so the
+  counters aggregate the whole serving session.
 
 Hardening: malformed query parameters answer 400 with a readable error,
 each request can carry a wall-clock deadline (503 on overrun), and a
@@ -127,6 +131,8 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if url.path == "/healthz":
                 self._healthz()
+            elif url.path == "/stats":
+                self._stats()
             elif self.degraded_mode == "fail" and self.workbench.is_degraded:
                 self._degraded_page()
             elif url.path == "/":
@@ -156,6 +162,16 @@ class _Handler(BaseHTTPRequestHandler):
         status = 200 if health["status"] == "ok" else 503
         self._send(json.dumps(health, sort_keys=True),
                    "application/json", status)
+
+    def _stats(self) -> None:
+        store = self.workbench.store
+        payload = {
+            "patients": int(store.n_patients),
+            "events": int(store.n_events),
+            "query_cache": self.workbench.query_cache_stats(),
+        }
+        self._send(json.dumps(payload, sort_keys=True),
+                   "application/json", 200)
 
     def _degraded_page(self) -> None:
         items = "".join(

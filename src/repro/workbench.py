@@ -30,6 +30,7 @@ from repro.nsepter.graph import HistoryGraph, build_graph
 from repro.nsepter.merge import merge_by_regex, recursive_neighbour_merge
 from repro.query.ast import EventExpr, PatientExpr
 from repro.query.builder import QueryBuilder
+from repro.query.cache import QueryCache
 from repro.query.engine import QueryEngine
 from repro.query.parser import parse_query
 from repro.query.temporal_patterns import (
@@ -64,7 +65,14 @@ class Workbench:
         self.store = store
         self.report = report
         self.config = config or WorkbenchConfig()
-        self.engine = QueryEngine(store)
+        self.engine = QueryEngine(
+            store,
+            optimize=self.config.optimize_queries,
+            cache=QueryCache(
+                max_entries=self.config.query_cache_entries,
+                max_bytes=self.config.query_cache_bytes,
+            ),
+        )
 
     # -- construction -------------------------------------------------------
 
@@ -145,6 +153,17 @@ class Workbench:
         if isinstance(query, str):
             query = parse_query(query)
         return self.engine.patients(query)
+
+    def explain(self, query: str | PatientExpr | EventExpr) -> str:
+        """The query's normalized plan, estimated selectivities and
+        current cache residency as a text tree (``query --explain``)."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        return self.engine.explain(query)
+
+    def query_cache_stats(self) -> dict:
+        """JSON-ready query-cache counters (the ``/stats`` payload)."""
+        return self.engine.cache_stats()
 
     def cohort(self, patient_ids: list[int] | np.ndarray) -> Cohort:
         """Materialize histories for the given patients."""

@@ -1,0 +1,86 @@
+"""Golden-file tests: ``query --explain`` text and ``/stats`` JSON.
+
+Plan formatting and the stats payload are consumed by humans and
+scripts respectively; both are pinned byte-for-byte against golden
+files so they cannot drift silently.  Regenerate intentionally with::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/test_golden_explain_stats.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.io import save_store
+from repro.simulate.fast import generate_store_fast
+from repro.webapp import WorkbenchServer
+from repro.workbench import Workbench
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: The pinned scenario: a seeded store and a two-clause refinement query.
+_SEED_PATIENTS, _SEED = 300, 9
+_QUERY = "concept T90 and atleast 2 category gp_contact"
+
+
+def _golden_store():
+    store, __ = generate_store_fast(_SEED_PATIENTS, seed=_SEED)
+    return store
+
+
+def _check_golden(name: str, actual: str) -> None:
+    path = GOLDEN_DIR / name
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        path.parent.mkdir(exist_ok=True)
+        path.write_text(actual, encoding="utf-8")
+    expected = path.read_text(encoding="utf-8")
+    assert actual == expected, (
+        f"{name} drifted from its golden file; if the change is "
+        f"intentional, regenerate with REPRO_UPDATE_GOLDEN=1"
+    )
+
+
+def test_query_explain_output_pinned(tmp_path, capsys):
+    store_path = str(tmp_path / "golden.npz")
+    save_store(_golden_store(), store_path)
+    # --repeat 2 so the explain tree shows warm-cache residency.
+    assert cli_main(["query", store_path, _QUERY,
+                     "--explain", "--repeat", "2"]) == 0
+    _check_golden("query_explain.txt", capsys.readouterr().out)
+
+
+def test_query_no_optimize_count_matches(tmp_path, capsys):
+    """The naive path agrees with the pinned optimized count."""
+    store_path = str(tmp_path / "golden.npz")
+    save_store(_golden_store(), store_path)
+    assert cli_main(["query", store_path, _QUERY, "--no-optimize"]) == 0
+    naive_line = capsys.readouterr().out.splitlines()[0]
+    golden = (GOLDEN_DIR / "query_explain.txt").read_text(encoding="utf-8")
+    assert naive_line == golden.splitlines()[0]
+
+
+def test_stats_json_pinned():
+    wb = Workbench.from_store(_golden_store())
+    with WorkbenchServer(wb) as server:
+        cohort_url = f"{server.url}/cohort?q={_QUERY.replace(' ', '+')}"
+        for __ in range(2):  # second run is served from the cache
+            with urllib.request.urlopen(cohort_url) as response:
+                assert response.status == 200
+        with urllib.request.urlopen(f"{server.url}/stats") as response:
+            assert response.status == 200
+            body = response.read().decode("utf-8")
+    payload = json.loads(body)
+    assert payload["query_cache"]["hits"] > 0  # the warm second run
+    pretty = json.dumps(payload, sort_keys=True, indent=2) + "\n"
+    _check_golden("stats.json", pretty)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])
