@@ -17,6 +17,8 @@ The package rebuilds the paper's PAsTAs workbench as a Python library:
   breakers, record quarantine and deterministic fault injection;
 * :mod:`repro.query` / :mod:`repro.cohort` — cohort identification,
   alignment and cohort operations;
+* :mod:`repro.shard` — the sharded on-disk columnar store: memory-mapped
+  segments, checksummed manifests and scatter-gather query execution;
 * :mod:`repro.viz` — the timeline view (Figure 1), interaction model,
   NSEPter graph rendering (Figure 2) and personal-timeline HTML export;
 * :mod:`repro.nsepter` / :mod:`repro.alignment` — the baseline systems;
@@ -34,7 +36,12 @@ Quickstart::
     wb.timeline(ids[:100]).save("diabetes_cohort.svg")
 """
 
-from repro.config import DEFAULT_SEED, ResilienceConfig, WorkbenchConfig
+from repro.config import (
+    DEFAULT_SEED,
+    ResilienceConfig,
+    ShardConfig,
+    WorkbenchConfig,
+)
 from repro.errors import ReproError
 from repro.io import load_store, merge_stores, save_store
 from repro.session import AnalysisSession
@@ -43,5 +50,6 @@ from repro.workbench import Workbench
 __version__ = "1.0.0"
 
 __all__ = ["AnalysisSession", "DEFAULT_SEED", "ReproError",
-           "ResilienceConfig", "Workbench", "WorkbenchConfig",
-           "__version__", "load_store", "merge_stores", "save_store"]
+           "ResilienceConfig", "ShardConfig", "Workbench",
+           "WorkbenchConfig", "__version__", "load_store", "merge_stores",
+           "save_store"]

@@ -14,7 +14,14 @@ Python:
 * ``export-web`` — batch-export personal timeline HTML pages;
 * ``recognition`` — run the recognition-study model on a query's cohort;
 * ``quarantine`` — inspect (``show``) or re-integrate (``replay``) the
-  dead-letter store written during a resilient ingestion.
+  dead-letter store written during a resilient ingestion;
+* ``shard`` — ``build`` a sharded on-disk store from a ``.npz``
+  snapshot, print its ``info``, or ``verify`` every column checksum.
+
+Every command that reads a store accepts either a ``.npz`` snapshot or
+a sharded store directory (detected automatically; ``query --shards``
+asserts the input is sharded and ``--workers`` sizes the scatter-gather
+pool).
 
 Example::
 
@@ -88,6 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeat", type=int, default=1,
                    help="evaluate N times (N>1 demonstrates warm-cache "
                         "hits in --explain)")
+    p.add_argument("--shards", action="store_true",
+                   help="require the store argument to be a sharded "
+                        "store directory (scatter-gather execution)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="scatter-gather worker processes (default: "
+                        "min(4, cpus); 1 forces serial)")
 
     p = sub.add_parser("timeline", help="render the cohort timeline SVG")
     p.add_argument("store")
@@ -137,6 +150,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="what to serve while sources are degraded: "
                         "banner ('serve') or all-routes 503 ('fail')")
 
+    p = sub.add_parser("shard",
+                       help="build, inspect or verify a sharded store")
+    ssub = p.add_subparsers(dest="shard_command", required=True)
+    s = ssub.add_parser("build",
+                        help="partition a .npz store into shard segments")
+    s.add_argument("store", help="input .npz path")
+    s.add_argument("--out", required=True, help="output shard directory")
+    s.add_argument("--shards", type=int, default=4,
+                   help="number of shards (default 4)")
+    s.add_argument("--partition", choices=("hash", "range"), default="hash",
+                   help="patient-id hash (balanced, streamable) or "
+                        "contiguous range (id locality)")
+    s = ssub.add_parser("info", help="summarize a sharded store")
+    s.add_argument("dir", help="shard directory")
+    s = ssub.add_parser("verify",
+                        help="re-hash every column file against the "
+                             "manifests")
+    s.add_argument("dir", help="shard directory")
+
     p = sub.add_parser("quarantine",
                        help="inspect or replay the dead-letter store")
     qsub = p.add_subparsers(dest="quarantine_command", required=True)
@@ -156,9 +188,20 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_workbench(path: str):
-    from repro.io import load_store
+def _load_workbench(path: str, workers: int | None = None):
+    """A workbench over a ``.npz`` snapshot or a sharded store directory."""
+    import os
+
     from repro.workbench import Workbench
+
+    if os.path.isdir(path):
+        from repro.config import ShardConfig
+
+        shard_config = (
+            ShardConfig(n_workers=workers) if workers is not None else None
+        )
+        return Workbench.from_shards(path, shard_config=shard_config)
+    from repro.io import load_store
 
     return Workbench.from_store(load_store(path))
 
@@ -219,7 +262,11 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "quarantine":
         return _dispatch_quarantine(args)
 
-    wb = _load_workbench(args.store)
+    if args.command == "shard":
+        return _dispatch_shard(args)
+
+    wb = _load_workbench(args.store,
+                         workers=getattr(args, "workers", None))
 
     if args.command == "stats":
         ids = wb.select(args.query) if args.query else None
@@ -227,12 +274,25 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "query":
+        from repro.errors import ShardFormatError
+
+        if args.shards and not wb.is_sharded:
+            raise ShardFormatError(
+                args.store, "--shards requires a sharded store directory "
+                            "(build one with `repro shard build`)"
+            )
         if args.no_optimize:
             wb.engine.optimize = False
         repeats = max(1, args.repeat)
         for __ in range(repeats):
             ids = wb.select(args.query)
         print(f"{len(ids):,} of {wb.store.n_patients:,} patients match")
+        if wb.is_sharded:
+            stats = wb.shard_stats()
+            executor = stats.get("executor", {})
+            print(f"scatter-gather: {stats['n_shards']} shards, "
+                  f"{executor.get('mode', 'serial')} mode, "
+                  f"{executor.get('workers', 1)} worker(s)")
         if args.explain:
             print()
             print(wb.explain(args.query))
@@ -321,6 +381,57 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _dispatch_shard(args: argparse.Namespace) -> int:
+    if args.shard_command == "build":
+        from repro.io import load_store
+        from repro.shard import write_sharded_store
+
+        store = load_store(args.store)
+        manifest = write_sharded_store(
+            store, args.out, n_shards=args.shards, partition=args.partition,
+        )
+        sizes = ", ".join(
+            str(entry["n_patients"]) for entry in manifest["shards"]
+        )
+        print(f"wrote {manifest['n_shards']} {args.partition}-partitioned "
+              f"shard(s) ({manifest['total_patients']:,} patients / "
+              f"{manifest['total_events']:,} events) to {args.out}")
+        print(f"patients per shard: {sizes}")
+        return 0
+
+    if args.shard_command == "info":
+        from repro.shard import read_store_manifest
+
+        manifest = read_store_manifest(args.dir)
+        print(f"sharded store {args.dir}")
+        print(f"  partition:  {manifest['partition']}")
+        print(f"  shards:     {manifest['n_shards']}")
+        print(f"  patients:   {manifest['total_patients']:,}")
+        print(f"  events:     {manifest['total_events']:,}")
+        for entry in manifest["shards"]:
+            span = ("(empty)" if entry["patient_min"] is None else
+                    f"ids {entry['patient_min']}..{entry['patient_max']}")
+            print(f"  {entry['name']}: {entry['n_patients']:,} patients / "
+                  f"{entry['n_events']:,} events {span}")
+        return 0
+
+    if args.shard_command == "verify":
+        import os
+
+        from repro.shard import read_store_manifest, verify_segment
+
+        manifest = read_store_manifest(args.dir)
+        for entry in manifest["shards"]:
+            verify_segment(os.path.join(args.dir, entry["name"]))
+            print(f"  {entry['name']}: ok "
+                  f"({entry['n_events']:,} events)")
+        print(f"verified {manifest['n_shards']} shard(s): "
+              f"all column checksums match")
+        return 0
+
+    raise AssertionError(f"unhandled shard command {args.shard_command!r}")
 
 
 def _dispatch_quarantine(args: argparse.Namespace) -> int:

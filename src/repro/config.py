@@ -78,6 +78,43 @@ class ResilienceConfig:
 
 
 @dataclass(frozen=True)
+class ShardConfig:
+    """Tunables for the sharded on-disk store (:mod:`repro.shard`).
+
+    Attributes:
+        n_workers: processes used by the scatter-gather executor.
+            ``None`` resolves to ``min(4, cpu_count)``; ``0`` or ``1``
+            forces the serial in-process path (no pool is ever spawned).
+        default_shards: shard count :func:`repro.shard.write_sharded_store`
+            uses when the caller does not pick one.
+        partition: default partitioning scheme, ``"hash"`` (patient-id
+            hash, balanced regardless of id distribution) or ``"range"``
+            (contiguous patient-id ranges, keeps cohort locality).
+        verify_checksums: verify every column file against its manifest
+            checksum when a shard is first opened.  Turning this off
+            skips the O(bytes) read per shard open; ``shard verify``
+            always checks regardless.
+        mmap: open column files with ``np.load(mmap_mode="r")`` so a
+            shard costs address space, not resident memory, until its
+            columns are actually touched.
+    """
+
+    n_workers: int | None = None
+    default_shards: int = 4
+    partition: str = "hash"
+    verify_checksums: bool = True
+    mmap: bool = True
+
+    def resolved_workers(self) -> int:
+        """The effective worker count (``None`` -> ``min(4, cpus)``)."""
+        if self.n_workers is None:
+            import os
+
+            return max(1, min(4, os.cpu_count() or 1))
+        return max(1, int(self.n_workers))
+
+
+@dataclass(frozen=True)
 class WorkbenchConfig:
     """Tunables for the :class:`repro.workbench.Workbench` facade.
 

@@ -96,6 +96,34 @@ class DeadlineExceededError(ReproError):
     """A per-request or per-operation deadline elapsed before completion."""
 
 
+class ShardStoreError(ReproError):
+    """A sharded on-disk store could not be written, opened or queried."""
+
+
+class ShardFormatError(ShardStoreError):
+    """A shard directory's layout or manifest is invalid or unsupported."""
+
+    def __init__(self, path: str, detail: str) -> None:
+        super().__init__(f"bad shard store at {path!r}: {detail}")
+        self.path = path
+        self.detail = detail
+
+
+class ShardChecksumError(ShardStoreError):
+    """A shard column file failed its manifest checksum (corruption)."""
+
+    def __init__(self, shard: str, column: str, expected: str,
+                 actual: str) -> None:
+        super().__init__(
+            f"checksum mismatch in shard {shard!r}, column {column!r}: "
+            f"manifest says {expected}, file hashes to {actual}"
+        )
+        self.shard = shard
+        self.column = column
+        self.expected = expected
+        self.actual = actual
+
+
 class QueryError(ReproError):
     """A malformed query expression or an evaluation failure."""
 

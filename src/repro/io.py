@@ -15,6 +15,8 @@ code ids.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 
 import numpy as np
 
@@ -29,7 +31,16 @@ _FORMAT_VERSION = 1
 
 
 def save_store(store: EventStore, path: str) -> None:
-    """Write a store to ``path`` (conventionally ``*.npz``)."""
+    """Write a store to ``path`` (conventionally ``*.npz``).
+
+    The write is atomic: the archive lands in a temporary file in the
+    target directory and is ``os.replace``d into place, so a crash
+    mid-write never leaves a truncated archive under the final name.
+    The store's memoized ``content_token`` is persisted in the header,
+    sparing :func:`load_store` the full O(bytes) rehash on first query.
+    """
+    if not path.endswith(".npz"):
+        path += ".npz"  # np.savez's own convention, kept for callers
     header = {
         "format_version": _FORMAT_VERSION,
         "system_names": store.system_names,
@@ -37,27 +48,38 @@ def save_store(store: EventStore, path: str) -> None:
         "categories": store.categories,
         "sources": store.sources,
         "details": store.details,
+        "content_token": store.content_token(),
     }
-    np.savez_compressed(
-        path,
-        header=np.frombuffer(
-            json.dumps(header).encode("utf-8"), dtype=np.uint8
-        ),
-        patient=store.patient,
-        day=store.day,
-        end=store.end,
-        is_point=store.is_point,
-        category=store.category,
-        system=store.system,
-        code=store.code,
-        value=store.value,
-        value2=store.value2,
-        source=store.source,
-        detail=store.detail,
-        patient_ids=store.patient_ids,
-        birth_days=store.birth_days,
-        sexes=store.sexes,
+    fd, tmp = tempfile.mkstemp(
+        dir=os.path.dirname(os.path.abspath(path)), prefix=".tmp-",
+        suffix=".npz",
     )
+    os.close(fd)
+    try:
+        np.savez_compressed(
+            tmp,
+            header=np.frombuffer(
+                json.dumps(header).encode("utf-8"), dtype=np.uint8
+            ),
+            patient=store.patient,
+            day=store.day,
+            end=store.end,
+            is_point=store.is_point,
+            category=store.category,
+            system=store.system,
+            code=store.code,
+            value=store.value,
+            value2=store.value2,
+            source=store.source,
+            detail=store.detail,
+            patient_ids=store.patient_ids,
+            birth_days=store.birth_days,
+            sexes=store.sexes,
+        )
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
 
 
 def load_store(path: str) -> EventStore:
@@ -86,7 +108,7 @@ def load_store(path: str) -> EventStore:
                     f"but the store was written against {size}; "
                     f"code ids would mis-decode"
                 )
-        return EventStore(
+        store = EventStore(
             systems=systems,
             system_names=list(header["system_names"]),
             categories=list(header["categories"]),
@@ -107,6 +129,13 @@ def load_store(path: str) -> EventStore:
             birth_days=archive["birth_days"],
             sexes=archive["sexes"],
         )
+        # Trust the persisted token: it is content-addressed, so a
+        # stale value can only cause a query-cache miss, never a wrong
+        # hit — and trusting it spares a full rehash of all 14 columns.
+        token = header.get("content_token")
+        if token:
+            store._content_token = token
+        return store
 
 
 def append_jsonl(path: str, entries: "list[dict]") -> None:
@@ -177,6 +206,12 @@ def merge_stores(
 
     Without it, the merge is the fast array-level
     :func:`repro.events.store.merge_stores`, folded over the inputs.
+
+    A :class:`~repro.shard.store.ShardedEventStore` input is
+    materialized first (every shard merged into one in-memory store);
+    for populations too large to materialize, re-shard instead of
+    merging — :func:`repro.shard.write_sharded_store` accepts a stream
+    of stores.
     """
     import functools
 
@@ -185,6 +220,13 @@ def merge_stores(
 
     if not stores:
         raise EventModelError("merge_stores needs at least one store")
+    stores = tuple(
+        store.materialize_store()
+        if not isinstance(store, EventStore)
+        and hasattr(store, "materialize_store")
+        else store
+        for store in stores
+    )
     if not deduplicate_events:
         return functools.reduce(merge_pair, stores)
 

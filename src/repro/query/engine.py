@@ -79,11 +79,20 @@ class QueryEngine:
         store: EventStore,
         optimize: bool = True,
         cache: QueryCache | None = None,
+        executor=None,
     ) -> None:
         self.store = store
         self.optimize = optimize
         self.cache = cache if cache is not None else QueryCache()
+        self.executor = executor
         self._estimator: SelectivityEstimator | None = None
+
+    @property
+    def is_sharded(self) -> bool:
+        """Is the underlying store a sharded scatter-gather store?"""
+        from repro.shard.store import is_shard_store  # noqa: PLC0415 (cycle)
+
+        return is_shard_store(self.store)
 
     @property
     def estimator(self) -> SelectivityEstimator:
@@ -183,12 +192,31 @@ class QueryEngine:
 
         An event expression is implicitly wrapped in :class:`HasEvent`.
         Optimized engines return memoized (read-only) arrays.
+
+        On a :class:`~repro.shard.store.ShardedEventStore` the query is
+        evaluated per shard (scatter) and the disjoint per-shard id
+        arrays are merged (gather) — see
+        :class:`~repro.shard.executor.ParallelExecutor`.
         """
+        if self.is_sharded:
+            return self._scatter_gather(expr)
         if not self.optimize:
             if isinstance(expr, EventExpr):
                 expr = HasEvent(expr)
             return self._raw_patients(expr)
         return self._planned_patients(plan_query(expr).root)
+
+    def _scatter_gather(self, expr: PatientExpr | EventExpr) -> np.ndarray:
+        """Route a query through the per-shard parallel executor."""
+        if self.executor is None:
+            from repro.shard.executor import (  # noqa: PLC0415 (cycle)
+                ParallelExecutor,
+            )
+
+            self.executor = ParallelExecutor(config=self.store.config)
+        return self.executor.patients(
+            self.store, expr, optimize=self.optimize, cache=self.cache
+        )
 
     def _first_before(self, mask: np.ndarray, day: int) -> np.ndarray:
         """Patients whose first masked event is on/before ``day``.
@@ -343,4 +371,6 @@ class QueryEngine:
         """JSON-ready cache counters (the webapp ``/stats`` payload)."""
         payload = self.cache.stats_dict()
         payload["optimize"] = self.optimize
+        if self.executor is not None:
+            payload["executor"] = self.executor.stats_dict()
         return payload

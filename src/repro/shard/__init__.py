@@ -1,0 +1,52 @@
+"""Sharded on-disk columnar storage with scatter-gather execution.
+
+The paper's workbench pre-loads one cohort into a single in-memory
+snapshot (Section IV) — the right call at 168,000 patients, a wall on
+the road to millions.  This package splits storage from query the way
+scale-out EHR visualization systems do: a persistent store partitioned
+into per-shard columnar segments on disk, memory-mapped on open, and a
+parallel executor that evaluates one planned query per shard and merges
+the patient-id results.
+
+* :mod:`repro.shard.format` — the segment format: one directory per
+  shard holding ``.npy`` column files plus a checksummed JSON manifest;
+* :mod:`repro.shard.writer` — partition an :class:`~repro.events.store.
+  EventStore` by patient-id hash or contiguous range into N shards;
+* :mod:`repro.shard.store` — :class:`ShardedEventStore`, a lazy,
+  mmap-backed store exposing the same query surface as ``EventStore``;
+* :mod:`repro.shard.executor` — :class:`ParallelExecutor`, the
+  scatter-gather evaluation engine (process pool with serial fallback).
+
+Example::
+
+    from repro.shard import ShardedEventStore, write_sharded_store
+
+    write_sharded_store(store, "cohort.shards", n_shards=8)
+    sharded = ShardedEventStore("cohort.shards")
+    engine = QueryEngine(sharded)          # scatter-gather automatically
+    ids = engine.patients(parse_query("concept T90"))
+"""
+
+from repro.shard.executor import ParallelExecutor
+from repro.shard.format import (
+    SHARD_FORMAT_VERSION,
+    open_segment,
+    read_store_manifest,
+    verify_segment,
+    write_segment,
+)
+from repro.shard.store import ShardedEventStore, is_shard_store
+from repro.shard.writer import ShardedStoreWriter, subset_store, write_sharded_store
+
+__all__ = [
+    "ParallelExecutor",
+    "SHARD_FORMAT_VERSION",
+    "ShardedEventStore",
+    "ShardedStoreWriter",
+    "is_shard_store",
+    "open_segment",
+    "read_store_manifest",
+    "subset_store",
+    "verify_segment",
+    "write_sharded_store",
+]

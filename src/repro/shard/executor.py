@@ -1,0 +1,198 @@
+"""Scatter-gather query execution across shard segments.
+
+A planned query distributes over shards because patients are
+partitioned and a patient's events all live in their shard: every
+patient-level node (``HasEvent``, ``CountAtLeast``, ``FirstBefore``,
+demographics, boolean set algebra — including ``PatientNot``, whose
+universe is the shard's own demographics table) evaluates correctly on
+each shard's disjoint universe, and the global answer is the sorted
+union of the per-shard answers.
+
+:class:`ParallelExecutor` runs that per-shard evaluation either
+
+* **serially** in-process — each shard gets a
+  :class:`~repro.query.engine.QueryEngine` sharing one
+  :class:`~repro.query.cache.QueryCache`, whose keys already include the
+  per-shard ``content_token``, so memoization works unchanged at shard
+  granularity; or
+* **in parallel** via a lazily spawned ``ProcessPoolExecutor`` — workers
+  open their own memory-mapped shard handles (cached per process) and
+  return plain patient-id arrays.  Any pool-infrastructure failure
+  (a dead worker, an unpicklable environment) falls back to the serial
+  path and stays there; query errors propagate unchanged.
+
+Worker count comes from :class:`repro.config.ShardConfig` (``None`` →
+``min(4, cpu_count)``; ``<= 1`` never spawns a pool).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from pickle import PicklingError
+
+import numpy as np
+
+from repro.config import ShardConfig
+from repro.query.cache import QueryCache
+from repro.query.engine import QueryEngine
+
+__all__ = ["ParallelExecutor"]
+
+#: Per-worker-process cache of opened sharded stores, keyed by root path.
+_WORKER_STORES: dict = {}
+#: Per-worker-process query cache (shared across shards and queries).
+_WORKER_CACHE = QueryCache()
+
+
+def _eval_shard(path: str, index: int, expr, optimize: bool,
+                verify_checksums: bool) -> np.ndarray:
+    """Worker entry point: evaluate one query on one shard."""
+    from repro.shard.store import ShardedEventStore  # noqa: PLC0415 (cycle)
+
+    sharded = _WORKER_STORES.get(path)
+    if sharded is None:
+        sharded = ShardedEventStore(
+            path, config=ShardConfig(verify_checksums=verify_checksums)
+        )
+        _WORKER_STORES[path] = sharded
+    engine = QueryEngine(sharded.shard(index), optimize=optimize,
+                         cache=_WORKER_CACHE)
+    return np.asarray(engine.patients(expr))
+
+
+def _merge_patient_results(parts: list[np.ndarray]) -> np.ndarray:
+    """Sorted union of disjoint per-shard patient-id arrays."""
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    merged = np.sort(np.concatenate(parts))
+    return merged.astype(np.int64, copy=False)
+
+
+class ParallelExecutor:
+    """Evaluates queries shard-by-shard and merges patient-id results.
+
+    One executor is meant to live as long as its engine (the pool, the
+    serial-path cache and the counters are all per-executor); call
+    :meth:`close` (or use as a context manager) to reap worker
+    processes.
+    """
+
+    def __init__(self, config: ShardConfig | None = None,
+                 n_workers: int | None = None,
+                 cache: QueryCache | None = None) -> None:
+        self.config = config or ShardConfig()
+        self.n_workers = (self.config.resolved_workers()
+                          if n_workers is None else max(1, int(n_workers)))
+        self.cache = cache if cache is not None else QueryCache()
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_broken = False
+        self.queries = 0
+        self.parallel_queries = 0
+        self.serial_queries = 0
+        self.pool_fallbacks = 0
+        self.shards_scanned = 0
+
+    # -- execution -----------------------------------------------------------
+
+    def patients(self, sharded, expr, optimize: bool = True,
+                 cache: QueryCache | None = None) -> np.ndarray:
+        """Sorted patient ids matching ``expr`` across every shard.
+
+        ``cache`` overrides the executor's serial-path result cache
+        (e.g. the engine's own LRU); worker processes keep their own.
+        """
+        self.queries += 1
+        self.shards_scanned += sharded.n_shards
+        if self.n_workers > 1 and sharded.n_shards > 1 \
+                and not self._pool_broken:
+            try:
+                return self._parallel(sharded, expr, optimize)
+            except (BrokenProcessPool, PicklingError, OSError):
+                # Pool infrastructure failed (worker died, environment
+                # not picklable, fork refused): degrade to serial and
+                # stop retrying the pool for this executor's lifetime.
+                self._pool_broken = True
+                self.pool_fallbacks += 1
+                self._shutdown_pool()
+        return self._serial(sharded, expr, optimize, cache)
+
+    def _serial(self, sharded, expr, optimize: bool,
+                cache: QueryCache | None) -> np.ndarray:
+        self.serial_queries += 1
+        shared = cache if cache is not None else self.cache
+        parts = []
+        for index in range(sharded.n_shards):
+            engine = QueryEngine(sharded.shard(index), optimize=optimize,
+                                 cache=shared)
+            parts.append(np.asarray(engine.patients(expr)))
+        return _merge_patient_results(parts)
+
+    def _parallel(self, sharded, expr, optimize: bool) -> np.ndarray:
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(_eval_shard, sharded.path, index, expr, optimize,
+                        sharded.config.verify_checksums)
+            for index in range(sharded.n_shards)
+        ]
+        parts = [future.result() for future in futures]
+        self.parallel_queries += 1
+        return _merge_patient_results(parts)
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            import multiprocessing
+
+            kwargs = {}
+            if "fork" in multiprocessing.get_all_start_methods():
+                # Fork lets workers inherit the parent's imports and
+                # page cache; spawn works too, just with a colder start.
+                kwargs["mp_context"] = multiprocessing.get_context("fork")
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_workers, **kwargs
+            )
+        return self._pool
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _shutdown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def close(self) -> None:
+        """Reap worker processes (idempotent)."""
+        self._shutdown_pool()
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def mode(self) -> str:
+        """``"parallel"`` or ``"serial"`` for the *next* query."""
+        if self.n_workers > 1 and not self._pool_broken:
+            return "parallel"
+        return "serial"
+
+    def stats_dict(self) -> dict:
+        """JSON-ready counters (surfaced by the webapp's ``/stats``)."""
+        return {
+            "mode": self.mode,
+            "workers": self.n_workers,
+            "queries": self.queries,
+            "parallel_queries": self.parallel_queries,
+            "serial_queries": self.serial_queries,
+            "pool_fallbacks": self.pool_fallbacks,
+            "shards_scanned": self.shards_scanned,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelExecutor({self.mode}, workers={self.n_workers}, "
+            f"{self.queries} queries)"
+        )

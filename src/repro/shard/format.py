@@ -1,0 +1,306 @@
+"""The on-disk segment format: ``.npy`` columns plus a JSON manifest.
+
+One shard is one directory::
+
+    shard-0003/
+      manifest.json     # schema version, row counts, ranges, checksums
+      patient.npy day.npy end.npy is_point.npy category.npy system.npy
+      code.npy value.npy value2.npy source.npy detail.npy
+      patient_ids.npy birth_days.npy sexes.npy
+
+Column files are plain ``.npy`` so they open with
+``np.load(mmap_mode="r")`` — a shard costs address space, not resident
+memory, until a query touches its columns.  The manifest carries a
+blake2b checksum per column, verified when the shard is opened (a
+flipped byte anywhere raises :class:`~repro.errors.ShardChecksumError`),
+plus the shard's memoized ``content_token`` so the query cache never
+pays a rehash on open.
+
+String tables (categories, sources, details) and code-system
+fingerprints live in the *store-level* manifest and are shared by every
+shard: the writer never re-interns per shard, so per-shard integer
+columns all decode through one table and concatenation across shards
+stays valid.
+
+Every file is written to a temporary name in the same directory and
+``os.replace``d into place, so a crash mid-write can leave stray
+temporaries but never a truncated column under its final name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+
+import numpy as np
+
+from repro.errors import ShardChecksumError, ShardFormatError
+from repro.events.store import EventStore, default_systems
+
+__all__ = [
+    "COLUMNS",
+    "MANIFEST_NAME",
+    "SHARD_FORMAT_VERSION",
+    "atomic_replace",
+    "checksum_file",
+    "open_segment",
+    "read_store_manifest",
+    "verify_segment",
+    "write_segment",
+    "write_store_manifest",
+]
+
+SHARD_FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+#: Event columns followed by the patient (demographics) columns —
+#: together the full columnar state of one :class:`EventStore`.
+COLUMNS = (
+    "patient", "day", "end", "is_point", "category", "system", "code",
+    "value", "value2", "source", "detail",
+    "patient_ids", "birth_days", "sexes",
+)
+
+
+def atomic_replace(path: str, write) -> None:
+    """Run ``write(tmp_path)`` then ``os.replace`` the result to ``path``.
+
+    The temporary lives in the target directory (``os.replace`` must not
+    cross filesystems) and keeps the target's extension (``np.save``
+    appends ``.npy`` to extension-less names).
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    suffix = os.path.splitext(path)[1]
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix=suffix)
+    os.close(fd)
+    try:
+        write(tmp)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def checksum_file(path: str) -> str:
+    """blake2b hex digest of a file's raw bytes (streamed)."""
+    digest = hashlib.blake2b(digest_size=16)
+    with open(path, "rb") as f:
+        for chunk in iter(lambda: f.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _write_json(path: str, payload: dict) -> None:
+    def write(tmp: str) -> None:
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(payload, f, sort_keys=True, indent=1)
+
+    atomic_replace(path, write)
+
+
+def _read_json(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except FileNotFoundError:
+        raise ShardFormatError(
+            os.path.dirname(path) or path, f"missing {os.path.basename(path)}"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise ShardFormatError(path, f"manifest is not valid JSON: {exc}") \
+            from exc
+
+
+# -- shard segments ------------------------------------------------------------
+
+
+def write_segment(store: EventStore, directory: str, index: int) -> dict:
+    """Write one shard's columns plus its manifest; return the manifest.
+
+    ``store`` holds exactly the shard's rows and patients (the writer
+    slices the parent store before calling).  String tables are *not*
+    written here — they live in the store-level manifest.
+    """
+    os.makedirs(directory, exist_ok=True)
+    columns: dict[str, dict] = {}
+    for name in COLUMNS:
+        array = np.ascontiguousarray(getattr(store, name))
+        path = os.path.join(directory, f"{name}.npy")
+        atomic_replace(path, lambda tmp, a=array: np.save(tmp, a))
+        columns[name] = {
+            "checksum": checksum_file(path),
+            "dtype": str(array.dtype),
+            "length": int(len(array)),
+        }
+    pids = store.patient_ids
+    manifest = {
+        "format_version": SHARD_FORMAT_VERSION,
+        "shard_index": int(index),
+        "n_events": int(store.n_events),
+        "n_patients": int(store.n_patients),
+        "patient_min": int(pids.min()) if len(pids) else None,
+        "patient_max": int(pids.max()) if len(pids) else None,
+        "content_token": store.content_token(),
+        "columns": columns,
+    }
+    _write_json(os.path.join(directory, MANIFEST_NAME), manifest)
+    return manifest
+
+
+def verify_segment(directory: str) -> dict:
+    """Re-hash every column file against the shard manifest.
+
+    Returns the manifest on success; raises
+    :class:`~repro.errors.ShardFormatError` for layout problems and
+    :class:`~repro.errors.ShardChecksumError` for the first corrupt
+    column found.
+    """
+    manifest = _read_json(os.path.join(directory, MANIFEST_NAME))
+    if manifest.get("format_version") != SHARD_FORMAT_VERSION:
+        raise ShardFormatError(
+            directory,
+            f"unsupported shard format version "
+            f"{manifest.get('format_version')!r}",
+        )
+    columns = manifest.get("columns", {})
+    missing = [name for name in COLUMNS if name not in columns]
+    if missing:
+        raise ShardFormatError(
+            directory, f"manifest lists no checksum for columns {missing}"
+        )
+    for name in COLUMNS:
+        path = os.path.join(directory, f"{name}.npy")
+        if not os.path.exists(path):
+            raise ShardFormatError(directory, f"missing column file {name}.npy")
+        actual = checksum_file(path)
+        expected = columns[name]["checksum"]
+        if actual != expected:
+            raise ShardChecksumError(
+                os.path.basename(directory), name, expected, actual
+            )
+    return manifest
+
+
+def open_segment(
+    directory: str,
+    systems,
+    system_names: list[str],
+    categories: list[str],
+    sources: list[str],
+    details: list[str],
+    verify_checksums: bool = True,
+    mmap: bool = True,
+) -> EventStore:
+    """Open one shard directory as a (memory-mapped) :class:`EventStore`.
+
+    The shard's memoized ``content_token`` comes straight from the
+    manifest: it is content-addressed, so a stale value can only cause a
+    query-cache miss, never a wrong hit — and trusting it keeps shard
+    opens O(metadata) when checksum verification is off.
+    """
+    if verify_checksums:
+        manifest = verify_segment(directory)
+    else:
+        manifest = _read_json(os.path.join(directory, MANIFEST_NAME))
+        if manifest.get("format_version") != SHARD_FORMAT_VERSION:
+            raise ShardFormatError(
+                directory,
+                f"unsupported shard format version "
+                f"{manifest.get('format_version')!r}",
+            )
+    mode = "r" if mmap else None
+    arrays = {}
+    for name in COLUMNS:
+        path = os.path.join(directory, f"{name}.npy")
+        try:
+            arrays[name] = np.load(path, mmap_mode=mode)
+        except (OSError, ValueError) as exc:
+            raise ShardFormatError(
+                directory, f"column file {name}.npy failed to load: {exc}"
+            ) from exc
+    store = EventStore(
+        systems=systems,
+        system_names=list(system_names),
+        categories=list(categories),
+        sources=list(sources),
+        details=list(details),
+        **arrays,
+    )
+    token = manifest.get("content_token")
+    if token:
+        store._content_token = token
+    return store
+
+
+# -- store-level manifest ------------------------------------------------------
+
+
+def write_store_manifest(
+    directory: str,
+    *,
+    partition: str,
+    system_names: list[str],
+    system_sizes: list[int],
+    categories: list[str],
+    sources: list[str],
+    details: list[str],
+    total_patients: int,
+    total_events: int,
+    shard_entries: list[dict],
+) -> dict:
+    """Write the root manifest tying the shards into one logical store."""
+    manifest = {
+        "format_version": SHARD_FORMAT_VERSION,
+        "kind": "sharded_event_store",
+        "partition": partition,
+        "n_shards": len(shard_entries),
+        "system_names": list(system_names),
+        "system_sizes": [int(s) for s in system_sizes],
+        "categories": list(categories),
+        "sources": list(sources),
+        "details": list(details),
+        "total_patients": int(total_patients),
+        "total_events": int(total_events),
+        "shards": shard_entries,
+    }
+    _write_json(os.path.join(directory, MANIFEST_NAME), manifest)
+    return manifest
+
+
+def read_store_manifest(directory: str) -> dict:
+    """Read and validate the root manifest of a sharded store.
+
+    Raises :class:`~repro.errors.ShardFormatError` on version or
+    terminology-fingerprint mismatches — mirroring
+    :func:`repro.io.load_store`, a store must fail loudly rather than
+    mis-decode code ids against a drifted code system.
+    """
+    manifest = _read_json(os.path.join(directory, MANIFEST_NAME))
+    if manifest.get("kind") != "sharded_event_store":
+        raise ShardFormatError(
+            directory,
+            f"manifest kind {manifest.get('kind')!r} is not a sharded "
+            f"event store",
+        )
+    if manifest.get("format_version") != SHARD_FORMAT_VERSION:
+        raise ShardFormatError(
+            directory,
+            f"unsupported store format version "
+            f"{manifest.get('format_version')!r}",
+        )
+    systems = default_systems()
+    for name, size in zip(manifest["system_names"], manifest["system_sizes"]):
+        if name not in systems:
+            raise ShardFormatError(
+                directory, f"store references unknown code system {name!r}"
+            )
+        if len(systems[name]) != size:
+            raise ShardFormatError(
+                directory,
+                f"code system {name!r} has {len(systems[name])} codes but "
+                f"the store was written against {size}; code ids would "
+                f"mis-decode",
+            )
+    return manifest

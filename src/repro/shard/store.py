@@ -1,0 +1,255 @@
+"""A lazy, memory-mapped view over a directory of shard segments.
+
+:class:`ShardedEventStore` opens the root manifest eagerly (cheap JSON)
+and each shard segment lazily on first touch, as an
+:class:`~repro.events.store.EventStore` whose columns are
+``np.load(mmap_mode="r")`` views — verified against the manifest
+checksums on open.
+
+Query execution is *scatter-gather*: the query engine evaluates a
+planned query independently per shard (patients are partitioned, and a
+patient's events all live in their shard, so every query node
+distributes over the disjoint per-shard universes) and merges the
+patient-id results.  Each shard carries its own memoized
+``content_token``, so the existing :class:`repro.query.cache.QueryCache`
+LRU memoizes per-shard sub-results unchanged — at shard granularity.
+
+For everything that genuinely needs the whole cohort in one coordinate
+system (timeline rendering, cohort statistics, CSV export), attribute
+access falls through to a lazily materialized merged ``EventStore``
+(globally re-sorted by ``(patient, day)``), so a ``ShardedEventStore``
+exposes the same mask/patient-array surface as a flat store; queries
+never touch the materialized view.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.config import ShardConfig
+from repro.errors import EventModelError
+from repro.events.store import EventStore, default_systems
+from repro.shard.format import open_segment, read_store_manifest
+from repro.shard.writer import hash_shard_of
+
+__all__ = ["ShardedEventStore", "is_shard_store"]
+
+
+def is_shard_store(obj) -> bool:
+    """True when ``obj`` is a :class:`ShardedEventStore` (duck-type safe)."""
+    return isinstance(obj, ShardedEventStore)
+
+
+class ShardedEventStore:
+    """One logical event store backed by N on-disk shard segments.
+
+    Construction reads only the root manifest; shards open on demand via
+    :meth:`shard`.  The store duck-types as an
+    :class:`~repro.events.store.EventStore`: per-patient lookups route
+    to the owning shard, and any other attribute (column arrays, mask
+    methods, decoding) resolves against the lazily materialized merged
+    store — correct everywhere, but O(total bytes) on first touch, so
+    the scatter-gather query path deliberately avoids it.
+    """
+
+    def __init__(self, path: str, config: ShardConfig | None = None) -> None:
+        self.path = path
+        self.config = config or ShardConfig()
+        self.manifest = read_store_manifest(path)
+        self.systems = default_systems()
+        self.system_names = list(self.manifest["system_names"])
+        self.categories = list(self.manifest["categories"])
+        self.sources = list(self.manifest["sources"])
+        self.details = list(self.manifest["details"])
+        self.partition = self.manifest["partition"]
+        self.shard_entries = list(self.manifest["shards"])
+        self._shards: dict[int, EventStore] = {}
+        self._materialized: EventStore | None = None
+        self._patient_ids: np.ndarray | None = None
+
+    # -- sizes ---------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shard_entries)
+
+    @property
+    def n_patients(self) -> int:
+        return int(self.manifest["total_patients"])
+
+    @property
+    def n_events(self) -> int:
+        return int(self.manifest["total_events"])
+
+    @property
+    def open_shard_count(self) -> int:
+        """How many shards are currently resident (opened lazily)."""
+        return len(self._shards)
+
+    # -- shard access --------------------------------------------------------
+
+    def shard_dir(self, index: int) -> str:
+        return os.path.join(self.path, self.shard_entries[index]["name"])
+
+    def shard(self, index: int) -> EventStore:
+        """Open (once) and return shard ``index`` as an ``EventStore``."""
+        store = self._shards.get(index)
+        if store is None:
+            store = open_segment(
+                self.shard_dir(index),
+                systems=self.systems,
+                system_names=self.system_names,
+                categories=self.categories,
+                sources=self.sources,
+                details=self.details,
+                verify_checksums=self.config.verify_checksums,
+                mmap=self.config.mmap,
+            )
+            self._shards[index] = store
+        return store
+
+    def iter_shards(self) -> Iterator[EventStore]:
+        for index in range(self.n_shards):
+            yield self.shard(index)
+
+    def shard_token(self, index: int) -> str:
+        """The shard's content token, straight from the root manifest."""
+        return self.shard_entries[index]["content_token"]
+
+    def content_token(self) -> str:
+        """Store-level content token: a hash over the shard tokens.
+
+        O(metadata): shard tokens were memoized at write time, so no
+        column bytes are read.  Content-addressed like the flat store's
+        token — a rewrite of any shard changes it, which invalidates
+        query-cache entries by key mismatch alone.
+        """
+        token = getattr(self, "_content_token", None)
+        if token is None:
+            digest = hashlib.blake2b(digest_size=16)
+            for entry in self.shard_entries:
+                digest.update(entry["content_token"].encode("ascii"))
+            for table in (self.system_names, self.categories, self.sources,
+                          self.details):
+                digest.update(repr(table).encode("utf-8"))
+            token = "sharded-" + digest.hexdigest()
+            self._content_token = token
+        return token
+
+    # -- patient routing -----------------------------------------------------
+
+    def owner_of(self, patient_id: int) -> int:
+        """The index of the shard holding ``patient_id``.
+
+        Hash partitions recompute the assignment; range partitions
+        binary-search the manifest's per-shard id ranges.  Raises
+        :class:`~repro.errors.EventModelError` for unknown patients.
+        """
+        if self.partition == "hash":
+            index = int(hash_shard_of(
+                np.asarray([patient_id], dtype=np.int64), self.n_shards
+            )[0])
+            if self._shard_has_patient(index, patient_id):
+                return index
+            raise EventModelError(f"no patient {patient_id} in store")
+        for index, entry in enumerate(self.shard_entries):
+            lo, hi = entry["patient_min"], entry["patient_max"]
+            if lo is None:
+                continue
+            if lo <= patient_id <= hi and self._shard_has_patient(
+                index, patient_id
+            ):
+                return index
+        raise EventModelError(f"no patient {patient_id} in store")
+
+    def _shard_has_patient(self, index: int, patient_id: int) -> bool:
+        pids = self.shard(index).patient_ids
+        pos = np.searchsorted(pids, patient_id)
+        return bool(pos < len(pids) and pids[pos] == patient_id)
+
+    def birth_day_of(self, patient_id: int) -> int:
+        return self.shard(self.owner_of(patient_id)).birth_day_of(patient_id)
+
+    def sex_of(self, patient_id: int) -> str:
+        return self.shard(self.owner_of(patient_id)).sex_of(patient_id)
+
+    def materialize(self, patient_id: int):
+        """Build one patient's :class:`History` from their shard alone."""
+        return self.shard(self.owner_of(patient_id)).materialize(patient_id)
+
+    def to_cohort(self, patient_ids: Iterable[int] | None = None):
+        from repro.events.model import Cohort  # noqa: PLC0415 (cheap)
+
+        ids = (self.patient_ids.tolist() if patient_ids is None
+               else patient_ids)
+        return Cohort(self.materialize(int(p)) for p in ids)
+
+    @property
+    def patient_ids(self) -> np.ndarray:
+        """All patient ids, sorted (concatenated from every shard)."""
+        if self._patient_ids is None:
+            parts = [shard.patient_ids for shard in self.iter_shards()]
+            merged = (np.sort(np.concatenate(parts)) if parts
+                      else np.empty(0, dtype=np.int64))
+            merged.setflags(write=False)
+            self._patient_ids = merged
+        return self._patient_ids
+
+    # -- whole-store fallback ------------------------------------------------
+
+    def materialize_store(self) -> EventStore:
+        """Merge every shard into one in-memory ``EventStore``.
+
+        Rows are re-sorted globally by ``(patient, day)``, so the result
+        is indistinguishable from loading the equivalent flat store —
+        the anchor for the viz/stats/export paths and for
+        :func:`repro.io.merge_stores`.  Cached after the first call.
+        """
+        if self._materialized is None:
+            shards = list(self.iter_shards())
+            columns = {
+                name: np.concatenate(
+                    [np.asarray(getattr(s, name)) for s in shards]
+                )
+                for name in (
+                    "patient", "day", "end", "is_point", "category",
+                    "system", "code", "value", "value2", "source", "detail",
+                    "patient_ids", "birth_days", "sexes",
+                )
+            }
+            order = np.lexsort((columns["day"], columns["patient"]))
+            for name in ("patient", "day", "end", "is_point", "category",
+                         "system", "code", "value", "value2", "source",
+                         "detail"):
+                columns[name] = columns[name][order]
+            pid_order = np.argsort(columns["patient_ids"], kind="stable")
+            for name in ("patient_ids", "birth_days", "sexes"):
+                columns[name] = columns[name][pid_order]
+            self._materialized = EventStore(
+                systems=self.systems,
+                system_names=self.system_names,
+                categories=self.categories,
+                sources=self.sources,
+                details=self.details,
+                **columns,
+            )
+        return self._materialized
+
+    def __getattr__(self, name: str):
+        # Anything not implemented shard-wise (column arrays, mask
+        # methods, iter_events, ...) resolves against the materialized
+        # merged store.  Dunder lookups stay errors so copy/pickle
+        # protocols don't silently materialize gigabytes.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self.materialize_store(), name)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedEventStore({self.path!r}: {self.n_shards} shards, "
+            f"{self.n_patients} patients, {self.n_events} events)"
+        )

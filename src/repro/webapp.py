@@ -15,7 +15,10 @@ explored from a browser:
 * ``/stats`` — JSON serving metrics: store sizes plus the query
   planner's cache counters (hits/misses/evictions/entries).  The cache
   is per-process — one workbench engine serves every request — so the
-  counters aggregate the whole serving session.
+  counters aggregate the whole serving session.  A workbench serving a
+  sharded on-disk store (:mod:`repro.shard`) additionally reports shard
+  counters: shard count, how many segments are resident, partition
+  scheme, and the scatter-gather executor's mode/worker/query totals.
 
 Hardening: malformed query parameters answer 400 with a readable error,
 each request can carry a wall-clock deadline (503 on overrun), and a
@@ -170,6 +173,9 @@ class _Handler(BaseHTTPRequestHandler):
             "events": int(store.n_events),
             "query_cache": self.workbench.query_cache_stats(),
         }
+        shards = self.workbench.shard_stats()
+        if shards is not None:
+            payload["shards"] = shards
         self._send(json.dumps(payload, sort_keys=True),
                    "application/json", 200)
 

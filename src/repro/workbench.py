@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.cohort.alignment import Alignment, compute_alignment
 from repro.cohort.stats import CohortStats, summarize
-from repro.config import ResilienceConfig, WorkbenchConfig
+from repro.config import ResilienceConfig, ShardConfig, WorkbenchConfig
 from repro.events.model import Cohort
 from repro.events.store import EventStore
 from repro.nsepter.graph import HistoryGraph, build_graph
@@ -61,6 +61,7 @@ class Workbench:
         store: EventStore,
         report: IntegrationReport | None = None,
         config: WorkbenchConfig | None = None,
+        executor=None,
     ) -> None:
         self.store = store
         self.report = report
@@ -72,6 +73,7 @@ class Workbench:
                 max_entries=self.config.query_cache_entries,
                 max_bytes=self.config.query_cache_bytes,
             ),
+            executor=executor,
         )
 
     # -- construction -------------------------------------------------------
@@ -111,6 +113,29 @@ class Workbench:
     ) -> "Workbench":
         """Adopt an already-built event store."""
         return cls(store, config=config)
+
+    @classmethod
+    def from_shards(
+        cls,
+        path: str,
+        config: WorkbenchConfig | None = None,
+        shard_config: "ShardConfig | None" = None,
+    ) -> "Workbench":
+        """Serve a cohort straight from a sharded on-disk store.
+
+        Queries run scatter-gather across the shard segments (see
+        :mod:`repro.shard`); rendering and statistics materialize
+        lazily.  ``shard_config`` tunes worker count, checksum
+        verification and memory mapping.
+        """
+        from repro.shard import (  # noqa: PLC0415 (cycle via query.engine)
+            ParallelExecutor,
+            ShardedEventStore,
+        )
+
+        store = ShardedEventStore(path, config=shard_config)
+        executor = ParallelExecutor(config=store.config)
+        return cls(store, config=config, executor=executor)
 
     # -- health ---------------------------------------------------------------
 
@@ -164,6 +189,26 @@ class Workbench:
     def query_cache_stats(self) -> dict:
         """JSON-ready query-cache counters (the ``/stats`` payload)."""
         return self.engine.cache_stats()
+
+    @property
+    def is_sharded(self) -> bool:
+        """Is this workbench serving from a sharded on-disk store?"""
+        return self.engine.is_sharded
+
+    def shard_stats(self) -> dict | None:
+        """JSON-ready shard/executor counters, or None for flat stores."""
+        if not self.is_sharded:
+            return None
+        store = self.store
+        payload = {
+            "n_shards": int(store.n_shards),
+            "open_shards": int(store.open_shard_count),
+            "partition": store.partition,
+            "path": store.path,
+        }
+        if self.engine.executor is not None:
+            payload["executor"] = self.engine.executor.stats_dict()
+        return payload
 
     def cohort(self, patient_ids: list[int] | np.ndarray) -> Cohort:
         """Materialize histories for the given patients."""

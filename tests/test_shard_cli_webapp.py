@@ -1,0 +1,136 @@
+"""CLI and web-workbench coverage for the sharded store.
+
+``repro shard build|info|verify`` manage shard directories, ``repro
+query`` auto-detects a directory store (``--shards`` asserts it,
+``--workers`` sizes the scatter-gather pool), and a workbench served
+from shards reports shard/executor counters on ``/stats``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.webapp import WorkbenchServer
+from repro.workbench import Workbench
+
+
+@pytest.fixture(scope="module")
+def store_path(tmp_path_factory) -> str:
+    path = str(tmp_path_factory.mktemp("shardcli") / "store.npz")
+    assert main(["generate", "--patients", "400", "--seed", "5",
+                 "--out", path]) == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def shard_dir(store_path, tmp_path_factory) -> str:
+    out = str(tmp_path_factory.mktemp("shardcli") / "cohort.shards")
+    assert main(["shard", "build", store_path, "--out", out,
+                 "--shards", "3"]) == 0
+    return out
+
+
+class TestShardBuild:
+    def test_reports_layout(self, store_path, tmp_path, capsys):
+        out = str(tmp_path / "built.shards")
+        assert main(["shard", "build", store_path, "--out", out,
+                     "--shards", "2", "--partition", "range"]) == 0
+        printed = capsys.readouterr().out
+        assert "2 range-partitioned shard(s)" in printed
+        assert os.path.exists(os.path.join(out, "manifest.json"))
+
+    def test_info(self, shard_dir, capsys):
+        assert main(["shard", "info", shard_dir]) == 0
+        out = capsys.readouterr().out
+        assert "shards:     3" in out
+        assert "shard-0000" in out
+
+    def test_verify_clean(self, shard_dir, capsys):
+        assert main(["shard", "verify", shard_dir]) == 0
+        assert "verified 3 shard(s)" in capsys.readouterr().out
+
+    def test_verify_detects_corruption(self, store_path, tmp_path, capsys):
+        out = str(tmp_path / "corrupt.shards")
+        assert main(["shard", "build", store_path, "--out", out,
+                     "--shards", "2"]) == 0
+        column = os.path.join(out, "shard-0000", "code.npy")
+        with open(column, "r+b") as f:
+            f.seek(200)
+            byte = f.read(1)
+            f.seek(200)
+            f.write(bytes([byte[0] ^ 0xFF]))
+        assert main(["shard", "verify", out]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestQueryOverShards:
+    def test_directory_store_is_autodetected(self, shard_dir, capsys):
+        assert main(["query", shard_dir, "concept T90"]) == 0
+        out = capsys.readouterr().out
+        assert "scatter-gather: 3 shards" in out
+
+    def test_results_match_flat_store(self, store_path, shard_dir, capsys):
+        assert main(["query", store_path, "concept T90 or sex F"]) == 0
+        flat = capsys.readouterr().out
+        assert main(["query", shard_dir, "concept T90 or sex F",
+                     "--shards", "--workers", "1"]) == 0
+        sharded = capsys.readouterr().out
+        assert flat.splitlines()[0] == sharded.splitlines()[0]
+
+    def test_shards_flag_rejects_flat_store(self, store_path, capsys):
+        assert main(["query", store_path, "concept T90", "--shards"]) == 1
+        assert "--shards requires" in capsys.readouterr().err
+
+    def test_stats_over_shards(self, shard_dir, capsys):
+        assert main(["stats", shard_dir]) == 0
+        assert "patients" in capsys.readouterr().out
+
+
+class TestWebappOverShards:
+    @pytest.fixture(scope="class")
+    def server(self, shard_dir):
+        wb = Workbench.from_shards(shard_dir)
+        with WorkbenchServer(wb) as running:
+            yield running
+
+    def _get(self, server, path: str) -> tuple[int, str]:
+        with urllib.request.urlopen(server.url + path,
+                                    timeout=15) as response:
+            return response.status, response.read().decode("utf-8")
+
+    def test_stats_reports_shard_counters(self, server):
+        status, body = self._get(server, "/stats")
+        assert status == 200
+        payload = json.loads(body)
+        shards = payload["shards"]
+        assert shards["n_shards"] == 3
+        assert shards["partition"] == "hash"
+        assert "executor" in shards
+
+    def test_cohort_page_serves_from_shards(self, server):
+        status, body = self._get(server, "/cohort?q=concept%20T90")
+        assert status == 200
+        assert "patients match" in body
+
+    def test_executor_counters_advance(self, server):
+        before = json.loads(self._get(server, "/stats")[1])
+        self._get(server, "/cohort?q=sex%20F")
+        after = json.loads(self._get(server, "/stats")[1])
+        assert after["shards"]["executor"]["queries"] \
+            > before["shards"]["executor"]["queries"]
+
+    def test_patient_page_routes_through_owning_shard(self, server):
+        status, body = self._get(server, "/cohort?q=concept%20T90")
+        pid = body.split("/patient/")[1].split('"')[0]
+        status, page = self._get(server, f"/patient/{pid}")
+        assert status == 200
+        assert "timeline" in page.lower()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])
