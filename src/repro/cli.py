@@ -16,12 +16,18 @@ Python:
 * ``quarantine`` — inspect (``show``) or re-integrate (``replay``) the
   dead-letter store written during a resilient ingestion;
 * ``shard`` — ``build`` a sharded on-disk store from a ``.npz``
-  snapshot, print its ``info``, or ``verify`` every column checksum.
+  snapshot, print its ``info``, ``verify`` every column checksum,
+  ``fsck`` a full health report, or ``repair`` damaged shards from a
+  flat snapshot / sibling store (``--from``).
 
 Every command that reads a store accepts either a ``.npz`` snapshot or
 a sharded store directory (detected automatically; ``query --shards``
 asserts the input is sharded and ``--workers`` sizes the scatter-gather
-pool).
+pool).  ``--on-damage quarantine`` opens a damaged sharded store in
+degraded mode instead of failing; a ``query`` that returns degraded
+(partial) results exits with status **3** so scripts can tell "complete
+answer" (0) from "answer missing quarantined shards" (3) from "error"
+(1; argparse itself owns 2).
 
 Example::
 
@@ -73,9 +79,19 @@ def build_parser() -> argparse.ArgumentParser:
                         "file for later replay")
     p.add_argument("--out", required=True, help="output .npz path")
 
+    def _add_on_damage(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--on-damage", choices=("fail", "quarantine"), default=None,
+            dest="on_damage",
+            help="for sharded stores: 'fail' refuses to open a damaged "
+                 "store (default); 'quarantine' moves damaged shards "
+                 "aside and serves degraded, partial results",
+        )
+
     p = sub.add_parser("stats", help="summarize a store")
     p.add_argument("store", help="input .npz path")
     p.add_argument("--query", default=None)
+    _add_on_damage(p)
 
     p = sub.add_parser("select", help="run a query, write ids as CSV")
     p.add_argument("store")
@@ -101,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="scatter-gather worker processes (default: "
                         "min(4, cpus); 1 forces serial)")
+    _add_on_damage(p)
 
     p = sub.add_parser("timeline", help="render the cohort timeline SVG")
     p.add_argument("store")
@@ -149,6 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
                    default="serve",
                    help="what to serve while sources are degraded: "
                         "banner ('serve') or all-routes 503 ('fail')")
+    _add_on_damage(p)
 
     p = sub.add_parser("shard",
                        help="build, inspect or verify a sharded store")
@@ -166,8 +184,26 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("dir", help="shard directory")
     s = ssub.add_parser("verify",
                         help="re-hash every column file against the "
-                             "manifests")
+                             "manifests (nonzero exit on any failure)")
     s.add_argument("dir", help="shard directory")
+    s.add_argument("--json", action="store_true",
+                   help="machine-readable per-shard report on stdout")
+    s = ssub.add_parser("fsck",
+                        help="full health report: every shard, every "
+                             "column, quarantine state")
+    s.add_argument("dir", help="shard directory")
+    s.add_argument("--json", action="store_true",
+                   help="machine-readable report on stdout")
+    s = ssub.add_parser("repair",
+                        help="salvage or rebuild damaged shards, then "
+                             "re-verify (exit 0 only when clean)")
+    s.add_argument("dir", help="shard directory")
+    s.add_argument("--from", dest="source", default=None, metavar="SOURCE",
+                   help="repair source: the flat .npz the store was "
+                        "sharded from, or a sibling sharded-store "
+                        "directory (salvageable shards need none)")
+    s.add_argument("--json", action="store_true",
+                   help="machine-readable report on stdout")
 
     p = sub.add_parser("quarantine",
                        help="inspect or replay the dead-letter store")
@@ -188,7 +224,8 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_workbench(path: str, workers: int | None = None):
+def _load_workbench(path: str, workers: int | None = None,
+                    on_damage: str | None = None):
     """A workbench over a ``.npz`` snapshot or a sharded store directory."""
     import os
 
@@ -197,9 +234,14 @@ def _load_workbench(path: str, workers: int | None = None):
     if os.path.isdir(path):
         from repro.config import ShardConfig
 
-        shard_config = (
-            ShardConfig(n_workers=workers) if workers is not None else None
-        )
+        shard_config = None
+        if workers is not None or on_damage is not None:
+            kwargs: dict = {}
+            if workers is not None:
+                kwargs["n_workers"] = workers
+            if on_damage is not None:
+                kwargs["on_damage"] = on_damage
+            shard_config = ShardConfig(**kwargs)
         return Workbench.from_shards(path, shard_config=shard_config)
     from repro.io import load_store
 
@@ -266,7 +308,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _dispatch_shard(args)
 
     wb = _load_workbench(args.store,
-                         workers=getattr(args, "workers", None))
+                         workers=getattr(args, "workers", None),
+                         on_damage=getattr(args, "on_damage", None))
 
     if args.command == "stats":
         ids = wb.select(args.query) if args.query else None
@@ -296,6 +339,13 @@ def _dispatch(args: argparse.Namespace) -> int:
         if args.explain:
             print()
             print(wb.explain(args.query))
+        degradation = wb._shard_degradation() if wb.is_sharded else None
+        if degradation is not None and degradation.is_degraded:
+            # Partial answer: exit 3, distinct from success (0) and
+            # errors (1), so scripts cannot mistake a degraded count
+            # for a complete one.
+            print(degradation.format_summary(), file=sys.stderr)
+            return 3
         return 0
 
     if args.command == "select":
@@ -418,18 +468,63 @@ def _dispatch_shard(args: argparse.Namespace) -> int:
         return 0
 
     if args.shard_command == "verify":
-        import os
+        import json
 
-        from repro.shard import read_store_manifest, verify_segment
+        from repro.shard import fsck_store, read_store_manifest
 
         manifest = read_store_manifest(args.dir)
-        for entry in manifest["shards"]:
-            verify_segment(os.path.join(args.dir, entry["name"]))
-            print(f"  {entry['name']}: ok "
-                  f"({entry['n_events']:,} events)")
-        print(f"verified {manifest['n_shards']} shard(s): "
-              f"all column checksums match")
-        return 0
+        report = fsck_store(args.dir)
+        if args.json:
+            print(json.dumps(report.to_json(), indent=1, sort_keys=True))
+        else:
+            entries = {e["name"]: e for e in manifest["shards"]}
+            for health in report.shards:
+                if health.status == "ok":
+                    entry = entries[health.name]
+                    print(f"  {health.name}: ok "
+                          f"({entry['n_events']:,} events)")
+        # Damage goes to stderr (and the exit code) even with --json on
+        # stdout, so a pipeline consuming the report still sees failures.
+        for health in report.damaged:
+            print(f"error: {health.name}: {health.status}: "
+                  f"{health.detail}", file=sys.stderr)
+        if report.ok and not args.json:
+            print(f"verified {manifest['n_shards']} shard(s): "
+                  f"all column checksums match")
+        return 0 if report.ok else 1
+
+    if args.shard_command == "fsck":
+        import json
+
+        from repro.shard import fsck_store
+
+        report = fsck_store(args.dir)
+        if args.json:
+            print(json.dumps(report.to_json(), indent=1, sort_keys=True))
+        else:
+            print(report.format_summary())
+        return 0 if report.ok else 1
+
+    if args.shard_command == "repair":
+        import json
+
+        from repro.shard import fsck_store, repair_store
+
+        report = repair_store(args.dir, source=args.source)
+        post = fsck_store(args.dir)
+        if args.json:
+            payload = report.to_json()
+            payload["verified_clean"] = post.ok
+            print(json.dumps(payload, indent=1, sort_keys=True))
+        else:
+            print(report.format_summary())
+            print("post-repair verification: "
+                  + ("clean" if post.ok else "STILL DAMAGED"))
+        for action in report.actions:
+            if action.action == "unrepairable":
+                print(f"error: {action.name}: {action.detail}",
+                      file=sys.stderr)
+        return 0 if report.ok and post.ok else 1
 
     raise AssertionError(f"unhandled shard command {args.shard_command!r}")
 

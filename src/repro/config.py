@@ -97,6 +97,28 @@ class ShardConfig:
         mmap: open column files with ``np.load(mmap_mode="r")`` so a
             shard costs address space, not resident memory, until its
             columns are actually touched.
+        on_damage: what a :class:`~repro.shard.store.ShardedEventStore`
+            does with a shard that fails checksum/format verification.
+            ``"fail"`` (default) raises, making the whole store
+            unopenable — the strict mode.  ``"quarantine"`` moves the
+            damaged segment aside into a ``quarantine/`` directory,
+            appends a damage report to ``quarantine/damage.jsonl``,
+            opens the store with the surviving shards, and marks every
+            query result as degraded (see
+            :class:`~repro.shard.store.QueryDegradation`).
+        max_pool_rebuilds: how many times the scatter-gather executor
+            rebuilds a crashed process pool over its lifetime before
+            the serial fallback becomes permanent.  Each recovery probe
+            after a pool failure spends one rebuild from this budget.
+        shard_timeout_s: wall-clock budget for one shard's evaluation on
+            the process-pool path (``None`` = unlimited).  An overrun is
+            treated as a per-shard failure: retried, then circuit-broken.
+        shard_max_retries: in-process retries for a failed per-shard
+            evaluation (seeded exponential backoff via
+            :class:`~repro.resilience.retry.RetryPolicy`).
+        shard_failure_threshold: consecutive failures before one shard's
+            query-time circuit breaker opens; an open breaker quarantines
+            the shard under ``on_damage="quarantine"``.
     """
 
     n_workers: int | None = None
@@ -104,6 +126,11 @@ class ShardConfig:
     partition: str = "hash"
     verify_checksums: bool = True
     mmap: bool = True
+    on_damage: str = "fail"
+    max_pool_rebuilds: int = 3
+    shard_timeout_s: float | None = None
+    shard_max_retries: int = 2
+    shard_failure_threshold: int = 3
 
     def resolved_workers(self) -> int:
         """The effective worker count (``None`` -> ``min(4, cpus)``)."""

@@ -124,6 +124,25 @@ class ShardChecksumError(ShardStoreError):
         self.actual = actual
 
 
+class ShardQuarantinedError(ShardStoreError):
+    """A shard is quarantined: present in the store but excluded from
+    serving until ``shard repair`` restores it."""
+
+    def __init__(self, shard: str, reason: str) -> None:
+        super().__init__(f"shard {shard!r} is quarantined: {reason}")
+        self.shard = shard
+        self.reason = reason
+
+
+class ShardRepairError(ShardStoreError):
+    """A damaged shard could not be repaired (no usable repair source)."""
+
+    def __init__(self, shard: str, detail: str) -> None:
+        super().__init__(f"cannot repair shard {shard!r}: {detail}")
+        self.shard = shard
+        self.detail = detail
+
+
 class QueryError(ReproError):
     """A malformed query expression or an evaluation failure."""
 

@@ -138,41 +138,57 @@ def load_store(path: str) -> EventStore:
         return store
 
 
-def append_jsonl(path: str, entries: "list[dict]") -> None:
+def append_jsonl(path: str, entries: "list[dict]",
+                 fsync: bool = False) -> None:
     """Append one JSON object per line (the dead-letter store format).
 
     Appending keeps quarantine writes crash-tolerant: every already
     written line stays valid whatever happens to the process mid-run.
+    With ``fsync=True`` the lines are flushed and fsynced before the
+    call returns, so a crash immediately afterwards cannot lose them —
+    the durability contract of the record quarantine.
     """
     with open(path, "a", encoding="utf-8") as f:
         for entry in entries:
             f.write(json.dumps(entry, sort_keys=True))
             f.write("\n")
+        if fsync:
+            f.flush()
+            os.fsync(f.fileno())
 
 
-def read_jsonl(path: str) -> "list[dict]":
+def read_jsonl(path: str, tolerate_torn_tail: bool = False) -> "list[dict]":
     """Read a JSONL file written by :func:`append_jsonl`.
 
     A missing file reads as empty (a quarantine that never received a
     record).  Malformed lines raise :class:`EventModelError` with the
     line number — a dead-letter store must never lose records silently.
+    The one exception is ``tolerate_torn_tail=True``: a malformed *final*
+    line is the signature of a crash mid-append (the write never
+    completed, so it never was a durable record) and is skipped; a
+    malformed line anywhere else still raises.
     """
-    import os
-
     if not os.path.exists(path):
         return []
     entries: list[dict] = []
     with open(path, encoding="utf-8") as f:
-        for lineno, line in enumerate(f, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                entries.append(json.loads(line))
-            except json.JSONDecodeError as exc:
-                raise EventModelError(
-                    f"malformed JSONL at {path}:{lineno}: {exc}"
-                ) from exc
+        lines = f.read().split("\n")
+    last_content = 0
+    for lineno, line in enumerate(lines, start=1):
+        if line.strip():
+            last_content = lineno
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entries.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if tolerate_torn_tail and lineno == last_content:
+                break
+            raise EventModelError(
+                f"malformed JSONL at {path}:{lineno}: {exc}"
+            ) from exc
     return entries
 
 

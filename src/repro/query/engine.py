@@ -361,8 +361,13 @@ class QueryEngine:
             f" of {self.store.n_patients:,} patients",
             f"cache: {stats.hits} hits, {stats.misses} misses, "
             f"{len(self.cache)} entries",
-            "",
         ]
+        degradation = getattr(self.store, "degradation", None)
+        if callable(degradation):
+            record = degradation()
+            if record.is_degraded:
+                header.append(record.format_summary())
+        header.append("")
         return "\n".join(header) + format_plan(
             plan, self.estimator, is_cached=is_cached
         )

@@ -21,7 +21,7 @@ import random
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 
-from repro.errors import SourceUnavailableError
+from repro.errors import SimulationError, SourceUnavailableError
 from repro.sources.schema import (
     GPClaim,
     HospitalEpisode,
@@ -32,8 +32,12 @@ from repro.sources.schema import (
 
 __all__ = [
     "CORRUPTION_MARKER",
+    "KILL_WORKER_ENV",
     "FaultPlan",
     "FaultySource",
+    "ShardFaultPlan",
+    "apply_shard_faults",
+    "claim_worker_kill",
     "corrupt_record",
     "repair_record",
 ]
@@ -171,3 +175,113 @@ class _FaultyIterator(Iterator[RawRecord]):
             record = corrupt_record(record)
         self._index += 1
         return record
+
+# -- shard-layer fault injection -----------------------------------------------
+
+#: When set, its value is a *token file* path; a pool worker that claims
+#: the token (by deleting it) hard-exits, simulating a crash mid-query.
+KILL_WORKER_ENV = "REPRO_FAULT_KILL_WORKER"
+
+
+def claim_worker_kill() -> bool:
+    """Claim the worker-kill token (exactly-once across processes).
+
+    The token is a file: ``os.unlink`` is atomic, so of all the pool
+    workers racing on it exactly one succeeds and dies — the chaos
+    harness gets one hard crash per planted token, deterministic in
+    count if not in victim.
+    """
+    import os
+
+    token = os.environ.get(KILL_WORKER_ENV)
+    if not token:
+        return False
+    try:
+        os.unlink(token)
+    except OSError:
+        return False  # another worker claimed it (or it never existed)
+    return True
+
+
+@dataclass(frozen=True)
+class ShardFaultPlan:
+    """On-disk damage to inflict on a sharded store (seeded, replayable).
+
+    Each counter picks that many *distinct* shards (a shard receives at
+    most one fault, so expectations about surviving shards stay simple):
+
+    Attributes:
+        seed: drives shard/column/offset selection.
+        flip_bytes: shards that get one byte XOR-flipped in a random
+            column file (checksum damage).
+        truncate_segments: shards that get one column file cut to half
+            its length (torn-write damage; also a checksum mismatch).
+        delete_manifests: shards whose ``manifest.json`` is deleted
+            (format damage).
+    """
+
+    seed: int = 0
+    flip_bytes: int = 0
+    truncate_segments: int = 0
+    delete_manifests: int = 0
+
+
+def apply_shard_faults(store_dir: str, plan: ShardFaultPlan) -> "list[dict]":
+    """Damage a sharded store on disk per ``plan``; list what was done.
+
+    Returns one record per fault (``shard``, ``fault``, plus ``column``
+    and ``offset`` where meaningful), so tests know exactly which shards
+    must end up quarantined.
+    """
+    import os
+
+    # Imported lazily: repro.shard.executor imports this module's
+    # claim_worker_kill (itself lazily), so a module-level import here
+    # would complete the cycle.
+    from repro.shard.format import (  # noqa: PLC0415
+        COLUMNS,
+        MANIFEST_NAME,
+        read_store_manifest,
+    )
+
+    manifest = read_store_manifest(store_dir)
+    names = [entry["name"] for entry in manifest["shards"]]
+    total = plan.flip_bytes + plan.truncate_segments + plan.delete_manifests
+    if total > len(names):
+        raise SimulationError(
+            f"fault plan wants {total} damaged shards but the store has "
+            f"only {len(names)}"
+        )
+    rng = random.Random(plan.seed)
+    chosen = rng.sample(range(len(names)), total)
+    applied: list[dict] = []
+    cursor = 0
+    for _ in range(plan.flip_bytes):
+        name = names[chosen[cursor]]
+        cursor += 1
+        column = rng.choice(COLUMNS)
+        path = os.path.join(store_dir, name, f"{column}.npy")
+        offset = rng.randrange(os.path.getsize(path))
+        with open(path, "rb+") as f:
+            f.seek(offset)
+            original = f.read(1)
+            f.seek(offset)
+            f.write(bytes([original[0] ^ 0xFF]))
+        applied.append({"shard": name, "fault": "flip_byte",
+                        "column": column, "offset": offset})
+    for _ in range(plan.truncate_segments):
+        name = names[chosen[cursor]]
+        cursor += 1
+        column = rng.choice(COLUMNS)
+        path = os.path.join(store_dir, name, f"{column}.npy")
+        size = os.path.getsize(path)
+        with open(path, "rb+") as f:
+            f.truncate(max(1, size // 2))
+        applied.append({"shard": name, "fault": "truncate",
+                        "column": column, "offset": max(1, size // 2)})
+    for _ in range(plan.delete_manifests):
+        name = names[chosen[cursor]]
+        cursor += 1
+        os.unlink(os.path.join(store_dir, name, MANIFEST_NAME))
+        applied.append({"shard": name, "fault": "delete_manifest"})
+    return applied

@@ -108,12 +108,51 @@ class QuarantineStore:
 
     # -- writing -----------------------------------------------------------
 
+    def _heal_torn_tail(self) -> None:
+        """Restore line framing after a crash mid-append.
+
+        A torn final line is either a complete JSON object missing only
+        its newline (the crash hit between the two writes — terminate
+        it) or a partial payload that never became a durable record
+        (truncate it, so the next append cannot concatenate onto
+        garbage and corrupt an otherwise-good line).
+        """
+        import json
+        import os
+
+        try:
+            if os.path.getsize(self.path) == 0:
+                return
+        except OSError:
+            return  # no file yet: nothing to heal
+        with open(self.path, "rb+") as f:
+            data = f.read()
+            if data.endswith(b"\n"):
+                return
+            cut = data.rfind(b"\n") + 1
+            tail = data[cut:]
+            try:
+                json.loads(tail.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                f.truncate(cut)
+            else:
+                f.write(b"\n")
+            f.flush()
+            os.fsync(f.fileno())
+
     def add(self, source: str, record: RawRecord, reason: str) -> None:
-        """Persist one failed record with its failure reason."""
+        """Persist one failed record with its failure reason.
+
+        Durable: the line is flushed and fsynced before returning, so a
+        crash right after ``add`` cannot lose the dead letter; a torn
+        line left by a *previous* crash is healed first so this append
+        starts on a clean line boundary.
+        """
+        self._heal_torn_tail()
         entry = QuarantinedRecord(
             seq=len(self), source=source, reason=reason, record=record
         )
-        append_jsonl(self.path, [entry.to_json()])
+        append_jsonl(self.path, [entry.to_json()], fsync=True)
 
     def clear(self) -> int:
         """Drop every dead letter; returns how many were dropped."""
@@ -126,11 +165,19 @@ class QuarantineStore:
     # -- reading -----------------------------------------------------------
 
     def records(self) -> list[QuarantinedRecord]:
-        """All dead letters, in quarantine order."""
-        return [QuarantinedRecord.from_json(e) for e in read_jsonl(self.path)]
+        """All dead letters, in quarantine order.
+
+        A malformed *final* line (a crash mid-append) is skipped — it
+        never completed, so it never was a durable record; malformed
+        lines anywhere else still raise.
+        """
+        return [
+            QuarantinedRecord.from_json(e)
+            for e in read_jsonl(self.path, tolerate_torn_tail=True)
+        ]
 
     def __len__(self) -> int:
-        return len(read_jsonl(self.path))
+        return len(read_jsonl(self.path, tolerate_torn_tail=True))
 
     def reasons_by_source(self) -> dict[str, list[str]]:
         """source -> failure reasons (for reports and the CLI)."""

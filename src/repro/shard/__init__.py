@@ -15,7 +15,16 @@ the patient-id results.
 * :mod:`repro.shard.store` — :class:`ShardedEventStore`, a lazy,
   mmap-backed store exposing the same query surface as ``EventStore``;
 * :mod:`repro.shard.executor` — :class:`ParallelExecutor`, the
-  scatter-gather evaluation engine (process pool with serial fallback).
+  self-healing scatter-gather evaluation engine (process pool with
+  per-shard retry/circuit-breaking, pool rebuilds, serial fallback);
+* :mod:`repro.shard.repair` — offline ``fsck``/``repair``: re-verify
+  every shard, salvage token-verified columns, rebuild damaged shards
+  from a flat snapshot or a sibling store's merged view.
+
+Damaged shards follow :class:`repro.config.ShardConfig.on_damage`:
+the strict default raises on open; ``"quarantine"`` moves the damage
+aside and serves degraded, partial results (every query carries a
+:class:`~repro.shard.store.QueryDegradation` record).
 
 Example::
 
@@ -35,17 +44,36 @@ from repro.shard.format import (
     verify_segment,
     write_segment,
 )
-from repro.shard.store import ShardedEventStore, is_shard_store
+from repro.shard.repair import (
+    FsckReport,
+    RepairAction,
+    RepairReport,
+    ShardHealth,
+    fsck_store,
+    repair_store,
+)
+from repro.shard.store import (
+    QueryDegradation,
+    ShardedEventStore,
+    is_shard_store,
+)
 from repro.shard.writer import ShardedStoreWriter, subset_store, write_sharded_store
 
 __all__ = [
+    "FsckReport",
     "ParallelExecutor",
+    "QueryDegradation",
+    "RepairAction",
+    "RepairReport",
     "SHARD_FORMAT_VERSION",
+    "ShardHealth",
     "ShardedEventStore",
     "ShardedStoreWriter",
+    "fsck_store",
     "is_shard_store",
     "open_segment",
     "read_store_manifest",
+    "repair_store",
     "subset_store",
     "verify_segment",
     "write_sharded_store",

@@ -17,9 +17,24 @@ union of the per-shard answers.
   granularity; or
 * **in parallel** via a lazily spawned ``ProcessPoolExecutor`` — workers
   open their own memory-mapped shard handles (cached per process) and
-  return plain patient-id arrays.  Any pool-infrastructure failure
-  (a dead worker, an unpicklable environment) falls back to the serial
-  path and stays there; query errors propagate unchanged.
+  return plain patient-id arrays.
+
+The executor is *self-healing*, at two granularities:
+
+* **Per shard**: a failed or timed-out shard evaluation is retried
+  in-process with the seeded backoff of
+  :class:`~repro.resilience.retry.RetryPolicy`; a per-shard
+  :class:`~repro.resilience.circuit.CircuitBreaker` tracks consecutive
+  failures.  Definite damage (checksum/format errors) skips the retries.
+  When the store was opened with ``on_damage="quarantine"``, an
+  exhausted shard is quarantined at query time and the query completes
+  degraded; under the strict default the error propagates.
+* **Per pool**: pool-infrastructure failures (a dead worker, an
+  unpicklable environment, fork refusal) fall back to the serial path
+  for the failing query, then *probe* parallel again on the next query,
+  rebuilding the pool — each probe spends one rebuild from
+  ``ShardConfig.max_pool_rebuilds``.  Only once that budget is
+  exhausted does the serial fallback become permanent.
 
 Worker count comes from :class:`repro.config.ShardConfig` (``None`` →
 ``min(4, cpu_count)``; ``<= 1`` never spawns a pool).
@@ -27,15 +42,26 @@ Worker count comes from :class:`repro.config.ShardConfig` (``None`` →
 
 from __future__ import annotations
 
+import random
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from pickle import PicklingError
 
 import numpy as np
 
-from repro.config import ShardConfig
+from repro.config import DEFAULT_SEED, ShardConfig
+from repro.errors import (
+    DeadlineExceededError,
+    ShardChecksumError,
+    ShardFormatError,
+    ShardStoreError,
+)
 from repro.query.cache import QueryCache
 from repro.query.engine import QueryEngine
+from repro.resilience.circuit import CircuitBreaker
+from repro.resilience.retry import RetryPolicy
 
 __all__ = ["ParallelExecutor"]
 
@@ -44,12 +70,21 @@ _WORKER_STORES: dict = {}
 #: Per-worker-process query cache (shared across shards and queries).
 _WORKER_CACHE = QueryCache()
 
+#: Errors that mean "this shard's bytes are damaged" — retrying cannot
+#: help, so the recovery path goes straight to quarantine-or-raise.
+_DEFINITE_DAMAGE = (ShardChecksumError, ShardFormatError)
+
 
 def _eval_shard(path: str, index: int, expr, optimize: bool,
                 verify_checksums: bool) -> np.ndarray:
     """Worker entry point: evaluate one query on one shard."""
+    from repro.resilience.faults import claim_worker_kill  # noqa: PLC0415
     from repro.shard.store import ShardedEventStore  # noqa: PLC0415 (cycle)
 
+    if claim_worker_kill():
+        import os
+
+        os._exit(43)  # simulate a hard worker crash (chaos harness)
     sharded = _WORKER_STORES.get(path)
     if sharded is None:
         sharded = ShardedEventStore(
@@ -73,71 +108,198 @@ class ParallelExecutor:
     """Evaluates queries shard-by-shard and merges patient-id results.
 
     One executor is meant to live as long as its engine (the pool, the
-    serial-path cache and the counters are all per-executor); call
-    :meth:`close` (or use as a context manager) to reap worker
-    processes.
+    serial-path cache, the circuit breakers and the counters are all
+    per-executor); call :meth:`close` (or use as a context manager) to
+    reap worker processes.  A closed executor stays usable — the pool
+    respawns lazily on the next parallel query.
     """
 
     def __init__(self, config: ShardConfig | None = None,
                  n_workers: int | None = None,
-                 cache: QueryCache | None = None) -> None:
+                 cache: QueryCache | None = None,
+                 sleep=time.sleep, clock=time.monotonic) -> None:
         self.config = config or ShardConfig()
         self.n_workers = (self.config.resolved_workers()
                           if n_workers is None else max(1, int(n_workers)))
         self.cache = cache if cache is not None else QueryCache()
         self._pool: ProcessPoolExecutor | None = None
-        self._pool_broken = False
+        self._pool_failed = False   # last parallel attempt crashed the pool
+        self._pool_broken = False   # rebuild budget exhausted: serial forever
+        self._sleep = sleep
+        self._clock = clock
+        self._rng = random.Random(DEFAULT_SEED)
+        self._retry_policy = RetryPolicy(
+            max_retries=self.config.shard_max_retries,
+            backoff_base_s=0.01, backoff_max_s=0.25, jitter=0.5,
+        )
+        self._breakers: dict[str, CircuitBreaker] = {}
         self.queries = 0
         self.parallel_queries = 0
         self.serial_queries = 0
         self.pool_fallbacks = 0
+        self.pool_failures = 0
+        self.pool_rebuilds = 0
+        self.shard_retries = 0
+        self.query_time_quarantines = 0
         self.shards_scanned = 0
 
     # -- execution -----------------------------------------------------------
 
     def patients(self, sharded, expr, optimize: bool = True,
                  cache: QueryCache | None = None) -> np.ndarray:
-        """Sorted patient ids matching ``expr`` across every shard.
+        """Sorted patient ids matching ``expr`` across every serving shard.
 
         ``cache`` overrides the executor's serial-path result cache
         (e.g. the engine's own LRU); worker processes keep their own.
         """
         self.queries += 1
-        self.shards_scanned += sharded.n_shards
+        self.shards_scanned += len(self._active(sharded))
         if self.n_workers > 1 and sharded.n_shards > 1 \
                 and not self._pool_broken:
-            try:
-                return self._parallel(sharded, expr, optimize)
-            except (BrokenProcessPool, PicklingError, OSError):
-                # Pool infrastructure failed (worker died, environment
-                # not picklable, fork refused): degrade to serial and
-                # stop retrying the pool for this executor's lifetime.
-                self._pool_broken = True
-                self.pool_fallbacks += 1
-                self._shutdown_pool()
+            if self._pool_failed:
+                # Probing parallel again after a pool crash costs one
+                # rebuild from the budget; past the budget, serial is
+                # permanent — a pool that keeps dying is not coming back.
+                if self.pool_rebuilds >= self.config.max_pool_rebuilds:
+                    self._pool_broken = True
+                else:
+                    self.pool_rebuilds += 1
+                    self._pool_failed = False
+            if not self._pool_failed and not self._pool_broken:
+                try:
+                    return self._parallel(sharded, expr, optimize, cache)
+                except (BrokenProcessPool, PicklingError, OSError):
+                    # Pool infrastructure failed (worker died mid-query,
+                    # environment not picklable, fork refused): finish
+                    # this query serially and probe again next time.
+                    self.pool_failures += 1
+                    self.pool_fallbacks += 1
+                    self._pool_failed = True
+                    self._shutdown_pool()
         return self._serial(sharded, expr, optimize, cache)
+
+    def _active(self, sharded) -> list[int]:
+        indices = getattr(sharded, "active_indices", None)
+        if callable(indices):
+            return list(indices())
+        return list(range(sharded.n_shards))
+
+    def _shard_name(self, sharded, index: int) -> str:
+        entries = getattr(sharded, "shard_entries", None)
+        if entries is not None:
+            return str(entries[index]["name"])
+        return f"shard-{index:04d}"
 
     def _serial(self, sharded, expr, optimize: bool,
                 cache: QueryCache | None) -> np.ndarray:
         self.serial_queries += 1
         shared = cache if cache is not None else self.cache
         parts = []
-        for index in range(sharded.n_shards):
-            engine = QueryEngine(sharded.shard(index), optimize=optimize,
-                                 cache=shared)
-            parts.append(np.asarray(engine.patients(expr)))
+        for index in self._active(sharded):
+            try:
+                part = self._eval_serial(sharded, index, expr, optimize,
+                                         shared)
+            except (ShardStoreError, DeadlineExceededError, OSError) as exc:
+                part = self._recover_shard(sharded, index, expr, optimize,
+                                           shared, exc)
+            if part is not None:
+                parts.append(part)
         return _merge_patient_results(parts)
 
-    def _parallel(self, sharded, expr, optimize: bool) -> np.ndarray:
+    def _eval_serial(self, sharded, index: int, expr, optimize: bool,
+                     cache: QueryCache) -> np.ndarray:
+        engine = QueryEngine(sharded.shard(index), optimize=optimize,
+                             cache=cache)
+        return np.asarray(engine.patients(expr))
+
+    def _parallel(self, sharded, expr, optimize: bool,
+                  cache: QueryCache | None) -> np.ndarray:
         pool = self._ensure_pool()
+        shared = cache if cache is not None else self.cache
         futures = [
-            pool.submit(_eval_shard, sharded.path, index, expr, optimize,
-                        sharded.config.verify_checksums)
-            for index in range(sharded.n_shards)
+            (index,
+             pool.submit(_eval_shard, sharded.path, index, expr, optimize,
+                         sharded.config.verify_checksums))
+            for index in self._active(sharded)
         ]
-        parts = [future.result() for future in futures]
+        timeout = self.config.shard_timeout_s
+        parts = []
+        for index, future in futures:
+            try:
+                part = np.asarray(future.result(timeout=timeout))
+                self._breaker(sharded, index).record_success()
+            except (BrokenProcessPool, PicklingError):
+                raise  # pool-level failure: the caller rebuilds/falls back
+            except _FuturesTimeout:
+                # The worker is still grinding; the query cannot wait.
+                # Re-evaluate in-process through the recovery path (the
+                # straggler's result is discarded when it arrives).
+                exc = DeadlineExceededError(
+                    f"shard {self._shard_name(sharded, index)} exceeded "
+                    f"the {timeout}s per-shard budget"
+                )
+                part = self._recover_shard(sharded, index, expr, optimize,
+                                           shared, exc)
+            except (ShardStoreError, DeadlineExceededError) as exc:
+                part = self._recover_shard(sharded, index, expr, optimize,
+                                           shared, exc)
+            if part is not None:
+                parts.append(part)
         self.parallel_queries += 1
         return _merge_patient_results(parts)
+
+    # -- per-shard recovery --------------------------------------------------
+
+    def _breaker(self, sharded, index: int) -> CircuitBreaker:
+        name = self._shard_name(sharded, index)
+        breaker = self._breakers.get(name)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                name,
+                failure_threshold=self.config.shard_failure_threshold,
+                recovery_timeout_s=30.0,
+                clock=self._clock,
+            )
+            self._breakers[name] = breaker
+        return breaker
+
+    def _recover_shard(self, sharded, index: int, expr, optimize: bool,
+                       cache: QueryCache, exc: Exception):
+        """One shard failed: retry in-process, then quarantine or raise.
+
+        Returns the shard's patient-id array on a successful retry,
+        ``None`` when the shard was quarantined (the query completes
+        degraded), and re-raises when the store's policy is the strict
+        default ``on_damage="fail"``.
+        """
+        breaker = self._breaker(sharded, index)
+        breaker.record_failure(str(exc))
+        definite = isinstance(exc, _DEFINITE_DAMAGE)
+        if not definite:
+            for attempt in range(self._retry_policy.max_retries):
+                self.shard_retries += 1
+                self._sleep(self._retry_policy.delay_for(attempt, self._rng))
+                try:
+                    part = self._eval_serial(sharded, index, expr, optimize,
+                                             cache)
+                except (ShardStoreError, DeadlineExceededError,
+                        OSError) as retry_exc:
+                    breaker.record_failure(str(retry_exc))
+                    exc = retry_exc
+                    if isinstance(retry_exc, _DEFINITE_DAMAGE):
+                        definite = True
+                        break
+                else:
+                    breaker.record_success()
+                    return part
+        quarantine = getattr(sharded, "quarantine_shard", None)
+        policy = getattr(sharded.config, "on_damage", "fail")
+        if (definite or not breaker.allow()) \
+                and policy == "quarantine" and callable(quarantine):
+            quarantine(index, type(exc).__name__, str(exc))
+            self.query_time_quarantines += 1
+            return None
+        raise exc
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -161,7 +323,7 @@ class ParallelExecutor:
             self._pool = None
 
     def close(self) -> None:
-        """Reap worker processes (idempotent)."""
+        """Reap worker processes (idempotent; the executor stays usable)."""
         self._shutdown_pool()
 
     def __enter__(self) -> "ParallelExecutor":
@@ -175,9 +337,20 @@ class ParallelExecutor:
     @property
     def mode(self) -> str:
         """``"parallel"`` or ``"serial"`` for the *next* query."""
-        if self.n_workers > 1 and not self._pool_broken:
-            return "parallel"
-        return "serial"
+        if self.n_workers <= 1 or self._pool_broken:
+            return "serial"
+        if self._pool_failed \
+                and self.pool_rebuilds >= self.config.max_pool_rebuilds:
+            return "serial"
+        return "parallel"
+
+    def open_breakers(self) -> dict[str, str]:
+        """Shard name -> breaker state, for every non-closed breaker."""
+        return {
+            name: breaker.state
+            for name, breaker in sorted(self._breakers.items())
+            if breaker.state != "closed"
+        }
 
     def stats_dict(self) -> dict:
         """JSON-ready counters (surfaced by the webapp's ``/stats``)."""
@@ -188,6 +361,12 @@ class ParallelExecutor:
             "parallel_queries": self.parallel_queries,
             "serial_queries": self.serial_queries,
             "pool_fallbacks": self.pool_fallbacks,
+            "pool_failures": self.pool_failures,
+            "pool_rebuilds": self.pool_rebuilds,
+            "max_pool_rebuilds": self.config.max_pool_rebuilds,
+            "shard_retries": self.shard_retries,
+            "query_time_quarantines": self.query_time_quarantines,
+            "open_breakers": self.open_breakers(),
             "shards_scanned": self.shards_scanned,
         }
 

@@ -1,0 +1,478 @@
+"""Offline shard diagnosis (fsck) and repair.
+
+The quarantine machinery in :class:`~repro.shard.store.ShardedEventStore`
+keeps a damaged store *serving*; this module is how an operator makes it
+*whole* again:
+
+* :func:`fsck_store` re-verifies every shard listed in the root manifest
+  — all columns, not just the first failure — and reports each shard's
+  health (``ok``, ``checksum``, ``format``, ``missing``,
+  ``quarantined``).
+* :func:`repair_store` restores damaged shards, cheapest evidence first:
+
+  1. **Salvage**: if the shard's column files (in place, or in a
+     ``quarantine/`` copy) still load and the rebuilt content hashes to
+     the *root manifest's* recorded ``content_token``, the segment is
+     rewritten from those columns.  The token check is what makes this
+     safe — a manifest deleted by accident salvages cleanly, while a
+     flipped data byte changes the token and is refused, so corruption
+     is never laundered into a "repaired" shard.
+  2. **Rebuild**: with a repair ``source`` (the flat ``.npz`` the store
+     was sharded from, or a sibling sharded store's merged view), the
+     shard's patients are re-derived from the partition scheme and the
+     segment is rewritten from the source's rows.
+
+  Repaired segments are written to a temporary directory and moved into
+  place with ``os.replace`` (the damaged original is preserved under
+  ``quarantine/``), then re-verified; the root manifest is rewritten
+  atomically with the new shard entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EventModelError, ShardRepairError
+from repro.events.store import EventStore, default_systems
+from repro.io import read_jsonl
+from repro.shard.format import (
+    COLUMNS,
+    MANIFEST_NAME,
+    SHARD_FORMAT_VERSION,
+    checksum_file,
+    read_store_manifest,
+    verify_segment,
+    write_segment,
+    write_store_manifest,
+)
+from repro.shard.store import DAMAGE_LOG_NAME, QUARANTINE_DIR
+from repro.shard.writer import _remap_tables, hash_shard_of, subset_store
+
+__all__ = [
+    "FsckReport",
+    "RepairAction",
+    "RepairReport",
+    "ShardHealth",
+    "fsck_store",
+    "repair_store",
+]
+
+
+@dataclass(frozen=True)
+class ShardHealth:
+    """One shard's fsck verdict.
+
+    ``status`` is one of ``ok``, ``checksum`` (one or more column files
+    fail their manifest checksum), ``format`` (manifest missing/invalid
+    or column files missing), ``missing`` (the shard directory is gone)
+    or ``quarantined`` (gone from the serving set, but a copy sits in
+    ``quarantine/``).
+    """
+
+    name: str
+    index: int
+    status: str
+    detail: str = ""
+    bad_columns: tuple[str, ...] = ()
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "index": self.index,
+            "status": self.status,
+            "detail": self.detail,
+            "bad_columns": list(self.bad_columns),
+        }
+
+
+@dataclass(frozen=True)
+class FsckReport:
+    """Health of every shard in one store."""
+
+    path: str
+    shards: tuple[ShardHealth, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(s.status == "ok" for s in self.shards)
+
+    @property
+    def damaged(self) -> tuple[ShardHealth, ...]:
+        return tuple(s for s in self.shards if s.status != "ok")
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "ok": self.ok,
+            "shards": [s.to_json() for s in self.shards],
+        }
+
+    def format_summary(self) -> str:
+        lines = []
+        for s in self.shards:
+            if s.status == "ok":
+                lines.append(f"{s.name}: ok")
+            else:
+                cols = f" (columns: {', '.join(s.bad_columns)})" \
+                    if s.bad_columns else ""
+                lines.append(f"{s.name}: {s.status.upper()}{cols}: {s.detail}")
+        verdict = "clean" if self.ok else \
+            f"{len(self.damaged)} of {len(self.shards)} shard(s) damaged"
+        lines.append(f"fsck: {verdict}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class RepairAction:
+    """What :func:`repair_store` did to one shard.
+
+    ``action`` is ``intact`` (nothing to do), ``salvaged`` (rebuilt from
+    its own token-verified column files), ``rebuilt`` (re-derived from
+    the repair source) or ``unrepairable``.
+    """
+
+    name: str
+    index: int
+    action: str
+    detail: str = ""
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "index": self.index,
+            "action": self.action,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """Outcome of one :func:`repair_store` run."""
+
+    path: str
+    actions: tuple[RepairAction, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(a.action != "unrepairable" for a in self.actions)
+
+    @property
+    def repaired(self) -> tuple[RepairAction, ...]:
+        return tuple(a for a in self.actions
+                     if a.action in ("salvaged", "rebuilt"))
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "ok": self.ok,
+            "actions": [a.to_json() for a in self.actions],
+        }
+
+    def format_summary(self) -> str:
+        lines = [f"{a.name}: {a.action}"
+                 + (f" ({a.detail})" if a.detail else "")
+                 for a in self.actions]
+        verdict = ("repair complete" if self.ok
+                   else "repair INCOMPLETE: some shards need a --from source")
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+# -- fsck ----------------------------------------------------------------------
+
+
+def _check_segment(directory: str) -> tuple[str, str, tuple[str, ...]]:
+    """(status, detail, bad_columns) for one shard directory.
+
+    Unlike :func:`~repro.shard.format.verify_segment` (which raises on
+    the first problem, the right contract for an open path), this keeps
+    going so the report names *every* damaged column.
+    """
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    try:
+        with open(manifest_path, encoding="utf-8") as f:
+            manifest = json.load(f)
+    except FileNotFoundError:
+        return "format", f"missing {MANIFEST_NAME}", ()
+    except json.JSONDecodeError as exc:
+        return "format", f"manifest is not valid JSON: {exc}", ()
+    if manifest.get("format_version") != SHARD_FORMAT_VERSION:
+        return (
+            "format",
+            f"unsupported shard format version "
+            f"{manifest.get('format_version')!r}",
+            (),
+        )
+    columns = manifest.get("columns", {})
+    unlisted = [name for name in COLUMNS if name not in columns]
+    if unlisted:
+        return "format", f"manifest lists no checksum for {unlisted}", ()
+    bad: list[str] = []
+    details: list[str] = []
+    for name in COLUMNS:
+        path = os.path.join(directory, f"{name}.npy")
+        if not os.path.exists(path):
+            bad.append(name)
+            details.append(f"{name}.npy missing")
+        elif checksum_file(path) != columns[name]["checksum"]:
+            bad.append(name)
+            details.append(f"{name}.npy checksum mismatch")
+    if bad:
+        return "checksum", "; ".join(details), tuple(bad)
+    return "ok", "", ()
+
+
+def fsck_store(path: str) -> FsckReport:
+    """Re-verify every shard of the store at ``path`` (all columns)."""
+    manifest = read_store_manifest(path)
+    quarantine_dir = os.path.join(path, QUARANTINE_DIR)
+    damage_by_name = {
+        entry.get("name"): entry
+        for entry in read_jsonl(os.path.join(quarantine_dir, DAMAGE_LOG_NAME),
+                                tolerate_torn_tail=True)
+    }
+    shards: list[ShardHealth] = []
+    for index, entry in enumerate(manifest["shards"]):
+        name = entry["name"]
+        directory = os.path.join(path, name)
+        if not os.path.isdir(directory):
+            if os.path.isdir(os.path.join(quarantine_dir, name)):
+                damage = damage_by_name.get(name, {})
+                shards.append(ShardHealth(
+                    name, index, "quarantined",
+                    damage.get("reason", "moved to quarantine"),
+                ))
+            else:
+                shards.append(ShardHealth(
+                    name, index, "missing", "shard directory is gone",
+                ))
+            continue
+        status, detail, bad = _check_segment(directory)
+        shards.append(ShardHealth(name, index, status, detail, bad))
+    return FsckReport(path=path, shards=tuple(shards))
+
+
+# -- repair --------------------------------------------------------------------
+
+
+def _resolve_source(source) -> EventStore | None:
+    """Accept an ``EventStore``, a sharded store, a path, or ``None``.
+
+    A directory path opens as a sibling sharded store and contributes
+    its merged view; any other path loads as a flat ``.npz`` snapshot.
+    """
+    if source is None:
+        return None
+    if isinstance(source, EventStore):
+        return source
+    if hasattr(source, "materialize_store"):
+        return source.materialize_store()
+    if os.path.isdir(str(source)):
+        from repro.shard.store import ShardedEventStore  # noqa: PLC0415
+
+        return ShardedEventStore(str(source)).materialize_store()
+    from repro.io import load_store  # noqa: PLC0415 (io imports are cheap)
+
+    return load_store(str(source))
+
+
+def _load_columns(directory: str) -> dict | None:
+    """Load all 14 column arrays eagerly, or ``None`` if any won't load."""
+    arrays = {}
+    for name in COLUMNS:
+        path = os.path.join(directory, f"{name}.npy")
+        try:
+            arrays[name] = np.load(path)
+        except (OSError, ValueError):
+            return None
+    return arrays
+
+
+def _try_salvage(directory: str, entry: dict, manifest: dict) -> EventStore | None:
+    """Rebuild a shard store from a directory's raw columns — but only
+    when the result hashes to the root manifest's recorded
+    ``content_token``.  The token is content-addressed over every
+    column, so a match proves the columns are exactly the bytes the
+    store was written with; anything else (a flipped data byte, stale
+    columns from an older write) is refused."""
+    arrays = _load_columns(directory)
+    if arrays is None:
+        return None
+    try:
+        store = EventStore(
+            systems=default_systems(),
+            system_names=list(manifest["system_names"]),
+            categories=list(manifest["categories"]),
+            sources=list(manifest["sources"]),
+            details=list(manifest["details"]),
+            **arrays,
+        )
+    except EventModelError:
+        return None  # columns load but are mutually inconsistent
+    if store.content_token() != entry["content_token"]:
+        return None
+    return store
+
+
+def _salvage_candidates(path: str, name: str) -> list[str]:
+    """Directories that might still hold the shard's true columns."""
+    candidates = [os.path.join(path, name)]
+    quarantine_dir = os.path.join(path, QUARANTINE_DIR)
+    if os.path.isdir(quarantine_dir):
+        for item in sorted(os.listdir(quarantine_dir)):
+            if item == name or item.startswith(name + "."):
+                candidates.append(os.path.join(quarantine_dir, item))
+    return [c for c in candidates if os.path.isdir(c)]
+
+
+def _shard_subset(source: EventStore, manifest: dict, index: int,
+                  entry: dict) -> EventStore:
+    """The source rows belonging to shard ``index`` under the store's
+    partition scheme — the inverse of the writer's assignment."""
+    if manifest["partition"] == "hash":
+        assignment = hash_shard_of(source.patient_ids,
+                                   len(manifest["shards"]))
+        pids = source.patient_ids[assignment == index]
+    else:
+        lo, hi = entry["patient_min"], entry["patient_max"]
+        if lo is None:
+            pids = np.empty(0, dtype=np.int64)
+        else:
+            ids = source.patient_ids
+            pids = ids[(ids >= lo) & (ids <= hi)]
+    subset = subset_store(source, pids)
+    if (subset.categories == manifest["categories"]
+            and subset.sources == manifest["sources"]
+            and subset.details == manifest["details"]):
+        return subset
+
+    def mapping(union: list[str], own: list[str], kind: str) -> np.ndarray:
+        table = {v: i for i, v in enumerate(union)}
+        unknown = [v for v in own if v not in table]
+        if unknown:
+            raise ShardRepairError(
+                entry["name"],
+                f"repair source has {kind} values {unknown} not in the "
+                f"store's tables; re-shard instead of repairing",
+            )
+        return np.asarray([table[v] for v in own], dtype=np.int64)
+
+    return _remap_tables(
+        subset,
+        list(manifest["categories"]), list(manifest["sources"]),
+        list(manifest["details"]),
+        mapping(manifest["categories"], subset.categories, "category"),
+        mapping(manifest["sources"], subset.sources, "source"),
+        mapping(manifest["details"], subset.details, "detail"),
+    )
+
+
+def _install_segment(path: str, name: str, index: int,
+                     store: EventStore) -> dict:
+    """Write ``store`` as the shard's new segment, atomically.
+
+    The rebuilt segment lands in a temporary sibling directory; any
+    existing (damaged) directory is preserved under ``quarantine/``
+    before the ``os.replace`` — repair never destroys evidence.
+    """
+    tmp = os.path.join(path, f".repair-{name}")
+    if os.path.isdir(tmp):
+        shutil.rmtree(tmp)
+    try:
+        write_segment(store, tmp, index)
+        final = os.path.join(path, name)
+        if os.path.isdir(final):
+            quarantine_dir = os.path.join(path, QUARANTINE_DIR)
+            os.makedirs(quarantine_dir, exist_ok=True)
+            aside = os.path.join(quarantine_dir, name)
+            suffix = 0
+            while os.path.exists(aside):
+                suffix += 1
+                aside = os.path.join(quarantine_dir, f"{name}.{suffix}")
+            os.rename(final, aside)
+        os.replace(tmp, final)
+    finally:
+        if os.path.isdir(tmp):
+            shutil.rmtree(tmp)
+    return verify_segment(os.path.join(path, name))
+
+
+def repair_store(path: str, source=None) -> RepairReport:
+    """Repair every damaged shard of the store at ``path``.
+
+    ``source`` may be an :class:`EventStore`, a sharded store (or the
+    path of either: a flat ``.npz`` file or a sharded-store directory)
+    holding the same population — the authority to rebuild from when a
+    shard's own bytes are beyond salvage.  Returns a
+    :class:`RepairReport`; shards that could not be repaired are listed
+    as ``unrepairable`` (the report's ``ok`` is then False) rather than
+    raised, so one hopeless shard does not abort the others' repairs.
+    The root manifest is rewritten with the repaired shard entries.
+    """
+    manifest = read_store_manifest(path)
+    report = fsck_store(path)
+    source_store = _resolve_source(source)
+    entries = [dict(entry) for entry in manifest["shards"]]
+    actions: list[RepairAction] = []
+    changed = False
+    for health in report.shards:
+        index, name = health.index, health.name
+        entry = entries[index]
+        if health.status == "ok":
+            actions.append(RepairAction(name, index, "intact"))
+            continue
+        salvaged = None
+        for candidate in _salvage_candidates(path, name):
+            salvaged = _try_salvage(candidate, entry, manifest)
+            if salvaged is not None:
+                break
+        if salvaged is not None:
+            new_manifest = _install_segment(path, name, index, salvaged)
+            actions.append(RepairAction(
+                name, index, "salvaged",
+                "columns re-verified against the manifest content token",
+            ))
+        elif source_store is not None:
+            rebuilt = _shard_subset(source_store, manifest, index, entry)
+            new_manifest = _install_segment(path, name, index, rebuilt)
+            token_note = (
+                "content token matches the manifest"
+                if new_manifest["content_token"] == entry["content_token"]
+                else "content updated from the repair source"
+            )
+            actions.append(RepairAction(name, index, "rebuilt", token_note))
+        else:
+            actions.append(RepairAction(
+                name, index, "unrepairable",
+                f"{health.status}: {health.detail or 'no salvageable copy'}; "
+                f"pass a repair source",
+            ))
+            continue
+        entries[index] = {
+            "name": name,
+            "n_patients": new_manifest["n_patients"],
+            "n_events": new_manifest["n_events"],
+            "patient_min": new_manifest["patient_min"],
+            "patient_max": new_manifest["patient_max"],
+            "content_token": new_manifest["content_token"],
+        }
+        changed = True
+    if changed:
+        write_store_manifest(
+            path,
+            partition=manifest["partition"],
+            system_names=manifest["system_names"],
+            system_sizes=manifest["system_sizes"],
+            categories=manifest["categories"],
+            sources=manifest["sources"],
+            details=manifest["details"],
+            total_patients=sum(e["n_patients"] for e in entries),
+            total_events=sum(e["n_events"] for e in entries),
+            shard_entries=entries,
+        )
+    return RepairReport(path=path, actions=tuple(actions))

@@ -27,21 +27,91 @@ from __future__ import annotations
 import hashlib
 import os
 from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.config import ShardConfig
-from repro.errors import EventModelError
+from repro.errors import (
+    EventModelError,
+    ShardChecksumError,
+    ShardFormatError,
+    ShardQuarantinedError,
+)
 from repro.events.store import EventStore, default_systems
-from repro.shard.format import open_segment, read_store_manifest
+from repro.io import append_jsonl, read_jsonl
+from repro.shard.format import open_segment, read_store_manifest, verify_segment
 from repro.shard.writer import hash_shard_of
 
-__all__ = ["ShardedEventStore", "is_shard_store"]
+__all__ = [
+    "DAMAGE_LOG_NAME",
+    "QUARANTINE_DIR",
+    "QueryDegradation",
+    "ShardedEventStore",
+    "is_shard_store",
+]
+
+#: Damaged segments are moved into this subdirectory of the store root.
+QUARANTINE_DIR = "quarantine"
+#: Append-only JSONL damage report inside the quarantine directory.
+DAMAGE_LOG_NAME = "damage.jsonl"
+
+_DAMAGE_POLICIES = ("fail", "quarantine")
 
 
 def is_shard_store(obj) -> bool:
     """True when ``obj`` is a :class:`ShardedEventStore` (duck-type safe)."""
     return isinstance(obj, ShardedEventStore)
+
+
+@dataclass(frozen=True)
+class QueryDegradation:
+    """What a degraded store's query results are missing.
+
+    Attached to every :class:`ShardedEventStore` opened with
+    ``on_damage="quarantine"``: names the quarantined shards, the
+    patient-id ranges they covered and the patient/event counts lost
+    (from the root manifest — the damaged bytes themselves may be
+    unreadable).  Surfaced through ``QueryEngine.explain()``, the
+    webapp's ``/healthz``/``/stats`` and the CLI's exit code.
+    """
+
+    quarantined_shards: tuple[str, ...] = ()
+    reasons: tuple[str, ...] = ()
+    patient_ranges: tuple[tuple[int | None, int | None], ...] = ()
+    patients_lost: int = 0
+    events_lost: int = 0
+
+    @property
+    def is_degraded(self) -> bool:
+        return bool(self.quarantined_shards)
+
+    def to_json(self) -> dict:
+        """JSON-ready payload for ``/healthz``/``/stats`` and ``--json``."""
+        return {
+            "degraded": self.is_degraded,
+            "quarantined_shards": list(self.quarantined_shards),
+            "reasons": list(self.reasons),
+            "patient_ranges": [list(r) for r in self.patient_ranges],
+            "patients_lost": int(self.patients_lost),
+            "events_lost": int(self.events_lost),
+        }
+
+    def format_summary(self) -> str:
+        """One readable line per quarantined shard, plus the totals."""
+        if not self.is_degraded:
+            return "not degraded: all shards serving"
+        lines = [
+            f"DEGRADED: {len(self.quarantined_shards)} shard(s) "
+            f"quarantined, ~{self.patients_lost:,} patients / "
+            f"~{self.events_lost:,} events unavailable"
+        ]
+        for name, reason, (lo, hi) in zip(
+            self.quarantined_shards, self.reasons, self.patient_ranges
+        ):
+            span = "(empty)" if lo is None else f"ids {lo}..{hi}"
+            lines.append(f"  {name} {span}: {reason}")
+        return "\n".join(lines)
 
 
 class ShardedEventStore:
@@ -59,6 +129,12 @@ class ShardedEventStore:
     def __init__(self, path: str, config: ShardConfig | None = None) -> None:
         self.path = path
         self.config = config or ShardConfig()
+        if self.config.on_damage not in _DAMAGE_POLICIES:
+            raise ShardFormatError(
+                path,
+                f"unknown on_damage policy {self.config.on_damage!r}; "
+                f"choose one of {_DAMAGE_POLICIES}",
+            )
         self.manifest = read_store_manifest(path)
         self.systems = default_systems()
         self.system_names = list(self.manifest["system_names"])
@@ -70,19 +146,36 @@ class ShardedEventStore:
         self._shards: dict[int, EventStore] = {}
         self._materialized: EventStore | None = None
         self._patient_ids: np.ndarray | None = None
+        #: original shard index -> damage record (quarantined shards).
+        self._quarantined: dict[int, dict] = {}
+        if self.config.on_damage == "quarantine":
+            self._quarantine_damaged_on_open()
 
     # -- sizes ---------------------------------------------------------------
 
     @property
     def n_shards(self) -> int:
+        """Total shard slots in the manifest (quarantined ones included,
+        so hash routing and shard indexes stay stable)."""
         return len(self.shard_entries)
 
     @property
+    def n_active_shards(self) -> int:
+        """Shards actually serving queries (total minus quarantined)."""
+        return len(self.shard_entries) - len(self._quarantined)
+
+    @property
     def n_patients(self) -> int:
+        if self._quarantined:
+            return sum(int(self.shard_entries[i]["n_patients"])
+                       for i in self.active_indices())
         return int(self.manifest["total_patients"])
 
     @property
     def n_events(self) -> int:
+        if self._quarantined:
+            return sum(int(self.shard_entries[i]["n_events"])
+                       for i in self.active_indices())
         return int(self.manifest["total_events"])
 
     @property
@@ -90,13 +183,132 @@ class ShardedEventStore:
         """How many shards are currently resident (opened lazily)."""
         return len(self._shards)
 
+    # -- damage policy -------------------------------------------------------
+
+    @property
+    def quarantine_dir(self) -> str:
+        return os.path.join(self.path, QUARANTINE_DIR)
+
+    @property
+    def damage_log_path(self) -> str:
+        return os.path.join(self.quarantine_dir, DAMAGE_LOG_NAME)
+
+    def active_indices(self) -> list[int]:
+        """Indices of the shards still serving (quarantined ones skipped)."""
+        return [i for i in range(len(self.shard_entries))
+                if i not in self._quarantined]
+
+    def is_quarantined(self, index: int) -> bool:
+        return index in self._quarantined
+
+    def _quarantine_damaged_on_open(self) -> None:
+        """Verify every shard up front; move failures aside.
+
+        The price of ``on_damage="quarantine"`` is one O(bytes) checksum
+        pass over every shard at open — the guarantee bought is that a
+        flipped byte in one segment degrades the store instead of making
+        it unopenable.  Shards already sitting in ``quarantine/`` (a
+        previous open, or a sibling worker process) are recognized by
+        the damage log without being moved again.
+        """
+        known = {
+            entry.get("name"): entry
+            for entry in read_jsonl(self.damage_log_path,
+                                    tolerate_torn_tail=True)
+        }
+        for index, entry in enumerate(self.shard_entries):
+            name = entry["name"]
+            directory = os.path.join(self.path, name)
+            if not os.path.isdir(directory):
+                if os.path.isdir(os.path.join(self.quarantine_dir, name)):
+                    record = known.get(name) or self._damage_record(
+                        index, "ShardFormatError", "previously quarantined"
+                    )
+                    self._quarantined[index] = record
+                else:
+                    self.quarantine_shard(
+                        index, "ShardFormatError",
+                        f"shard directory {name} is missing",
+                    )
+                continue
+            try:
+                verify_segment(directory)
+            except (ShardChecksumError, ShardFormatError) as exc:
+                self.quarantine_shard(index, type(exc).__name__, str(exc))
+
+    def _damage_record(self, index: int, kind: str, reason: str) -> dict:
+        entry = self.shard_entries[index]
+        return {
+            "name": entry["name"],
+            "shard_index": int(index),
+            "kind": kind,
+            "reason": reason,
+            "n_patients": int(entry["n_patients"]),
+            "n_events": int(entry["n_events"]),
+            "patient_min": entry["patient_min"],
+            "patient_max": entry["patient_max"],
+        }
+
+    def quarantine_shard(self, index: int, kind: str, reason: str) -> dict:
+        """Move shard ``index`` aside and record the damage (idempotent).
+
+        The segment directory is renamed into ``quarantine/`` (a rename,
+        so already-mapped columns in other processes stay valid), a
+        damage record is appended durably to ``quarantine/damage.jsonl``
+        and the shard is excluded from every subsequent query; the
+        store's ``content_token`` changes so stale cached full-store
+        results can never be served as degraded ones (or vice versa).
+        """
+        if index in self._quarantined:
+            return self._quarantined[index]
+        record = self._damage_record(index, kind, reason)
+        os.makedirs(self.quarantine_dir, exist_ok=True)
+        src = os.path.join(self.path, record["name"])
+        if os.path.isdir(src):
+            dst = os.path.join(self.quarantine_dir, record["name"])
+            suffix = 0
+            while os.path.exists(dst):
+                suffix += 1
+                dst = os.path.join(self.quarantine_dir,
+                                   f"{record['name']}.{suffix}")
+            os.rename(src, dst)
+        append_jsonl(self.damage_log_path, [record], fsync=True)
+        self._quarantined[index] = record
+        # Invalidate everything derived from the shard set.
+        self._shards.pop(index, None)
+        self._materialized = None
+        self._patient_ids = None
+        self.__dict__.pop("_content_token", None)
+        return record
+
+    def degradation(self) -> QueryDegradation:
+        """The damage every query result over this store is carrying."""
+        records = [self._quarantined[i] for i in sorted(self._quarantined)]
+        return QueryDegradation(
+            quarantined_shards=tuple(r["name"] for r in records),
+            reasons=tuple(r["reason"] for r in records),
+            patient_ranges=tuple(
+                (r.get("patient_min"), r.get("patient_max")) for r in records
+            ),
+            patients_lost=sum(int(r.get("n_patients") or 0) for r in records),
+            events_lost=sum(int(r.get("n_events") or 0) for r in records),
+        )
+
     # -- shard access --------------------------------------------------------
 
     def shard_dir(self, index: int) -> str:
         return os.path.join(self.path, self.shard_entries[index]["name"])
 
     def shard(self, index: int) -> EventStore:
-        """Open (once) and return shard ``index`` as an ``EventStore``."""
+        """Open (once) and return shard ``index`` as an ``EventStore``.
+
+        A quarantined shard raises
+        :class:`~repro.errors.ShardQuarantinedError` — callers iterate
+        :meth:`active_indices` to stay on the serving set.
+        """
+        record = self._quarantined.get(index)
+        if record is not None:
+            raise ShardQuarantinedError(record["name"], record["reason"])
         store = self._shards.get(index)
         if store is None:
             store = open_segment(
@@ -113,7 +325,7 @@ class ShardedEventStore:
         return store
 
     def iter_shards(self) -> Iterator[EventStore]:
-        for index in range(self.n_shards):
+        for index in self.active_indices():
             yield self.shard(index)
 
     def shard_token(self, index: int) -> str:
@@ -126,13 +338,21 @@ class ShardedEventStore:
         O(metadata): shard tokens were memoized at write time, so no
         column bytes are read.  Content-addressed like the flat store's
         token — a rewrite of any shard changes it, which invalidates
-        query-cache entries by key mismatch alone.
+        query-cache entries by key mismatch alone.  Quarantined shards
+        hash as ``quarantined:<name>`` markers instead of their content
+        tokens, so a degraded store can never serve (or poison) the
+        healthy store's cached results.
         """
         token = getattr(self, "_content_token", None)
         if token is None:
             digest = hashlib.blake2b(digest_size=16)
-            for entry in self.shard_entries:
-                digest.update(entry["content_token"].encode("ascii"))
+            for index, entry in enumerate(self.shard_entries):
+                if index in self._quarantined:
+                    digest.update(
+                        f"quarantined:{entry['name']}".encode("ascii")
+                    )
+                else:
+                    digest.update(entry["content_token"].encode("ascii"))
             for table in (self.system_names, self.categories, self.sources,
                           self.details):
                 digest.update(repr(table).encode("utf-8"))
@@ -153,17 +373,30 @@ class ShardedEventStore:
             index = int(hash_shard_of(
                 np.asarray([patient_id], dtype=np.int64), self.n_shards
             )[0])
+            if index in self._quarantined:
+                raise EventModelError(
+                    f"patient {patient_id} is unavailable: owning shard "
+                    f"{self._quarantined[index]['name']} is quarantined"
+                )
             if self._shard_has_patient(index, patient_id):
                 return index
             raise EventModelError(f"no patient {patient_id} in store")
+        quarantined_owner: str | None = None
         for index, entry in enumerate(self.shard_entries):
             lo, hi = entry["patient_min"], entry["patient_max"]
             if lo is None:
                 continue
-            if lo <= patient_id <= hi and self._shard_has_patient(
-                index, patient_id
-            ):
-                return index
+            if lo <= patient_id <= hi:
+                if index in self._quarantined:
+                    quarantined_owner = entry["name"]
+                    continue
+                if self._shard_has_patient(index, patient_id):
+                    return index
+        if quarantined_owner is not None:
+            raise EventModelError(
+                f"patient {patient_id} is unavailable: owning shard "
+                f"{quarantined_owner} is quarantined"
+            )
         raise EventModelError(f"no patient {patient_id} in store")
 
     def _shard_has_patient(self, index: int, patient_id: int) -> bool:

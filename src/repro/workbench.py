@@ -139,20 +139,36 @@ class Workbench:
 
     # -- health ---------------------------------------------------------------
 
+    def _shard_degradation(self):
+        """The store's ``QueryDegradation`` record, or None (flat store)."""
+        degradation = getattr(self.store, "degradation", None)
+        return degradation() if callable(degradation) else None
+
     @property
     def degraded_sources(self) -> dict[str, str]:
-        """Sources the integration had to give up on (source -> reason)."""
-        if self.report is None:
-            return {}
-        return dict(self.report.degraded_sources)
+        """Everything this workbench is serving *without* (name -> reason).
+
+        Unifies the two degradation layers: sources the integration gave
+        up on and shards the store quarantined — so the webapp's banner
+        and 503 machinery cover both without knowing which layer broke.
+        """
+        result = ({} if self.report is None
+                  else dict(self.report.degraded_sources))
+        record = self._shard_degradation()
+        if record is not None:
+            for name, reason in zip(record.quarantined_shards,
+                                    record.reasons):
+                result[name] = reason
+        return result
 
     @property
     def is_degraded(self) -> bool:
-        """Did ingestion complete without one or more sources?"""
+        """Is anything missing — a given-up source or a quarantined shard?"""
         return bool(self.degraded_sources)
 
     def health(self) -> dict:
-        """The ``/healthz`` payload: status, sizes, degraded sources."""
+        """The ``/healthz`` payload: status, sizes, degraded sources,
+        and (for sharded stores) shard/executor health."""
         payload = {
             "status": "degraded" if self.is_degraded else "ok",
             "patients": int(self.store.n_patients),
@@ -165,6 +181,23 @@ class Workbench:
                 self.report.failures_truncated
             )
             payload["quarantined"] = int(self.report.quarantined)
+        if self.is_sharded:
+            store = self.store
+            shards = {
+                "total": int(store.n_shards),
+                "active": int(getattr(store, "n_active_shards",
+                                      store.n_shards)),
+            }
+            record = self._shard_degradation()
+            if record is not None:
+                shards["quarantined"] = list(record.quarantined_shards)
+                shards["patients_lost"] = int(record.patients_lost)
+                shards["events_lost"] = int(record.events_lost)
+            executor = self.engine.executor
+            if executor is not None:
+                shards["executor_mode"] = executor.mode
+                shards["pool_rebuilds"] = int(executor.pool_rebuilds)
+            payload["shards"] = shards
         return payload
 
     # -- cohort identification -------------------------------------------------
@@ -202,10 +235,15 @@ class Workbench:
         store = self.store
         payload = {
             "n_shards": int(store.n_shards),
+            "active_shards": int(getattr(store, "n_active_shards",
+                                         store.n_shards)),
             "open_shards": int(store.open_shard_count),
             "partition": store.partition,
             "path": store.path,
         }
+        record = self._shard_degradation()
+        if record is not None:
+            payload["degradation"] = record.to_json()
         if self.engine.executor is not None:
             payload["executor"] = self.engine.executor.stats_dict()
         return payload

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.config import ResilienceConfig
@@ -253,3 +255,60 @@ class TestMergeStores:
         b = build("K86", "T90")  # same events, different insertion order
         assert a.content_equal(b)
         assert not a.content_equal(build("T90", "T89"))
+
+
+class TestTornTailDurability:
+    """Crash-mid-append recovery: the dead-letter file heals itself."""
+
+    def _seed(self, tmp_path) -> QuarantineStore:
+        quarantine = QuarantineStore(str(tmp_path / "dead.jsonl"))
+        for source, record in SAMPLE_RECORDS[:2]:
+            quarantine.add(source, record, reason="seed")
+        return quarantine
+
+    def test_partial_garbage_tail_is_skipped_and_truncated(self, tmp_path):
+        quarantine = self._seed(tmp_path)
+        with open(quarantine.path, "ab") as f:
+            f.write(b'{"seq": 99, "source": "reg", "GARBL')  # torn mid-write
+        # Readers tolerate the torn tail without repair.
+        assert len(quarantine) == 2
+        assert [item.seq for item in quarantine.records()] == [0, 1]
+        # The next add heals the framing: the garbage is gone, the new
+        # line lands on a clean boundary, and nothing good was lost.
+        source, record = SAMPLE_RECORDS[2]
+        quarantine.add(source, record, reason="after crash")
+        assert len(quarantine) == 3
+        loaded = quarantine.records()
+        assert [item.seq for item in loaded] == [0, 1, 2]
+        assert loaded[-1].reason == "after crash"
+        with open(quarantine.path, "rb") as f:
+            data = f.read()
+        assert b'"GARBL' not in data  # the torn fragment was truncated away
+        assert data.endswith(b"\n")
+
+    def test_complete_json_missing_newline_is_terminated_not_lost(
+            self, tmp_path):
+        quarantine = self._seed(tmp_path)
+        with open(quarantine.path, "rb+") as f:
+            f.seek(-1, 2)
+            f.truncate()  # crash landed between payload and newline
+        assert not open(quarantine.path, "rb").read().endswith(b"\n")
+        source, record = SAMPLE_RECORDS[2]
+        quarantine.add(source, record, reason="after crash")
+        # The complete-but-unterminated record survived as a record.
+        loaded = quarantine.records()
+        assert len(loaded) == 3
+        assert [item.seq for item in loaded] == [0, 1, 2]
+        assert loaded[1].record == SAMPLE_RECORDS[1][1]
+
+    def test_add_is_fsynced(self, tmp_path, monkeypatch):
+        import repro.io as io_module
+
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(io_module.os, "fsync",
+                            lambda fd: (synced.append(fd), real_fsync(fd)))
+        quarantine = QuarantineStore(str(tmp_path / "dead.jsonl"))
+        source, record = SAMPLE_RECORDS[0]
+        quarantine.add(source, record, reason="must be durable")
+        assert synced  # the append reached the disk, not just the page cache

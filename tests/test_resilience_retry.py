@@ -197,3 +197,34 @@ class TestCircuitBreaker:
     def test_threshold_must_be_positive(self):
         with pytest.raises(ValueError):
             CircuitBreaker("reg", failure_threshold=0)
+
+
+class TestDeadline:
+    def test_zero_budget_is_born_expired(self):
+        clock = FakeClock()
+        deadline = Deadline(0.0, clock=clock)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+
+    def test_negative_budget_is_born_expired(self):
+        clock = FakeClock()
+        deadline = Deadline(-5.0, clock=clock)
+        assert deadline.expired()
+        assert deadline.remaining() == -5.0
+
+    def test_none_never_expires(self):
+        clock = FakeClock()
+        deadline = Deadline(None, clock=clock)
+        clock.advance(1e9)
+        assert not deadline.expired()
+        assert deadline.remaining() == float("inf")
+
+    def test_expires_exactly_at_boundary(self):
+        clock = FakeClock()
+        deadline = Deadline(2.0, clock=clock)
+        clock.advance(1.999)
+        assert not deadline.expired()
+        clock.advance(0.001)
+        assert deadline.expired()
+        clock.advance(1.0)
+        assert deadline.remaining() == pytest.approx(-1.0)

@@ -1,0 +1,284 @@
+"""fsck and repair: diagnosis statuses, token-verified salvage, rebuild.
+
+:func:`repro.shard.repair.fsck_store` must name every damage mode
+distinctly (``checksum``, ``format``, ``missing``, ``quarantined``) and
+every damaged column, and :func:`repro.shard.repair.repair_store` must
+restore byte-identical shards — salvaging a shard from its own columns
+only when they hash to the root manifest's recorded content token, and
+otherwise rebuilding from a ``--from`` source under either partition
+scheme.  The CLI surface (``shard fsck`` / ``shard repair`` /
+``shard verify --json``) is covered at the exit-code and JSON-shape
+level.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.config import ShardConfig
+from repro.io import save_store
+from repro.shard import (
+    ShardedEventStore,
+    fsck_store,
+    repair_store,
+    write_sharded_store,
+)
+from repro.shard.format import MANIFEST_NAME, read_store_manifest
+from repro.simulate.fast import generate_store_fast
+
+N_SHARDS = 4
+
+
+@pytest.fixture(scope="module")
+def flat_store():
+    store, __ = generate_store_fast(250, seed=11)
+    return store
+
+
+@pytest.fixture()
+def root(flat_store, tmp_path):
+    path = str(tmp_path / "repair.shards")
+    write_sharded_store(flat_store, path, n_shards=N_SHARDS)
+    return path
+
+
+def _shard_dirs(root: str) -> list[str]:
+    manifest = read_store_manifest(root)
+    return [os.path.join(root, entry["name"])
+            for entry in manifest["shards"]]
+
+
+def _flip_byte(root: str, shard: int, column: str = "patient") -> str:
+    """XOR one byte deep inside a column file; returns the shard name."""
+    directory = _shard_dirs(root)[shard]
+    path = os.path.join(directory, f"{column}.npy")
+    with open(path, "r+b") as f:
+        f.seek(os.path.getsize(path) - 1)
+        byte = f.read(1)
+        f.seek(-1, os.SEEK_CUR)
+        f.write(bytes([byte[0] ^ 0xFF]))
+    return os.path.basename(directory)
+
+
+# -- fsck ----------------------------------------------------------------------
+
+
+def test_fsck_clean(root):
+    report = fsck_store(root)
+    assert report.ok
+    assert report.damaged == ()
+    assert len(report.shards) == N_SHARDS
+    assert all(s.status == "ok" for s in report.shards)
+    assert report.format_summary().endswith("fsck: clean")
+
+
+def test_fsck_names_every_bad_column(root):
+    name = _flip_byte(root, 1, column="patient")
+    _flip_byte(root, 1, column="value")
+    report = fsck_store(root)
+    assert not report.ok
+    (health,) = report.damaged
+    assert health.name == name
+    assert health.status == "checksum"
+    assert set(health.bad_columns) == {"patient", "value"}
+    assert "CHECKSUM" in report.format_summary()
+    assert "1 of 4 shard(s) damaged" in report.format_summary()
+
+
+def test_fsck_missing_manifest_is_format(root):
+    directory = _shard_dirs(root)[2]
+    os.unlink(os.path.join(directory, MANIFEST_NAME))
+    (health,) = fsck_store(root).damaged
+    assert health.status == "format"
+    assert MANIFEST_NAME in health.detail
+
+
+def test_fsck_garbage_manifest_is_format(root):
+    directory = _shard_dirs(root)[0]
+    with open(os.path.join(directory, MANIFEST_NAME), "w",
+              encoding="utf-8") as f:
+        f.write("{not json")
+    (health,) = fsck_store(root).damaged
+    assert health.status == "format"
+    assert "JSON" in health.detail
+
+
+def test_fsck_missing_column_is_checksum_status(root):
+    directory = _shard_dirs(root)[3]
+    os.unlink(os.path.join(directory, "day.npy"))
+    (health,) = fsck_store(root).damaged
+    assert health.status == "checksum"
+    assert health.bad_columns == ("day",)
+    assert "day.npy missing" in health.detail
+
+
+def test_fsck_deleted_shard_is_missing(root):
+    shutil.rmtree(_shard_dirs(root)[1])
+    (health,) = fsck_store(root).damaged
+    assert health.status == "missing"
+
+
+def test_fsck_reports_quarantined_with_log_reason(root):
+    _flip_byte(root, 2)
+    ShardedEventStore(root, config=ShardConfig(on_damage="quarantine"))
+    (health,) = fsck_store(root).damaged
+    assert health.status == "quarantined"
+    assert health.detail  # the damage-log reason survives the move
+
+
+# -- repair --------------------------------------------------------------------
+
+
+def test_repair_clean_store_is_all_intact(root):
+    report = repair_store(root)
+    assert report.ok
+    assert report.repaired == ()
+    assert all(a.action == "intact" for a in report.actions)
+    assert report.format_summary().endswith("repair complete")
+
+
+def test_salvage_deleted_manifest_without_source(root):
+    clean_token = ShardedEventStore(root).content_token()
+    directory = _shard_dirs(root)[1]
+    os.unlink(os.path.join(directory, MANIFEST_NAME))
+    report = repair_store(root)  # no source: salvage is the only path
+    assert report.ok
+    (action,) = report.repaired
+    assert action.action == "salvaged"
+    assert fsck_store(root).ok
+    assert ShardedEventStore(root).content_token() == clean_token
+
+
+def test_salvage_from_quarantine_copy(root):
+    # Quarantine moves the shard aside for a deleted manifest; the
+    # columns in the quarantine copy are still token-true and salvage.
+    clean_token = ShardedEventStore(root).content_token()
+    os.unlink(os.path.join(_shard_dirs(root)[0], MANIFEST_NAME))
+    ShardedEventStore(root, config=ShardConfig(on_damage="quarantine"))
+    assert fsck_store(root).damaged[0].status == "quarantined"
+    report = repair_store(root)
+    assert report.ok
+    assert report.repaired[0].action == "salvaged"
+    assert ShardedEventStore(root).content_token() == clean_token
+
+
+def test_flipped_byte_refuses_salvage_and_is_unrepairable(root):
+    # The flipped column still np.loads fine — only the content token
+    # betrays it.  Without a source the shard must stay unrepairable;
+    # corruption is never laundered into a "repaired" segment.
+    _flip_byte(root, 2)
+    report = repair_store(root)
+    assert not report.ok
+    (action,) = (a for a in report.actions if a.action != "intact")
+    assert action.action == "unrepairable"
+    assert "pass a repair source" in action.detail
+    assert not fsck_store(root).ok  # still damaged, honestly so
+
+
+def test_rebuild_from_flat_source_restores_token(flat_store, root):
+    clean_token = ShardedEventStore(root).content_token()
+    _flip_byte(root, 2)
+    report = repair_store(root, source=flat_store)
+    assert report.ok
+    (action,) = report.repaired
+    assert action.action == "rebuilt"
+    assert "matches the manifest" in action.detail
+    assert fsck_store(root).ok
+    assert ShardedEventStore(root).content_token() == clean_token
+
+
+def test_rebuild_range_partition(flat_store, tmp_path):
+    path = str(tmp_path / "range.shards")
+    write_sharded_store(flat_store, path, n_shards=N_SHARDS,
+                        partition="range")
+    clean_token = ShardedEventStore(path).content_token()
+    _flip_byte(path, 1)
+    report = repair_store(path, source=flat_store)
+    assert report.ok
+    assert fsck_store(path).ok
+    assert ShardedEventStore(path).content_token() == clean_token
+
+
+def test_rebuild_from_sibling_store_directory(flat_store, root, tmp_path):
+    sibling = str(tmp_path / "sibling.shards")
+    write_sharded_store(flat_store, sibling, n_shards=2)
+    clean_token = ShardedEventStore(root).content_token()
+    _flip_byte(root, 3)
+    report = repair_store(root, source=sibling)  # path of a sharded dir
+    assert report.ok
+    assert report.repaired[0].action == "rebuilt"
+    assert ShardedEventStore(root).content_token() == clean_token
+
+
+def test_repair_preserves_evidence_in_quarantine(flat_store, root):
+    name = _flip_byte(root, 2)
+    repair_store(root, source=flat_store)
+    aside = os.path.join(root, "quarantine")
+    assert any(item == name or item.startswith(name + ".")
+               for item in os.listdir(aside))
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+def _flat_path(flat_store, tmp_path) -> str:
+    path = str(tmp_path / "flat.npz")
+    save_store(flat_store, path)
+    return path
+
+
+def test_cli_fsck_exit_codes_and_json(root, capsys):
+    assert main(["shard", "fsck", root]) == 0
+    out = capsys.readouterr().out
+    assert "fsck: clean" in out
+    _flip_byte(root, 0)
+    assert main(["shard", "fsck", root, "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    damaged = [s for s in payload["shards"] if s["status"] != "ok"]
+    assert len(damaged) == 1
+    assert damaged[0]["status"] == "checksum"
+    assert damaged[0]["bad_columns"]
+
+
+def test_cli_verify_json(root, capsys):
+    assert main(["shard", "verify", root, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert len(payload["shards"]) == N_SHARDS
+
+
+def test_cli_repair_roundtrip(flat_store, root, tmp_path, capsys):
+    flat = _flat_path(flat_store, tmp_path)
+    _flip_byte(root, 1)
+    assert main(["shard", "repair", root, "--from", flat]) == 0
+    out = capsys.readouterr().out
+    assert "rebuilt" in out
+    assert "post-repair verification: clean" in out
+    assert main(["shard", "verify", root]) == 0
+
+
+def test_cli_repair_without_source_fails_honestly(root, capsys):
+    _flip_byte(root, 1)
+    assert main(["shard", "repair", root, "--json"]) == 1
+    captured = capsys.readouterr()
+    payload = json.loads(captured.out)
+    assert payload["ok"] is False
+    assert payload["verified_clean"] is False
+    assert "error:" in captured.err
+
+
+def test_cli_repair_salvage_json(root, capsys):
+    os.unlink(os.path.join(_shard_dirs(root)[2], MANIFEST_NAME))
+    assert main(["shard", "repair", root, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["verified_clean"] is True
+    actions = {a["name"]: a["action"] for a in payload["actions"]}
+    assert "salvaged" in actions.values()
