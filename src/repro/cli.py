@@ -8,7 +8,12 @@ Python:
 * ``select`` — run a query, write matching patient ids as CSV;
 * ``query`` — run a query, print the match count; ``--explain`` prints
   the planner's normalized tree with estimated selectivities and cache
-  residency (``--repeat 2`` shows warm-cache hits);
+  residency (``--repeat 2`` shows warm-cache hits); ``--lint`` runs the
+  static analyzer first and refuses to evaluate a query with
+  error-severity diagnostics (exit **4**);
+* ``lint-query`` — statically analyze a query without evaluating it
+  (no store required; ``--store`` checks names against a real store,
+  ``--json`` emits machine-readable diagnostics);
 * ``timeline`` — render the cohort timeline SVG for a query;
 * ``overview`` — render the density overview SVG;
 * ``export-web`` — batch-export personal timeline HTML pages;
@@ -27,7 +32,10 @@ pool).  ``--on-damage quarantine`` opens a damaged sharded store in
 degraded mode instead of failing; a ``query`` that returns degraded
 (partial) results exits with status **3** so scripts can tell "complete
 answer" (0) from "answer missing quarantined shards" (3) from "error"
-(1; argparse itself owns 2).
+(1; argparse itself owns 2).  ``query --lint`` and ``lint-query`` exit
+with status **4** when the static analyzer reports an error-severity
+diagnostic, so CI can distinguish "query rejected by lint" from
+runtime failures.
 
 Example::
 
@@ -106,6 +114,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--explain", action="store_true",
                    help="print the normalized plan with estimated "
                         "selectivities and cache residency")
+    p.add_argument("--lint", action="store_true",
+                   help="statically analyze the query first; refuse to "
+                        "evaluate on error-severity diagnostics (exit 4), "
+                        "print warnings to stderr and continue")
     p.add_argument("--no-optimize", action="store_true",
                    help="bypass the planner/cache (naive evaluation)")
     p.add_argument("--repeat", type=int, default=1,
@@ -118,6 +130,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="scatter-gather worker processes (default: "
                         "min(4, cpus); 1 forces serial)")
     _add_on_damage(p)
+
+    p = sub.add_parser("lint-query",
+                       help="statically analyze a query without running "
+                            "it (exit 4 on error-severity diagnostics)")
+    _add_query_argument(p)
+    p.add_argument("--store", default=None,
+                   help="check system/category/source names against this "
+                        "store (.npz or shard directory) instead of the "
+                        "built-in vocabulary")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable diagnostics on stdout")
 
     p = sub.add_parser("timeline", help="render the cohort timeline SVG")
     p.add_argument("store")
@@ -301,6 +324,9 @@ def _dispatch(args: argparse.Namespace) -> int:
               f"{store.n_events:,} events to {args.out}")
         return 0
 
+    if args.command == "lint-query":
+        return _dispatch_lint_query(args)
+
     if args.command == "quarantine":
         return _dispatch_quarantine(args)
 
@@ -326,6 +352,14 @@ def _dispatch(args: argparse.Namespace) -> int:
             )
         if args.no_optimize:
             wb.engine.optimize = False
+        if args.lint:
+            diagnostics = wb.analyze(args.query)
+            for diag in diagnostics:
+                print(diag.format(), file=sys.stderr)
+            if any(d.severity == "error" for d in diagnostics):
+                print("query rejected by static analysis (not evaluated)",
+                      file=sys.stderr)
+                return 4
         repeats = max(1, args.repeat)
         for __ in range(repeats):
             ids = wb.select(args.query)
@@ -431,6 +465,30 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _dispatch_lint_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.query.analyze import AnalysisContext, analyze_query
+    from repro.query.parser import parse_query
+
+    expr = parse_query(args.query)
+    if args.store is not None:
+        wb = _load_workbench(args.store)
+        context = AnalysisContext.from_store(wb.store)
+    else:
+        context = AnalysisContext.default()
+    diagnostics = analyze_query(expr, context)
+    if args.json:
+        print(json.dumps([d.to_json() for d in diagnostics],
+                         indent=1, sort_keys=True))
+    elif diagnostics:
+        for diag in diagnostics:
+            print(diag.format())
+    else:
+        print("no diagnostics")
+    return 4 if any(d.severity == "error" for d in diagnostics) else 0
 
 
 def _dispatch_shard(args: argparse.Namespace) -> int:

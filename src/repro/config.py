@@ -160,6 +160,10 @@ class WorkbenchConfig:
         optimize_queries: route queries through the planner/memoization
             layer (:mod:`repro.query.planner`); turn off to force the
             naive recursive evaluation.
+        analyze_queries: gate every query through the static analyzer
+            (:mod:`repro.query.analyze`); error-severity findings are
+            refused with :class:`~repro.errors.QueryAnalysisError`
+            before any evaluation happens.
         query_cache_entries: LRU entry bound of the per-workbench query
             result cache.
         query_cache_bytes: LRU payload-byte bound of the same cache
@@ -171,6 +175,7 @@ class WorkbenchConfig:
     detail_cache_size: int = 4_096
     lazy_materialization: bool = True
     optimize_queries: bool = True
+    analyze_queries: bool = False
     query_cache_entries: int = 512
     query_cache_bytes: int = 256 * 1024 * 1024
     extra: dict[str, object] = field(default_factory=dict)

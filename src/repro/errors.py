@@ -148,13 +148,38 @@ class QueryError(ReproError):
 
 
 class QuerySyntaxError(QueryError):
-    """The textual query language failed to parse."""
+    """The textual query language failed to parse.
+
+    The message carries a caret line pointing at the offending column so
+    CLI and webapp users see *where* the query broke, not just why.
+    """
 
     def __init__(self, text: str, position: int, detail: str) -> None:
-        super().__init__(f"query syntax error at position {position}: {detail}")
+        caret = ""
+        if text and 0 <= position <= len(text):
+            caret = f"\n  {text}\n  {' ' * position}^"
+        super().__init__(
+            f"query syntax error at position {position}: {detail}{caret}"
+        )
         self.text = text
         self.position = position
         self.detail = detail
+
+
+class QueryAnalysisError(QueryError):
+    """Static analysis refused a query (error-severity diagnostics).
+
+    Raised by the engine's ``analyze=`` gate before any evaluation
+    happens; ``diagnostics`` carries every
+    :class:`repro.query.analyze.Diagnostic` found, not only the errors.
+    """
+
+    def __init__(self, diagnostics) -> None:
+        errors = [d for d in diagnostics if d.severity == "error"]
+        summary = "; ".join(f"{d.rule}: {d.message}" for d in errors[:3])
+        more = f" (+{len(errors) - 3} more)" if len(errors) > 3 else ""
+        super().__init__(f"query rejected by static analysis: {summary}{more}")
+        self.diagnostics = tuple(diagnostics)
 
 
 class RenderError(ReproError):

@@ -1,6 +1,8 @@
 """Query layer: AST, fluent builder, textual language, vectorized engine
-with a planning/memoization layer, and temporal pattern search."""
+with a planning/memoization layer, static analysis (regex safety and
+semantic lints), and temporal pattern search."""
 
+from repro.query.analyze import AnalysisContext, Diagnostic, analyze_query
 from repro.query.ast import (
     AgeRange,
     Category,
@@ -47,6 +49,9 @@ from repro.query.temporal_patterns import (
 
 __all__ = [
     "AgeRange",
+    "AnalysisContext",
+    "Diagnostic",
+    "analyze_query",
     "Category",
     "CodeMatch",
     "Concept",

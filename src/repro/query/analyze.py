@@ -1,0 +1,649 @@
+"""Static analysis of query ASTs: regex safety plus semantic lints.
+
+The paper's cohort queries are *clinician input* — regular expressions
+over code hierarchies assembled in a GUI (Section IV) — so malformed,
+pathological or unsatisfiable queries arrive on the hot serving path as
+user data, not programmer error.  ``analyze_query`` inspects a query
+AST **without touching an EventStore** and returns a list of
+:class:`Diagnostic` records, each with a stable rule id, a severity, a
+JSONPath-style node path, a message and a fix-it hint.
+
+Rule catalog (``QA1xx`` = regex safety, ``QA2xx`` = semantic lints):
+
+========  ========  =====================================================
+rule      severity  meaning
+========  ========  =====================================================
+QA101     error     ``CodeMatch`` pattern does not compile
+QA102     error     catastrophic backtracking shape (nested ambiguous
+                    quantifiers, overlapping alternation); the message
+                    carries pumping-probe evidence when measured
+QA103     warning   adjacent overlapping unbounded quantifiers
+                    (polynomial backtracking, e.g. ``.*.*``)
+QA104     warning   pattern cannot match any code of its system
+                    (wrong alphabet, impossible anchors, or simply
+                    zero matches against the known code list)
+QA105     error     unknown code system / unknown ``Concept`` code —
+                    evaluation would raise
+QA106     info      redundant ``^`` / ``$`` anchor (patterns are
+                    full-matched)
+QA201     warning   unsatisfiable conjunction (disjoint value or
+                    shifted age ranges, ``SexIs`` contradiction,
+                    disjoint code selections, two categories/sources)
+QA202     warning   subtree constant-folds to empty (``x and not x``)
+QA203     warning   subtree constant-folds to match-everything
+QA204     info      vacuous double negation
+QA205     warning   unknown category / source name
+QA206     warning   empty ``And``/``Or`` combinator usage
+QA207     warning   bound that can probably never bind (``FirstBefore``
+                    day before its ``TimeWindow`` opens; disjoint
+                    ``TimeWindow`` pair) — *not* marked unsatisfiable
+                    because interval events may span window gaps
+QA208     warning   clause shadowed by a sibling (its code selection is
+                    a subset of the sibling's)
+QA209     info      duplicate children in ``And``/``Or``
+========  ========  =====================================================
+
+Diagnostics with ``unsatisfiable=True`` claim that *the node at
+``path`` provably selects nothing*; the differential property suite
+(``tests/test_query_analyze_property.py``) re-proves that claim against
+real stores — the analyzer never lies.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+from repro.query.ast import (
+    AgeRange,
+    Category,
+    CodeMatch,
+    Concept,
+    CountAtLeast,
+    EventAnd,
+    EventExpr,
+    EventNot,
+    EventOr,
+    FirstBefore,
+    HasEvent,
+    PatientAnd,
+    PatientExpr,
+    PatientNot,
+    PatientOr,
+    SexIs,
+    Source,
+    TimeWindow,
+    ValueRange,
+)
+from repro.query.planner import (
+    AllEvents,
+    AllPatients,
+    EmptyEvents,
+    NoPatients,
+    normalize_event,
+    normalize_patient,
+)
+from repro.query.regex_safety import analyze_pattern
+
+__all__ = ["AnalysisContext", "Diagnostic", "analyze_query"]
+
+_SEVERITY_ORDER = {"error": 0, "warning": 1, "info": 2}
+
+#: Two shifted age ranges closer than this (in years) are not called
+#: disjoint: keeps day/year rounding from ever producing a false proof.
+_AGE_MARGIN_YEARS = 1e-3
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static analyzer.
+
+    ``path`` addresses the offending node from the query root in
+    JSONPath style (``$.children[1].expr``).  ``node`` is the live AST
+    node for programmatic consumers (excluded from equality and JSON).
+    ``unsatisfiable`` marks a *proof* that the node selects nothing.
+    """
+
+    rule: str
+    severity: str
+    path: str
+    message: str
+    hint: str = ""
+    unsatisfiable: bool = False
+    node: object | None = field(default=None, compare=False, repr=False)
+
+    def format(self) -> str:
+        """Render as the two-line human-readable form used by the CLI."""
+        text = f"[{self.severity}] {self.rule} at {self.path}: {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_json(self) -> dict:
+        """A JSON-serializable dict (stable keys, no AST node)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "message": self.message,
+            "hint": self.hint,
+            "unsatisfiable": self.unsatisfiable,
+        }
+
+
+class AnalysisContext:
+    """What the analyzer knows about the world, store not included.
+
+    ``default()`` builds the context from the static terminology layer
+    and the simulator's canonical category/source vocabulary, so
+    analysis runs with no store at hand; ``from_store`` tightens the
+    vocabulary to whatever one concrete store actually uses.
+    """
+
+    def __init__(self, systems, categories, sources) -> None:
+        self.systems = dict(systems)
+        self.categories = frozenset(categories)
+        self.sources = frozenset(sources)
+        self._alphabets: dict[str, frozenset[str]] = {}
+
+    @classmethod
+    def default(cls) -> "AnalysisContext":
+        from repro.simulate.fast import _CATEGORIES, _SOURCES
+        from repro.terminology import atc, icd10, icpc2
+
+        return cls(
+            systems={"ICPC-2": icpc2(), "ICD-10": icd10(), "ATC": atc()},
+            categories=_CATEGORIES,
+            sources=_SOURCES,
+        )
+
+    @classmethod
+    def from_store(cls, store) -> "AnalysisContext":
+        return cls(
+            systems=store.systems,
+            categories=store.categories,
+            sources=store.sources,
+        )
+
+    def alphabet(self, system: str) -> frozenset[str]:
+        """Every character appearing in the system's code identifiers."""
+        cached = self._alphabets.get(system)
+        if cached is None:
+            cached = frozenset(
+                ch for code in self.systems[system] for ch in code.code
+            )
+            self._alphabets[system] = cached
+        return cached
+
+
+def _concept_known(code: str) -> bool:
+    from repro.terminology import icd10, icpc2
+
+    return code in icpc2() or code in icd10()
+
+
+def _age_bounds_at(age: AgeRange, at_day: int) -> tuple[float, float]:
+    """The range re-expressed as an age interval at ``at_day``."""
+    delta_years = (at_day - age.at_day) / 365.25
+    return age.min_years + delta_years, age.max_years + delta_years
+
+
+class _Analyzer:
+    def __init__(self, context: AnalysisContext) -> None:
+        self.context = context
+        self.out: list[Diagnostic] = []
+        # pattern -> matching id set (None = not computable), so one
+        # pattern appearing in several clauses resolves once
+        self._ids_cache: dict[tuple[str, str], frozenset[int] | None] = {}
+
+    def emit(self, rule, severity, path, node, message, hint="",
+             unsatisfiable=False) -> None:
+        self.out.append(Diagnostic(
+            rule=rule, severity=severity, path=path, message=message,
+            hint=hint, unsatisfiable=unsatisfiable, node=node,
+        ))
+
+    # -- code selections -----------------------------------------------------
+
+    def _match_ids(self, system: str, pattern: str):
+        """Ids selected by a pattern, or None when not statically known."""
+        key = (system, pattern)
+        if key not in self._ids_cache:
+            ids = None
+            code_system = self.context.systems.get(system)
+            if code_system is not None:
+                try:
+                    ids = code_system.match_ids(pattern)
+                except (re.error, ReproError):
+                    # invalid pattern: QA101 reports it; here it just
+                    # means the selection is not statically known
+                    ids = None
+            self._ids_cache[key] = ids
+        return self._ids_cache[key]
+
+    def _code_selection(self, expr):
+        """``{system: id set}`` for code-selecting leaves, else None.
+
+        A row carries exactly one (system, code) pair, so two selections
+        are provably disjoint iff their id sets are disjoint in every
+        shared system.
+        """
+        if isinstance(expr, CodeMatch):
+            ids = self._match_ids(expr.system, expr.pattern)
+            return None if ids is None else {expr.system: ids}
+        if isinstance(expr, Concept):
+            from repro.terminology import icpc2_to_icd10_map
+
+            if not _concept_known(expr.code):
+                return None
+            icpc_codes, icd_codes = icpc2_to_icd10_map().expand_concept(
+                expr.code
+            )
+            selection = {}
+            for system_name, codes in (
+                ("ICPC-2", icpc_codes), ("ICD-10", icd_codes)
+            ):
+                system = self.context.systems.get(system_name)
+                if system is None:
+                    return None
+                selection[system_name] = frozenset(
+                    system.id_of(c) for c in codes if c in system
+                )
+            return selection
+        return None
+
+    # -- regex rules ---------------------------------------------------------
+
+    def _check_code_match(self, expr: CodeMatch, path: str) -> None:
+        system = self.context.systems.get(expr.system)
+        if system is None:
+            self.emit(
+                "QA105", "error", path, expr,
+                f"unknown code system {expr.system!r}",
+                hint="known systems: "
+                     + ", ".join(sorted(self.context.systems)),
+            )
+            return
+        alphabet = self.context.alphabet(expr.system)
+        issues = analyze_pattern(expr.pattern, alphabet=alphabet)
+        fatal = False
+        for issue in issues:
+            evidence = ""
+            if issue.probe_ms >= 0:
+                evidence = (
+                    f" (pumping probe: {issue.probe_ms:.1f} ms worst "
+                    f"fullmatch on pumped {issue.pump!r})"
+                )
+            if issue.kind == "invalid":
+                fatal = True
+                self.emit(
+                    "QA101", "error", path, expr,
+                    f"pattern {expr.pattern!r} {issue.message}",
+                    hint=issue.hint,
+                )
+            elif issue.kind in ("nested-quantifier",
+                                "overlapping-alternation"):
+                fatal = True
+                self.emit(
+                    "QA102", "error", path, expr,
+                    f"pattern {expr.pattern!r}: {issue.message}{evidence}",
+                    hint=issue.hint,
+                )
+            elif issue.kind == "adjacent-quantifiers":
+                self.emit(
+                    "QA103", "warning", path, expr,
+                    f"pattern {expr.pattern!r}: {issue.message}{evidence}",
+                    hint=issue.hint,
+                )
+            elif issue.kind == "impossible":
+                self.emit(
+                    "QA104", "warning", path, expr,
+                    f"pattern {expr.pattern!r} {issue.message}",
+                    hint=issue.hint, unsatisfiable=True,
+                )
+            elif issue.kind == "redundant-anchor":
+                self.emit(
+                    "QA106", "info", path, expr,
+                    f"pattern {expr.pattern!r}: {issue.message}",
+                    hint=issue.hint,
+                )
+        if fatal:
+            return
+        if not any(i.kind == "impossible" for i in issues):
+            ids = self._match_ids(expr.system, expr.pattern)
+            if ids is not None and not ids:
+                self.emit(
+                    "QA104", "warning", path, expr,
+                    f"pattern {expr.pattern!r} matches none of the "
+                    f"{len(system)} {expr.system} codes",
+                    hint="check the pattern against the system's code "
+                         "list (full-match semantics: 'T9' does not "
+                         "match 'T90')",
+                    unsatisfiable=True,
+                )
+
+    # -- conjunction satisfiability ------------------------------------------
+
+    def _check_event_and(self, expr: EventAnd, path: str) -> None:
+        children = list(expr.children)
+
+        def unsat(index_a, index_b, reason, hint) -> None:
+            self.emit(
+                "QA201", "warning", path, expr,
+                f"conjunction can never match: children "
+                f"[{index_a}] and [{index_b}] {reason}",
+                hint=hint, unsatisfiable=True,
+            )
+
+        values = [(i, c) for i, c in enumerate(children)
+                  if isinstance(c, ValueRange)]
+        for position, (i, a) in enumerate(values):
+            for j, b in values[position + 1:]:
+                if a.high < b.low or b.high < a.low:
+                    unsat(i, j,
+                          f"require disjoint value ranges "
+                          f"[{a.low}, {a.high}] and [{b.low}, {b.high}]",
+                          "merge the ranges or use 'or'")
+
+        windows = [(i, c) for i, c in enumerate(children)
+                   if isinstance(c, TimeWindow)]
+        for position, (i, a) in enumerate(windows):
+            for j, b in windows[position + 1:]:
+                if a.last_day < b.first_day or b.last_day < a.first_day:
+                    self.emit(
+                        "QA207", "warning", path, expr,
+                        f"children [{i}] and [{j}] are disjoint time "
+                        f"windows; only an event *spanning* the gap "
+                        f"(a long interval) can satisfy both",
+                        hint="use 'or' to accept either window, or "
+                             "widen one window",
+                    )
+
+        categories = [(i, c) for i, c in enumerate(children)
+                      if isinstance(c, Category)]
+        for position, (i, a) in enumerate(categories):
+            for j, b in categories[position + 1:]:
+                if a.category != b.category:
+                    unsat(i, j,
+                          f"require two different categories "
+                          f"({a.category!r} and {b.category!r}) of a "
+                          f"single event",
+                          "an event has exactly one category: use 'or'")
+
+        sources = [(i, c) for i, c in enumerate(children)
+                   if isinstance(c, Source)]
+        for position, (i, a) in enumerate(sources):
+            for j, b in sources[position + 1:]:
+                if a.source_kind != b.source_kind:
+                    unsat(i, j,
+                          f"require two different sources "
+                          f"({a.source_kind!r} and {b.source_kind!r}) "
+                          f"of a single event",
+                          "an event has exactly one source: use 'or'")
+
+        selections = []
+        for i, child in enumerate(children):
+            selection = self._code_selection(child)
+            if selection is not None:
+                selections.append((i, selection))
+        for position, (i, a) in enumerate(selections):
+            for j, b in selections[position + 1:]:
+                shared = set(a) & set(b)
+                if all(not (a[s] & b[s]) for s in shared):
+                    unsat(i, j,
+                          "select disjoint code sets (no code satisfies "
+                          "both)",
+                          "an event has exactly one code: use 'or', or "
+                          "widen one selection")
+
+    def _check_patient_and(self, expr: PatientAnd, path: str) -> None:
+        children = list(expr.children)
+
+        def unsat(index_a, index_b, reason, hint) -> None:
+            self.emit(
+                "QA201", "warning", path, expr,
+                f"conjunction can never match: children "
+                f"[{index_a}] and [{index_b}] {reason}",
+                hint=hint, unsatisfiable=True,
+            )
+
+        sexes = [(i, c) for i, c in enumerate(children)
+                 if isinstance(c, SexIs)]
+        for position, (i, a) in enumerate(sexes):
+            for j, b in sexes[position + 1:]:
+                if a.sex != b.sex:
+                    unsat(i, j,
+                          f"require sex {a.sex!r} and {b.sex!r} at once",
+                          "a patient has one sex code: use 'or'")
+
+        ages = [(i, c) for i, c in enumerate(children)
+                if isinstance(c, AgeRange)]
+        for position, (i, a) in enumerate(ages):
+            for j, b in ages[position + 1:]:
+                # express both ranges as ages at b.at_day; a margin
+                # absorbs day/year rounding so the proof stays sound
+                low_a, high_a = _age_bounds_at(a, b.at_day)
+                if (high_a < b.min_years - _AGE_MARGIN_YEARS
+                        or b.max_years < low_a - _AGE_MARGIN_YEARS):
+                    unsat(i, j,
+                          "require disjoint age ranges (after shifting "
+                          "both to the same reference day)",
+                          "widen one range or use 'or'")
+
+    # -- shadowed / duplicate clauses ----------------------------------------
+
+    def _check_event_or(self, expr: EventOr, path: str) -> None:
+        selections = []
+        for i, child in enumerate(expr.children):
+            selection = self._code_selection(child)
+            if selection is not None and any(selection.values()):
+                selections.append((i, child, selection))
+        for i, child_a, a in selections:
+            for j, __, b in selections:
+                if i == j:
+                    continue
+                covers = all(
+                    system in b and a[system] <= b[system]
+                    for system in a
+                )
+                if covers and (a != b or i > j):
+                    self.emit(
+                        "QA208", "warning",
+                        f"{path}.children[{i}]", child_a,
+                        f"clause is shadowed: every code it selects is "
+                        f"already selected by sibling [{j}]",
+                        hint="drop the clause or tighten the sibling",
+                    )
+                    break
+
+    def _check_duplicates(self, expr, path: str) -> None:
+        # constructors require >= 2 children, but a node built around
+        # them (deserialization, future parser changes) still gets a
+        # diagnostic instead of undefined behaviour
+        if len(expr.children) < 2:
+            self.emit(
+                "QA206", "warning", path, expr,
+                f"degenerate {type(expr).__name__} with "
+                f"{len(expr.children)} child(ren)",
+                hint="combinators need at least two clauses",
+            )
+        seen: set = set()
+        for i, child in enumerate(expr.children):
+            if child in seen:
+                self.emit(
+                    "QA209", "info", f"{path}.children[{i}]", child,
+                    "duplicate clause: an identical sibling already "
+                    "appears in this combinator",
+                    hint="drop the duplicate",
+                )
+            seen.add(child)
+
+    # -- constant folding ----------------------------------------------------
+
+    def _fold_event(self, expr, path: str, parent_folded: bool) -> bool:
+        """Emit QA202/QA203 when the subtree folds; return whether it did."""
+        folded = normalize_event(expr)
+        if isinstance(folded, EmptyEvents):
+            if not parent_folded:
+                self.emit(
+                    "QA202", "warning", path, expr,
+                    "subtree simplifies to match-nothing "
+                    "(a contradiction like 'x and not x')",
+                    hint="remove the contradictory clauses",
+                    unsatisfiable=True,
+                )
+            return True
+        if isinstance(folded, AllEvents):
+            if not parent_folded:
+                self.emit(
+                    "QA203", "warning", path, expr,
+                    "subtree simplifies to match-everything "
+                    "(a tautology like 'x or not x')",
+                    hint="remove the vacuous clauses",
+                )
+            return True
+        return parent_folded
+
+    def _fold_patient(self, expr, path: str, parent_folded: bool) -> bool:
+        folded = normalize_patient(expr)
+        if isinstance(folded, NoPatients):
+            if not parent_folded:
+                self.emit(
+                    "QA202", "warning", path, expr,
+                    "subtree simplifies to an empty cohort "
+                    "(a contradiction like 'x and not x')",
+                    hint="remove the contradictory clauses",
+                    unsatisfiable=True,
+                )
+            return True
+        if isinstance(folded, AllPatients):
+            if not parent_folded:
+                self.emit(
+                    "QA203", "warning", path, expr,
+                    "subtree simplifies to the whole population "
+                    "(a tautology like 'x or not x')",
+                    hint="remove the vacuous clauses",
+                )
+            return True
+        return parent_folded
+
+    # -- walks ---------------------------------------------------------------
+
+    def event(self, expr: EventExpr, path: str, folded: bool) -> None:
+        if isinstance(expr, CodeMatch):
+            self._check_code_match(expr, path)
+        elif isinstance(expr, Concept):
+            if not _concept_known(expr.code):
+                self.emit(
+                    "QA105", "error", path, expr,
+                    f"unknown concept code {expr.code!r} (not in ICPC-2 "
+                    f"or ICD-10)",
+                    hint="concepts are expanded through the "
+                         "ICPC-2 <-> ICD-10 map; use a known rubric "
+                         "like 'T90'",
+                )
+        elif isinstance(expr, Category):
+            if expr.category not in self.context.categories:
+                self.emit(
+                    "QA205", "warning", path, expr,
+                    f"unknown category {expr.category!r}",
+                    hint="known categories: "
+                         + ", ".join(sorted(self.context.categories)),
+                    unsatisfiable=True,
+                )
+        elif isinstance(expr, Source):
+            if expr.source_kind not in self.context.sources:
+                self.emit(
+                    "QA205", "warning", path, expr,
+                    f"unknown source {expr.source_kind!r}",
+                    hint="known sources: "
+                         + ", ".join(sorted(self.context.sources)),
+                    unsatisfiable=True,
+                )
+        elif isinstance(expr, (EventAnd, EventOr)):
+            folded = self._fold_event(expr, path, folded)
+            self._check_duplicates(expr, path)
+            if isinstance(expr, EventAnd):
+                self._check_event_and(expr, path)
+            else:
+                self._check_event_or(expr, path)
+            for i, child in enumerate(expr.children):
+                self.event(child, f"{path}.children[{i}]", folded)
+        elif isinstance(expr, EventNot):
+            folded = self._fold_event(expr, path, folded)
+            if isinstance(expr.child, EventNot):
+                self.emit(
+                    "QA204", "info", path, expr,
+                    "vacuous double negation",
+                    hint="drop both 'not's",
+                )
+            self.event(expr.child, f"{path}.child", folded)
+
+    def _check_first_before(self, expr: FirstBefore, path: str) -> None:
+        windows = []
+        if isinstance(expr.expr, TimeWindow):
+            windows.append(expr.expr)
+        elif isinstance(expr.expr, EventAnd):
+            windows.extend(c for c in expr.expr.children
+                           if isinstance(c, TimeWindow))
+        for window in windows:
+            if window.first_day > expr.day:
+                self.emit(
+                    "QA207", "warning", path, expr,
+                    f"'first before day {expr.day}' can only bind to an "
+                    f"event *spanning* into its time window, which "
+                    f"opens later (day {window.first_day})",
+                    hint="move the deadline past the window start, or "
+                         "drop the window",
+                )
+
+    def patient(self, expr: PatientExpr, path: str, folded: bool) -> None:
+        if isinstance(expr, (PatientAnd, PatientOr)):
+            folded = self._fold_patient(expr, path, folded)
+            self._check_duplicates(expr, path)
+            if isinstance(expr, PatientAnd):
+                self._check_patient_and(expr, path)
+            for i, child in enumerate(expr.children):
+                self.patient(child, f"{path}.children[{i}]", folded)
+        elif isinstance(expr, PatientNot):
+            folded = self._fold_patient(expr, path, folded)
+            if isinstance(expr.child, PatientNot):
+                self.emit(
+                    "QA204", "info", path, expr,
+                    "vacuous double negation",
+                    hint="drop both 'not's",
+                )
+            self.patient(expr.child, f"{path}.child", folded)
+        elif isinstance(expr, (HasEvent, CountAtLeast, FirstBefore)):
+            folded = self._fold_patient(expr, path, folded)
+            if isinstance(expr, FirstBefore):
+                self._check_first_before(expr, path)
+            self.event(expr.expr, f"{path}.expr", folded)
+        elif isinstance(expr, SexIs):
+            pass
+        elif isinstance(expr, AgeRange):
+            pass
+
+
+def analyze_query(
+    expr: PatientExpr | EventExpr,
+    context: AnalysisContext | None = None,
+) -> list[Diagnostic]:
+    """Statically analyze a query AST; see the module rule catalog.
+
+    Returns diagnostics sorted errors-first, then by node path.  A bare
+    event expression is analyzed as ``HasEvent(expr)``, mirroring the
+    engine's convention.
+    """
+    if context is None:
+        context = AnalysisContext.default()
+    if isinstance(expr, EventExpr):
+        expr = HasEvent(expr)
+    analyzer = _Analyzer(context)
+    analyzer.patient(expr, "$", folded=False)
+    analyzer.out.sort(
+        key=lambda d: (_SEVERITY_ORDER.get(d.severity, 3), d.path, d.rule)
+    )
+    return analyzer.out

@@ -71,7 +71,11 @@ class QueryEngine:
     ``optimize`` toggles the planning/caching layer (default on);
     ``cache`` lets several engines share one per-process
     :class:`~repro.query.cache.QueryCache` (entries are keyed by store
-    content, so sharing across stores is safe).
+    content, so sharing across stores is safe).  ``analyze`` gates
+    every :meth:`patients` call through the static analyzer
+    (:mod:`repro.query.analyze`): queries with ``error``-severity
+    diagnostics are refused with a typed
+    :class:`~repro.errors.QueryAnalysisError` *before* any evaluation.
     """
 
     def __init__(
@@ -80,12 +84,16 @@ class QueryEngine:
         optimize: bool = True,
         cache: QueryCache | None = None,
         executor=None,
+        analyze: bool = False,
     ) -> None:
         self.store = store
         self.optimize = optimize
         self.cache = cache if cache is not None else QueryCache()
         self.executor = executor
+        self.analyze_queries = analyze
+        self.analyzer_counters = {"analyzed": 0, "errors": 0, "warnings": 0}
         self._estimator: SelectivityEstimator | None = None
+        self._analysis_context = None
 
     @property
     def is_sharded(self) -> bool:
@@ -100,6 +108,51 @@ class QueryEngine:
         if self._estimator is None:
             self._estimator = SelectivityEstimator(self.store)
         return self._estimator
+
+    # -- static analysis -----------------------------------------------------
+
+    @property
+    def analysis_context(self):
+        """The store-aware :class:`AnalysisContext`, built on first use."""
+        if self._analysis_context is None:
+            from repro.query.analyze import AnalysisContext
+
+            self._analysis_context = AnalysisContext.from_store(self.store)
+        return self._analysis_context
+
+    def analyze(self, expr: PatientExpr | EventExpr) -> list:
+        """Statically analyze a query; returns its diagnostics.
+
+        Never touches event data: only the store's vocabulary (code
+        systems, category and source tables) informs the rules.
+        Updates the engine's analyzer counters.
+        """
+        from repro.query.analyze import analyze_query
+
+        diagnostics = analyze_query(expr, context=self.analysis_context)
+        counters = self.analyzer_counters
+        counters["analyzed"] += 1
+        counters["errors"] += sum(
+            1 for d in diagnostics if d.severity == "error"
+        )
+        counters["warnings"] += sum(
+            1 for d in diagnostics if d.severity == "warning"
+        )
+        return diagnostics
+
+    def check(self, expr: PatientExpr | EventExpr) -> list:
+        """Analyze and *refuse* queries with error-severity findings.
+
+        Returns the full diagnostic list (warnings included) when the
+        query is acceptable; raises
+        :class:`~repro.errors.QueryAnalysisError` otherwise.
+        """
+        from repro.errors import QueryAnalysisError
+
+        diagnostics = self.analyze(expr)
+        if any(d.severity == "error" for d in diagnostics):
+            raise QueryAnalysisError(diagnostics)
+        return diagnostics
 
     # -- event level -----------------------------------------------------
 
@@ -198,6 +251,8 @@ class QueryEngine:
         arrays are merged (gather) — see
         :class:`~repro.shard.executor.ParallelExecutor`.
         """
+        if self.analyze_queries:
+            self.check(expr)
         if self.is_sharded:
             return self._scatter_gather(expr)
         if not self.optimize:
@@ -344,7 +399,8 @@ class QueryEngine:
         Each node carries its estimated selectivity and — when its
         memoized result is currently resident — a ``[cached]`` marker;
         conjunction children appear in evaluation order.  A summary
-        header reports the plan key and cache counters.
+        header reports the plan key and cache counters; a trailing
+        DIAGNOSTICS section lists the static analyzer's findings.
         """
         plan: Plan = plan_query(expr)
         token = self.store.content_token()
@@ -368,9 +424,18 @@ class QueryEngine:
             if record.is_degraded:
                 header.append(record.format_summary())
         header.append("")
-        return "\n".join(header) + format_plan(
-            plan, self.estimator, is_cached=is_cached
-        )
+        tree = format_plan(plan, self.estimator, is_cached=is_cached)
+        diagnostics = self.analyze(expr)
+        section = ["", "DIAGNOSTICS"]
+        if diagnostics:
+            section.extend(
+                "  " + line
+                for d in diagnostics
+                for line in d.format().splitlines()
+            )
+        else:
+            section.append("  none")
+        return "\n".join(header) + tree + "\n".join(section)
 
     def cache_stats(self) -> dict:
         """JSON-ready cache counters (the webapp ``/stats`` payload)."""

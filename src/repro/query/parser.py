@@ -75,12 +75,31 @@ def _tokenize(text: str) -> list[tuple[str, str, int]]:
     while pos < len(text):
         match = _TOKEN_RE.match(text, pos)
         if match is None:
+            if text[pos] == "/":
+                # a '/' that the regex-literal rule rejected can only
+                # be an unterminated (or trailing-backslash) literal
+                raise QuerySyntaxError(
+                    text, pos,
+                    "unterminated regex literal: expected a closing '/' "
+                    "(write '\\/' for a literal slash)",
+                )
             raise QuerySyntaxError(text, pos, f"bad character {text[pos]!r}")
         kind = match.lastgroup or ""
         if kind not in ("ws", "comment"):
             tokens.append((kind, match.group(), pos))
         pos = match.end()
     return tokens
+
+
+def _unescape_regex(literal: str) -> str:
+    """Strip the ``/.../`` delimiters and undo printer escaping.
+
+    Only ``\\/`` and ``\\\\`` are unescaped — every other backslash
+    pair (``\\d``, ``\\.``) belongs to the regex itself and passes
+    through untouched.  Exact inverse of the escaping in
+    :mod:`repro.query.printer`.
+    """
+    return re.sub(r"\\([\\/])", r"\1", literal[1:-1])
 
 
 class _Parser:
@@ -154,7 +173,7 @@ class _Parser:
             if system is None:
                 raise self._error(f"unknown code system {system_word!r}")
             __, regex = self.next("regex")
-            return CodeMatch(system, regex[1:-1].replace("\\/", "/"))
+            return CodeMatch(system, _unescape_regex(regex))
         if word == "concept":
             self.pos += 1
             __, code = self.next("word")

@@ -49,7 +49,9 @@ def _event_text(expr: EventExpr) -> str:
         alias = _SYSTEM_ALIASES.get(expr.system)
         if alias is None:
             raise QueryError(f"no textual alias for system {expr.system!r}")
-        escaped = expr.pattern.replace("/", "\\/")
+        # backslash first, so an escaped slash in the pattern survives
+        # the round trip (inverse of parser._unescape_regex)
+        escaped = expr.pattern.replace("\\", "\\\\").replace("/", "\\/")
         return f"code {alias} /{escaped}/"
     if isinstance(expr, Concept):
         return f"concept {expr.code}"

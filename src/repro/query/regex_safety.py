@@ -1,0 +1,747 @@
+"""Static safety analysis of code-matching regular expressions.
+
+The paper's query primitive is a clinician-authored regex over code
+hierarchies (Section IV-A), assembled by a GUI but ultimately free
+text on the serving path.  Three classes of pattern problems are worth
+catching *before* a pattern reaches the engine:
+
+* **invalid** patterns that do not compile at all;
+* **catastrophic backtracking** (ReDoS) shapes.  We walk the parsed
+  pattern as an NFA and flag the ambiguity sources that make
+  backtracking engines exponential: an unbounded repeat whose body
+  *ends* in a variable repeat over characters that could equally start
+  the next iteration (``(A+)+``, ``(A*)*``), an unbounded repeat over
+  an alternation whose branches can consume the same string
+  (``(A|AA)*``), and adjacent unbounded repeats with overlapping
+  character sets (``A*A*`` — polynomial, still flagged).  A *budgeted
+  pumping probe* then tries the derived pump string against the real
+  ``re`` engine and records measured superlinear growth as evidence;
+  the probe never decides an issue on its own, so results stay
+  deterministic across machines;
+* **impossible** patterns that cannot match the code shape of their
+  target system: literals or character classes entirely outside the
+  system's alphabet (e.g. lowercase classes against uppercase code
+  alphabets) and anchors that exclude every string (``A$B``).  Since
+  :meth:`~repro.terminology.codes.CodeSystem.match` uses *fullmatch*
+  semantics, leading ``^`` / trailing ``$`` are merely redundant and
+  reported as such.
+
+Everything here is pure pattern analysis — no :class:`EventStore` is
+ever touched.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass
+
+try:  # Python >= 3.11
+    from re import _constants as _c
+    from re import _parser as _p
+except ImportError:  # pragma: no cover - Python <= 3.10
+    import sre_constants as _c  # type: ignore[no-redef]
+    import sre_parse as _p  # type: ignore[no-redef]
+
+__all__ = ["RegexIssue", "analyze_pattern"]
+
+#: A finite repeat bound this large backtracks like an unbounded one.
+_UNBOUNDED_AT = 16
+
+#: Pump counts tried by the probe, cheapest first.
+_PROBE_PUMPS = (6, 10, 14, 18)
+
+
+@dataclass(frozen=True)
+class RegexIssue:
+    """One problem found in a pattern.
+
+    ``kind`` is a stable machine id: ``invalid``,
+    ``nested-quantifier``, ``overlapping-alternation``,
+    ``adjacent-quantifiers``, ``impossible`` or ``redundant-anchor``.
+    ``pump`` is the derived attack-string unit for backtracking kinds
+    and ``probe_ms`` the worst measured probe time (< 0 = not probed).
+    """
+
+    kind: str
+    message: str
+    hint: str = ""
+    pump: str = ""
+    probe_ms: float = -1.0
+
+
+# -- character-set algebra -----------------------------------------------------
+#
+# A closed representation of "which characters can this atom consume":
+# a positive finite set, or the complement of a finite set (which also
+# covers ``.`` and negated classes).  Only used to decide *overlap*, so
+# the approximation direction is "uncertain -> overlapping".
+
+
+@dataclass(frozen=True)
+class _Chars:
+    negated: bool
+    chars: frozenset[str]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.negated and not self.chars
+
+
+_NO_CHARS = _Chars(False, frozenset())
+_ANY_CHARS = _Chars(True, frozenset())
+
+_CATEGORY_SAMPLES = {
+    "category_digit": "0123456789",
+    "category_word": "Aa0_",
+    "category_space": " \t\n",
+}
+
+
+def _chars_union(a: _Chars, b: _Chars) -> _Chars:
+    if not a.negated and not b.negated:
+        return _Chars(False, a.chars | b.chars)
+    if a.negated and b.negated:
+        return _Chars(True, a.chars & b.chars)
+    pos, neg = (a, b) if not a.negated else (b, a)
+    return _Chars(True, neg.chars - pos.chars)
+
+
+def _chars_overlap(a: _Chars, b: _Chars) -> bool:
+    if a.is_empty or b.is_empty:
+        return False
+    if not a.negated and not b.negated:
+        return bool(a.chars & b.chars)
+    if a.negated and b.negated:
+        return True  # complements of finite sets always intersect
+    pos, neg = (a, b) if not a.negated else (b, a)
+    return bool(pos.chars - neg.chars)
+
+
+def _category_chars(name) -> _Chars:
+    key = str(name).rsplit(".", 1)[-1].lower()
+    if key.startswith("category_not_"):
+        sample = _CATEGORY_SAMPLES.get("category_" + key[13:], "")
+        return _Chars(True, frozenset(sample))
+    sample = _CATEGORY_SAMPLES.get(key)
+    return _Chars(False, frozenset(sample)) if sample else _ANY_CHARS
+
+
+def _in_chars(av) -> _Chars:
+    acc = _NO_CHARS
+    negated = False
+    for op, val in av:
+        if op is _c.NEGATE:
+            negated = True
+        elif op is _c.LITERAL:
+            acc = _chars_union(acc, _Chars(False, frozenset(chr(val))))
+        elif op is _c.RANGE:
+            lo, hi = val
+            span = frozenset(chr(x) for x in range(lo, min(hi, lo + 512) + 1))
+            acc = _chars_union(acc, _Chars(False, span))
+        elif op is _c.CATEGORY:
+            acc = _chars_union(acc, _category_chars(val))
+    if negated:
+        if acc.negated:  # complement of a complement-ish class: anything
+            return _ANY_CHARS
+        return _Chars(True, acc.chars)
+    return acc
+
+
+def _item_chars(item) -> _Chars:
+    """Every character the item could consume (anywhere inside it)."""
+    op, av = item
+    if op is _c.LITERAL:
+        return _Chars(False, frozenset(chr(av)))
+    if op is _c.NOT_LITERAL:
+        return _Chars(True, frozenset(chr(av)))
+    if op is _c.ANY:
+        return _ANY_CHARS
+    if op is _c.IN:
+        return _in_chars(av)
+    if op in (_c.MAX_REPEAT, _c.MIN_REPEAT):
+        return _seq_chars(av[2])
+    if op is _c.SUBPATTERN:
+        return _seq_chars(av[3])
+    if op is _c.BRANCH:
+        acc = _NO_CHARS
+        for branch in av[1]:
+            acc = _chars_union(acc, _seq_chars(branch))
+        return acc
+    if op is getattr(_c, "POSSESSIVE_REPEAT", None):
+        return _seq_chars(av[2])
+    if op is getattr(_c, "ATOMIC_GROUP", None):
+        return _seq_chars(av)
+    return _NO_CHARS  # AT, ASSERT*, GROUPREF: no chars we can name
+
+
+def _seq_chars(seq) -> _Chars:
+    acc = _NO_CHARS
+    for item in seq:
+        acc = _chars_union(acc, _item_chars(item))
+    return acc
+
+
+# -- structural predicates -----------------------------------------------------
+
+
+def _is_repeat(op) -> bool:
+    return op in (_c.MAX_REPEAT, _c.MIN_REPEAT)
+
+
+def _nullable_item(item) -> bool:
+    op, av = item
+    if op in (_c.AT, _c.ASSERT, _c.ASSERT_NOT):
+        return True
+    if _is_repeat(op) or op is getattr(_c, "POSSESSIVE_REPEAT", None):
+        lo, __, body = av
+        return lo == 0 or _nullable_seq(body)
+    if op is _c.SUBPATTERN:
+        return _nullable_seq(av[3])
+    if op is getattr(_c, "ATOMIC_GROUP", None):
+        return _nullable_seq(av)
+    if op is _c.BRANCH:
+        return any(_nullable_seq(b) for b in av[1])
+    if op is _c.GROUPREF:
+        return True  # the referenced group may have matched ""
+    return False
+
+
+def _nullable_seq(seq) -> bool:
+    return all(_nullable_item(item) for item in seq)
+
+
+def _min_width_item(item) -> int:
+    """A lower bound on characters the item must consume."""
+    op, av = item
+    if op in (_c.LITERAL, _c.NOT_LITERAL, _c.ANY, _c.IN):
+        return 1
+    if _is_repeat(op) or op is getattr(_c, "POSSESSIVE_REPEAT", None):
+        lo, __, body = av
+        return lo * _min_width_seq(body)
+    if op is _c.SUBPATTERN:
+        return _min_width_seq(av[3])
+    if op is getattr(_c, "ATOMIC_GROUP", None):
+        return _min_width_seq(av)
+    if op is _c.BRANCH:
+        return min(_min_width_seq(b) for b in av[1])
+    return 0  # AT, ASSERT*, GROUPREF
+
+
+def _min_width_seq(seq) -> int:
+    return sum(_min_width_item(item) for item in seq)
+
+
+def _item_first(item) -> _Chars:
+    """Characters that can begin a match of the item."""
+    op, av = item
+    if op is _c.SUBPATTERN:
+        return _first_chars(av[3])
+    if op is getattr(_c, "ATOMIC_GROUP", None):
+        return _first_chars(av)
+    if op is _c.BRANCH:
+        acc = _NO_CHARS
+        for branch in av[1]:
+            acc = _chars_union(acc, _first_chars(branch))
+        return acc
+    if _is_repeat(op) or op is getattr(_c, "POSSESSIVE_REPEAT", None):
+        return _first_chars(av[2])
+    return _item_chars(item)
+
+
+def _first_chars(seq) -> _Chars:
+    """Characters that can begin a match of the sequence."""
+    acc = _NO_CHARS
+    for item in seq:
+        acc = _chars_union(acc, _item_first(item))
+        if not _nullable_item(item):
+            break
+    return acc
+
+
+# -- witnesses -----------------------------------------------------------------
+
+
+def _in_witness(av) -> str | None:
+    excluded: set[str] = set()
+    negated = False
+    for op, val in av:
+        if op is _c.NEGATE:
+            negated = True
+        elif op is _c.LITERAL:
+            if not negated:
+                return chr(val)
+            excluded.add(chr(val))
+        elif op is _c.RANGE:
+            if not negated:
+                return chr(val[0])
+            excluded.update(chr(x) for x in range(val[0], val[1] + 1))
+        elif op is _c.CATEGORY:
+            chars = _category_chars(val)
+            if not negated and not chars.negated and chars.chars:
+                return sorted(chars.chars)[0]
+    if negated:
+        for candidate in "AB01 !z":
+            if candidate not in excluded:
+                return candidate
+    return None
+
+
+def _witness_item(item) -> str | None:
+    """A short concrete string the item can match (best effort)."""
+    op, av = item
+    if op is _c.LITERAL:
+        return chr(av)
+    if op is _c.NOT_LITERAL:
+        return "B" if av == ord("A") else "A"
+    if op is _c.ANY:
+        return "A"
+    if op is _c.IN:
+        return _in_witness(av)
+    if op is _c.SUBPATTERN:
+        return _witness_seq(av[3])
+    if op is getattr(_c, "ATOMIC_GROUP", None):
+        return _witness_seq(av)
+    if op is _c.BRANCH:
+        for branch in av[1]:
+            witness = _witness_seq(branch)
+            if witness is not None:
+                return witness
+        return None
+    if _is_repeat(op) or op is getattr(_c, "POSSESSIVE_REPEAT", None):
+        lo, __, body = av
+        witness = _witness_seq(body)
+        if witness is None:
+            return None if lo else ""
+        return witness * lo
+    if op in (_c.AT, _c.ASSERT, _c.ASSERT_NOT, _c.GROUPREF):
+        return ""
+    if op is _c.CATEGORY:
+        chars = _category_chars(av)
+        if not chars.negated and chars.chars:
+            return sorted(chars.chars)[0]
+        return "A"
+    return None
+
+
+def _witness_seq(seq) -> str | None:
+    parts = []
+    for item in seq:
+        witness = _witness_item(item)
+        if witness is None:
+            return None
+        parts.append(witness)
+    return "".join(parts)
+
+
+def _pump_witness(seq) -> str | None:
+    """A *non-empty* string the sequence can match, or None."""
+    for item in seq:
+        op, av = item
+        if _is_repeat(op) and av[1] != 0:
+            lo, __, body = av
+            inner = _pump_witness(body)
+            if inner:
+                rest = _witness_seq([i for i in seq if i is not item])
+                return inner if rest is None else inner + rest
+    witness = _witness_seq(seq)
+    return witness or None
+
+
+# -- ReDoS ambiguity walk ------------------------------------------------------
+
+
+def _unbounded(hi) -> bool:
+    return hi is _c.MAXREPEAT or hi >= _UNBOUNDED_AT
+
+
+def _tail_variable_repeat(seq):
+    """The variable-width repeat a match of ``seq`` can *end* with.
+
+    Walks backwards, skipping nullable items, descending into groups
+    and branches; returns the ``(lo, hi, body)`` of a repeat with
+    ``hi != lo`` whose body has a non-empty witness, or None.
+    """
+    for item in reversed(seq):
+        op, av = item
+        if _is_repeat(op):
+            lo, hi, body = av
+            if hi != lo and _pump_witness(body):
+                return av
+            if _nullable_item(item):
+                continue
+            return None
+        if op is _c.SUBPATTERN:
+            found = _tail_variable_repeat(av[3])
+            if found is not None:
+                return found
+        elif op is _c.BRANCH:
+            for branch in av[1]:
+                found = _tail_variable_repeat(branch)
+                if found is not None:
+                    return found
+        if _nullable_item(item):
+            continue
+        return None
+    return None
+
+
+def _witness_variants(seq, limit: int = 8) -> set[str]:
+    """Up to ``limit`` distinct strings the sequence can match.
+
+    Branch alternatives multiply the variant set (the stdlib parser
+    factors common prefixes — ``(A|AA)`` parses as ``A(|A)`` — so only
+    this enumeration sees the original alternation); all other items
+    contribute their single witness.  Empty set = no witness known.
+    """
+    acc = {""}
+    for item in seq:
+        op, av = item
+        if op is _c.BRANCH:
+            options = set()
+            for branch in av[1]:
+                witness = _witness_seq(branch)
+                if witness is not None:
+                    options.add(witness)
+        elif op is _c.SUBPATTERN:
+            options = _witness_variants(av[3], limit)
+        else:
+            witness = _witness_item(item)
+            options = {witness} if witness is not None else set()
+        if not options:
+            return set()
+        acc = {head + tail for head in acc for tail in options}
+        if len(acc) > limit:
+            acc = set(sorted(acc)[:limit])
+    return acc
+
+
+def _dup_branch_pump(seq) -> str | None:
+    """A string two *distinct* branches both match ("" counts), or None.
+
+    Two identical alternatives (``(a|a)*``, which the stdlib parser
+    factors into ``a(|)``) double the parse trees of every iteration —
+    invisible to the deduplicating enumeration in
+    :func:`_witness_variants`.
+    """
+    for item in seq:
+        op, av = item
+        if op is _c.BRANCH:
+            seen: set[str] = set()
+            for branch in av[1]:
+                witness = _witness_seq(branch)
+                if witness is not None:
+                    if witness in seen:
+                        return witness
+                    seen.add(witness)
+            for branch in av[1]:
+                found = _dup_branch_pump(branch)
+                if found is not None:
+                    return found
+        elif op is _c.SUBPATTERN:
+            found = _dup_branch_pump(av[3])
+            if found is not None:
+                return found
+        elif _is_repeat(op):
+            found = _dup_branch_pump(av[2])
+            if found is not None:
+                return found
+    return None
+
+
+def _variant_ambiguity(body) -> str | None:
+    """A pump string the repeat body can consume two ways, or None.
+
+    Flags variant pairs where one is a proper prefix of the other *and*
+    the leftover suffix could start another iteration — the ``(A|AA)*``
+    shape — while leaving ``(A|AB)*`` (leftover ``B`` cannot restart)
+    alone.
+    """
+    variants = sorted(_witness_variants(body))
+    body_first = _first_chars(body)
+    for i, wi in enumerate(variants):
+        for wj in variants[i + 1:]:
+            if not wi or not wj:
+                continue
+            short, long = sorted((wi, wj), key=len)
+            if long.startswith(short):
+                leftover = long[len(short):]
+                if leftover and _chars_overlap(
+                    _Chars(False, frozenset(leftover[0])), body_first
+                ):
+                    return short
+    return None
+
+
+def _scan_redos(seq, issues: list[RegexIssue]) -> None:
+    # Adjacent unbounded repeats with overlapping character sets:
+    # ``A*A*`` / ``.*.*`` — every split point is a backtracking choice.
+    previous = None  # (index, chars) of the last open unbounded repeat
+    for index, item in enumerate(seq):
+        op, av = item
+        if _is_repeat(op) and _unbounded(av[1]) and _pump_witness(av[2]):
+            chars = _seq_chars(av[2])
+            if previous is not None and _chars_overlap(previous, chars):
+                pump = _witness_seq([item]) or ""
+                issues.append(RegexIssue(
+                    kind="adjacent-quantifiers",
+                    message="two adjacent unbounded repeats can consume "
+                            "the same characters, so every split point "
+                            "backtracks (polynomial blow-up)",
+                    hint="merge them into one quantifier or separate "
+                         "them with a literal",
+                    pump=pump,
+                ))
+            previous = chars
+        elif not _nullable_item(item):
+            previous = None
+
+    for item in seq:
+        op, av = item
+        if _is_repeat(op):
+            lo, hi, body = av
+            if _unbounded(hi):
+                tail = _tail_variable_repeat(body)
+                if tail is not None and _chars_overlap(
+                    _seq_chars(tail[2]), _first_chars(body)
+                ):
+                    pump = _pump_witness(tail[2]) or ""
+                    issues.append(RegexIssue(
+                        kind="nested-quantifier",
+                        message="an unbounded repeat over a body that "
+                                "itself ends in a variable repeat is "
+                                "ambiguous: strings of "
+                                f"{pump!r} split into iterations "
+                                "exponentially many ways",
+                        hint="collapse the nesting, e.g. write 'A+' "
+                             "instead of '(A+)+'",
+                        pump=pump,
+                    ))
+                else:
+                    dup = _dup_branch_pump(body)
+                    if dup is not None:
+                        # an empty dup still doubles parse trees of a
+                        # non-empty iteration: pump the whole body
+                        pump = dup or _pump_witness(body)
+                    else:
+                        pump = _variant_ambiguity(body)
+                    if pump:
+                        issues.append(RegexIssue(
+                            kind="overlapping-alternation",
+                            message="a repeated alternation whose "
+                                    "branches can consume the same "
+                                    f"string ({pump!r}) backtracks "
+                                    "exponentially",
+                            hint="make the branches start differently, "
+                                 "or factor the common prefix out",
+                            pump=pump,
+                        ))
+            _scan_redos(body, issues)
+        elif op is _c.BRANCH:
+            for branch in av[1]:
+                _scan_redos(branch, issues)
+        elif op is _c.SUBPATTERN:
+            _scan_redos(av[3], issues)
+        elif op in (_c.ASSERT, _c.ASSERT_NOT):
+            _scan_redos(av[1], issues)
+        # POSSESSIVE_REPEAT / ATOMIC_GROUP never backtrack: skip.
+
+
+# -- pumping probe -------------------------------------------------------------
+
+
+def _probe_pattern(pattern: str, pump: str, budget_ms: float) -> float:
+    """Worst measured fullmatch time (ms) over growing pump counts.
+
+    Stops as soon as the budget is spent; a crafted exponential pattern
+    is therefore *measured* in well under the budget, never run to
+    completion.
+    """
+    try:
+        compiled = re.compile(pattern)
+    except re.error:  # pragma: no cover - caller checks compile first
+        return -1.0
+    worst = 0.0
+    spent = 0.0
+    for count in _PROBE_PUMPS:
+        attack = pump * count + "\x00"
+        start = time.perf_counter()
+        compiled.fullmatch(attack)
+        elapsed = (time.perf_counter() - start) * 1000.0
+        worst = max(worst, elapsed)
+        spent += elapsed
+        if spent > budget_ms:
+            break
+    return worst
+
+
+# -- alphabet / anchor impossibility -------------------------------------------
+
+
+def _in_matches_alphabet(av, alphabet: frozenset[str]) -> bool:
+    """Can this character class consume at least one alphabet char?"""
+    positives: set[str] = set()
+    negated = False
+    unknown = False
+    for op, val in av:
+        if op is _c.NEGATE:
+            negated = True
+        elif op is _c.LITERAL:
+            positives.add(chr(val))
+        elif op is _c.RANGE:
+            lo, hi = val
+            positives.update(c for c in alphabet if lo <= ord(c) <= hi)
+        elif op is _c.CATEGORY:
+            chars = _category_chars(val)
+            if chars.negated:
+                unknown = True
+            else:
+                positives.update(chars.chars)
+    if negated:
+        return unknown or bool(alphabet - positives)
+    if unknown:
+        return True
+    return bool(positives & alphabet)
+
+
+def _alphabet_failure(seq, alphabet: frozenset[str]) -> str | None:
+    """Why no string over ``alphabet`` can match ``seq`` (or None).
+
+    Sound, not complete: only *mandatory* atoms are considered, so a
+    returned reason is a proof while None promises nothing.
+    """
+    for item in seq:
+        op, av = item
+        if op is _c.LITERAL:
+            char = chr(av)
+            if char not in alphabet:
+                reason = f"literal {char!r} never appears in these codes"
+                if char.upper() in alphabet:
+                    reason += f" (codes are uppercase: write {char.upper()!r})"
+                return reason
+        elif op is _c.IN:
+            if not _in_matches_alphabet(av, alphabet):
+                return ("character class matches no character of the "
+                        "code alphabet (lowercase-only classes cannot "
+                        "match uppercase codes)")
+        elif op is _c.SUBPATTERN:
+            reason = _alphabet_failure(av[3], alphabet)
+            if reason:
+                return reason
+        elif op is getattr(_c, "ATOMIC_GROUP", None):
+            reason = _alphabet_failure(av, alphabet)
+            if reason:
+                return reason
+        elif op is _c.BRANCH:
+            reasons = [_alphabet_failure(b, alphabet) for b in av[1]]
+            if all(reasons):
+                return reasons[0]
+        elif _is_repeat(op) or op is getattr(_c, "POSSESSIVE_REPEAT", None):
+            if av[0] >= 1:  # mandatory at least once
+                reason = _alphabet_failure(av[2], alphabet)
+                if reason:
+                    return reason
+    return None
+
+
+def _scan_anchors(seq, issues: list[RegexIssue], top_level: bool) -> None:
+    for index, item in enumerate(seq):
+        op, av = item
+        if op is _c.AT:
+            name = str(av).rsplit(".", 1)[-1].lower()
+            if name in ("at_end", "at_end_string"):
+                if _min_width_seq(seq[index + 1:]) > 0:
+                    issues.append(RegexIssue(
+                        kind="impossible",
+                        message="'$' anchor is followed by required "
+                                "characters, so nothing can match",
+                        hint="move the anchor to the end or drop it",
+                    ))
+                elif top_level and index == len(seq) - 1:
+                    issues.append(RegexIssue(
+                        kind="redundant-anchor",
+                        message="trailing '$' is redundant: code "
+                                "patterns are full-matched",
+                        hint="drop the anchor",
+                    ))
+            elif name in ("at_beginning", "at_beginning_string"):
+                if _min_width_seq(seq[:index]) > 0:
+                    issues.append(RegexIssue(
+                        kind="impossible",
+                        message="'^' anchor is preceded by required "
+                                "characters, so nothing can match",
+                        hint="move the anchor to the start or drop it",
+                    ))
+                elif top_level and index == 0:
+                    issues.append(RegexIssue(
+                        kind="redundant-anchor",
+                        message="leading '^' is redundant: code "
+                                "patterns are full-matched",
+                        hint="drop the anchor",
+                    ))
+        elif op is _c.SUBPATTERN:
+            _scan_anchors(av[3], issues, top_level=False)
+        elif op is _c.BRANCH:
+            for branch in av[1]:
+                _scan_anchors(branch, issues, top_level=False)
+        elif _is_repeat(op):
+            _scan_anchors(av[2], issues, top_level=False)
+
+
+# -- entry point ---------------------------------------------------------------
+
+
+def analyze_pattern(
+    pattern: str,
+    alphabet: frozenset[str] | None = None,
+    probe: bool = True,
+    probe_budget_ms: float = 50.0,
+) -> list[RegexIssue]:
+    """Every :class:`RegexIssue` found in ``pattern``.
+
+    ``alphabet`` — the set of characters appearing in the target code
+    system's identifiers — enables the impossibility checks.  ``probe``
+    runs the budgeted pumping probe on backtracking findings to attach
+    measured evidence (it never creates or removes an issue).
+    """
+    try:
+        parsed = _p.parse(pattern)
+    except re.error as exc:
+        column = f" at position {exc.pos}" if exc.pos is not None else ""
+        return [RegexIssue(
+            kind="invalid",
+            message=f"does not compile: {exc.msg}{column}",
+            hint="fix the regular expression syntax",
+        )]
+    seq = list(parsed)
+    issues: list[RegexIssue] = []
+    _scan_redos(seq, issues)
+    _scan_anchors(seq, issues, top_level=True)
+    if alphabet is not None:
+        reason = _alphabet_failure(seq, alphabet)
+        if reason:
+            issues.append(RegexIssue(
+                kind="impossible",
+                message=f"can never match a code: {reason}",
+                hint="compare the pattern against the system's code "
+                     "list",
+            ))
+    if probe:
+        budget = probe_budget_ms
+        probed: list[RegexIssue] = []
+        for issue in issues:
+            if issue.pump and budget > 0 and issue.kind in (
+                "nested-quantifier", "overlapping-alternation",
+                "adjacent-quantifiers",
+            ):
+                start = time.perf_counter()
+                worst = _probe_pattern(pattern, issue.pump, budget)
+                budget -= (time.perf_counter() - start) * 1000.0
+                probed.append(RegexIssue(
+                    kind=issue.kind, message=issue.message,
+                    hint=issue.hint, pump=issue.pump, probe_ms=worst,
+                ))
+            else:
+                probed.append(issue)
+        issues = probed
+    return issues

@@ -287,7 +287,9 @@ def _load_columns(directory: str) -> dict | None:
     for name in COLUMNS:
         path = os.path.join(directory, f"{name}.npy")
         try:
-            arrays[name] = np.load(path)
+            # eager, not mapped: salvage re-hashes and rewrites these
+            # bytes, so holding views into the damaged files is unsafe
+            arrays[name] = np.load(path, mmap_mode=None)
         except (OSError, ValueError):
             return None
     return arrays

@@ -13,6 +13,7 @@ from repro.terminology.icpc2 import CHAPTERS, PROCESS_RUBRICS, component_of, icp
 from repro.terminology.mapping import TerminologyMap, icpc2_to_icd10_map
 from repro.terminology.regex_select import (
     any_of,
+    any_of_codes,
     branch_selection,
     exact,
     prefix_pattern,
@@ -29,6 +30,7 @@ __all__ = [
     "TerminologyMap",
     "ancestor_at_level",
     "any_of",
+    "any_of_codes",
     "atc",
     "branch_selection",
     "component_of",

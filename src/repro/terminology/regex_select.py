@@ -15,7 +15,8 @@ import re
 from repro.errors import TerminologyError
 from repro.terminology.codes import CodeSelection, CodeSystem
 
-__all__ = ["prefix_pattern", "any_of", "exact", "branch_selection"]
+__all__ = ["prefix_pattern", "any_of", "any_of_codes", "exact",
+           "branch_selection"]
 
 
 def prefix_pattern(prefix: str) -> str:
@@ -41,11 +42,32 @@ def any_of(*patterns: str) -> str:
     """Combine patterns with regex disjunction.
 
     ``any_of(prefix_pattern("F"), prefix_pattern("H"))`` -> ``"F.*|H.*"``,
-    the paper's worked example.
+    the paper's worked example.  Every fragment is compile-checked so an
+    invalid piece is reported *by name* here, not as a cryptic error on
+    the combined pattern at query time.
     """
     if not patterns:
         raise TerminologyError("any_of requires at least one pattern")
+    for pattern in patterns:
+        try:
+            re.compile(pattern)
+        except re.error as exc:
+            raise TerminologyError(
+                f"bad pattern fragment {pattern!r} in any_of: {exc}"
+            ) from exc
     return "|".join(f"(?:{p})" for p in patterns)
+
+
+def any_of_codes(*codes: str) -> str:
+    """A disjunction matching exactly the given code identifiers.
+
+    Every code is escaped, so identifiers carrying regex metacharacters
+    (``N39.0`` — the dot must not match ``N3900``) select only
+    themselves.
+    """
+    if not codes:
+        raise TerminologyError("any_of_codes requires at least one code")
+    return any_of(*(exact(c) for c in codes))
 
 
 def branch_selection(

@@ -6,14 +6,20 @@ explored from a browser:
 
 * ``/`` — query form plus population summary;
 * ``/cohort?q=…`` — run a textual query: cohort statistics, a timeline
-  preview and per-patient links;
+  preview and per-patient links.  Every query is statically analyzed
+  first: error-severity diagnostics answer 400 with the full diagnostic
+  list (the query is never evaluated), warnings are embedded in the
+  results page;
+* ``/analyze?q=…`` — JSON static-analysis report for a query without
+  evaluating it (rule ids, severities, node paths, fix-it hints);
 * ``/timeline.svg?q=…&rows=…&align=…`` — the Figure 1 rendering;
 * ``/overview.svg?q=…`` — the density overview;
 * ``/patient/<id>`` — one interactive personal timeline;
 * ``/healthz`` — JSON liveness report: store sizes plus any sources the
   ingestion had to degrade (HTTP 503 while degraded);
-* ``/stats`` — JSON serving metrics: store sizes plus the query
-  planner's cache counters (hits/misses/evictions/entries).  The cache
+* ``/stats`` — JSON serving metrics: store sizes, the static
+  analyzer's counters (queries analyzed, errors, warnings) plus the
+  query planner's cache counters (hits/misses/evictions/entries).  The cache
   is per-process — one workbench engine serves every request — so the
   counters aggregate the whole serving session.  A workbench serving a
   sharded on-disk store (:mod:`repro.shard`) additionally reports shard
@@ -59,6 +65,7 @@ _PAGE = """<!DOCTYPE html>
  pre {{ background: #f0f0f0; padding: 0.6em; }}
  img, object {{ border: 1px solid #ddd; background: #fff; }}
  .err {{ color: #b00020; }}
+ .warn {{ color: #8a6d00; }}
 </style></head><body>
 <h2>{title}</h2>
 <form action="/cohort" method="get">
@@ -142,6 +149,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._index()
             elif url.path == "/cohort":
                 self._cohort(params)
+            elif url.path == "/analyze":
+                self._analyze(params)
             elif url.path == "/timeline.svg":
                 self._timeline(params)
             elif url.path == "/overview.svg":
@@ -173,6 +182,7 @@ class _Handler(BaseHTTPRequestHandler):
             "events": int(store.n_events),
             "query_cache": self.workbench.query_cache_stats(),
         }
+        payload["analyzer"] = dict(self.workbench.engine.analyzer_counters)
         shards = self.workbench.shard_stats()
         if shards is not None:
             payload["shards"] = shards
@@ -219,11 +229,44 @@ class _Handler(BaseHTTPRequestHandler):
         )
         self._page("PAsTAs workbench", body)
 
+    def _diagnostic_list(self, diagnostics, css: str) -> str:
+        items = "".join(
+            f"<li><code>{escape(d.rule)}</code> at "
+            f"<code>{escape(d.path)}</code>: {escape(d.message)}"
+            + (f"<br><i>hint: {escape(d.hint)}</i>" if d.hint else "")
+            + "</li>"
+            for d in diagnostics
+        )
+        return f"<ul class='{css}'>{items}</ul>"
+
+    def _analyze(self, params: dict) -> None:
+        query = self._query_param(params)
+        if not query:
+            raise QueryError("missing query parameter 'q'")
+        diagnostics = self.workbench.analyze(query)
+        payload = {
+            "query": query,
+            "ok": not any(d.severity == "error" for d in diagnostics),
+            "diagnostics": [d.to_json() for d in diagnostics],
+        }
+        self._send(json.dumps(payload, sort_keys=True),
+                   "application/json", 200)
+
     def _cohort(self, params: dict) -> None:
         query = self._query_param(params)
         if not query:
             self._page("Cohort", "<p class='err'>empty query</p>",
                        status=400)
+            return
+        diagnostics = self.workbench.analyze(query)
+        if any(d.severity == "error" for d in diagnostics):
+            self._page(
+                "Query rejected",
+                "<p class='err'>static analysis rejected this query "
+                "(it was not evaluated):</p>"
+                + self._diagnostic_list(diagnostics, "err"),
+                query=query, status=400,
+            )
             return
         ids = self.workbench.select(query)
         self._check_deadline()
@@ -233,8 +276,14 @@ class _Handler(BaseHTTPRequestHandler):
             f'<li><a href="/patient/{int(p)}">patient {int(p)}</a></li>'
             for p in ids[:20]
         )
+        warnings_block = (
+            "<p class='warn'>static-analysis warnings:</p>"
+            + self._diagnostic_list(diagnostics, "warn")
+            if diagnostics else ""
+        )
         body = (
-            f"<p>{len(ids):,} patients match.</p>"
+            warnings_block
+            + f"<p>{len(ids):,} patients match.</p>"
             f"<pre>{escape(stats.format_table())}</pre>"
             f'<object data="/timeline.svg?q={encoded}&rows=60" '
             'type="image/svg+xml" width="100%"></object>'

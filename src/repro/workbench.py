@@ -74,6 +74,7 @@ class Workbench:
                 max_bytes=self.config.query_cache_bytes,
             ),
             executor=executor,
+            analyze=self.config.analyze_queries,
         )
 
     # -- construction -------------------------------------------------------
@@ -218,6 +219,17 @@ class Workbench:
         if isinstance(query, str):
             query = parse_query(query)
         return self.engine.explain(query)
+
+    def analyze(self, query: str | PatientExpr | EventExpr) -> list:
+        """Statically analyze a query (text or AST) without running it.
+
+        Returns the analyzer's :class:`~repro.query.analyze.Diagnostic`
+        list — empty when the query is clean.  See
+        :func:`repro.query.analyze.analyze_query` for the rule catalog.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        return self.engine.analyze(query)
 
     def query_cache_stats(self) -> dict:
         """JSON-ready query-cache counters (the ``/stats`` payload)."""

@@ -1,7 +1,8 @@
-"""Golden-file tests: ``query --explain`` text and ``/stats`` JSON.
+"""Golden tests: ``query --explain``, ``/stats`` and ``lint-query``.
 
-Plan formatting and the stats payload are consumed by humans and
-scripts respectively; both are pinned byte-for-byte against golden
+Plan formatting (including its DIAGNOSTICS section), the stats payload
+and the analyzer's ``lint-query --json`` report are consumed by humans
+and scripts respectively; all are pinned byte-for-byte against golden
 files so they cannot drift silently.  Regenerate intentionally with::
 
     REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest \
@@ -28,6 +29,10 @@ GOLDEN_DIR = Path(__file__).parent / "golden"
 #: The pinned scenario: a seeded store and a two-clause refinement query.
 _SEED_PATIENTS, _SEED = 300, 9
 _QUERY = "concept T90 and atleast 2 category gp_contact"
+
+#: A query tripping several analyzer rules whose messages carry no
+#: timing evidence, so the JSON report is byte-stable.
+_LINT_QUERY = "code icpc2 /^ZZZ/ and category no_such_category"
 
 
 def _golden_store():
@@ -64,6 +69,22 @@ def test_query_no_optimize_count_matches(tmp_path, capsys):
     naive_line = capsys.readouterr().out.splitlines()[0]
     golden = (GOLDEN_DIR / "query_explain.txt").read_text(encoding="utf-8")
     assert naive_line == golden.splitlines()[0]
+
+
+def test_lint_query_json_pinned(capsys):
+    assert cli_main(["lint-query", _LINT_QUERY, "--json"]) == 0
+    _check_golden("lint_query.json", capsys.readouterr().out)
+
+
+def test_explain_diagnostics_section_pinned(tmp_path, capsys):
+    """The DIAGNOSTICS block of --explain for a flagged query."""
+    store_path = str(tmp_path / "golden.npz")
+    save_store(_golden_store(), store_path)
+    assert cli_main(["query", store_path, _LINT_QUERY,
+                     "--explain"]) == 0
+    out = capsys.readouterr().out
+    section = out[out.index("DIAGNOSTICS"):]
+    _check_golden("explain_diagnostics.txt", section)
 
 
 def test_stats_json_pinned():

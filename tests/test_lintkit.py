@@ -1,0 +1,218 @@
+"""The repo-wide AST lint framework (``tools/lintkit``).
+
+Exercises the framework machinery (registry, suppressions, reporters,
+syntax-error handling) and each rule against crafted snippets, then the
+real gate: the whole of ``src/repro`` and ``tools`` must lint clean —
+exactly what CI enforces.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT) not in sys.path:
+    sys.path.insert(0, str(ROOT))
+
+from tools.lintkit import all_rules, format_text, lint_paths, to_json
+
+
+def _lint_snippet(tmp_path, source: str, rel: str = "src/repro/x.py"):
+    """Lint one snippet placed at a repo-relative-looking path."""
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    # Exclude the project-wide taxonomy rule: it inspects repro.errors,
+    # not the snippet.
+    rules = [r for r in all_rules() if r.id != "LK003"]
+    return lint_paths([path], rules=rules, root=tmp_path)
+
+
+def _rules_hit(violations) -> set:
+    return {v.rule for v in violations}
+
+
+# -- rules ------------------------------------------------------------------
+
+
+def test_lk001_bare_except(tmp_path):
+    violations = _lint_snippet(tmp_path, (
+        "try:\n    pass\nexcept:\n    pass\n"
+    ))
+    assert _rules_hit(violations) == {"LK001"}
+    assert violations[0].line == 3
+
+
+def test_lk002_broad_except_without_reraise(tmp_path):
+    violations = _lint_snippet(tmp_path, (
+        "try:\n    pass\nexcept Exception:\n    x = 1\n"
+    ))
+    assert _rules_hit(violations) == {"LK002"}
+
+
+def test_lk002_reraise_is_fine(tmp_path):
+    assert not _lint_snippet(tmp_path, (
+        "try:\n    pass\nexcept Exception:\n    raise\n"
+    ))
+
+
+def test_lk003_taxonomy_roots_run_clean_on_repo():
+    rules = [r for r in all_rules() if r.id == "LK003"]
+    assert not lint_paths([], rules=rules, root=ROOT)
+
+
+def test_lk101_unseeded_rng(tmp_path):
+    violations = _lint_snippet(tmp_path, (
+        "import numpy as np\nimport random\n"
+        "a = np.random.default_rng()\n"
+        "b = random.Random()\n"
+        "c = np.random.rand(3)\n"
+    ))
+    assert _rules_hit(violations) == {"LK101"}
+    assert len(violations) == 3
+
+
+def test_lk101_seeded_rng_passes(tmp_path):
+    assert not _lint_snippet(tmp_path, (
+        "import numpy as np\nimport random\n"
+        "a = np.random.default_rng(42)\n"
+        "b = random.Random(7)\n"
+    ))
+
+
+def test_lk101_only_applies_to_src(tmp_path):
+    source = "import numpy as np\na = np.random.default_rng()\n"
+    assert _lint_snippet(tmp_path, source, rel="tools/x.py") == []
+
+
+def test_lk102_in_place_store_write(tmp_path):
+    violations = _lint_snippet(tmp_path, (
+        "def save_thing(path, data):\n"
+        "    with open(path, 'w') as f:\n"
+        "        f.write(data)\n"
+    ), rel="src/repro/io.py")
+    assert _rules_hit(violations) == {"LK102"}
+
+
+def test_lk102_atomic_replace_passes(tmp_path):
+    assert not _lint_snippet(tmp_path, (
+        "import os, tempfile\n"
+        "def save_thing(path, data):\n"
+        "    fd, tmp = tempfile.mkstemp()\n"
+        "    with open(tmp, 'w') as f:\n"
+        "        f.write(data)\n"
+        "    os.replace(tmp, path)\n"
+    ), rel="src/repro/io.py")
+
+
+def test_lk102_ignores_non_writer_functions(tmp_path):
+    assert not _lint_snippet(tmp_path, (
+        "def export_csv(path):\n"
+        "    with open(path, 'w') as f:\n"
+        "        f.write('x')\n"
+    ), rel="src/repro/io.py")
+
+
+def test_lk103_np_load_needs_explicit_mmap(tmp_path):
+    rel = "src/repro/shard/x.py"
+    violations = _lint_snippet(tmp_path, (
+        "import numpy as np\na = np.load('f.npy')\n"
+    ), rel=rel)
+    assert _rules_hit(violations) == {"LK103"}
+    assert not _lint_snippet(tmp_path, (
+        "import numpy as np\n"
+        "a = np.load('f.npy', mmap_mode='r')\n"
+        "b = np.load('g.npy', mmap_mode=None)\n"
+    ), rel=rel)
+
+
+def test_lk103_scoped_to_shard_code(tmp_path):
+    source = "import numpy as np\na = np.load('f.npy')\n"
+    assert not _lint_snippet(tmp_path, source, rel="src/repro/io.py")
+
+
+# -- framework --------------------------------------------------------------
+
+
+def test_line_suppression(tmp_path):
+    violations = _lint_snippet(tmp_path, (
+        "try:\n    pass\n"
+        "except:  # lintkit: disable=LK001\n    pass\n"
+    ))
+    assert violations == []
+
+
+def test_file_suppression(tmp_path):
+    violations = _lint_snippet(tmp_path, (
+        "# lintkit: disable-file=LK001\n"
+        "try:\n    pass\nexcept:\n    pass\n"
+        "try:\n    pass\nexcept:\n    pass\n"
+    ))
+    assert violations == []
+
+
+def test_suppression_only_silences_named_rule(tmp_path):
+    violations = _lint_snippet(tmp_path, (
+        "try:\n    pass\n"
+        "except:  # lintkit: disable=LK002\n    pass\n"
+    ))
+    assert _rules_hit(violations) == {"LK001"}
+
+
+def test_syntax_error_reported_not_raised(tmp_path):
+    violations = _lint_snippet(tmp_path, "def broken(:\n")
+    assert _rules_hit(violations) == {"LK000"}
+
+
+def test_reporters(tmp_path):
+    violations = _lint_snippet(tmp_path,
+                               "try:\n    pass\nexcept:\n    pass\n")
+    text = format_text(violations)
+    assert "LK001" in text and "src/repro/x.py:3" in text
+    payload = json.loads(to_json(violations))
+    assert payload[0]["rule"] == "LK001"
+    assert format_text([]) == "lintkit: clean"
+
+
+def test_rule_ids_unique_and_titled():
+    rules = all_rules()
+    ids = [rule.id for rule in rules]
+    assert len(ids) == len(set(ids))
+    assert all(rule.title for rule in rules)
+    assert {"LK001", "LK002", "LK003", "LK101", "LK102", "LK103"} <= set(ids)
+
+
+# -- the real gate ----------------------------------------------------------
+
+
+def test_src_and_tools_lint_clean():
+    violations = lint_paths([ROOT / "src" / "repro", ROOT / "tools"],
+                            root=ROOT)
+    assert not violations, format_text(violations)
+
+
+def test_cli_module_runs_clean():
+    result = subprocess.run(
+        [sys.executable, "-m", "tools.lintkit"],
+        cwd=ROOT, capture_output=True, text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "clean" in result.stdout
+
+
+def test_check_error_taxonomy_wrapper_still_works():
+    result = subprocess.run(
+        [sys.executable, "tools/check_error_taxonomy.py"],
+        cwd=ROOT, capture_output=True, text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "error taxonomy ok" in result.stdout
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])

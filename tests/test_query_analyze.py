@@ -1,0 +1,473 @@
+"""The query static analyzer: every rule, and every wiring layer.
+
+Covers the rule catalog of :mod:`repro.query.analyze` (QA101…QA209),
+the engine gate (``analyze=True`` refuses error-severity queries with a
+typed :class:`QueryAnalysisError` before touching event data), the
+``explain()`` DIAGNOSTICS section, the CLI (``lint-query`` and
+``query --lint``, exit code 4) and the webapp (400 on rejected
+queries, warnings embedded, ``/analyze`` endpoint, ``/stats``
+counters).  The acceptance bound — a catastrophic-backtracking pattern
+rejected statically in under 100 ms — is asserted directly.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.config import WorkbenchConfig
+from repro.errors import QueryAnalysisError, QuerySyntaxError
+from repro.io import save_store
+from repro.query.analyze import AnalysisContext, Diagnostic, analyze_query
+from repro.query.ast import (
+    AgeRange,
+    Category,
+    CodeMatch,
+    Concept,
+    EventAnd,
+    EventNot,
+    EventOr,
+    FirstBefore,
+    HasEvent,
+    PatientAnd,
+    PatientNot,
+    PatientOr,
+    SexIs,
+    Source,
+    TimeWindow,
+    ValueRange,
+)
+from repro.query.engine import QueryEngine
+from repro.query.parser import parse_query
+from repro.query.printer import to_text
+from repro.simulate.fast import generate_store_fast
+from repro.webapp import WorkbenchServer
+from repro.workbench import Workbench
+
+#: A pattern with genuinely exponential backtracking (nested ambiguous
+#: quantifiers) — the acceptance criterion's crafted rejection target.
+_REDOS = "(A+)+"
+
+
+@pytest.fixture(scope="module")
+def store():
+    store, __ = generate_store_fast(300, seed=9)
+    return store
+
+
+def _rules(diagnostics: list) -> set:
+    return {d.rule for d in diagnostics}
+
+
+def _one(diagnostics: list, rule: str) -> Diagnostic:
+    matches = [d for d in diagnostics if d.rule == rule]
+    assert matches, f"{rule} not in {_rules(diagnostics)}"
+    return matches[0]
+
+
+# -- rule catalog ----------------------------------------------------------
+
+
+def test_qa101_invalid_pattern():
+    diag = _one(analyze_query(HasEvent(CodeMatch("ICPC-2", "K8["))),
+                "QA101")
+    assert diag.severity == "error"
+    assert diag.path == "$.expr"
+
+
+def test_qa102_nested_quantifier_is_error_with_hint():
+    diag = _one(analyze_query(HasEvent(CodeMatch("ICPC-2", _REDOS))),
+                "QA102")
+    assert diag.severity == "error"
+    assert diag.hint  # a fix-it suggestion, not just a complaint
+    assert "A+" in diag.hint
+
+
+def test_qa102_overlapping_alternation():
+    diagnostics = analyze_query(HasEvent(CodeMatch("ICPC-2", "(T|TT)+9")))
+    assert _one(diagnostics, "QA102").severity == "error"
+
+
+def test_qa103_adjacent_quantifiers_warn():
+    diag = _one(analyze_query(HasEvent(CodeMatch("ICPC-2", "T.*.*90"))),
+                "QA103")
+    assert diag.severity == "warning"
+
+
+def test_qa104_impossible_alphabet():
+    diag = _one(analyze_query(HasEvent(CodeMatch("ICPC-2", "t90"))),
+                "QA104")
+    assert diag.severity == "warning"
+    assert diag.unsatisfiable
+    assert "uppercase" in diag.message
+
+
+def test_qa104_zero_known_codes():
+    diag = _one(analyze_query(HasEvent(CodeMatch("ICPC-2", "ZZZ"))),
+                "QA104")
+    assert diag.unsatisfiable
+
+
+def test_qa105_unknown_system_and_concept_are_errors():
+    assert _one(analyze_query(HasEvent(CodeMatch("SNOMED", "T90"))),
+                "QA105").severity == "error"
+    assert _one(analyze_query(HasEvent(Concept("QQ99"))),
+                "QA105").severity == "error"
+
+
+def test_qa106_redundant_anchor_is_info():
+    diag = _one(analyze_query(HasEvent(CodeMatch("ICPC-2", "^T90$"))),
+                "QA106")
+    assert diag.severity == "info"
+
+
+def test_qa201_disjoint_value_ranges():
+    query = HasEvent(EventAnd((ValueRange(0.0, 10.0),
+                               ValueRange(20.0, 30.0))))
+    diag = _one(analyze_query(query), "QA201")
+    assert diag.severity == "warning"
+    assert diag.unsatisfiable
+
+
+def test_qa201_two_categories_conflict():
+    query = HasEvent(EventAnd((Category("gp_contact"),
+                               Category("prescription"))))
+    assert _one(analyze_query(query), "QA201").unsatisfiable
+
+
+def test_qa201_sex_contradiction():
+    query = PatientAnd((SexIs("F"), SexIs("M")))
+    assert _one(analyze_query(query), "QA201").unsatisfiable
+
+
+def test_qa201_disjoint_code_selections():
+    query = HasEvent(EventAnd((CodeMatch("ICPC-2", "T90"),
+                               CodeMatch("ICPC-2", "K86"))))
+    assert _one(analyze_query(query), "QA201").unsatisfiable
+
+
+def test_qa201_disjoint_age_ranges():
+    query = PatientAnd((AgeRange(0.0, 10.0, 15_000),
+                        AgeRange(50.0, 60.0, 15_000)))
+    assert _one(analyze_query(query), "QA201").unsatisfiable
+
+
+def test_qa202_contradiction_folds_to_empty():
+    atom = Concept("T90")
+    diag = _one(analyze_query(HasEvent(EventAnd((atom, EventNot(atom))))),
+                "QA202")
+    assert diag.severity == "warning"
+    assert diag.unsatisfiable
+
+
+def test_qa203_tautology_folds_to_everything():
+    atom = SexIs("F")
+    diag = _one(analyze_query(PatientOr((atom, PatientNot(atom)))),
+                "QA203")
+    assert diag.severity == "warning"
+    assert not diag.unsatisfiable
+
+
+def test_qa204_double_negation():
+    diag = _one(analyze_query(PatientNot(PatientNot(SexIs("F")))),
+                "QA204")
+    assert diag.severity == "info"
+
+
+def test_qa205_unknown_category_and_source():
+    diag = _one(analyze_query(HasEvent(Category("no_such_category"))),
+                "QA205")
+    assert diag.severity == "warning"
+    assert diag.unsatisfiable
+    assert _one(analyze_query(HasEvent(Source("no_such_source"))),
+                "QA205").unsatisfiable
+
+
+def test_qa206_defensive_empty_combinator():
+    # EventAnd's constructor refuses < 2 children, so forge one the way
+    # a buggy programmatic caller might.
+    broken = object.__new__(EventAnd)
+    object.__setattr__(broken, "children", (Concept("T90"),))
+    diag = _one(analyze_query(HasEvent(broken)), "QA206")
+    assert diag.severity == "warning"
+
+
+def test_qa207_first_before_window_never_binds():
+    query = FirstBefore(
+        EventAnd((Concept("T90"), TimeWindow(15_100, 15_200))), 15_000
+    )
+    diag = _one(analyze_query(query), "QA207")
+    assert diag.severity == "warning"
+    assert not diag.unsatisfiable
+
+
+def test_qa207_disjoint_time_windows_not_marked_unsat():
+    # Interval events can span the gap between two windows, so this is
+    # a "probably never binds" warning, NOT an unsatisfiability proof.
+    query = HasEvent(EventAnd((TimeWindow(100, 200), TimeWindow(300, 400))))
+    diag = _one(analyze_query(query), "QA207")
+    assert not diag.unsatisfiable
+
+
+def test_qa208_shadowed_clause():
+    query = HasEvent(EventOr((CodeMatch("ICPC-2", "T90"),
+                              CodeMatch("ICPC-2", "T9."))))
+    diag = _one(analyze_query(query), "QA208")
+    assert diag.severity == "warning"
+
+
+def test_qa209_duplicate_siblings():
+    atom = HasEvent(Concept("T90"))
+    diag = _one(analyze_query(PatientAnd((atom, atom))), "QA209")
+    assert diag.severity == "info"
+
+
+def test_clean_query_has_no_diagnostics():
+    query = parse_query("concept T90 and atleast 2 category gp_contact")
+    assert analyze_query(query) == []
+
+
+def test_diagnostics_sorted_errors_first():
+    query = PatientAnd((
+        HasEvent(CodeMatch("ICPC-2", "^ZZZ")),       # QA104 + QA106
+        HasEvent(CodeMatch("SNOMED", "T90")),        # QA105 error
+    ))
+    diagnostics = analyze_query(query)
+    severities = [d.severity for d in diagnostics]
+    assert severities == sorted(
+        severities, key={"error": 0, "warning": 1, "info": 2}.get
+    )
+    assert severities[0] == "error"
+
+
+def test_diagnostic_json_shape():
+    diag = analyze_query(HasEvent(CodeMatch("ICPC-2", "K8[")))[0]
+    payload = diag.to_json()
+    assert set(payload) == {
+        "rule", "severity", "path", "message", "hint", "unsatisfiable"
+    }
+    json.dumps(payload)  # round-trippable
+
+
+def test_context_from_store_matches_store_vocabulary(store):
+    context = AnalysisContext.from_store(store)
+    assert analyze_query(HasEvent(Category("gp_contact")), context) == []
+    diagnostics = analyze_query(HasEvent(Category("bogus")), context)
+    assert _one(diagnostics, "QA205").unsatisfiable
+
+
+# -- acceptance bound ------------------------------------------------------
+
+
+def test_redos_rejected_statically_under_100ms():
+    query = HasEvent(CodeMatch("ICPC-2", _REDOS))
+    analyze_query(query)  # warm any lazy imports
+    start = time.perf_counter()
+    diagnostics = analyze_query(query)
+    elapsed_ms = (time.perf_counter() - start) * 1000.0
+    assert any(d.rule == "QA102" and d.severity == "error"
+               for d in diagnostics)
+    assert elapsed_ms < 100.0, f"analysis took {elapsed_ms:.1f} ms"
+
+
+# -- engine gate -----------------------------------------------------------
+
+
+def test_engine_gate_refuses_error_queries(store):
+    engine = QueryEngine(store, analyze=True)
+    with pytest.raises(QueryAnalysisError) as excinfo:
+        engine.patients(HasEvent(CodeMatch("ICPC-2", _REDOS)))
+    assert any(d.rule == "QA102" for d in excinfo.value.diagnostics)
+    assert "QA102" in str(excinfo.value)
+    assert engine.analyzer_counters["errors"] >= 1
+
+
+def test_engine_gate_lets_warnings_through(store):
+    engine = QueryEngine(store, analyze=True)
+    ids = engine.patients(HasEvent(Category("no_such_category")))
+    assert len(ids) == 0
+    assert engine.analyzer_counters["analyzed"] == 1
+    assert engine.analyzer_counters["errors"] == 0
+
+
+def test_engine_gate_off_by_default(store):
+    engine = QueryEngine(store)
+    # Pathological but satisfiable-in-principle queries still run when
+    # the gate is off; only genuinely un-evaluable ones would raise.
+    ids = engine.patients(HasEvent(Category("no_such_category")))
+    assert len(ids) == 0
+    assert engine.analyzer_counters["analyzed"] == 0
+
+
+def test_workbench_config_enables_gate(store):
+    wb = Workbench.from_store(
+        store, config=WorkbenchConfig(analyze_queries=True)
+    )
+    with pytest.raises(QueryAnalysisError):
+        wb.select(f"code icpc2 /{_REDOS}/")
+
+
+def test_explain_has_diagnostics_section(store):
+    engine = QueryEngine(store)
+    clean = engine.explain(parse_query("concept T90"))
+    assert "DIAGNOSTICS" in clean
+    assert "none" in clean.split("DIAGNOSTICS")[1]
+    dirty = engine.explain(HasEvent(CodeMatch("ICPC-2", "ZZZ")))
+    assert "QA104" in dirty.split("DIAGNOSTICS")[1]
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+def test_cli_lint_query_clean_exit_zero(capsys):
+    assert cli_main(["lint-query", "concept T90"]) == 0
+    assert "no diagnostics" in capsys.readouterr().out
+
+
+def test_cli_lint_query_error_exit_four(capsys):
+    assert cli_main(["lint-query", f"code icpc2 /{_REDOS}/"]) == 4
+    out = capsys.readouterr().out
+    assert "QA102" in out and "hint:" in out
+
+
+def test_cli_lint_query_json(capsys):
+    assert cli_main(["lint-query", f"code icpc2 /{_REDOS}/",
+                     "--json"]) == 4
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["rule"] == "QA102"
+    assert payload[0]["severity"] == "error"
+
+
+def test_cli_lint_query_warnings_exit_zero(capsys):
+    assert cli_main(["lint-query", "category no_such_category"]) == 0
+    assert "QA205" in capsys.readouterr().out
+
+
+def test_cli_lint_query_with_store(tmp_path, store, capsys):
+    path = str(tmp_path / "s.npz")
+    save_store(store, path)
+    assert cli_main(["lint-query", "category gp_contact",
+                     "--store", path]) == 0
+
+
+def test_cli_query_lint_rejects_before_evaluating(tmp_path, store,
+                                                  capsys):
+    path = str(tmp_path / "s.npz")
+    save_store(store, path)
+    code = cli_main(["query", path, f"code icpc2 /{_REDOS}/", "--lint"])
+    captured = capsys.readouterr()
+    assert code == 4
+    assert "QA102" in captured.err
+    assert "match" not in captured.out  # never evaluated
+
+
+def test_cli_query_lint_warns_and_continues(tmp_path, store, capsys):
+    path = str(tmp_path / "s.npz")
+    save_store(store, path)
+    code = cli_main(["query", path,
+                     "concept T90 and concept T90", "--lint"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "QA209" in captured.err
+    assert "patients match" in captured.out
+
+
+# -- webapp ----------------------------------------------------------------
+
+
+def _get(url: str):
+    try:
+        with urllib.request.urlopen(url) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode("utf-8")
+
+
+@pytest.fixture(scope="module")
+def server(store):
+    with WorkbenchServer(Workbench.from_store(store)) as srv:
+        yield srv
+
+
+def test_webapp_rejects_error_query_with_400(server):
+    q = urllib.parse.quote(f"code icpc2 /{_REDOS}/")
+    status, body = _get(f"{server.url}/cohort?q={q}")
+    assert status == 400
+    assert "QA102" in body and "hint" in body
+    assert "patients match" not in body
+
+
+def test_webapp_embeds_warnings_in_results(server):
+    q = urllib.parse.quote("concept T90 and concept T90")
+    status, body = _get(f"{server.url}/cohort?q={q}")
+    assert status == 200
+    assert "QA209" in body and "patients match" in body
+
+
+def test_webapp_analyze_endpoint(server):
+    q = urllib.parse.quote(f"code icpc2 /{_REDOS}/")
+    status, body = _get(f"{server.url}/analyze?q={q}")
+    assert status == 200
+    payload = json.loads(body)
+    assert payload["ok"] is False
+    assert payload["diagnostics"][0]["rule"] == "QA102"
+
+    status, body = _get(f"{server.url}/analyze?q=concept+T90")
+    assert json.loads(body) == {"query": "concept T90", "ok": True,
+                                "diagnostics": []}
+
+
+def test_webapp_stats_reports_analyzer_counters(server):
+    status, body = _get(f"{server.url}/stats")
+    assert status == 200
+    counters = json.loads(body)["analyzer"]
+    assert counters["analyzed"] >= 1
+    assert counters["errors"] >= 1  # the rejected cohort request above
+
+
+# -- satellite regressions: parser, printer, regex_select ------------------
+
+
+def test_parser_unterminated_regex_caret_position():
+    with pytest.raises(QuerySyntaxError) as excinfo:
+        parse_query("code icpc2 /T90")
+    message = str(excinfo.value)
+    assert "unterminated regex literal" in message
+    # The caret block points at the opening slash.
+    caret_line = message.splitlines()[-1]
+    assert caret_line.index("^") == 2 + len("code icpc2 ")
+
+
+def test_parser_printer_roundtrip_escaped_slash():
+    for pattern in ("T90", "a/b", "a\\/b", "\\d+", "a\\\\b", "K8."):
+        query = HasEvent(CodeMatch("ICPC-2", pattern))
+        text = to_text(query)
+        assert parse_query(text) == query, (pattern, text)
+
+
+def test_regex_select_rejects_bad_fragment():
+    from repro.errors import TerminologyError
+    from repro.terminology import any_of
+
+    with pytest.raises(TerminologyError, match="K8\\["):
+        any_of("T90", "K8[")
+
+
+def test_regex_select_any_of_codes_escapes_metacharacters():
+    import re
+
+    from repro.terminology import any_of_codes
+
+    pattern = any_of_codes("N39.0", "K86")
+    assert re.fullmatch(pattern, "N39.0")
+    assert not re.fullmatch(pattern, "N3900")  # the dot is literal
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])

@@ -1,0 +1,5 @@
+"""Repository maintenance tooling (not shipped with :mod:`repro`).
+
+Makes ``tools`` importable so the lint framework runs as
+``python -m tools.lintkit`` from the repository root.
+"""

@@ -1,17 +1,9 @@
 """Lint ``src/repro`` exception handling against the ReproError taxonomy.
 
-Rules (the ISSUE-1 robustness contract):
-
-1. No bare ``except:`` anywhere — a handler must name what it catches.
-2. A handler catching ``Exception`` or ``BaseException`` must re-raise
-   (contain a ``raise`` statement), otherwise failures from an unrelated
-   domain are silently swallowed.
-3. Every exception class defined in ``repro.errors`` must derive from
-   ``ReproError``, so an application boundary can catch one base class.
-
-Narrow builtin catches (``except ValueError:`` around one conversion,
-``except KeyError:`` around one lookup) are legitimate control flow and
-pass; the rules target the broad handlers that hide real faults.
+Thin wrapper kept for CI and muscle memory — the rules now live in the
+general AST lint framework as LK001 (bare except), LK002 (broad except
+without re-raise) and LK003 (taxonomy roots).  ``python -m
+tools.lintkit`` runs these plus the rest of the catalog.
 
 Run from the repository root::
 
@@ -20,88 +12,26 @@ Run from the repository root::
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
-SRC = ROOT / "src" / "repro"
+if str(ROOT) not in sys.path:
+    sys.path.insert(0, str(ROOT))
 
-_BROAD = {"Exception", "BaseException"}
+from tools.lintkit import all_rules, lint_paths  # noqa: E402
 
-
-def _caught_names(handler: ast.ExceptHandler) -> list[str]:
-    """The dotted names a handler catches (empty for a bare except)."""
-    node = handler.type
-    if node is None:
-        return []
-    nodes = node.elts if isinstance(node, ast.Tuple) else [node]
-    names = []
-    for item in nodes:
-        if isinstance(item, ast.Name):
-            names.append(item.id)
-        elif isinstance(item, ast.Attribute):
-            names.append(item.attr)
-        else:
-            names.append(ast.dump(item))
-    return names
-
-
-def _contains_raise(handler: ast.ExceptHandler) -> bool:
-    return any(isinstance(n, ast.Raise) for n in ast.walk(handler))
-
-
-def check_handlers(path: Path) -> list[str]:
-    """Rule 1 and 2 violations for one source file."""
-    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-    violations = []
-    rel = path.relative_to(ROOT)
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.ExceptHandler):
-            continue
-        names = _caught_names(node)
-        if not names:
-            violations.append(
-                f"{rel}:{node.lineno}: bare 'except:' — name what you catch"
-            )
-        elif any(n in _BROAD for n in names) and not _contains_raise(node):
-            violations.append(
-                f"{rel}:{node.lineno}: 'except {'/'.join(names)}' without a "
-                f"re-raise — catch a ReproError subclass or re-raise"
-            )
-    return violations
-
-
-def check_taxonomy_roots() -> list[str]:
-    """Rule 3: every class in repro.errors derives from ReproError."""
-    sys.path.insert(0, str(ROOT / "src"))
-    import repro.errors as errors_module
-
-    violations = []
-    for name in dir(errors_module):
-        obj = getattr(errors_module, name)
-        if not isinstance(obj, type) or not issubclass(obj, BaseException):
-            continue
-        if obj.__module__ != "repro.errors":
-            continue
-        if obj is not errors_module.ReproError and not issubclass(
-            obj, errors_module.ReproError
-        ):
-            violations.append(
-                f"repro.errors.{name} does not derive from ReproError"
-            )
-    return violations
+_TAXONOMY_RULES = ("LK001", "LK002", "LK003")
 
 
 def main() -> int:
-    violations: list[str] = []
-    for path in sorted(SRC.rglob("*.py")):
-        violations.extend(check_handlers(path))
-    violations.extend(check_taxonomy_roots())
+    rules = [r for r in all_rules() if r.id in _TAXONOMY_RULES]
+    violations = lint_paths([ROOT / "src" / "repro"], rules=rules,
+                            root=ROOT)
     if violations:
         print(f"{len(violations)} error-taxonomy violation(s):")
         for violation in violations:
-            print(f"  {violation}")
+            print(f"  {violation.format()}")
         return 1
     print("error taxonomy ok: no bare excepts, no swallowed broad catches")
     return 0

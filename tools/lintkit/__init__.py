@@ -1,0 +1,31 @@
+"""lintkit: the repository's AST lint framework and rule set.
+
+``python -m tools.lintkit`` (from the repository root) lints
+``src/repro`` and ``tools`` with every registered rule and exits
+nonzero on violations — CI runs exactly that.  See
+:mod:`tools.lintkit.framework` for the rule/suppression machinery and
+:mod:`tools.lintkit.rules` for the rule catalog (LK001…LK103).
+"""
+
+from tools.lintkit.framework import (
+    ProjectRule,
+    Rule,
+    Violation,
+    all_rules,
+    format_text,
+    lint_paths,
+    register,
+    to_json,
+)
+from tools.lintkit import rules as _rules  # noqa: F401  (registers rules)
+
+__all__ = [
+    "ProjectRule",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "format_text",
+    "lint_paths",
+    "register",
+    "to_json",
+]

@@ -1,0 +1,66 @@
+"""CLI entry point: ``python -m tools.lintkit [paths…]``.
+
+Defaults to linting ``src/repro`` and ``tools``; exits 1 when any rule
+fires (the CI gate), 0 when clean.  ``--json`` emits the machine
+readable report, ``--select`` narrows to specific rule ids and
+``--list-rules`` prints the catalog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+if str(ROOT) not in sys.path:
+    sys.path.insert(0, str(ROOT))
+
+from tools.lintkit import (  # noqa: E402
+    all_rules,
+    format_text,
+    lint_paths,
+    to_json,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.lintkit",
+        description="AST lint over the repository (run from the root)",
+    )
+    parser.add_argument("paths", nargs="*",
+                        default=["src/repro", "tools"],
+                        help="files or directories (default: src/repro "
+                             "and tools)")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable report on stdout")
+    parser.add_argument("--select", default=None, metavar="IDS",
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+
+    rules = all_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.id}  {rule.title}")
+        return 0
+    if args.select:
+        wanted = {part.strip() for part in args.select.split(",")}
+        unknown = wanted - {rule.id for rule in rules}
+        if unknown:
+            parser.error(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        rules = [rule for rule in rules if rule.id in wanted]
+
+    violations = lint_paths(args.paths, rules=rules, root=ROOT)
+    if args.json:
+        print(to_json(violations))
+    else:
+        print(format_text(violations))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,207 @@
+"""The lintkit rule framework: registry, suppressions, runner, reporters.
+
+A *rule* inspects one parsed source file (:class:`Rule`) or the project
+as a whole (:class:`ProjectRule`) and yields :class:`Violation` records
+with a stable id, a repo-relative location and a fix-it hint.  Rules
+register themselves with :func:`register`; the runner
+(:func:`lint_paths`) walks the requested files, applies every rule whose
+:meth:`Rule.applies_to` accepts the file, and filters the result through
+suppression comments:
+
+* ``# lintkit: disable=LK001`` on a line suppresses the named rule(s)
+  for that line;
+* ``# lintkit: disable-file=LK001`` anywhere in a file suppresses them
+  for the whole file.
+
+Both forms take a comma-separated id list.  Suppressions are deliberate
+per-site waivers — they keep the gate strict while still allowing the
+occasional justified exception, and they are grep-able.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = [
+    "ROOT",
+    "Violation",
+    "Rule",
+    "ProjectRule",
+    "register",
+    "all_rules",
+    "lint_paths",
+    "format_text",
+    "to_json",
+]
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+
+_SUPPRESS_LINE_RE = re.compile(r"#\s*lintkit:\s*disable=([A-Z0-9_,\s]+)")
+_SUPPRESS_FILE_RE = re.compile(r"#\s*lintkit:\s*disable-file=([A-Z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit: where, what, and how to fix it."""
+
+    rule: str
+    path: str  # repo-relative, posix separators
+    line: int
+    message: str
+    hint: str = ""
+
+    def format(self) -> str:
+        text = f"{self.path}:{self.line}: {self.rule}: {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+
+class Rule:
+    """A per-file AST rule.  Subclass, set ``id``/``title``, implement
+    :meth:`check`; decorate with :func:`register`."""
+
+    id: str = ""
+    title: str = ""
+
+    def applies_to(self, rel: Path) -> bool:
+        """Should this rule run on the file at repo-relative ``rel``?"""
+        return True
+
+    def check(self, tree: ast.AST, rel: Path,
+              text: str) -> Iterable[Violation]:
+        raise NotImplementedError
+
+    # -- helpers shared by concrete rules ---------------------------------
+
+    def violation(self, rel: Path, line: int, message: str,
+                  hint: str = "") -> Violation:
+        return Violation(self.id, rel.as_posix(), line, message, hint)
+
+
+class ProjectRule(Rule):
+    """A rule over the project as a whole (runs once, not per file)."""
+
+    def check(self, tree: ast.AST, rel: Path,
+              text: str) -> Iterable[Violation]:
+        return ()
+
+    def check_project(self, root: Path) -> Iterable[Violation]:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator: instantiate the rule and add it to the registry."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, ordered by id."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def _parse_suppressions(
+    text: str,
+) -> tuple[set[str], dict[int, set[str]]]:
+    file_wide: set[str] = set()
+    per_line: dict[int, set[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _SUPPRESS_FILE_RE.search(line)
+        if match:
+            file_wide.update(
+                part.strip() for part in match.group(1).split(",")
+                if part.strip()
+            )
+        match = _SUPPRESS_LINE_RE.search(line)
+        if match:
+            per_line.setdefault(lineno, set()).update(
+                part.strip() for part in match.group(1).split(",")
+                if part.strip()
+            )
+    return file_wide, per_line
+
+
+def _lint_file(path: Path, rules: Sequence[Rule],
+               root: Path) -> list[Violation]:
+    rel = path.resolve().relative_to(root)
+    text = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as exc:
+        return [Violation("LK000", rel.as_posix(), exc.lineno or 1,
+                          f"file does not parse: {exc.msg}")]
+    file_wide, per_line = _parse_suppressions(text)
+    violations = []
+    for rule in rules:
+        if isinstance(rule, ProjectRule) or not rule.applies_to(rel):
+            continue
+        for violation in rule.check(tree, rel, text):
+            if violation.rule in file_wide:
+                continue
+            if violation.rule in per_line.get(violation.line, ()):
+                continue
+            violations.append(violation)
+    return violations
+
+
+def _expand(paths: Iterable[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    return files
+
+
+def lint_paths(paths: Iterable[str | Path],
+               rules: Sequence[Rule] | None = None,
+               root: Path | None = None) -> list[Violation]:
+    """Lint files/directories; returns violations sorted by location.
+
+    ``rules=None`` runs every registered rule (file rules per file,
+    project rules once).
+    """
+    root = (root or ROOT).resolve()
+    active = list(rules) if rules is not None else all_rules()
+    violations: list[Violation] = []
+    for path in _expand(paths):
+        violations.extend(_lint_file(path, active, root))
+    for rule in active:
+        if isinstance(rule, ProjectRule):
+            violations.extend(rule.check_project(root))
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return violations
+
+
+def format_text(violations: Sequence[Violation]) -> str:
+    """Human-readable report (one block per violation)."""
+    if not violations:
+        return "lintkit: clean"
+    lines = [f"{len(violations)} lint violation(s):"]
+    lines.extend(f"  {v.format()}" for v in violations)
+    return "\n".join(lines)
+
+
+def to_json(violations: Sequence[Violation]) -> str:
+    """Machine-readable report for CI annotation tooling."""
+    return json.dumps([v.to_json() for v in violations],
+                      indent=1, sort_keys=True)

@@ -1,0 +1,284 @@
+"""The repository's lint rules.
+
+Error-taxonomy rules (ported from the original
+``tools/check_error_taxonomy.py``, the ISSUE-1 robustness contract):
+
+* **LK001** — no bare ``except:``; a handler must name what it catches.
+* **LK002** — ``except Exception``/``BaseException`` must re-raise,
+  otherwise failures from an unrelated domain are silently swallowed.
+* **LK003** — every exception class defined in ``repro.errors`` derives
+  from ``ReproError`` (one catchable base at application boundaries).
+
+Reproducibility / durability rules:
+
+* **LK101** — no unseeded RNG construction in ``src/``: the whole repo
+  is deterministic by contract, so ``default_rng()`` / ``Random()``
+  without a seed (or any use of numpy's global RNG) breaks replays.
+* **LK102** — ``save_*``/``write_*`` functions in the persistence
+  layers (``repro/io.py``, ``repro/shard/``) must not write their
+  target in place: write a temporary, then ``os.replace`` it, so a
+  crash mid-write cannot corrupt an existing store.
+* **LK103** — ``np.load`` in shard code must pass ``mmap_mode``
+  explicitly: mapped (``"r"``) and eager (``None``) loads have very
+  different failure and memory profiles, so the choice must be visible
+  at the call site.
+
+Narrow builtin catches (``except ValueError:`` around one conversion)
+are legitimate control flow and pass; the rules target the broad
+handlers and silent-corruption paths that hide real faults.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from tools.lintkit.framework import (
+    ProjectRule,
+    Rule,
+    Violation,
+    register,
+)
+
+__all__ = [
+    "BareExceptRule",
+    "BroadExceptRule",
+    "TaxonomyRootRule",
+    "UnseededRngRule",
+    "NonAtomicWriteRule",
+    "ImplicitMmapRule",
+]
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _caught_names(handler: ast.ExceptHandler) -> list[str]:
+    """The dotted names a handler catches (empty for a bare except)."""
+    node = handler.type
+    if node is None:
+        return []
+    nodes = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = []
+    for item in nodes:
+        if isinstance(item, ast.Name):
+            names.append(item.id)
+        elif isinstance(item, ast.Attribute):
+            names.append(item.attr)
+        else:
+            names.append(ast.dump(item))
+    return names
+
+
+def _dotted(node: ast.AST) -> str:
+    """``np.random.default_rng`` -> that string; '' when not a name."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+@register
+class BareExceptRule(Rule):
+    id = "LK001"
+    title = "no bare except clauses"
+
+    def check(self, tree: ast.AST, rel: Path,
+              text: str) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.violation(
+                    rel, node.lineno,
+                    "bare 'except:' — name what you catch",
+                    hint="catch the narrowest exception the block can "
+                         "actually raise",
+                )
+
+
+@register
+class BroadExceptRule(Rule):
+    id = "LK002"
+    title = "broad except must re-raise"
+
+    def check(self, tree: ast.AST, rel: Path,
+              text: str) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            names = _caught_names(node)
+            if any(n in _BROAD for n in names) and not any(
+                isinstance(inner, ast.Raise) for inner in ast.walk(node)
+            ):
+                yield self.violation(
+                    rel, node.lineno,
+                    f"'except {'/'.join(names)}' without a re-raise "
+                    f"silently swallows unrelated failures",
+                    hint="catch a ReproError subclass, or re-raise",
+                )
+
+
+@register
+class TaxonomyRootRule(ProjectRule):
+    id = "LK003"
+    title = "repro.errors classes derive from ReproError"
+
+    def check_project(self, root: Path) -> Iterable[Violation]:
+        src = str(root / "src")
+        if src not in sys.path:
+            sys.path.insert(0, src)
+        import repro.errors as errors_module
+
+        rel = Path("src/repro/errors.py")
+        for name in sorted(dir(errors_module)):
+            obj = getattr(errors_module, name)
+            if not isinstance(obj, type) or not issubclass(
+                obj, BaseException
+            ):
+                continue
+            if obj.__module__ != "repro.errors":
+                continue
+            if obj is not errors_module.ReproError and not issubclass(
+                obj, errors_module.ReproError
+            ):
+                yield self.violation(
+                    rel, 1,
+                    f"repro.errors.{name} does not derive from ReproError",
+                    hint="derive every domain exception from ReproError "
+                         "so boundaries can catch one base class",
+                )
+
+
+@register
+class UnseededRngRule(Rule):
+    id = "LK101"
+    title = "no unseeded RNG in src/"
+
+    #: numpy module-level functions that mutate/read the *global* RNG —
+    #: unseedable per call site, so any use breaks determinism.
+    _GLOBAL_STATE = {
+        "seed", "rand", "randn", "randint", "random", "choice",
+        "shuffle", "permutation", "normal", "uniform",
+    }
+
+    def applies_to(self, rel: Path) -> bool:
+        return rel.parts[:1] == ("src",)
+
+    def check(self, tree: ast.AST, rel: Path,
+              text: str) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            tail = dotted.rsplit(".", 1)[-1]
+            if tail == "default_rng" or dotted.endswith("random.Random"):
+                if not node.args and not node.keywords:
+                    yield self.violation(
+                        rel, node.lineno,
+                        f"{dotted}() constructed without a seed",
+                        hint="pass an explicit seed (see "
+                             "repro.config.rng / derive_seeds)",
+                    )
+            elif (
+                dotted.startswith(("np.random.", "numpy.random."))
+                and tail in self._GLOBAL_STATE
+            ):
+                yield self.violation(
+                    rel, node.lineno,
+                    f"{dotted}() uses numpy's global RNG state",
+                    hint="use a Generator from np.random.default_rng(seed)",
+                )
+
+
+@register
+class NonAtomicWriteRule(Rule):
+    id = "LK102"
+    title = "store writers must replace atomically"
+
+    #: Calls that perform the actual byte-writing.
+    _WRITE_ATTRS = {"save", "savez", "savez_compressed"}
+    #: Calls that make the surrounding function atomic.
+    _ATOMIC = {"os.replace", "atomic_replace", "_write_json"}
+
+    def applies_to(self, rel: Path) -> bool:
+        posix = rel.as_posix()
+        return posix == "src/repro/io.py" or posix.startswith(
+            "src/repro/shard/"
+        )
+
+    def _writes(self, func: ast.AST) -> Iterator[ast.Call]:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted.rsplit(".", 1)[-1] in self._WRITE_ATTRS and (
+                dotted.startswith(("np.", "numpy."))
+            ):
+                yield node
+            elif dotted == "open":
+                mode = ""
+                if len(node.args) >= 2 and isinstance(
+                    node.args[1], ast.Constant
+                ):
+                    mode = str(node.args[1].value)
+                for keyword in node.keywords:
+                    if keyword.arg == "mode" and isinstance(
+                        keyword.value, ast.Constant
+                    ):
+                        mode = str(keyword.value.value)
+                if any(ch in mode for ch in "wax+"):
+                    yield node
+
+    def check(self, tree: ast.AST, rel: Path,
+              text: str) -> Iterator[Violation]:
+        for func in ast.walk(tree):
+            if not isinstance(
+                func, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            name = func.name.lstrip("_")
+            if not name.startswith(("save_", "write_")):
+                continue
+            calls = {_dotted(n.func) for n in ast.walk(func)
+                     if isinstance(n, ast.Call)}
+            if any(c.rsplit(".", 1)[-1] in
+                   {a.rsplit(".", 1)[-1] for a in self._ATOMIC}
+                   for c in calls):
+                continue
+            for write in self._writes(func):
+                yield self.violation(
+                    rel, write.lineno,
+                    f"{func.name}() writes its target in place — a "
+                    f"crash mid-write corrupts the existing file",
+                    hint="write to a temporary and os.replace it into "
+                         "place (see repro.shard.format.atomic_replace)",
+                )
+
+
+@register
+class ImplicitMmapRule(Rule):
+    id = "LK103"
+    title = "shard np.load must pass mmap_mode explicitly"
+
+    def applies_to(self, rel: Path) -> bool:
+        return rel.as_posix().startswith("src/repro/shard/")
+
+    def check(self, tree: ast.AST, rel: Path,
+              text: str) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted not in ("np.load", "numpy.load"):
+                continue
+            if not any(k.arg == "mmap_mode" for k in node.keywords):
+                yield self.violation(
+                    rel, node.lineno,
+                    "np.load without an explicit mmap_mode",
+                    hint="pass mmap_mode='r' for a mapped view or "
+                         "mmap_mode=None to document an eager load",
+                )
