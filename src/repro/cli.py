@@ -182,8 +182,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("store")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8000)
+    p.add_argument("--workers", type=int, default=1,
+                   help="pre-forked worker processes sharing the "
+                        "listening socket; each holds its own store "
+                        "handles and caches, and a crashed worker is "
+                        "re-forked (default 1: in-process)")
+    p.add_argument("--max-inflight", type=int, default=64,
+                   dest="max_inflight", metavar="N",
+                   help="admission-control bound per worker: beyond N "
+                        "concurrently executing requests, excess "
+                        "requests are shed with 429 Retry-After "
+                        "instead of queueing (0 disables)")
+    p.add_argument("--rate-limit", type=float, default=None,
+                   dest="rate_limit", metavar="RPS",
+                   help="per-client token-bucket rate limit in "
+                        "requests/second (burst via --rate-burst; "
+                        "default: no rate limiting)")
+    p.add_argument("--rate-burst", type=int, default=20,
+                   dest="rate_burst", metavar="N",
+                   help="token-bucket burst capacity per client "
+                        "(default 20)")
     p.add_argument("--deadline", type=float, default=None,
-                   help="per-request wall-clock budget in seconds "
+                   help="per-request wall-clock budget in seconds, "
+                        "propagated into query execution "
                         "(503 on overrun)")
     p.add_argument("--degraded-mode", choices=("serve", "fail"),
                    default="serve",
@@ -333,6 +354,9 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "shard":
         return _dispatch_shard(args)
 
+    if args.command == "serve":
+        return _dispatch_serve(args)
+
     wb = _load_workbench(args.store,
                          workers=getattr(args, "workers", None),
                          on_damage=getattr(args, "on_damage", None))
@@ -442,19 +466,6 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(f"{len(ids)} rows -> {args.out}")
         return 0
 
-    if args.command == "serve":
-        from repro.webapp import WorkbenchServer
-
-        server = WorkbenchServer(wb, host=args.host, port=args.port,
-                                 request_deadline_s=args.deadline,
-                                 degraded_mode=args.degraded_mode)
-        print(f"serving workbench at {server.url} (Ctrl-C to stop)")
-        try:
-            server.serve_forever()
-        except KeyboardInterrupt:
-            server.shutdown()
-        return 0
-
     if args.command == "recognition":
         ids = wb.select(args.query)
         reference_day = int(wb.store.day.max())
@@ -465,6 +476,52 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _dispatch_serve(args: argparse.Namespace) -> int:
+    """``serve``: in-process for ``--workers 1``, pre-forked beyond."""
+    from repro.config import ServingConfig
+
+    config = ServingConfig(
+        workers=max(1, args.workers),
+        max_inflight=args.max_inflight if args.max_inflight > 0 else None,
+        rate_limit_rps=args.rate_limit,
+        rate_limit_burst=args.rate_burst,
+        request_deadline_s=args.deadline,
+        degraded_mode=args.degraded_mode,
+    )
+    if config.workers > 1:
+        from repro.serving.pool import ServingPool
+
+        def factory():
+            return _load_workbench(args.store, on_damage=args.on_damage)
+
+        pool = ServingPool(factory, host=args.host, port=args.port,
+                           workers=config.workers, config=config)
+        pool.start()
+        print(f"serving workbench at {pool.url} with "
+              f"{config.workers} workers (Ctrl-C to stop)")
+        try:
+            import signal as _signal
+
+            _signal.pause()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            pool.shutdown()
+        return 0
+
+    from repro.webapp import WorkbenchServer
+
+    wb = _load_workbench(args.store, on_damage=args.on_damage)
+    server = WorkbenchServer(wb, host=args.host, port=args.port,
+                             config=config)
+    print(f"serving workbench at {server.url} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.shutdown()
+    return 0
 
 
 def _dispatch_lint_query(args: argparse.Namespace) -> int:

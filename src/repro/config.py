@@ -142,6 +142,72 @@ class ShardConfig:
 
 
 @dataclass(frozen=True)
+class ServingConfig:
+    """Tunables for the production serving tier (:mod:`repro.serving`).
+
+    Attributes:
+        workers: pre-forked worker processes sharing one listening
+            socket (``1`` serves in-process, no fork).
+        max_inflight: admission-control bound on concurrently executing
+            requests *per worker*.  Requests beyond it are shed with
+            ``429 Retry-After`` (or served from the HTTP response cache
+            when an identical rendering is already resident) instead of
+            queueing.  ``None`` disables admission control.
+        rate_limit_rps: per-client token-bucket refill rate in requests
+            per second (``None`` disables rate limiting).
+        rate_limit_burst: token-bucket capacity — how many requests one
+            client may burst before the refill rate applies.
+        request_deadline_s: wall-clock budget per request; the deadline
+            is threaded into query execution (``503`` on overrun).
+        degraded_mode: ``"serve"`` answers with a degradation banner
+            while sources/shards are missing; ``"fail"`` turns every
+            non-health route into a 503.
+        retry_after_s: the ``Retry-After`` hint attached to shed
+            responses.
+        gzip_min_bytes: smallest body worth gzip-encoding when the
+            client sends ``Accept-Encoding: gzip``.
+        response_cache_entries: LRU entry bound of the HTTP response
+            cache (rendered bodies keyed by ``ETag``).
+        response_cache_bytes: LRU payload-byte bound of the same cache.
+        ready_high_water: inflight fraction of ``max_inflight`` at which
+            ``/readyz`` starts answering 503 so a load balancer drains
+            the instance before requests are actually shed.
+        debug_routes: expose ``/debug/sleep?s=…`` (bounded busy-wait)
+            for overload tests and the serving benchmark harness.
+    """
+
+    workers: int = 1
+    max_inflight: int | None = 64
+    rate_limit_rps: float | None = None
+    rate_limit_burst: int = 20
+    request_deadline_s: float | None = None
+    degraded_mode: str = "serve"
+    retry_after_s: float = 1.0
+    gzip_min_bytes: int = 1024
+    response_cache_entries: int = 128
+    response_cache_bytes: int = 32 * 1024 * 1024
+    ready_high_water: float = 0.8
+    debug_routes: bool = False
+
+    def __post_init__(self) -> None:
+        if self.degraded_mode not in ("serve", "fail"):
+            raise ValueError(
+                f"degraded_mode must be 'serve' or 'fail', "
+                f"got {self.degraded_mode!r}"
+            )
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1 or None, "
+                f"got {self.max_inflight}"
+            )
+        if not 0.0 < self.ready_high_water <= 1.0:
+            raise ValueError(
+                f"ready_high_water must be in (0, 1], "
+                f"got {self.ready_high_water}"
+            )
+
+
+@dataclass(frozen=True)
 class WorkbenchConfig:
     """Tunables for the :class:`repro.workbench.Workbench` facade.
 

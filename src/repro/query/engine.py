@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import QueryError
+from repro.errors import DeadlineExceededError, QueryError
 from repro.events.store import EventStore
 from repro.query.ast import (
     AgeRange,
@@ -63,6 +63,18 @@ from repro.query.planner import (
 from repro.terminology import icpc2_to_icd10_map
 
 __all__ = ["QueryEngine"]
+
+
+def _check_deadline(deadline) -> None:
+    """Raise once a per-request wall-clock budget is spent.
+
+    ``deadline`` is an optional :class:`~repro.resilience.retry.Deadline`
+    threaded down from the serving tier; ``None`` means unbounded.
+    """
+    if deadline is not None and deadline.expired():
+        raise DeadlineExceededError(
+            "query evaluation exceeded its wall-clock deadline"
+        )
 
 
 class QueryEngine:
@@ -240,7 +252,8 @@ class QueryEngine:
 
     # -- patient level ------------------------------------------------------
 
-    def patients(self, expr: PatientExpr | EventExpr) -> np.ndarray:
+    def patients(self, expr: PatientExpr | EventExpr,
+                 deadline=None) -> np.ndarray:
         """Evaluate to a sorted array of matching patient ids.
 
         An event expression is implicitly wrapped in :class:`HasEvent`.
@@ -250,18 +263,27 @@ class QueryEngine:
         evaluated per shard (scatter) and the disjoint per-shard id
         arrays are merged (gather) — see
         :class:`~repro.shard.executor.ParallelExecutor`.
+
+        ``deadline`` (a :class:`~repro.resilience.retry.Deadline`)
+        bounds the evaluation's wall clock: it is checked between plan
+        nodes and threaded into the scatter-gather executor, raising
+        :class:`~repro.errors.DeadlineExceededError` on overrun instead
+        of grinding on — the serving tier turns that into a 503.
         """
         if self.analyze_queries:
             self.check(expr)
+        _check_deadline(deadline)
         if self.is_sharded:
-            return self._scatter_gather(expr)
+            return self._scatter_gather(expr, deadline)
         if not self.optimize:
             if isinstance(expr, EventExpr):
                 expr = HasEvent(expr)
             return self._raw_patients(expr)
-        return self._planned_patients(plan_query(expr).root)
+        return self._planned_patients(plan_query(expr).root,
+                                      deadline=deadline)
 
-    def _scatter_gather(self, expr: PatientExpr | EventExpr) -> np.ndarray:
+    def _scatter_gather(self, expr: PatientExpr | EventExpr,
+                        deadline=None) -> np.ndarray:
         """Route a query through the per-shard parallel executor."""
         if self.executor is None:
             from repro.shard.executor import (  # noqa: PLC0415 (cycle)
@@ -270,7 +292,8 @@ class QueryEngine:
 
             self.executor = ParallelExecutor(config=self.store.config)
         return self.executor.patients(
-            self.store, expr, optimize=self.optimize, cache=self.cache
+            self.store, expr, optimize=self.optimize, cache=self.cache,
+            deadline=deadline,
         )
 
     def _first_before(self, mask: np.ndarray, day: int) -> np.ndarray:
@@ -329,8 +352,10 @@ class QueryEngine:
             )
         raise QueryError(f"unknown patient expression {expr!r}")
 
-    def _planned_patients(self, expr: PatientExpr) -> np.ndarray:
+    def _planned_patients(self, expr: PatientExpr,
+                          deadline=None) -> np.ndarray:
         """Memoized evaluation of a *normalized* patient expression."""
+        _check_deadline(deadline)
         store = self.store
         if isinstance(expr, NoPatients):
             return np.empty(0, dtype=np.int64)
@@ -359,20 +384,24 @@ class QueryEngine:
             # shrinks fastest and an empty result short-circuits the
             # remaining (potentially expensive) children entirely.
             children = sorted(expr.children, key=self.estimator.patient)
-            result = self._planned_patients(children[0])
+            result = self._planned_patients(children[0], deadline)
             for child in children[1:]:
                 if len(result) == 0:
                     break
                 result = np.intersect1d(
-                    result, self._planned_patients(child), assume_unique=True
+                    result, self._planned_patients(child, deadline),
+                    assume_unique=True,
                 )
         elif isinstance(expr, PatientOr):
-            result = self._planned_patients(expr.children[0])
+            result = self._planned_patients(expr.children[0], deadline)
             for child in expr.children[1:]:
-                result = np.union1d(result, self._planned_patients(child))
+                result = np.union1d(
+                    result, self._planned_patients(child, deadline)
+                )
         elif isinstance(expr, PatientNot):
             result = np.setdiff1d(
-                store.patient_ids, self._planned_patients(expr.child),
+                store.patient_ids,
+                self._planned_patients(expr.child, deadline),
                 assume_unique=True,
             )
         else:

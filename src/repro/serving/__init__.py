@@ -1,0 +1,36 @@
+"""The production serving tier (ISSUE 6).
+
+Layered so each piece is independently testable:
+
+* :mod:`repro.serving.core` — transport-agnostic request core: parsed
+  :class:`Request` -> typed :class:`Response`, with ``ETag``/304
+  revalidation and a rendered-body response cache;
+* :mod:`repro.serving.middleware` — overload protection: per-client
+  token-bucket rate limits, bounded-inflight admission control that
+  sheds with ``429 Retry-After``, per-request deadlines, gzip;
+* :mod:`repro.serving.http` — the stdlib socket transport;
+* :mod:`repro.serving.pool` — the pre-forked, crash-supervised
+  multi-process worker pool.
+
+``python -m repro serve --workers 4 --max-inflight 32 --rate-limit 50``
+is the CLI entry; :class:`repro.webapp.WorkbenchServer` remains the
+in-process single-worker surface.
+"""
+
+from repro.serving.core import Request, RequestCore, Response, ResponseCache
+from repro.serving.http import AppHTTPServer, build_server
+from repro.serving.middleware import InflightGauge, ServingApp, TokenBucket
+from repro.serving.pool import ServingPool
+
+__all__ = [
+    "AppHTTPServer",
+    "InflightGauge",
+    "Request",
+    "RequestCore",
+    "Response",
+    "ResponseCache",
+    "ServingApp",
+    "ServingPool",
+    "TokenBucket",
+    "build_server",
+]

@@ -1,0 +1,191 @@
+"""Pre-forked multi-process serving pool with crash supervision.
+
+One Python process cannot claim "heavy traffic": the GIL serializes
+request CPU and one crash takes the whole service down.  The pool model
+is the classic pre-fork:
+
+* the **parent** binds the listening socket, then forks ``workers``
+  children and never accepts a connection itself — it supervises;
+* each **worker** inherits the listener fd, builds its *own* workbench
+  via ``workbench_factory`` (its own mmap'd shard handles, plan cache,
+  ``ParallelExecutor``, HTTP response cache) and runs a threading HTTP
+  server accepting from the shared listener — the kernel load-balances
+  ``accept()`` across workers, so no userspace dispatcher exists to
+  melt under load;
+* the **supervisor** thread reaps dead workers (``waitpid``) and
+  re-forks replacements while the listener stays open: a crashed worker
+  loses only its own in-flight requests — connections still in the
+  accept queue are picked up by siblings or by the replacement.
+
+Shutdown is graceful: workers get SIGTERM, mark themselves draining
+(``/readyz`` 503), finish admitted requests, and exit; the parent
+escalates to SIGKILL only after a grace period.
+
+The factory runs *after* the fork, in the child, so per-worker state is
+genuinely per-worker (a sharded store opened post-fork maps its own
+segments).  ``os.fork`` limits the pool to POSIX — exactly the
+platforms the stdlib's own ``socketserver.ForkingMixIn`` supports.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import threading
+import time
+
+from repro.config import ServingConfig
+from repro.serving.http import build_server_on_socket
+from repro.serving.middleware import ServingApp
+
+__all__ = ["ServingPool"]
+
+#: Seconds a SIGTERM'd worker gets to drain before SIGKILL.
+_TERM_GRACE_S = 5.0
+
+
+def _worker_main(listener: socket.socket, workbench_factory,
+                 config: ServingConfig) -> int:
+    """The child process body: build, serve, drain, exit."""
+    workbench = workbench_factory()
+    app = ServingApp(workbench, config)
+    server = build_server_on_socket(app, listener)
+
+    def _terminate(signum, frame) -> None:
+        app.drain()
+        # shutdown() must run off the serve_forever thread.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _terminate)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent owns Ctrl-C
+    server.serve_forever(poll_interval=0.05)
+    server.server_close()
+    return 0
+
+
+class ServingPool:
+    """``workers`` pre-forked processes serving one bound address.
+
+    Use as a context manager in tests::
+
+        with ServingPool(lambda: Workbench.from_shards(path),
+                         workers=4, config=config) as pool:
+            urllib.request.urlopen(pool.url + "/cohort?q=concept+T90")
+
+    The parent exposes :attr:`url`, :meth:`worker_pids` and the
+    :attr:`worker_deaths` counter (how many times the supervisor had to
+    re-fork).
+    """
+
+    def __init__(self, workbench_factory, host: str = "127.0.0.1",
+                 port: int = 0, workers: int = 2,
+                 config: ServingConfig | None = None) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._factory = workbench_factory
+        self._config = config or ServingConfig()
+        self.workers = int(workers)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET,
+                                  socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(128)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._pids: set[int] = set()
+        self._lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._supervisor: threading.Thread | None = None
+        self.worker_deaths = 0
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def worker_pids(self) -> list[int]:
+        with self._lock:
+            return sorted(self._pids)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ServingPool":
+        for _ in range(self.workers):
+            self._spawn()
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="serving-pool-supervisor",
+            daemon=True,
+        )
+        self._supervisor.start()
+        return self
+
+    def _spawn(self) -> None:
+        pid = os.fork()
+        if pid == 0:
+            # The child must never return into the parent's stack
+            # (test runner, CLI): serve, then hard-exit unconditionally.
+            code = 1
+            try:
+                code = _worker_main(self._listener, self._factory,
+                                    self._config)
+            finally:  # lintkit: disable=LK002
+                os._exit(code)
+        with self._lock:
+            self._pids.add(pid)
+
+    def _supervise(self) -> None:
+        """Reap dead workers and re-fork while the listener stays open."""
+        while not self._stopping.is_set():
+            for pid in self.worker_pids():
+                try:
+                    done, _status = os.waitpid(pid, os.WNOHANG)
+                except ChildProcessError:
+                    done = pid  # already reaped elsewhere
+                if done:
+                    with self._lock:
+                        self._pids.discard(pid)
+                    if not self._stopping.is_set():
+                        self.worker_deaths += 1
+                        self._spawn()
+            self._stopping.wait(0.05)
+
+    def shutdown(self) -> None:
+        """SIGTERM every worker, wait for the drain, escalate, close."""
+        self._stopping.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=2.0)
+        for pid in self.worker_pids():
+            try:
+                os.kill(pid, signal.SIGTERM)
+            except ProcessLookupError:
+                continue
+        deadline = time.monotonic() + _TERM_GRACE_S
+        for pid in self.worker_pids():
+            self._reap(pid, deadline)
+        self._listener.close()
+
+    def _reap(self, pid: int, deadline: float) -> None:
+        while True:
+            try:
+                done, _status = os.waitpid(pid, os.WNOHANG)
+            except ChildProcessError:
+                done = pid
+            if done:
+                with self._lock:
+                    self._pids.discard(pid)
+                return
+            if time.monotonic() >= deadline:
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                    os.waitpid(pid, 0)
+                except (ProcessLookupError, ChildProcessError):
+                    pass
+                with self._lock:
+                    self._pids.discard(pid)
+                return
+            time.sleep(0.02)
+
+    def __enter__(self) -> "ServingPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -146,14 +146,23 @@ class ParallelExecutor:
     # -- execution -----------------------------------------------------------
 
     def patients(self, sharded, expr, optimize: bool = True,
-                 cache: QueryCache | None = None) -> np.ndarray:
+                 cache: QueryCache | None = None,
+                 deadline=None) -> np.ndarray:
         """Sorted patient ids matching ``expr`` across every serving shard.
 
         ``cache`` overrides the executor's serial-path result cache
         (e.g. the engine's own LRU); worker processes keep their own.
+
+        ``deadline`` (a :class:`~repro.resilience.retry.Deadline`)
+        bounds the *whole* scatter-gather: it is checked between shard
+        evaluations, caps how long a parallel result is awaited, and
+        aborts per-shard recovery retries — an overrun raises
+        :class:`~repro.errors.DeadlineExceededError` to the caller (the
+        serving tier's 503) instead of queueing behind a stuck shard.
         """
         self.queries += 1
         self.shards_scanned += len(self._active(sharded))
+        self._check_request_deadline(deadline)
         if self.n_workers > 1 and sharded.n_shards > 1 \
                 and not self._pool_broken:
             if self._pool_failed:
@@ -167,7 +176,8 @@ class ParallelExecutor:
                     self._pool_failed = False
             if not self._pool_failed and not self._pool_broken:
                 try:
-                    return self._parallel(sharded, expr, optimize, cache)
+                    return self._parallel(sharded, expr, optimize, cache,
+                                          deadline)
                 except (BrokenProcessPool, PicklingError, OSError):
                     # Pool infrastructure failed (worker died mid-query,
                     # environment not picklable, fork refused): finish
@@ -176,7 +186,19 @@ class ParallelExecutor:
                     self.pool_fallbacks += 1
                     self._pool_failed = True
                     self._shutdown_pool()
-        return self._serial(sharded, expr, optimize, cache)
+        return self._serial(sharded, expr, optimize, cache, deadline)
+
+    def _check_request_deadline(self, deadline) -> None:
+        """Raise when the caller's request budget is already spent.
+
+        Deliberately *outside* the per-shard try blocks: a request-level
+        deadline overrun must propagate to the caller, never be retried
+        or quarantined like a shard failure.
+        """
+        if deadline is not None and deadline.expired():
+            raise DeadlineExceededError(
+                "scatter-gather query exceeded its request deadline"
+            )
 
     def _active(self, sharded) -> list[int]:
         indices = getattr(sharded, "active_indices", None)
@@ -191,17 +213,18 @@ class ParallelExecutor:
         return f"shard-{index:04d}"
 
     def _serial(self, sharded, expr, optimize: bool,
-                cache: QueryCache | None) -> np.ndarray:
+                cache: QueryCache | None, deadline=None) -> np.ndarray:
         self.serial_queries += 1
         shared = cache if cache is not None else self.cache
         parts = []
         for index in self._active(sharded):
+            self._check_request_deadline(deadline)
             try:
                 part = self._eval_serial(sharded, index, expr, optimize,
                                          shared)
             except (ShardStoreError, DeadlineExceededError, OSError) as exc:
                 part = self._recover_shard(sharded, index, expr, optimize,
-                                           shared, exc)
+                                           shared, exc, deadline)
             if part is not None:
                 parts.append(part)
         return _merge_patient_results(parts)
@@ -213,7 +236,7 @@ class ParallelExecutor:
         return np.asarray(engine.patients(expr))
 
     def _parallel(self, sharded, expr, optimize: bool,
-                  cache: QueryCache | None) -> np.ndarray:
+                  cache: QueryCache | None, deadline=None) -> np.ndarray:
         pool = self._ensure_pool()
         shared = cache if cache is not None else self.cache
         futures = [
@@ -222,27 +245,36 @@ class ParallelExecutor:
                          sharded.config.verify_checksums))
             for index in self._active(sharded)
         ]
-        timeout = self.config.shard_timeout_s
         parts = []
         for index, future in futures:
+            self._check_request_deadline(deadline)
+            timeout = self.config.shard_timeout_s
+            if deadline is not None:
+                remaining = max(0.001, deadline.remaining())
+                timeout = (remaining if timeout is None
+                           else min(timeout, remaining))
             try:
                 part = np.asarray(future.result(timeout=timeout))
                 self._breaker(sharded, index).record_success()
             except (BrokenProcessPool, PicklingError):
                 raise  # pool-level failure: the caller rebuilds/falls back
             except _FuturesTimeout:
-                # The worker is still grinding; the query cannot wait.
-                # Re-evaluate in-process through the recovery path (the
-                # straggler's result is discarded when it arrives).
+                # Request budget spent while awaiting the worker: the
+                # caller gets the deadline error (a 503 upstream), and
+                # the straggler's eventual result is discarded.
+                self._check_request_deadline(deadline)
+                # Otherwise the worker is still grinding past its
+                # per-shard budget; the query cannot wait.  Re-evaluate
+                # in-process through the recovery path.
                 exc = DeadlineExceededError(
                     f"shard {self._shard_name(sharded, index)} exceeded "
-                    f"the {timeout}s per-shard budget"
+                    f"the {self.config.shard_timeout_s}s per-shard budget"
                 )
                 part = self._recover_shard(sharded, index, expr, optimize,
-                                           shared, exc)
+                                           shared, exc, deadline)
             except (ShardStoreError, DeadlineExceededError) as exc:
                 part = self._recover_shard(sharded, index, expr, optimize,
-                                           shared, exc)
+                                           shared, exc, deadline)
             if part is not None:
                 parts.append(part)
         self.parallel_queries += 1
@@ -264,19 +296,22 @@ class ParallelExecutor:
         return breaker
 
     def _recover_shard(self, sharded, index: int, expr, optimize: bool,
-                       cache: QueryCache, exc: Exception):
+                       cache: QueryCache, exc: Exception, deadline=None):
         """One shard failed: retry in-process, then quarantine or raise.
 
         Returns the shard's patient-id array on a successful retry,
         ``None`` when the shard was quarantined (the query completes
         degraded), and re-raises when the store's policy is the strict
-        default ``on_damage="fail"``.
+        default ``on_damage="fail"``.  A spent request ``deadline``
+        aborts the retry schedule immediately — recovery must not spend
+        wall clock the request no longer has.
         """
         breaker = self._breaker(sharded, index)
         breaker.record_failure(str(exc))
         definite = isinstance(exc, _DEFINITE_DAMAGE)
         if not definite:
             for attempt in range(self._retry_policy.max_retries):
+                self._check_request_deadline(deadline)
                 self.shard_retries += 1
                 self._sleep(self._retry_policy.delay_for(attempt, self._rng))
                 try:

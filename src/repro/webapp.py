@@ -1,8 +1,14 @@
-"""A small web workbench (standard library only).
+"""The web workbench, served by the production serving tier.
 
 The paper's deployment put trajectories "on the web" (pastas.no); this
-module serves the whole workbench over HTTP so a cohort study can be
-explored from a browser:
+module is the single-process surface over :mod:`repro.serving`: route
+logic lives in the transport-agnostic :class:`repro.serving.core.RequestCore`,
+overload protection in :class:`repro.serving.middleware.ServingApp`, and
+the socket transport in :mod:`repro.serving.http`.  For a pre-forked
+multi-process pool, see :class:`repro.serving.pool.ServingPool`
+(``python -m repro serve --workers N``).
+
+Routes:
 
 * ``/`` — query form plus population summary;
 * ``/cohort?q=…`` — run a textual query: cohort statistics, a timeline
@@ -15,320 +21,39 @@ explored from a browser:
 * ``/timeline.svg?q=…&rows=…&align=…`` — the Figure 1 rendering;
 * ``/overview.svg?q=…`` — the density overview;
 * ``/patient/<id>`` — one interactive personal timeline;
-* ``/healthz`` — JSON liveness report: store sizes plus any sources the
-  ingestion had to degrade (HTTP 503 while degraded);
-* ``/stats`` — JSON serving metrics: store sizes, the static
-  analyzer's counters (queries analyzed, errors, warnings) plus the
-  query planner's cache counters (hits/misses/evictions/entries).  The cache
-  is per-process — one workbench engine serves every request — so the
-  counters aggregate the whole serving session.  A workbench serving a
-  sharded on-disk store (:mod:`repro.shard`) additionally reports shard
-  counters: shard count, how many segments are resident, partition
-  scheme, and the scatter-gather executor's mode/worker/query totals.
+* ``/healthz`` — JSON *liveness*: always 200 from a serving process;
+  the payload still reports sizes and degraded sources;
+* ``/readyz`` — JSON *readiness*: 503 while the worker is saturated,
+  draining, or serving without sources/quarantined shards, so a load
+  balancer can stop routing here without killing the process;
+* ``/stats`` — JSON serving metrics: store sizes, analyzer and planner
+  cache counters, HTTP cache counters (``ETag`` 304s, response-cache
+  hits), the admission gauge and rate limiter, and (for sharded
+  stores) shard/executor counters.
 
-Hardening: malformed query parameters answer 400 with a readable error,
-each request can carry a wall-clock deadline (503 on overrun), and a
-workbench in a degraded state can be served either with a banner or as
-an all-routes 503 (``degraded_mode``).
+Overload and caching semantics (see :mod:`repro.serving.middleware`):
+bounded in-flight admission control sheds with ``429 Retry-After``
+instead of queueing, per-client token buckets rate-limit bursts,
+per-request deadlines propagate into query execution (503 on overrun),
+cacheable routes carry strong ``ETag`` s keyed on the store's
+``content_token()`` plus the canonical plan key (``If-None-Match``
+answers 304 without re-executing the plan), and SVG/JSON/HTML bodies
+are gzip-encoded for clients that ask.
 
-Built on :mod:`http.server` (no dependencies), single-threaded per
-request but served from a ``ThreadingHTTPServer`` so SVG fetches don't
-block the form.  Start with :class:`WorkbenchServer` (tests drive it
-in-process) or ``python -m repro serve``.
+Start with :class:`WorkbenchServer` (tests drive it in-process) or
+``python -m repro serve``.
 """
 
 from __future__ import annotations
 
-import json
-import re
 import threading
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from urllib.parse import parse_qs, quote, urlparse
-from xml.sax.saxutils import escape
 
-from repro.errors import DeadlineExceededError, QueryError, ReproError
-from repro.query.ast import Concept
-from repro.resilience.retry import Deadline
-from repro.viz.timeline_view import TimelineConfig
+from repro.config import ServingConfig
+from repro.serving.http import build_server
+from repro.serving.middleware import ServingApp
 from repro.workbench import Workbench
 
 __all__ = ["WorkbenchServer"]
-
-#: Alignment concepts are terminology codes: letters, digits, dots.
-_CONCEPT_RE = re.compile(r"^[A-Za-z][A-Za-z0-9.]{0,15}$")
-
-_PAGE = """<!DOCTYPE html>
-<html lang="en"><head><meta charset="utf-8"><title>{title}</title>
-<style>
- body {{ font-family: sans-serif; margin: 1.2em; background: #fafafa; }}
- input[type=text] {{ width: 34em; }}
- pre {{ background: #f0f0f0; padding: 0.6em; }}
- img, object {{ border: 1px solid #ddd; background: #fff; }}
- .err {{ color: #b00020; }}
- .warn {{ color: #8a6d00; }}
-</style></head><body>
-<h2>{title}</h2>
-<form action="/cohort" method="get">
- <input type="text" name="q" value="{query}"
-  placeholder="concept T90 and atleast 2 category gp_contact">
- <button>run query</button>
-</form>
-{body}
-</body></html>
-"""
-
-
-class _Handler(BaseHTTPRequestHandler):
-    workbench: Workbench  # set by the server factory
-    #: Per-request wall-clock budget in seconds (None = unlimited).
-    request_deadline_s: float | None = None
-    #: "serve" keeps answering with a degradation banner; "fail" turns
-    #: every non-health route into a 503 while sources are degraded.
-    degraded_mode: str = "serve"
-
-    # -- plumbing ----------------------------------------------------------
-
-    def log_message(self, *args) -> None:  # silence request logging
-        pass
-
-    def _send(self, body: str | bytes, content_type: str,
-              status: int = 200) -> None:
-        data = body.encode("utf-8") if isinstance(body, str) else body
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(data)))
-        self.end_headers()
-        self.wfile.write(data)
-
-    def _page(self, title: str, body: str, query: str = "",
-              status: int = 200) -> None:
-        self._send(
-            _PAGE.format(title=escape(title), body=body,
-                         query=escape(query, {'"': "&quot;"})),
-            "text/html; charset=utf-8", status,
-        )
-
-    def _query_param(self, params: dict) -> str:
-        return (params.get("q") or [""])[0].strip()
-
-    def _int_param(self, params: dict, name: str, default: int) -> int:
-        """Parse an integer query parameter or raise a 400-able error."""
-        raw = (params.get(name) or [str(default)])[0].strip()
-        try:
-            return int(raw)
-        except ValueError:
-            raise QueryError(
-                f"query parameter {name!r} must be an integer, got {raw!r}"
-            ) from None
-
-    def _check_deadline(self) -> None:
-        """Raise once the per-request budget is spent (between stages)."""
-        if self._deadline is not None and self._deadline.expired():
-            raise DeadlineExceededError(
-                f"request exceeded its {self.request_deadline_s:.1f}s "
-                f"deadline"
-            )
-
-    # -- routes ------------------------------------------------------------
-
-    def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        url = urlparse(self.path)
-        params = parse_qs(url.query)
-        self._deadline = (
-            Deadline(self.request_deadline_s)
-            if self.request_deadline_s is not None else None
-        )
-        try:
-            if url.path == "/healthz":
-                self._healthz()
-            elif url.path == "/stats":
-                self._stats()
-            elif self.degraded_mode == "fail" and self.workbench.is_degraded:
-                self._degraded_page()
-            elif url.path == "/":
-                self._index()
-            elif url.path == "/cohort":
-                self._cohort(params)
-            elif url.path == "/analyze":
-                self._analyze(params)
-            elif url.path == "/timeline.svg":
-                self._timeline(params)
-            elif url.path == "/overview.svg":
-                self._overview(params)
-            elif url.path.startswith("/patient/"):
-                self._patient(url.path[len("/patient/"):])
-            else:
-                self._page("Not found", "<p class='err'>no such page</p>",
-                           status=404)
-        except DeadlineExceededError as exc:
-            self._page("Deadline exceeded",
-                       f"<p class='err'>{escape(str(exc))}</p>",
-                       query=self._query_param(params), status=503)
-        except ReproError as exc:
-            self._page("Query error",
-                       f"<p class='err'>{escape(str(exc))}</p>",
-                       query=self._query_param(params), status=400)
-
-    def _healthz(self) -> None:
-        health = self.workbench.health()
-        status = 200 if health["status"] == "ok" else 503
-        self._send(json.dumps(health, sort_keys=True),
-                   "application/json", status)
-
-    def _stats(self) -> None:
-        store = self.workbench.store
-        payload = {
-            "patients": int(store.n_patients),
-            "events": int(store.n_events),
-            "query_cache": self.workbench.query_cache_stats(),
-        }
-        payload["analyzer"] = dict(self.workbench.engine.analyzer_counters)
-        shards = self.workbench.shard_stats()
-        if shards is not None:
-            payload["shards"] = shards
-        self._send(json.dumps(payload, sort_keys=True),
-                   "application/json", 200)
-
-    def _degraded_page(self) -> None:
-        items = "".join(
-            f"<li><b>{escape(source)}</b>: {escape(reason)}</li>"
-            for source, reason in
-            sorted(self.workbench.degraded_sources.items())
-        )
-        self._page(
-            "Workbench degraded",
-            "<p class='err'>The workbench is running without these "
-            f"sources:</p><ul class='err'>{items}</ul>"
-            "<p>Retry once the registries recover, or restart with "
-            "<code>--degraded-mode serve</code> to browse the partial "
-            "integration.</p>",
-            status=503,
-        )
-
-    def _index(self) -> None:
-        stats = self.workbench.stats()
-        banner = ""
-        if self.workbench.is_degraded:
-            degraded = ", ".join(sorted(self.workbench.degraded_sources))
-            banner = (
-                f"<p class='err'>degraded: integrated without "
-                f"{escape(degraded)} (see <a href='/healthz'>/healthz</a>)"
-                f"</p>"
-            )
-        report = self.workbench.report
-        report_block = (
-            f"<pre>{escape(report.format_summary())}</pre>"
-            if report is not None and (report.is_degraded
-                                       or report.failures_truncated)
-            else ""
-        )
-        body = (
-            banner + report_block
-            + f"<pre>{escape(stats.format_table())}</pre>"
-            '<p><a href="/overview.svg">population density overview</a></p>'
-        )
-        self._page("PAsTAs workbench", body)
-
-    def _diagnostic_list(self, diagnostics, css: str) -> str:
-        items = "".join(
-            f"<li><code>{escape(d.rule)}</code> at "
-            f"<code>{escape(d.path)}</code>: {escape(d.message)}"
-            + (f"<br><i>hint: {escape(d.hint)}</i>" if d.hint else "")
-            + "</li>"
-            for d in diagnostics
-        )
-        return f"<ul class='{css}'>{items}</ul>"
-
-    def _analyze(self, params: dict) -> None:
-        query = self._query_param(params)
-        if not query:
-            raise QueryError("missing query parameter 'q'")
-        diagnostics = self.workbench.analyze(query)
-        payload = {
-            "query": query,
-            "ok": not any(d.severity == "error" for d in diagnostics),
-            "diagnostics": [d.to_json() for d in diagnostics],
-        }
-        self._send(json.dumps(payload, sort_keys=True),
-                   "application/json", 200)
-
-    def _cohort(self, params: dict) -> None:
-        query = self._query_param(params)
-        if not query:
-            self._page("Cohort", "<p class='err'>empty query</p>",
-                       status=400)
-            return
-        diagnostics = self.workbench.analyze(query)
-        if any(d.severity == "error" for d in diagnostics):
-            self._page(
-                "Query rejected",
-                "<p class='err'>static analysis rejected this query "
-                "(it was not evaluated):</p>"
-                + self._diagnostic_list(diagnostics, "err"),
-                query=query, status=400,
-            )
-            return
-        ids = self.workbench.select(query)
-        self._check_deadline()
-        stats = self.workbench.stats(ids)
-        encoded = quote(query)
-        links = "".join(
-            f'<li><a href="/patient/{int(p)}">patient {int(p)}</a></li>'
-            for p in ids[:20]
-        )
-        warnings_block = (
-            "<p class='warn'>static-analysis warnings:</p>"
-            + self._diagnostic_list(diagnostics, "warn")
-            if diagnostics else ""
-        )
-        body = (
-            warnings_block
-            + f"<p>{len(ids):,} patients match.</p>"
-            f"<pre>{escape(stats.format_table())}</pre>"
-            f'<object data="/timeline.svg?q={encoded}&rows=60" '
-            'type="image/svg+xml" width="100%"></object>'
-            f"<ul>{links}</ul>"
-        )
-        self._page("Cohort", body, query=query)
-
-    def _timeline(self, params: dict) -> None:
-        query = self._query_param(params)
-        rows = self._int_param(params, "rows", 100)
-        align = (params.get("align") or [""])[0].strip()
-        if align and not _CONCEPT_RE.match(align):
-            raise QueryError(
-                f"query parameter 'align' must be a concept code "
-                f"(e.g. T90), got {align!r}"
-            )
-        ids = self.workbench.select(query) if query \
-            else self.workbench.store.patient_ids
-        ids = ids[: max(1, min(rows, 2_000))]
-        self._check_deadline()
-        if align:
-            alignment = self.workbench.align(Concept(align.upper()))
-            scene = self.workbench.timeline(
-                ids, TimelineConfig(mode="aligned"), alignment
-            )
-        else:
-            scene = self.workbench.timeline(ids)
-        self._send(scene.svg_text, "image/svg+xml")
-
-    def _overview(self, params: dict) -> None:
-        query = self._query_param(params)
-        ids = self.workbench.select(query) if query else None
-        self._check_deadline()
-        scene = self.workbench.overview(ids)
-        self._send(scene.svg_text, "image/svg+xml")
-
-    def _patient(self, raw_id: str) -> None:
-        try:
-            patient_id = int(raw_id)
-        except ValueError:
-            raise QueryError(
-                f"patient id must be an integer, got {raw_id!r}"
-            ) from None
-        html = self.workbench.personal_timeline(patient_id)
-        self._send(html, "text/html; charset=utf-8")
 
 
 class WorkbenchServer:
@@ -340,23 +65,29 @@ class WorkbenchServer:
     ``request_deadline_s`` bounds each request's wall-clock budget
     (exceeding it answers 503); ``degraded_mode`` decides what a
     workbench with degraded sources serves — ``"serve"`` (default) keeps
-    answering with a banner, ``"fail"`` turns every route except
-    ``/healthz`` into a readable 503 page.
+    answering with a banner, ``"fail"`` turns every route except the
+    health probes into a readable 503 page.  ``config`` supplies the
+    full overload-protection surface (admission control, rate limits,
+    response cache, gzip — see :class:`repro.config.ServingConfig`);
+    the two keyword shortcuts override the matching config fields.
     """
 
     def __init__(self, workbench: Workbench, host: str = "127.0.0.1",
                  port: int = 0, request_deadline_s: float | None = None,
-                 degraded_mode: str = "serve") -> None:
-        if degraded_mode not in ("serve", "fail"):
-            raise ValueError(
-                f"degraded_mode must be 'serve' or 'fail', "
-                f"got {degraded_mode!r}"
-            )
-        handler = type("BoundHandler", (_Handler,),
-                       {"workbench": workbench,
-                        "request_deadline_s": request_deadline_s,
-                        "degraded_mode": degraded_mode})
-        self._httpd = ThreadingHTTPServer((host, port), handler)
+                 degraded_mode: str | None = None,
+                 config: ServingConfig | None = None) -> None:
+        base = config or ServingConfig()
+        overrides = {}
+        if request_deadline_s is not None:
+            overrides["request_deadline_s"] = request_deadline_s
+        if degraded_mode is not None:
+            overrides["degraded_mode"] = degraded_mode
+        if overrides:
+            from dataclasses import replace
+
+            base = replace(base, **overrides)
+        self.app = ServingApp(workbench, base)
+        self._httpd = build_server(self.app, host=host, port=port)
         self._thread: threading.Thread | None = None
 
     @property

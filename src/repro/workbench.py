@@ -207,11 +207,18 @@ class Workbench:
         """A fresh query builder (the Figure 4 form)."""
         return QueryBuilder()
 
-    def select(self, query: str | PatientExpr | EventExpr) -> np.ndarray:
-        """Evaluate a query (text or AST) to sorted patient ids."""
+    def select(self, query: str | PatientExpr | EventExpr,
+               deadline=None) -> np.ndarray:
+        """Evaluate a query (text or AST) to sorted patient ids.
+
+        ``deadline`` (a :class:`~repro.resilience.retry.Deadline`)
+        bounds the evaluation's wall clock; the serving tier threads
+        each request's budget through here into the engine and the
+        scatter-gather executor.
+        """
         if isinstance(query, str):
             query = parse_query(query)
-        return self.engine.patients(query)
+        return self.engine.patients(query, deadline=deadline)
 
     def explain(self, query: str | PatientExpr | EventExpr) -> str:
         """The query's normalized plan, estimated selectivities and

@@ -90,15 +90,25 @@ def test_explain_diagnostics_section_pinned(tmp_path, capsys):
 def test_stats_json_pinned():
     wb = Workbench.from_store(_golden_store())
     with WorkbenchServer(wb) as server:
-        cohort_url = f"{server.url}/cohort?q={_QUERY.replace(' ', '+')}"
-        for __ in range(2):  # second run is served from the cache
+        encoded = _QUERY.replace(" ", "+")
+        cohort_url = f"{server.url}/cohort?q={encoded}"
+        # The second identical request never re-executes the plan: the
+        # HTTP layer serves the rendered body from the response cache.
+        for __ in range(2):
             with urllib.request.urlopen(cohort_url) as response:
                 assert response.status == 200
+        # The same plan through a different route *does* execute — and
+        # lands a query-cache hit (plan results are shared per process).
+        svg_url = f"{server.url}/timeline.svg?q={encoded}"
+        with urllib.request.urlopen(svg_url) as response:
+            assert response.status == 200
         with urllib.request.urlopen(f"{server.url}/stats") as response:
             assert response.status == 200
             body = response.read().decode("utf-8")
     payload = json.loads(body)
-    assert payload["query_cache"]["hits"] > 0  # the warm second run
+    assert payload["query_cache"]["hits"] > 0  # the warm timeline select
+    assert payload["http_cache"]["response_cache"]["hits"] > 0
+    assert payload["http_cache"]["queries_executed"] == 2
     pretty = json.dumps(payload, sort_keys=True, indent=2) + "\n"
     _check_golden("stats.json", pretty)
 

@@ -136,6 +136,65 @@ def test_lk103_scoped_to_shard_code(tmp_path):
     assert not _lint_snippet(tmp_path, source, rel="src/repro/io.py")
 
 
+_UNDEADLINED_HANDLER = (
+    "class Core:\n"
+    "    def _cohort(self, request):\n"
+    "        return self.workbench.select(request.param('q'))\n"
+)
+
+
+def test_lk104_undeadlined_handler_flagged(tmp_path):
+    violations = _lint_snippet(
+        tmp_path, _UNDEADLINED_HANDLER, rel="src/repro/serving/core.py"
+    )
+    assert _rules_hit(violations) == {"LK104"}
+    assert violations[0].line == 3
+    assert "select" in violations[0].message
+
+
+def test_lk104_deadline_parameter_passes(tmp_path):
+    assert not _lint_snippet(tmp_path, (
+        "class Core:\n"
+        "    def _cohort(self, request, deadline):\n"
+        "        return self.workbench.select(request.param('q'),\n"
+        "                                     deadline=deadline)\n"
+    ), rel="src/repro/serving/core.py")
+
+
+def test_lk104_deadline_keyword_alone_passes(tmp_path):
+    # Threading a deadline through without naming the parameter
+    # 'deadline' (e.g. reading it off the request) still counts.
+    assert not _lint_snippet(tmp_path, (
+        "class Core:\n"
+        "    def _cohort(self, request):\n"
+        "        return self.workbench.select(\n"
+        "            request.param('q'), deadline=request.budget)\n"
+    ), rel="src/repro/serving/core.py")
+
+
+def test_lk104_scoped_to_serving_code(tmp_path):
+    # The same code outside the serving tier (e.g. a batch tool) is
+    # allowed to run unbounded queries.
+    assert not _lint_snippet(tmp_path, _UNDEADLINED_HANDLER,
+                             rel="src/repro/workbench.py")
+    assert not _lint_snippet(tmp_path, _UNDEADLINED_HANDLER,
+                             rel="tools/x.py")
+
+
+def test_lk104_applies_to_webapp_shim(tmp_path):
+    violations = _lint_snippet(tmp_path, _UNDEADLINED_HANDLER,
+                               rel="src/repro/webapp.py")
+    assert _rules_hit(violations) == {"LK104"}
+
+
+def test_lk104_ignores_functions_without_query_calls(tmp_path):
+    assert not _lint_snippet(tmp_path, (
+        "class Core:\n"
+        "    def _healthz(self, request):\n"
+        "        return self.workbench.health()\n"
+    ), rel="src/repro/serving/core.py")
+
+
 # -- framework --------------------------------------------------------------
 
 
@@ -184,7 +243,8 @@ def test_rule_ids_unique_and_titled():
     ids = [rule.id for rule in rules]
     assert len(ids) == len(set(ids))
     assert all(rule.title for rule in rules)
-    assert {"LK001", "LK002", "LK003", "LK101", "LK102", "LK103"} <= set(ids)
+    assert {"LK001", "LK002", "LK003", "LK101", "LK102", "LK103",
+            "LK104"} <= set(ids)
 
 
 # -- the real gate ----------------------------------------------------------

@@ -78,15 +78,30 @@ class TestHealthz:
         assert health["patients"] == healthy_wb.store.n_patients
         assert "failed_records" in health  # report attached by ingestion
 
-    def test_degraded_is_503_with_reasons(self, degraded_server):
-        status, body = _get_error(degraded_server, "/healthz")
-        assert status == 503
+    def test_degraded_liveness_stays_200_with_reasons(self, degraded_server):
+        # Liveness: the process is serving, so /healthz answers 200;
+        # degradation is reported in the payload and flips /readyz.
+        status, body = _get(degraded_server, "/healthz")
+        assert status == 200
         health = json.loads(body)
         assert health["status"] == "degraded"
         assert "municipal_records" in health["degraded_sources"]
         assert "registry down" in (
             health["degraded_sources"]["municipal_records"]
         )
+
+    def test_degraded_readiness_is_503(self, degraded_server):
+        status, body = _get_error(degraded_server, "/readyz")
+        assert status == 503
+        payload = json.loads(body)
+        assert payload["ready"] is False
+        assert any("municipal_records" in reason
+                   for reason in payload["reasons"])
+
+    def test_healthy_readiness_is_200(self, server):
+        status, body = _get(server, "/readyz")
+        assert status == 200
+        assert json.loads(body)["ready"] is True
 
 
 class TestDegradedServing:
@@ -107,10 +122,13 @@ class TestDegradedServing:
             assert "municipal_records" in body
             status, __ = _get_error(server, "/cohort?q=concept%20T90")
             assert status == 503
-            # the health endpoint stays reachable for monitoring
-            status, body = _get_error(server, "/healthz")
-            assert status == 503
+            # the liveness endpoint stays reachable (and alive) for
+            # monitoring; readiness reports the degradation
+            status, body = _get(server, "/healthz")
+            assert status == 200
             assert json.loads(body)["status"] == "degraded"
+            status, __ = _get_error(server, "/readyz")
+            assert status == 503
 
     def test_fail_mode_on_healthy_store_serves_normally(self, healthy_wb):
         with WorkbenchServer(healthy_wb, degraded_mode="fail") as server:

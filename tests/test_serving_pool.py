@@ -1,0 +1,132 @@
+"""The pre-forked serving pool: fan-out, crash supervision, drain.
+
+Real processes, real sockets: the pool must serve from every worker,
+survive a SIGKILL'd worker by re-forking while the listener stays open,
+answer deterministic ETags across workers (each holds its own store
+mmap), and shut down cleanly without leaking children.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.config import ServingConfig, ShardConfig
+from repro.serving import ServingPool
+from repro.shard import write_sharded_store
+from repro.simulate.fast import generate_store_fast
+from repro.workbench import Workbench
+
+
+def _get(url: str, headers: dict | None = None,
+         timeout: float = 15.0) -> tuple[int, dict, str]:
+    request = urllib.request.Request(url, headers=headers or {})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, dict(response.headers), \
+                response.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read().decode("utf-8")
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    return True
+
+
+@pytest.fixture(scope="module")
+def sharded_root(tmp_path_factory):
+    store, __ = generate_store_fast(150, seed=5)
+    root = str(tmp_path_factory.mktemp("poolshards") / "pool.shards")
+    write_sharded_store(store, root, n_shards=4)
+    return root
+
+
+@pytest.fixture()
+def pool(sharded_root):
+    def factory():
+        return Workbench.from_shards(
+            sharded_root, shard_config=ShardConfig(n_workers=1)
+        )
+
+    running = ServingPool(factory, workers=2, config=ServingConfig())
+    with running:
+        yield running
+    # after shutdown no child may survive
+    for pid in running.worker_pids():
+        assert not _pid_alive(pid)
+
+
+class TestServingPool:
+    def test_pool_boots_and_serves(self, pool):
+        assert len(pool.worker_pids()) == 2
+        status, headers, body = _get(pool.url + "/cohort?q=concept%20T90")
+        assert status == 200
+        assert "patients match" in body
+        assert "ETag" in headers
+        status, __h, body = _get(pool.url + "/readyz")
+        assert status == 200
+        assert json.loads(body)["ready"] is True
+
+    def test_etags_deterministic_across_workers(self, pool):
+        # more requests than workers: whichever worker answers, the
+        # content-addressed tag is identical, so a client can revalidate
+        # against any of them
+        __, headers, __b = _get(pool.url + "/cohort?q=concept%20T90")
+        etag = headers["ETag"]
+        saw_304 = 0
+        for __ in range(6):
+            status, headers, __b = _get(
+                pool.url + "/cohort?q=concept%20T90",
+                headers={"If-None-Match": etag},
+            )
+            assert status == 304
+            assert headers["ETag"] == etag
+            saw_304 += 1
+        assert saw_304 == 6
+
+    def test_killed_worker_is_reforked_and_service_continues(self, pool):
+        before = pool.worker_pids()
+        victim = before[0]
+        os.kill(victim, signal.SIGKILL)
+        for __ in range(200):  # the supervisor polls every 50ms
+            current = pool.worker_pids()
+            if victim not in current and len(current) == 2:
+                break
+            time.sleep(0.02)
+        else:
+            pytest.fail("supervisor never re-forked the killed worker")
+        assert pool.worker_deaths == 1
+        # the replacement (and the survivor) keep serving correctly
+        for __ in range(4):
+            status, __h, body = _get(pool.url + "/cohort?q=concept%20T90")
+            assert status == 200
+            assert "patients match" in body
+
+    def test_single_worker_pool_works(self, sharded_root):
+        def factory():
+            return Workbench.from_shards(
+                sharded_root, shard_config=ShardConfig(n_workers=1)
+            )
+
+        with ServingPool(factory, workers=1) as single:
+            assert len(single.worker_pids()) == 1
+            status, __h, __b = _get(single.url + "/healthz")
+            assert status == 200
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ServingPool(lambda: None, workers=0)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])

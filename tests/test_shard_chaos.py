@@ -199,7 +199,7 @@ class TestWebappOverDamagedStore:
         except urllib.error.HTTPError as exc:
             return exc.code, exc.read().decode("utf-8")
 
-    def test_health_degraded_and_healthz_503(self, damaged_root):
+    def test_health_degraded_and_readyz_503(self, damaged_root):
         wb = Workbench.from_shards(
             damaged_root, shard_config=_quarantine_config()
         )
@@ -210,10 +210,15 @@ class TestWebappOverDamagedStore:
         assert len(health["shards"]["quarantined"]) == 1
         assert health["shards"]["patients_lost"] > 0
         with WorkbenchServer(wb) as server:
+            # Liveness stays 200 (the worker is serving); the payload
+            # and the readiness probe carry the quarantine state.
             status, body = self._get(server.url + "/healthz")
-            assert status == 503
+            assert status == 200
             payload = json.loads(body)
             assert payload["status"] == "degraded"
+            status, body = self._get(server.url + "/readyz")
+            assert status == 503
+            assert json.loads(body)["ready"] is False
             status, body = self._get(server.url + "/stats")
             assert status == 200
             shards = json.loads(body)["shards"]

@@ -67,7 +67,7 @@ class TestPoolSelfHealing:
         calls = {"n": 0}
         sentinel = np.asarray([1, 2, 3], dtype=np.int64)
 
-        def fake_parallel(sharded, expr, optimize, cache):
+        def fake_parallel(sharded, expr, optimize, cache, deadline=None):
             calls["n"] += 1
             if calls["n"] <= fail_times:
                 raise BrokenProcessPool("injected pool crash")

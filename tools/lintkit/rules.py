@@ -23,6 +23,15 @@ Reproducibility / durability rules:
   different failure and memory profiles, so the choice must be visible
   at the call site.
 
+Serving rules:
+
+* **LK104** — HTTP handler code (``repro/webapp.py``,
+  ``repro/serving/``) that runs unbounded query or render work
+  (``.select()``, ``.patients()``, ``.timeline()``, ``.overview()``,
+  ``.personal_timeline()``, ``.align()``) must have a ``Deadline`` in
+  scope: a slow query on an undeadlined handler pins a worker forever
+  and defeats admission control.
+
 Narrow builtin catches (``except ValueError:`` around one conversion)
 are legitimate control flow and pass; the rules target the broad
 handlers and silent-corruption paths that hide real faults.
@@ -49,6 +58,7 @@ __all__ = [
     "UnseededRngRule",
     "NonAtomicWriteRule",
     "ImplicitMmapRule",
+    "UndeadlinedHandlerRule",
 ]
 
 _BROAD = {"Exception", "BaseException"}
@@ -256,6 +266,67 @@ class NonAtomicWriteRule(Rule):
                     f"crash mid-write corrupts the existing file",
                     hint="write to a temporary and os.replace it into "
                          "place (see repro.shard.format.atomic_replace)",
+                )
+
+
+@register
+class UndeadlinedHandlerRule(Rule):
+    id = "LK104"
+    title = "HTTP handlers must bound query work with a Deadline"
+
+    #: Workbench/engine entry points whose cost scales with the store
+    #: (query evaluation, full-cohort renders) — a handler calling one
+    #: without a deadline in scope can pin its worker indefinitely.
+    _QUERY_METHODS = {
+        "select", "patients", "timeline", "overview",
+        "personal_timeline", "align",
+    }
+
+    def applies_to(self, rel: Path) -> bool:
+        posix = rel.as_posix()
+        return posix == "src/repro/webapp.py" or posix.startswith(
+            "src/repro/serving/"
+        )
+
+    @classmethod
+    def _mentions_deadline(cls, func: ast.AST) -> bool:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Name) and "deadline" in node.id.lower():
+                return True
+            if isinstance(node, ast.Attribute) and (
+                "deadline" in node.attr.lower()
+            ):
+                return True
+            if isinstance(node, ast.arg) and "deadline" in node.arg.lower():
+                return True
+            if isinstance(node, ast.keyword) and node.arg and (
+                "deadline" in node.arg.lower()
+            ):
+                return True
+        return False
+
+    def check(self, tree: ast.AST, rel: Path,
+              text: str) -> Iterator[Violation]:
+        for func in ast.walk(tree):
+            if not isinstance(
+                func, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            calls = [
+                node for node in ast.walk(func)
+                if isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._QUERY_METHODS
+            ]
+            if not calls or self._mentions_deadline(func):
+                continue
+            for call in calls:
+                yield self.violation(
+                    rel, call.lineno,
+                    f"{func.name}() runs unbounded work "
+                    f"(.{call.func.attr}()) with no Deadline in scope",
+                    hint="accept a deadline parameter and thread it into "
+                         "query execution (repro.resilience.retry.Deadline)",
                 )
 
 
