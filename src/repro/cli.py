@@ -224,6 +224,19 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--partition", choices=("hash", "range"), default="hash",
                    help="patient-id hash (balanced, streamable) or "
                         "contiguous range (id locality)")
+    s = ssub.add_parser("append",
+                        help="land a .npz event batch as checksummed "
+                             "delta segments (one atomic manifest bump; "
+                             "readers never block)")
+    s.add_argument("dir", help="shard directory")
+    s.add_argument("batch", help=".npz event batch to append")
+    s = ssub.add_parser("compact",
+                        help="fold pending delta segments into fresh "
+                             "base-segment generations (atomic install, "
+                             "crash-safe)")
+    s.add_argument("dir", help="shard directory")
+    s.add_argument("--json", action="store_true",
+                   help="machine-readable report on stdout")
     s = ssub.add_parser("info", help="summarize a sharded store")
     s.add_argument("dir", help="shard directory")
     s = ssub.add_parser("verify",
@@ -566,20 +579,65 @@ def _dispatch_shard(args: argparse.Namespace) -> int:
         print(f"patients per shard: {sizes}")
         return 0
 
+    if args.shard_command == "append":
+        from repro.io import load_store
+        from repro.shard import DeltaWriter, pending_delta_stats
+
+        batch = load_store(args.batch)
+        manifest = DeltaWriter(args.dir).append(batch)
+        stats = pending_delta_stats(manifest)
+        print(f"appended {batch.n_events:,} event(s) / "
+              f"{batch.n_patients:,} patient(s) to {args.dir} "
+              f"(revision {stats['revision']})")
+        print(f"pending: {stats['pending_deltas']} delta segment(s) / "
+              f"{stats['delta_events']:,} delta event(s) across "
+              f"{stats['shards_with_deltas']} shard(s)")
+        return 0
+
+    if args.shard_command == "compact":
+        import json
+
+        from repro.shard import Compactor, pending_delta_stats, \
+            read_store_manifest
+
+        report = Compactor(args.dir).compact()
+        if args.json:
+            print(json.dumps(report.to_json(), indent=1, sort_keys=True))
+        elif not report.actions:
+            print(f"{args.dir}: nothing to compact")
+        else:
+            print(report.format_summary())
+            stats = pending_delta_stats(read_store_manifest(args.dir))
+            print(f"revision {stats['revision']}, "
+                  f"{stats['pending_deltas']} pending delta segment(s)")
+        return 0
+
     if args.shard_command == "info":
-        from repro.shard import read_store_manifest
+        from repro.shard import pending_delta_stats, read_store_manifest
 
         manifest = read_store_manifest(args.dir)
+        stats = pending_delta_stats(manifest)
         print(f"sharded store {args.dir}")
         print(f"  partition:  {manifest['partition']}")
         print(f"  shards:     {manifest['n_shards']}")
         print(f"  patients:   {manifest['total_patients']:,}")
         print(f"  events:     {manifest['total_events']:,}")
+        print(f"  revision:   {stats['revision']}")
+        if stats["pending_deltas"]:
+            print(f"  pending:    {stats['pending_deltas']} delta "
+                  f"segment(s) / {stats['delta_events']:,} delta event(s) "
+                  f"on {stats['shards_with_deltas']} shard(s) "
+                  f"(run shard compact)")
         for entry in manifest["shards"]:
             span = ("(empty)" if entry["patient_min"] is None else
                     f"ids {entry['patient_min']}..{entry['patient_max']}")
+            generation = int(entry.get("generation") or 0)
+            deltas = entry.get("deltas") or []
+            extra = f" gen {generation}" if generation else ""
+            if deltas:
+                extra += f" +{len(deltas)} delta(s)"
             print(f"  {entry['name']}: {entry['n_patients']:,} patients / "
-                  f"{entry['n_events']:,} events {span}")
+                  f"{entry['n_events']:,} events {span}{extra}")
         return 0
 
     if args.shard_command == "verify":

@@ -119,6 +119,12 @@ class ShardConfig:
         shard_failure_threshold: consecutive failures before one shard's
             query-time circuit breaker opens; an open breaker quarantines
             the shard under ``on_damage="quarantine"``.
+        keep_generations: superseded base-segment generations the
+            compactor retains after installing a merged segment under a
+            new generation directory.  Keeping at least 1 lets readers
+            holding the previous root manifest (pool workers one
+            revision behind, sibling processes mid-query) keep
+            resolving; older generations are garbage collected.
     """
 
     n_workers: int | None = None
@@ -131,6 +137,7 @@ class ShardConfig:
     shard_timeout_s: float | None = None
     shard_max_retries: int = 2
     shard_failure_threshold: int = 3
+    keep_generations: int = 1
 
     def resolved_workers(self) -> int:
         """The effective worker count (``None`` -> ``min(4, cpus)``)."""
@@ -172,6 +179,12 @@ class ServingConfig:
         ready_high_water: inflight fraction of ``max_inflight`` at which
             ``/readyz`` starts answering 503 so a load balancer drains
             the instance before requests are actually shed.
+        max_pending_deltas: compaction-lag bound for ``/readyz``: when a
+            sharded store has more than this many pending delta
+            segments awaiting compaction, readiness answers 503 so the
+            balancer sheds load until ``shard compact`` catches up
+            (``None`` disables the check; appends keep working either
+            way).
         debug_routes: expose ``/debug/sleep?s=…`` (bounded busy-wait)
             for overload tests and the serving benchmark harness.
     """
@@ -187,6 +200,7 @@ class ServingConfig:
     response_cache_entries: int = 128
     response_cache_bytes: int = 32 * 1024 * 1024
     ready_high_water: float = 0.8
+    max_pending_deltas: int | None = None
     debug_routes: bool = False
 
     def __post_init__(self) -> None:

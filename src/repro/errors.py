@@ -143,6 +143,23 @@ class ShardRepairError(ShardStoreError):
         self.detail = detail
 
 
+class SimulatedCrashError(ShardStoreError):
+    """An armed crash point fired (fault-injection harness only).
+
+    Raised by :func:`repro.resilience.faults.crashpoint` when a test has
+    armed that point, simulating a process kill in the middle of a
+    durable-write sequence.  Production code never arms crash points, so
+    this error can only surface under the crash-matrix test harness.
+    """
+
+    def __init__(self, label: str, step: int) -> None:
+        super().__init__(
+            f"simulated crash at point {step} ({label})"
+        )
+        self.label = label
+        self.step = step
+
+
 class QueryError(ReproError):
     """A malformed query expression or an evaluation failure."""
 

@@ -224,10 +224,13 @@ def merge_stores(
     :func:`repro.events.store.merge_stores`, folded over the inputs.
 
     A :class:`~repro.shard.store.ShardedEventStore` input is
-    materialized first (every shard merged into one in-memory store);
-    for populations too large to materialize, re-shard instead of
-    merging — :func:`repro.shard.write_sharded_store` accepts a stream
-    of stores.
+    materialized first (every shard merged into one in-memory store).
+    Materialization reads the *effective* view: pending delta segments
+    from incremental appends are resolved into each shard with
+    last-write-wins dedup, so a store with uncompacted deltas merges
+    identically to its compacted twin.  For populations too large to
+    materialize, re-shard instead of merging —
+    :func:`repro.shard.write_sharded_store` accepts a stream of stores.
     """
     import functools
 

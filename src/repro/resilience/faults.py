@@ -39,6 +39,9 @@ __all__ = [
     "apply_shard_faults",
     "claim_worker_kill",
     "corrupt_record",
+    "count_crashpoints",
+    "crash_at",
+    "crashpoint",
     "repair_record",
 ]
 
@@ -175,6 +178,93 @@ class _FaultyIterator(Iterator[RawRecord]):
             record = corrupt_record(record)
         self._index += 1
         return record
+
+# -- crash points --------------------------------------------------------------
+
+#: Process-wide crash-point state: ``[armed_step, next_step, trace]``.
+#: ``armed_step`` of 0 means disarmed; ``trace`` (a list or None)
+#: records every label passed while counting.
+_CRASH_STATE: dict = {"armed": 0, "next": 0, "trace": None}
+
+
+def crashpoint(label: str) -> None:
+    """A durable-write step boundary the crash harness can kill at.
+
+    Instrumented code calls this immediately *before and after* every
+    fsync/``os.replace``-class step of a multi-step durable operation
+    (delta append, compaction install, manifest bump).  Disarmed — the
+    production state — it is a counter increment and nothing else.  A
+    test arms step N via :func:`crash_at`; the Nth call then raises
+    :class:`~repro.errors.SimulatedCrashError`, abandoning the operation
+    exactly at that boundary the way a power cut would.
+    """
+    state = _CRASH_STATE
+    if state["armed"] == 0 and state["trace"] is None:
+        return
+    state["next"] += 1
+    if state["trace"] is not None:
+        state["trace"].append(label)
+    if state["armed"] and state["next"] >= state["armed"]:
+        from repro.errors import SimulatedCrashError  # noqa: PLC0415 (cycle)
+
+        step, state["armed"], state["next"] = state["next"], 0, 0
+        raise SimulatedCrashError(label, step)
+
+
+class crash_at:
+    """Context manager arming the ``step``-th :func:`crashpoint` call.
+
+    ::
+
+        with crash_at(3):
+            writer.append(batch)   # raises SimulatedCrashError at point 3
+
+    Steps count from 1.  The state is process-global (the instrumented
+    operations run in the calling process), and always disarmed on exit
+    so one test's leftover arming can never kill another's writes.
+    """
+
+    def __init__(self, step: int) -> None:
+        if step < 1:
+            raise SimulationError(f"crash step must be >= 1, got {step}")
+        self.step = int(step)
+
+    def __enter__(self) -> "crash_at":
+        _CRASH_STATE["armed"] = self.step
+        _CRASH_STATE["next"] = 0
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _CRASH_STATE["armed"] = 0
+        _CRASH_STATE["next"] = 0
+
+
+class count_crashpoints:
+    """Context manager recording every crash point an operation passes.
+
+    ::
+
+        with count_crashpoints() as trace:
+            writer.append(batch)
+        assert len(trace.labels) > 0
+
+    The crash matrix uses the recorded count to iterate ``crash_at(n)``
+    for every ``n`` — killing the operation at *each* boundary without
+    hard-coding how many there are.
+    """
+
+    def __init__(self) -> None:
+        self.labels: list[str] = []
+
+    def __enter__(self) -> "count_crashpoints":
+        _CRASH_STATE["trace"] = self.labels
+        _CRASH_STATE["next"] = 0
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _CRASH_STATE["trace"] = None
+        _CRASH_STATE["next"] = 0
+
 
 # -- shard-layer fault injection -----------------------------------------------
 

@@ -447,9 +447,11 @@ class RequestCore:
         """Readiness: should a load balancer route traffic here?
 
         503 while the worker is saturated (inflight at or beyond the
-        high-water fraction of ``max_inflight``), draining, or serving
-        without sources/shards — each reason is listed so the operator
-        can tell a drain from an overload.
+        high-water fraction of ``max_inflight``), draining, serving
+        without sources/shards, or too far behind on compaction (more
+        pending delta segments than ``max_pending_deltas``) — each
+        reason is listed so the operator can tell a drain from an
+        overload from an ingestion backlog.
         """
         reasons = []
         saturation = (
@@ -470,10 +472,24 @@ class RequestCore:
             self.workbench.degraded_sources.items()
         ):
             reasons.append(f"degraded {name}: {reason}")
+        # Compaction lag (manifest metadata only — no query execution,
+        # so readiness stays cheap and deadline-free).
+        delta_stats = getattr(self.workbench.store, "delta_stats", None)
+        ingestion = delta_stats() if callable(delta_stats) else None
+        limit = self.config.max_pending_deltas
+        if ingestion is not None and limit is not None \
+                and ingestion["pending_deltas"] > limit:
+            reasons.append(
+                f"compaction lag: {ingestion['pending_deltas']} pending "
+                f"delta segment(s) exceed the bound of {limit}; run "
+                f"shard compact"
+            )
         payload = {
             "ready": not reasons,
             "reasons": reasons,
         }
+        if ingestion is not None:
+            payload["ingestion"] = ingestion
         if saturation is not None:
             payload["inflight"] = saturation.get("inflight", 0)
             payload["max_inflight"] = saturation.get("max_inflight")

@@ -14,6 +14,12 @@ the patient-id results.
   EventStore` by patient-id hash or contiguous range into N shards;
 * :mod:`repro.shard.store` — :class:`ShardedEventStore`, a lazy,
   mmap-backed store exposing the same query surface as ``EventStore``;
+* :mod:`repro.shard.delta` — the incremental ingestion path:
+  :class:`DeltaWriter` lands new batches as small checksummed delta
+  segments with one durable atomic manifest bump, shards resolve
+  base+deltas with last-write-wins dedup, and the background
+  :class:`Compactor` folds deltas into fresh base-segment generations
+  without ever blocking readers;
 * :mod:`repro.shard.executor` — :class:`ParallelExecutor`, the
   self-healing scatter-gather evaluation engine (process pool with
   per-shard retry/circuit-breaking, pool rebuilds, serial fallback);
@@ -36,6 +42,14 @@ Example::
     ids = engine.patients(parse_query("concept T90"))
 """
 
+from repro.shard.delta import (
+    CompactionAction,
+    CompactionReport,
+    Compactor,
+    DeltaWriter,
+    pending_delta_stats,
+    resolve_segments,
+)
 from repro.shard.executor import ParallelExecutor
 from repro.shard.format import (
     SHARD_FORMAT_VERSION,
@@ -60,6 +74,10 @@ from repro.shard.store import (
 from repro.shard.writer import ShardedStoreWriter, subset_store, write_sharded_store
 
 __all__ = [
+    "CompactionAction",
+    "CompactionReport",
+    "Compactor",
+    "DeltaWriter",
     "FsckReport",
     "ParallelExecutor",
     "QueryDegradation",
@@ -72,8 +90,10 @@ __all__ = [
     "fsck_store",
     "is_shard_store",
     "open_segment",
+    "pending_delta_stats",
     "read_store_manifest",
     "repair_store",
+    "resolve_segments",
     "subset_store",
     "verify_segment",
     "write_sharded_store",

@@ -76,8 +76,19 @@ _DEFINITE_DAMAGE = (ShardChecksumError, ShardFormatError)
 
 
 def _eval_shard(path: str, index: int, expr, optimize: bool,
-                verify_checksums: bool) -> np.ndarray:
-    """Worker entry point: evaluate one query on one shard."""
+                verify_checksums: bool, revision: int = 0) -> np.ndarray:
+    """Worker entry point: evaluate one query on one shard.
+
+    ``revision`` is the parent's view of the store's root-manifest
+    revision.  A cached worker store on a different revision is stale —
+    a delta append or compaction moved the manifest under it — and is
+    reopened, so a query never mixes one worker's pre-append shard view
+    with another's post-append view.  Superseded segment generations
+    are retained through one compaction (``keep_generations``), so a
+    worker one revision behind still resolves; further behind, the
+    failure surfaces as an ordinary shard error and the parent's
+    recovery path re-evaluates serially against its own manifest.
+    """
     from repro.resilience.faults import claim_worker_kill  # noqa: PLC0415
     from repro.shard.store import ShardedEventStore  # noqa: PLC0415 (cycle)
 
@@ -86,7 +97,7 @@ def _eval_shard(path: str, index: int, expr, optimize: bool,
 
         os._exit(43)  # simulate a hard worker crash (chaos harness)
     sharded = _WORKER_STORES.get(path)
-    if sharded is None:
+    if sharded is None or sharded.revision != revision:
         sharded = ShardedEventStore(
             path, config=ShardConfig(verify_checksums=verify_checksums)
         )
@@ -242,7 +253,8 @@ class ParallelExecutor:
         futures = [
             (index,
              pool.submit(_eval_shard, sharded.path, index, expr, optimize,
-                         sharded.config.verify_checksums))
+                         sharded.config.verify_checksums,
+                         getattr(sharded, "revision", 0)))
             for index in self._active(sharded)
         ]
         parts = []

@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.errors import ShardChecksumError, ShardFormatError
 from repro.events.store import EventStore, default_systems
+from repro.resilience.faults import crashpoint
 
 __all__ = [
     "COLUMNS",
@@ -45,6 +46,7 @@ __all__ = [
     "SHARD_FORMAT_VERSION",
     "atomic_replace",
     "checksum_file",
+    "fsync_dir",
     "open_segment",
     "read_store_manifest",
     "verify_segment",
@@ -64,12 +66,19 @@ COLUMNS = (
 )
 
 
-def atomic_replace(path: str, write) -> None:
+def atomic_replace(path: str, write, durable: bool = False) -> None:
     """Run ``write(tmp_path)`` then ``os.replace`` the result to ``path``.
 
     The temporary lives in the target directory (``os.replace`` must not
     cross filesystems) and keeps the target's extension (``np.save``
     appends ``.npy`` to extension-less names).
+
+    With ``durable=True`` the temporary's bytes are fsynced before the
+    replace and the directory entry after it, and each boundary is a
+    :func:`~repro.resilience.faults.crashpoint` — the incremental
+    ingestion path (delta append, compaction, manifest bump) uses this
+    so a crash at *any* point leaves either the old file or the new
+    one, provably, under the crash-matrix harness.
     """
     directory = os.path.dirname(os.path.abspath(path))
     suffix = os.path.splitext(path)[1]
@@ -77,10 +86,33 @@ def atomic_replace(path: str, write) -> None:
     os.close(fd)
     try:
         write(tmp)
-        os.replace(tmp, path)
+        if durable:
+            name = os.path.basename(path)
+            fd = os.open(tmp, os.O_RDONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            crashpoint(f"fsync:{name}")
+            os.replace(tmp, path)
+            crashpoint(f"replace:{name}")
+            fsync_dir(directory)
+        else:
+            os.replace(tmp, path)
     finally:
         if os.path.exists(tmp):
             os.unlink(tmp)
+
+
+def fsync_dir(directory: str) -> None:
+    """fsync a directory so renames inside it survive a power cut."""
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass  # some filesystems refuse directory fsync; rename still landed
+    finally:
+        os.close(fd)
 
 
 def checksum_file(path: str) -> str:
@@ -92,12 +124,12 @@ def checksum_file(path: str) -> str:
     return digest.hexdigest()
 
 
-def _write_json(path: str, payload: dict) -> None:
+def _write_json(path: str, payload: dict, durable: bool = False) -> None:
     def write(tmp: str) -> None:
         with open(tmp, "w", encoding="utf-8") as f:
             json.dump(payload, f, sort_keys=True, indent=1)
 
-    atomic_replace(path, write)
+    atomic_replace(path, write, durable=durable)
 
 
 def _read_json(path: str) -> dict:
@@ -116,19 +148,23 @@ def _read_json(path: str) -> dict:
 # -- shard segments ------------------------------------------------------------
 
 
-def write_segment(store: EventStore, directory: str, index: int) -> dict:
+def write_segment(store: EventStore, directory: str, index: int,
+                  durable: bool = False) -> dict:
     """Write one shard's columns plus its manifest; return the manifest.
 
     ``store`` holds exactly the shard's rows and patients (the writer
     slices the parent store before calling).  String tables are *not*
-    written here — they live in the store-level manifest.
+    written here — they live in the store-level manifest.  ``durable``
+    fsyncs every column and the manifest (the delta/compaction path,
+    where crash-anywhere safety is the contract).
     """
     os.makedirs(directory, exist_ok=True)
     columns: dict[str, dict] = {}
     for name in COLUMNS:
         array = np.ascontiguousarray(getattr(store, name))
         path = os.path.join(directory, f"{name}.npy")
-        atomic_replace(path, lambda tmp, a=array: np.save(tmp, a))
+        atomic_replace(path, lambda tmp, a=array: np.save(tmp, a),
+                       durable=durable)
         columns[name] = {
             "checksum": checksum_file(path),
             "dtype": str(array.dtype),
@@ -145,7 +181,8 @@ def write_segment(store: EventStore, directory: str, index: int) -> dict:
         "content_token": store.content_token(),
         "columns": columns,
     }
-    _write_json(os.path.join(directory, MANIFEST_NAME), manifest)
+    _write_json(os.path.join(directory, MANIFEST_NAME), manifest,
+                durable=durable)
     return manifest
 
 
@@ -249,13 +286,22 @@ def write_store_manifest(
     total_patients: int,
     total_events: int,
     shard_entries: list[dict],
+    revision: int = 0,
+    durable: bool = False,
 ) -> dict:
-    """Write the root manifest tying the shards into one logical store."""
+    """Write the root manifest tying the shards into one logical store.
+
+    ``revision`` is a monotonic counter bumped by every delta append and
+    compaction — worker processes compare it against their cached store
+    to notice that a path's manifest moved under them.  ``durable``
+    fsyncs the manifest write (the commit point of append/compact).
+    """
     manifest = {
         "format_version": SHARD_FORMAT_VERSION,
         "kind": "sharded_event_store",
         "partition": partition,
         "n_shards": len(shard_entries),
+        "revision": int(revision),
         "system_names": list(system_names),
         "system_sizes": [int(s) for s in system_sizes],
         "categories": list(categories),
@@ -265,7 +311,8 @@ def write_store_manifest(
         "total_events": int(total_events),
         "shards": shard_entries,
     }
-    _write_json(os.path.join(directory, MANIFEST_NAME), manifest)
+    _write_json(os.path.join(directory, MANIFEST_NAME), manifest,
+                durable=durable)
     return manifest
 
 

@@ -40,11 +40,14 @@ import numpy as np
 from repro.errors import EventModelError, ShardRepairError
 from repro.events.store import EventStore, default_systems
 from repro.io import read_jsonl
+from repro.resilience.faults import crashpoint
+from repro.shard.delta import COMPACT_TMP_PREFIX, DELTA_PREFIX
 from repro.shard.format import (
     COLUMNS,
     MANIFEST_NAME,
     SHARD_FORMAT_VERSION,
     checksum_file,
+    fsync_dir,
     read_store_manifest,
     verify_segment,
     write_segment,
@@ -92,10 +95,19 @@ class ShardHealth:
 
 @dataclass(frozen=True)
 class FsckReport:
-    """Health of every shard in one store."""
+    """Health of every shard in one store.
+
+    ``orphans`` lists directories no manifest entry references —
+    strandings of a crashed append or compaction (unreferenced
+    ``delta-*`` dirs, superseded generations, ``.repair-*`` /
+    ``.compact-*`` temporaries).  Orphans are unreachable by any
+    reader, so they are reported for hygiene but do not make the store
+    unclean; the next append or compaction of the shard reclaims them.
+    """
 
     path: str
     shards: tuple[ShardHealth, ...]
+    orphans: tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -110,6 +122,7 @@ class FsckReport:
             "path": self.path,
             "ok": self.ok,
             "shards": [s.to_json() for s in self.shards],
+            "orphans": list(self.orphans),
         }
 
     def format_summary(self) -> str:
@@ -121,6 +134,9 @@ class FsckReport:
                 cols = f" (columns: {', '.join(s.bad_columns)})" \
                     if s.bad_columns else ""
                 lines.append(f"{s.name}: {s.status.upper()}{cols}: {s.detail}")
+        for orphan in self.orphans:
+            lines.append(f"{orphan}: orphan (unreferenced; reclaimed by the "
+                         f"next append/compaction)")
         verdict = "clean" if self.ok else \
             f"{len(self.damaged)} of {len(self.shards)} shard(s) damaged"
         lines.append(f"fsck: {verdict}")
@@ -227,8 +243,74 @@ def _check_segment(directory: str) -> tuple[str, str, tuple[str, ...]]:
     return "ok", "", ()
 
 
+def _check_deltas(directory: str, entry: dict) -> tuple[str, str,
+                                                        tuple[str, ...]]:
+    """(status, detail, bad_columns) over a shard's referenced deltas.
+
+    Delta segments share the base segment format, so each one gets the
+    same all-columns check, with findings prefixed by the delta name;
+    a delta whose rebuilt content no longer hashes to the root
+    manifest's recorded token is damage even when its own (also
+    corrupted or stale) manifest self-agrees.
+    """
+    bad: list[str] = []
+    details: list[str] = []
+    status = "ok"
+    for delta in entry.get("deltas") or []:
+        delta_dir = os.path.join(directory, delta["name"])
+        if not os.path.isdir(delta_dir):
+            return ("format",
+                    f"{delta['name']}: delta directory is gone", ())
+        d_status, d_detail, d_bad = _check_segment(delta_dir)
+        if d_status != "ok":
+            status = d_status if status == "ok" else status
+            details.append(f"{delta['name']}: {d_detail}")
+            bad.extend(f"{delta['name']}/{c}" for c in d_bad)
+            continue
+        with open(os.path.join(delta_dir, MANIFEST_NAME),
+                  encoding="utf-8") as f:
+            recorded = json.load(f).get("content_token")
+        if recorded != delta["content_token"]:
+            status = "checksum" if status == "ok" else status
+            details.append(
+                f"{delta['name']}: content token drifted from the root "
+                f"manifest"
+            )
+    return status, "; ".join(details), tuple(bad)
+
+
+def _find_orphans(path: str, manifest: dict) -> tuple[str, ...]:
+    """Directories under the store no manifest entry references."""
+    referenced = {entry["name"] for entry in manifest["shards"]}
+    orphans: list[str] = []
+    for item in sorted(os.listdir(path)):
+        full = os.path.join(path, item)
+        if not os.path.isdir(full) or item == QUARANTINE_DIR:
+            continue
+        if item.startswith((".repair-", COMPACT_TMP_PREFIX)):
+            orphans.append(item)
+        elif item.startswith("shard-") and item not in referenced:
+            orphans.append(item)
+    for entry in manifest["shards"]:
+        directory = os.path.join(path, entry["name"])
+        if not os.path.isdir(directory):
+            continue
+        known = {d["name"] for d in entry.get("deltas") or []}
+        for item in sorted(os.listdir(directory)):
+            if item.startswith(DELTA_PREFIX) and item not in known \
+                    and os.path.isdir(os.path.join(directory, item)):
+                orphans.append(f"{entry['name']}/{item}")
+    return tuple(orphans)
+
+
 def fsck_store(path: str) -> FsckReport:
-    """Re-verify every shard of the store at ``path`` (all columns)."""
+    """Re-verify every shard of the store at ``path`` (all columns).
+
+    Delta-aware: each shard's pending delta segments are checked with
+    the same rigor as its base segment, and unreferenced directories
+    (crash strandings, superseded generations) are reported as orphans
+    without failing the store.
+    """
     manifest = read_store_manifest(path)
     quarantine_dir = os.path.join(path, QUARANTINE_DIR)
     damage_by_name = {
@@ -253,8 +335,11 @@ def fsck_store(path: str) -> FsckReport:
                 ))
             continue
         status, detail, bad = _check_segment(directory)
+        if status == "ok" and entry.get("deltas"):
+            status, detail, bad = _check_deltas(directory, entry)
         shards.append(ShardHealth(name, index, status, detail, bad))
-    return FsckReport(path=path, shards=tuple(shards))
+    return FsckReport(path=path, shards=tuple(shards),
+                      orphans=_find_orphans(path, manifest))
 
 
 # -- repair --------------------------------------------------------------------
@@ -295,18 +380,12 @@ def _load_columns(directory: str) -> dict | None:
     return arrays
 
 
-def _try_salvage(directory: str, entry: dict, manifest: dict) -> EventStore | None:
-    """Rebuild a shard store from a directory's raw columns — but only
-    when the result hashes to the root manifest's recorded
-    ``content_token``.  The token is content-addressed over every
-    column, so a match proves the columns are exactly the bytes the
-    store was written with; anything else (a flipped data byte, stale
-    columns from an older write) is refused."""
+def _columns_as_store(directory: str, manifest: dict) -> EventStore | None:
     arrays = _load_columns(directory)
     if arrays is None:
         return None
     try:
-        store = EventStore(
+        return EventStore(
             systems=default_systems(),
             system_names=list(manifest["system_names"]),
             categories=list(manifest["categories"]),
@@ -316,9 +395,34 @@ def _try_salvage(directory: str, entry: dict, manifest: dict) -> EventStore | No
         )
     except EventModelError:
         return None  # columns load but are mutually inconsistent
-    if store.content_token() != entry["content_token"]:
+
+
+def _try_salvage(
+    directory: str, entry: dict, manifest: dict
+) -> tuple[EventStore, list[tuple[str, str]]] | None:
+    """Rebuild a shard store from a directory's raw columns — but only
+    when the result hashes to the root manifest's recorded
+    ``content_token``.  The token is content-addressed over every
+    column, so a match proves the columns are exactly the bytes the
+    store was written with; anything else (a flipped data byte, stale
+    columns from an older write) is refused.
+
+    Returns the base store plus a (name, store) per referenced delta
+    segment, each token-verified the same way — a shard with pending
+    deltas only salvages when *all* of its segments check out, so no
+    delta event is silently dropped."""
+    store = _columns_as_store(directory, manifest)
+    if store is None or store.content_token() != entry["content_token"]:
         return None
-    return store
+    delta_segments: list[tuple[str, EventStore]] = []
+    for delta in entry.get("deltas") or []:
+        delta_dir = os.path.join(directory, delta["name"])
+        delta_store = _columns_as_store(delta_dir, manifest)
+        if delta_store is None \
+                or delta_store.content_token() != delta["content_token"]:
+            return None
+        delta_segments.append((delta["name"], delta_store))
+    return store, delta_segments
 
 
 def _salvage_candidates(path: str, name: str) -> list[str]:
@@ -374,19 +478,32 @@ def _shard_subset(source: EventStore, manifest: dict, index: int,
     )
 
 
-def _install_segment(path: str, name: str, index: int,
-                     store: EventStore) -> dict:
+def _install_segment(
+    path: str, name: str, index: int, store: EventStore,
+    durable: bool = False,
+    delta_segments: list[tuple[str, EventStore]] | None = None,
+) -> dict:
     """Write ``store`` as the shard's new segment, atomically.
 
     The rebuilt segment lands in a temporary sibling directory; any
     existing (damaged) directory is preserved under ``quarantine/``
     before the ``os.replace`` — repair never destroys evidence.
+
+    ``durable`` fsyncs every write and marks the install's replace with
+    crash points (the compaction path).  ``delta_segments`` — pairs of
+    (delta name, delta store) — are rewritten inside the segment before
+    it is installed, so a salvage restores a shard *with* its pending
+    delta segments intact (and with freshly generated delta manifests,
+    even when only the delta's columns survived the damage).
     """
     tmp = os.path.join(path, f".repair-{name}")
     if os.path.isdir(tmp):
         shutil.rmtree(tmp)
     try:
-        write_segment(store, tmp, index)
+        write_segment(store, tmp, index, durable=durable)
+        for delta_name, delta_store in delta_segments or []:
+            write_segment(delta_store, os.path.join(tmp, delta_name), index,
+                          durable=durable)
         final = os.path.join(path, name)
         if os.path.isdir(final):
             quarantine_dir = os.path.join(path, QUARANTINE_DIR)
@@ -397,7 +514,13 @@ def _install_segment(path: str, name: str, index: int,
                 suffix += 1
                 aside = os.path.join(quarantine_dir, f"{name}.{suffix}")
             os.rename(final, aside)
-        os.replace(tmp, final)
+        if durable:
+            crashpoint(f"install:{name}")
+            os.replace(tmp, final)
+            crashpoint(f"installed:{name}")
+            fsync_dir(path)
+        else:
+            os.replace(tmp, final)
     finally:
         if os.path.isdir(tmp):
             shutil.rmtree(tmp)
@@ -433,20 +556,37 @@ def repair_store(path: str, source=None) -> RepairReport:
             salvaged = _try_salvage(candidate, entry, manifest)
             if salvaged is not None:
                 break
+        new_deltas = list(entry.get("deltas") or [])
         if salvaged is not None:
-            new_manifest = _install_segment(path, name, index, salvaged)
+            base_store, delta_segments = salvaged
+            new_manifest = _install_segment(
+                path, name, index, base_store,
+                delta_segments=delta_segments,
+            )
             actions.append(RepairAction(
                 name, index, "salvaged",
-                "columns re-verified against the manifest content token",
+                "columns re-verified against the manifest content token"
+                + (f" ({len(delta_segments)} delta segment(s) restored)"
+                   if delta_segments else ""),
             ))
         elif source_store is not None:
             rebuilt = _shard_subset(source_store, manifest, index, entry)
             new_manifest = _install_segment(path, name, index, rebuilt)
+            # The repair source is the authority for the shard's whole
+            # content: the rebuilt segment is effectively compacted, so
+            # any pending deltas (whose events the source must already
+            # include) are dropped from the entry.
+            new_deltas = []
             token_note = (
                 "content token matches the manifest"
                 if new_manifest["content_token"] == entry["content_token"]
                 else "content updated from the repair source"
             )
+            if entry.get("deltas"):
+                token_note += (
+                    f"; {len(entry['deltas'])} pending delta segment(s) "
+                    f"folded into the rebuilt base"
+                )
             actions.append(RepairAction(name, index, "rebuilt", token_note))
         else:
             actions.append(RepairAction(
@@ -457,6 +597,8 @@ def repair_store(path: str, source=None) -> RepairReport:
             continue
         entries[index] = {
             "name": name,
+            "generation": int(entry.get("generation") or 0),
+            "deltas": new_deltas,
             "n_patients": new_manifest["n_patients"],
             "n_events": new_manifest["n_events"],
             "patient_min": new_manifest["patient_min"],
@@ -473,8 +615,17 @@ def repair_store(path: str, source=None) -> RepairReport:
             categories=manifest["categories"],
             sources=manifest["sources"],
             details=manifest["details"],
-            total_patients=sum(e["n_patients"] for e in entries),
-            total_events=sum(e["n_events"] for e in entries),
+            total_patients=sum(
+                int(e["n_patients"])
+                + sum(int(d["n_patients"]) for d in e.get("deltas") or [])
+                for e in entries
+            ),
+            total_events=sum(
+                int(e["n_events"])
+                + sum(int(d["n_events"]) for d in e.get("deltas") or [])
+                for e in entries
+            ),
             shard_entries=entries,
+            revision=int(manifest.get("revision", 0)) + 1,
         )
     return RepairReport(path=path, actions=tuple(actions))

@@ -40,6 +40,7 @@ from repro.errors import (
 )
 from repro.events.store import EventStore, default_systems
 from repro.io import append_jsonl, read_jsonl
+from repro.shard.delta import pending_delta_stats, resolve_segments
 from repro.shard.format import open_segment, read_store_manifest, verify_segment
 from repro.shard.writer import hash_shard_of
 
@@ -135,21 +136,47 @@ class ShardedEventStore:
                 f"unknown on_damage policy {self.config.on_damage!r}; "
                 f"choose one of {_DAMAGE_POLICIES}",
             )
-        self.manifest = read_store_manifest(path)
         self.systems = default_systems()
-        self.system_names = list(self.manifest["system_names"])
-        self.categories = list(self.manifest["categories"])
-        self.sources = list(self.manifest["sources"])
-        self.details = list(self.manifest["details"])
-        self.partition = self.manifest["partition"]
-        self.shard_entries = list(self.manifest["shards"])
+        #: original shard index -> damage record (quarantined shards).
+        self._quarantined: dict[int, dict] = {}
+        self._adopt_manifest(read_store_manifest(path))
+        if self.config.on_damage == "quarantine":
+            self._quarantine_damaged_on_open()
+
+    def _adopt_manifest(self, manifest: dict) -> None:
+        """(Re)load everything derived from the root manifest."""
+        self.manifest = manifest
+        self.system_names = list(manifest["system_names"])
+        self.categories = list(manifest["categories"])
+        self.sources = list(manifest["sources"])
+        self.details = list(manifest["details"])
+        self.partition = manifest["partition"]
+        self.shard_entries = list(manifest["shards"])
         self._shards: dict[int, EventStore] = {}
         self._materialized: EventStore | None = None
         self._patient_ids: np.ndarray | None = None
-        #: original shard index -> damage record (quarantined shards).
-        self._quarantined: dict[int, dict] = {}
-        if self.config.on_damage == "quarantine":
-            self._quarantine_damaged_on_open()
+        self._n_events_exact: int | None = None
+        self.__dict__.pop("_content_token", None)
+
+    @property
+    def revision(self) -> int:
+        """The manifest's monotonic revision (bumped by append/compact)."""
+        return int(self.manifest.get("revision", 0))
+
+    def refresh(self) -> bool:
+        """Re-read the root manifest; reset caches if it moved.
+
+        Returns True when a newer revision was adopted.  Quarantine
+        records survive a refresh: an append or compaction never
+        un-damages a shard (``shard repair`` does, and a repaired store
+        should be reopened).
+        """
+        manifest = read_store_manifest(self.path)
+        if int(manifest.get("revision", 0)) == self.revision \
+                and manifest["shards"] == self.manifest["shards"]:
+            return False
+        self._adopt_manifest(manifest)
+        return True
 
     # -- sizes ---------------------------------------------------------------
 
@@ -165,7 +192,17 @@ class ShardedEventStore:
         return len(self.shard_entries) - len(self._quarantined)
 
     @property
+    def has_pending_deltas(self) -> bool:
+        """Any shard with delta segments awaiting compaction?"""
+        return any(e.get("deltas") for e in self.shard_entries)
+
+    @property
     def n_patients(self) -> int:
+        # Manifest totals are nominal while deltas are pending (a delta
+        # may re-state patients the base already holds); the exact count
+        # comes from the resolved effective views.
+        if self.has_pending_deltas:
+            return int(len(self.patient_ids))
         if self._quarantined:
             return sum(int(self.shard_entries[i]["n_patients"])
                        for i in self.active_indices())
@@ -173,6 +210,13 @@ class ShardedEventStore:
 
     @property
     def n_events(self) -> int:
+        if self.has_pending_deltas:
+            if self._n_events_exact is None:
+                self._n_events_exact = sum(
+                    int(self.shard(i).n_events)
+                    for i in self.active_indices()
+                )
+            return self._n_events_exact
         if self._quarantined:
             return sum(int(self.shard_entries[i]["n_events"])
                        for i in self.active_indices())
@@ -233,6 +277,8 @@ class ShardedEventStore:
                 continue
             try:
                 verify_segment(directory)
+                for delta in entry.get("deltas") or []:
+                    verify_segment(os.path.join(directory, delta["name"]))
             except (ShardChecksumError, ShardFormatError) as exc:
                 self.quarantine_shard(index, type(exc).__name__, str(exc))
 
@@ -278,6 +324,7 @@ class ShardedEventStore:
         self._shards.pop(index, None)
         self._materialized = None
         self._patient_ids = None
+        self._n_events_exact = None
         self.__dict__.pop("_content_token", None)
         return record
 
@@ -300,7 +347,14 @@ class ShardedEventStore:
         return os.path.join(self.path, self.shard_entries[index]["name"])
 
     def shard(self, index: int) -> EventStore:
-        """Open (once) and return shard ``index`` as an ``EventStore``.
+        """Open (once) and return shard ``index``'s *effective view*.
+
+        For a shard with no pending deltas that is the memory-mapped
+        base segment itself; with deltas, the base and every delta
+        segment are opened and resolved (last-write-wins) into one
+        in-memory ``EventStore`` whose memoized content token is the
+        delta-aware :meth:`shard_token` — query caches keyed on it
+        invalidate on every append, without rehashing any bytes.
 
         A quarantined shard raises
         :class:`~repro.errors.ShardQuarantinedError` — callers iterate
@@ -311,16 +365,27 @@ class ShardedEventStore:
             raise ShardQuarantinedError(record["name"], record["reason"])
         store = self._shards.get(index)
         if store is None:
-            store = open_segment(
-                self.shard_dir(index),
-                systems=self.systems,
-                system_names=self.system_names,
-                categories=self.categories,
-                sources=self.sources,
-                details=self.details,
-                verify_checksums=self.config.verify_checksums,
-                mmap=self.config.mmap,
-            )
+            open_kwargs = {
+                "systems": self.systems,
+                "system_names": self.system_names,
+                "categories": self.categories,
+                "sources": self.sources,
+                "details": self.details,
+                "verify_checksums": self.config.verify_checksums,
+                "mmap": self.config.mmap,
+            }
+            store = open_segment(self.shard_dir(index), **open_kwargs)
+            deltas = self.shard_entries[index].get("deltas") or []
+            if deltas:
+                delta_stores = [
+                    open_segment(
+                        os.path.join(self.shard_dir(index), delta["name"]),
+                        **open_kwargs,
+                    )
+                    for delta in deltas
+                ]
+                store = resolve_segments(store, delta_stores)
+                store._content_token = self.shard_token(index)
             self._shards[index] = store
         return store
 
@@ -329,8 +394,23 @@ class ShardedEventStore:
             yield self.shard(index)
 
     def shard_token(self, index: int) -> str:
-        """The shard's content token, straight from the root manifest."""
-        return self.shard_entries[index]["content_token"]
+        """The shard's content token, from root-manifest metadata alone.
+
+        Delta-free shards use the base segment's recorded token; shards
+        with pending deltas hash the base token together with every
+        delta token.  Either way the token is content-derived and
+        O(metadata), so appends invalidate cached per-shard results by
+        key mismatch without any explicit protocol.
+        """
+        entry = self.shard_entries[index]
+        deltas = entry.get("deltas") or []
+        if not deltas:
+            return entry["content_token"]
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(entry["content_token"].encode("ascii"))
+        for delta in deltas:
+            digest.update(delta["content_token"].encode("ascii"))
+        return "delta-" + digest.hexdigest()
 
     def content_token(self) -> str:
         """Store-level content token: a hash over the shard tokens.
@@ -352,13 +432,24 @@ class ShardedEventStore:
                         f"quarantined:{entry['name']}".encode("ascii")
                     )
                 else:
-                    digest.update(entry["content_token"].encode("ascii"))
+                    # Delta-aware: an append changes the shard token,
+                    # so plan-cache entries and serving ETags keyed on
+                    # this token invalidate on every batch landed.
+                    digest.update(self.shard_token(index).encode("ascii"))
             for table in (self.system_names, self.categories, self.sources,
                           self.details):
                 digest.update(repr(table).encode("utf-8"))
             token = "sharded-" + digest.hexdigest()
             self._content_token = token
         return token
+
+    def delta_stats(self) -> dict:
+        """JSON-ready pending-delta statistics (compaction lag).
+
+        Surfaced by ``shard info``, ``Workbench.shard_stats`` and the
+        serving tier's ``/stats``/``/readyz``.
+        """
+        return pending_delta_stats(self.manifest)
 
     # -- patient routing -----------------------------------------------------
 

@@ -24,6 +24,7 @@ import numpy as np
 from repro.cohort.alignment import Alignment, compute_alignment
 from repro.cohort.stats import CohortStats, summarize
 from repro.config import ResilienceConfig, ShardConfig, WorkbenchConfig
+from repro.errors import EventModelError
 from repro.events.model import Cohort
 from repro.events.store import EventStore
 from repro.nsepter.graph import HistoryGraph, build_graph
@@ -138,6 +139,49 @@ class Workbench:
         executor = ParallelExecutor(config=store.config)
         return cls(store, config=config, executor=executor)
 
+    # -- incremental ingestion -----------------------------------------------
+
+    def append_batch(self, batch: EventStore) -> dict:
+        """Land a batch of new events as delta segments (sharded only).
+
+        Routes the batch through the store's partitioner, writes one
+        checksummed delta segment per touched shard and commits with a
+        durable atomic manifest bump — then refreshes this workbench's
+        view so the next query sees the new events.  The store's
+        ``content_token`` changes with the revision, so plan-cache
+        entries and serving ETags invalidate without any flush call.
+        Returns the pending-delta statistics after the append.
+        """
+        if not self.is_sharded:
+            raise EventModelError(
+                "append_batch needs a sharded store; flat stores are "
+                "immutable — rebuild with repro.io.merge_stores instead"
+            )
+        from repro.shard import DeltaWriter  # noqa: PLC0415 (cycle)
+
+        DeltaWriter(self.store.path, config=self.store.config).append(batch)
+        self.store.refresh()
+        return self.store.delta_stats()
+
+    def compact(self) -> dict:
+        """Fold pending delta segments into fresh base segments.
+
+        Runs the background compactor inline (the serving tier and cron
+        jobs call the same machinery via ``shard compact``), refreshes
+        the workbench's view, and returns the compaction report as
+        JSON.  Readers — including this workbench's own in-flight pool
+        workers — are never blocked: merged segments install under new
+        generation names and the previous generation is retained.
+        """
+        if not self.is_sharded:
+            raise EventModelError("compact needs a sharded store")
+        from repro.shard import Compactor  # noqa: PLC0415 (cycle)
+
+        report = Compactor(self.store.path, config=self.store.config) \
+            .compact()
+        self.store.refresh()
+        return report.to_json()
+
     # -- health ---------------------------------------------------------------
 
     def _shard_degradation(self):
@@ -198,6 +242,9 @@ class Workbench:
             if executor is not None:
                 shards["executor_mode"] = executor.mode
                 shards["pool_rebuilds"] = int(executor.pool_rebuilds)
+            delta_stats = getattr(store, "delta_stats", None)
+            if callable(delta_stats):
+                shards["ingestion"] = delta_stats()
             payload["shards"] = shards
         return payload
 
@@ -265,6 +312,9 @@ class Workbench:
             payload["degradation"] = record.to_json()
         if self.engine.executor is not None:
             payload["executor"] = self.engine.executor.stats_dict()
+        delta_stats = getattr(store, "delta_stats", None)
+        if callable(delta_stats):
+            payload["ingestion"] = delta_stats()
         return payload
 
     def cohort(self, patient_ids: list[int] | np.ndarray) -> Cohort:
