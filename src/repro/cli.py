@@ -23,7 +23,15 @@ Python:
 * ``shard`` — ``build`` a sharded on-disk store from a ``.npz``
   snapshot, print its ``info``, ``verify`` every column checksum,
   ``fsck`` a full health report, or ``repair`` damaged shards from a
-  flat snapshot / sibling store (``--from``).
+  flat snapshot / sibling store (``--from``);
+* ``sketch`` — ``build`` rebuilds missing/stale/corrupt per-segment
+  cohort-sketch sidecars, ``info`` reports per-segment sketch health
+  plus the folded whole-store summary.
+
+``generate --stream`` generates batch-by-batch straight into a sharded
+store directory (peak memory is one batch, so million-patient stores
+fit), and ``query --density out.svg`` renders the aggregate-first
+cohort density view from sketch folds alone.
 
 Every command that reads a store accepts either a ``.npz`` snapshot or
 a sharded store directory (detected automatically; ``query --shards``
@@ -85,7 +93,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quarantine", default=None, metavar="JSONL",
                    help="dead-letter unparseable records to this JSONL "
                         "file for later replay")
-    p.add_argument("--out", required=True, help="output .npz path")
+    p.add_argument("--stream", action="store_true",
+                   help="generate batch-by-batch straight into a sharded "
+                        "store directory (--out); peak memory is one "
+                        "batch, so E6 populations fit")
+    p.add_argument("--batch-size", type=int, default=20_000,
+                   help="patients per streamed batch (with --stream)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="shard count for --stream (default: auto)")
+    p.add_argument("--out", required=True,
+                   help="output .npz path (or directory with --stream)")
 
     def _add_on_damage(parser: argparse.ArgumentParser) -> None:
         parser.add_argument(
@@ -129,6 +146,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="scatter-gather worker processes (default: "
                         "min(4, cpus); 1 forces serial)")
+    p.add_argument("--density", default=None, metavar="SVG",
+                   help="also render the cohort's aggregate-first density "
+                        "view (sketch folds only, no row materialization) "
+                        "to this SVG path")
     _add_on_damage(p)
 
     p = sub.add_parser("lint-query",
@@ -211,6 +232,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="what to serve while sources are degraded: "
                         "banner ('serve') or all-routes 503 ('fail')")
     _add_on_damage(p)
+
+    p = sub.add_parser("sketch",
+                       help="manage per-segment cohort sketch sidecars")
+    ksub = p.add_subparsers(dest="sketch_command", required=True)
+    k = ksub.add_parser("build",
+                        help="rebuild missing/stale/corrupt sketch "
+                             "sidecars from segment columns")
+    k.add_argument("dir", help="sharded store directory")
+    k.add_argument("--force", action="store_true",
+                   help="rebuild every sidecar even if healthy")
+    k = ksub.add_parser("info",
+                        help="sketch health per segment plus the folded "
+                             "whole-store summary")
+    k.add_argument("dir", help="sharded store directory")
+    k.add_argument("--json", action="store_true",
+                   help="machine-readable summary on stdout")
 
     p = sub.add_parser("shard",
                        help="build, inspect or verify a sharded store")
@@ -321,6 +358,25 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "generate":
         from repro.io import save_store
 
+        if args.stream:
+            if args.full_fidelity:
+                print("error: --stream uses the fast generator; drop "
+                      "--full-fidelity", file=sys.stderr)
+                return 1
+            from repro.simulate.stream import generate_streamed_store
+
+            report = generate_streamed_store(
+                args.patients, args.out, n_shards=args.shards,
+                batch_size=args.batch_size, seed=args.seed,
+            )
+            print(f"streamed {report.n_patients:,} patients / "
+                  f"{report.n_events:,} events in {report.n_batches} "
+                  f"batch(es) into {report.n_shards} shard(s) at "
+                  f"{args.out}")
+            print(f"compactions: {report.compactions}, "
+                  f"final revision {report.revision}")
+            return 0
+
         if args.full_fidelity:
             from repro.config import ResilienceConfig
             from repro.simulate import generate_raw_sources
@@ -367,6 +423,9 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "shard":
         return _dispatch_shard(args)
 
+    if args.command == "sketch":
+        return _dispatch_sketch(args)
+
     if args.command == "serve":
         return _dispatch_serve(args)
 
@@ -410,6 +469,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         if args.explain:
             print()
             print(wb.explain(args.query))
+        if args.density:
+            scene = wb.cohort_density(args.query, drilldown=False)
+            with open(args.density, "w", encoding="utf-8") as f:
+                f.write(scene.svg_text)
+            print(f"density view ({scene.n_groups} chapter(s) x "
+                  f"{scene.n_buckets} bucket(s)) -> {args.density}")
         degradation = wb._shard_degradation() if wb.is_sharded else None
         if degradation is not None and degradation.is_degraded:
             # Partial answer: exit 3, distinct from success (0) and
@@ -559,6 +624,45 @@ def _dispatch_lint_query(args: argparse.Namespace) -> int:
     else:
         print("no diagnostics")
     return 4 if any(d.severity == "error" for d in diagnostics) else 0
+
+
+def _dispatch_sketch(args: argparse.Namespace) -> int:
+    from repro.shard import ShardedEventStore
+
+    store = ShardedEventStore(args.dir)
+    if args.sketch_command == "build":
+        results = store.rebuild_sketches(force=args.force)
+        for r in results:
+            print(f"  {r['segment']}: rebuilt (was {r['status']})")
+        if results:
+            print(f"{len(results)} sidecar(s) rebuilt in {args.dir}")
+        else:
+            print(f"all sketch sidecars current in {args.dir}")
+        return 0
+
+    if args.sketch_command == "info":
+        import json
+
+        health = store.sketch_health()
+        summary = store.store_sketch().summary()
+        if args.json:
+            print(json.dumps({"segments": health, "summary": summary},
+                             indent=1, sort_keys=True))
+            return 0 if all(h["status"] == "ok" for h in health) else 1
+        bad = [h for h in health if h["status"] != "ok"]
+        for h in health:
+            print(f"  {h['segment']}: {h['status']}")
+        print(f"whole-store sketch: {summary['n_patients']:,} patients / "
+              f"{summary['n_events']:,} events, "
+              f"{summary['nonzero_buckets']}/{summary['n_buckets']} "
+              f"buckets populated, {len(summary['groups'])} chapter "
+              f"group(s)")
+        if bad:
+            print(f"{len(bad)} sidecar(s) need a rebuild "
+                  f"(run `repro sketch build {args.dir}`)",
+                  file=sys.stderr)
+        return 0 if not bad else 1
+    return 1
 
 
 def _dispatch_shard(args: argparse.Namespace) -> int:

@@ -248,11 +248,17 @@ class WorkbenchConfig:
             result cache.
         query_cache_bytes: LRU payload-byte bound of the same cache
             (event masks on paper-scale stores are megabytes each).
+        drilldown_rows: cohort-size threshold for the aggregate-first
+            views (:meth:`repro.workbench.Workbench.cohort_density`):
+            at or below this many patients the view drills down to the
+            per-patient rendering; above it only sketch folds are
+            touched and no rows materialize.
     """
 
     seed: int = DEFAULT_SEED
     max_drawn_histories: int = 20_000
     detail_cache_size: int = 4_096
+    drilldown_rows: int = 512
     lazy_materialization: bool = True
     optimize_queries: bool = True
     analyze_queries: bool = False

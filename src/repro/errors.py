@@ -143,6 +143,20 @@ class ShardRepairError(ShardStoreError):
         self.detail = detail
 
 
+class SketchError(ShardStoreError):
+    """A cohort-sketch sidecar is missing, stale, corrupt or unmergeable.
+
+    Sketch sidecars are derived data — a pure function of their
+    segment's columns — so every :class:`SketchError` names a condition
+    that ``sketch build`` (or ``shard repair``) can fix by rebuilding.
+    """
+
+    def __init__(self, path: str, detail: str) -> None:
+        super().__init__(f"sketch problem at {path!r}: {detail}")
+        self.path = path
+        self.detail = detail
+
+
 class SimulatedCrashError(ShardStoreError):
     """An armed crash point fired (fault-injection harness only).
 

@@ -75,7 +75,8 @@ _PAGE = """<!DOCTYPE html>
 """
 
 #: Routes whose 200 bodies are content-addressed (ETag + response cache).
-_ETAG_ROUTES = ("/cohort", "/analyze", "/timeline.svg", "/overview.svg")
+_ETAG_ROUTES = ("/cohort", "/analyze", "/timeline.svg", "/overview.svg",
+                "/cohort/density", "/cohort/flow")
 
 #: Cache-Control for rendered, content-addressed responses: they are
 #: valid exactly as long as their ETag, so clients may reuse them
@@ -322,6 +323,10 @@ class RequestCore:
             response = self._index()
         elif path == "/cohort":
             response = self._cohort(request, deadline)
+        elif path == "/cohort/density":
+            response = self._cohort_density(request, deadline)
+        elif path == "/cohort/flow":
+            response = self._cohort_flow(request, deadline)
         elif path == "/analyze":
             response = self._analyze(request)
         elif path == "/timeline.svg":
@@ -663,6 +668,51 @@ class RequestCore:
         self._check_deadline(deadline)
         self.counters["renders"] += 1
         scene = self.workbench.overview(ids)
+        return Response.text(scene.svg_text, "image/svg+xml")
+
+    def _cohort_sketch_for(self, request: Request,
+                           deadline: Deadline | None):
+        """The request's cohort sketch (``q`` refines; empty = whole store).
+
+        Served from per-segment sidecar folds — no per-patient rows
+        materialize on this path regardless of cohort size."""
+        query = request.param("q") or None
+        if query:
+            self.counters["queries_executed"] += 1
+        self._check_deadline(deadline)
+        sketch = self.workbench.cohort_sketch(query, deadline=deadline)
+        self._check_deadline(deadline)
+        return sketch
+
+    def _cohort_density(self, request: Request,
+                        deadline: Deadline | None) -> Response:
+        from repro.viz.cohort_views import (  # noqa: PLC0415 (cycle)
+            render_cohort_density,
+        )
+
+        sketch = self._cohort_sketch_for(request, deadline)
+        if request.param("format") == "json":
+            return Response.json(sketch.summary())
+        self.counters["renders"] += 1
+        scene = render_cohort_density(sketch)
+        return Response.text(scene.svg_text, "image/svg+xml")
+
+    def _cohort_flow(self, request: Request,
+                     deadline: Deadline | None) -> Response:
+        from repro.viz.cohort_views import (  # noqa: PLC0415 (cycle)
+            render_cohort_flow,
+        )
+
+        sketch = self._cohort_sketch_for(request, deadline)
+        if request.param("format") == "json":
+            return Response.json({
+                "n_patients": int(sketch.n_patients),
+                "n_transitions": int(sketch.flow.sum()),
+                "first_k": sketch.spec.first_k,
+                "top_transitions": sketch.top_transitions(limit=25),
+            })
+        self.counters["renders"] += 1
+        scene = render_cohort_flow(sketch)
         return Response.text(scene.svg_text, "image/svg+xml")
 
     def _patient(self, request: Request,

@@ -107,6 +107,51 @@ def _eval_shard(path: str, index: int, expr, optimize: bool,
     return np.asarray(engine.patients(expr))
 
 
+def _masked_shard_sketch(sharded, index: int, expr, optimize: bool, cache):
+    """The sketch of the patients in shard ``index`` matching ``expr``.
+
+    ``expr=None`` is the whole-shard sketch (pure sidecar fold — no
+    rows touched).  With a query, the shard evaluates it locally and
+    sketches only the matching patients' rows — the *refinement* step
+    of aggregate-first rendering, shard-parallel by construction.
+    """
+    from repro.shard.writer import subset_store  # noqa: PLC0415 (cycle)
+    from repro.sketch import build_sketch  # noqa: PLC0415 (cycle)
+
+    if expr is None:
+        return sharded.shard_sketch(index)
+    shard = sharded.shard(index)
+    engine = QueryEngine(shard, optimize=optimize, cache=cache)
+    pids = np.asarray(engine.patients(expr))
+    return build_sketch(subset_store(shard, pids))
+
+
+def _sketch_shard(path: str, index: int, expr, optimize: bool,
+                  verify_checksums: bool, revision: int = 0):
+    """Worker entry point: sketch one shard's (masked) cohort.
+
+    Same worker-store cache and revision handshake as
+    :func:`_eval_shard`; the returned :class:`CohortSketch` is a plain
+    bundle of numpy arrays, so it pickles back to the parent cheaply
+    (kilobytes, independent of shard row count).
+    """
+    from repro.resilience.faults import claim_worker_kill  # noqa: PLC0415
+    from repro.shard.store import ShardedEventStore  # noqa: PLC0415 (cycle)
+
+    if claim_worker_kill():
+        import os
+
+        os._exit(43)  # simulate a hard worker crash (chaos harness)
+    sharded = _WORKER_STORES.get(path)
+    if sharded is None or sharded.revision != revision:
+        sharded = ShardedEventStore(
+            path, config=ShardConfig(verify_checksums=verify_checksums)
+        )
+        _WORKER_STORES[path] = sharded
+    return _masked_shard_sketch(sharded, index, expr, optimize,
+                                _WORKER_CACHE)
+
+
 def _merge_patient_results(parts: list[np.ndarray]) -> np.ndarray:
     """Sorted union of disjoint per-shard patient-id arrays."""
     if not parts:
@@ -145,6 +190,7 @@ class ParallelExecutor:
         )
         self._breakers: dict[str, CircuitBreaker] = {}
         self.queries = 0
+        self.sketch_queries = 0
         self.parallel_queries = 0
         self.serial_queries = 0
         self.pool_fallbacks = 0
@@ -198,6 +244,113 @@ class ParallelExecutor:
                     self._pool_failed = True
                     self._shutdown_pool()
         return self._serial(sharded, expr, optimize, cache, deadline)
+
+    def sketch_shards(self, sharded, expr, optimize: bool = True,
+                      cache: QueryCache | None = None, deadline=None):
+        """A query-masked :class:`CohortSketch`, folded across shards.
+
+        Each shard evaluates ``expr`` locally and sketches only its
+        matching patients (``expr=None`` folds the persisted sidecars
+        instead); per-shard sketches merge associatively, so the result
+        equals the sketch of the global cohort.  Shares the pool,
+        fallback ladder, per-shard recovery and deadline semantics of
+        :meth:`patients`.
+        """
+        self.queries += 1
+        self.sketch_queries += 1
+        self.shards_scanned += len(self._active(sharded))
+        self._check_request_deadline(deadline)
+        if self.n_workers > 1 and sharded.n_shards > 1 \
+                and not self._pool_broken:
+            if self._pool_failed:
+                if self.pool_rebuilds >= self.config.max_pool_rebuilds:
+                    self._pool_broken = True
+                else:
+                    self.pool_rebuilds += 1
+                    self._pool_failed = False
+            if not self._pool_failed and not self._pool_broken:
+                try:
+                    return self._parallel_sketch(sharded, expr, optimize,
+                                                 cache, deadline)
+                except (BrokenProcessPool, PicklingError, OSError):
+                    self.pool_failures += 1
+                    self.pool_fallbacks += 1
+                    self._pool_failed = True
+                    self._shutdown_pool()
+        return self._serial_sketch(sharded, expr, optimize, cache, deadline)
+
+    def _serial_sketch(self, sharded, expr, optimize: bool,
+                       cache: QueryCache | None, deadline=None):
+        from repro.sketch import merge_sketches  # noqa: PLC0415 (cycle)
+
+        self.serial_queries += 1
+        shared = cache if cache is not None else self.cache
+        parts = []
+        for index in self._active(sharded):
+            self._check_request_deadline(deadline)
+
+            def evaluate(index=index):
+                return _masked_shard_sketch(sharded, index, expr, optimize,
+                                            shared)
+
+            try:
+                part = evaluate()
+            except (ShardStoreError, DeadlineExceededError, OSError) as exc:
+                part = self._recover_shard(sharded, index, expr, optimize,
+                                           shared, exc, deadline,
+                                           eval_fn=evaluate)
+            if part is not None:
+                parts.append(part)
+        return merge_sketches(parts)
+
+    def _parallel_sketch(self, sharded, expr, optimize: bool,
+                         cache: QueryCache | None, deadline=None):
+        from repro.sketch import merge_sketches  # noqa: PLC0415 (cycle)
+
+        pool = self._ensure_pool()
+        shared = cache if cache is not None else self.cache
+        futures = [
+            (index,
+             pool.submit(_sketch_shard, sharded.path, index, expr, optimize,
+                         sharded.config.verify_checksums,
+                         getattr(sharded, "revision", 0)))
+            for index in self._active(sharded)
+        ]
+        parts = []
+        for index, future in futures:
+            self._check_request_deadline(deadline)
+            timeout = self.config.shard_timeout_s
+            if deadline is not None:
+                remaining = max(0.001, deadline.remaining())
+                timeout = (remaining if timeout is None
+                           else min(timeout, remaining))
+
+            def evaluate(index=index):
+                return _masked_shard_sketch(sharded, index, expr, optimize,
+                                            shared)
+
+            try:
+                part = future.result(timeout=timeout)
+                self._breaker(sharded, index).record_success()
+            except (BrokenProcessPool, PicklingError):
+                raise  # pool-level failure: the caller rebuilds/falls back
+            except _FuturesTimeout:
+                self._check_request_deadline(deadline)
+                exc = DeadlineExceededError(
+                    f"shard {self._shard_name(sharded, index)} exceeded "
+                    f"the {self.config.shard_timeout_s}s per-shard budget"
+                )
+                part = self._recover_shard(sharded, index, expr, optimize,
+                                           shared, exc, deadline,
+                                           eval_fn=evaluate)
+            except (ShardStoreError, DeadlineExceededError) as exc:
+                part = self._recover_shard(sharded, index, expr, optimize,
+                                           shared, exc, deadline,
+                                           eval_fn=evaluate)
+            if part is not None:
+                parts.append(part)
+        self.parallel_queries += 1
+        return merge_sketches(parts)
 
     def _check_request_deadline(self, deadline) -> None:
         """Raise when the caller's request budget is already spent.
@@ -308,10 +461,12 @@ class ParallelExecutor:
         return breaker
 
     def _recover_shard(self, sharded, index: int, expr, optimize: bool,
-                       cache: QueryCache, exc: Exception, deadline=None):
+                       cache: QueryCache, exc: Exception, deadline=None,
+                       eval_fn=None):
         """One shard failed: retry in-process, then quarantine or raise.
 
-        Returns the shard's patient-id array on a successful retry,
+        Returns the shard's result on a successful retry (a patient-id
+        array, or a sketch when ``eval_fn`` overrides the evaluation),
         ``None`` when the shard was quarantined (the query completes
         degraded), and re-raises when the store's policy is the strict
         default ``on_damage="fail"``.  A spent request ``deadline``
@@ -327,8 +482,11 @@ class ParallelExecutor:
                 self.shard_retries += 1
                 self._sleep(self._retry_policy.delay_for(attempt, self._rng))
                 try:
-                    part = self._eval_serial(sharded, index, expr, optimize,
-                                             cache)
+                    if eval_fn is not None:
+                        part = eval_fn()
+                    else:
+                        part = self._eval_serial(sharded, index, expr,
+                                                 optimize, cache)
                 except (ShardStoreError, DeadlineExceededError,
                         OSError) as retry_exc:
                     breaker.record_failure(str(retry_exc))
@@ -405,6 +563,7 @@ class ParallelExecutor:
             "mode": self.mode,
             "workers": self.n_workers,
             "queries": self.queries,
+            "sketch_queries": self.sketch_queries,
             "parallel_queries": self.parallel_queries,
             "serial_queries": self.serial_queries,
             "pool_fallbacks": self.pool_fallbacks,

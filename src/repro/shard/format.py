@@ -171,6 +171,16 @@ def write_segment(store: EventStore, directory: str, index: int,
             "length": int(len(array)),
         }
     pids = store.patient_ids
+    token = store.content_token()
+    # The sketch sidecar lands before the segment manifest: a crash in
+    # between leaves a sketch stamped with a token no manifest claims —
+    # detected as stale and rebuilt, never trusted.  Imported lazily
+    # (repro.sketch depends on this module for atomic_replace).
+    from repro.sketch.model import build_sketch
+    from repro.sketch.sidecar import write_sketch_sidecar
+
+    write_sketch_sidecar(directory, build_sketch(store), token,
+                         durable=durable)
     manifest = {
         "format_version": SHARD_FORMAT_VERSION,
         "shard_index": int(index),
@@ -178,7 +188,7 @@ def write_segment(store: EventStore, directory: str, index: int,
         "n_patients": int(store.n_patients),
         "patient_min": int(pids.min()) if len(pids) else None,
         "patient_max": int(pids.max()) if len(pids) else None,
-        "content_token": store.content_token(),
+        "content_token": token,
         "columns": columns,
     }
     _write_json(os.path.join(directory, MANIFEST_NAME), manifest,

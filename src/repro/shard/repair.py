@@ -103,11 +103,19 @@ class FsckReport:
     ``.compact-*`` temporaries).  Orphans are unreachable by any
     reader, so they are reported for hygiene but do not make the store
     unclean; the next append or compaction of the shard reclaims them.
+
+    ``sketch_issues`` lists segments whose ``sketch.npz`` sidecar is
+    missing, stale or corrupt.  Sketches are *derived* data — a pure
+    function of the segment columns — so a bad sidecar is always
+    repairable in place (``repro sketch build``, or any
+    :func:`repair_store` run) and never makes the store unclean: the
+    read path falls back to rebuilding the sketch from rows.
     """
 
     path: str
     shards: tuple[ShardHealth, ...]
     orphans: tuple[str, ...] = ()
+    sketch_issues: tuple[dict, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -123,6 +131,7 @@ class FsckReport:
             "ok": self.ok,
             "shards": [s.to_json() for s in self.shards],
             "orphans": list(self.orphans),
+            "sketch_issues": [dict(issue) for issue in self.sketch_issues],
         }
 
     def format_summary(self) -> str:
@@ -137,6 +146,10 @@ class FsckReport:
         for orphan in self.orphans:
             lines.append(f"{orphan}: orphan (unreferenced; reclaimed by the "
                          f"next append/compaction)")
+        for issue in self.sketch_issues:
+            lines.append(f"{issue['segment']}: sketch {issue['status']} "
+                         f"(repairable: rebuilds from segment columns — "
+                         f"run `repro sketch build`)")
         verdict = "clean" if self.ok else \
             f"{len(self.damaged)} of {len(self.shards)} shard(s) damaged"
         lines.append(f"fsck: {verdict}")
@@ -168,10 +181,14 @@ class RepairAction:
 
 @dataclass(frozen=True)
 class RepairReport:
-    """Outcome of one :func:`repair_store` run."""
+    """Outcome of one :func:`repair_store` run.
+
+    ``sketches`` records the sketch sidecars regenerated during salvage
+    (segment label plus the previous sidecar status)."""
 
     path: str
     actions: tuple[RepairAction, ...]
+    sketches: tuple[dict, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -187,12 +204,16 @@ class RepairReport:
             "path": self.path,
             "ok": self.ok,
             "actions": [a.to_json() for a in self.actions],
+            "sketches": [dict(s) for s in self.sketches],
         }
 
     def format_summary(self) -> str:
         lines = [f"{a.name}: {a.action}"
                  + (f" ({a.detail})" if a.detail else "")
                  for a in self.actions]
+        for s in self.sketches:
+            lines.append(f"{s['segment']}: sketch sidecar regenerated "
+                         f"(was {s['status']})")
         verdict = ("repair complete" if self.ok
                    else "repair INCOMPLETE: some shards need a --from source")
         lines.append(verdict)
@@ -339,7 +360,37 @@ def fsck_store(path: str) -> FsckReport:
             status, detail, bad = _check_deltas(directory, entry)
         shards.append(ShardHealth(name, index, status, detail, bad))
     return FsckReport(path=path, shards=tuple(shards),
-                      orphans=_find_orphans(path, manifest))
+                      orphans=_find_orphans(path, manifest),
+                      sketch_issues=_check_sketches(path, manifest, shards))
+
+
+def _check_sketches(path: str, manifest: dict,
+                    shards: list[ShardHealth]) -> tuple[dict, ...]:
+    """Non-ok sketch sidecars across healthy segments (incl. deltas).
+
+    Only segments whose columns verified are checked — a damaged shard
+    is reported by its own :class:`ShardHealth` entry, and its sidecar
+    gets rewritten anyway when the segment is repaired."""
+    from repro.sketch import sketch_sidecar_status  # noqa: PLC0415 (cycle)
+
+    healthy = {s.index for s in shards if s.status == "ok"}
+    issues: list[dict] = []
+    for index, entry in enumerate(manifest["shards"]):
+        if index not in healthy:
+            continue
+        directory = os.path.join(path, entry["name"])
+        targets = [(directory, entry["name"], entry["content_token"])]
+        for delta in entry.get("deltas") or []:
+            targets.append((
+                os.path.join(directory, delta["name"]),
+                f"{entry['name']}/{delta['name']}",
+                delta["content_token"],
+            ))
+        for segment_dir, label, token in targets:
+            status = sketch_sidecar_status(segment_dir, token)
+            if status != "ok":
+                issues.append({"segment": label, "status": status})
+    return tuple(issues)
 
 
 # -- repair --------------------------------------------------------------------
@@ -628,4 +679,13 @@ def repair_store(path: str, source=None) -> RepairReport:
             shard_entries=entries,
             revision=int(manifest.get("revision", 0)) + 1,
         )
-    return RepairReport(path=path, actions=tuple(actions))
+    # Sketches are derived data: whatever segments survive (or were just
+    # reinstalled) get current sidecars, so the next fsck is sketch-clean
+    # too.  Unrepairable shards are skipped — their segments cannot open.
+    sketches: tuple[dict, ...] = ()
+    if all(a.action != "unrepairable" for a in actions):
+        from repro.shard.store import ShardedEventStore  # noqa: PLC0415
+
+        sketches = tuple(ShardedEventStore(path).rebuild_sketches())
+    return RepairReport(path=path, actions=tuple(actions),
+                        sketches=sketches)

@@ -37,12 +37,23 @@ from repro.errors import (
     ShardChecksumError,
     ShardFormatError,
     ShardQuarantinedError,
+    SketchError,
 )
 from repro.events.store import EventStore, default_systems
 from repro.io import append_jsonl, read_jsonl
 from repro.shard.delta import pending_delta_stats, resolve_segments
 from repro.shard.format import open_segment, read_store_manifest, verify_segment
 from repro.shard.writer import hash_shard_of
+from repro.sketch import (
+    CohortSketch,
+    build_sketch,
+    effective_sketch,
+    load_sketch_sidecar,
+    merge_sketches,
+    sketch_sidecar_status,
+    write_sketch_sidecar,
+)
+from repro.sketch.model import empty_sketch
 
 __all__ = [
     "DAMAGE_LOG_NAME",
@@ -137,6 +148,18 @@ class ShardedEventStore:
                 f"choose one of {_DAMAGE_POLICIES}",
             )
         self.systems = default_systems()
+        #: Aggregate-first observability: how cohort views were served.
+        #: ``row_materializations`` counts whole-store row merges (the
+        #: O(population) path sketches exist to avoid); the sketch
+        #: counters break down how folds were satisfied.  Survives
+        #: ``refresh()`` so ``/stats`` sees process-lifetime totals.
+        self.counters: dict[str, int] = {
+            "row_materializations": 0,
+            "sketch_folds": 0,
+            "sketch_sidecar_loads": 0,
+            "sketch_rebuilds": 0,
+            "sketch_delta_resketches": 0,
+        }
         #: original shard index -> damage record (quarantined shards).
         self._quarantined: dict[int, dict] = {}
         self._adopt_manifest(read_store_manifest(path))
@@ -156,6 +179,10 @@ class ShardedEventStore:
         self._materialized: EventStore | None = None
         self._patient_ids: np.ndarray | None = None
         self._n_events_exact: int | None = None
+        #: index -> (shard_token, sketch); token-keyed so appends and
+        #: compactions invalidate by mismatch, like the query cache.
+        self._shard_sketches: dict[int, tuple[str, CohortSketch]] = {}
+        self._store_sketch: tuple[str, CohortSketch] | None = None
         self.__dict__.pop("_content_token", None)
 
     @property
@@ -325,6 +352,8 @@ class ShardedEventStore:
         self._materialized = None
         self._patient_ids = None
         self._n_events_exact = None
+        self._shard_sketches.pop(index, None)
+        self._store_sketch = None
         self.__dict__.pop("_content_token", None)
         return record
 
@@ -365,15 +394,7 @@ class ShardedEventStore:
             raise ShardQuarantinedError(record["name"], record["reason"])
         store = self._shards.get(index)
         if store is None:
-            open_kwargs = {
-                "systems": self.systems,
-                "system_names": self.system_names,
-                "categories": self.categories,
-                "sources": self.sources,
-                "details": self.details,
-                "verify_checksums": self.config.verify_checksums,
-                "mmap": self.config.mmap,
-            }
+            open_kwargs = self._open_kwargs()
             store = open_segment(self.shard_dir(index), **open_kwargs)
             deltas = self.shard_entries[index].get("deltas") or []
             if deltas:
@@ -388,6 +409,17 @@ class ShardedEventStore:
                 store._content_token = self.shard_token(index)
             self._shards[index] = store
         return store
+
+    def _open_kwargs(self) -> dict:
+        return {
+            "systems": self.systems,
+            "system_names": self.system_names,
+            "categories": self.categories,
+            "sources": self.sources,
+            "details": self.details,
+            "verify_checksums": self.config.verify_checksums,
+            "mmap": self.config.mmap,
+        }
 
     def iter_shards(self) -> Iterator[EventStore]:
         for index in self.active_indices():
@@ -442,6 +474,151 @@ class ShardedEventStore:
             token = "sharded-" + digest.hexdigest()
             self._content_token = token
         return token
+
+    # -- cohort sketches -----------------------------------------------------
+
+    def _segment_sketch(self, directory: str, token: str) -> CohortSketch:
+        """A segment's sketch: sidecar if trustworthy, else rebuilt.
+
+        A missing/stale/corrupt sidecar never degrades correctness —
+        the sketch is recomputed from the segment's rows (counted in
+        ``sketch_rebuilds``; ``sketch build`` persists fresh sidecars).
+        """
+        try:
+            sketch = load_sketch_sidecar(directory, token)
+            self.counters["sketch_sidecar_loads"] += 1
+            return sketch
+        except SketchError:
+            self.counters["sketch_rebuilds"] += 1
+            segment = open_segment(directory, **self._open_kwargs())
+            return build_sketch(segment)
+
+    def shard_sketch(self, index: int) -> CohortSketch:
+        """The exact sketch of shard ``index``'s effective view.
+
+        Delta-free shards answer straight from the base sidecar.  With
+        pending deltas, segment sidecars are folded and the LWW
+        contested-patient set is re-sketched exactly (see
+        :func:`repro.sketch.fold.effective_sketch`) — O(contested +
+        delta rows), never O(base rows).  Cached per shard token.
+        """
+        record = self._quarantined.get(index)
+        if record is not None:
+            raise ShardQuarantinedError(record["name"], record["reason"])
+        token = self.shard_token(index)
+        cached = self._shard_sketches.get(index)
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        entry = self.shard_entries[index]
+        base_dir = self.shard_dir(index)
+        base_sketch = self._segment_sketch(base_dir, entry["content_token"])
+        deltas = entry.get("deltas") or []
+        if not deltas:
+            sketch = base_sketch
+        else:
+            open_kwargs = self._open_kwargs()
+            base_store = open_segment(base_dir, **open_kwargs)
+            delta_stores = []
+            delta_sketches = []
+            for delta in deltas:
+                delta_dir = os.path.join(base_dir, delta["name"])
+                delta_stores.append(open_segment(delta_dir, **open_kwargs))
+                delta_sketches.append(
+                    self._segment_sketch(delta_dir, delta["content_token"])
+                )
+            self.counters["sketch_delta_resketches"] += 1
+            sketch = effective_sketch(
+                base_store, delta_stores, [base_sketch, *delta_sketches]
+            )
+        self._shard_sketches[index] = (token, sketch)
+        return sketch
+
+    def store_sketch(self) -> CohortSketch:
+        """The whole-store cohort sketch: a fold over shard sketches.
+
+        Exact because shards partition patients.  Quarantined shards
+        are skipped, mirroring the degraded query surface.  Cached per
+        store ``content_token``, so appends/compactions/quarantines
+        invalidate automatically.
+        """
+        token = self.content_token()
+        cached = self._store_sketch
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        active = self.active_indices()
+        if active:
+            sketch = merge_sketches(
+                self.shard_sketch(index) for index in active
+            )
+        else:
+            sketch = empty_sketch(categories=tuple(self.categories))
+        self.counters["sketch_folds"] += 1
+        self._store_sketch = (token, sketch)
+        return sketch
+
+    def sketch_health(self) -> list[dict]:
+        """Sidecar status per active segment (``sketch info`` payload)."""
+        health = []
+        for index in self.active_indices():
+            entry = self.shard_entries[index]
+            base_dir = self.shard_dir(index)
+            health.append({
+                "segment": entry["name"],
+                "status": sketch_sidecar_status(
+                    base_dir, entry["content_token"]
+                ),
+            })
+            for delta in entry.get("deltas") or []:
+                health.append({
+                    "segment": f"{entry['name']}/{delta['name']}",
+                    "status": sketch_sidecar_status(
+                        os.path.join(base_dir, delta["name"]),
+                        delta["content_token"],
+                    ),
+                })
+        return health
+
+    def rebuild_sketches(self, force: bool = False,
+                         durable: bool = True) -> list[dict]:
+        """Regenerate missing/stale/corrupt sidecars from segment rows.
+
+        Returns one record per segment rewritten (its previous status).
+        With ``force=True`` every active segment is re-sketched.  Used
+        by ``sketch build`` and by ``shard repair`` after salvage.
+        """
+        rebuilt: list[dict] = []
+        open_kwargs = self._open_kwargs()
+        for index in self.active_indices():
+            entry = self.shard_entries[index]
+            base_dir = self.shard_dir(index)
+            targets = [(base_dir, entry["name"], entry["content_token"])]
+            for delta in entry.get("deltas") or []:
+                targets.append((
+                    os.path.join(base_dir, delta["name"]),
+                    f"{entry['name']}/{delta['name']}",
+                    delta["content_token"],
+                ))
+            for directory, label, token in targets:
+                status = sketch_sidecar_status(directory, token)
+                if status == "ok" and not force:
+                    continue
+                segment = open_segment(directory, **open_kwargs)
+                write_sketch_sidecar(
+                    directory, build_sketch(segment), token, durable=durable
+                )
+                rebuilt.append({"segment": label, "status": status})
+        if rebuilt:
+            self._shard_sketches = {}
+            self._store_sketch = None
+        return rebuilt
+
+    def sketch_stats(self) -> dict:
+        """JSON-ready sketch/view counters (``/stats`` payload)."""
+        return {
+            **{k: int(v) for k, v in self.counters.items()},
+            "cached_shard_sketches": len(self._shard_sketches),
+            "store_sketch_cached": self._store_sketch is not None,
+        }
 
     def delta_stats(self) -> dict:
         """JSON-ready pending-delta statistics (compaction lag).
@@ -534,6 +711,7 @@ class ShardedEventStore:
         :func:`repro.io.merge_stores`.  Cached after the first call.
         """
         if self._materialized is None:
+            self.counters["row_materializations"] += 1
             shards = list(self.iter_shards())
             columns = {
                 name: np.concatenate(

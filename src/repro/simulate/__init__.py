@@ -12,6 +12,11 @@ from repro.simulate.fast import FastGenerationSummary, generate_store_fast
 from repro.simulate.noise import NoiseConfig, Noiser
 from repro.simulate.population import SimulatedPatient, generate_population
 from repro.simulate.recall import RecallOutcome, RecallStudy, run_recognition_study
+from repro.simulate.stream import (
+    StreamedGenerationReport,
+    generate_streamed_store,
+    stream_population,
+)
 from repro.simulate.trajectories import RawSources, StudyWindow, generate_raw_sources
 
 __all__ = [
@@ -26,9 +31,12 @@ __all__ = [
     "RecallOutcome",
     "RecallStudy",
     "SimulatedPatient",
+    "StreamedGenerationReport",
     "StudyWindow",
     "generate_population",
     "generate_raw_sources",
     "generate_store_fast",
+    "generate_streamed_store",
     "run_recognition_study",
+    "stream_population",
 ]

@@ -141,11 +141,14 @@ def generate_store_fast(
     seed: int | None = None,
     reference_year: int = 2012,
     years: float = 2.0,
+    id_offset: int = 0,
 ) -> tuple[EventStore, FastGenerationSummary]:
     """Generate an event store for ``n_patients`` synthetic adults.
 
     Deterministic in ``(n_patients, seed)``; a few seconds for 168,000
     patients (~5M events) versus minutes for the full-fidelity path.
+    ``id_offset`` shifts the assigned patient-id block — the streaming
+    generator uses it to hand out disjoint ids batch by batch.
     """
     if n_patients <= 0:
         raise SimulationError("population size must be positive")
@@ -161,7 +164,8 @@ def generate_store_fast(
     birth_days = (
         window.start_day - (ages * 365.25).astype(np.int64) - birth_jitter
     ).astype(np.int32)
-    patient_ids = np.arange(100_000, 100_000 + n_patients, dtype=np.int64)
+    first_id = 100_000 + int(id_offset)
+    patient_ids = np.arange(first_id, first_id + n_patients, dtype=np.int64)
     sexes = np.where(is_female, 1, 2).astype(np.int8)
 
     # -- condition assignment (vectorized, catalog order) -------------------

@@ -1,0 +1,43 @@
+"""Mergeable per-shard cohort sketches (aggregate-first views).
+
+ParcoursVis (PAPERS.md) renders 10M EHR pathways interactively by
+aggregating first and refining progressively.  This package is that
+pre-aggregation layer for the reproduction: per-shard sketches computed
+at segment-write time — event density binned by time bucket × code
+chapter × category, first-k pathway transition counts between chapters,
+and exact distinct-patient cardinalities — persisted as ``sketch.npz``
+sidecars next to shard manifests and folded associatively so
+cohort-level views never touch row data.
+"""
+
+from repro.sketch.chapters import ChapterIndex, build_chapter_index
+from repro.sketch.fold import contested_patient_ids, effective_sketch
+from repro.sketch.model import (
+    CohortSketch,
+    SketchSpec,
+    build_sketch,
+    empty_sketch,
+    merge_sketches,
+)
+from repro.sketch.sidecar import (
+    SKETCH_NAME,
+    load_sketch_sidecar,
+    sketch_sidecar_status,
+    write_sketch_sidecar,
+)
+
+__all__ = [
+    "ChapterIndex",
+    "CohortSketch",
+    "SKETCH_NAME",
+    "SketchSpec",
+    "build_chapter_index",
+    "build_sketch",
+    "contested_patient_ids",
+    "effective_sketch",
+    "empty_sketch",
+    "load_sketch_sidecar",
+    "merge_sketches",
+    "sketch_sidecar_status",
+    "write_sketch_sidecar",
+]

@@ -1,0 +1,100 @@
+"""Chapter grouping: collapse codes to their top-level chapter.
+
+Cohort-level views bin events by code *chapter* (the root of each code's
+hierarchy — ICPC-2 body-system letters, ICD-10 chapters, ATC anatomical
+groups), exactly the granularity ParcoursVis aggregates at.  The mapping
+is precomputed once per code-system fingerprint as a dense
+``code_id -> group`` array so sketch construction stays vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.terminology.codes import CodeSystem
+
+__all__ = ["ChapterIndex", "UNCODED_GROUP", "build_chapter_index"]
+
+#: Group 0 collects rows without a code system (``system < 0``).
+UNCODED_GROUP = "(uncoded)"
+
+#: Cache keyed on the code-system fingerprint (names + sizes), the same
+#: identity the shard manifests validate against.
+_INDEX_CACHE: dict[tuple, "ChapterIndex"] = {}
+
+
+@dataclass(frozen=True)
+class ChapterIndex:
+    """Dense mapping from ``(system, code)`` columns to chapter groups."""
+
+    labels: tuple[str, ...]
+    _maps: tuple[np.ndarray, ...] = field(repr=False)
+
+    def groups_of(self, system: np.ndarray, code: np.ndarray) -> np.ndarray:
+        """The chapter group index for every row (0 = uncoded)."""
+        out = np.zeros(len(system), dtype=np.int64)
+        for system_idx, mapping in enumerate(self._maps):
+            mask = (system == system_idx) & (code >= 0)
+            if mask.any():
+                out[mask] = mapping[code[mask]]
+        return out
+
+
+def _root_of(system: CodeSystem, code: str, memo: dict[str, str]) -> str:
+    """The top-level ancestor of ``code`` (itself when it is a root)."""
+    cached = memo.get(code)
+    if cached is not None:
+        return cached
+    chain = [code]
+    parent = system.parent_of(code)
+    while parent is not None:
+        chain.append(parent.code)
+        cached = memo.get(parent.code)
+        if cached is not None:
+            break
+        parent = system.parent_of(parent.code)
+    root = cached if cached is not None else chain[-1]
+    for entry in chain:
+        memo[entry] = root
+    return root
+
+
+def build_chapter_index(
+    system_names: list[str], systems: dict[str, CodeSystem]
+) -> ChapterIndex:
+    """Build (or fetch the cached) chapter index for a store's systems.
+
+    Group order is deterministic: group 0 is :data:`UNCODED_GROUP`, then
+    chapters appear in code-insertion order per system, systems in store
+    order — so stores sharing a code-system fingerprint share labels.
+    """
+    fingerprint = tuple(
+        (name, len(systems[name])) for name in system_names
+    )
+    cached = _INDEX_CACHE.get(fingerprint)
+    if cached is not None:
+        return cached
+
+    labels: list[str] = [UNCODED_GROUP]
+    label_index: dict[str, int] = {UNCODED_GROUP: 0}
+    maps: list[np.ndarray] = []
+    for name in system_names:
+        system = systems[name]
+        mapping = np.zeros(len(system), dtype=np.int64)
+        memo: dict[str, str] = {}
+        for code_id, entry in enumerate(system):
+            root = _root_of(system, entry.code, memo)
+            label = f"{name}:{root}"
+            group = label_index.get(label)
+            if group is None:
+                group = len(labels)
+                labels.append(label)
+                label_index[label] = group
+            mapping[code_id] = group
+        maps.append(mapping)
+
+    index = ChapterIndex(labels=tuple(labels), _maps=tuple(maps))
+    _INDEX_CACHE[fingerprint] = index
+    return index

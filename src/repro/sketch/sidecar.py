@@ -1,0 +1,161 @@
+"""Persisted sketch sidecars (``sketch.npz`` next to segment manifests).
+
+Every segment directory — base shard, compacted generation, or
+``delta-NNNNNN`` — carries one sidecar holding the exact sketch of that
+segment's rows, stamped with the segment's ``content_token`` so stale
+copies are detected, and checksummed so corruption is detected.  Writes
+go through the same :func:`~repro.shard.format.atomic_replace` (and
+therefore the same ``crashpoint()`` labels) as every other store file: a
+crash mid-write leaves the previous sidecar (or none) in place, never a
+torn one.  A bad sidecar is always *repairable* — the sketch is a pure
+function of the segment columns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+import numpy as np
+
+from repro.errors import SketchError
+from repro.sketch.model import CohortSketch, SketchSpec
+
+__all__ = [
+    "SKETCH_NAME",
+    "SKETCH_VERSION",
+    "load_sketch_sidecar",
+    "sketch_sidecar_status",
+    "write_sketch_sidecar",
+]
+
+#: Sidecar filename inside each segment directory.
+SKETCH_NAME = "sketch.npz"
+
+#: Bumped on incompatible layout changes; mismatches read as stale.
+SKETCH_VERSION = 1
+
+#: Array members persisted in the sidecar, in checksum order.
+_ARRAY_FIELDS = (
+    "density",
+    "flow",
+    "flow_starts",
+    "bucket_patients",
+    "group_patients",
+    "age_sex",
+)
+
+
+def _checksum(arrays: dict[str, np.ndarray]) -> str:
+    digest = hashlib.blake2b(digest_size=16)
+    for name in _ARRAY_FIELDS:
+        array = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(array.shape).encode("utf-8"))
+        digest.update(array.astype(np.int64, copy=False).tobytes())
+    return digest.hexdigest()
+
+
+def write_sketch_sidecar(
+    directory: str,
+    sketch: CohortSketch,
+    source_token: str,
+    durable: bool = False,
+) -> str:
+    """Atomically persist ``sketch`` into ``directory``; returns the path."""
+    from repro.shard.format import atomic_replace
+
+    arrays = {name: getattr(sketch, name) for name in _ARRAY_FIELDS}
+    meta = {
+        "version": SKETCH_VERSION,
+        "spec": sketch.spec.to_json(),
+        "groups": list(sketch.groups),
+        "categories": list(sketch.categories),
+        "bucket_lo": int(sketch.bucket_lo),
+        "n_patients": int(sketch.n_patients),
+        "n_events": int(sketch.n_events),
+        "source_token": source_token,
+        "checksum": _checksum(arrays),
+    }
+    path = os.path.join(directory, SKETCH_NAME)
+
+    def write(tmp_path: str) -> None:
+        with open(tmp_path, "wb") as handle:
+            np.savez(
+                handle,
+                meta=np.array(json.dumps(meta, sort_keys=True)),
+                **arrays,
+            )
+
+    atomic_replace(path, write, durable=durable)
+    return path
+
+
+def _load(path: str) -> tuple[CohortSketch, dict]:
+    try:
+        with np.load(path, mmap_mode=None, allow_pickle=False) as data:
+            meta = json.loads(str(data["meta"][()]))
+            arrays = {
+                name: np.asarray(data[name]).astype(np.int64)
+                for name in _ARRAY_FIELDS
+            }
+    except Exception as exc:  # zip/json/key errors → corrupt sidecar
+        raise SketchError(
+            path, f"unreadable sketch sidecar: {exc}"
+        ) from exc
+    if int(meta.get("version", -1)) != SKETCH_VERSION:
+        raise SketchError(
+            path, f"unsupported sketch version {meta.get('version')}"
+        )
+    if meta["checksum"] != _checksum(arrays):
+        raise SketchError(path, "sketch checksum mismatch")
+    sketch = CohortSketch(
+        spec=SketchSpec.from_json(meta["spec"]),
+        groups=tuple(meta["groups"]),
+        categories=tuple(meta["categories"]),
+        bucket_lo=int(meta["bucket_lo"]),
+        n_patients=int(meta["n_patients"]),
+        n_events=int(meta["n_events"]),
+        **arrays,
+    )
+    return sketch, meta
+
+
+def load_sketch_sidecar(
+    directory: str, expected_token: str | None = None
+) -> CohortSketch:
+    """Load and verify a segment's sketch sidecar.
+
+    Raises:
+        SketchError: missing, corrupt, or (when ``expected_token`` is
+            given) stale relative to the segment's content token.
+    """
+    path = os.path.join(directory, SKETCH_NAME)
+    if not os.path.exists(path):
+        raise SketchError(path, "sketch sidecar missing")
+    sketch, meta = _load(path)
+    if expected_token is not None and meta["source_token"] != expected_token:
+        raise SketchError(
+            path,
+            "stale sketch sidecar "
+            f"(built for {meta['source_token'][:12]}…, "
+            f"segment is {expected_token[:12]}…)",
+        )
+    return sketch
+
+
+def sketch_sidecar_status(
+    directory: str, expected_token: str | None = None
+) -> str:
+    """``"ok"`` / ``"missing"`` / ``"stale"`` / ``"corrupt"``."""
+    path = os.path.join(directory, SKETCH_NAME)
+    if not os.path.exists(path):
+        return "missing"
+    try:
+        __, meta = _load(path)
+    except SketchError as exc:
+        return "stale" if "version" in exc.detail else "corrupt"
+    if expected_token is not None and meta["source_token"] != expected_token:
+        return "stale"
+    return "ok"

@@ -5,6 +5,12 @@ timeline HTML export."""
 
 from repro.viz.audit import SceneAudit, audit_scene
 from repro.viz.axes import TimeScale, ZoomSliders
+from repro.viz.cohort_views import (
+    CohortDensityScene,
+    CohortFlowScene,
+    render_cohort_density,
+    render_cohort_flow,
+)
 from repro.viz.density_view import DensityScene, render_density
 from repro.viz.event_chart import EventChartScene, render_event_chart
 from repro.viz.km_plot import render_km_plot
@@ -35,9 +41,13 @@ from repro.viz.svg import SvgDocument
 from repro.viz.timeline_view import Mark, TimelineConfig, TimelineScene, TimelineView
 
 __all__ = [
+    "CohortDensityScene",
+    "CohortFlowScene",
     "ColorAssignment",
     "SceneAudit",
     "audit_scene",
+    "render_cohort_density",
+    "render_cohort_flow",
     "DensityScene",
     "EventChartScene",
     "render_event_chart",

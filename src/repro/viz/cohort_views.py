@@ -1,0 +1,263 @@
+"""Aggregate-first cohort views rendered from sketches alone.
+
+Two views in the ParcoursVis spirit: a **density strip** view (one strip
+per code chapter, colored by event count per time bucket, with
+distinct-patient and age/sex marginals) and a **chapter flow ribbon**
+view (first-k pathway transitions between chapters).  Both draw from a
+:class:`~repro.sketch.model.CohortSketch` — a few kilobytes of counts —
+so render cost is independent of cohort size: the million-patient view
+costs the same as the hundred-patient one.  Neither function accepts a
+row store at all, which is what keeps this module honest about "no row
+materialization".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sketch.model import CohortSketch
+from repro.viz.svg import SvgDocument
+
+__all__ = [
+    "CohortDensityScene",
+    "CohortFlowScene",
+    "render_cohort_density",
+    "render_cohort_flow",
+]
+
+#: Sequential blue ramp (light → dark), shared with the per-patient
+#: density view so the two zoom levels read as one instrument.
+_RAMP = (
+    "#f7fbff", "#deebf7", "#c6dbef", "#9ecae1", "#6baed6",
+    "#4292c6", "#2171b5", "#08519c", "#08306b",
+)
+
+#: Qualitative colors for flow ribbons, keyed by source chapter index.
+_FLOW_COLORS = (
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+    "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+)
+
+_MARGIN_LEFT = 130.0
+_MARGIN_RIGHT = 150.0
+_MARGIN_TOP = 28.0
+_MARGIN_BOTTOM = 40.0
+
+
+def _ramp_color(count: int, log_max: float) -> str:
+    level = int(np.log1p(count) / max(log_max, 1e-9) * (len(_RAMP) - 1))
+    return _RAMP[max(0, min(level, len(_RAMP) - 1))]
+
+
+@dataclass(frozen=True)
+class CohortDensityScene:
+    """A rendered cohort density-strip view.
+
+    Attributes:
+        svg_text: the rendered SVG document.
+        n_patients / n_events: cohort totals (from the sketch).
+        n_buckets / n_groups: grid dimensions actually drawn.
+        max_cell_count: largest (bucket, group) event count.
+        mode: always ``"sketch"`` — drill-down scenes come from the
+            per-patient timeline path instead.
+    """
+
+    svg_text: str
+    n_patients: int
+    n_events: int
+    n_buckets: int
+    n_groups: int
+    max_cell_count: int
+    mode: str = "sketch"
+
+
+@dataclass(frozen=True)
+class CohortFlowScene:
+    """A rendered chapter-flow ribbon view (first-k transitions)."""
+
+    svg_text: str
+    n_patients: int
+    n_transitions: int
+    n_groups: int
+    n_ribbons: int
+    mode: str = "sketch"
+
+
+def render_cohort_density(
+    sketch: CohortSketch,
+    width: float = 1100.0,
+    height: float = 640.0,
+) -> CohortDensityScene:
+    """Draw density strips (chapter × time bucket) from a sketch.
+
+    Chapters with no events are dropped from the strip list; a
+    distinct-patients marginal runs under the grid and an age-band ×
+    sex marginal fills the right margin.
+    """
+    grid = sketch.density.sum(axis=2)  # [buckets, groups]
+    active = (
+        np.flatnonzero(grid.sum(axis=0) > 0)
+        if grid.size
+        else np.empty(0, dtype=np.intp)
+    )
+    n_buckets = sketch.n_buckets
+    n_groups = len(active)
+    max_cell = int(grid[:, active].max()) if n_groups and n_buckets else 0
+    log_max = float(np.log1p(max_cell))
+
+    doc = SvgDocument(width, height)
+    doc.text(
+        _MARGIN_LEFT, 18,
+        f"Cohort density — {sketch.n_patients:,} patients, "
+        f"{sketch.n_events:,} events "
+        f"({sketch.spec.bucket_days}-day buckets)",
+        size=13,
+    )
+    plot_w = width - _MARGIN_LEFT - _MARGIN_RIGHT
+    strip_area_h = height - _MARGIN_TOP - _MARGIN_BOTTOM - 70.0
+    if n_groups and n_buckets and plot_w > 0 and strip_area_h > 0:
+        cell_w = plot_w / n_buckets
+        row_h = strip_area_h / n_groups
+        for row, group_idx in enumerate(active):
+            y = _MARGIN_TOP + row * row_h
+            label = sketch.groups[group_idx]
+            doc.text(_MARGIN_LEFT - 8, y + row_h * 0.7,
+                     label, size=min(10.0, row_h * 0.8), anchor="end")
+            counts = grid[:, group_idx]
+            for bucket in np.flatnonzero(counts):
+                count = int(counts[bucket])
+                doc.rect(
+                    _MARGIN_LEFT + bucket * cell_w, y,
+                    max(cell_w, 0.5), max(row_h - 1.0, 0.5),
+                    fill=_ramp_color(count, log_max),
+                    title=(f"{label}, bucket {sketch.bucket_lo + bucket}: "
+                           f"{count} events"),
+                )
+        # Distinct-patients marginal under the grid.
+        marginal_y = _MARGIN_TOP + strip_area_h + 12.0
+        marginal_h = 46.0
+        peak = int(sketch.bucket_patients.max()) if n_buckets else 0
+        doc.text(_MARGIN_LEFT - 8, marginal_y + marginal_h * 0.6,
+                 "patients", size=9, anchor="end")
+        if peak:
+            for bucket in np.flatnonzero(sketch.bucket_patients):
+                value = int(sketch.bucket_patients[bucket])
+                bar_h = marginal_h * value / peak
+                doc.rect(
+                    _MARGIN_LEFT + bucket * cell_w,
+                    marginal_y + marginal_h - bar_h,
+                    max(cell_w, 0.5), bar_h,
+                    fill="#74a9cf",
+                    title=(f"bucket {sketch.bucket_lo + bucket}: "
+                           f"{value} distinct patients"),
+                )
+        doc.line(_MARGIN_LEFT, marginal_y + marginal_h,
+                 _MARGIN_LEFT + plot_w, marginal_y + marginal_h,
+                 stroke="#999999")
+    # Age-band × sex marginal (right margin), independent of buckets.
+    age_total = sketch.age_sex.sum()
+    if age_total:
+        bands = sketch.age_sex.shape[0]
+        bar_x = width - _MARGIN_RIGHT + 24.0
+        bar_w = _MARGIN_RIGHT - 60.0
+        band_h = (height - _MARGIN_TOP - _MARGIN_BOTTOM) / bands
+        peak = int(sketch.age_sex.sum(axis=1).max())
+        doc.text(bar_x, _MARGIN_TOP - 6, "age × sex", size=9)
+        for band in range(bands):
+            female = int(sketch.age_sex[band, 1])
+            other = int(sketch.age_sex[band].sum()) - female
+            y = _MARGIN_TOP + band * band_h
+            if peak and (female or other):
+                w_f = bar_w * female / peak
+                w_o = bar_w * other / peak
+                doc.rect(bar_x, y, w_f, max(band_h - 1.0, 0.5),
+                         fill="#c51b8a",
+                         title=f"band {band}: {female} female")
+                doc.rect(bar_x + w_f, y, w_o, max(band_h - 1.0, 0.5),
+                         fill="#2b8cbe",
+                         title=f"band {band}: {other} male/unknown")
+            lo = band * sketch.spec.age_band_years
+            doc.text(bar_x - 4, y + band_h * 0.7, f"{lo}+",
+                     size=8, anchor="end", fill="#666666")
+    return CohortDensityScene(
+        svg_text=doc.to_string(),
+        n_patients=int(sketch.n_patients),
+        n_events=int(sketch.n_events),
+        n_buckets=int(n_buckets),
+        n_groups=int(n_groups),
+        max_cell_count=max_cell,
+    )
+
+
+def render_cohort_flow(
+    sketch: CohortSketch,
+    width: float = 1100.0,
+    height: float = 640.0,
+    max_ribbons: int = 40,
+) -> CohortFlowScene:
+    """Draw the chapter-flow ribbon view from a sketch.
+
+    Source chapters on the left, destination chapters on the right,
+    cubic ribbons for the ``max_ribbons`` heaviest transitions with
+    stroke width proportional to count.
+    """
+    flow = sketch.flow
+    out_totals = flow.sum(axis=1)
+    in_totals = flow.sum(axis=0)
+    active = np.flatnonzero(out_totals + in_totals)
+    n_transitions = int(flow.sum())
+
+    doc = SvgDocument(width, height)
+    doc.text(
+        _MARGIN_LEFT, 18,
+        f"Chapter flow — first {sketch.spec.first_k} coded events, "
+        f"{sketch.n_patients:,} patients, {n_transitions:,} transitions",
+        size=13,
+    )
+    n_ribbons = 0
+    if len(active) and n_transitions:
+        x_left = _MARGIN_LEFT + 60.0
+        x_right = width - _MARGIN_RIGHT - 60.0
+        area_top = _MARGIN_TOP + 16.0
+        area_h = height - area_top - _MARGIN_BOTTOM
+        slot_h = area_h / len(active)
+        centers = {}
+        for slot, group_idx in enumerate(active):
+            y = area_top + slot * slot_h + slot_h / 2.0
+            centers[int(group_idx)] = y
+            label = sketch.groups[group_idx]
+            doc.text(x_left - 8, y + 3, label, size=9, anchor="end")
+            doc.text(x_right + 8, y + 3, label, size=9)
+            doc.rect(x_left - 4, y - slot_h * 0.35, 4,
+                     slot_h * 0.7, fill="#555555")
+            doc.rect(x_right, y - slot_h * 0.35, 4,
+                     slot_h * 0.7, fill="#555555")
+        order = np.argsort(flow.ravel(), kind="stable")[::-1]
+        n_groups_total = len(sketch.groups)
+        max_count = int(flow.ravel()[order[0]])
+        mid = (x_left + x_right) / 2.0
+        for pos in order[:max_ribbons]:
+            count = int(flow.ravel()[pos])
+            if count <= 0:
+                break
+            src, dst = divmod(int(pos), n_groups_total)
+            y1, y2 = centers[src], centers[dst]
+            stroke_w = max(0.75, 14.0 * count / max_count)
+            doc.path(
+                f"M {x_left:.1f},{y1:.1f} "
+                f"C {mid:.1f},{y1:.1f} {mid:.1f},{y2:.1f} "
+                f"{x_right:.1f},{y2:.1f}",
+                stroke=_FLOW_COLORS[src % len(_FLOW_COLORS)],
+                stroke_width=stroke_w,
+                opacity=0.55,
+            )
+            n_ribbons += 1
+    return CohortFlowScene(
+        svg_text=doc.to_string(),
+        n_patients=int(sketch.n_patients),
+        n_transitions=n_transitions,
+        n_groups=int(len(active)),
+        n_ribbons=n_ribbons,
+    )

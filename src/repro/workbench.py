@@ -42,6 +42,13 @@ from repro.query.temporal_patterns import (
 from repro.simulate.recall import RecallStudy, run_recognition_study
 from repro.simulate.trajectories import RawSources
 from repro.sources.integrate import IntegrationPipeline, IntegrationReport
+from repro.sketch import CohortSketch, build_sketch
+from repro.viz.cohort_views import (
+    CohortDensityScene,
+    CohortFlowScene,
+    render_cohort_density,
+    render_cohort_flow,
+)
 from repro.viz.density_view import DensityScene, render_density
 from repro.viz.html_export import export_batch, export_personal_timeline
 from repro.viz.timeline_view import TimelineConfig, TimelineScene, TimelineView
@@ -315,6 +322,9 @@ class Workbench:
         delta_stats = getattr(store, "delta_stats", None)
         if callable(delta_stats):
             payload["ingestion"] = delta_stats()
+        sketch_stats = getattr(store, "sketch_stats", None)
+        if callable(sketch_stats):
+            payload["sketch"] = sketch_stats()
         return payload
 
     def cohort(self, patient_ids: list[int] | np.ndarray) -> Cohort:
@@ -384,6 +394,81 @@ class Workbench:
         """Render the density overview (the 'overview first' remedy for
         very large cohorts — see :mod:`repro.viz.density_view`)."""
         return render_density(self.store, patient_ids, mask=mask)
+
+    # -- aggregate-first cohort views -----------------------------------------
+
+    def cohort_sketch(
+        self,
+        query: str | PatientExpr | EventExpr | None = None,
+        deadline=None,
+    ) -> CohortSketch:
+        """The cohort's :class:`~repro.sketch.model.CohortSketch`.
+
+        ``query=None`` covers the whole store.  On a sharded store this
+        never materializes rows: the whole-store sketch folds persisted
+        per-segment sidecars, and a query refines shard-parallel through
+        :meth:`~repro.shard.executor.ParallelExecutor.sketch_shards`
+        (each shard sketches only its matching patients, then the
+        per-shard sketches merge associatively).
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        if self.is_sharded:
+            if query is None:
+                return self.store.store_sketch()
+            if self.engine.executor is None:
+                from repro.shard.executor import (  # noqa: PLC0415 (cycle)
+                    ParallelExecutor,
+                )
+
+                self.engine.executor = ParallelExecutor(
+                    config=self.store.config
+                )
+            return self.engine.executor.sketch_shards(
+                self.store, query, optimize=self.config.optimize_queries,
+                cache=self.engine.cache, deadline=deadline,
+            )
+        from repro.shard.writer import subset_store  # noqa: PLC0415 (cycle)
+
+        if query is None:
+            return build_sketch(self.store)
+        ids = self.engine.patients(query, deadline=deadline)
+        return build_sketch(subset_store(self.store, ids))
+
+    def cohort_density(
+        self,
+        query: str | PatientExpr | EventExpr | None = None,
+        drilldown: bool | None = None,
+        deadline=None,
+    ) -> CohortDensityScene | DensityScene:
+        """Aggregate-first cohort density view.
+
+        Renders the chapter × time-bucket density strips from the
+        cohort's sketch alone — cost independent of cohort size.  When
+        the cohort has at most ``config.drilldown_rows`` patients the
+        view automatically drills down to the per-patient density
+        overview (:meth:`overview`), which *does* materialize that small
+        cohort's rows; pass ``drilldown=False`` to force the sketch
+        rendering regardless of size.
+        """
+        sketch = self.cohort_sketch(query, deadline=deadline)
+        use_drilldown = (drilldown if drilldown is not None
+                         else sketch.n_patients <= self.config.drilldown_rows)
+        if use_drilldown and sketch.n_patients:
+            ids = (self.select(query, deadline=deadline)
+                   if query is not None else None)
+            return self.overview(ids)
+        return render_cohort_density(sketch)
+
+    def cohort_flow(
+        self,
+        query: str | PatientExpr | EventExpr | None = None,
+        deadline=None,
+    ) -> CohortFlowScene:
+        """Chapter-flow ribbon view (first-k pathway transitions) from
+        the cohort's sketch alone; see :meth:`cohort_sketch` for how the
+        sketch is obtained without materializing rows."""
+        return render_cohort_flow(self.cohort_sketch(query, deadline=deadline))
 
     def session(self):
         """Start an :class:`~repro.session.AnalysisSession` on this data."""

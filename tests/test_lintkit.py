@@ -195,6 +195,50 @@ def test_lk104_ignores_functions_without_query_calls(tmp_path):
     ), rel="src/repro/serving/core.py")
 
 
+_UNGUARDED_MATERIALIZE = (
+    "class Core:\n"
+    "    def _density(self, request, deadline):\n"
+    "        flat = self.store.materialize_store()\n"
+    "        return render(flat)\n"
+)
+
+
+def test_lk105_unguarded_materialization_flagged(tmp_path):
+    violations = _lint_snippet(
+        tmp_path, _UNGUARDED_MATERIALIZE, rel="src/repro/serving/core.py"
+    )
+    assert _rules_hit(violations) == {"LK105"}
+    assert violations[0].line == 3
+    assert "materialize_store" in violations[0].message
+
+
+def test_lk105_threshold_guard_passes(tmp_path):
+    assert not _lint_snippet(tmp_path, (
+        "class Core:\n"
+        "    def _density(self, request, deadline):\n"
+        "        sketch = self.store.store_sketch()\n"
+        "        if sketch.n_patients <= self.config.drilldown_rows:\n"
+        "            return render(self.store.materialize_store())\n"
+        "        return render_sketch(sketch)\n"
+    ), rel="src/repro/serving/core.py")
+
+
+def test_lk105_applies_to_viz_code(tmp_path):
+    violations = _lint_snippet(
+        tmp_path, _UNGUARDED_MATERIALIZE, rel="src/repro/viz/views.py"
+    )
+    assert _rules_hit(violations) == {"LK105"}
+
+
+def test_lk105_scoped_to_view_serving_code(tmp_path):
+    # Batch/maintenance code (repair, CLI, io) legitimately flattens
+    # whole stores; the rule only polices view-serving paths.
+    assert not _lint_snippet(tmp_path, _UNGUARDED_MATERIALIZE,
+                             rel="src/repro/shard/repair.py")
+    assert not _lint_snippet(tmp_path, _UNGUARDED_MATERIALIZE,
+                             rel="tools/x.py")
+
+
 # -- framework --------------------------------------------------------------
 
 
@@ -244,7 +288,7 @@ def test_rule_ids_unique_and_titled():
     assert len(ids) == len(set(ids))
     assert all(rule.title for rule in rules)
     assert {"LK001", "LK002", "LK003", "LK101", "LK102", "LK103",
-            "LK104"} <= set(ids)
+            "LK104", "LK105"} <= set(ids)
 
 
 # -- the real gate ----------------------------------------------------------

@@ -177,6 +177,80 @@ def test_append_then_compact_crash_chain(template, split, tmp_path):
     assert fsck_store(work).ok
 
 
+# -- sketch sidecars under crashes ---------------------------------------------
+
+
+def _assert_sketches_truthful(path: str, context: str) -> None:
+    """The reopened store's sketch fold must equal a fresh row sketch.
+
+    This is the "never silently wrong" contract: a crash may leave a
+    sidecar absent or stale (the read path rebuilds from columns), but
+    folding must always reproduce the brute-force row recomputation.
+    """
+    from repro.sketch import build_sketch
+
+    store = ShardedEventStore(path)
+    folded = store.store_sketch()
+    truth = build_sketch(store.materialize_store())
+    assert folded.content_equal(truth), (
+        f"sketch fold diverged from rows {context}"
+    )
+    statuses = {h["status"] for h in store.sketch_health()}
+    assert statuses <= {"ok", "missing", "stale", "corrupt"}
+
+
+def test_sketch_writes_pass_crash_boundaries(template, split, tmp_path):
+    """Sidecar writes ride the same crashpoint() harness as every other
+    durable store file — they are part of the enumerated matrix, not a
+    side channel."""
+    __, batch = split
+    with count_crashpoints() as trace:
+        DeltaWriter(_copy(template, tmp_path, "labels")).append(batch)
+    assert any("sketch.npz" in label for label in trace.labels)
+    with count_crashpoints() as trace:
+        appended = _copy(template, tmp_path, "labels-compact")
+        DeltaWriter(appended).append(batch)
+        Compactor(appended).compact()
+    assert any("sketch.npz" in label for label in trace.labels)
+
+
+def test_append_crash_matrix_keeps_sketches_truthful(template, split,
+                                                     tmp_path):
+    __, batch = split
+    n = _enumerate(lambda p: DeltaWriter(p).append(batch),
+                   _copy(template, tmp_path, "sk-count"))
+    for step in range(1, n + 1):
+        work = _copy(template, tmp_path, f"sk-append-{step}")
+        with crash_at(step), pytest.raises(SimulatedCrashError):
+            DeltaWriter(work).append(batch)
+        _assert_sketches_truthful(work, f"after append crash at step {step}")
+        # Rebuilding sidecars restores full health without content change.
+        store = ShardedEventStore(work)
+        store.rebuild_sketches()
+        assert all(h["status"] == "ok" for h in store.sketch_health())
+        _assert_sketches_truthful(work, f"after rebuild at step {step}")
+
+
+def test_compact_crash_matrix_keeps_sketches_truthful(template, split,
+                                                      tmp_path):
+    __, batch = split
+    appended = _copy(template, tmp_path, "sk-appended")
+    DeltaWriter(appended).append(batch)
+    n = _enumerate(lambda p: Compactor(p).compact(),
+                   _copy(appended, tmp_path, "sk-count2"))
+    for step in range(1, n + 1):
+        work = _copy(appended, tmp_path, f"sk-compact-{step}")
+        with crash_at(step), pytest.raises(SimulatedCrashError):
+            Compactor(work).compact()
+        _assert_sketches_truthful(work, f"after compact crash at step {step}")
+        # Finishing the compaction leaves sidecar-only folds exact.
+        Compactor(work).compact()
+        store = ShardedEventStore(work)
+        store.rebuild_sketches()
+        assert all(h["status"] == "ok" for h in store.sketch_health())
+        _assert_sketches_truthful(work, f"after recompact at step {step}")
+
+
 # -- concurrent readers through a compaction install ---------------------------
 
 

@@ -31,6 +31,12 @@ Serving rules:
   ``.personal_timeline()``, ``.align()``) must have a ``Deadline`` in
   scope: a slow query on an undeadlined handler pins a worker forever
   and defeats admission control.
+* **LK105** — viz/serving code (``repro/webapp.py``,
+  ``repro/serving/``, ``repro/viz/``) that materializes merged rows
+  (``.materialize_store()``, ``.to_flat()``) must have a row-threshold
+  guard in scope: cohort views are served from sketch folds by
+  contract, so any row materialization on these paths must be an
+  explicit, bounded drill-down — never an unconditional full scan.
 
 Narrow builtin catches (``except ValueError:`` around one conversion)
 are legitimate control flow and pass; the rules target the broad
@@ -59,6 +65,7 @@ __all__ = [
     "NonAtomicWriteRule",
     "ImplicitMmapRule",
     "UndeadlinedHandlerRule",
+    "UnguardedMaterializationRule",
 ]
 
 _BROAD = {"Exception", "BaseException"}
@@ -352,4 +359,68 @@ class ImplicitMmapRule(Rule):
                     "np.load without an explicit mmap_mode",
                     hint="pass mmap_mode='r' for a mapped view or "
                          "mmap_mode=None to document an eager load",
+                )
+
+
+@register
+class UnguardedMaterializationRule(Rule):
+    id = "LK105"
+    title = "viz/serving row materialization needs a threshold guard"
+
+    #: Entry points that flatten a sharded store into per-row arrays —
+    #: O(total rows) memory and time, the exact cost the sketch
+    #: subsystem exists to avoid on view-serving paths.
+    _MATERIALIZE_METHODS = {"materialize_store", "to_flat"}
+
+    #: A function that mentions one of these is making the drill-down
+    #: decision explicit (e.g. comparing against
+    #: ``config.drilldown_rows`` before flattening).
+    _GUARD_TOKENS = ("threshold", "drilldown", "max_rows", "row_limit")
+
+    def applies_to(self, rel: Path) -> bool:
+        posix = rel.as_posix()
+        return posix == "src/repro/webapp.py" or posix.startswith(
+            ("src/repro/serving/", "src/repro/viz/")
+        )
+
+    @classmethod
+    def _mentions_guard(cls, func: ast.AST) -> bool:
+        def _hit(name: str) -> bool:
+            lowered = name.lower()
+            return any(token in lowered for token in cls._GUARD_TOKENS)
+
+        for node in ast.walk(func):
+            if isinstance(node, ast.Name) and _hit(node.id):
+                return True
+            if isinstance(node, ast.Attribute) and _hit(node.attr):
+                return True
+            if isinstance(node, ast.arg) and _hit(node.arg):
+                return True
+            if isinstance(node, ast.keyword) and node.arg and _hit(node.arg):
+                return True
+        return False
+
+    def check(self, tree: ast.AST, rel: Path,
+              text: str) -> Iterator[Violation]:
+        for func in ast.walk(tree):
+            if not isinstance(
+                func, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            calls = [
+                node for node in ast.walk(func)
+                if isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._MATERIALIZE_METHODS
+            ]
+            if not calls or self._mentions_guard(func):
+                continue
+            for call in calls:
+                yield self.violation(
+                    rel, call.lineno,
+                    f"{func.name}() materializes rows "
+                    f"(.{call.func.attr}()) with no row-threshold guard",
+                    hint="gate the drill-down on a row budget (e.g. "
+                         "config.drilldown_rows) or serve the view from "
+                         "a sketch fold (repro.sketch)",
                 )
