@@ -1,0 +1,181 @@
+"""Replication cost envelope at E5 scale (ISSUE 9).
+
+Replication buys online failover and self-repair; this benchmark pins
+what it costs.  Two claims:
+
+* **Write amplification** — building the same population at R=2 must
+  cost at most 2.2x the R=1 bytes on disk (2x for the payload copies
+  plus a small bounded manifest/sketch overhead).
+* **Failover latency** — a cold query that has to fail over (its
+  preferred replica's manifest is gone) must answer within 1.5x the
+  healthy cold-query latency: the failover is one extra open attempt,
+  not a retry storm.
+
+Also reports scrubber verify throughput (bytes/s over one clean pass)
+so regressions in background-scan cost show up in the BENCH record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+
+import numpy as np
+import pytest
+from conftest import bench_scale, print_experiment
+
+from repro.config import ShardConfig
+from repro.query.engine import QueryEngine
+from repro.query.parser import parse_query
+from repro.resilience.faults import ShardFaultPlan, apply_shard_faults
+from repro.shard import (
+    Scrubber,
+    ShardedEventStore,
+    write_sharded_store,
+)
+from repro.simulate.fast import generate_store_fast
+
+#: R=2 bytes on disk must stay within this factor of R=1.
+MAX_WRITE_AMPLIFICATION = 2.2
+
+#: Cold failover-path query latency bound, relative to healthy.
+MAX_FAILOVER_RATIO = 1.5
+
+N_SHARDS = 8
+
+#: The E5-scale population the claims are made at.
+E5_POPULATION = 100_000
+
+REPEATS = 5
+
+
+def _tree_bytes(root: str) -> int:
+    total = 0
+    for dirpath, __, filenames in os.walk(root):
+        for name in filenames:
+            total += os.path.getsize(os.path.join(dirpath, name))
+    return total
+
+
+def _cold_query_s(path: str, query, config: ShardConfig) -> float:
+    """Median seconds for open-store-and-answer, over fresh opens."""
+    samples = []
+    for __ in range(REPEATS):
+        start = time.perf_counter()
+        engine = QueryEngine(ShardedEventStore(path, config=config))
+        engine.patients(query)
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def test_replication_cost_envelope(tmp_path_factory):
+    n_patients = max(2_000, int(E5_POPULATION * bench_scale()))
+    population, __ = generate_store_fast(n_patients, seed=31)
+    root = tmp_path_factory.mktemp("replication")
+    query = parse_query("sex F or sex M")
+    config = ShardConfig(verify_checksums=False, n_workers=1)
+
+    r1_path = str(root / "r1.shards")
+    start = time.perf_counter()
+    write_sharded_store(population, r1_path, n_shards=N_SHARDS)
+    r1_build_s = time.perf_counter() - start
+
+    r2_path = str(root / "r2.shards")
+    start = time.perf_counter()
+    write_sharded_store(population, r2_path, n_shards=N_SHARDS,
+                        config=ShardConfig(replication=2))
+    r2_build_s = time.perf_counter() - start
+
+    r1_bytes = _tree_bytes(r1_path)
+    r2_bytes = _tree_bytes(r2_path)
+    amplification = r2_bytes / r1_bytes
+    assert amplification <= MAX_WRITE_AMPLIFICATION, (
+        f"R=2 write amplification {amplification:.2f}x exceeds "
+        f"{MAX_WRITE_AMPLIFICATION}x"
+    )
+
+    # Replication must not change answers.
+    expected = np.asarray(
+        QueryEngine(ShardedEventStore(r1_path, config=config))
+        .patients(query)
+    )
+    healthy_s = _cold_query_s(r2_path, query, config)
+    got = np.asarray(
+        QueryEngine(ShardedEventStore(r2_path, config=config))
+        .patients(query)
+    )
+    assert np.array_equal(got, expected)
+
+    # Failover path: the preferred replica (r0) of one shard loses its
+    # manifest, so every cold open of that shard pays one failed open
+    # plus the peer open — still exact, bounded latency.
+    applied = apply_shard_faults(
+        r2_path, ShardFaultPlan(seed=13, delete_manifests=1, replica=0)
+    )
+    assert len(applied) == 1
+    failover_s = _cold_query_s(r2_path, query, config)
+    sharded = ShardedEventStore(r2_path, config=config)
+    got = np.asarray(QueryEngine(sharded).patients(query))
+    assert np.array_equal(got, expected)
+    assert sharded.replication_stats()["replica_failovers"] >= 1
+    ratio = failover_s / max(healthy_s, 1e-9)
+
+    # Scrubber verify throughput over one full (healing) pass.
+    start = time.perf_counter()
+    report = Scrubber(r2_path).run_once()
+    scrub_s = time.perf_counter() - start
+    verified = report.verified_bytes
+    assert len(report.repaired) >= 1  # it healed the deleted manifest
+
+    bench = {
+        "bench": "replication",
+        "patients": int(population.n_patients),
+        "events": int(population.n_events),
+        "n_shards": N_SHARDS,
+        "r1_bytes": int(r1_bytes),
+        "r2_bytes": int(r2_bytes),
+        "write_amplification": round(amplification, 3),
+        "max_write_amplification": MAX_WRITE_AMPLIFICATION,
+        "r1_build_s": round(r1_build_s, 4),
+        "r2_build_s": round(r2_build_s, 4),
+        "healthy_cold_query_s": round(healthy_s, 4),
+        "failover_cold_query_s": round(failover_s, 4),
+        "failover_ratio": round(ratio, 3),
+        "max_failover_ratio": MAX_FAILOVER_RATIO,
+        "scrub_pass_s": round(scrub_s, 4),
+        "scrub_verified_bytes": int(verified),
+        "scrub_bytes_per_s": round(verified / max(scrub_s, 1e-9)),
+        "scrub_repaired": len(report.repaired),
+    }
+    print("BENCH " + json.dumps(bench, sort_keys=True))
+    print_experiment(
+        f"Replication cost (ISSUE 9): {population.n_events:,} events, "
+        f"{N_SHARDS} shards",
+        [
+            ("bytes R=1 / R=2", f"<= {MAX_WRITE_AMPLIFICATION}x",
+             f"{r1_bytes / 1e6:8.1f} MB / {r2_bytes / 1e6:.1f} MB "
+             f"({amplification:.2f}x)"),
+            ("cold query healthy", "-", f"{healthy_s * 1e3:8.1f} ms"),
+            ("cold query failover", f"<= {MAX_FAILOVER_RATIO}x",
+             f"{failover_s * 1e3:8.1f} ms ({ratio:.2f}x)"),
+            ("scrub pass", "-",
+             f"{verified / 1e6:8.1f} MB in {scrub_s * 1e3:.1f} ms "
+             f"({bench['scrub_bytes_per_s'] / 1e6:,.0f} MB/s)"),
+        ],
+    )
+    if bench_scale() < 0.5:
+        pytest.skip(
+            f"REPRO_BENCH_SCALE={bench_scale()} makes cold-query medians "
+            f"too noisy for the {MAX_FAILOVER_RATIO}x bound; measured "
+            f"{ratio:.2f}x"
+        )
+    assert ratio <= MAX_FAILOVER_RATIO, (
+        f"failover-path cold query {ratio:.2f}x healthy exceeds "
+        f"{MAX_FAILOVER_RATIO}x"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q", "-s"])

@@ -21,9 +21,13 @@ Python:
 * ``quarantine`` — inspect (``show``) or re-integrate (``replay``) the
   dead-letter store written during a resilient ingestion;
 * ``shard`` — ``build`` a sharded on-disk store from a ``.npz``
-  snapshot, print its ``info``, ``verify`` every column checksum,
-  ``fsck`` a full health report, or ``repair`` damaged shards from a
-  flat snapshot / sibling store (``--from``);
+  snapshot (``--replication R`` lands every segment as R token-verified
+  replica copies), print its ``info``, ``verify`` every column
+  checksum, ``fsck`` a full health report, ``repair`` damaged shards
+  from a surviving peer replica, a flat snapshot or a sibling store
+  (``--from``), ``scrub`` an incremental anti-entropy verify-and-heal
+  pass (``--once`` for a full pass, ``--budget`` bytes per tick), or
+  ``replicate`` an existing store up to a higher replication factor;
 * ``sketch`` — ``build`` rebuilds missing/stale/corrupt per-segment
   cohort-sketch sidecars, ``info`` reports per-segment sketch health
   plus the folded whole-store summary.
@@ -261,6 +265,10 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--partition", choices=("hash", "range"), default="hash",
                    help="patient-id hash (balanced, streamable) or "
                         "contiguous range (id locality)")
+    s.add_argument("--replication", type=int, default=1,
+                   help="replica copies per segment (default 1; >=2 "
+                        "enables online read failover and anti-entropy "
+                        "scrub repair)")
     s = ssub.add_parser("append",
                         help="land a .npz event batch as checksummed "
                              "delta segments (one atomic manifest bump; "
@@ -296,6 +304,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="repair source: the flat .npz the store was "
                         "sharded from, or a sibling sharded-store "
                         "directory (salvageable shards need none)")
+    s.add_argument("--json", action="store_true",
+                   help="machine-readable report on stdout")
+    s = ssub.add_parser("scrub",
+                        help="incremental background verify of every "
+                             "replica, healing damage from token-verified "
+                             "peers (exit 0 only when clean)")
+    s.add_argument("dir", help="shard directory")
+    s.add_argument("--once", action="store_true",
+                   help="run one full pass over the store instead of a "
+                        "single byte-budgeted tick")
+    s.add_argument("--budget", type=int, default=None, metavar="BYTES",
+                   help="bytes to verify per tick (default: "
+                        "ShardConfig.scrub_bytes_per_tick)")
+    s.add_argument("--json", action="store_true",
+                   help="machine-readable report on stdout")
+    s = ssub.add_parser("replicate",
+                        help="raise the replication factor of an existing "
+                             "store in place (online; content tokens "
+                             "unchanged)")
+    s.add_argument("dir", help="shard directory")
+    s.add_argument("--replication", type=int, required=True,
+                   help="target replica copies per segment (>= current)")
     s.add_argument("--json", action="store_true",
                    help="machine-readable report on stdout")
 
@@ -667,19 +697,25 @@ def _dispatch_sketch(args: argparse.Namespace) -> int:
 
 def _dispatch_shard(args: argparse.Namespace) -> int:
     if args.shard_command == "build":
+        from repro.config import ShardConfig
         from repro.io import load_store
         from repro.shard import write_sharded_store
 
         store = load_store(args.store)
+        config = ShardConfig(replication=max(1, args.replication))
         manifest = write_sharded_store(
             store, args.out, n_shards=args.shards, partition=args.partition,
+            config=config,
         )
         sizes = ", ".join(
             str(entry["n_patients"]) for entry in manifest["shards"]
         )
+        replicas = (f", replication {manifest['replication']}"
+                    if manifest.get("replication", 1) > 1 else "")
         print(f"wrote {manifest['n_shards']} {args.partition}-partitioned "
               f"shard(s) ({manifest['total_patients']:,} patients / "
-              f"{manifest['total_events']:,} events) to {args.out}")
+              f"{manifest['total_events']:,} events{replicas}) "
+              f"to {args.out}")
         print(f"patients per shard: {sizes}")
         return 0
 
@@ -802,6 +838,44 @@ def _dispatch_shard(args: argparse.Namespace) -> int:
                 print(f"error: {action.name}: {action.detail}",
                       file=sys.stderr)
         return 0 if report.ok and post.ok else 1
+
+    if args.shard_command == "scrub":
+        import json
+
+        from repro.shard import Scrubber
+
+        scrubber = Scrubber(args.dir)
+        tick = (scrubber.run_once(args.budget) if args.once
+                else scrubber.tick(args.budget))
+        if args.json:
+            payload = tick.to_json()
+            payload["journal"] = scrubber.stats()
+            print(json.dumps(payload, indent=1, sort_keys=True))
+        else:
+            print(tick.format_summary())
+        unresolved = [u for u in tick.unrepaired if not u.get("resolved")]
+        for u in unresolved:
+            print(f"error: {u['segment']}: {u['reason']}", file=sys.stderr)
+        return 0 if tick.clean and not unresolved else 1
+
+    if args.shard_command == "replicate":
+        import json
+
+        from repro.shard import replicate_store
+
+        manifest = replicate_store(args.dir, args.replication)
+        if args.json:
+            print(json.dumps({
+                "path": args.dir,
+                "replication": manifest.get("replication", 1),
+                "revision": manifest.get("revision", 0),
+                "n_shards": manifest.get("n_shards"),
+            }, indent=1, sort_keys=True))
+        else:
+            print(f"{args.dir}: replication "
+                  f"{manifest.get('replication', 1)} "
+                  f"(revision {manifest.get('revision', 0)})")
+        return 0
 
     raise AssertionError(f"unhandled shard command {args.shard_command!r}")
 

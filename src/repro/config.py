@@ -125,6 +125,21 @@ class ShardConfig:
             holding the previous root manifest (pool workers one
             revision behind, sibling processes mid-query) keep
             resolving; older generations are garbage collected.
+        replication: replica copies (R) of every base/delta/compacted
+            segment the writers land (``shard-0003/r0``, ``r1``, …).
+            ``1`` keeps the legacy flat layout.  With R >= 2 the read
+            path fails over to a healthy peer replica on checksum
+            damage or open failure (exact answers, no degradation) and
+            the scrubber (:mod:`repro.shard.scrub`) rebuilds damaged
+            replicas from a token-verified peer.
+        scrub_bytes_per_tick: byte budget one scrubber tick spends
+            verifying column files before persisting its cursor and
+            yielding; bounds the I/O a background scrub steals from
+            query traffic.
+        damage_log_max_bytes: size cap on the quarantine damage-report
+            JSONL; when an append would exceed it the log rotates to a
+            single ``.1`` generation so repeated scrub→quarantine
+            cycles keep the newest evidence without unbounded growth.
     """
 
     n_workers: int | None = None
@@ -138,6 +153,9 @@ class ShardConfig:
     shard_max_retries: int = 2
     shard_failure_threshold: int = 3
     keep_generations: int = 1
+    replication: int = 1
+    scrub_bytes_per_tick: int = 32 * 1024 * 1024
+    damage_log_max_bytes: int = 256 * 1024
 
     def resolved_workers(self) -> int:
         """The effective worker count (``None`` -> ``min(4, cpus)``)."""

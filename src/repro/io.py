@@ -157,6 +157,29 @@ def append_jsonl(path: str, entries: "list[dict]",
             os.fsync(f.fileno())
 
 
+def rotate_jsonl(path: str, max_bytes: int | None) -> bool:
+    """Size-capped rotation for an append-only JSONL report.
+
+    When ``path`` has reached ``max_bytes`` it is renamed to
+    ``path + ".1"`` (replacing the previous rotated generation) so the
+    next append starts a fresh file: the newest evidence is always
+    intact and on disk, the previous generation survives one rotation,
+    and a pathological damage loop (scrub → quarantine → scrub …) can
+    never grow the report past ~2×``max_bytes``.  Returns True when a
+    rotation happened.  ``None`` or a non-positive cap disables it.
+    """
+    if not max_bytes or max_bytes <= 0:
+        return False
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        return False
+    if size < max_bytes:
+        return False
+    os.replace(path, path + ".1")
+    return True
+
+
 def read_jsonl(path: str, tolerate_torn_tail: bool = False) -> "list[dict]":
     """Read a JSONL file written by :func:`append_jsonl`.
 

@@ -308,12 +308,17 @@ class ShardFaultPlan:
             its length (torn-write damage; also a checksum mismatch).
         delete_manifests: shards whose ``manifest.json`` is deleted
             (format damage).
+        replica: on a replicated store (R >= 2), which replica index to
+            damage (all faults land in that replica's ``rK``
+            directory).  ``None`` targets the legacy flat layout —
+            required for R=1 stores, invalid for replicated ones.
     """
 
     seed: int = 0
     flip_bytes: int = 0
     truncate_segments: int = 0
     delete_manifests: int = 0
+    replica: int | None = None
 
 
 def apply_shard_faults(store_dir: str, plan: ShardFaultPlan) -> "list[dict]":
@@ -332,10 +337,29 @@ def apply_shard_faults(store_dir: str, plan: ShardFaultPlan) -> "list[dict]":
         COLUMNS,
         MANIFEST_NAME,
         read_store_manifest,
+        replica_dir_name,
     )
 
     manifest = read_store_manifest(store_dir)
     names = [entry["name"] for entry in manifest["shards"]]
+    replication = max(1, int(manifest.get("replication", 1)))
+    if replication > 1 and plan.replica is None:
+        raise SimulationError(
+            f"store has replication={replication}; the fault plan must "
+            f"name a replica index to damage"
+        )
+    if plan.replica is not None and not 0 <= plan.replica < replication:
+        raise SimulationError(
+            f"fault plan targets replica {plan.replica} but the store "
+            f"has replication={replication}"
+        )
+
+    def segment_dir(name: str) -> str:
+        if replication > 1:
+            return os.path.join(store_dir, name,
+                                replica_dir_name(plan.replica))
+        return os.path.join(store_dir, name)
+
     total = plan.flip_bytes + plan.truncate_segments + plan.delete_manifests
     if total > len(names):
         raise SimulationError(
@@ -350,7 +374,7 @@ def apply_shard_faults(store_dir: str, plan: ShardFaultPlan) -> "list[dict]":
         name = names[chosen[cursor]]
         cursor += 1
         column = rng.choice(COLUMNS)
-        path = os.path.join(store_dir, name, f"{column}.npy")
+        path = os.path.join(segment_dir(name), f"{column}.npy")
         offset = rng.randrange(os.path.getsize(path))
         with open(path, "rb+") as f:
             f.seek(offset)
@@ -358,20 +382,23 @@ def apply_shard_faults(store_dir: str, plan: ShardFaultPlan) -> "list[dict]":
             f.seek(offset)
             f.write(bytes([original[0] ^ 0xFF]))
         applied.append({"shard": name, "fault": "flip_byte",
-                        "column": column, "offset": offset})
+                        "column": column, "offset": offset,
+                        "replica": plan.replica})
     for _ in range(plan.truncate_segments):
         name = names[chosen[cursor]]
         cursor += 1
         column = rng.choice(COLUMNS)
-        path = os.path.join(store_dir, name, f"{column}.npy")
+        path = os.path.join(segment_dir(name), f"{column}.npy")
         size = os.path.getsize(path)
         with open(path, "rb+") as f:
             f.truncate(max(1, size // 2))
         applied.append({"shard": name, "fault": "truncate",
-                        "column": column, "offset": max(1, size // 2)})
+                        "column": column, "offset": max(1, size // 2),
+                        "replica": plan.replica})
     for _ in range(plan.delete_manifests):
         name = names[chosen[cursor]]
         cursor += 1
-        os.unlink(os.path.join(store_dir, name, MANIFEST_NAME))
-        applied.append({"shard": name, "fault": "delete_manifest"})
+        os.unlink(os.path.join(segment_dir(name), MANIFEST_NAME))
+        applied.append({"shard": name, "fault": "delete_manifest",
+                        "replica": plan.replica})
     return applied

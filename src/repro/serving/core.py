@@ -453,10 +453,11 @@ class RequestCore:
 
         503 while the worker is saturated (inflight at or beyond the
         high-water fraction of ``max_inflight``), draining, serving
-        without sources/shards, or too far behind on compaction (more
-        pending delta segments than ``max_pending_deltas``) — each
-        reason is listed so the operator can tell a drain from an
-        overload from an ingestion backlog.
+        without sources/shards, holding a replicated shard with zero
+        healthy replicas, or too far behind on compaction (more pending
+        delta segments than ``max_pending_deltas``) — each reason is
+        listed so the operator can tell a drain from an overload from
+        an ingestion backlog from exhausted redundancy.
         """
         reasons = []
         saturation = (
@@ -477,6 +478,20 @@ class RequestCore:
             self.workbench.degraded_sources.items()
         ):
             reasons.append(f"degraded {name}: {reason}")
+        # Zero-healthy-replica shards: on a replicated store, failover
+        # masks single-replica damage exactly, so readiness only trips
+        # when a shard has run out of replicas entirely.
+        replication_stats = getattr(
+            self.workbench.store, "replication_stats", None
+        )
+        if callable(replication_stats):
+            replication = replication_stats()
+            if replication.get("replication", 1) > 1:
+                for name in replication.get("zero_healthy_shards") or []:
+                    reasons.append(
+                        f"zero healthy replicas: {name} (run shard scrub "
+                        f"or shard repair)"
+                    )
         # Compaction lag (manifest metadata only — no query execution,
         # so readiness stays cheap and deadline-free).
         delta_stats = getattr(self.workbench.store, "delta_stats", None)

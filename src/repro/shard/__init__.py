@@ -25,7 +25,18 @@ the patient-id results.
   per-shard retry/circuit-breaking, pool rebuilds, serial fallback);
 * :mod:`repro.shard.repair` — offline ``fsck``/``repair``: re-verify
   every shard, salvage token-verified columns, rebuild damaged shards
-  from a flat snapshot or a sibling store's merged view.
+  from a flat snapshot or a sibling store's merged view;
+* :mod:`repro.shard.scrub` — replication maintenance:
+  :class:`Scrubber`, the incremental, byte-budgeted background
+  verifier with anti-entropy self-repair (a damaged replica is rebuilt
+  from a token-verified peer), and :func:`replicate_store`, the online
+  ``R=1 → R>=2`` re-replication of an existing store.
+
+With ``ShardConfig.replication >= 2`` every segment is stored as R
+byte-identical, token-verified replica directories (``shard-0003/r0``,
+``r1``, …); reads open the preferred replica and fail over to a peer
+mid-query on damage — exact answers, no degradation — and the scrubber
+heals the damaged copy in the background.
 
 Damaged shards follow :class:`repro.config.ShardConfig.on_damage`:
 the strict default raises on open; ``"quarantine"`` moves the damage
@@ -66,6 +77,12 @@ from repro.shard.repair import (
     fsck_store,
     repair_store,
 )
+from repro.shard.scrub import (
+    ScrubTick,
+    Scrubber,
+    replicate_store,
+    scrub_stats,
+)
 from repro.shard.store import (
     QueryDegradation,
     ShardedEventStore,
@@ -84,6 +101,8 @@ __all__ = [
     "RepairAction",
     "RepairReport",
     "SHARD_FORMAT_VERSION",
+    "ScrubTick",
+    "Scrubber",
     "ShardHealth",
     "ShardedEventStore",
     "ShardedStoreWriter",
@@ -93,7 +112,9 @@ __all__ = [
     "pending_delta_stats",
     "read_store_manifest",
     "repair_store",
+    "replicate_store",
     "resolve_segments",
+    "scrub_stats",
     "subset_store",
     "verify_segment",
     "write_sharded_store",

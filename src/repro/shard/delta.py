@@ -48,9 +48,9 @@ from repro.config import ShardConfig
 from repro.errors import EventModelError, ShardFormatError
 from repro.events.store import EventStore, default_systems
 from repro.shard.format import (
-    open_segment,
+    open_segment_any,
     read_store_manifest,
-    write_segment,
+    write_replicated_segment,
     write_store_manifest,
 )
 from repro.shard.writer import (
@@ -324,6 +324,7 @@ class DeltaWriter:
             )
 
         entries = [dict(entry) for entry in manifest["shards"]]
+        replication = max(1, int(manifest.get("replication", 1)))
         if manifest["partition"] == "hash":
             assignment = hash_shard_of(batch.patient_ids, len(entries))
         else:
@@ -344,8 +345,9 @@ class DeltaWriter:
             _clean_orphan_deltas(shard_dir, {d["name"] for d in deltas})
             piece = subset_store(batch, pids)
             name = delta_dir_name(len(deltas))
-            seg = write_segment(
-                piece, os.path.join(shard_dir, name), index, durable=True
+            seg = write_replicated_segment(
+                piece, os.path.join(shard_dir, name), index,
+                replication=replication, durable=True,
             )
             deltas.append({
                 "name": name,
@@ -386,6 +388,7 @@ class DeltaWriter:
             + int(batch.n_events),
             shard_entries=entries,
             revision=int(manifest.get("revision", 0)) + 1,
+            replication=replication,
             durable=True,
         )
 
@@ -473,6 +476,7 @@ class Compactor:
         manifest = read_store_manifest(self.path)
         systems = default_systems()
         entries = [dict(entry) for entry in manifest["shards"]]
+        replication = max(1, int(manifest.get("replication", 1)))
         actions: list[CompactionAction] = []
         changed = False
         for index, entry in enumerate(entries):
@@ -495,10 +499,13 @@ class Compactor:
                 "verify_checksums": True,
                 "mmap": self.config.mmap,
             }
-            base = open_segment(shard_dir, **open_kwargs)
+            # Compaction reads through the replica failover too: one
+            # damaged replica never blocks folding the deltas in.
+            __, base = open_segment_any(shard_dir, replication,
+                                        **open_kwargs)
             delta_stores = [
-                open_segment(os.path.join(shard_dir, d["name"]),
-                             **open_kwargs)
+                open_segment_any(os.path.join(shard_dir, d["name"]),
+                                 replication, **open_kwargs)[1]
                 for d in deltas
             ]
             merged = resolve_segments(base, delta_stores)
@@ -510,7 +517,7 @@ class Compactor:
                 # generation behind; no manifest points at it.
                 shutil.rmtree(stranded)
             seg = _install_segment(self.path, new_name, index, merged,
-                                   durable=True)
+                                   durable=True, replication=replication)
             entry.update({
                 "name": new_name,
                 "generation": generation,
@@ -552,6 +559,7 @@ class Compactor:
                 ),
                 shard_entries=entries,
                 revision=revision,
+                replication=replication,
                 durable=True,
             )
             removed = tuple(self._collect_garbage(entries))

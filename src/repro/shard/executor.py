@@ -76,7 +76,7 @@ _DEFINITE_DAMAGE = (ShardChecksumError, ShardFormatError)
 
 
 def _eval_shard(path: str, index: int, expr, optimize: bool,
-                verify_checksums: bool, revision: int = 0) -> np.ndarray:
+                verify_checksums: bool, revision: int = 0):
     """Worker entry point: evaluate one query on one shard.
 
     ``revision`` is the parent's view of the store's root-manifest
@@ -88,6 +88,11 @@ def _eval_shard(path: str, index: int, expr, optimize: bool,
     worker one revision behind still resolves; further behind, the
     failure surfaces as an ordinary shard error and the parent's
     recovery path re-evaluates serially against its own manifest.
+
+    Returns ``(patient_ids, replica_failovers)`` — the second element
+    is how many replica failovers the worker's store performed for this
+    call, so the parent can aggregate failovers that would otherwise be
+    invisible inside worker processes.
     """
     from repro.resilience.faults import claim_worker_kill  # noqa: PLC0415
     from repro.shard.store import ShardedEventStore  # noqa: PLC0415 (cycle)
@@ -102,9 +107,11 @@ def _eval_shard(path: str, index: int, expr, optimize: bool,
             path, config=ShardConfig(verify_checksums=verify_checksums)
         )
         _WORKER_STORES[path] = sharded
+    before = sharded.counters.get("replica_failovers", 0)
     engine = QueryEngine(sharded.shard(index), optimize=optimize,
                          cache=_WORKER_CACHE)
-    return np.asarray(engine.patients(expr))
+    ids = np.asarray(engine.patients(expr))
+    return ids, sharded.counters.get("replica_failovers", 0) - before
 
 
 def _masked_shard_sketch(sharded, index: int, expr, optimize: bool, cache):
@@ -130,10 +137,11 @@ def _sketch_shard(path: str, index: int, expr, optimize: bool,
                   verify_checksums: bool, revision: int = 0):
     """Worker entry point: sketch one shard's (masked) cohort.
 
-    Same worker-store cache and revision handshake as
-    :func:`_eval_shard`; the returned :class:`CohortSketch` is a plain
-    bundle of numpy arrays, so it pickles back to the parent cheaply
-    (kilobytes, independent of shard row count).
+    Same worker-store cache, revision handshake and
+    ``(result, replica_failovers)`` return shape as :func:`_eval_shard`;
+    the :class:`CohortSketch` is a plain bundle of numpy arrays, so it
+    pickles back to the parent cheaply (kilobytes, independent of shard
+    row count).
     """
     from repro.resilience.faults import claim_worker_kill  # noqa: PLC0415
     from repro.shard.store import ShardedEventStore  # noqa: PLC0415 (cycle)
@@ -148,8 +156,10 @@ def _sketch_shard(path: str, index: int, expr, optimize: bool,
             path, config=ShardConfig(verify_checksums=verify_checksums)
         )
         _WORKER_STORES[path] = sharded
-    return _masked_shard_sketch(sharded, index, expr, optimize,
-                                _WORKER_CACHE)
+    before = sharded.counters.get("replica_failovers", 0)
+    sketch = _masked_shard_sketch(sharded, index, expr, optimize,
+                                  _WORKER_CACHE)
+    return sketch, sharded.counters.get("replica_failovers", 0) - before
 
 
 def _merge_patient_results(parts: list[np.ndarray]) -> np.ndarray:
@@ -199,6 +209,8 @@ class ParallelExecutor:
         self.shard_retries = 0
         self.query_time_quarantines = 0
         self.shards_scanned = 0
+        self.replica_failovers = 0  # failovers observed in worker processes
+        self.replica_advances = 0   # recovery-ladder preference rotations
 
     # -- execution -----------------------------------------------------------
 
@@ -330,7 +342,8 @@ class ParallelExecutor:
                                             shared)
 
             try:
-                part = future.result(timeout=timeout)
+                part, failed_over = future.result(timeout=timeout)
+                self.replica_failovers += int(failed_over)
                 self._breaker(sharded, index).record_success()
             except (BrokenProcessPool, PicklingError):
                 raise  # pool-level failure: the caller rebuilds/falls back
@@ -419,7 +432,9 @@ class ParallelExecutor:
                 timeout = (remaining if timeout is None
                            else min(timeout, remaining))
             try:
-                part = np.asarray(future.result(timeout=timeout))
+                part, failed_over = future.result(timeout=timeout)
+                part = np.asarray(part)
+                self.replica_failovers += int(failed_over)
                 self._breaker(sharded, index).record_success()
             except (BrokenProcessPool, PicklingError):
                 raise  # pool-level failure: the caller rebuilds/falls back
@@ -472,11 +487,21 @@ class ParallelExecutor:
         default ``on_damage="fail"``.  A spent request ``deadline``
         aborts the retry schedule immediately — recovery must not spend
         wall clock the request no longer has.
+
+        On a replicated store, a *transient* failure (timeout, open
+        error) first rotates the shard's preferred replica — a worker
+        stuck on one copy's bad disk retries against a peer rather than
+        the same bytes.  Definite damage skips the rotation: the open
+        path already tried every replica before raising, so the shard
+        has zero healthy copies.
         """
         breaker = self._breaker(sharded, index)
         breaker.record_failure(str(exc))
         definite = isinstance(exc, _DEFINITE_DAMAGE)
         if not definite:
+            advance = getattr(sharded, "advance_replica", None)
+            if callable(advance) and advance(index):
+                self.replica_advances += 1
             for attempt in range(self._retry_policy.max_retries):
                 self._check_request_deadline(deadline)
                 self.shard_retries += 1
@@ -574,6 +599,8 @@ class ParallelExecutor:
             "query_time_quarantines": self.query_time_quarantines,
             "open_breakers": self.open_breakers(),
             "shards_scanned": self.shards_scanned,
+            "replica_failovers": self.replica_failovers,
+            "replica_advances": self.replica_advances,
         }
 
     def __repr__(self) -> str:

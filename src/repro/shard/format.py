@@ -22,9 +22,24 @@ shard: the writer never re-interns per shard, so per-shard integer
 columns all decode through one table and concatenation across shards
 stays valid.
 
+With :attr:`~repro.config.ShardConfig.replication` R >= 2 the segment
+directory instead holds R byte-identical *replica* subdirectories, each
+a complete copy of the layout above::
+
+    shard-0003/
+      r0/  manifest.json patient.npy ... sketch.npz
+      r1/  manifest.json patient.npy ... sketch.npz
+
+Replicas share one ``content_token`` (they are the same bytes), so the
+root manifest records a single entry per shard plus the store-wide
+``replication`` count; :func:`replica_paths` maps a segment directory
+to its replica directories (the legacy flat layout is the R=1 case).
+
 Every file is written to a temporary name in the same directory and
-``os.replace``d into place, so a crash mid-write can leave stray
-temporaries but never a truncated column under its final name.
+``os.replace``d into place, then the directory entry is fsynced, so a
+crash mid-write can leave stray temporaries but never a truncated
+column under its final name — and a power cut after the replace cannot
+tear the rename back out of the directory.
 """
 
 from __future__ import annotations
@@ -32,6 +47,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import shutil
 import tempfile
 
 import numpy as np
@@ -43,13 +59,20 @@ from repro.resilience.faults import crashpoint
 __all__ = [
     "COLUMNS",
     "MANIFEST_NAME",
+    "REPLICA_ASIDE_PREFIX",
+    "REPLICA_TMP_PREFIX",
     "SHARD_FORMAT_VERSION",
     "atomic_replace",
     "checksum_file",
     "fsync_dir",
     "open_segment",
+    "open_segment_any",
     "read_store_manifest",
+    "replica_dir_name",
+    "replica_paths",
+    "replicate_segment_dir",
     "verify_segment",
+    "write_replicated_segment",
     "write_segment",
     "write_store_manifest",
 ]
@@ -79,6 +102,12 @@ def atomic_replace(path: str, write, durable: bool = False) -> None:
     ingestion path (delta append, compaction, manifest bump) uses this
     so a crash at *any* point leaves either the old file or the new
     one, provably, under the crash-matrix harness.
+
+    Without ``durable`` the file bytes are left to the OS writeback,
+    but the directory entry is still fsynced after the replace: a
+    rename that was observed (by fsck, a reader, or a subsequent
+    manifest commit) must not vanish on power loss, or a "repaired"
+    or freshly built segment could silently tear back to its old name.
     """
     directory = os.path.dirname(os.path.abspath(path))
     suffix = os.path.splitext(path)[1]
@@ -86,8 +115,8 @@ def atomic_replace(path: str, write, durable: bool = False) -> None:
     os.close(fd)
     try:
         write(tmp)
+        name = os.path.basename(path)
         if durable:
-            name = os.path.basename(path)
             fd = os.open(tmp, os.O_RDONLY)
             try:
                 os.fsync(fd)
@@ -99,6 +128,8 @@ def atomic_replace(path: str, write, durable: bool = False) -> None:
             fsync_dir(directory)
         else:
             os.replace(tmp, path)
+            crashpoint(f"replace:{name}")
+            fsync_dir(directory)
     finally:
         if os.path.exists(tmp):
             os.unlink(tmp)
@@ -281,6 +312,152 @@ def open_segment(
     return store
 
 
+# -- replicas ------------------------------------------------------------------
+
+#: Temporary directory prefix used while staging a replica copy, and the
+#: prefix a damaged replica is renamed to while the fresh copy replaces
+#: it.  Both are reported by fsck as orphans, never as damage.
+REPLICA_TMP_PREFIX = ".rep-"
+REPLICA_ASIDE_PREFIX = ".old-"
+
+
+def replica_dir_name(replica: int) -> str:
+    """Directory name of replica ``k`` inside a segment directory."""
+    return f"r{int(replica)}"
+
+
+def replica_paths(segment_dir: str, replication: int) -> list[str]:
+    """The replica directories of one segment.
+
+    R=1 is the legacy flat layout — the segment directory itself holds
+    the columns — so the list is just ``[segment_dir]``.  With R >= 2
+    every replica is listed whether or not it currently exists on disk
+    (a missing replica is damage for the scrubber to heal, not a reason
+    to shrink the set).
+    """
+    replication = max(1, int(replication))
+    if replication == 1:
+        return [segment_dir]
+    return [
+        os.path.join(segment_dir, replica_dir_name(k))
+        for k in range(replication)
+    ]
+
+
+def replicate_segment_dir(source: str, target: str, *,
+                          expected_token: str | None = None,
+                          durable: bool = False) -> dict:
+    """Install a byte-identical copy of segment ``source`` at ``target``.
+
+    The copy is token-verified twice: the source is re-hashed against
+    its manifest before any byte moves, and the staged copy is verified
+    again before it replaces ``target`` — a peer replica can never be
+    "repaired" from a silently corrupt source, and a torn copy can
+    never land under the final name.  An existing ``target`` (the
+    damaged replica being healed) is renamed aside and removed only
+    after the fresh copy is committed and the directory entry fsynced;
+    every rename boundary is a :func:`crashpoint`, so the crash matrix
+    proves a kill anywhere leaves the segment readable from a peer.
+    """
+    manifest = verify_segment(source)
+    token = manifest.get("content_token")
+    if expected_token is not None and token != expected_token:
+        raise ShardChecksumError(
+            os.path.basename(source), "content_token", expected_token,
+            str(token),
+        )
+    parent = os.path.dirname(os.path.abspath(target))
+    base = os.path.basename(target)
+    os.makedirs(parent, exist_ok=True)
+    tmp = os.path.join(parent, f"{REPLICA_TMP_PREFIX}{base}")
+    aside = os.path.join(parent, f"{REPLICA_ASIDE_PREFIX}{base}")
+    for stale in (tmp, aside):
+        if os.path.isdir(stale):
+            shutil.rmtree(stale)
+    os.makedirs(tmp)
+    try:
+        for entry in sorted(os.listdir(source)):
+            if entry.startswith("."):
+                continue  # stray temporaries never propagate
+            src_path = os.path.join(source, entry)
+            if not os.path.isfile(src_path):
+                continue  # nested delta dirs replicate on their own
+            dst_path = os.path.join(tmp, entry)
+            shutil.copyfile(src_path, dst_path)
+            if durable:
+                fd = os.open(dst_path, os.O_RDONLY)
+                try:
+                    os.fsync(fd)
+                finally:
+                    os.close(fd)
+        verify_segment(tmp)
+        if durable:
+            fsync_dir(tmp)
+        crashpoint(f"fsync:{base}")
+        if os.path.isdir(target):
+            os.replace(target, aside)
+            crashpoint(f"replace:{base}")
+        os.replace(tmp, target)
+        crashpoint(f"installed:{base}")
+        fsync_dir(parent)
+    finally:
+        if os.path.isdir(tmp):
+            shutil.rmtree(tmp)
+    if os.path.isdir(aside):
+        shutil.rmtree(aside)
+        fsync_dir(parent)
+    return manifest
+
+
+def write_replicated_segment(store: EventStore, directory: str, index: int,
+                             replication: int = 1,
+                             durable: bool = False) -> dict:
+    """Write one segment as R token-verified replica copies.
+
+    Replica 0 is written from the rows (columns, sketch sidecar,
+    manifest); peers are byte copies of it, verified against the same
+    ``content_token``.  R=1 degenerates to :func:`write_segment` in the
+    legacy flat layout.  Returns the (shared) segment manifest.
+    """
+    replication = max(1, int(replication))
+    if replication == 1:
+        return write_segment(store, directory, index, durable=durable)
+    os.makedirs(directory, exist_ok=True)
+    primary = os.path.join(directory, replica_dir_name(0))
+    manifest = write_segment(store, primary, index, durable=durable)
+    for k in range(1, replication):
+        replicate_segment_dir(
+            primary, os.path.join(directory, replica_dir_name(k)),
+            expected_token=manifest.get("content_token"), durable=durable,
+        )
+    return manifest
+
+
+def open_segment_any(segment_dir: str, replication: int,
+                     start: int = 0, on_failover=None, **open_kwargs):
+    """Open whichever replica of a segment is healthy.
+
+    Tries replicas in rotation starting at ``start`` (the caller's
+    preferred replica); on checksum damage, format damage, or an OS
+    open failure it calls ``on_failover(replica_index, exc)`` and moves
+    to the next peer.  Raises the last error only when *every* replica
+    is unreadable — the zero-healthy-replica state that quarantine and
+    ``/readyz`` report.
+    """
+    paths = replica_paths(segment_dir, replication)
+    order = [(start + i) % len(paths) for i in range(len(paths))]
+    last: Exception | None = None
+    for k in order:
+        try:
+            return k, open_segment(paths[k], **open_kwargs)
+        except (ShardChecksumError, ShardFormatError, OSError) as exc:
+            last = exc
+            if on_failover is not None:
+                on_failover(k, exc)
+    assert last is not None
+    raise last
+
+
 # -- store-level manifest ------------------------------------------------------
 
 
@@ -297,14 +474,17 @@ def write_store_manifest(
     total_events: int,
     shard_entries: list[dict],
     revision: int = 0,
+    replication: int = 1,
     durable: bool = False,
 ) -> dict:
     """Write the root manifest tying the shards into one logical store.
 
     ``revision`` is a monotonic counter bumped by every delta append and
     compaction — worker processes compare it against their cached store
-    to notice that a path's manifest moved under them.  ``durable``
-    fsyncs the manifest write (the commit point of append/compact).
+    to notice that a path's manifest moved under them.  ``replication``
+    records how many replica copies every segment carries (1 = legacy
+    flat layout).  ``durable`` fsyncs the manifest write (the commit
+    point of append/compact).
     """
     manifest = {
         "format_version": SHARD_FORMAT_VERSION,
@@ -312,6 +492,7 @@ def write_store_manifest(
         "partition": partition,
         "n_shards": len(shard_entries),
         "revision": int(revision),
+        "replication": max(1, int(replication)),
         "system_names": list(system_names),
         "system_sizes": [int(s) for s in system_sizes],
         "categories": list(categories),

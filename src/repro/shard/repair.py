@@ -10,13 +10,15 @@ keeps a damaged store *serving*; this module is how an operator makes it
   ``quarantined``).
 * :func:`repair_store` restores damaged shards, cheapest evidence first:
 
-  1. **Salvage**: if the shard's column files (in place, or in a
-     ``quarantine/`` copy) still load and the rebuilt content hashes to
-     the *root manifest's* recorded ``content_token``, the segment is
-     rewritten from those columns.  The token check is what makes this
-     safe — a manifest deleted by accident salvages cleanly, while a
-     flipped data byte changes the token and is refused, so corruption
-     is never laundered into a "repaired" shard.
+  1. **Salvage**: if the shard's column files (a surviving peer replica
+     in place, or a ``quarantine/`` copy) still load and the rebuilt
+     content hashes to the *root manifest's* recorded
+     ``content_token``, the segment is rewritten from those columns.
+     The token check is what makes this safe — a manifest deleted by
+     accident salvages cleanly, while a flipped data byte changes the
+     token and is refused, so corruption is never laundered into a
+     "repaired" shard.  On a replicated store, in-place peer replicas
+     are tried *before* quarantine copies or a ``--from`` source.
   2. **Rebuild**: with a repair ``source`` (the flat ``.npz`` the store
      was sharded from, or a sibling sharded store's merged view), the
      shard's patients are re-derived from the partition scheme and the
@@ -45,12 +47,15 @@ from repro.shard.delta import COMPACT_TMP_PREFIX, DELTA_PREFIX
 from repro.shard.format import (
     COLUMNS,
     MANIFEST_NAME,
+    REPLICA_ASIDE_PREFIX,
+    REPLICA_TMP_PREFIX,
     SHARD_FORMAT_VERSION,
     checksum_file,
     fsync_dir,
     read_store_manifest,
+    replica_paths,
     verify_segment,
-    write_segment,
+    write_replicated_segment,
     write_store_manifest,
 )
 from repro.shard.store import DAMAGE_LOG_NAME, QUARANTINE_DIR
@@ -75,6 +80,12 @@ class ShardHealth:
     or column files missing), ``missing`` (the shard directory is gone)
     or ``quarantined`` (gone from the serving set, but a copy sits in
     ``quarantine/``).
+
+    On a replicated store ``replicas`` carries one record per replica
+    of the base segment — and the shard is only ``ok`` when *every*
+    replica is, so "serving fine off one healthy replica" still shows
+    as damage that the scrubber (or ``shard scrub``) must heal before
+    the store is fsck-clean again.
     """
 
     name: str
@@ -82,6 +93,7 @@ class ShardHealth:
     status: str
     detail: str = ""
     bad_columns: tuple[str, ...] = ()
+    replicas: tuple[dict, ...] = ()
 
     def to_json(self) -> dict:
         return {
@@ -90,6 +102,7 @@ class ShardHealth:
             "status": self.status,
             "detail": self.detail,
             "bad_columns": list(self.bad_columns),
+            "replicas": [dict(r) for r in self.replicas],
         }
 
 
@@ -264,51 +277,103 @@ def _check_segment(directory: str) -> tuple[str, str, tuple[str, ...]]:
     return "ok", "", ()
 
 
-def _check_deltas(directory: str, entry: dict) -> tuple[str, str,
-                                                        tuple[str, ...]]:
-    """(status, detail, bad_columns) over a shard's referenced deltas.
+def _check_segment_replicated(
+    segment_dir: str, replication: int, expected_token: str | None = None,
+) -> tuple[str, str, tuple[str, ...], list[dict]]:
+    """Aggregate (status, detail, bad_columns, replica_records) over
+    every replica of one segment directory.
+
+    The aggregate is ``ok`` only when *every* replica verifies — a
+    store serving correctly off one surviving replica is still damaged
+    until the scrubber (or repair) restores its peers.  When
+    ``expected_token`` is given, an otherwise-healthy replica whose own
+    manifest records a different ``content_token`` is flagged too: a
+    stale replica from an older write self-agrees but is still wrong.
+    """
+    records: list[dict] = []
+    status = "ok"
+    details: list[str] = []
+    bad: list[str] = []
+    for replica in replica_paths(segment_dir, replication):
+        rname = os.path.relpath(replica, segment_dir)
+        if not os.path.isdir(replica):
+            r_status, r_detail, r_bad = (
+                "missing", "replica directory is gone", ())
+        else:
+            r_status, r_detail, r_bad = _check_segment(replica)
+            if r_status == "ok" and expected_token is not None:
+                with open(os.path.join(replica, MANIFEST_NAME),
+                          encoding="utf-8") as f:
+                    recorded = json.load(f).get("content_token")
+                if recorded != expected_token:
+                    r_status = "checksum"
+                    r_detail = ("content token drifted from the root "
+                                "manifest")
+        records.append({
+            "replica": rname,
+            "status": r_status,
+            "detail": r_detail,
+            "bad_columns": list(r_bad),
+        })
+        if r_status != "ok":
+            if status == "ok":
+                status = r_status
+            details.append(r_detail if rname == "."
+                           else f"{rname}: {r_detail}")
+            bad.extend(c if rname == "." else f"{rname}/{c}"
+                       for c in r_bad)
+    return status, "; ".join(details), tuple(bad), records
+
+
+def _check_deltas(
+    directory: str, entry: dict, replication: int,
+) -> tuple[str, str, tuple[str, ...], list[dict]]:
+    """(status, detail, bad_columns, replica_records) over a shard's
+    referenced deltas.
 
     Delta segments share the base segment format, so each one gets the
-    same all-columns check, with findings prefixed by the delta name;
+    same all-replica check, with findings prefixed by the delta name;
     a delta whose rebuilt content no longer hashes to the root
     manifest's recorded token is damage even when its own (also
     corrupted or stale) manifest self-agrees.
     """
     bad: list[str] = []
     details: list[str] = []
+    records: list[dict] = []
     status = "ok"
     for delta in entry.get("deltas") or []:
         delta_dir = os.path.join(directory, delta["name"])
         if not os.path.isdir(delta_dir):
             return ("format",
-                    f"{delta['name']}: delta directory is gone", ())
-        d_status, d_detail, d_bad = _check_segment(delta_dir)
+                    f"{delta['name']}: delta directory is gone", (),
+                    records)
+        d_status, d_detail, d_bad, d_records = _check_segment_replicated(
+            delta_dir, replication, expected_token=delta["content_token"],
+        )
+        records.extend({"segment": delta["name"], **r} for r in d_records)
         if d_status != "ok":
             status = d_status if status == "ok" else status
             details.append(f"{delta['name']}: {d_detail}")
             bad.extend(f"{delta['name']}/{c}" for c in d_bad)
-            continue
-        with open(os.path.join(delta_dir, MANIFEST_NAME),
-                  encoding="utf-8") as f:
-            recorded = json.load(f).get("content_token")
-        if recorded != delta["content_token"]:
-            status = "checksum" if status == "ok" else status
-            details.append(
-                f"{delta['name']}: content token drifted from the root "
-                f"manifest"
-            )
-    return status, "; ".join(details), tuple(bad)
+    return status, "; ".join(details), tuple(bad), records
 
 
 def _find_orphans(path: str, manifest: dict) -> tuple[str, ...]:
-    """Directories under the store no manifest entry references."""
+    """Directories under the store no manifest entry references.
+
+    Replica-aware: ``.rep-*`` staging and ``.old-*`` aside directories
+    left inside a segment by a crashed replication or scrub repair are
+    strandings too — unreachable (readers only follow ``rK`` names),
+    reported for hygiene, reclaimed by the next repair of the segment.
+    """
     referenced = {entry["name"] for entry in manifest["shards"]}
     orphans: list[str] = []
     for item in sorted(os.listdir(path)):
         full = os.path.join(path, item)
         if not os.path.isdir(full) or item == QUARANTINE_DIR:
             continue
-        if item.startswith((".repair-", COMPACT_TMP_PREFIX)):
+        if item.startswith((".repair-", COMPACT_TMP_PREFIX,
+                            REPLICA_TMP_PREFIX, REPLICA_ASIDE_PREFIX)):
             orphans.append(item)
         elif item.startswith("shard-") and item not in referenced:
             orphans.append(item)
@@ -318,9 +383,21 @@ def _find_orphans(path: str, manifest: dict) -> tuple[str, ...]:
             continue
         known = {d["name"] for d in entry.get("deltas") or []}
         for item in sorted(os.listdir(directory)):
-            if item.startswith(DELTA_PREFIX) and item not in known \
-                    and os.path.isdir(os.path.join(directory, item)):
+            if not os.path.isdir(os.path.join(directory, item)):
+                continue
+            if item.startswith((REPLICA_TMP_PREFIX, REPLICA_ASIDE_PREFIX)):
                 orphans.append(f"{entry['name']}/{item}")
+            elif item.startswith(DELTA_PREFIX) and item not in known:
+                orphans.append(f"{entry['name']}/{item}")
+        for delta_name in sorted(known):
+            delta_dir = os.path.join(directory, delta_name)
+            if not os.path.isdir(delta_dir):
+                continue
+            for item in sorted(os.listdir(delta_dir)):
+                if item.startswith((REPLICA_TMP_PREFIX,
+                                    REPLICA_ASIDE_PREFIX)) \
+                        and os.path.isdir(os.path.join(delta_dir, item)):
+                    orphans.append(f"{entry['name']}/{delta_name}/{item}")
     return tuple(orphans)
 
 
@@ -330,9 +407,13 @@ def fsck_store(path: str) -> FsckReport:
     Delta-aware: each shard's pending delta segments are checked with
     the same rigor as its base segment, and unreferenced directories
     (crash strandings, superseded generations) are reported as orphans
-    without failing the store.
+    without failing the store.  Replica-aware: on a replicated store
+    every replica of every segment is verified and reported, and one
+    damaged replica makes the shard unclean even while its peers keep
+    the shard serving exactly.
     """
     manifest = read_store_manifest(path)
+    replication = max(1, int(manifest.get("replication", 1)))
     quarantine_dir = os.path.join(path, QUARANTINE_DIR)
     damage_by_name = {
         entry.get("name"): entry
@@ -355,22 +436,36 @@ def fsck_store(path: str) -> FsckReport:
                     name, index, "missing", "shard directory is gone",
                 ))
             continue
-        status, detail, bad = _check_segment(directory)
+        status, detail, bad, base_records = _check_segment_replicated(
+            directory, replication, expected_token=entry["content_token"],
+        )
+        records = [{"segment": name, **r} for r in base_records]
         if status == "ok" and entry.get("deltas"):
-            status, detail, bad = _check_deltas(directory, entry)
-        shards.append(ShardHealth(name, index, status, detail, bad))
+            status, detail, bad, delta_records = _check_deltas(
+                directory, entry, replication)
+            records.extend(
+                {**r, "segment": f"{name}/{r['segment']}"}
+                for r in delta_records
+            )
+        shards.append(ShardHealth(
+            name, index, status, detail, bad,
+            replicas=tuple(records) if replication > 1 else (),
+        ))
     return FsckReport(path=path, shards=tuple(shards),
                       orphans=_find_orphans(path, manifest),
-                      sketch_issues=_check_sketches(path, manifest, shards))
+                      sketch_issues=_check_sketches(path, manifest, shards,
+                                                    replication))
 
 
-def _check_sketches(path: str, manifest: dict,
-                    shards: list[ShardHealth]) -> tuple[dict, ...]:
+def _check_sketches(path: str, manifest: dict, shards: list[ShardHealth],
+                    replication: int = 1) -> tuple[dict, ...]:
     """Non-ok sketch sidecars across healthy segments (incl. deltas).
 
     Only segments whose columns verified are checked — a damaged shard
     is reported by its own :class:`ShardHealth` entry, and its sidecar
-    gets rewritten anyway when the segment is repaired."""
+    gets rewritten anyway when the segment is repaired.  On a
+    replicated store every replica carries its own sidecar, so each is
+    checked (and labelled) separately."""
     from repro.sketch import sketch_sidecar_status  # noqa: PLC0415 (cycle)
 
     healthy = {s.index for s in shards if s.status == "ok"}
@@ -387,9 +482,17 @@ def _check_sketches(path: str, manifest: dict,
                 delta["content_token"],
             ))
         for segment_dir, label, token in targets:
-            status = sketch_sidecar_status(segment_dir, token)
-            if status != "ok":
-                issues.append({"segment": label, "status": status})
+            for replica in replica_paths(segment_dir, replication):
+                if not os.path.isdir(replica):
+                    continue
+                rname = os.path.relpath(replica, segment_dir)
+                status = sketch_sidecar_status(replica, token)
+                if status != "ok":
+                    issues.append({
+                        "segment": label if rname == "."
+                        else f"{label}/{rname}",
+                        "status": status,
+                    })
     return tuple(issues)
 
 
@@ -426,8 +529,10 @@ def _load_columns(directory: str) -> dict | None:
             # eager, not mapped: salvage re-hashes and rewrites these
             # bytes, so holding views into the damaged files is unsafe
             arrays[name] = np.load(path, mmap_mode=None)
-        except (OSError, ValueError):
-            return None
+        except Exception:  # lintkit: disable=LK002 — a corrupted .npy
+            return None    # header raises SyntaxError/TokenError, not
+            # just OSError, and any load failure means "not salvageable
+            # from this candidate"
     return arrays
 
 
@@ -448,8 +553,34 @@ def _columns_as_store(directory: str, manifest: dict) -> EventStore | None:
         return None  # columns load but are mutually inconsistent
 
 
+def _column_dirs(segment_dir: str, replication: int) -> list[str]:
+    """Existing directories that may hold one segment's column files.
+
+    On a replicated store that is each existing ``rK`` replica dir —
+    plus the segment dir itself when it carries a flat-layout manifest
+    (a quarantine copy taken before the store was re-replicated)."""
+    dirs = [d for d in replica_paths(segment_dir, replication)
+            if os.path.isdir(d)]
+    if replication > 1 \
+            and os.path.exists(os.path.join(segment_dir, MANIFEST_NAME)):
+        dirs.append(segment_dir)
+    return dirs
+
+
+def _salvage_delta(delta_dir: str, token: str, manifest: dict,
+                   replication: int) -> EventStore | None:
+    """Token-verified delta store from any replica of ``delta_dir``."""
+    for columns_dir in _column_dirs(delta_dir, replication):
+        delta_store = _columns_as_store(columns_dir, manifest)
+        if delta_store is not None \
+                and delta_store.content_token() == token:
+            return delta_store
+    return None
+
+
 def _try_salvage(
-    directory: str, entry: dict, manifest: dict
+    container: str, columns_dir: str, entry: dict, manifest: dict,
+    replication: int,
 ) -> tuple[EventStore, list[tuple[str, str]]] | None:
     """Rebuild a shard store from a directory's raw columns — but only
     when the result hashes to the root manifest's recorded
@@ -458,33 +589,48 @@ def _try_salvage(
     store was written with; anything else (a flipped data byte, stale
     columns from an older write) is refused.
 
-    Returns the base store plus a (name, store) per referenced delta
-    segment, each token-verified the same way — a shard with pending
+    ``columns_dir`` holds the base segment's column files (a peer
+    replica on a replicated store); ``container`` is where the shard's
+    delta directories sit.  Returns the base store plus a (name, store)
+    per referenced delta segment, each token-verified the same way and
+    each free to come from *any* healthy replica — a shard with pending
     deltas only salvages when *all* of its segments check out, so no
     delta event is silently dropped."""
-    store = _columns_as_store(directory, manifest)
+    store = _columns_as_store(columns_dir, manifest)
     if store is None or store.content_token() != entry["content_token"]:
         return None
     delta_segments: list[tuple[str, EventStore]] = []
     for delta in entry.get("deltas") or []:
-        delta_dir = os.path.join(directory, delta["name"])
-        delta_store = _columns_as_store(delta_dir, manifest)
-        if delta_store is None \
-                or delta_store.content_token() != delta["content_token"]:
+        delta_store = _salvage_delta(
+            os.path.join(container, delta["name"]),
+            delta["content_token"], manifest, replication,
+        )
+        if delta_store is None:
             return None
         delta_segments.append((delta["name"], delta_store))
     return store, delta_segments
 
 
-def _salvage_candidates(path: str, name: str) -> list[str]:
-    """Directories that might still hold the shard's true columns."""
-    candidates = [os.path.join(path, name)]
+def _salvage_candidates(path: str, name: str,
+                        replication: int) -> list[tuple[str, str]]:
+    """(container, columns_dir) pairs that might hold the shard's true
+    bytes.
+
+    The columns dir is where base column files live; the container is
+    where delta directories sit.  In-place peer replicas come first —
+    on a replicated store, healing from a surviving replica beats
+    reaching into ``quarantine/`` or asking for a ``--from`` source."""
+    containers = [os.path.join(path, name)]
     quarantine_dir = os.path.join(path, QUARANTINE_DIR)
     if os.path.isdir(quarantine_dir):
         for item in sorted(os.listdir(quarantine_dir)):
             if item == name or item.startswith(name + "."):
-                candidates.append(os.path.join(quarantine_dir, item))
-    return [c for c in candidates if os.path.isdir(c)]
+                containers.append(os.path.join(quarantine_dir, item))
+    return [
+        (container, columns_dir)
+        for container in containers if os.path.isdir(container)
+        for columns_dir in _column_dirs(container, replication)
+    ]
 
 
 def _shard_subset(source: EventStore, manifest: dict, index: int,
@@ -533,28 +679,36 @@ def _install_segment(
     path: str, name: str, index: int, store: EventStore,
     durable: bool = False,
     delta_segments: list[tuple[str, EventStore]] | None = None,
+    replication: int = 1,
 ) -> dict:
     """Write ``store`` as the shard's new segment, atomically.
 
-    The rebuilt segment lands in a temporary sibling directory; any
-    existing (damaged) directory is preserved under ``quarantine/``
-    before the ``os.replace`` — repair never destroys evidence.
+    The rebuilt segment lands in a temporary sibling directory (with
+    ``replication`` complete replica copies, when the store is
+    replicated); any existing (damaged) directory is preserved under
+    ``quarantine/`` before the ``os.replace`` — repair never destroys
+    evidence.  Either way the install's replace is bracketed by crash
+    points and the containing directory is fsynced after it, so a kill
+    anywhere leaves the root manifest at exactly pre- or post-state.
 
-    ``durable`` fsyncs every write and marks the install's replace with
-    crash points (the compaction path).  ``delta_segments`` — pairs of
-    (delta name, delta store) — are rewritten inside the segment before
-    it is installed, so a salvage restores a shard *with* its pending
-    delta segments intact (and with freshly generated delta manifests,
-    even when only the delta's columns survived the damage).
+    ``durable`` additionally fsyncs every column write (the compaction
+    path).  ``delta_segments`` — pairs of (delta name, delta store) —
+    are rewritten inside the segment before it is installed, so a
+    salvage restores a shard *with* its pending delta segments intact
+    (and with freshly generated delta manifests, even when only the
+    delta's columns survived the damage).
     """
     tmp = os.path.join(path, f".repair-{name}")
     if os.path.isdir(tmp):
         shutil.rmtree(tmp)
     try:
-        write_segment(store, tmp, index, durable=durable)
+        write_replicated_segment(store, tmp, index,
+                                 replication=replication, durable=durable)
         for delta_name, delta_store in delta_segments or []:
-            write_segment(delta_store, os.path.join(tmp, delta_name), index,
-                          durable=durable)
+            write_replicated_segment(
+                delta_store, os.path.join(tmp, delta_name), index,
+                replication=replication, durable=durable,
+            )
         final = os.path.join(path, name)
         if os.path.isdir(final):
             quarantine_dir = os.path.join(path, QUARANTINE_DIR)
@@ -565,17 +719,17 @@ def _install_segment(
                 suffix += 1
                 aside = os.path.join(quarantine_dir, f"{name}.{suffix}")
             os.rename(final, aside)
-        if durable:
-            crashpoint(f"install:{name}")
-            os.replace(tmp, final)
-            crashpoint(f"installed:{name}")
-            fsync_dir(path)
-        else:
-            os.replace(tmp, final)
+            fsync_dir(quarantine_dir)
+        crashpoint(f"install:{name}")
+        os.replace(tmp, final)
+        crashpoint(f"installed:{name}")
+        fsync_dir(path)
     finally:
         if os.path.isdir(tmp):
             shutil.rmtree(tmp)
-    return verify_segment(os.path.join(path, name))
+    return verify_segment(
+        replica_paths(os.path.join(path, name), replication)[0]
+    )
 
 
 def repair_store(path: str, source=None) -> RepairReport:
@@ -591,6 +745,7 @@ def repair_store(path: str, source=None) -> RepairReport:
     The root manifest is rewritten with the repaired shard entries.
     """
     manifest = read_store_manifest(path)
+    replication = max(1, int(manifest.get("replication", 1)))
     report = fsck_store(path)
     source_store = _resolve_source(source)
     entries = [dict(entry) for entry in manifest["shards"]]
@@ -603,8 +758,10 @@ def repair_store(path: str, source=None) -> RepairReport:
             actions.append(RepairAction(name, index, "intact"))
             continue
         salvaged = None
-        for candidate in _salvage_candidates(path, name):
-            salvaged = _try_salvage(candidate, entry, manifest)
+        for container, columns_dir in _salvage_candidates(
+                path, name, replication):
+            salvaged = _try_salvage(container, columns_dir, entry,
+                                    manifest, replication)
             if salvaged is not None:
                 break
         new_deltas = list(entry.get("deltas") or [])
@@ -613,6 +770,7 @@ def repair_store(path: str, source=None) -> RepairReport:
             new_manifest = _install_segment(
                 path, name, index, base_store,
                 delta_segments=delta_segments,
+                replication=replication,
             )
             actions.append(RepairAction(
                 name, index, "salvaged",
@@ -622,7 +780,8 @@ def repair_store(path: str, source=None) -> RepairReport:
             ))
         elif source_store is not None:
             rebuilt = _shard_subset(source_store, manifest, index, entry)
-            new_manifest = _install_segment(path, name, index, rebuilt)
+            new_manifest = _install_segment(path, name, index, rebuilt,
+                                            replication=replication)
             # The repair source is the authority for the shard's whole
             # content: the rebuilt segment is effectively compacted, so
             # any pending deltas (whose events the source must already
@@ -678,6 +837,7 @@ def repair_store(path: str, source=None) -> RepairReport:
             ),
             shard_entries=entries,
             revision=int(manifest.get("revision", 0)) + 1,
+            replication=replication,
         )
     # Sketches are derived data: whatever segments survive (or were just
     # reinstalled) get current sidecars, so the next fsck is sketch-clean

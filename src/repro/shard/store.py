@@ -40,9 +40,15 @@ from repro.errors import (
     SketchError,
 )
 from repro.events.store import EventStore, default_systems
-from repro.io import append_jsonl, read_jsonl
+from repro.io import append_jsonl, read_jsonl, rotate_jsonl
 from repro.shard.delta import pending_delta_stats, resolve_segments
-from repro.shard.format import open_segment, read_store_manifest, verify_segment
+from repro.shard.format import (
+    fsync_dir,
+    open_segment_any,
+    read_store_manifest,
+    replica_paths,
+    verify_segment,
+)
 from repro.shard.writer import hash_shard_of
 from repro.sketch import (
     CohortSketch,
@@ -159,9 +165,17 @@ class ShardedEventStore:
             "sketch_sidecar_loads": 0,
             "sketch_rebuilds": 0,
             "sketch_delta_resketches": 0,
+            "replica_failovers": 0,
         }
         #: original shard index -> damage record (quarantined shards).
         self._quarantined: dict[int, dict] = {}
+        #: segment label -> replica index reads currently prefer; a
+        #: failover advances it so one damaged replica costs one failed
+        #: open, not one per query.  Survives ``refresh()``.
+        self._replica_pref: dict[str, int] = {}
+        #: segment label -> replica indices observed damaged (scrub and
+        #: ``/stats`` read this; the scrubber repairs and re-verifies).
+        self._replica_bad: dict[str, set[int]] = {}
         self._adopt_manifest(read_store_manifest(path))
         if self.config.on_damage == "quarantine":
             self._quarantine_damaged_on_open()
@@ -174,6 +188,7 @@ class ShardedEventStore:
         self.sources = list(manifest["sources"])
         self.details = list(manifest["details"])
         self.partition = manifest["partition"]
+        self.replication = max(1, int(manifest.get("replication", 1)))
         self.shard_entries = list(manifest["shards"])
         self._shards: dict[int, EventStore] = {}
         self._materialized: EventStore | None = None
@@ -278,9 +293,12 @@ class ShardedEventStore:
         The price of ``on_damage="quarantine"`` is one O(bytes) checksum
         pass over every shard at open — the guarantee bought is that a
         flipped byte in one segment degrades the store instead of making
-        it unopenable.  Shards already sitting in ``quarantine/`` (a
-        previous open, or a sibling worker process) are recognized by
-        the damage log without being moved again.
+        it unopenable.  With replication a shard is healthy as long as
+        *one* replica of every segment verifies (damaged peers are
+        noted for the scrubber); quarantine is reserved for the
+        zero-healthy-replica state.  Shards already sitting in
+        ``quarantine/`` (a previous open, or a sibling worker process)
+        are recognized by the damage log without being moved again.
         """
         known = {
             entry.get("name"): entry
@@ -303,11 +321,36 @@ class ShardedEventStore:
                     )
                 continue
             try:
-                verify_segment(directory)
+                self._verify_any_replica(directory, name)
                 for delta in entry.get("deltas") or []:
-                    verify_segment(os.path.join(directory, delta["name"]))
+                    self._verify_any_replica(
+                        os.path.join(directory, delta["name"]),
+                        f"{name}/{delta['name']}",
+                    )
             except (ShardChecksumError, ShardFormatError) as exc:
                 self.quarantine_shard(index, type(exc).__name__, str(exc))
+
+    def _verify_any_replica(self, segment_dir: str, label: str) -> None:
+        """Verify a segment, requiring at least one healthy replica.
+
+        Every replica is hashed (the damage map feeds the scrubber and
+        ``/stats``); only the zero-healthy case raises.
+        """
+        healthy = 0
+        last: Exception | None = None
+        for k, replica in enumerate(
+            replica_paths(segment_dir, self.replication)
+        ):
+            try:
+                verify_segment(replica)
+                healthy += 1
+                self._replica_bad.get(label, set()).discard(k)
+            except (ShardChecksumError, ShardFormatError) as exc:
+                last = exc
+                if self.replication > 1:
+                    self._replica_bad.setdefault(label, set()).add(k)
+        if not healthy and last is not None:
+            raise last
 
     def _damage_record(self, index: int, kind: str, reason: str) -> dict:
         entry = self.shard_entries[index]
@@ -345,6 +388,12 @@ class ShardedEventStore:
                 dst = os.path.join(self.quarantine_dir,
                                    f"{record['name']}.{suffix}")
             os.rename(src, dst)
+            # The rename must survive a power cut in *both* directory
+            # entries, or the segment could reappear half-quarantined.
+            fsync_dir(self.quarantine_dir)
+            fsync_dir(self.path)
+        rotate_jsonl(self.damage_log_path,
+                     self.config.damage_log_max_bytes)
         append_jsonl(self.damage_log_path, [record], fsync=True)
         self._quarantined[index] = record
         # Invalidate everything derived from the shard set.
@@ -394,14 +443,14 @@ class ShardedEventStore:
             raise ShardQuarantinedError(record["name"], record["reason"])
         store = self._shards.get(index)
         if store is None:
-            open_kwargs = self._open_kwargs()
-            store = open_segment(self.shard_dir(index), **open_kwargs)
+            name = self.shard_entries[index]["name"]
+            store = self._open_replica(self.shard_dir(index), name)
             deltas = self.shard_entries[index].get("deltas") or []
             if deltas:
                 delta_stores = [
-                    open_segment(
+                    self._open_replica(
                         os.path.join(self.shard_dir(index), delta["name"]),
-                        **open_kwargs,
+                        f"{name}/{delta['name']}",
                     )
                     for delta in deltas
                 ]
@@ -409,6 +458,71 @@ class ShardedEventStore:
                 store._content_token = self.shard_token(index)
             self._shards[index] = store
         return store
+
+    def _open_replica(self, segment_dir: str, label: str) -> EventStore:
+        """Open whichever replica of one segment is healthy.
+
+        Starts at the currently preferred replica and fails over to
+        peers on damage or open failure — counted, remembered (the next
+        open goes straight to the healthy peer), and exact: replicas
+        are byte-identical, so the answer never degrades.  Raises only
+        when zero replicas are readable.
+        """
+
+        def note(replica: int, exc: Exception) -> None:
+            self.counters["replica_failovers"] += 1
+            if self.replication > 1:
+                self._replica_bad.setdefault(label, set()).add(replica)
+
+        chosen, store = open_segment_any(
+            segment_dir, self.replication,
+            start=self._replica_pref.get(label, 0),
+            on_failover=note, **self._open_kwargs(),
+        )
+        self._replica_pref[label] = chosen
+        return store
+
+    def replica_dir(self, segment_dir: str, label: str) -> str:
+        """The replica directory reads of this segment currently prefer."""
+        paths = replica_paths(segment_dir, self.replication)
+        return paths[self._replica_pref.get(label, 0) % len(paths)]
+
+    def advance_replica(self, index: int) -> bool:
+        """Rotate shard ``index``'s reads to the next peer replica.
+
+        The executor's recovery ladder calls this on a timeout or an
+        opening circuit breaker so a slow or flaky replica is steered
+        away from before retries give up.  Returns False for R=1.
+        """
+        if self.replication <= 1:
+            return False
+        entry = self.shard_entries[index]
+        labels = [entry["name"]] + [
+            f"{entry['name']}/{delta['name']}"
+            for delta in entry.get("deltas") or []
+        ]
+        for label in labels:
+            self._replica_pref[label] = (
+                self._replica_pref.get(label, 0) + 1
+            ) % self.replication
+        self._shards.pop(index, None)
+        self.counters["replica_failovers"] += 1
+        return True
+
+    def replication_stats(self) -> dict:
+        """JSON-ready replication/failover health (``/stats`` payload)."""
+        return {
+            "replication": int(self.replication),
+            "replica_failovers": int(self.counters["replica_failovers"]),
+            "suspect_replicas": {
+                label: sorted(bad)
+                for label, bad in sorted(self._replica_bad.items()) if bad
+            },
+            "zero_healthy_shards": [
+                self._quarantined[i]["name"]
+                for i in sorted(self._quarantined)
+            ],
+        }
 
     def _open_kwargs(self) -> dict:
         return {
@@ -477,21 +591,29 @@ class ShardedEventStore:
 
     # -- cohort sketches -----------------------------------------------------
 
-    def _segment_sketch(self, directory: str, token: str) -> CohortSketch:
+    def _segment_sketch(self, segment_dir: str, label: str,
+                        token: str) -> CohortSketch:
         """A segment's sketch: sidecar if trustworthy, else rebuilt.
 
         A missing/stale/corrupt sidecar never degrades correctness —
-        the sketch is recomputed from the segment's rows (counted in
+        every replica's sidecar is tried (a sidecar is token-stamped,
+        so any replica's copy is equally trustworthy), then the sketch
+        is recomputed from the segment's rows (counted in
         ``sketch_rebuilds``; ``sketch build`` persists fresh sidecars).
         """
-        try:
-            sketch = load_sketch_sidecar(directory, token)
-            self.counters["sketch_sidecar_loads"] += 1
-            return sketch
-        except SketchError:
-            self.counters["sketch_rebuilds"] += 1
-            segment = open_segment(directory, **self._open_kwargs())
-            return build_sketch(segment)
+        paths = replica_paths(segment_dir, self.replication)
+        start = self._replica_pref.get(label, 0)
+        for offset in range(len(paths)):
+            replica = paths[(start + offset) % len(paths)]
+            try:
+                sketch = load_sketch_sidecar(replica, token)
+                self.counters["sketch_sidecar_loads"] += 1
+                return sketch
+            except SketchError:
+                continue
+        self.counters["sketch_rebuilds"] += 1
+        segment = self._open_replica(segment_dir, label)
+        return build_sketch(segment)
 
     def shard_sketch(self, index: int) -> CohortSketch:
         """The exact sketch of shard ``index``'s effective view.
@@ -511,20 +633,24 @@ class ShardedEventStore:
             return cached[1]
         entry = self.shard_entries[index]
         base_dir = self.shard_dir(index)
-        base_sketch = self._segment_sketch(base_dir, entry["content_token"])
+        base_sketch = self._segment_sketch(base_dir, entry["name"],
+                                           entry["content_token"])
         deltas = entry.get("deltas") or []
         if not deltas:
             sketch = base_sketch
         else:
-            open_kwargs = self._open_kwargs()
-            base_store = open_segment(base_dir, **open_kwargs)
+            base_store = self._open_replica(base_dir, entry["name"])
             delta_stores = []
             delta_sketches = []
             for delta in deltas:
                 delta_dir = os.path.join(base_dir, delta["name"])
-                delta_stores.append(open_segment(delta_dir, **open_kwargs))
+                delta_label = f"{entry['name']}/{delta['name']}"
+                delta_stores.append(
+                    self._open_replica(delta_dir, delta_label)
+                )
                 delta_sketches.append(
-                    self._segment_sketch(delta_dir, delta["content_token"])
+                    self._segment_sketch(delta_dir, delta_label,
+                                         delta["content_token"])
                 )
             self.counters["sketch_delta_resketches"] += 1
             sketch = effective_sketch(
@@ -565,14 +691,18 @@ class ShardedEventStore:
             health.append({
                 "segment": entry["name"],
                 "status": sketch_sidecar_status(
-                    base_dir, entry["content_token"]
+                    self.replica_dir(base_dir, entry["name"]),
+                    entry["content_token"],
                 ),
             })
             for delta in entry.get("deltas") or []:
+                label = f"{entry['name']}/{delta['name']}"
                 health.append({
-                    "segment": f"{entry['name']}/{delta['name']}",
+                    "segment": label,
                     "status": sketch_sidecar_status(
-                        os.path.join(base_dir, delta["name"]),
+                        self.replica_dir(
+                            os.path.join(base_dir, delta["name"]), label
+                        ),
                         delta["content_token"],
                     ),
                 })
@@ -587,7 +717,6 @@ class ShardedEventStore:
         by ``sketch build`` and by ``shard repair`` after salvage.
         """
         rebuilt: list[dict] = []
-        open_kwargs = self._open_kwargs()
         for index in self.active_indices():
             entry = self.shard_entries[index]
             base_dir = self.shard_dir(index)
@@ -599,14 +728,28 @@ class ShardedEventStore:
                     delta["content_token"],
                 ))
             for directory, label, token in targets:
-                status = sketch_sidecar_status(directory, token)
-                if status == "ok" and not force:
+                # Every *existing* replica gets a fresh sidecar (a
+                # damaged replica's columns are the scrubber's job);
+                # the rows are read once from a healthy replica.
+                stale = [
+                    (replica, sketch_sidecar_status(replica, token))
+                    for replica in replica_paths(directory, self.replication)
+                    if os.path.isdir(replica)
+                ]
+                if not force:
+                    stale = [(r, s) for r, s in stale if s != "ok"]
+                if not stale:
                     continue
-                segment = open_segment(directory, **open_kwargs)
-                write_sketch_sidecar(
-                    directory, build_sketch(segment), token, durable=durable
-                )
-                rebuilt.append({"segment": label, "status": status})
+                segment = self._open_replica(directory, label)
+                sketch = build_sketch(segment)
+                for replica, status in stale:
+                    write_sketch_sidecar(replica, sketch, token,
+                                         durable=durable)
+                    rebuilt.append({
+                        "segment": label if replica == directory else
+                        f"{label}/{os.path.basename(replica)}",
+                        "status": status,
+                    })
         if rebuilt:
             self._shard_sketches = {}
             self._store_sketch = None

@@ -29,7 +29,7 @@ from repro.config import ShardConfig
 from repro.errors import ShardFormatError
 from repro.events.store import EventStore
 from repro.events.store import merge_stores as _merge_pair
-from repro.shard.format import write_segment, write_store_manifest
+from repro.shard.format import write_replicated_segment, write_store_manifest
 
 __all__ = ["ShardedStoreWriter", "hash_shard_of", "shard_dir_name",
            "subset_store", "write_sharded_store"]
@@ -155,6 +155,7 @@ class ShardedStoreWriter:
         self.n_shards = int(n_shards if n_shards is not None
                             else self.config.default_shards)
         self.partition = partition or self.config.partition
+        self.replication = max(1, int(self.config.replication))
         if self.n_shards < 1:
             raise ShardFormatError(
                 out_dir, f"n_shards must be >= 1, got {self.n_shards}"
@@ -242,8 +243,9 @@ class ShardedStoreWriter:
                     mapping(details, shard.details),
                 )
             name = shard_dir_name(index)
-            manifest = write_segment(
-                shard, os.path.join(self.out_dir, name), index
+            manifest = write_replicated_segment(
+                shard, os.path.join(self.out_dir, name), index,
+                replication=self.replication,
             )
             entries.append({
                 "name": name,
@@ -267,6 +269,7 @@ class ShardedStoreWriter:
             total_patients=total_patients,
             total_events=total_events,
             shard_entries=entries,
+            replication=self.replication,
         )
 
     def write(self, store: EventStore) -> dict:

@@ -252,6 +252,13 @@ class Workbench:
             delta_stats = getattr(store, "delta_stats", None)
             if callable(delta_stats):
                 shards["ingestion"] = delta_stats()
+            replication_stats = getattr(store, "replication_stats", None)
+            if callable(replication_stats):
+                replication = replication_stats()
+                if replication.get("replication", 1) > 1:
+                    shards["replication"] = int(replication["replication"])
+                    shards["zero_healthy_replica_shards"] = list(
+                        replication.get("zero_healthy_shards") or [])
             payload["shards"] = shards
         return payload
 
@@ -325,6 +332,21 @@ class Workbench:
         sketch_stats = getattr(store, "sketch_stats", None)
         if callable(sketch_stats):
             payload["sketch"] = sketch_stats()
+        replication_stats = getattr(store, "replication_stats", None)
+        if callable(replication_stats):
+            replication = replication_stats()
+            executor = self.engine.executor
+            if executor is not None:
+                # serial-path failovers count in the store's counter;
+                # worker-process failovers only the executor sees
+                replication["replica_failovers"] = (
+                    int(replication.get("replica_failovers", 0))
+                    + int(executor.replica_failovers)
+                )
+            payload["replication"] = replication
+            from repro.shard.scrub import scrub_stats  # noqa: PLC0415
+
+            payload["scrub"] = scrub_stats(store.path)
         return payload
 
     def cohort(self, patient_ids: list[int] | np.ndarray) -> Cohort:

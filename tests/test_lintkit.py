@@ -239,6 +239,65 @@ def test_lk105_scoped_to_view_serving_code(tmp_path):
                              rel="tools/x.py")
 
 
+_BARE_SHARD_WRITE = (
+    "import os\n"
+    "def stash_blob(path, data):\n"
+    "    with open(path + '.tmp', 'wb') as f:\n"
+    "        f.write(data)\n"
+    "    os.rename(path + '.tmp', path)\n"
+)
+
+
+def test_lk106_bare_shard_write_flagged(tmp_path):
+    violations = _lint_snippet(
+        tmp_path, _BARE_SHARD_WRITE, rel="src/repro/shard/x.py"
+    )
+    assert _rules_hit(violations) == {"LK106"}
+    assert violations[0].line == 3
+    assert "atomic install path" in violations[0].message
+
+
+def test_lk106_install_helper_passes(tmp_path):
+    # Routing the bytes through an install helper satisfies the rule,
+    # even from a function whose name LK102 would not police.
+    assert not _lint_snippet(tmp_path, (
+        "def stash_blob(path, data):\n"
+        "    def write(tmp):\n"
+        "        with open(tmp, 'wb') as f:\n"
+        "            f.write(data)\n"
+        "    atomic_replace(path, write)\n"
+    ), rel="src/repro/shard/x.py")
+
+
+def test_lk106_replace_plus_fsync_passes(tmp_path):
+    assert not _lint_snippet(tmp_path, (
+        "import os\n"
+        "def stash_blob(path, data):\n"
+        "    with open(path + '.tmp', 'wb') as f:\n"
+        "        f.write(data)\n"
+        "    os.replace(path + '.tmp', path)\n"
+        "    fsync_dir(os.path.dirname(path))\n"
+    ), rel="src/repro/shard/x.py")
+
+
+def test_lk106_replace_without_fsync_flagged(tmp_path):
+    violations = _lint_snippet(tmp_path, (
+        "import os\n"
+        "def stash_blob(path, data):\n"
+        "    with open(path + '.tmp', 'wb') as f:\n"
+        "        f.write(data)\n"
+        "    os.replace(path + '.tmp', path)\n"
+    ), rel="src/repro/shard/x.py")
+    assert "LK106" in _rules_hit(violations)
+
+
+def test_lk106_scoped_to_shard_code(tmp_path):
+    assert not _lint_snippet(tmp_path, _BARE_SHARD_WRITE,
+                             rel="src/repro/viz/x.py")
+    assert not _lint_snippet(tmp_path, _BARE_SHARD_WRITE,
+                             rel="tools/x.py")
+
+
 # -- framework --------------------------------------------------------------
 
 
@@ -288,7 +347,7 @@ def test_rule_ids_unique_and_titled():
     assert len(ids) == len(set(ids))
     assert all(rule.title for rule in rules)
     assert {"LK001", "LK002", "LK003", "LK101", "LK102", "LK103",
-            "LK104", "LK105"} <= set(ids)
+            "LK104", "LK105", "LK106"} <= set(ids)
 
 
 # -- the real gate ----------------------------------------------------------

@@ -22,6 +22,14 @@ Reproducibility / durability rules:
   explicitly: mapped (``"r"``) and eager (``None``) loads have very
   different failure and memory profiles, so the choice must be visible
   at the call site.
+* **LK106** — *any* function in ``repro/shard/`` that writes bytes must
+  route them through the atomic install helpers (``atomic_replace``,
+  ``write_segment`` / ``write_replicated_segment``,
+  ``replicate_segment_dir``, ``_install_segment``, …) or use the full
+  stage-then-commit shape (``os.replace`` *plus* ``fsync_dir``).  A
+  bare ``open(..., "wb")`` + ``os.rename`` under a shard root can tear
+  on power loss and bypasses the checksum/crashpoint discipline the
+  replication and scrub machinery depend on.
 
 Serving rules:
 
@@ -63,6 +71,7 @@ __all__ = [
     "TaxonomyRootRule",
     "UnseededRngRule",
     "NonAtomicWriteRule",
+    "ShardBareWriteRule",
     "ImplicitMmapRule",
     "UndeadlinedHandlerRule",
     "UnguardedMaterializationRule",
@@ -273,6 +282,73 @@ class NonAtomicWriteRule(Rule):
                     f"crash mid-write corrupts the existing file",
                     hint="write to a temporary and os.replace it into "
                          "place (see repro.shard.format.atomic_replace)",
+                )
+
+
+@register
+class ShardBareWriteRule(Rule):
+    id = "LK106"
+    title = "shard-root writes must go through the atomic install path"
+
+    #: Helpers that already implement the stage → verify → replace →
+    #: fsync discipline (or delegate to one that does).  A function that
+    #: writes bytes *and* calls one of these is routing its output
+    #: through the install path.
+    _INSTALL_HELPERS = {
+        "atomic_replace", "_write_json",
+        "write_segment", "write_replicated_segment",
+        "write_store_manifest", "write_sketch_sidecar",
+        "replicate_segment_dir", "_install_segment",
+        "append_jsonl", "rotate_jsonl",
+    }
+
+    def applies_to(self, rel: Path) -> bool:
+        return rel.as_posix().startswith("src/repro/shard/")
+
+    def check(self, tree: ast.AST, rel: Path,
+              text: str) -> Iterator[Violation]:
+        detector = NonAtomicWriteRule()
+        defs = [
+            node for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        # A def nested inside another def is a write callback handed to
+        # an install helper (the ``atomic_replace(path, write)`` shape);
+        # judge its writes in the enclosing function's context, where
+        # the helper call is visible.
+        nested = {
+            id(inner)
+            for outer in defs
+            for inner in ast.walk(outer)
+            if inner is not outer
+            and isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for func in defs:
+            if id(func) in nested:
+                continue
+            writes = list(detector._writes(func))
+            if not writes:
+                continue
+            tails = {
+                _dotted(n.func).rsplit(".", 1)[-1]
+                for n in ast.walk(func) if isinstance(n, ast.Call)
+            }
+            if tails & self._INSTALL_HELPERS:
+                continue
+            dotted = {
+                _dotted(n.func) for n in ast.walk(func)
+                if isinstance(n, ast.Call)
+            }
+            if "os.replace" in dotted and "fsync_dir" in tails:
+                continue
+            for write in writes:
+                yield self.violation(
+                    rel, write.lineno,
+                    f"{func.name}() writes under a shard root outside "
+                    f"the atomic install path",
+                    hint="stage into a temporary and install it via "
+                         "atomic_replace / write_replicated_segment "
+                         "(os.replace + fsync_dir at minimum)",
                 )
 
 
