@@ -1,0 +1,96 @@
+"""Static-analysis gate cost (ISSUE 10).
+
+The dataflow rule family (LK201–LK204) builds per-function CFGs, a
+project call graph, and interprocedural summaries on every CI run, so
+its wall time is part of the developer loop.  This benchmark measures a
+*cold* full-repo pass (the cached :class:`~tools.lintkit.callgraph.Project`
+is dropped first) plus a cold dataflow-only pass over ``src/``, reports
+per-rule timings, and enforces the budget the gate was designed to:
+the dataflow pass over ``src/`` must finish within 30 seconds.
+
+Results are printed as a machine-readable ``BENCH {json}`` line.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from conftest import print_experiment
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT) not in sys.path:
+    sys.path.insert(0, str(ROOT))
+
+from tools.lintkit import all_rules, lint_paths
+from tools.lintkit.rules_dataflow import _PROJECT_CACHE
+
+#: Hard ceiling for the dataflow family over src/ (seconds).
+DATAFLOW_BUDGET_S = 30.0
+
+_DATAFLOW_IDS = {"LK201", "LK202", "LK203", "LK204"}
+
+
+def _drop_project_cache() -> None:
+    # Cold-start measurement: parsing + CFGs + summaries, not a dict hit.
+    _PROJECT_CACHE.clear()
+
+
+def test_lintkit_gate_wall_time():
+    _drop_project_cache()
+    timings: dict[str, float] = {}
+    start = time.perf_counter()
+    violations = lint_paths(
+        [ROOT / "src" / "repro", ROOT / "tools"], root=ROOT,
+        timings=timings,
+    )
+    full_wall = time.perf_counter() - start
+    assert not violations, "the repo must lint clean before timing means much"
+
+    _drop_project_cache()
+    dataflow_rules = [r for r in all_rules() if r.id in _DATAFLOW_IDS]
+    start = time.perf_counter()
+    lint_paths([ROOT / "src" / "repro"], rules=dataflow_rules, root=ROOT)
+    dataflow_wall = time.perf_counter() - start
+
+    per_rule_ms = {
+        rule_id: round(seconds * 1e3, 1)
+        for rule_id, seconds in sorted(timings.items())
+    }
+    bench = {
+        "bench": "lintkit",
+        "full_repo_wall_s": round(full_wall, 3),
+        "dataflow_src_wall_s": round(dataflow_wall, 3),
+        "dataflow_budget_s": DATAFLOW_BUDGET_S,
+        "rules": len(all_rules()),
+        "violations": 0,
+        "per_rule_ms": per_rule_ms,
+    }
+    print("BENCH " + json.dumps(bench, sort_keys=True))
+
+    slowest = sorted(per_rule_ms.items(), key=lambda kv: -kv[1])[:3]
+    print_experiment(
+        "Static-analysis gate cost (ISSUE 10): cold full-repo lint",
+        [
+            ("full repo (all rules)", "seconds, not minutes",
+             f"{full_wall:6.2f} s"),
+            ("dataflow family over src/", f"<= {DATAFLOW_BUDGET_S:.0f} s",
+             f"{dataflow_wall:6.2f} s"),
+            *[
+                (f"slowest rule: {rule_id}", "-", f"{ms:8.1f} ms")
+                for rule_id, ms in slowest
+            ],
+        ],
+    )
+    assert dataflow_wall <= DATAFLOW_BUDGET_S, (
+        f"dataflow pass over src/ took {dataflow_wall:.1f}s "
+        f"(budget {DATAFLOW_BUDGET_S:.0f}s)"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import pytest
+
+    raise SystemExit(pytest.main([__file__, "-q", "-s"]))

@@ -76,7 +76,19 @@ def save_store(store: EventStore, path: str) -> None:
             birth_days=store.birth_days,
             sexes=store.sexes,
         )
+        # Durable install, same protocol as repro.shard.format: fsync
+        # the staged bytes, replace, fsync the directory — with a
+        # crashpoint after each boundary so the crash matrix visits it.
+        from repro.resilience.faults import crashpoint  # noqa: PLC0415 (cycle)
+        from repro.shard.format import fsync_dir  # noqa: PLC0415 (layering)
+
+        name = os.path.basename(path)
+        with open(tmp, "rb") as staged:
+            os.fsync(staged.fileno())
+        crashpoint(f"fsync:{name}")
         os.replace(tmp, path)
+        crashpoint(f"replace:{name}")
+        fsync_dir(os.path.dirname(os.path.abspath(path)))
     finally:
         if os.path.exists(tmp):
             os.unlink(tmp)
@@ -155,6 +167,11 @@ def append_jsonl(path: str, entries: "list[dict]",
         if fsync:
             f.flush()
             os.fsync(f.fileno())
+            from repro.resilience.faults import (  # noqa: PLC0415 (cycle)
+                crashpoint,
+            )
+
+            crashpoint(f"fsync:{os.path.basename(path)}")
 
 
 def rotate_jsonl(path: str, max_bytes: int | None) -> bool:
@@ -176,7 +193,12 @@ def rotate_jsonl(path: str, max_bytes: int | None) -> bool:
         return False
     if size < max_bytes:
         return False
+    from repro.resilience.faults import crashpoint  # noqa: PLC0415 (cycle)
+    from repro.shard.format import fsync_dir  # noqa: PLC0415 (layering)
+
     os.replace(path, path + ".1")
+    crashpoint(f"replace:{os.path.basename(path)}.1")
+    fsync_dir(os.path.dirname(os.path.abspath(path)))
     return True
 
 

@@ -125,8 +125,13 @@ class ServingPool:
             # (test runner, CLI): serve, then hard-exit unconditionally.
             code = 1
             try:
-                code = _worker_main(self._listener, self._factory,
-                                    self._config)
+                # Pre-fork listener inheritance IS the design: every
+                # worker accepts on the shared socket and the kernel
+                # load-balances connections across them.  Heavy state
+                # (the workbench and its mmaps) is built post-fork via
+                # the factory inside _worker_main.
+                code = _worker_main(self._listener,  # lintkit: disable=LK204
+                                    self._factory, self._config)
             finally:  # lintkit: disable=LK002
                 os._exit(code)
         with self._lock:

@@ -139,7 +139,11 @@ def fsync_dir(directory: str) -> None:
     """fsync a directory so renames inside it survive a power cut."""
     fd = os.open(directory, os.O_RDONLY)
     try:
-        os.fsync(fd)
+        # fsync_dir is the protocol's terminal primitive: every caller
+        # (atomic_replace, _install_segment, save_store, …) places its
+        # own crashpoint around the enclosing replace+fsync sequence, so
+        # a crashpoint here would double-count each install boundary.
+        os.fsync(fd)  # lintkit: disable=LK202
     except OSError:
         pass  # some filesystems refuse directory fsync; rename still landed
     finally:

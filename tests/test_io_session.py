@@ -213,3 +213,61 @@ class TestConfig:
         longer = spawn_seeds(42, 20)
         assert first == longer[:10]
         assert len(set(longer)) == 20
+
+
+class TestDurabilityCrashpoints:
+    """The io-tier installs are enumerated by crashpoint() (LK202)."""
+
+    def test_save_store_enumerates_install_boundaries(self, small_store,
+                                                      tmp_path):
+        from repro.resilience.faults import count_crashpoints
+
+        path = str(tmp_path / "store.npz")
+        with count_crashpoints() as trace:
+            save_store(small_store, path)
+        assert trace.labels == ["fsync:store.npz", "replace:store.npz"]
+
+    def test_crash_mid_save_never_tears_an_existing_store(self, small_store,
+                                                          tmp_path):
+        from repro.errors import SimulatedCrashError
+        from repro.resilience.faults import count_crashpoints, crash_at
+
+        path = str(tmp_path / "store.npz")
+        save_store(small_store, path)
+        with count_crashpoints() as trace:
+            save_store(small_store, path)
+        assert trace.labels
+        for step in range(1, len(trace.labels) + 1):
+            with crash_at(step):
+                with pytest.raises(SimulatedCrashError):
+                    save_store(small_store, path)
+            # Whatever boundary the crash hit, the name either still
+            # holds the previous complete archive or the new one — and
+            # the staging temp file never leaks.
+            assert load_store(path).content_equal(small_store)
+            assert sorted(p.name for p in tmp_path.iterdir()) == \
+                ["store.npz"]
+
+    def test_append_jsonl_fsync_is_a_crashpoint(self, tmp_path):
+        from repro.io import append_jsonl
+        from repro.resilience.faults import count_crashpoints
+
+        path = str(tmp_path / "dead.jsonl")
+        with count_crashpoints() as trace:
+            append_jsonl(path, [{"a": 1}], fsync=True)
+        assert trace.labels == ["fsync:dead.jsonl"]
+        with count_crashpoints() as trace:
+            append_jsonl(path, [{"a": 2}])  # no durability claim
+        assert trace.labels == []
+
+    def test_rotate_jsonl_is_a_crashpoint_boundary(self, tmp_path):
+        from repro.io import append_jsonl, read_jsonl, rotate_jsonl
+        from repro.resilience.faults import count_crashpoints
+
+        path = str(tmp_path / "report.jsonl")
+        append_jsonl(path, [{"n": i} for i in range(50)])
+        with count_crashpoints() as trace:
+            assert rotate_jsonl(path, 10)
+        assert trace.labels == ["replace:report.jsonl.1"]
+        assert read_jsonl(path) == []
+        assert len(read_jsonl(path + ".1")) == 50

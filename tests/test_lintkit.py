@@ -22,14 +22,21 @@ if str(ROOT) not in sys.path:
 from tools.lintkit import all_rules, format_text, lint_paths, to_json
 
 
-def _lint_snippet(tmp_path, source: str, rel: str = "src/repro/x.py"):
-    """Lint one snippet placed at a repo-relative-looking path."""
+def _lint_snippet(tmp_path, source: str, rel: str = "src/repro/x.py",
+                  select: set | None = None):
+    """Lint one snippet placed at a repo-relative-looking path.
+
+    ``select`` narrows to specific rule ids (used by subsumption tests
+    that port a legacy snippet onto its successor rule).
+    """
     path = tmp_path / rel
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(source, encoding="utf-8")
     # Exclude the project-wide taxonomy rule: it inspects repro.errors,
     # not the snippet.
     rules = [r for r in all_rules() if r.id != "LK003"]
+    if select is not None:
+        rules = [r for r in rules if r.id in select]
     return lint_paths([path], rules=rules, root=tmp_path)
 
 
@@ -90,16 +97,22 @@ def test_lk101_only_applies_to_src(tmp_path):
     assert _lint_snippet(tmp_path, source, rel="tools/x.py") == []
 
 
-def test_lk102_in_place_store_write(tmp_path):
+# LK201 subsumed the syntactic LK102: the legacy snippets must keep
+# failing/passing identically under the dataflow rule.  Passing snippets
+# that contain a bare ``os.replace`` now also owe a crashpoint under the
+# *new* LK202 contract, so those select the successor rule explicitly.
+
+
+def test_lk201_in_place_store_write(tmp_path):
     violations = _lint_snippet(tmp_path, (
         "def save_thing(path, data):\n"
         "    with open(path, 'w') as f:\n"
         "        f.write(data)\n"
     ), rel="src/repro/io.py")
-    assert _rules_hit(violations) == {"LK102"}
+    assert _rules_hit(violations) == {"LK201"}
 
 
-def test_lk102_atomic_replace_passes(tmp_path):
+def test_lk201_atomic_replace_passes(tmp_path):
     assert not _lint_snippet(tmp_path, (
         "import os, tempfile\n"
         "def save_thing(path, data):\n"
@@ -107,10 +120,10 @@ def test_lk102_atomic_replace_passes(tmp_path):
         "    with open(tmp, 'w') as f:\n"
         "        f.write(data)\n"
         "    os.replace(tmp, path)\n"
-    ), rel="src/repro/io.py")
+    ), rel="src/repro/io.py", select={"LK201"})
 
 
-def test_lk102_ignores_non_writer_functions(tmp_path):
+def test_lk201_ignores_non_writer_io_functions(tmp_path):
     assert not _lint_snippet(tmp_path, (
         "def export_csv(path):\n"
         "    with open(path, 'w') as f:\n"
@@ -143,16 +156,20 @@ _UNDEADLINED_HANDLER = (
 )
 
 
-def test_lk104_undeadlined_handler_flagged(tmp_path):
+# LK203 subsumed the syntactic LK104; same legacy snippets, same
+# verdicts.
+
+
+def test_lk203_undeadlined_handler_flagged(tmp_path):
     violations = _lint_snippet(
         tmp_path, _UNDEADLINED_HANDLER, rel="src/repro/serving/core.py"
     )
-    assert _rules_hit(violations) == {"LK104"}
+    assert _rules_hit(violations) == {"LK203"}
     assert violations[0].line == 3
     assert "select" in violations[0].message
 
 
-def test_lk104_deadline_parameter_passes(tmp_path):
+def test_lk203_deadline_parameter_passes(tmp_path):
     assert not _lint_snippet(tmp_path, (
         "class Core:\n"
         "    def _cohort(self, request, deadline):\n"
@@ -161,7 +178,7 @@ def test_lk104_deadline_parameter_passes(tmp_path):
     ), rel="src/repro/serving/core.py")
 
 
-def test_lk104_deadline_keyword_alone_passes(tmp_path):
+def test_lk203_deadline_keyword_alone_passes(tmp_path):
     # Threading a deadline through without naming the parameter
     # 'deadline' (e.g. reading it off the request) still counts.
     assert not _lint_snippet(tmp_path, (
@@ -172,7 +189,7 @@ def test_lk104_deadline_keyword_alone_passes(tmp_path):
     ), rel="src/repro/serving/core.py")
 
 
-def test_lk104_scoped_to_serving_code(tmp_path):
+def test_lk203_scoped_to_serving_code(tmp_path):
     # The same code outside the serving tier (e.g. a batch tool) is
     # allowed to run unbounded queries.
     assert not _lint_snippet(tmp_path, _UNDEADLINED_HANDLER,
@@ -181,13 +198,13 @@ def test_lk104_scoped_to_serving_code(tmp_path):
                              rel="tools/x.py")
 
 
-def test_lk104_applies_to_webapp_shim(tmp_path):
+def test_lk203_applies_to_webapp_shim(tmp_path):
     violations = _lint_snippet(tmp_path, _UNDEADLINED_HANDLER,
                                rel="src/repro/webapp.py")
-    assert _rules_hit(violations) == {"LK104"}
+    assert _rules_hit(violations) == {"LK203"}
 
 
-def test_lk104_ignores_functions_without_query_calls(tmp_path):
+def test_lk203_ignores_functions_without_query_calls(tmp_path):
     assert not _lint_snippet(tmp_path, (
         "class Core:\n"
         "    def _healthz(self, request):\n"
@@ -248,18 +265,22 @@ _BARE_SHARD_WRITE = (
 )
 
 
-def test_lk106_bare_shard_write_flagged(tmp_path):
+# LK201's shard tier subsumed the syntactic LK106; same legacy
+# snippets, same verdicts.
+
+
+def test_lk201_bare_shard_write_flagged(tmp_path):
     violations = _lint_snippet(
         tmp_path, _BARE_SHARD_WRITE, rel="src/repro/shard/x.py"
     )
-    assert _rules_hit(violations) == {"LK106"}
+    assert _rules_hit(violations) == {"LK201"}
     assert violations[0].line == 3
     assert "atomic install path" in violations[0].message
 
 
-def test_lk106_install_helper_passes(tmp_path):
+def test_lk201_install_helper_passes(tmp_path):
     # Routing the bytes through an install helper satisfies the rule,
-    # even from a function whose name LK102 would not police.
+    # even from a function whose name the io tier would not police.
     assert not _lint_snippet(tmp_path, (
         "def stash_blob(path, data):\n"
         "    def write(tmp):\n"
@@ -269,7 +290,7 @@ def test_lk106_install_helper_passes(tmp_path):
     ), rel="src/repro/shard/x.py")
 
 
-def test_lk106_replace_plus_fsync_passes(tmp_path):
+def test_lk201_replace_plus_fsync_passes(tmp_path):
     assert not _lint_snippet(tmp_path, (
         "import os\n"
         "def stash_blob(path, data):\n"
@@ -277,10 +298,10 @@ def test_lk106_replace_plus_fsync_passes(tmp_path):
         "        f.write(data)\n"
         "    os.replace(path + '.tmp', path)\n"
         "    fsync_dir(os.path.dirname(path))\n"
-    ), rel="src/repro/shard/x.py")
+    ), rel="src/repro/shard/x.py", select={"LK201"})
 
 
-def test_lk106_replace_without_fsync_flagged(tmp_path):
+def test_lk201_replace_without_fsync_flagged(tmp_path):
     violations = _lint_snippet(tmp_path, (
         "import os\n"
         "def stash_blob(path, data):\n"
@@ -288,10 +309,10 @@ def test_lk106_replace_without_fsync_flagged(tmp_path):
         "        f.write(data)\n"
         "    os.replace(path + '.tmp', path)\n"
     ), rel="src/repro/shard/x.py")
-    assert "LK106" in _rules_hit(violations)
+    assert "LK201" in _rules_hit(violations)
 
 
-def test_lk106_scoped_to_shard_code(tmp_path):
+def test_lk201_scoped_to_shard_and_io_code(tmp_path):
     assert not _lint_snippet(tmp_path, _BARE_SHARD_WRITE,
                              rel="src/repro/viz/x.py")
     assert not _lint_snippet(tmp_path, _BARE_SHARD_WRITE,
@@ -346,8 +367,11 @@ def test_rule_ids_unique_and_titled():
     ids = [rule.id for rule in rules]
     assert len(ids) == len(set(ids))
     assert all(rule.title for rule in rules)
-    assert {"LK001", "LK002", "LK003", "LK101", "LK102", "LK103",
-            "LK104", "LK105", "LK106"} <= set(ids)
+    assert {"LK001", "LK002", "LK003", "LK101", "LK103", "LK105",
+            "LK201", "LK202", "LK203", "LK204"} <= set(ids)
+    # The syntactic durability/deadline rules were subsumed by the
+    # dataflow family and must not resurface under their old ids.
+    assert not {"LK102", "LK104", "LK106"} & set(ids)
 
 
 # -- the real gate ----------------------------------------------------------

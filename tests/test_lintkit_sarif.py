@@ -1,0 +1,141 @@
+"""Golden-file and schema-shape tests for lintkit's SARIF output.
+
+The SARIF document is deliberately deterministic (relative URIs, rules
+sorted by id, no timestamps), so the golden file asserts byte-stable
+output.  Regenerate after intentional changes with::
+
+    python tests/test_lintkit_sarif.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT) not in sys.path:
+    sys.path.insert(0, str(ROOT))
+
+from tools.lintkit import all_rules, lint_paths
+from tools.lintkit.sarif import sarif_json, to_sarif
+
+GOLDEN = Path(__file__).parent / "golden" / "lintkit_sarif.json"
+
+#: A fixed fixture tree exercising one violation per dataflow tier.
+_FIXTURE = {
+    "src/repro/shard/bad.py": (
+        "import os\n"
+        "def stash_blob(path, data):\n"
+        "    with open(path + '.tmp', 'wb') as f:\n"
+        "        f.write(data)\n"
+        "    os.replace(path + '.tmp', path)\n"
+    ),
+    "src/repro/serving/handler.py": (
+        "class Core:\n"
+        "    def _cohort(self, request):\n"
+        "        return self.workbench.select(request.q)\n"
+    ),
+}
+
+
+def _rules():
+    # LK003 inspects the real repro.errors taxonomy, not the fixture.
+    return [r for r in all_rules() if r.id != "LK003"]
+
+
+def _lint_fixture_tree(base: Path):
+    for rel, source in _FIXTURE.items():
+        path = base / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    return lint_paths([base / "src"], rules=_rules(), root=base)
+
+
+def test_sarif_output_matches_golden(tmp_path):
+    violations = _lint_fixture_tree(tmp_path)
+    assert violations, "fixture tree must produce findings"
+    rendered = sarif_json(violations, _rules()) + "\n"
+    assert GOLDEN.exists(), f"golden missing — run: python {__file__} --regen"
+    assert rendered == GOLDEN.read_text(encoding="utf-8")
+
+
+def test_sarif_document_shape(tmp_path):
+    violations = _lint_fixture_tree(tmp_path)
+    doc = to_sarif(violations, _rules())
+
+    assert doc["version"] == "2.1.0"
+    assert doc["$schema"].endswith("sarif-schema-2.1.0.json")
+    assert len(doc["runs"]) == 1
+    run = doc["runs"][0]
+
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "lintkit"
+    rule_ids = [r["id"] for r in driver["rules"]]
+    assert rule_ids == sorted(rule_ids)
+    assert len(rule_ids) == len(set(rule_ids))
+    assert all(r["shortDescription"]["text"] for r in driver["rules"])
+
+    assert run["invocations"][0]["executionSuccessful"] is True
+    for result in run["results"]:
+        assert result["ruleId"] in rule_ids
+        assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+        assert result["level"] == "error"
+        assert result["message"]["text"]
+        location = result["locations"][0]["physicalLocation"]
+        uri = location["artifactLocation"]["uri"]
+        assert not uri.startswith("/"), "URIs must stay relative"
+        assert location["region"]["startLine"] >= 1
+        assert result["partialFingerprints"]["lintkitFingerprint/v1"]
+
+    # The fixture hits each dataflow tier once.
+    assert [r["ruleId"] for r in run["results"]] == [
+        "LK203", "LK201", "LK202",
+    ]
+
+
+def test_sarif_timings_ride_in_property_bag(tmp_path):
+    timings: dict = {}
+    for rel, source in _FIXTURE.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    violations = lint_paths([tmp_path / "src"], rules=_rules(),
+                            root=tmp_path, timings=timings)
+    doc = to_sarif(violations, _rules(), timings=timings)
+    recorded = doc["runs"][0]["invocations"][0]["properties"][
+        "ruleTimingsSeconds"
+    ]
+    assert set(recorded) == {r.id for r in _rules()}
+    assert all(t >= 0 for t in recorded.values())
+
+
+def test_cli_sarif_over_clean_repo():
+    result = subprocess.run(
+        [sys.executable, "-m", "tools.lintkit", "--sarif"],
+        cwd=ROOT, capture_output=True, text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    doc = json.loads(result.stdout)
+    assert doc["version"] == "2.1.0"
+    assert doc["runs"][0]["results"] == []
+
+
+def _regen() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        violations = _lint_fixture_tree(Path(tmp))
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(sarif_json(violations, _rules()) + "\n",
+                          encoding="utf-8")
+    print(f"wrote {GOLDEN}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        pytest.main([__file__, "-q"])

@@ -3,8 +3,12 @@
 ``python -m tools.lintkit`` (from the repository root) lints
 ``src/repro`` and ``tools`` with every registered rule and exits
 nonzero on violations — CI runs exactly that.  See
-:mod:`tools.lintkit.framework` for the rule/suppression machinery and
-:mod:`tools.lintkit.rules` for the rule catalog (LK001…LK103).
+:mod:`tools.lintkit.framework` for the rule/suppression/baseline
+machinery, :mod:`tools.lintkit.rules` for the per-file rule catalog
+(LK001…LK105) and :mod:`tools.lintkit.rules_dataflow` for the
+interprocedural protocol rules (LK201…LK204) built on
+:mod:`tools.lintkit.cfg`, :mod:`tools.lintkit.callgraph` and
+:mod:`tools.lintkit.dataflow`.
 """
 
 from tools.lintkit.framework import (
@@ -14,10 +18,16 @@ from tools.lintkit.framework import (
     all_rules,
     format_text,
     lint_paths,
+    load_baseline,
     register,
     to_json,
+    violation_fingerprint,
+    write_baseline,
 )
 from tools.lintkit import rules as _rules  # noqa: F401  (registers rules)
+from tools.lintkit import (  # noqa: F401  (registers dataflow rules)
+    rules_dataflow as _rules_dataflow,
+)
 
 __all__ = [
     "ProjectRule",
@@ -26,6 +36,9 @@ __all__ = [
     "all_rules",
     "format_text",
     "lint_paths",
+    "load_baseline",
     "register",
     "to_json",
+    "violation_fingerprint",
+    "write_baseline",
 ]

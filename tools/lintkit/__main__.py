@@ -2,8 +2,12 @@
 
 Defaults to linting ``src/repro`` and ``tools``; exits 1 when any rule
 fires (the CI gate), 0 when clean.  ``--json`` emits the machine
-readable report, ``--select`` narrows to specific rule ids and
-``--list-rules`` prints the catalog.
+readable report, ``--sarif`` a SARIF 2.1.0 document, ``--select``
+narrows to specific rule ids, ``--stats`` appends per-rule wall times,
+and ``--baseline`` / ``--write-baseline`` manage the known-findings
+file so a new rule can gate only *new* violations.  ``--root`` points
+the project-wide dataflow rules at a different tree (used by the CI
+smoke step and the fixture tests).
 """
 
 from __future__ import annotations
@@ -20,8 +24,11 @@ from tools.lintkit import (  # noqa: E402
     all_rules,
     format_text,
     lint_paths,
+    load_baseline,
     to_json,
+    write_baseline,
 )
+from tools.lintkit.sarif import sarif_json  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -35,9 +42,20 @@ def main(argv: list[str] | None = None) -> int:
                              "and tools)")
     parser.add_argument("--json", action="store_true",
                         help="machine-readable report on stdout")
+    parser.add_argument("--sarif", action="store_true",
+                        help="SARIF 2.1.0 report on stdout")
+    parser.add_argument("--stats", action="store_true",
+                        help="append per-rule wall times to the report")
     parser.add_argument("--select", default=None, metavar="IDS",
                         help="comma-separated rule ids to run "
                              "(default: all)")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="suppress findings fingerprinted in FILE")
+    parser.add_argument("--write-baseline", default=None, metavar="FILE",
+                        help="record current findings to FILE and exit 0")
+    parser.add_argument("--root", default=None, metavar="DIR",
+                        help="project root for scoping and the "
+                             "dataflow rules (default: the repo root)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
     args = parser.parse_args(argv)
@@ -54,11 +72,30 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"unknown rule id(s): {', '.join(sorted(unknown))}")
         rules = [rule for rule in rules if rule.id in wanted]
 
-    violations = lint_paths(args.paths, rules=rules, root=ROOT)
-    if args.json:
+    root = Path(args.root).resolve() if args.root else ROOT
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    timings: dict[str, float] = {}
+    violations = lint_paths(args.paths, rules=rules, root=root,
+                            timings=timings, baseline=baseline)
+    if args.write_baseline:
+        write_baseline(args.write_baseline, violations)
+        print(f"lintkit: baselined {len(violations)} finding(s) to "
+              f"{args.write_baseline}")
+        return 0
+    if args.sarif:
+        print(sarif_json(violations, rules,
+                         timings if args.stats else None))
+    elif args.json:
         print(to_json(violations))
     else:
         print(format_text(violations))
+        if args.stats:
+            total = sum(timings.values())
+            print(f"rule timings ({total:.2f}s total):")
+            for rule_id, seconds in sorted(
+                timings.items(), key=lambda kv: -kv[1]
+            ):
+                print(f"  {rule_id}  {seconds * 1000:8.1f} ms")
     return 1 if violations else 0
 
 

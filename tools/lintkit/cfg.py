@@ -1,0 +1,211 @@
+"""Statement-level control-flow graphs for lintkit's dataflow rules.
+
+A :class:`CFG` is built per function body.  Nodes are statements (plus a
+synthetic entry and exit); edges come in two flavours:
+
+* **normal** edges — the path the interpreter takes when no exception is
+  raised.  Must-analyses (LK201/LK202) traverse only these: an exception
+  aborts the operation in flight, so requiring a durability protocol to
+  complete on exceptional paths would flag every correct installer.
+* **exceptional** edges — from statements inside a ``try`` body to the
+  entry of each handler.  Handler bodies re-join normal flow at whatever
+  follows the ``try`` (a handler that swallows an error and falls through
+  *is* a normal path, which is exactly when a skipped ``os.replace``
+  becomes a real torn-write hazard).
+
+``raise`` and ``return`` statements edge to the synthetic exit.  A
+``raise`` contributes no *normal* successor, so a backward must-analysis
+treats the path as vacuously satisfied — aborting is always a legal way
+to leave a protocol unfinished.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["CFG", "CFGNode", "build_cfg"]
+
+
+@dataclass
+class CFGNode:
+    """One statement in the graph (``stmt is None`` for entry/exit)."""
+
+    index: int
+    stmt: ast.stmt | None
+    succ: set[int] = field(default_factory=set)
+    exc_succ: set[int] = field(default_factory=set)
+    is_exit: bool = False
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+
+class CFG:
+    """Control-flow graph over the statements of one function body."""
+
+    def __init__(self) -> None:
+        self.nodes: list[CFGNode] = []
+        self.entry: int = 0
+        self.exit: int = 0
+
+    def node(self, index: int) -> CFGNode:
+        return self.nodes[index]
+
+    def preds(self) -> dict[int, set[int]]:
+        """Normal-edge predecessor map (computed on demand)."""
+        out: dict[int, set[int]] = {n.index: set() for n in self.nodes}
+        for n in self.nodes:
+            for s in n.succ:
+                out[s].add(n.index)
+        return out
+
+
+@dataclass
+class _Loop:
+    head: int
+    breaks: set[int] = field(default_factory=set)
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self._loops: list[_Loop] = []
+
+    # -- graph primitives -------------------------------------------------
+    def _new(self, stmt: ast.stmt | None) -> int:
+        node = CFGNode(index=len(self.cfg.nodes), stmt=stmt)
+        self.cfg.nodes.append(node)
+        return node.index
+
+    def _edge(self, src: int, dst: int) -> None:
+        self.cfg.nodes[src].succ.add(dst)
+
+    def _exc_edge(self, src: int, dst: int) -> None:
+        self.cfg.nodes[src].exc_succ.add(dst)
+
+    # -- construction -----------------------------------------------------
+    def build(self, body: list[ast.stmt]) -> CFG:
+        self.cfg.entry = self._new(None)
+        self.cfg.exit = self._new(None)
+        self.cfg.nodes[self.cfg.exit].is_exit = True
+        tails = self._stmts(body, {self.cfg.entry})
+        for t in tails:
+            self._edge(t, self.cfg.exit)
+        return self.cfg
+
+    def _stmts(self, body: list[ast.stmt], preds: set[int]) -> set[int]:
+        """Wire ``body`` after ``preds``; return the fall-through tails."""
+        current = set(preds)
+        for stmt in body:
+            if not current:
+                break  # unreachable (after return/raise/break/continue)
+            current = self._stmt(stmt, current)
+        return current
+
+    def _simple(self, stmt: ast.stmt, preds: set[int]) -> set[int]:
+        idx = self._new(stmt)
+        for p in preds:
+            self._edge(p, idx)
+        return {idx}
+
+    def _stmt(self, stmt: ast.stmt, preds: set[int]) -> set[int]:
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            idx = self._new(stmt)
+            for p in preds:
+                self._edge(p, idx)
+            if isinstance(stmt, ast.Return):
+                self._edge(idx, self.cfg.exit)
+            # raise: no normal successor — the path aborts.
+            return set()
+        if isinstance(stmt, ast.Break):
+            idx = self._new(stmt)
+            for p in preds:
+                self._edge(p, idx)
+            if self._loops:
+                self._loops[-1].breaks.add(idx)
+            return set()
+        if isinstance(stmt, ast.Continue):
+            idx = self._new(stmt)
+            for p in preds:
+                self._edge(p, idx)
+            if self._loops:
+                self._edge(idx, self._loops[-1].head)
+            return set()
+        if isinstance(stmt, ast.If):
+            test = self._new(stmt)
+            for p in preds:
+                self._edge(p, test)
+            then_tails = self._stmts(stmt.body, {test})
+            if stmt.orelse:
+                else_tails = self._stmts(stmt.orelse, {test})
+            else:
+                else_tails = {test}
+            return then_tails | else_tails
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            head = self._new(stmt)
+            for p in preds:
+                self._edge(p, head)
+            loop = _Loop(head=head)
+            self._loops.append(loop)
+            body_tails = self._stmts(stmt.body, {head})
+            self._loops.pop()
+            for t in body_tails:
+                self._edge(t, head)
+            after: set[int] = set(loop.breaks)
+            if stmt.orelse:
+                after |= self._stmts(stmt.orelse, {head})
+            else:
+                after.add(head)
+            return after
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            idx = self._new(stmt)
+            for p in preds:
+                self._edge(p, idx)
+            return self._stmts(stmt.body, {idx})
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, preds)
+        if isinstance(stmt, ast.Match):
+            subject = self._new(stmt)
+            for p in preds:
+                self._edge(p, subject)
+            tails: set[int] = set()
+            exhaustive = False
+            for case in stmt.cases:
+                tails |= self._stmts(case.body, {subject})
+                if (
+                    case.guard is None
+                    and isinstance(case.pattern, ast.MatchAs)
+                    and case.pattern.pattern is None
+                ):
+                    exhaustive = True  # bare wildcard `case _:`
+            if not exhaustive:
+                tails.add(subject)
+            return tails
+        # FunctionDef/ClassDef/Assign/Expr/Import/... — one linear node.
+        return self._simple(stmt, preds)
+
+    def _try(self, stmt: ast.Try, preds: set[int]) -> set[int]:
+        first = len(self.cfg.nodes)
+        body_tails = self._stmts(stmt.body, preds)
+        body_nodes = range(first, len(self.cfg.nodes))
+        handler_tails: set[int] = set()
+        for handler in stmt.handlers:
+            h_entry = self._new(None)  # synthetic handler entry
+            for b in body_nodes:
+                self._exc_edge(b, h_entry)
+            handler_tails |= self._stmts(handler.body, {h_entry})
+        if stmt.orelse:
+            orelse_tails = self._stmts(stmt.orelse, body_tails)
+        else:
+            orelse_tails = body_tails
+        tails = orelse_tails | handler_tails
+        if stmt.finalbody:
+            tails = self._stmts(stmt.finalbody, tails)
+        return tails
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the CFG for one function definition's body."""
+    return _Builder().build(func.body)

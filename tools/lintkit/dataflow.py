@@ -1,0 +1,174 @@
+"""Dataflow solvers for lintkit's protocol rules.
+
+The rules in :mod:`tools.lintkit.rules_dataflow` are *must*-analyses over
+the normal-edge CFG: a fact holds at a program point only if it holds on
+**every** normal path from that point to the function exit.  The lattice
+is a tuple of booleans joined element-wise with AND; ``raise`` paths have
+no normal successors, so the empty join (all-True) makes aborting always
+legal — exactly the semantics of "the operation never completed, nothing
+to prove".
+
+Interprocedural reasoning uses bottom-up *summaries* computed to a
+fixpoint: a monotone predicate over functions (e.g. "this function is a
+durable installer") is re-evaluated until no function changes class.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Iterable
+
+from .callgraph import FunctionInfo, iter_calls
+from .cfg import CFG
+
+__all__ = [
+    "Event",
+    "node_events",
+    "solve_backward_must",
+    "replay_events",
+    "fixpoint_summaries",
+]
+
+# A classified call inside one statement: (kind, call node).
+Event = tuple[str, ast.Call]
+
+Fact = tuple[bool, ...]
+
+
+def _evaluated_exprs(stmt: ast.stmt) -> list[ast.expr] | None:
+    """The expressions evaluated when this CFG node executes.
+
+    Compound statements (``if``/``while``/``for``/``with``/``match``)
+    are represented in the CFG by a *header* node whose body statements
+    have nodes of their own — only the header expression runs at the
+    header node, so only its calls count there.  ``None`` means the
+    whole statement executes as one node.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        # Defining a function evaluates decorators and defaults; the
+        # body runs when the closure runs.
+        return list(stmt.decorator_list) + list(stmt.args.defaults) + [
+            d for d in stmt.args.kw_defaults if d is not None
+        ]
+    return None
+
+
+def node_events(
+    stmt: ast.stmt | None, classify: Callable[[ast.Call], str | None]
+) -> list[Event]:
+    """Classified calls evaluated *at* ``stmt``'s node, in order.
+
+    Calls inside nested ``def``/``lambda`` bodies are excluded — they run
+    when the closure runs, not when this statement does — and calls in a
+    compound statement's body belong to the body statements' own nodes.
+    """
+    if stmt is None:
+        return []
+    headers = _evaluated_exprs(stmt)
+    sources = [stmt] if headers is None else headers
+    out: list[Event] = []
+    for source in sources:
+        calls = iter_calls(source)
+        if isinstance(source, ast.Call):
+            calls.append(source)  # iter_calls only yields descendants
+        for call in calls:
+            kind = classify(call)
+            if kind is not None:
+                out.append((kind, call))
+    return out
+
+
+def solve_backward_must(
+    cfg: CFG,
+    events: Callable[[ast.stmt | None], list[Event]],
+    transfer: Callable[[Event, Fact], Fact],
+    exit_fact: Fact,
+    top: Fact,
+) -> dict[int, Fact]:
+    """Backward must-analysis; returns the fact *after* each node.
+
+    ``transfer`` maps (event, fact-after-event) -> fact-before-event and
+    is applied to a node's events in reverse evaluation order.  The fact
+    before a node is joined (AND) into the after-fact of its normal
+    predecessors.  Nodes with no normal successors other than the exit
+    keep the vacuous all-True fact: those paths abort.
+    """
+
+    def meet(a: Fact, b: Fact) -> Fact:
+        return tuple(x and y for x, y in zip(a, b))
+
+    # Event extraction may hit the call graph; compute once per node.
+    node_evs = {n.index: events(n.stmt) for n in cfg.nodes}
+
+    def before(node_index: int, after: Fact) -> Fact:
+        fact = after
+        for event in reversed(node_evs[node_index]):
+            fact = transfer(event, fact)
+        return fact
+
+    after_facts: dict[int, Fact] = {n.index: top for n in cfg.nodes}
+    after_facts[cfg.exit] = exit_fact
+    preds = cfg.preds()
+    work = [n.index for n in cfg.nodes]
+    while work:
+        idx = work.pop()
+        fact_before = before(idx, after_facts[idx])
+        for p in preds[idx]:
+            merged = meet(after_facts[p], fact_before)
+            if merged != after_facts[p]:
+                after_facts[p] = merged
+                work.append(p)
+    return after_facts
+
+
+def replay_events(
+    cfg: CFG,
+    after_facts: dict[int, Fact],
+    events: Callable[[ast.stmt | None], list[Event]],
+    transfer: Callable[[Event, Fact], Fact],
+) -> Iterable[tuple[Event, Fact]]:
+    """Yield each event with the converged fact holding *after* it.
+
+    Run once after :func:`solve_backward_must` converges to inspect the
+    fact at interior event positions (e.g. "was the protocol complete
+    after this write?").
+    """
+    for node in cfg.nodes:
+        fact = after_facts[node.index]
+        for event in reversed(events(node.stmt)):
+            yield event, fact
+            fact = transfer(event, fact)
+
+
+def fixpoint_summaries(
+    functions: Iterable[FunctionInfo],
+    seed: Callable[[FunctionInfo], bool],
+    propagate: Callable[[FunctionInfo, set[str]], bool],
+) -> set[str]:
+    """Qualnames satisfying a monotone property, to a fixpoint.
+
+    ``seed`` proves the property intraprocedurally; ``propagate`` may
+    additionally prove it given the current summary set (e.g. "delegates
+    to a function already in the set").  Membership only grows, so the
+    iteration terminates.
+    """
+    funcs = list(functions)
+    members: set[str] = {f.qualname for f in funcs if seed(f)}
+    changed = True
+    while changed:
+        changed = False
+        for f in funcs:
+            if f.qualname in members:
+                continue
+            if propagate(f, members):
+                members.add(f.qualname)
+                changed = True
+    return members

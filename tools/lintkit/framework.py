@@ -15,14 +15,24 @@ suppression comments:
 
 Both forms take a comma-separated id list.  Suppressions are deliberate
 per-site waivers — they keep the gate strict while still allowing the
-occasional justified exception, and they are grep-able.
+occasional justified exception, and they are grep-able.  They apply to
+project-wide rules too: a violation reported at ``path:line`` honours
+that file's suppression comments regardless of which rule produced it.
+
+Baselines complement suppressions for adopting a new rule over an old
+codebase: :func:`write_baseline` records a fingerprint per existing
+violation (rule id + path + message, deliberately line-independent) and
+:func:`lint_paths` can filter known fingerprints out, so only *new*
+findings gate CI while the backlog is burned down.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import json
 import re
+import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -37,6 +47,9 @@ __all__ = [
     "lint_paths",
     "format_text",
     "to_json",
+    "violation_fingerprint",
+    "load_baseline",
+    "write_baseline",
 ]
 
 ROOT = Path(__file__).resolve().parent.parent.parent
@@ -63,6 +76,36 @@ class Violation:
 
     def to_json(self) -> dict:
         return asdict(self)
+
+
+def violation_fingerprint(violation: Violation) -> str:
+    """Stable identity for baselining: rule + file + message.
+
+    The line number is deliberately excluded so unrelated edits above a
+    known finding do not resurrect it from the baseline.
+    """
+    key = f"{violation.rule}|{violation.path}|{violation.message}"
+    return hashlib.sha1(key.encode("utf-8")).hexdigest()
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """Fingerprints recorded by :func:`write_baseline`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return set(payload.get("fingerprints", []))
+
+
+def write_baseline(path: str | Path, violations: Sequence[Violation]) -> None:
+    """Record the current findings so only new ones gate future runs."""
+    payload = {
+        "comment": "lintkit baseline — regenerate with --write-baseline",
+        "fingerprints": sorted(
+            {violation_fingerprint(v) for v in violations}
+        ),
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
 
 
 class Rule:
@@ -138,8 +181,8 @@ def _parse_suppressions(
     return file_wide, per_line
 
 
-def _lint_file(path: Path, rules: Sequence[Rule],
-               root: Path) -> list[Violation]:
+def _lint_file(path: Path, rules: Sequence[Rule], root: Path,
+               timings: dict[str, float]) -> list[Violation]:
     rel = path.resolve().relative_to(root)
     text = path.read_text(encoding="utf-8")
     try:
@@ -152,13 +195,41 @@ def _lint_file(path: Path, rules: Sequence[Rule],
     for rule in rules:
         if isinstance(rule, ProjectRule) or not rule.applies_to(rel):
             continue
+        started = time.perf_counter()
         for violation in rule.check(tree, rel, text):
             if violation.rule in file_wide:
                 continue
             if violation.rule in per_line.get(violation.line, ()):
                 continue
             violations.append(violation)
+        timings[rule.id] = (
+            timings.get(rule.id, 0.0) + time.perf_counter() - started
+        )
     return violations
+
+
+class _SuppressionIndex:
+    """Lazy per-file suppression lookup for project-rule violations."""
+
+    def __init__(self, root: Path) -> None:
+        self._root = root
+        self._cache: dict[str, tuple[set[str], dict[int, set[str]]]] = {}
+
+    def suppressed(self, violation: Violation) -> bool:
+        entry = self._cache.get(violation.path)
+        if entry is None:
+            path = self._root / violation.path
+            try:
+                text = path.read_text(encoding="utf-8")
+            except OSError:
+                text = ""
+            entry = _parse_suppressions(text)
+            self._cache[violation.path] = entry
+        file_wide, per_line = entry
+        return (
+            violation.rule in file_wide
+            or violation.rule in per_line.get(violation.line, ())
+        )
 
 
 def _expand(paths: Iterable[str | Path]) -> list[Path]:
@@ -174,20 +245,51 @@ def _expand(paths: Iterable[str | Path]) -> list[Path]:
 
 def lint_paths(paths: Iterable[str | Path],
                rules: Sequence[Rule] | None = None,
-               root: Path | None = None) -> list[Violation]:
+               root: Path | None = None,
+               timings: dict[str, float] | None = None,
+               baseline: set[str] | None = None) -> list[Violation]:
     """Lint files/directories; returns violations sorted by location.
 
     ``rules=None`` runs every registered rule (file rules per file,
-    project rules once).
+    project rules once).  ``timings`` is an out-parameter accumulating
+    wall seconds per rule id.  ``baseline`` filters out violations whose
+    :func:`violation_fingerprint` is already recorded.
+
+    Project rules analyse the whole project under ``root``; when an
+    explicit path list is given, their findings are restricted to those
+    files so ``python -m tools.lintkit some/file.py`` stays focused.
     """
     root = (root or ROOT).resolve()
     active = list(rules) if rules is not None else all_rules()
+    timings = timings if timings is not None else {}
+    files = _expand(paths)
+    requested = {
+        p.resolve().relative_to(root).as_posix()
+        for p in files
+        if p.resolve().is_relative_to(root)
+    }
     violations: list[Violation] = []
-    for path in _expand(paths):
-        violations.extend(_lint_file(path, active, root))
+    for path in files:
+        violations.extend(_lint_file(path, active, root, timings))
+    suppressions = _SuppressionIndex(root)
     for rule in active:
-        if isinstance(rule, ProjectRule):
-            violations.extend(rule.check_project(root))
+        if not isinstance(rule, ProjectRule):
+            continue
+        started = time.perf_counter()
+        for violation in rule.check_project(root):
+            if requested and violation.path not in requested:
+                continue
+            if suppressions.suppressed(violation):
+                continue
+            violations.append(violation)
+        timings[rule.id] = (
+            timings.get(rule.id, 0.0) + time.perf_counter() - started
+        )
+    if baseline:
+        violations = [
+            v for v in violations
+            if violation_fingerprint(v) not in baseline
+        ]
     violations.sort(key=lambda v: (v.path, v.line, v.rule))
     return violations
 

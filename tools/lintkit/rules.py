@@ -14,31 +14,19 @@ Reproducibility / durability rules:
 * **LK101** — no unseeded RNG construction in ``src/``: the whole repo
   is deterministic by contract, so ``default_rng()`` / ``Random()``
   without a seed (or any use of numpy's global RNG) breaks replays.
-* **LK102** — ``save_*``/``write_*`` functions in the persistence
-  layers (``repro/io.py``, ``repro/shard/``) must not write their
-  target in place: write a temporary, then ``os.replace`` it, so a
-  crash mid-write cannot corrupt an existing store.
 * **LK103** — ``np.load`` in shard code must pass ``mmap_mode``
   explicitly: mapped (``"r"``) and eager (``None``) loads have very
   different failure and memory profiles, so the choice must be visible
   at the call site.
-* **LK106** — *any* function in ``repro/shard/`` that writes bytes must
-  route them through the atomic install helpers (``atomic_replace``,
-  ``write_segment`` / ``write_replicated_segment``,
-  ``replicate_segment_dir``, ``_install_segment``, …) or use the full
-  stage-then-commit shape (``os.replace`` *plus* ``fsync_dir``).  A
-  bare ``open(..., "wb")`` + ``os.rename`` under a shard root can tear
-  on power loss and bypasses the checksum/crashpoint discipline the
-  replication and scrub machinery depend on.
+
+The old syntactic LK102 (atomic store writes), LK104 (handler
+deadlines) and LK106 (shard-root install path) checks are subsumed by
+the interprocedural LK201/LK203 rules in
+:mod:`tools.lintkit.rules_dataflow`, which prove the same contracts
+path-sensitively and through helper indirection.
 
 Serving rules:
 
-* **LK104** — HTTP handler code (``repro/webapp.py``,
-  ``repro/serving/``) that runs unbounded query or render work
-  (``.select()``, ``.patients()``, ``.timeline()``, ``.overview()``,
-  ``.personal_timeline()``, ``.align()``) must have a ``Deadline`` in
-  scope: a slow query on an undeadlined handler pins a worker forever
-  and defeats admission control.
 * **LK105** — viz/serving code (``repro/webapp.py``,
   ``repro/serving/``, ``repro/viz/``) that materializes merged rows
   (``.materialize_store()``, ``.to_flat()``) must have a row-threshold
@@ -70,10 +58,7 @@ __all__ = [
     "BroadExceptRule",
     "TaxonomyRootRule",
     "UnseededRngRule",
-    "NonAtomicWriteRule",
-    "ShardBareWriteRule",
     "ImplicitMmapRule",
-    "UndeadlinedHandlerRule",
     "UnguardedMaterializationRule",
 ]
 
@@ -217,199 +202,6 @@ class UnseededRngRule(Rule):
                     rel, node.lineno,
                     f"{dotted}() uses numpy's global RNG state",
                     hint="use a Generator from np.random.default_rng(seed)",
-                )
-
-
-@register
-class NonAtomicWriteRule(Rule):
-    id = "LK102"
-    title = "store writers must replace atomically"
-
-    #: Calls that perform the actual byte-writing.
-    _WRITE_ATTRS = {"save", "savez", "savez_compressed"}
-    #: Calls that make the surrounding function atomic.
-    _ATOMIC = {"os.replace", "atomic_replace", "_write_json"}
-
-    def applies_to(self, rel: Path) -> bool:
-        posix = rel.as_posix()
-        return posix == "src/repro/io.py" or posix.startswith(
-            "src/repro/shard/"
-        )
-
-    def _writes(self, func: ast.AST) -> Iterator[ast.Call]:
-        for node in ast.walk(func):
-            if not isinstance(node, ast.Call):
-                continue
-            dotted = _dotted(node.func)
-            if dotted.rsplit(".", 1)[-1] in self._WRITE_ATTRS and (
-                dotted.startswith(("np.", "numpy."))
-            ):
-                yield node
-            elif dotted == "open":
-                mode = ""
-                if len(node.args) >= 2 and isinstance(
-                    node.args[1], ast.Constant
-                ):
-                    mode = str(node.args[1].value)
-                for keyword in node.keywords:
-                    if keyword.arg == "mode" and isinstance(
-                        keyword.value, ast.Constant
-                    ):
-                        mode = str(keyword.value.value)
-                if any(ch in mode for ch in "wax+"):
-                    yield node
-
-    def check(self, tree: ast.AST, rel: Path,
-              text: str) -> Iterator[Violation]:
-        for func in ast.walk(tree):
-            if not isinstance(
-                func, (ast.FunctionDef, ast.AsyncFunctionDef)
-            ):
-                continue
-            name = func.name.lstrip("_")
-            if not name.startswith(("save_", "write_")):
-                continue
-            calls = {_dotted(n.func) for n in ast.walk(func)
-                     if isinstance(n, ast.Call)}
-            if any(c.rsplit(".", 1)[-1] in
-                   {a.rsplit(".", 1)[-1] for a in self._ATOMIC}
-                   for c in calls):
-                continue
-            for write in self._writes(func):
-                yield self.violation(
-                    rel, write.lineno,
-                    f"{func.name}() writes its target in place — a "
-                    f"crash mid-write corrupts the existing file",
-                    hint="write to a temporary and os.replace it into "
-                         "place (see repro.shard.format.atomic_replace)",
-                )
-
-
-@register
-class ShardBareWriteRule(Rule):
-    id = "LK106"
-    title = "shard-root writes must go through the atomic install path"
-
-    #: Helpers that already implement the stage → verify → replace →
-    #: fsync discipline (or delegate to one that does).  A function that
-    #: writes bytes *and* calls one of these is routing its output
-    #: through the install path.
-    _INSTALL_HELPERS = {
-        "atomic_replace", "_write_json",
-        "write_segment", "write_replicated_segment",
-        "write_store_manifest", "write_sketch_sidecar",
-        "replicate_segment_dir", "_install_segment",
-        "append_jsonl", "rotate_jsonl",
-    }
-
-    def applies_to(self, rel: Path) -> bool:
-        return rel.as_posix().startswith("src/repro/shard/")
-
-    def check(self, tree: ast.AST, rel: Path,
-              text: str) -> Iterator[Violation]:
-        detector = NonAtomicWriteRule()
-        defs = [
-            node for node in ast.walk(tree)
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
-        ]
-        # A def nested inside another def is a write callback handed to
-        # an install helper (the ``atomic_replace(path, write)`` shape);
-        # judge its writes in the enclosing function's context, where
-        # the helper call is visible.
-        nested = {
-            id(inner)
-            for outer in defs
-            for inner in ast.walk(outer)
-            if inner is not outer
-            and isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef))
-        }
-        for func in defs:
-            if id(func) in nested:
-                continue
-            writes = list(detector._writes(func))
-            if not writes:
-                continue
-            tails = {
-                _dotted(n.func).rsplit(".", 1)[-1]
-                for n in ast.walk(func) if isinstance(n, ast.Call)
-            }
-            if tails & self._INSTALL_HELPERS:
-                continue
-            dotted = {
-                _dotted(n.func) for n in ast.walk(func)
-                if isinstance(n, ast.Call)
-            }
-            if "os.replace" in dotted and "fsync_dir" in tails:
-                continue
-            for write in writes:
-                yield self.violation(
-                    rel, write.lineno,
-                    f"{func.name}() writes under a shard root outside "
-                    f"the atomic install path",
-                    hint="stage into a temporary and install it via "
-                         "atomic_replace / write_replicated_segment "
-                         "(os.replace + fsync_dir at minimum)",
-                )
-
-
-@register
-class UndeadlinedHandlerRule(Rule):
-    id = "LK104"
-    title = "HTTP handlers must bound query work with a Deadline"
-
-    #: Workbench/engine entry points whose cost scales with the store
-    #: (query evaluation, full-cohort renders) — a handler calling one
-    #: without a deadline in scope can pin its worker indefinitely.
-    _QUERY_METHODS = {
-        "select", "patients", "timeline", "overview",
-        "personal_timeline", "align",
-    }
-
-    def applies_to(self, rel: Path) -> bool:
-        posix = rel.as_posix()
-        return posix == "src/repro/webapp.py" or posix.startswith(
-            "src/repro/serving/"
-        )
-
-    @classmethod
-    def _mentions_deadline(cls, func: ast.AST) -> bool:
-        for node in ast.walk(func):
-            if isinstance(node, ast.Name) and "deadline" in node.id.lower():
-                return True
-            if isinstance(node, ast.Attribute) and (
-                "deadline" in node.attr.lower()
-            ):
-                return True
-            if isinstance(node, ast.arg) and "deadline" in node.arg.lower():
-                return True
-            if isinstance(node, ast.keyword) and node.arg and (
-                "deadline" in node.arg.lower()
-            ):
-                return True
-        return False
-
-    def check(self, tree: ast.AST, rel: Path,
-              text: str) -> Iterator[Violation]:
-        for func in ast.walk(tree):
-            if not isinstance(
-                func, (ast.FunctionDef, ast.AsyncFunctionDef)
-            ):
-                continue
-            calls = [
-                node for node in ast.walk(func)
-                if isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr in self._QUERY_METHODS
-            ]
-            if not calls or self._mentions_deadline(func):
-                continue
-            for call in calls:
-                yield self.violation(
-                    rel, call.lineno,
-                    f"{func.name}() runs unbounded work "
-                    f"(.{call.func.attr}()) with no Deadline in scope",
-                    hint="accept a deadline parameter and thread it into "
-                         "query execution (repro.resilience.retry.Deadline)",
                 )
 
 

@@ -1,0 +1,100 @@
+"""SARIF 2.1.0 output for lintkit.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS
+standard consumed by code-scanning UIs; emitting it lets the CI gate
+upload one artifact that external tooling can render with no lintkit
+knowledge.  The document is deliberately deterministic — relative URIs,
+rules sorted by id, no timestamps — so a golden-file test can assert
+byte-stable output.  Per-rule timings, when provided, ride along in the
+invocation's property bag (a SARIF-sanctioned extension point).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping, Sequence
+
+from tools.lintkit.framework import Rule, Violation, violation_fingerprint
+
+__all__ = ["to_sarif", "sarif_json"]
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def to_sarif(
+    violations: Sequence[Violation],
+    rules: Sequence[Rule],
+    timings: Mapping[str, float] | None = None,
+) -> dict:
+    """Build the SARIF 2.1.0 document as a plain dict."""
+    ordered_rules = sorted(rules, key=lambda r: r.id)
+    rule_index = {rule.id: i for i, rule in enumerate(ordered_rules)}
+    results = []
+    for violation in violations:
+        message = violation.message
+        if violation.hint:
+            message += f" (hint: {violation.hint})"
+        result = {
+            "ruleId": violation.rule,
+            "level": "error",
+            "message": {"text": message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": violation.path},
+                        "region": {"startLine": max(violation.line, 1)},
+                    }
+                }
+            ],
+            "partialFingerprints": {
+                "lintkitFingerprint/v1": violation_fingerprint(violation),
+            },
+        }
+        if violation.rule in rule_index:
+            result["ruleIndex"] = rule_index[violation.rule]
+        results.append(result)
+    invocation: dict = {"executionSuccessful": True}
+    if timings:
+        invocation["properties"] = {
+            "ruleTimingsSeconds": {
+                rule_id: round(seconds, 6)
+                for rule_id, seconds in sorted(timings.items())
+            }
+        }
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "lintkit",
+                        "rules": [
+                            {
+                                "id": rule.id,
+                                "name": type(rule).__name__,
+                                "shortDescription": {"text": rule.title},
+                            }
+                            for rule in ordered_rules
+                        ],
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "invocations": [invocation],
+                "results": results,
+            }
+        ],
+    }
+
+
+def sarif_json(
+    violations: Sequence[Violation],
+    rules: Sequence[Rule],
+    timings: Mapping[str, float] | None = None,
+) -> str:
+    return json.dumps(
+        to_sarif(violations, rules, timings), indent=1, sort_keys=True
+    )
